@@ -1,0 +1,60 @@
+// Ablation: spatial block size. Larger blocks amortize the overlapped halo
+// (less redundant computation) but cost Block RAM proportional to the
+// shift-register size (eq. 7) -- the tension that forced the paper from
+// 256x256 to 256x128 blocks for high-order 3D stencils.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fpga/fmax_model.hpp"
+#include "fpga/resource_model.hpp"
+#include "harness/experiments.hpp"
+#include "model/performance_model.hpp"
+
+using namespace fpga_stencil;
+
+int main() {
+  bench::print_header(
+      "ABLATION: 3D SPATIAL BLOCK SIZE (radius 2, parvec 16, partime 6)",
+      "valid fraction = 1 / redundancy; Block RAM grows with bsize_x * "
+      "bsize_y.");
+
+  const DeviceSpec dev = arria10_gx1150();
+  TextTable t({"bsize", "fits", "BRAM bits", "BRAM blocks", "Valid frac",
+               "GB/s (meas)", "GCell/s"});
+  for (const auto& [bx, by] :
+       {std::pair<std::int64_t, std::int64_t>{64, 64},
+        {128, 64},
+        {128, 128},
+        {256, 128},
+        {256, 256},
+        {512, 256},
+        {512, 512}}) {
+    AcceleratorConfig cfg;
+    cfg.dims = 3;
+    cfg.radius = 2;
+    cfg.bsize_x = bx;
+    cfg.bsize_y = by;
+    cfg.parvec = 16;
+    cfg.partime = 6;
+    if (cfg.csize_x() <= 0 || cfg.csize_y() <= 0) continue;
+    const ResourceUsage u = estimate_resources(cfg, dev);
+    const std::string bsize = format_dims2(std::uint64_t(bx), std::uint64_t(by));
+    if (!u.fits()) {
+      t.add_row({bsize, "no", format_percent(u.bram_bits_fraction),
+                 format_percent(u.bram_block_fraction), "-", "-", "-"});
+      continue;
+    }
+    const double fmax = estimate_fmax_mhz(cfg, dev);
+    const PerformanceEstimate e =
+        estimate_performance(cfg, dev, fmax, 696, 728, 696);
+    t.add_row({bsize, "yes", format_percent(u.bram_bits_fraction),
+               format_percent(u.bram_block_fraction),
+               format_percent(e.valid_fraction),
+               format_fixed(e.measured_gbps, 1),
+               format_fixed(e.measured_gcells, 2)});
+  }
+  t.render(std::cout);
+  std::cout << "\n256x128 is the largest block that fits at partime 6 -- "
+               "exactly the paper's pick\nfor high-order 3D stencils.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: does temporal blocking help on a CPU? (paper Section V.B)
+//
+// The paper could not get a meaningful win from YASK's temporal blocking on
+// Xeon or Xeon Phi (flat mode); Yount & Duran [22] report it only pays when
+// a huge working set spills out of MCDRAM. This bench runs the FPGA
+// scheme's CPU analogue (overlapped temporal cache blocking, bit-exact)
+// against the plain spatially blocked executor on THIS host and reports
+// the speedup and the recompute overhead.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cpu/temporal_cpu.hpp"
+#include "cpu/yask_like.hpp"
+
+using namespace fpga_stencil;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bench::print_header(
+      "ABLATION: CPU TEMPORAL BLOCKING (Section V.B)",
+      "Plain spatial blocking vs overlapped temporal cache blocking, both "
+      "bit-exact with\nthe reference. The paper found no meaningful win on "
+      "Xeon-class hardware; a large\nrecompute overhead for little latency "
+      "hiding is the usual outcome.");
+
+  const std::int64_t nx = quick ? 512 : 2048;
+  const std::int64_t ny = quick ? 384 : 2048;
+  const int iters = quick ? 8 : 16;
+
+  std::cout << "\n2D grid " << nx << "x" << ny << ", " << iters
+            << " iterations:\n";
+  TextTable t({"rad", "plain GCell/s", "T=2 GCell/s", "T=4 GCell/s",
+               "T=8 GCell/s", "T=8 recompute", "best T speedup"});
+  for (int rad : {1, 2, 4}) {
+    const TapSet taps = StarStencil::make_benchmark(2, rad).to_taps();
+    const YaskLikeStencil2D plain(taps);
+
+    Grid2D<float> g(nx, ny);
+    g.fill_random(1);
+    const CpuRunResult base = plain.run(g, iters, CpuBlockSize{nx, 32, 1});
+
+    std::vector<std::string> cells = {std::to_string(rad),
+                                      format_fixed(base.gcells, 3)};
+    double best = 0.0;
+    double t8_redundancy = 0.0;
+    for (int t_block : {2, 4, 8}) {
+      Grid2D<float> work(nx, ny);
+      work.fill_random(1);
+      const TemporalCpuResult r =
+          temporal_blocked_run_2d(taps, work, iters, 64, t_block);
+      cells.push_back(format_fixed(r.run.gcells, 3));
+      best = std::max(best, r.run.gcells);
+      if (t_block == 8) t8_redundancy = r.redundancy();
+    }
+    cells.push_back(format_fixed(t8_redundancy, 2) + "x");
+    cells.push_back(format_fixed(best / base.gcells, 2) + "x");
+    t.add_row(std::move(cells));
+  }
+  t.render(std::cout);
+
+  std::cout
+      << "\nOn the FPGA the same trade buys ~partime x reuse because the "
+         "halo recompute is\nfree (idle DSPs) and intermediate steps never "
+         "touch memory; on a CPU the recompute\ncompetes with useful work "
+         "on the same cores -- the paper's Section V.B outcome.\n";
+  return 0;
+}

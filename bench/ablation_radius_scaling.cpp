@@ -1,0 +1,62 @@
+// Ablation: radius scaling beyond the paper's Table III, covering the
+// Section VI.A projection -- 2D stays effective past radius 4, while 3D
+// degrades to partime <= 2 at radius 5-6 (Block RAM) and temporal blocking
+// stops paying.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fpga/fmax_model.hpp"
+#include "fpga/resource_model.hpp"
+#include "harness/experiments.hpp"
+#include "model/performance_model.hpp"
+#include "tune/tuner.hpp"
+
+using namespace fpga_stencil;
+
+int main() {
+  bench::print_header(
+      "ABLATION: RADIUS SCALING (tuned configs, radius 1..8)",
+      "Tuner output per radius with the paper's block-size candidates; "
+      "watch partime\ncollapse for 3D at radius >= 5 (Section VI.A).");
+
+  const DeviceSpec dev = arria10_gx1150();
+  for (int dims : {2, 3}) {
+    std::cout << "\n" << dims << "D:\n";
+    TextTable t({"rad", "best config", "aligned", "GB/s (meas)", "GFLOP/s",
+                 "GCell/s", "Roofline"});
+    for (int rad = 1; rad <= 8; ++rad) {
+      TunerOptions o;
+      o.dims = dims;
+      o.radius = rad;
+      o.alignment = AlignmentRule::kPrefer;
+      if (dims == 2) {
+        o.nx = 15712;
+        o.ny = 15712;
+        o.nz = 1;
+      } else {
+        o.nx = 696;
+        o.ny = 728;
+        o.nz = 696;  // defaults explore the paper's 256/128 block shapes
+      }
+      try {
+        const TunedConfig best = best_config(dev, o);
+        t.add_row({std::to_string(rad), best.config.describe(),
+                   best.meets_alignment ? "yes" : "no",
+                   format_fixed(best.perf.measured_gbps, 1),
+                   format_fixed(best.perf.measured_gflops, 1),
+                   format_fixed(best.perf.measured_gcells, 2),
+                   format_fixed(best.perf.roofline_ratio, 2)});
+      } catch (const ResourceError&) {
+        t.add_row({std::to_string(rad), "no feasible configuration", "-",
+                   "-", "-", "-", "-"});
+      }
+    }
+    t.render(std::cout);
+  }
+  std::cout << "\n2D keeps GFLOP/s near 700 through radius 4 and degrades "
+               "gently after; 3D GFLOP/s\nfalls once partime hits the Block "
+               "RAM wall -- 'further accelerating such stencils\nwill only "
+               "be possible with faster external memory' (paper, Section "
+               "VI.A).\n";
+  return 0;
+}

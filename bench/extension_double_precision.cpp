@@ -1,0 +1,89 @@
+// Extension bench: double-precision what-if.
+//
+// The paper evaluates float32. Scientific stencils often need float64;
+// on Arria-10-class devices a double-precision FMA costs ~4 DSPs and every
+// cell moves twice the bytes, so eq. (4)'s partotal shrinks 4x and the
+// memory-controller demand doubles. This bench re-tunes Table III's 3D
+// experiment for float64 and prints the projected cost.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fpga/fmax_model.hpp"
+#include "fpga/resource_model.hpp"
+#include "harness/experiments.hpp"
+#include "model/performance_model.hpp"
+#include "stencil/characteristics.hpp"
+
+using namespace fpga_stencil;
+
+int main() {
+  bench::print_header(
+      "EXTENSION: DOUBLE PRECISION (3D stencils)",
+      "partotal = floor(1518 / dsp_per_cell(fp64)); configurations re-tuned "
+      "by scanning\npartime at the paper's parvec=16 under the fp64 DSP "
+      "budget. BRAM per PE doubles\n(64-bit cells), modeled via the eq.-(7) "
+      "bit count.");
+
+  const DeviceSpec dev = arria10_gx1150();
+  TextTable t({"rad", "fp32 DSP/cell", "fp64 DSP/cell", "fp32 partotal",
+               "fp64 partotal", "fp64 config", "GB/s", "GFLOP/s",
+               "vs fp32 GFLOP/s"});
+  for (int rad = 1; rad <= 4; ++rad) {
+    const StencilCharacteristics f32 =
+        stencil_characteristics(3, rad, ValuePrecision::kFloat32);
+    const StencilCharacteristics f64 =
+        stencil_characteristics(3, rad, ValuePrecision::kFloat64);
+    const std::int64_t partotal32 = dev.dsps / f32.dsp_per_cell;
+    const std::int64_t partotal64 = dev.dsps / f64.dsp_per_cell;
+
+    // Deepest fp64 chain at parvec 16 that fits DSPs and doubled BRAM.
+    AcceleratorConfig cfg;
+    cfg.dims = 3;
+    cfg.radius = rad;
+    cfg.bsize_x = 256;
+    cfg.bsize_y = 128;
+    cfg.parvec = 16;
+    int pt = static_cast<int>(partotal64 / cfg.parvec);
+    const auto fits_fp64 = [&](int partime) {
+      if (partime < 1) return false;
+      AcceleratorConfig c = cfg;
+      c.partime = partime;
+      if (c.csize_x() <= 0 || c.csize_y() <= 0) return false;
+      ResourceUsage u = estimate_resources(c, dev);
+      // 64-bit cells double every shift-register bit and block.
+      return u.bram_bits_fraction * 2.0 <= 1.0 &&
+             u.bram_block_fraction * 2.0 <= 1.0 &&
+             dsp_usage(c) * dsps_per_fma(ValuePrecision::kFloat64) <=
+                 dev.dsps;
+    };
+    while (pt > 0 && !fits_fp64(pt)) --pt;
+
+    if (pt == 0) {
+      t.add_row({std::to_string(rad), std::to_string(f32.dsp_per_cell),
+                 std::to_string(f64.dsp_per_cell),
+                 std::to_string(partotal32), std::to_string(partotal64),
+                 "no feasible configuration"});
+      continue;
+    }
+    cfg.partime = pt;
+    const double fmax = estimate_fmax_mhz(cfg, dev);
+    const PerformanceEstimate e =
+        estimate_performance(cfg, dev, fmax, 696, 728, 696,
+                             ValuePrecision::kFloat64);
+    const FpgaResultRow fp32_row = fpga_result_row(3, rad, dev);
+    t.add_row({std::to_string(rad), std::to_string(f32.dsp_per_cell),
+               std::to_string(f64.dsp_per_cell), std::to_string(partotal32),
+               std::to_string(partotal64), cfg.describe(),
+               format_fixed(e.measured_gbps, 1),
+               format_fixed(e.measured_gflops, 1),
+               format_fixed(
+                   e.measured_gflops / fp32_row.perf.measured_gflops, 2) +
+                   "x"});
+  }
+  t.render(std::cout);
+  std::cout << "\nfloat64 pays twice: 4x fewer parallel updates from the "
+               "DSP budget and double the\nbytes per update against the "
+               "same 34.1 GB/s -- high-order 3D float64 stencils on\nthis "
+               "class of FPGA are firmly memory- and DSP-bound.\n";
+  return 0;
+}

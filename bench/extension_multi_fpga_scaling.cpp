@@ -1,0 +1,116 @@
+// Extension bench: multi-FPGA strong scaling of the paper's 3D experiment.
+//
+// Related work [19] already paired two FPGAs; this bench scales the
+// Table III radius-2 3D configuration across 1..8 Arria 10 boards slicing
+// z, with the temporal-blocking halo (partime*rad planes) exchanged per
+// pass. Two interconnects are modeled: PCIe-class (8 GB/s, 5 us) and a
+// 100G serial link (12.5 GB/s, 1 us). A small-scale run certifies the
+// partitioned computation stays bit-exact.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cluster/multi_fpga.hpp"
+#include "grid/grid_compare.hpp"
+#include "harness/experiments.hpp"
+#include "stencil/reference.hpp"
+
+using namespace fpga_stencil;
+
+int main() {
+  bench::print_header(
+      "EXTENSION: MULTI-FPGA STRONG SCALING (3D radius 2, Table III config)",
+      "696x728x696 grid, 1000 iterations, modeled wall time per board "
+      "count. Halo per\npass = partime*rad = 12 planes = ~24 MB per "
+      "neighbor exchange.");
+
+  const DeviceSpec dev = arria10_gx1150();
+  const AcceleratorConfig cfg = paper_config(3, 2);
+  const LinkSpec pcie{8.0, 5.0};
+  const LinkSpec serial{12.5, 1.0};
+
+  const ClusterStats base =
+      model_cluster_run(1, cfg, dev, pcie, 696, 728, 696, 1000);
+
+  TextTable t({"boards", "PCIe time (s)", "PCIe speedup", "PCIe exch%",
+               "100G time (s)", "100G speedup", "100G exch%"});
+  for (int boards : {1, 2, 4, 8}) {
+    const ClusterStats p =
+        model_cluster_run(boards, cfg, dev, pcie, 696, 728, 696, 1000);
+    const ClusterStats s =
+        model_cluster_run(boards, cfg, dev, serial, 696, 728, 696, 1000);
+    t.add_row({std::to_string(boards), format_fixed(p.total_seconds, 2),
+               format_fixed(base.total_seconds / p.total_seconds, 2) + "x",
+               format_percent(p.exchange_fraction()),
+               format_fixed(s.total_seconds, 2),
+               format_fixed(base.total_seconds / s.total_seconds, 2) + "x",
+               format_percent(s.exchange_fraction())});
+  }
+  t.render(std::cout);
+
+  // Alternative arrangement: temporal chaining (related work [19] with two
+  // boards): no halos, no redundant computation -- the whole grid streams
+  // board to board, each advancing it a further partime time steps.
+  std::cout << "\nTemporal chaining (steady state, many grid passes in "
+               "flight):\n";
+  TextTable tc({"boards", "PCIe time (s)", "PCIe speedup", "100G time (s)",
+                "100G speedup", "PCIe exch%"});
+  const ClusterStats chain_base =
+      model_temporal_chain(1, cfg, dev, pcie, 696, 728, 696, 1000);
+  for (int boards : {1, 2, 4, 8}) {
+    const ClusterStats p =
+        model_temporal_chain(boards, cfg, dev, pcie, 696, 728, 696, 1000);
+    const ClusterStats se =
+        model_temporal_chain(boards, cfg, dev, serial, 696, 728, 696, 1000);
+    tc.add_row({std::to_string(boards), format_fixed(p.total_seconds, 2),
+                format_fixed(chain_base.total_seconds / p.total_seconds, 2) +
+                    "x",
+                format_fixed(se.total_seconds, 2),
+                format_fixed(chain_base.total_seconds / se.total_seconds, 2) +
+                    "x",
+                format_percent(p.exchange_fraction())});
+  }
+  tc.render(std::cout);
+
+  // Certify the chain's functional equivalence at reduced scale.
+  {
+    AcceleratorConfig small = cfg;
+    small.bsize_x = 32;
+    small.bsize_y = 16;
+    small.parvec = 4;
+    small.partime = 2;
+    const StarStencil st = StarStencil::make_benchmark(3, 2);
+    Grid3D<float> g(30, 26, 14);
+    g.fill_random(2);
+    Grid3D<float> want = g;
+    run_temporal_chain(3, st.to_taps(), small, dev, pcie, g, 9);
+    reference_run(st, want, 9);
+    std::cout << "3-board temporal chain, bit-exact vs reference: "
+              << (compare_exact(g, want).identical() ? "PASS" : "FAIL")
+              << "\n";
+  }
+
+  // Bit-exactness certification at reduced scale.
+  AcceleratorConfig small = cfg;
+  small.bsize_x = 32;
+  small.bsize_y = 16;
+  small.parvec = 4;
+  small.partime = 3;
+  const StarStencil s = StarStencil::make_benchmark(3, 2);
+  MultiFpgaCluster cluster(4, s.to_taps(), small, dev, pcie);
+  Grid3D<float> g(40, 30, 21);
+  g.fill_random(1);
+  Grid3D<float> want = g;
+  cluster.run(g, 7);
+  reference_run(s, want, 7);
+  const bool exact = compare_exact(g, want).identical();
+  std::cout << "\n4-board partitioned run, bit-exact vs reference: "
+            << (exact ? "PASS" : "FAIL") << "\n";
+  std::cout << "\nReading: spatial partitioning is capped by the per-board "
+               "halo recompute (the\ntemporal-blocking halo is partime*rad "
+               "planes per pass), not the link; temporal\nchaining scales "
+               "better (no redundant work) but only in steady state with "
+               "many\ngrid passes in flight, and each extra board deepens "
+               "the result latency --\nthe same fill/throughput trade the "
+               "paper makes inside one device with partime.\n";
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Extension bench: the paper's conclusion, quantified.
+//
+// "This issue will become even more pronounced for the next-generation
+// Stratix 10 GX 2800 FPGA since the FLOP to byte ratio goes beyond 100
+// (with 4 banks of DDR4-2400 memory), but the Stratix 10 MX series with HBM
+// memory will likely not suffer from this problem."
+//
+// We project the 3D Table III experiment onto both devices with the same
+// tuner and models (device-scaled fmax): the GX has ~3.8x the DSPs but only
+// 2.3x the bandwidth of the Arria 10, so for high-order 3D stencils the
+// memory wall caps it; the MX's HBM removes the stall entirely.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "tune/tuner.hpp"
+
+using namespace fpga_stencil;
+
+int main() {
+  bench::print_header(
+      "EXTENSION: STRATIX 10 PROJECTION (3D stencils, conclusion's what-if)",
+      "Same tuner, same models, device-scaled fmax. 'pipe eff' is the "
+      "memory-controller\npipeline efficiency -- the GX stalls where the MX "
+      "does not.");
+
+  for (const DeviceSpec& dev :
+       {arria10_gx1150(), stratix10_gx2800(), stratix10_mx2100()}) {
+    std::cout << "\n" << dev.name << " (" << dev.dsps << " DSPs, "
+              << format_fixed(dev.peak_bw_gbps, 1) << " GB/s, FLOP/Byte "
+              << format_fixed(dev.flop_per_byte(), 1) << "):\n";
+    TextTable t({"rad", "best config", "fmax", "pipe eff", "GB/s (meas)",
+                 "GFLOP/s", "GCell/s", "Roofline"});
+    for (int rad = 1; rad <= 4; ++rad) {
+      TunerOptions o;
+      o.dims = 3;
+      o.radius = rad;
+      o.nx = 696;
+      o.ny = 728;
+      o.nz = 696;
+      o.max_parvec = 64;
+      try {
+        const TunedConfig best = best_config(dev, o);
+        t.add_row({std::to_string(rad), best.config.describe(),
+                   format_fixed(best.fmax_mhz, 0),
+                   format_percent(best.perf.pipeline_efficiency),
+                   format_fixed(best.perf.measured_gbps, 1),
+                   format_fixed(best.perf.measured_gflops, 1),
+                   format_fixed(best.perf.measured_gcells, 2),
+                   format_fixed(best.perf.roofline_ratio, 2)});
+      } catch (const ResourceError&) {
+        t.add_row({std::to_string(rad), "no feasible configuration"});
+      }
+    }
+    t.render(std::cout);
+  }
+
+  std::cout << "\nReading: the GX 2800 improves on the Arria 10 but its "
+               "GFLOP/s gains trail its DSP\ngains (memory-starved, as the "
+               "conclusion predicts); the MX 2100's HBM lifts the\nmemory "
+               "wall and 3D performance scales with compute again.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Regenerates the paper's Fig. 3: 3D stencil compute performance (GFLOP/s)
+// per device and stencil order.
+//
+// Trend to reproduce (Section VI.B): on the FPGA GFLOP/s stays roughly
+// flat with order (compute-bound-like); on Xeon/Xeon Phi it rises
+// proportionally to the order (memory-bound, flat GCell/s); on GPUs it
+// rises sub-linearly.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fig_util.hpp"
+#include "harness/experiments.hpp"
+
+using namespace fpga_stencil;
+
+int main() {
+  bench::print_header("FIG. 3: 3D STENCIL PERFORMANCE (GFLOP/s)",
+                      "Same data as Table V, in the paper's series form.");
+  const auto rows = comparison_table(3);
+  bench::render_series(
+      rows, [](const ComparisonRow& r) { return r.gflops; }, "GFLOP/s",
+      std::cout);
+
+  // Trend checks.
+  auto val = [&](const char* dev, int rad) {
+    for (const auto& r : rows) {
+      if (r.device.find(dev) != std::string::npos && r.radius == rad) {
+        return r.gflops;
+      }
+    }
+    return 0.0;
+  };
+  const double fpga_ratio = val("Arria", 4) / val("Arria", 1);
+  const double phi_ratio = val("Phi", 4) / val("Phi", 1);
+  const double gpu_ratio = val("GTX 580", 4) / val("GTX 580", 1);
+  std::cout << "\ntrends (r4/r1 GFLOP/s ratio): FPGA "
+            << format_fixed(fpga_ratio, 2) << " (paper ~0.73, flat-ish), "
+            << "Xeon Phi " << format_fixed(phi_ratio, 2)
+            << " (paper ~3.7, linear in FLOP/cell), GPU "
+            << format_fixed(gpu_ratio, 2) << " (paper ~2.0, sub-linear)\n";
+  const bool ok = fpga_ratio > 0.6 && fpga_ratio < 1.1 && phi_ratio > 3.0 &&
+                  gpu_ratio > 1.5 && gpu_ratio < 3.0;
+  std::cout << (ok ? "shape reproduced.\n" : "SHAPE MISMATCH!\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Regenerates the paper's Fig. 4: 3D stencil performance in GCell/s per
+// device and stencil order.
+//
+// Trend to reproduce (Section VI.B): FPGA GCell/s falls ~proportional to
+// the order (first order >2x second order); Xeon/Xeon Phi are flat; GPUs
+// fall slower than the radius grows.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fig_util.hpp"
+#include "harness/experiments.hpp"
+
+using namespace fpga_stencil;
+
+int main() {
+  bench::print_header("FIG. 4: 3D STENCIL PERFORMANCE (GCell/s)",
+                      "Same data as Table V, in the paper's series form.");
+  const auto rows = comparison_table(3);
+  bench::render_series(
+      rows, [](const ComparisonRow& r) { return r.gcells; }, "GCell/s",
+      std::cout);
+
+  auto val = [&](const char* dev, int rad) {
+    for (const auto& r : rows) {
+      if (r.device.find(dev) != std::string::npos && r.radius == rad) {
+        return r.gcells;
+      }
+    }
+    return 0.0;
+  };
+  const double fpga_drop = val("Arria", 1) / val("Arria", 4);
+  const double phi_drop = val("Phi", 1) / val("Phi", 4);
+  const double gpu_drop = val("GTX 580", 1) / val("GTX 580", 4);
+  std::cout << "\ntrends (r1/r4 GCell/s ratio): FPGA "
+            << format_fixed(fpga_drop, 2)
+            << " (paper ~5.2, ~proportional to order), Xeon Phi "
+            << format_fixed(phi_drop, 2) << " (paper ~1.0, flat), GPU "
+            << format_fixed(gpu_drop, 2) << " (paper ~1.9, sub-linear)\n";
+  std::cout << "first-order vs second-order on the FPGA: "
+            << format_fixed(val("Arria", 1) / val("Arria", 2), 2)
+            << "x (paper: 'more than 2x')\n";
+  const bool ok = fpga_drop > 3.5 && phi_drop < 1.15 && gpu_drop < 2.5 &&
+                  val("Arria", 1) / val("Arria", 2) > 2.0;
+  std::cout << (ok ? "shape reproduced.\n" : "SHAPE MISMATCH!\n");
+  return ok ? 0 : 1;
+}

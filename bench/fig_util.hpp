@@ -1,0 +1,71 @@
+// Shared rendering for the Fig. 3 / Fig. 4 benches: per-device series over
+// stencil order, as a table plus an ASCII bar chart (the paper's grouped
+// bar figures).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "model/comparison_row.hpp"
+
+namespace fpga_stencil::bench {
+
+inline void render_series(
+    const std::vector<ComparisonRow>& rows,
+    const std::function<double(const ComparisonRow&)>& metric,
+    const std::string& unit, std::ostream& os) {
+  // Preserve the paper's device order (first appearance in `rows`).
+  std::vector<std::string> devices;
+  for (const ComparisonRow& r : rows) {
+    if (std::find(devices.begin(), devices.end(), r.device) ==
+        devices.end()) {
+      devices.push_back(r.device);
+    }
+  }
+  auto value = [&](const std::string& dev, int rad) {
+    for (const ComparisonRow& r : rows) {
+      if (r.device == dev && r.radius == rad) return metric(r);
+    }
+    return 0.0;
+  };
+  auto extrapolated = [&](const std::string& dev) {
+    for (const ComparisonRow& r : rows) {
+      if (r.device == dev) return r.extrapolated;
+    }
+    return false;
+  };
+
+  os << "\nseries (" << unit << "; * = extrapolated):\n";
+  TextTable t({"Device", "r=1", "r=2", "r=3", "r=4"});
+  double maxv = 0.0;
+  for (const std::string& dev : devices) {
+    std::vector<std::string> cells{dev + (extrapolated(dev) ? " *" : "")};
+    for (int rad = 1; rad <= 4; ++rad) {
+      const double v = value(dev, rad);
+      maxv = std::max(maxv, v);
+      cells.push_back(format_fixed(v, 3));
+    }
+    t.add_row(std::move(cells));
+  }
+  t.render(os);
+
+  os << "\nASCII chart (each # = " << format_fixed(maxv / 60.0, 2) << " "
+     << unit << "):\n";
+  for (const std::string& dev : devices) {
+    os << dev << (extrapolated(dev) ? " *" : "") << "\n";
+    for (int rad = 1; rad <= 4; ++rad) {
+      const double v = value(dev, rad);
+      const int bars =
+          maxv > 0 ? static_cast<int>(v / maxv * 60.0 + 0.5) : 0;
+      os << "  r" << rad << " |" << std::string(std::size_t(bars), '#')
+         << " " << format_fixed(v, 2) << "\n";
+    }
+  }
+}
+
+}  // namespace fpga_stencil::bench

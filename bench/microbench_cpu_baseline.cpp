@@ -1,0 +1,57 @@
+// google-benchmark microbenchmarks of the YASK-like CPU baseline on this
+// host: per-radius throughput (expect roughly flat GCell/s once
+// memory-bound, the paper's CPU shape) and block-size sensitivity.
+#include <benchmark/benchmark.h>
+
+#include "cpu/yask_like.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+void BM_YaskLike2D(benchmark::State& state) {
+  const int rad = static_cast<int>(state.range(0));
+  const StarStencil s = StarStencil::make_benchmark(2, rad);
+  YaskLikeStencil2D exec(s);
+  Grid2D<float> g(1024, 512);
+  g.fill_random(1);
+  std::int64_t updates = 0;
+  for (auto _ : state) {
+    exec.run(g, 1, CpuBlockSize{1024, 32, 1});
+    updates += 1024 * 512;
+  }
+  state.counters["cell_updates/s"] =
+      benchmark::Counter(double(updates), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_YaskLike2D)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_YaskLike3D(benchmark::State& state) {
+  const int rad = static_cast<int>(state.range(0));
+  const StarStencil s = StarStencil::make_benchmark(3, rad);
+  YaskLikeStencil3D exec(s);
+  Grid3D<float> g(128, 128, 64);
+  g.fill_random(1);
+  std::int64_t updates = 0;
+  for (auto _ : state) {
+    exec.run(g, 1, CpuBlockSize{128, 16, 8});
+    updates += 128 * 128 * 64;
+  }
+  state.counters["cell_updates/s"] =
+      benchmark::Counter(double(updates), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_YaskLike3D)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_YaskLike2D_BlockSize(benchmark::State& state) {
+  const std::int64_t by = state.range(0);
+  const StarStencil s = StarStencil::make_benchmark(2, 2);
+  YaskLikeStencil2D exec(s);
+  Grid2D<float> g(1024, 512);
+  g.fill_random(1);
+  for (auto _ : state) {
+    exec.run(g, 1, CpuBlockSize{1024, by, 1});
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_YaskLike2D_BlockSize)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace fpga_stencil

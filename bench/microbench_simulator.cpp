@@ -1,0 +1,75 @@
+// google-benchmark microbenchmarks of the functional architecture simulator
+// (host-side throughput of the PE-chain emulation, not modeled FPGA
+// performance).
+#include <benchmark/benchmark.h>
+
+#include "core/stencil_accelerator.hpp"
+#include "stencil/reference.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+void BM_Accelerator2D(benchmark::State& state) {
+  const int rad = static_cast<int>(state.range(0));
+  const int partime = static_cast<int>(state.range(1));
+  AcceleratorConfig cfg;
+  cfg.dims = 2;
+  cfg.radius = rad;
+  cfg.bsize_x = 128;
+  cfg.parvec = 4;
+  cfg.partime = partime;
+  const StarStencil s = StarStencil::make_benchmark(2, rad);
+  StencilAccelerator accel(s, cfg);
+  Grid2D<float> g(256, 64);
+  g.fill_random(1);
+  std::int64_t updates = 0;
+  for (auto _ : state) {
+    accel.run(g, partime);
+    updates += 256 * 64 * partime;
+  }
+  state.counters["cell_updates/s"] =
+      benchmark::Counter(double(updates), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Accelerator2D)
+    ->Args({1, 1})
+    ->Args({1, 4})
+    ->Args({2, 2})
+    ->Args({4, 2});
+
+void BM_Accelerator3D(benchmark::State& state) {
+  const int rad = static_cast<int>(state.range(0));
+  AcceleratorConfig cfg;
+  cfg.dims = 3;
+  cfg.radius = rad;
+  cfg.bsize_x = 32;
+  cfg.bsize_y = 32;
+  cfg.parvec = 4;
+  cfg.partime = 2;
+  const StarStencil s = StarStencil::make_benchmark(3, rad);
+  StencilAccelerator accel(s, cfg);
+  Grid3D<float> g(48, 48, 16);
+  g.fill_random(1);
+  std::int64_t updates = 0;
+  for (auto _ : state) {
+    accel.run(g, 2);
+    updates += 48 * 48 * 16 * 2;
+  }
+  state.counters["cell_updates/s"] =
+      benchmark::Counter(double(updates), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Accelerator3D)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ReferenceStep2D(benchmark::State& state) {
+  const int rad = static_cast<int>(state.range(0));
+  const StarStencil s = StarStencil::make_benchmark(2, rad);
+  Grid2D<float> in(256, 64), out(256, 64);
+  in.fill_random(1);
+  for (auto _ : state) {
+    reference_step(s, in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ReferenceStep2D)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace fpga_stencil

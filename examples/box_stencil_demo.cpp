@@ -1,0 +1,89 @@
+// Box-stencil demo: image blur on the generalized tap engine.
+//
+// The paper's intro motivates stencils with image processing; this example
+// blurs a synthetic "image" with a radius-2 box kernel (25 taps) running on
+// the same deep pipeline as the paper's star stencils, compares the FPGA
+// simulator against the YASK-like CPU baseline, and emits the OpenCL-C
+// source a real board would compile.
+#include <cstdio>
+#include <fstream>
+
+#include "codegen/kernel_generator.hpp"
+#include "core/stencil_accelerator.hpp"
+#include "cpu/yask_like.hpp"
+#include "grid/grid_compare.hpp"
+#include "stencil/box_stencil.hpp"
+
+using namespace fpga_stencil;
+
+namespace {
+
+/// A synthetic test card: bars, a gradient, and speckle noise.
+Grid2D<float> make_test_image(std::int64_t nx, std::int64_t ny) {
+  Grid2D<float> img(nx, ny);
+  SplitMix64 rng(7);
+  for (std::int64_t y = 0; y < ny; ++y) {
+    for (std::int64_t x = 0; x < nx; ++x) {
+      float v = float(x) / float(nx);              // gradient
+      if ((x / 16) % 2 == 0 && y < ny / 2) v = 1.0f - v;  // bars
+      if (rng.next_below(37) == 0) v = 1.0f;       // speckle
+      img.at(x, y) = v;
+    }
+  }
+  return img;
+}
+
+void render(const Grid2D<float>& g, std::int64_t sx, std::int64_t sy) {
+  static const char* kShades = " .:-=+*#%@";
+  for (std::int64_t y = 0; y < g.ny(); y += sy) {
+    for (std::int64_t x = 0; x < g.nx(); x += sx) {
+      const int s = std::min(
+          9, std::max(0, static_cast<int>(g.at(x, y) * 9.0f + 0.5f)));
+      std::putchar(kShades[s]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t nx = 192, ny = 96;
+  const TapSet blur = make_box_stencil(2, 2, /*seed=*/5);
+
+  AcceleratorConfig cfg;
+  cfg.dims = 2;
+  cfg.radius = 2;
+  cfg.bsize_x = 96;
+  cfg.parvec = 4;
+  cfg.partime = 2;
+  std::printf("box blur (%zu taps) on the deep pipeline: %s\n\n",
+              blur.size(), cfg.describe().c_str());
+
+  Grid2D<float> image = make_test_image(nx, ny);
+  Grid2D<float> cpu_image = image;
+
+  std::printf("input:\n");
+  render(image, 2, 4);
+
+  StencilAccelerator accel(blur, cfg);
+  accel.run(image, 3);
+  YaskLikeStencil2D cpu(blur);
+  cpu.run(cpu_image, 3, CpuBlockSize{nx, 16, 1});
+
+  std::printf("\nblurred (3 passes of the pipeline):\n");
+  render(image, 2, 4);
+
+  const CompareResult cmp = compare_exact(image, cpu_image);
+  std::printf("\nFPGA pipeline vs CPU baseline: %s\n", cmp.summary().c_str());
+
+  // Emit the kernel a real flow would hand to aoc.
+  const std::string src = generate_tap_kernel_source(blur, {cfg, true});
+  const SourceMetrics m = analyze_source(src);
+  std::ofstream("box_blur_kernel.cl") << src;
+  std::printf("generated box_blur_kernel.cl: %lld lines, %lld clamping "
+              "selects, delimiters %s\n",
+              (long long)m.lines, (long long)m.selects,
+              m.balanced ? "balanced" : "UNBALANCED");
+  return cmp.identical() && m.balanced ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Design-space exploration: what the paper's Section V.A tuning flow looks
+// like as a library call. For each radius, enumerate every feasible
+// (bsize, parvec, partime) on the Arria 10, rank by predicted throughput,
+// and print the podium next to the configuration the paper shipped.
+#include <cstdio>
+#include <iostream>
+
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "harness/experiments.hpp"
+#include "tune/tuner.hpp"
+
+using namespace fpga_stencil;
+
+int main() {
+  const DeviceSpec device = arria10_gx1150();
+  std::printf("design-space exploration on %s (%d DSPs, %d M20Ks)\n\n",
+              device.name.c_str(), device.dsps, device.m20k_blocks);
+
+  for (int dims : {2, 3}) {
+    for (int rad = 1; rad <= 4; ++rad) {
+      TunerOptions opts;
+      opts.dims = dims;
+      opts.radius = rad;
+      if (dims == 2) {
+        opts.nx = opts.ny = 15712;
+        opts.nz = 1;
+      } else {
+        opts.nx = 696;
+        opts.ny = 728;
+        opts.nz = 696;
+      }
+      const auto configs = enumerate_configs(device, opts);
+      std::printf("%dD radius %d: %zu feasible configurations, top 3:\n",
+                  dims, rad, configs.size());
+      TextTable t({"rank", "config", "aligned", "pred GB/s", "fmax",
+                   "DSP", "BRAM blk"});
+      for (std::size_t i = 0; i < configs.size() && i < 3; ++i) {
+        const TunedConfig& c = configs[i];
+        t.add_row({std::to_string(i + 1), c.config.describe(),
+                   c.meets_alignment ? "yes" : "no",
+                   format_fixed(c.perf.measured_gbps, 1),
+                   format_fixed(c.fmax_mhz, 1),
+                   format_percent(c.usage.dsp_fraction),
+                   format_percent(c.usage.bram_block_fraction)});
+      }
+      const AcceleratorConfig p = paper_config(dims, rad);
+      t.add_row({"paper", p.describe(), p.meets_alignment_rule() ? "yes" : "no",
+                 "-", "-", "-", "-"});
+      t.render(std::cout);
+      std::printf("\n");
+    }
+  }
+
+  std::printf("heuristic check (Section V.A): scaling the first-order 3D "
+              "config by 1/radius:\n");
+  const AcceleratorConfig first = paper_config(3, 1);
+  for (int rad = 2; rad <= 4; ++rad) {
+    const AcceleratorConfig scaled = scale_first_order_config(first, rad);
+    const AcceleratorConfig actual = paper_config(3, rad);
+    std::printf("  radius %d: heuristic partime %d, paper shipped %d %s\n",
+                rad, scaled.partime, actual.partime,
+                scaled.partime == actual.partime ? "(match)" : "(differs)");
+  }
+  return 0;
+}

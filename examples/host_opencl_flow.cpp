@@ -1,0 +1,89 @@
+// The complete host-program flow of the paper's artifact, end to end:
+// device discovery -> offline kernel build (with a deliberate failure to
+// show the fit check) -> buffer transfers -> tuned launch -> profiling ->
+// performance-model cross-check. This is the example to read to understand
+// how the pieces compose.
+#include <cstdio>
+#include <sstream>
+
+#include "grid/grid_compare.hpp"
+#include "model/performance_model.hpp"
+#include "ocl/opencl_shim.hpp"
+#include "stencil/reference.hpp"
+#include "tune/tuner.hpp"
+
+using namespace fpga_stencil;
+
+int main() {
+  // --- discovery ---
+  const ocl::Platform platform = ocl::Platform::intel_fpga_sdk();
+  std::printf("platform devices:\n");
+  for (const ocl::Device& d : platform.devices()) {
+    std::printf("  %-22s %4d DSPs  %5d M20Ks  %5.1f GB/s\n",
+                d.name().c_str(), d.spec().dsps, d.spec().m20k_blocks,
+                d.spec().peak_bw_gbps);
+  }
+  const ocl::Context ctx(platform.device_by_name("Arria 10"));
+
+  // --- a build that fails the fit check, like a failed place-and-route ---
+  try {
+    ocl::Program::build(ctx, "-DDIM=2 -DRAD=1 -DBSIZE_X=4096 -DPAR_VEC=16 "
+                             "-DPAR_TIME=32");
+  } catch (const ocl::BuildError& e) {
+    std::printf("\nexpected build failure: %s\n", e.what());
+  }
+
+  // --- tune, then build the winner ---
+  TunerOptions opts;
+  opts.dims = 2;
+  opts.radius = 2;
+  opts.nx = 480;
+  opts.ny = 200;
+  opts.bsize_x_candidates = {128};
+  opts.max_parvec = 8;
+  opts.max_partime = 8;
+  const TunedConfig tuned = best_config(ctx.device().spec(), opts);
+  std::ostringstream build;
+  build << "-DDIM=2 -DRAD=2 -DBSIZE_X=" << tuned.config.bsize_x
+        << " -DPAR_VEC=" << tuned.config.parvec
+        << " -DPAR_TIME=" << tuned.config.partime;
+  std::printf("\ntuned configuration: %s\nbuild options: %s\n",
+              tuned.config.describe().c_str(), build.str().c_str());
+  const ocl::Program program = ocl::Program::build(ctx, build.str());
+  std::printf("\naoc-style report:\n%s", program.report().summary().c_str());
+
+  // --- run ---
+  const std::int64_t nx = 480, ny = 200;
+  const int iterations = 16;
+  const std::size_t bytes = std::size_t(nx * ny) * sizeof(float);
+  const StarStencil stencil = StarStencil::make_benchmark(2, 2);
+  Grid2D<float> grid(nx, ny);
+  grid.fill_random(7);
+  Grid2D<float> want = grid;
+  reference_run(stencil, want, iterations);
+
+  ocl::CommandQueue queue(ctx);
+  ocl::Buffer in(ctx, bytes), out(ctx, bytes);
+  queue.enqueue_write_buffer(in, grid.data(), bytes);
+  const ocl::Event ev = queue.enqueue_stencil_2d(program, stencil, in, out,
+                                                 nx, ny, iterations);
+  queue.finish();
+  Grid2D<float> got(nx, ny);
+  queue.enqueue_read_buffer(out, got.data(), bytes);
+
+  const CompareResult cmp = compare_exact(got, want);
+  std::printf("\nverification vs naive reference: %s\n",
+              cmp.summary().c_str());
+
+  // --- profiling vs model ---
+  const PerformanceEstimate model = estimate_performance(
+      program.config(), ctx.device().spec(), program.report().fmax_mhz, nx,
+      ny);
+  const double cells = double(nx) * ny * iterations;
+  std::printf("profiled (modeled) kernel time: %.3f ms -> %.3f GCell/s\n",
+              ev.device_ms(), cells / ev.device_seconds / 1e9);
+  std::printf("performance model says:         %.3f GCell/s (pipeline "
+              "efficiency %.0f%%)\n",
+              model.measured_gcells, model.pipeline_efficiency * 100.0);
+  return cmp.identical() ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Quickstart: run a high-order stencil through the FPGA accelerator
+// simulator and verify it against the naive reference.
+//
+//   1. define a star stencil (radius 3, 2D),
+//   2. pick performance knobs (block size, vector width, temporal depth),
+//   3. run, 4. verify, 5. look at the streamed-vs-valid statistics.
+#include <cstdio>
+
+#include "core/stencil_accelerator.hpp"
+#include "grid/grid_compare.hpp"
+#include "stencil/reference.hpp"
+
+using namespace fpga_stencil;
+
+int main() {
+  // 1. A 2D star stencil of radius 3 with distinct per-neighbor
+  //    coefficients (the paper's worst case), normalized so iteration is
+  //    numerically stable.
+  const StarStencil stencil = StarStencil::make_benchmark(/*dims=*/2,
+                                                          /*radius=*/3);
+
+  // 2. Performance knobs: 1.5D blocking with 256-cell-wide blocks, 4 cells
+  //    per cycle, 4 chained PEs (4 time steps per pass over the grid).
+  AcceleratorConfig cfg;
+  cfg.dims = 2;
+  cfg.radius = 3;
+  cfg.bsize_x = 256;
+  cfg.parvec = 4;
+  cfg.partime = 4;
+  cfg.validate();
+  std::printf("configuration: %s\n", cfg.describe().c_str());
+  std::printf("  halo %lld cells/side, compute block %lld, shift register "
+              "%lld cells\n",
+              (long long)cfg.halo(), (long long)cfg.csize_x(),
+              (long long)cfg.shift_register_cells());
+
+  // 3. A 600x400 grid, 12 time steps.
+  Grid2D<float> grid(600, 400);
+  grid.fill_random(/*seed=*/2018);
+  Grid2D<float> reference = grid;
+
+  StencilAccelerator accelerator(stencil, cfg);
+  const RunStats stats = accelerator.run(grid, /*iterations=*/12);
+
+  // 4. Verify bit-exactness against the naive implementation.
+  reference_run(stencil, reference, 12);
+  const CompareResult cmp = compare_exact(grid, reference);
+  std::printf("verification: %s\n", cmp.summary().c_str());
+
+  // 5. What the architecture did.
+  std::printf("passes: %d (partime %d time steps each)\n", stats.passes,
+              cfg.partime);
+  std::printf("cells streamed: %lld, cells written: %lld (redundancy "
+              "%.3fx from overlapped halos)\n",
+              (long long)stats.cells_streamed,
+              (long long)stats.cells_written, stats.redundancy());
+  std::printf("pipeline cycles (zero-stall): %lld\n",
+              (long long)stats.vectors_processed);
+  return cmp.identical() ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Seismic-flavored scenario: high-order smoothing of a 2D wavefield.
+//
+// The paper motivates high-order stencils with seismic and wave
+// propagation simulation. This example runs an 8th-order-accurate
+// (radius 4) smoothing operator over a field with two point sources and
+// renders the field as ASCII frames, comparing the FPGA accelerator
+// simulator against the YASK-like CPU baseline on the same input.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "core/stencil_accelerator.hpp"
+#include "cpu/yask_like.hpp"
+#include "grid/grid_compare.hpp"
+#include "grid/grid_io.hpp"
+#include "stencil/workloads.hpp"
+
+using namespace fpga_stencil;
+
+namespace {
+
+void render_ascii(const Grid2D<float>& g, std::int64_t step_x,
+                  std::int64_t step_y) {
+  static const char* kShades = " .:-=+*#%@";
+  for (std::int64_t y = 0; y < g.ny(); y += step_y) {
+    for (std::int64_t x = 0; x < g.nx(); x += step_x) {
+      const float v = g.at(x, y);
+      const int shade =
+          std::min(9, std::max(0, static_cast<int>(v * 10.0f)));
+      std::putchar(kShades[shade]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main() {
+  const int radius = 4;  // 8th-order accurate in the paper's naming footnote
+  const StarStencil stencil = StarStencil::make_shared_coefficient(2, radius);
+
+  const std::int64_t nx = 240, ny = 120;
+  Grid2D<float> field(nx, ny, 0.0f);
+  // Two Gaussian sources of different strength (seismic-style shot points).
+  add_gaussian(field, 60.0, 60.0, 2.0, 60.0f);
+  add_gaussian(field, 180.0, 40.0, 2.0, 40.0f);
+
+  Grid2D<float> cpu_field = field;
+
+  AcceleratorConfig cfg;
+  cfg.dims = 2;
+  cfg.radius = radius;
+  cfg.bsize_x = 128;
+  cfg.parvec = 8;
+  cfg.partime = 3;
+  StencilAccelerator accelerator(stencil, cfg);
+  YaskLikeStencil2D cpu(stencil);
+
+  std::printf("wavefield smoothing, radius %d, %lldx%lld grid, FPGA "
+              "pipeline (%s)\n\n",
+              radius, (long long)nx, (long long)ny, cfg.describe().c_str());
+
+  const int frames = 4;
+  const int steps_per_frame = 15;
+  for (int f = 0; f < frames; ++f) {
+    std::printf("t = %d:\n", f * steps_per_frame);
+    render_ascii(field, 4, 4);
+    std::putchar('\n');
+    accelerator.run(field, steps_per_frame);
+    cpu.run(cpu_field, steps_per_frame, CpuBlockSize{nx, 16, 1});
+  }
+
+  // Energy must spread and decay at the peak, never go negative, and the
+  // two executors must agree bit-for-bit.
+  const CompareResult cmp = compare_exact(field, cpu_field);
+  const FieldStats stats = field_stats(field);
+  std::printf("after %d steps: peak %.4f (started 60), field sum %.2f, "
+              "FPGA-vs-CPU: %s\n",
+              frames * steps_per_frame, stats.peak, stats.total,
+              cmp.summary().c_str());
+
+  // Snapshot the final wavefield as a viewable PGM image.
+  std::ofstream pgm("wavefield_final.pgm");
+  write_pgm(field, pgm, 0.0f, stats.peak);
+  std::printf("final wavefield written to wavefield_final.pgm\n");
+  return cmp.identical() && stats.peak < 60.0f ? 0 : 1;
+}

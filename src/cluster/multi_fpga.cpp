@@ -1,0 +1,279 @@
+#include "cluster/multi_fpga.hpp"
+
+#include <algorithm>
+
+#include "core/stencil_accelerator.hpp"
+#include "fpga/fmax_model.hpp"
+#include "model/performance_model.hpp"
+
+namespace fpga_stencil {
+
+MultiFpgaCluster::MultiFpgaCluster(int boards, const TapSet& taps,
+                                   const AcceleratorConfig& cfg,
+                                   const DeviceSpec& device,
+                                   const LinkSpec& link)
+    : boards_(boards),
+      taps_(taps),
+      cfg_(cfg),
+      device_(device),
+      link_(link),
+      fmax_mhz_(estimate_fmax_mhz(cfg, device)) {
+  FPGASTENCIL_EXPECT(boards >= 1, "cluster needs at least one board");
+  FPGASTENCIL_EXPECT(link.bandwidth_gbps > 0 && link.latency_us >= 0,
+                     "bad link specification");
+  cfg_.validate();
+}
+
+double MultiFpgaCluster::board_pass_seconds(std::int64_t nx, std::int64_t ny,
+                                            std::int64_t slab_rows) const {
+  // The board streams its extended slab exactly like a single-device pass
+  // over a grid whose streamed extent is the slab.
+  const BlockingPlan plan =
+      cfg_.dims == 2 ? make_blocking_plan(cfg_, nx, slab_rows)
+                     : make_blocking_plan(cfg_, nx, ny, slab_rows);
+  const double eff = pipeline_efficiency(cfg_, device_, fmax_mhz_);
+  return double(plan.vectors_streamed) / (fmax_mhz_ * 1e6) / eff;
+}
+
+ClusterStats MultiFpgaCluster::run(Grid2D<float>& grid, int iterations) {
+  FPGASTENCIL_EXPECT(cfg_.dims == 2, "2D run on a 3D configuration");
+  FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
+  const std::int64_t nx = grid.nx(), ny = grid.ny();
+  FPGASTENCIL_EXPECT(boards_ <= ny, "more boards than grid rows");
+  const int rad = cfg_.radius;
+  const std::int64_t slab = ceil_div<std::int64_t>(ny, boards_);
+
+  StencilAccelerator accel(taps_, cfg_);
+  ClusterStats stats;
+  stats.boards = boards_;
+
+  Grid2D<float> next(nx, ny);
+  int remaining = iterations;
+  while (remaining > 0) {
+    const int steps = std::min(remaining, cfg_.partime);
+    const std::int64_t halo = std::int64_t(steps) * rad;
+
+    double slowest_board = 0.0;
+    for (int b = 0; b < boards_; ++b) {
+      const std::int64_t y0 = b * slab;
+      if (y0 >= ny) break;
+      const std::int64_t rows = std::min(slab, ny - y0);
+      // Halo exchange: the extended slab carries steps*rad rows of
+      // neighbor data per interior side (clipped at real grid borders,
+      // where the clamp boundary condition applies instead).
+      const std::int64_t lo = std::max<std::int64_t>(0, y0 - halo);
+      const std::int64_t hi = std::min(ny, y0 + rows + halo);
+      Grid2D<float> local(nx, hi - lo);
+      std::copy_n(grid.data() + lo * nx, std::size_t(nx * (hi - lo)),
+                  local.data());
+      accel.run(local, steps);
+      std::copy_n(local.data() + (y0 - lo) * nx, std::size_t(nx * rows),
+                  next.data() + y0 * nx);
+
+      if (b > 0) stats.halo_bytes_exchanged += 2 * halo * nx * 4;
+      slowest_board =
+          std::max(slowest_board, board_pass_seconds(nx, ny, hi - lo));
+    }
+    std::swap(grid, next);
+
+    const double exchange =
+        boards_ > 1 ? link_.latency_us * 1e-6 +
+                          double(halo * nx * 4) / (link_.bandwidth_gbps * 1e9)
+                    : 0.0;
+    stats.compute_seconds += slowest_board;
+    stats.exchange_seconds += exchange;
+    remaining -= steps;
+    ++stats.passes;
+  }
+  stats.total_seconds = stats.compute_seconds + stats.exchange_seconds;
+  return stats;
+}
+
+ClusterStats MultiFpgaCluster::run(Grid3D<float>& grid, int iterations) {
+  FPGASTENCIL_EXPECT(cfg_.dims == 3, "3D run on a 2D configuration");
+  FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
+  const std::int64_t nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  const std::int64_t plane = nx * ny;
+  FPGASTENCIL_EXPECT(boards_ <= nz, "more boards than grid planes");
+  const int rad = cfg_.radius;
+  const std::int64_t slab = ceil_div<std::int64_t>(nz, boards_);
+
+  StencilAccelerator accel(taps_, cfg_);
+  ClusterStats stats;
+  stats.boards = boards_;
+
+  Grid3D<float> next(nx, ny, nz);
+  int remaining = iterations;
+  while (remaining > 0) {
+    const int steps = std::min(remaining, cfg_.partime);
+    const std::int64_t halo = std::int64_t(steps) * rad;
+
+    double slowest_board = 0.0;
+    for (int b = 0; b < boards_; ++b) {
+      const std::int64_t z0 = b * slab;
+      if (z0 >= nz) break;
+      const std::int64_t planes = std::min(slab, nz - z0);
+      const std::int64_t lo = std::max<std::int64_t>(0, z0 - halo);
+      const std::int64_t hi = std::min(nz, z0 + planes + halo);
+      Grid3D<float> local(nx, ny, hi - lo);
+      std::copy_n(grid.data() + lo * plane, std::size_t(plane * (hi - lo)),
+                  local.data());
+      accel.run(local, steps);
+      std::copy_n(local.data() + (z0 - lo) * plane,
+                  std::size_t(plane * planes), next.data() + z0 * plane);
+
+      if (b > 0) stats.halo_bytes_exchanged += 2 * halo * plane * 4;
+      slowest_board =
+          std::max(slowest_board, board_pass_seconds(nx, ny, hi - lo));
+    }
+    std::swap(grid, next);
+
+    const double exchange =
+        boards_ > 1
+            ? link_.latency_us * 1e-6 +
+                  double(halo * plane * 4) / (link_.bandwidth_gbps * 1e9)
+            : 0.0;
+    stats.compute_seconds += slowest_board;
+    stats.exchange_seconds += exchange;
+    remaining -= steps;
+    ++stats.passes;
+  }
+  stats.total_seconds = stats.compute_seconds + stats.exchange_seconds;
+  return stats;
+}
+
+namespace {
+
+/// Shared timing arithmetic of the temporal chain; the computation itself
+/// is delegated to a single StencilAccelerator (the math of a chain of
+/// boards is the math of a longer PE chain).
+ClusterStats temporal_chain_stats(int boards, const AcceleratorConfig& cfg,
+                                  const DeviceSpec& device,
+                                  const LinkSpec& link, std::int64_t nx,
+                                  std::int64_t ny, std::int64_t nz,
+                                  int iterations) {
+  FPGASTENCIL_EXPECT(boards >= 1, "chain needs at least one board");
+  FPGASTENCIL_EXPECT(link.bandwidth_gbps > 0 && link.latency_us >= 0,
+                     "bad link specification");
+  const double fmax = estimate_fmax_mhz(cfg, device);
+  const double eff = pipeline_efficiency(cfg, device, fmax);
+  const BlockingPlan plan = cfg.dims == 2
+                                ? make_blocking_plan(cfg, nx, ny)
+                                : make_blocking_plan(cfg, nx, ny, nz);
+  const double board_seconds =
+      double(plan.vectors_streamed) / (fmax * 1e6) / eff;
+  const double grid_bytes = double(plan.valid_cells) * 4.0;
+  const double link_seconds =
+      boards > 1 ? link.latency_us * 1e-6 + grid_bytes /
+                                                (link.bandwidth_gbps * 1e9)
+                 : 0.0;
+  // Boards are rate-matched in steady state; the slower of compute and
+  // inter-board streaming sets the macro-pipeline stage time.
+  const double stage_seconds = std::max(board_seconds, link_seconds);
+
+  const std::int64_t steps_per_super = std::int64_t(boards) * cfg.partime;
+  const std::int64_t super_passes =
+      ceil_div<std::int64_t>(std::max(iterations, 0), steps_per_super);
+
+  ClusterStats stats;
+  stats.boards = boards;
+  stats.passes = static_cast<int>(super_passes);
+  // Pipeline fill: the first grid takes `boards` stages end to end.
+  stats.compute_seconds =
+      double(super_passes + boards - 1) * board_seconds;
+  // Exchange shows up only when streaming is slower than computing.
+  stats.exchange_seconds =
+      double(super_passes + boards - 1) * (stage_seconds - board_seconds);
+  stats.halo_bytes_exchanged =
+      boards > 1 ? std::int64_t(grid_bytes) * (boards - 1) * super_passes
+                 : 0;
+  stats.total_seconds =
+      double(super_passes + boards - 1) * stage_seconds;
+  return stats;
+}
+
+}  // namespace
+
+ClusterStats model_temporal_chain(int boards, const AcceleratorConfig& cfg,
+                                  const DeviceSpec& device,
+                                  const LinkSpec& link, std::int64_t nx,
+                                  std::int64_t ny, std::int64_t nz,
+                                  int iterations) {
+  return temporal_chain_stats(boards, cfg, device, link, nx, ny, nz,
+                              iterations);
+}
+
+ClusterStats run_temporal_chain(int boards, const TapSet& taps,
+                                const AcceleratorConfig& cfg,
+                                const DeviceSpec& device,
+                                const LinkSpec& link, Grid2D<float>& grid,
+                                int iterations) {
+  ClusterStats stats = temporal_chain_stats(
+      boards, cfg, device, link, grid.nx(), grid.ny(), 1, iterations);
+  StencilAccelerator accel(taps, cfg);
+  accel.run(grid, iterations);
+  return stats;
+}
+
+ClusterStats run_temporal_chain(int boards, const TapSet& taps,
+                                const AcceleratorConfig& cfg,
+                                const DeviceSpec& device,
+                                const LinkSpec& link, Grid3D<float>& grid,
+                                int iterations) {
+  ClusterStats stats =
+      temporal_chain_stats(boards, cfg, device, link, grid.nx(), grid.ny(),
+                           grid.nz(), iterations);
+  StencilAccelerator accel(taps, cfg);
+  accel.run(grid, iterations);
+  return stats;
+}
+
+ClusterStats model_cluster_run(int boards, const AcceleratorConfig& cfg,
+                               const DeviceSpec& device, const LinkSpec& link,
+                               std::int64_t nx, std::int64_t ny,
+                               std::int64_t nz, int iterations) {
+  FPGASTENCIL_EXPECT(boards >= 1, "cluster needs at least one board");
+  FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
+  cfg.validate();
+  const std::int64_t stream_extent = cfg.dims == 2 ? ny : nz;
+  FPGASTENCIL_EXPECT(boards <= stream_extent,
+                     "more boards than streamed rows");
+  const std::int64_t row_bytes = (cfg.dims == 2 ? nx : nx * ny) * 4;
+  const std::int64_t slab = ceil_div<std::int64_t>(stream_extent, boards);
+  const double fmax = estimate_fmax_mhz(cfg, device);
+  const double eff = pipeline_efficiency(cfg, device, fmax);
+
+  ClusterStats stats;
+  stats.boards = boards;
+  int remaining = iterations;
+  while (remaining > 0) {
+    const int steps = std::min(remaining, cfg.partime);
+    const std::int64_t halo = std::int64_t(steps) * cfg.radius;
+
+    double slowest = 0.0;
+    for (int b = 0; b < boards; ++b) {
+      const std::int64_t s0 = b * slab;
+      if (s0 >= stream_extent) break;
+      const std::int64_t rows = std::min(slab, stream_extent - s0);
+      const std::int64_t lo = std::max<std::int64_t>(0, s0 - halo);
+      const std::int64_t hi = std::min(stream_extent, s0 + rows + halo);
+      const BlockingPlan plan =
+          cfg.dims == 2 ? make_blocking_plan(cfg, nx, hi - lo)
+                        : make_blocking_plan(cfg, nx, ny, hi - lo);
+      slowest = std::max(
+          slowest, double(plan.vectors_streamed) / (fmax * 1e6) / eff);
+      if (b > 0) stats.halo_bytes_exchanged += 2 * halo * row_bytes;
+    }
+    stats.compute_seconds += slowest;
+    stats.exchange_seconds +=
+        boards > 1 ? link.latency_us * 1e-6 + double(halo * row_bytes) /
+                                                  (link.bandwidth_gbps * 1e9)
+                   : 0.0;
+    remaining -= steps;
+    ++stats.passes;
+  }
+  stats.total_seconds = stats.compute_seconds + stats.exchange_seconds;
+  return stats;
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,127 @@
+// Multi-FPGA scale-out of the stencil accelerator.
+//
+// The paper's related work [19] already paired two FPGAs; the natural
+// scale-out of the deep-pipeline design is spatial partitioning: slice the
+// grid along the streamed dimension (y in 2D, z in 3D), give each board its
+// own accelerator, and exchange a halo of partime*rad rows between
+// neighboring boards before every pass (one pass = partime fused time
+// steps, so the per-pass halo is the whole temporal-blocking footprint).
+//
+// Functionally this is the overlapped-block argument once more: each board
+// computes its slab extended by the exchanged halo; slab-edge garbage
+// grows radius rows per fused step, strictly inside the halo, and at real
+// grid borders the clamp boundary condition applies. The simulator is
+// bit-exact against the single-device accelerator and the naive reference.
+//
+// Timing: boards run their passes concurrently, so wall time per pass is
+// the slowest board's modeled compute time plus the halo-exchange time
+// over the inter-board link (bandwidth + latency). The scaling bench shows
+// where PCIe-class links cap strong scaling and serial links do not.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/device_spec.hpp"
+#include "grid/grid.hpp"
+#include "stencil/accel_config.hpp"
+#include "stencil/tap_set.hpp"
+
+namespace fpga_stencil {
+
+/// Inter-board interconnect model.
+struct LinkSpec {
+  double bandwidth_gbps = 8.0;   ///< per direction (PCIe gen3 x8 class)
+  double latency_us = 5.0;       ///< per message
+};
+
+/// Timing/traffic statistics of a multi-FPGA run (modeled; the computation
+/// itself is executed bit-exactly).
+struct ClusterStats {
+  int boards = 0;
+  int passes = 0;
+  std::int64_t halo_bytes_exchanged = 0;   ///< total over all passes/links
+  double compute_seconds = 0.0;            ///< modeled, slowest board summed
+  double exchange_seconds = 0.0;           ///< modeled link time summed
+  double total_seconds = 0.0;
+
+  [[nodiscard]] double exchange_fraction() const {
+    return total_seconds > 0 ? exchange_seconds / total_seconds : 0.0;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Temporal pipelining across boards (the related-work [19] arrangement):
+// instead of slicing the grid, chain the boards -- board b advances the
+// whole grid from time b*partime to (b+1)*partime, streaming its output
+// directly into board b+1's read kernel. One "super-pass" applies
+// boards*partime time steps; with P super-passes in flight the boards
+// form a macro-pipeline and the steady-state rate is one grid pass per
+// board-pass time. No halos, no redundant computation -- but the chain
+// depth (and the on-board Block RAM) caps how far it scales, exactly the
+// trade the paper makes *inside* one device with partime.
+// ---------------------------------------------------------------------
+
+/// Executes `iterations` time steps on `grid` through a chain of `boards`
+/// identical accelerators (bit-exact), and models the wall time of the
+/// macro-pipeline in steady state (grid passes overlap across boards).
+ClusterStats run_temporal_chain(int boards, const TapSet& taps,
+                                const AcceleratorConfig& cfg,
+                                const DeviceSpec& device,
+                                const LinkSpec& link, Grid2D<float>& grid,
+                                int iterations);
+ClusterStats run_temporal_chain(int boards, const TapSet& taps,
+                                const AcceleratorConfig& cfg,
+                                const DeviceSpec& device,
+                                const LinkSpec& link, Grid3D<float>& grid,
+                                int iterations);
+
+/// Pure timing model of the temporal chain at arbitrary (paper) scale.
+ClusterStats model_temporal_chain(int boards, const AcceleratorConfig& cfg,
+                                  const DeviceSpec& device,
+                                  const LinkSpec& link, std::int64_t nx,
+                                  std::int64_t ny, std::int64_t nz,
+                                  int iterations);
+
+/// Pure timing model of a cluster run at arbitrary (paper) scale: the same
+/// per-pass arithmetic as MultiFpgaCluster::run without executing the
+/// computation. `nz` is ignored for 2D configurations.
+ClusterStats model_cluster_run(int boards, const AcceleratorConfig& cfg,
+                               const DeviceSpec& device, const LinkSpec& link,
+                               std::int64_t nx, std::int64_t ny,
+                               std::int64_t nz, int iterations);
+
+/// A row of boards, each an instance of the paper's accelerator, slicing
+/// the grid along the streamed dimension.
+class MultiFpgaCluster {
+ public:
+  /// `boards` identical devices running `taps` under `cfg` (stage lag
+  /// resolved as in StencilAccelerator), connected by `link`.
+  MultiFpgaCluster(int boards, const TapSet& taps,
+                   const AcceleratorConfig& cfg, const DeviceSpec& device,
+                   const LinkSpec& link);
+
+  /// Advances `grid` by `iterations` time steps in place (bit-exact) and
+  /// returns the modeled cluster timing. 2D configurations slice y.
+  ClusterStats run(Grid2D<float>& grid, int iterations);
+
+  /// 3D configurations slice z.
+  ClusterStats run(Grid3D<float>& grid, int iterations);
+
+  [[nodiscard]] int boards() const { return boards_; }
+  [[nodiscard]] const AcceleratorConfig& config() const { return cfg_; }
+
+ private:
+  /// Modeled seconds for one board to stream `slab_rows` of a grid pass.
+  [[nodiscard]] double board_pass_seconds(std::int64_t nx, std::int64_t ny,
+                                          std::int64_t slab_rows) const;
+
+  int boards_;
+  TapSet taps_;
+  AcceleratorConfig cfg_;
+  DeviceSpec device_;
+  LinkSpec link_;
+  double fmax_mhz_;
+};
+
+}  // namespace fpga_stencil

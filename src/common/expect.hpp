@@ -1,0 +1,60 @@
+// Error-handling helpers used across the library.
+//
+// The library reports contract violations (bad configurations, out-of-range
+// parameters) by throwing std::invalid_argument / std::logic_error via the
+// FPGASTENCIL_EXPECT macros, so that host code -- like a real OpenCL host
+// program reacting to a failed kernel build -- can recover and try another
+// configuration.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fpga_stencil {
+
+/// Thrown when a requested accelerator configuration cannot be realized on
+/// the modeled device (the moral equivalent of a failed place-and-route).
+class ResourceError : public std::runtime_error {
+ public:
+  explicit ResourceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a configuration violates a structural constraint of the
+/// architecture (e.g. a block too small for the requested halo).
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+
+template <typename Exception>
+[[noreturn]] inline void raise(const char* cond, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement `" << cond << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw Exception(os.str());
+}
+
+}  // namespace detail
+}  // namespace fpga_stencil
+
+/// Validates a configuration precondition; throws ConfigError on failure.
+#define FPGASTENCIL_EXPECT(cond, msg)                                   \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::fpga_stencil::detail::raise<::fpga_stencil::ConfigError>(       \
+          #cond, __FILE__, __LINE__, (msg));                            \
+    }                                                                   \
+  } while (0)
+
+/// Validates an internal invariant; throws std::logic_error on failure.
+#define FPGASTENCIL_ASSERT(cond, msg)                                   \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::fpga_stencil::detail::raise<::std::logic_error>(                \
+          #cond, __FILE__, __LINE__, (msg));                            \
+    }                                                                   \
+  } while (0)

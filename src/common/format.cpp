@@ -1,0 +1,53 @@
+#include "common/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace fpga_stencil {
+
+std::string format_fixed(double v, int prec) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", prec, v);
+  return std::string(buf.data());
+}
+
+std::string format_percent(double fraction) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.0f%%", fraction * 100.0);
+  return std::string(buf.data());
+}
+
+std::string format_grouped(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < kUnits.size()) {
+    v /= 1024.0;
+    ++unit;
+  }
+  return format_fixed(v, unit == 0 ? 0 : 2) + " " + kUnits[unit];
+}
+
+std::string format_dims2(std::uint64_t x, std::uint64_t y) {
+  return std::to_string(x) + "x" + std::to_string(y);
+}
+
+std::string format_dims3(std::uint64_t x, std::uint64_t y, std::uint64_t z) {
+  return format_dims2(x, y) + "x" + std::to_string(z);
+}
+
+}  // namespace fpga_stencil

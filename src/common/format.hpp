@@ -1,0 +1,25 @@
+// Fixed-width numeric formatting used by the table renderer and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fpga_stencil {
+
+/// Formats `v` with `prec` digits after the decimal point ("123.456").
+std::string format_fixed(double v, int prec);
+
+/// Formats a percentage with no decimals ("85%").
+std::string format_percent(double fraction);
+
+/// Formats large integers with thousands separators ("16,096").
+std::string format_grouped(std::uint64_t v);
+
+/// Formats bytes in a human scale ("1.25 MiB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// "WxH" / "WxHxD" dimension strings.
+std::string format_dims2(std::uint64_t x, std::uint64_t y);
+std::string format_dims3(std::uint64_t x, std::uint64_t y, std::uint64_t z);
+
+}  // namespace fpga_stencil

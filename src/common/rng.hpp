@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation for grid initialization.
+//
+// Benchmarks and tests must be reproducible across runs and machines, so we
+// use a fixed splitmix64 generator rather than std::random_device-seeded
+// engines.
+#pragma once
+
+#include <cstdint>
+
+namespace fpga_stencil {
+
+/// splitmix64: tiny, fast, well-distributed, and fully deterministic.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform float in [0, 1).
+  constexpr float next_float01() {
+    return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform float in [lo, hi).
+  constexpr float next_float(float lo, float hi) {
+    return lo + (hi - lo) * next_float01();
+  }
+
+  /// Uniform integer in [0, n).
+  constexpr std::uint64_t next_below(std::uint64_t n) {
+    return next_u64() % n;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fpga_stencil

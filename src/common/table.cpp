@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace fpga_stencil {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FPGASTENCIL_EXPECT(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  FPGASTENCIL_EXPECT(cells.size() <= header_.size(),
+                     "row has more cells than header columns");
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+void TextTable::render(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << "| " << cell << std::string(width[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.rule_before) print_rule();
+    print_cells(row.cells);
+  }
+  print_rule();
+}
+
+}  // namespace fpga_stencil

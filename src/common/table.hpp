@@ -1,0 +1,41 @@
+// Plain-text table renderer used by every bench binary to print paper-style
+// tables (Table I..V rows) with aligned columns.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fpga_stencil {
+
+/// Accumulates rows of string cells and renders them with per-column
+/// alignment. Intentionally minimal: the bench binaries are the only users.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; the row may be shorter than the header (missing cells
+  /// render empty) but must not be longer.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders with a header rule and column separators.
+  void render(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace fpga_stencil

@@ -1,0 +1,241 @@
+#include "core/concurrent_accelerator.hpp"
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "pipeline/sync_channel.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+using Vec = std::vector<float>;
+
+/// Everything one pass needs, independent of dimensionality: the block
+/// contexts in streaming order, the per-block vector count, and callbacks
+/// implementing the read/write kernels' data movement.
+struct PassGeometry {
+  std::vector<BlockContext> blocks;
+  std::int64_t vectors_per_block = 0;
+  /// Fills `out` with the input vector for (block, q).
+  std::function<void(std::size_t, std::int64_t, float*)> read;
+  /// Retires the output vector for (block, q); returns cells written.
+  std::function<int(std::size_t, std::int64_t, const float*)> write;
+};
+
+/// One pass of `steps` time steps, executed as a true dataflow: a reader
+/// thread, one thread per PE, and the calling thread as the write kernel.
+void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
+                         const PassGeometry& geo, int steps,
+                         std::size_t channel_depth, RunStats& stats) {
+  const int stages = cfg.partime;
+  std::vector<std::unique_ptr<SyncChannel<Vec>>> channels;
+  channels.reserve(std::size_t(stages) + 1);
+  for (int i = 0; i <= stages; ++i) {
+    channels.push_back(std::make_unique<SyncChannel<Vec>>(channel_depth));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(std::size_t(stages) + 1);
+
+  // Read kernel.
+  threads.emplace_back([&] {
+    for (std::size_t b = 0; b < geo.blocks.size(); ++b) {
+      for (std::int64_t q = 0; q < geo.vectors_per_block; ++q) {
+        Vec v(std::size_t(cfg.parvec));
+        geo.read(b, q, v.data());
+        channels[0]->write(std::move(v));
+      }
+    }
+    channels[0]->close();
+  });
+
+  // Compute PEs: each an autorun-style loop over its input channel.
+  for (int k = 0; k < stages; ++k) {
+    threads.emplace_back([&, k] {
+      ProcessingElement pe(taps, cfg, k);
+      Vec out(std::size_t(cfg.parvec));
+      for (std::size_t b = 0; b < geo.blocks.size(); ++b) {
+        BlockContext ctx = geo.blocks[b];
+        ctx.passthrough = k >= steps;
+        pe.begin_block(ctx);
+        for (std::int64_t q = 0; q < geo.vectors_per_block; ++q) {
+          std::optional<Vec> in = channels[std::size_t(k)]->read();
+          FPGASTENCIL_ASSERT(in.has_value(), "pipeline underrun");
+          pe.process_vector(q, *in, out);
+          channels[std::size_t(k) + 1]->write(out);
+        }
+      }
+      channels[std::size_t(k) + 1]->close();
+    });
+  }
+
+  // Write kernel runs on the calling thread.
+  for (std::size_t b = 0; b < geo.blocks.size(); ++b) {
+    for (std::int64_t q = 0; q < geo.vectors_per_block; ++q) {
+      std::optional<Vec> v = channels[std::size_t(stages)]->read();
+      FPGASTENCIL_ASSERT(v.has_value(), "pipeline underrun at write kernel");
+      stats.cells_written += geo.write(b, q, v->data());
+      stats.cells_streamed += cfg.parvec;
+    }
+    stats.vectors_processed += geo.vectors_per_block;
+    ++stats.block_passes;
+  }
+
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+
+RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
+                        Grid2D<float>& grid, int iterations,
+                        std::size_t channel_depth) {
+  FPGASTENCIL_EXPECT(cfg.dims == 2, "2D run on a 3D configuration");
+  FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
+  // Resolve the stage lag exactly as StencilAccelerator does.
+  AcceleratorConfig rcfg = StencilAccelerator(taps, cfg).config();
+
+  RunStats stats;
+  Grid2D<float> scratch(grid.nx(), grid.ny());
+  int remaining = iterations;
+  while (remaining > 0) {
+    const int steps = std::min(remaining, rcfg.partime);
+    const BlockingPlan plan = make_blocking_plan(rcfg, grid.nx(), grid.ny());
+    const std::int64_t halo = rcfg.halo();
+    const std::int64_t drain = rcfg.stream_drain();
+    const std::int64_t csize = rcfg.csize_x();
+    const Grid2D<float>& in = grid;
+    Grid2D<float>& out = scratch;
+
+    PassGeometry geo;
+    geo.vectors_per_block = plan.cells_streamed_per_pass / rcfg.parvec;
+    for (std::int64_t bx = 0; bx < plan.blocks_x; ++bx) {
+      BlockContext ctx;
+      ctx.block_x0 = bx * csize - halo;
+      ctx.nx = in.nx();
+      ctx.ny = in.ny();
+      geo.blocks.push_back(ctx);
+    }
+    geo.read = [&, halo, csize](std::size_t b, std::int64_t q, float* v) {
+      const std::int64_t block_x0 = std::int64_t(b) * csize - halo;
+      const std::int64_t flat = q * rcfg.parvec;
+      const std::int64_t y = flat / rcfg.bsize_x;
+      const std::int64_t xr = flat % rcfg.bsize_x;
+      for (std::int64_t l = 0; l < rcfg.parvec; ++l) {
+        const std::int64_t xg = block_x0 + xr + l;
+        v[l] = (xg >= 0 && xg < in.nx() && y < in.ny()) ? in.at(xg, y) : 0.0f;
+      }
+    };
+    geo.write = [&, halo, drain, csize](std::size_t b, std::int64_t q,
+                                        const float* v) {
+      const std::int64_t block_x0 = std::int64_t(b) * csize - halo;
+      const std::int64_t valid_x_end =
+          std::min(in.nx(), (std::int64_t(b) + 1) * csize);
+      const std::int64_t flat = q * rcfg.parvec;
+      const std::int64_t yg = flat / rcfg.bsize_x - drain;
+      if (yg < 0 || yg >= in.ny()) return 0;
+      int written = 0;
+      for (std::int64_t l = 0; l < rcfg.parvec; ++l) {
+        const std::int64_t x_rel = flat % rcfg.bsize_x + l;
+        const std::int64_t xg = block_x0 + x_rel;
+        if (x_rel >= halo && x_rel < halo + csize && xg < valid_x_end) {
+          out.at(xg, yg) = v[l];
+          ++written;
+        }
+      }
+      return written;
+    };
+
+    run_pass_concurrent(taps, rcfg, geo, steps, channel_depth, stats);
+    std::swap(grid, scratch);
+    remaining -= steps;
+    stats.time_steps += steps;
+    ++stats.passes;
+  }
+  return stats;
+}
+
+RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
+                        Grid3D<float>& grid, int iterations,
+                        std::size_t channel_depth) {
+  FPGASTENCIL_EXPECT(cfg.dims == 3, "3D run on a 2D configuration");
+  FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
+  AcceleratorConfig rcfg = StencilAccelerator(taps, cfg).config();
+
+  RunStats stats;
+  Grid3D<float> scratch(grid.nx(), grid.ny(), grid.nz());
+  int remaining = iterations;
+  while (remaining > 0) {
+    const int steps = std::min(remaining, rcfg.partime);
+    const BlockingPlan plan =
+        make_blocking_plan(rcfg, grid.nx(), grid.ny(), grid.nz());
+    const std::int64_t halo = rcfg.halo();
+    const std::int64_t drain = rcfg.stream_drain();
+    const std::int64_t csx = rcfg.csize_x();
+    const std::int64_t csy = rcfg.csize_y();
+    const std::int64_t plane = rcfg.row_cells();
+    const Grid3D<float>& in = grid;
+    Grid3D<float>& out = scratch;
+
+    PassGeometry geo;
+    geo.vectors_per_block = plan.cells_streamed_per_pass / rcfg.parvec;
+    for (std::int64_t by = 0; by < plan.blocks_y; ++by) {
+      for (std::int64_t bx = 0; bx < plan.blocks_x; ++bx) {
+        BlockContext ctx;
+        ctx.block_x0 = bx * csx - halo;
+        ctx.block_y0 = by * csy - halo;
+        ctx.nx = in.nx();
+        ctx.ny = in.ny();
+        ctx.nz = in.nz();
+        geo.blocks.push_back(ctx);
+      }
+    }
+    geo.read = [&, plane](std::size_t b, std::int64_t q, float* v) {
+      const BlockContext& ctx = geo.blocks[b];
+      const std::int64_t flat = q * rcfg.parvec;
+      const std::int64_t z = flat / plane;
+      const std::int64_t rem = flat % plane;
+      const std::int64_t yg = ctx.block_y0 + rem / rcfg.bsize_x;
+      const std::int64_t xr = rem % rcfg.bsize_x;
+      const bool row_ok = z < in.nz() && yg >= 0 && yg < in.ny();
+      for (std::int64_t l = 0; l < rcfg.parvec; ++l) {
+        const std::int64_t xg = ctx.block_x0 + xr + l;
+        v[l] = (row_ok && xg >= 0 && xg < in.nx()) ? in.at(xg, yg, z) : 0.0f;
+      }
+    };
+    geo.write = [&, halo, drain, csx, csy, plane](
+                    std::size_t b, std::int64_t q, const float* v) {
+      const BlockContext& ctx = geo.blocks[b];
+      const std::int64_t valid_x_end =
+          std::min(in.nx(), ctx.block_x0 + halo + csx);
+      const std::int64_t valid_y_end =
+          std::min(in.ny(), ctx.block_y0 + halo + csy);
+      const std::int64_t flat = q * rcfg.parvec;
+      const std::int64_t zg = flat / plane - drain;
+      if (zg < 0 || zg >= in.nz()) return 0;
+      const std::int64_t rem = flat % plane;
+      const std::int64_t y_rel = rem / rcfg.bsize_x;
+      const std::int64_t yg = ctx.block_y0 + y_rel;
+      if (y_rel < halo || y_rel >= halo + csy || yg >= valid_y_end) return 0;
+      int written = 0;
+      for (std::int64_t l = 0; l < rcfg.parvec; ++l) {
+        const std::int64_t x_rel = rem % rcfg.bsize_x + l;
+        const std::int64_t xg = ctx.block_x0 + x_rel;
+        if (x_rel >= halo && x_rel < halo + csx && xg < valid_x_end) {
+          out.at(xg, yg, zg) = v[l];
+          ++written;
+        }
+      }
+      return written;
+    };
+
+    run_pass_concurrent(taps, rcfg, geo, steps, channel_depth, stats);
+    std::swap(grid, scratch);
+    remaining -= steps;
+    stats.time_steps += steps;
+    ++stats.passes;
+  }
+  return stats;
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,30 @@
+// Concurrent dataflow execution of the accelerator.
+//
+// On silicon, the read kernel, every autorun PE, and the write kernel run
+// *simultaneously*, connected by channels. StencilAccelerator emulates that
+// pipeline with an equivalent (and faster) synchronous sweep; this module
+// executes the real thing -- one host thread per kernel, blocking
+// SyncChannels between them -- to demonstrate that the design is free of
+// ordering assumptions beyond the channel protocol. Output is bit-exact
+// with both the synchronous simulator and the naive reference (pinned by
+// tests).
+//
+// Use StencilAccelerator for speed; use this to study the dataflow.
+#pragma once
+
+#include "core/stencil_accelerator.hpp"
+
+namespace fpga_stencil {
+
+/// Advances `grid` by `iterations` time steps in place using one thread
+/// per pipeline stage. `channel_depth` is the per-channel vector capacity
+/// (the OpenCL `depth` attribute).
+RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
+                        Grid2D<float>& grid, int iterations,
+                        std::size_t channel_depth = 64);
+
+RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
+                        Grid3D<float>& grid, int iterations,
+                        std::size_t channel_depth = 64);
+
+}  // namespace fpga_stencil

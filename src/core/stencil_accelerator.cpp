@@ -1,0 +1,223 @@
+#include "core/stencil_accelerator.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+namespace fpga_stencil {
+namespace {
+
+/// Resolves the automatic stage lag: enough whole rows to cover the tap
+/// set's forward reach (= radius for star stencils).
+AcceleratorConfig resolve_lag(const TapSet& taps, AcceleratorConfig cfg) {
+  cfg.validate();
+  if (cfg.stage_lag == 0) {
+    const std::int64_t max_flat =
+        taps.max_flat_offset(cfg.bsize_x, cfg.row_cells());
+    const std::int64_t rows = ceil_div(
+        std::max<std::int64_t>(max_flat, 1), cfg.row_cells());
+    cfg.stage_lag = static_cast<int>(std::max<std::int64_t>(rows, 1));
+  }
+  return cfg;
+}
+
+}  // namespace
+
+StencilAccelerator::StencilAccelerator(const TapSet& taps,
+                                       const AcceleratorConfig& cfg)
+    : taps_(taps), cfg_(resolve_lag(taps, cfg)) {
+  FPGASTENCIL_EXPECT(taps.dims() == cfg_.dims && taps.radius() <= cfg_.radius,
+                     "tap set and configuration disagree on dims/radius");
+  pes_.reserve(static_cast<std::size_t>(cfg_.partime));
+  for (int k = 0; k < cfg_.partime; ++k) {
+    pes_.emplace_back(taps_, cfg_, k);
+  }
+  vec_a_.resize(static_cast<std::size_t>(cfg_.parvec));
+  vec_b_.resize(static_cast<std::size_t>(cfg_.parvec));
+}
+
+StencilAccelerator::StencilAccelerator(const StarStencil& stencil,
+                                       const AcceleratorConfig& cfg)
+    : StencilAccelerator(stencil.to_taps(), cfg) {
+  FPGASTENCIL_EXPECT(
+      stencil.dims() == cfg.dims && stencil.radius() == cfg.radius,
+      "stencil and configuration disagree on dims/radius");
+}
+
+RunStats StencilAccelerator::run(Grid2D<float>& grid, int iterations) {
+  FPGASTENCIL_EXPECT(cfg_.dims == 2, "2D run on a 3D configuration");
+  FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
+  RunStats stats;
+  Grid2D<float> scratch(grid.nx(), grid.ny());
+  int remaining = iterations;
+  while (remaining > 0) {
+    const int steps = std::min(remaining, cfg_.partime);
+    run_pass(grid, scratch, steps, stats);
+    std::swap(grid, scratch);
+    remaining -= steps;
+    stats.time_steps += steps;
+    ++stats.passes;
+  }
+  return stats;
+}
+
+RunStats StencilAccelerator::run(Grid3D<float>& grid, int iterations) {
+  FPGASTENCIL_EXPECT(cfg_.dims == 3, "3D run on a 2D configuration");
+  FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
+  RunStats stats;
+  Grid3D<float> scratch(grid.nx(), grid.ny(), grid.nz());
+  int remaining = iterations;
+  while (remaining > 0) {
+    const int steps = std::min(remaining, cfg_.partime);
+    run_pass(grid, scratch, steps, stats);
+    std::swap(grid, scratch);
+    remaining -= steps;
+    stats.time_steps += steps;
+    ++stats.passes;
+  }
+  return stats;
+}
+
+void StencilAccelerator::run_pass(const Grid2D<float>& in, Grid2D<float>& out,
+                                  int steps, RunStats& stats) {
+  const BlockingPlan plan = make_blocking_plan(cfg_, in.nx(), in.ny());
+  const std::int64_t halo = cfg_.halo();
+  const std::int64_t drain = cfg_.stream_drain();
+  const std::int64_t csize = cfg_.csize_x();
+  const std::int64_t vectors_per_pass =
+      plan.cells_streamed_per_pass / cfg_.parvec;
+  std::span<float> va(vec_a_);
+  std::span<float> vb(vec_b_);
+
+  for (std::int64_t bx = 0; bx < plan.blocks_x; ++bx) {
+    const std::int64_t block_x0 = bx * csize - halo;
+    const std::int64_t valid_x_end = std::min(in.nx(), (bx + 1) * csize);
+
+    BlockContext ctx;
+    ctx.block_x0 = block_x0;
+    ctx.nx = in.nx();
+    ctx.ny = in.ny();
+    for (auto& pe : pes_) {
+      ctx.passthrough = pe.stage() >= steps;
+      pe.begin_block(ctx);
+    }
+
+    // The collapsed loop: one global vector index drives the read kernel,
+    // every PE, and the write kernel for this block pass.
+    for (std::int64_t q = 0; q < vectors_per_pass; ++q) {
+      // --- read kernel: fetch parvec cells (zero outside the grid) ---
+      const std::int64_t flat_in = q * cfg_.parvec;
+      const std::int64_t y_in = flat_in / cfg_.bsize_x;
+      const std::int64_t x_rel_in = flat_in % cfg_.bsize_x;
+      for (std::int64_t l = 0; l < cfg_.parvec; ++l) {
+        const std::int64_t xg = block_x0 + x_rel_in + l;
+        va[size_t(l)] = (xg >= 0 && xg < in.nx() && y_in < in.ny())
+                            ? in.at(xg, y_in)
+                            : 0.0f;
+      }
+      stats.cells_streamed += cfg_.parvec;
+
+      // --- compute: chain of PEs ---
+      std::span<float> cur = va;
+      std::span<float> nxt = vb;
+      for (auto& pe : pes_) {
+        pe.process_vector(q, cur, nxt);
+        std::swap(cur, nxt);
+      }
+
+      // --- write kernel: retire valid cells ---
+      const std::int64_t yg = y_in - drain;  // total chain lag
+      if (yg < 0 || yg >= in.ny()) continue;
+      for (std::int64_t l = 0; l < cfg_.parvec; ++l) {
+        const std::int64_t x_rel = x_rel_in + l;
+        const std::int64_t xg = block_x0 + x_rel;
+        if (x_rel >= halo && x_rel < halo + csize && xg < valid_x_end) {
+          out.at(xg, yg) = cur[size_t(l)];
+          ++stats.cells_written;
+        }
+      }
+    }
+    stats.vectors_processed += vectors_per_pass;
+    ++stats.block_passes;
+  }
+}
+
+void StencilAccelerator::run_pass(const Grid3D<float>& in, Grid3D<float>& out,
+                                  int steps, RunStats& stats) {
+  const BlockingPlan plan = make_blocking_plan(cfg_, in.nx(), in.ny(), in.nz());
+  const std::int64_t halo = cfg_.halo();
+  const std::int64_t drain = cfg_.stream_drain();
+  const std::int64_t csx = cfg_.csize_x();
+  const std::int64_t csy = cfg_.csize_y();
+  const std::int64_t plane = cfg_.row_cells();
+  const std::int64_t vectors_per_pass =
+      plan.cells_streamed_per_pass / cfg_.parvec;
+  std::span<float> va(vec_a_);
+  std::span<float> vb(vec_b_);
+
+  for (std::int64_t by = 0; by < plan.blocks_y; ++by) {
+    for (std::int64_t bx = 0; bx < plan.blocks_x; ++bx) {
+      const std::int64_t block_x0 = bx * csx - halo;
+      const std::int64_t block_y0 = by * csy - halo;
+      const std::int64_t valid_x_end = std::min(in.nx(), (bx + 1) * csx);
+      const std::int64_t valid_y_end = std::min(in.ny(), (by + 1) * csy);
+
+      BlockContext ctx;
+      ctx.block_x0 = block_x0;
+      ctx.block_y0 = block_y0;
+      ctx.nx = in.nx();
+      ctx.ny = in.ny();
+      ctx.nz = in.nz();
+      for (auto& pe : pes_) {
+        ctx.passthrough = pe.stage() >= steps;
+        pe.begin_block(ctx);
+      }
+
+      for (std::int64_t q = 0; q < vectors_per_pass; ++q) {
+        // --- read kernel ---
+        const std::int64_t flat_in = q * cfg_.parvec;
+        const std::int64_t z_in = flat_in / plane;
+        const std::int64_t rem_in = flat_in % plane;
+        const std::int64_t y_rel_in = rem_in / cfg_.bsize_x;
+        const std::int64_t x_rel_in = rem_in % cfg_.bsize_x;
+        const std::int64_t yg_in = block_y0 + y_rel_in;
+        const bool row_in_grid =
+            z_in < in.nz() && yg_in >= 0 && yg_in < in.ny();
+        for (std::int64_t l = 0; l < cfg_.parvec; ++l) {
+          const std::int64_t xg = block_x0 + x_rel_in + l;
+          va[size_t(l)] = (row_in_grid && xg >= 0 && xg < in.nx())
+                              ? in.at(xg, yg_in, z_in)
+                              : 0.0f;
+        }
+        stats.cells_streamed += cfg_.parvec;
+
+        // --- compute ---
+        std::span<float> cur = va;
+        std::span<float> nxt = vb;
+        for (auto& pe : pes_) {
+          pe.process_vector(q, cur, nxt);
+          std::swap(cur, nxt);
+        }
+
+        // --- write kernel ---
+        const std::int64_t zg = z_in - drain;
+        if (zg < 0 || zg >= in.nz()) continue;
+        const std::int64_t y_rel = y_rel_in;
+        const std::int64_t yg = block_y0 + y_rel;
+        if (y_rel < halo || y_rel >= halo + csy || yg >= valid_y_end) continue;
+        for (std::int64_t l = 0; l < cfg_.parvec; ++l) {
+          const std::int64_t x_rel = x_rel_in + l;
+          const std::int64_t xg = block_x0 + x_rel;
+          if (x_rel >= halo && x_rel < halo + csx && xg < valid_x_end) {
+            out.at(xg, yg, zg) = cur[size_t(l)];
+            ++stats.cells_written;
+          }
+        }
+      }
+      stats.vectors_processed += vectors_per_pass;
+      ++stats.block_passes;
+    }
+  }
+}
+
+}  // namespace fpga_stencil

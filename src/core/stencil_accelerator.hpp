@@ -1,0 +1,91 @@
+// The stencil accelerator: the paper's primary contribution, as a
+// functional architecture simulator.
+//
+// Mirrors Fig. 2 of the paper: a read kernel streams overlapped spatial
+// blocks from "external memory" (the input grid), a chain of `partime`
+// Processing Elements advances each block one time step per stage, and a
+// write kernel retires the valid (non-halo) cells to the output grid.
+//
+//   * 1.5D blocking for 2D stencils: block in x (bsize_x), stream y.
+//   * 2.5D blocking for 3D stencils: block in x/y, stream z.
+//   * Overlapped blocking: each pass streams bsize-wide blocks that overlap
+//     by 2*partime*rad; no halo exchange between PEs is ever needed.
+//   * The whole pass is driven by a single collapsed loop over a global
+//     vector index (the paper's loop-collapse / exit-condition
+//     optimization); block/row/lane coordinates are decomposed from it.
+//
+// The accelerator executes any ordered TapSet (the paper's star stencils
+// via StarStencil, box stencils via make_box_stencil, or custom shapes).
+// One `run_pass` advances the grid by up to `partime` time steps; `run`
+// chains ceil(iterations / partime) passes, disabling trailing PEs
+// (delay-only pass-through) on the final partial pass.
+//
+// The output is bit-exact against the naive reference (`reference_run`)
+// for any configuration and grid size: the integration test suite pins
+// this for star and box stencils alike.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "pipeline/processing_element.hpp"
+#include "stencil/accel_config.hpp"
+#include "stencil/star_stencil.hpp"
+#include "stencil/tap_set.hpp"
+
+namespace fpga_stencil {
+
+/// Execution statistics of one `run` call, in the zero-stall pipeline model
+/// (one vector per cycle). The performance model layers memory-controller
+/// behaviour on top of these raw counts.
+struct RunStats {
+  int passes = 0;
+  std::int64_t time_steps = 0;          ///< total stencil iterations applied
+  std::int64_t cells_streamed = 0;      ///< incl. halos, warm-up and drain
+  std::int64_t cells_written = 0;       ///< valid cells retired
+  std::int64_t vectors_processed = 0;   ///< == pipeline cycles, zero-stall
+  std::int64_t block_passes = 0;        ///< blocks streamed across all passes
+
+  /// Redundant work factor actually incurred (streamed / written).
+  [[nodiscard]] double redundancy() const {
+    return cells_written > 0 ? double(cells_streamed) / double(cells_written)
+                             : 0.0;
+  }
+};
+
+class StencilAccelerator {
+ public:
+  /// Generic construction: executes `taps` under `cfg`. If cfg.stage_lag
+  /// is 0 (auto) it is derived from the tap set's forward reach (equal to
+  /// the radius for star stencils, radius+1 rows for box corners).
+  StencilAccelerator(const TapSet& taps, const AcceleratorConfig& cfg);
+
+  /// Star-stencil convenience (the paper's benchmarks).
+  StencilAccelerator(const StarStencil& stencil, const AcceleratorConfig& cfg);
+
+  /// Advances `grid` by `iterations` time steps in place (2D configs only).
+  RunStats run(Grid2D<float>& grid, int iterations);
+
+  /// Advances `grid` by `iterations` time steps in place (3D configs only).
+  RunStats run(Grid3D<float>& grid, int iterations);
+
+  /// The configuration as actually executed (stage_lag resolved).
+  [[nodiscard]] const AcceleratorConfig& config() const { return cfg_; }
+  [[nodiscard]] const TapSet& taps() const { return taps_; }
+
+ private:
+  /// One pass of `steps <= partime` time steps over the whole grid.
+  void run_pass(const Grid2D<float>& in, Grid2D<float>& out, int steps,
+                RunStats& stats);
+  void run_pass(const Grid3D<float>& in, Grid3D<float>& out, int steps,
+                RunStats& stats);
+
+  TapSet taps_;
+  AcceleratorConfig cfg_;
+  std::vector<ProcessingElement> pes_;
+  // Ping-pong vector buffers reused across cycles.
+  std::vector<float> vec_a_, vec_b_;
+};
+
+}  // namespace fpga_stencil

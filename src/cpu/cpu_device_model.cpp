@@ -1,0 +1,45 @@
+#include "cpu/cpu_device_model.hpp"
+
+#include "common/expect.hpp"
+
+namespace fpga_stencil {
+
+double yask_sustained_bw_fraction(const DeviceSpec& device, int dims) {
+  FPGASTENCIL_EXPECT(dims == 2 || dims == 3, "dims must be 2 or 3");
+  const bool manycore = device.kind == DeviceKind::kManycore;
+  if (manycore) return dims == 2 ? 0.475 : 0.44;
+  FPGASTENCIL_EXPECT(device.kind == DeviceKind::kCpu,
+                     "YASK model covers CPU-class devices");
+  return dims == 2 ? 0.52 : 0.46;
+}
+
+double yask_power_watts(const DeviceSpec& device, int dims, int radius) {
+  FPGASTENCIL_EXPECT(radius >= 1, "radius must be >= 1");
+  (void)dims;
+  if (device.kind == DeviceKind::kManycore) {
+    // Xeon Phi 7210F: 222.8-226.8 W measured across all orders.
+    return 222.0 + 1.0 * radius;
+  }
+  // Xeon E5-2650 v4: 87-99 W, rising gently with arithmetic per cell.
+  return 84.0 + 3.0 * radius;
+}
+
+ComparisonRow yask_comparison_row(const DeviceSpec& device, int dims,
+                                  int radius) {
+  const StencilCharacteristics sc = stencil_characteristics(dims, radius);
+  const double frac = yask_sustained_bw_fraction(device, dims);
+
+  ComparisonRow row;
+  row.device = device.name;
+  row.radius = radius;
+  // Memory-bound: cell rate = sustained bytes/s over bytes per update.
+  row.gcells = device.peak_bw_gbps * frac / double(sc.bytes_per_cell);
+  row.gflops = row.gcells * double(sc.flop_per_cell);
+  row.power_watts = yask_power_watts(device, dims, radius);
+  row.power_efficiency = row.gflops / row.power_watts;
+  row.roofline_ratio = frac;
+  row.extrapolated = false;
+  return row;
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,105 @@
+#include "cpu/temporal_cpu.hpp"
+
+#include <algorithm>
+
+#include "common/stopwatch.hpp"
+
+namespace fpga_stencil {
+
+TemporalCpuResult temporal_blocked_run_2d(const TapSet& taps,
+                                          Grid2D<float>& grid, int iterations,
+                                          std::int64_t block_y, int t_block) {
+  FPGASTENCIL_EXPECT(taps.dims() == 2, "2D run needs a 2D tap set");
+  FPGASTENCIL_EXPECT(block_y >= 1 && t_block >= 1, "bad blocking parameters");
+  FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
+  const std::int64_t nx = grid.nx(), ny = grid.ny();
+  const int rad = taps.radius();
+  const YaskLikeStencil2D exec(taps);
+
+  TemporalCpuResult result;
+  Stopwatch sw;
+  Grid2D<float> next(nx, ny);
+  int remaining = iterations;
+  while (remaining > 0) {
+    const int steps = std::min(remaining, t_block);
+    const std::int64_t halo = std::int64_t(steps) * rad;
+    for (std::int64_t y0 = 0; y0 < ny; y0 += block_y) {
+      const std::int64_t rows = std::min(block_y, ny - y0);
+      // The local mini-grid is the block plus the overlap halo, *clipped*
+      // at the real grid borders: there, the mini-grid's own clamp IS the
+      // true boundary condition, while at interior seams the clamp
+      // produces garbage that grows `rad` rows per fused step -- strictly
+      // inside the halo.
+      const std::int64_t lo = std::max<std::int64_t>(0, y0 - halo);
+      const std::int64_t hi = std::min(ny, y0 + rows + halo);
+      const std::int64_t h = hi - lo;
+      Grid2D<float> local(nx, h);
+      std::copy_n(grid.data() + lo * nx, std::size_t(nx * h), local.data());
+      exec.run(local, steps, CpuBlockSize{nx, h, 1});
+      result.cells_computed += nx * h * steps;
+      std::copy_n(local.data() + (y0 - lo) * nx, std::size_t(nx * rows),
+                  next.data() + y0 * nx);
+    }
+    std::swap(grid, next);
+    remaining -= steps;
+  }
+
+  result.run.seconds = sw.seconds();
+  result.run.block = CpuBlockSize{nx, block_y, 1};
+  result.run.cell_updates = nx * ny * std::int64_t(iterations);
+  result.run.gcells =
+      result.run.seconds > 0
+          ? double(result.run.cell_updates) / result.run.seconds / 1e9
+          : 0.0;
+  result.run.gflops = result.run.gcells * double(taps.flops_per_cell());
+  return result;
+}
+
+TemporalCpuResult temporal_blocked_run_3d(const TapSet& taps,
+                                          Grid3D<float>& grid, int iterations,
+                                          std::int64_t block_z, int t_block) {
+  FPGASTENCIL_EXPECT(taps.dims() == 3, "3D run needs a 3D tap set");
+  FPGASTENCIL_EXPECT(block_z >= 1 && t_block >= 1, "bad blocking parameters");
+  FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
+  const std::int64_t nx = grid.nx(), ny = grid.ny(), nz = grid.nz();
+  const std::int64_t plane = nx * ny;
+  const int rad = taps.radius();
+  const YaskLikeStencil3D exec(taps);
+
+  TemporalCpuResult result;
+  Stopwatch sw;
+  Grid3D<float> next(nx, ny, nz);
+  int remaining = iterations;
+  while (remaining > 0) {
+    const int steps = std::min(remaining, t_block);
+    const std::int64_t halo = std::int64_t(steps) * rad;
+    for (std::int64_t z0 = 0; z0 < nz; z0 += block_z) {
+      const std::int64_t planes = std::min(block_z, nz - z0);
+      // Clipped at real grid borders, as in the 2D case.
+      const std::int64_t lo = std::max<std::int64_t>(0, z0 - halo);
+      const std::int64_t hi = std::min(nz, z0 + planes + halo);
+      const std::int64_t h = hi - lo;
+      Grid3D<float> local(nx, ny, h);
+      std::copy_n(grid.data() + lo * plane, std::size_t(plane * h),
+                  local.data());
+      exec.run(local, steps, CpuBlockSize{nx, 16, h});
+      result.cells_computed += plane * h * steps;
+      std::copy_n(local.data() + (z0 - lo) * plane,
+                  std::size_t(plane * planes), next.data() + z0 * plane);
+    }
+    std::swap(grid, next);
+    remaining -= steps;
+  }
+
+  result.run.seconds = sw.seconds();
+  result.run.block = CpuBlockSize{nx, ny, block_z};
+  result.run.cell_updates = plane * nz * std::int64_t(iterations);
+  result.run.gcells =
+      result.run.seconds > 0
+          ? double(result.run.cell_updates) / result.run.seconds / 1e9
+          : 0.0;
+  result.run.gflops = result.run.gcells * double(taps.flops_per_cell());
+  return result;
+}
+
+}  // namespace fpga_stencil

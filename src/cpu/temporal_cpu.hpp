@@ -1,0 +1,46 @@
+// Overlapped temporal cache blocking on the CPU.
+//
+// Section V.B of the paper: "YASK also supports temporal blocking; however,
+// we could not achieve a meaningful performance improvement over what could
+// already be achieved without temporal blocking, regardless of the
+// hardware" (it only pays on Xeon Phi in cache mode, per Yount & Duran
+// [22]). This module implements the FPGA scheme's CPU analogue --
+// overlapped blocks that fuse T time steps in cache, recomputing a
+// T*radius halo -- so the claim can be measured rather than asserted:
+// bench/ablation_cpu_temporal_blocking compares it against the plain
+// spatially-blocked executor on the build host.
+//
+// Results are bit-exact with the naive reference: each block is a clamped
+// mini-grid whose edge garbage grows radius cells per fused step, strictly
+// inside the recomputed halo (the same overlapped-blocking argument as on
+// the FPGA).
+#pragma once
+
+#include "cpu/yask_like.hpp"
+#include "stencil/tap_set.hpp"
+
+namespace fpga_stencil {
+
+struct TemporalCpuResult {
+  CpuRunResult run;            ///< timing of the temporally blocked run
+  std::int64_t cells_computed = 0;  ///< incl. recomputed halo cells
+  /// Redundant-computation factor: computed / useful updates.
+  [[nodiscard]] double redundancy() const {
+    return run.cell_updates > 0
+               ? double(cells_computed) / double(run.cell_updates)
+               : 0.0;
+  }
+};
+
+/// 2D: blocks of `block_y` rows (full rows in x), `t_block` fused time
+/// steps per pass with a t_block*radius overlap halo per side.
+TemporalCpuResult temporal_blocked_run_2d(const TapSet& taps,
+                                          Grid2D<float>& grid, int iterations,
+                                          std::int64_t block_y, int t_block);
+
+/// 3D: blocks of `block_z` planes (full xy planes), analogous halo in z.
+TemporalCpuResult temporal_blocked_run_3d(const TapSet& taps,
+                                          Grid3D<float>& grid, int iterations,
+                                          std::int64_t block_z, int t_block);
+
+}  // namespace fpga_stencil

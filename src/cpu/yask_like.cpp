@@ -1,0 +1,345 @@
+#include "cpu/yask_like.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/stopwatch.hpp"
+#include "stencil/characteristics.hpp"
+
+namespace fpga_stencil {
+
+// ------------------------------------------------------------ PaddedGrid2D
+
+PaddedGrid2D::PaddedGrid2D(std::int64_t nx, std::int64_t ny, int rad)
+    : nx_(nx),
+      ny_(ny),
+      rad_(rad),
+      pitch_(nx + 2 * rad),
+      origin_(std::int64_t(rad) * (nx + 2 * rad) + rad),
+      data_(static_cast<std::size_t>((nx + 2 * rad) * (ny + 2 * rad)), 0.0f) {
+  FPGASTENCIL_EXPECT(nx > 0 && ny > 0 && rad >= 1, "bad padded grid shape");
+}
+
+void PaddedGrid2D::refresh_halo() {
+  // Horizontal extension of every interior row, then vertical replication
+  // of whole padded rows: corners end up as the corner cell, which is the
+  // clamp boundary condition.
+  for (std::int64_t y = 0; y < ny_; ++y) {
+    float* row = data_.data() + index(0, y);
+    for (int i = 1; i <= rad_; ++i) {
+      row[-i] = row[0];
+      row[nx_ - 1 + i] = row[nx_ - 1];
+    }
+  }
+  const std::size_t row_bytes = static_cast<std::size_t>(pitch_);
+  for (int i = 1; i <= rad_; ++i) {
+    std::copy_n(data_.data() + index(-rad_, 0), row_bytes,
+                data_.data() + index(-rad_, -i));
+    std::copy_n(data_.data() + index(-rad_, ny_ - 1), row_bytes,
+                data_.data() + index(-rad_, ny_ - 1 + i));
+  }
+}
+
+void PaddedGrid2D::copy_from(const Grid2D<float>& g) {
+  FPGASTENCIL_EXPECT(g.nx() == nx_ && g.ny() == ny_, "shape mismatch");
+  for (std::int64_t y = 0; y < ny_; ++y) {
+    std::copy_n(g.data() + y * nx_, static_cast<std::size_t>(nx_),
+                data_.data() + index(0, y));
+  }
+}
+
+void PaddedGrid2D::copy_to(Grid2D<float>& g) const {
+  FPGASTENCIL_EXPECT(g.nx() == nx_ && g.ny() == ny_, "shape mismatch");
+  for (std::int64_t y = 0; y < ny_; ++y) {
+    std::copy_n(data_.data() + index(0, y), static_cast<std::size_t>(nx_),
+                g.data() + y * nx_);
+  }
+}
+
+// ------------------------------------------------------------ PaddedGrid3D
+
+PaddedGrid3D::PaddedGrid3D(std::int64_t nx, std::int64_t ny, std::int64_t nz,
+                           int rad)
+    : nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      rad_(rad),
+      pitch_x_(nx + 2 * rad),
+      pitch_y_(ny + 2 * rad),
+      origin_((std::int64_t(rad) * (ny + 2 * rad) + rad) * (nx + 2 * rad) +
+              rad),
+      data_(static_cast<std::size_t>((nx + 2 * rad) * (ny + 2 * rad) *
+                                     (nz + 2 * rad)),
+            0.0f) {
+  FPGASTENCIL_EXPECT(nx > 0 && ny > 0 && nz > 0 && rad >= 1,
+                     "bad padded grid shape");
+}
+
+void PaddedGrid3D::refresh_halo() {
+  // x extension, then y replication of padded rows, then z replication of
+  // padded planes -- edges and corners resolve to the clamp condition.
+  for (std::int64_t z = 0; z < nz_; ++z) {
+    for (std::int64_t y = 0; y < ny_; ++y) {
+      float* row = data_.data() + index(0, y, z);
+      for (int i = 1; i <= rad_; ++i) {
+        row[-i] = row[0];
+        row[nx_ - 1 + i] = row[nx_ - 1];
+      }
+    }
+    const std::size_t row_n = static_cast<std::size_t>(pitch_x_);
+    for (int i = 1; i <= rad_; ++i) {
+      std::copy_n(data_.data() + index(-rad_, 0, z), row_n,
+                  data_.data() + index(-rad_, -i, z));
+      std::copy_n(data_.data() + index(-rad_, ny_ - 1, z), row_n,
+                  data_.data() + index(-rad_, ny_ - 1 + i, z));
+    }
+  }
+  const std::size_t plane_n =
+      static_cast<std::size_t>(pitch_x_ * pitch_y_);
+  for (int i = 1; i <= rad_; ++i) {
+    std::copy_n(data_.data() + index(-rad_, -rad_, 0), plane_n,
+                data_.data() + index(-rad_, -rad_, -i));
+    std::copy_n(data_.data() + index(-rad_, -rad_, nz_ - 1), plane_n,
+                data_.data() + index(-rad_, -rad_, nz_ - 1 + i));
+  }
+}
+
+void PaddedGrid3D::copy_from(const Grid3D<float>& g) {
+  FPGASTENCIL_EXPECT(g.nx() == nx_ && g.ny() == ny_ && g.nz() == nz_,
+                     "shape mismatch");
+  for (std::int64_t z = 0; z < nz_; ++z) {
+    for (std::int64_t y = 0; y < ny_; ++y) {
+      std::copy_n(g.data() + (z * ny_ + y) * nx_,
+                  static_cast<std::size_t>(nx_), data_.data() + index(0, y, z));
+    }
+  }
+}
+
+void PaddedGrid3D::copy_to(Grid3D<float>& g) const {
+  FPGASTENCIL_EXPECT(g.nx() == nx_ && g.ny() == ny_ && g.nz() == nz_,
+                     "shape mismatch");
+  for (std::int64_t z = 0; z < nz_; ++z) {
+    for (std::int64_t y = 0; y < ny_; ++y) {
+      std::copy_n(data_.data() + index(0, y, z),
+                  static_cast<std::size_t>(nx_),
+                  g.data() + (z * ny_ + y) * nx_);
+    }
+  }
+}
+
+// -------------------------------------------------------------- 2D kernel
+
+namespace {
+
+/// Packed coefficients/offsets in the TapSet's accumulation order so the
+/// result is bit-exact with the naive reference. The first tap is applied
+/// with `=`, the rest with `+=`.
+struct PackedTaps {
+  std::vector<float> coeffs;
+  std::vector<std::int64_t> offsets;
+};
+
+PackedTaps pack_taps_2d(const TapSet& taps, std::int64_t pitch) {
+  PackedTaps t;
+  for (const Tap& tap : taps.taps()) {
+    t.coeffs.push_back(tap.coeff);
+    t.offsets.push_back(tap.dx + tap.dy * pitch);
+  }
+  return t;
+}
+
+PackedTaps pack_taps_3d(const TapSet& taps, std::int64_t pitch_x,
+                        std::int64_t pitch_y) {
+  PackedTaps t;
+  for (const Tap& tap : taps.taps()) {
+    t.coeffs.push_back(tap.coeff);
+    t.offsets.push_back(tap.dx + (tap.dy + tap.dz * pitch_y) * pitch_x);
+  }
+  return t;
+}
+
+}  // namespace
+
+YaskLikeStencil2D::YaskLikeStencil2D(const StarStencil& stencil)
+    : YaskLikeStencil2D(stencil.to_taps()) {}
+
+YaskLikeStencil2D::YaskLikeStencil2D(const TapSet& taps) : taps_(taps) {
+  FPGASTENCIL_EXPECT(taps.dims() == 2, "2D executor needs a 2D tap set");
+}
+
+void YaskLikeStencil2D::step(const PaddedGrid2D& in, PaddedGrid2D& out,
+                             const CpuBlockSize& block) const {
+  FPGASTENCIL_EXPECT(in.nx() == out.nx() && in.ny() == out.ny(),
+                     "shape mismatch");
+  FPGASTENCIL_EXPECT(in.radius() >= taps_.radius(),
+                     "halo smaller than the stencil radius");
+  const std::int64_t nx = in.nx(), ny = in.ny(), pitch = in.pitch();
+  const std::int64_t by = std::max<std::int64_t>(1, block.by);
+  const std::int64_t bx = block.bx > 0 ? block.bx : nx;
+  const PackedTaps taps = pack_taps_2d(taps_, pitch);
+  const float* src = in.interior();
+  float* dst = out.interior();
+  const int ntaps = static_cast<int>(taps.coeffs.size());
+  const float* cf = taps.coeffs.data();
+  const std::int64_t* off = taps.offsets.data();
+
+  const std::int64_t nby = (ny + by - 1) / by;
+  const std::int64_t nbx = (nx + bx - 1) / bx;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t jb = 0; jb < nby; ++jb) {
+    for (std::int64_t ib = 0; ib < nbx; ++ib) {
+      const std::int64_t y0 = jb * by, y1 = std::min(ny, y0 + by);
+      const std::int64_t x0 = ib * bx, x1 = std::min(nx, x0 + bx);
+      for (std::int64_t y = y0; y < y1; ++y) {
+        const float* row = src + y * pitch;
+        float* orow = dst + y * pitch;
+#pragma omp simd
+        for (std::int64_t x = x0; x < x1; ++x) {
+          float acc = cf[0] * row[x + off[0]];
+          for (int t = 1; t < ntaps; ++t) acc += cf[t] * row[x + off[t]];
+          orow[x] = acc;
+        }
+      }
+    }
+  }
+}
+
+CpuRunResult YaskLikeStencil2D::run(Grid2D<float>& grid, int iterations,
+                                    const CpuBlockSize& block) const {
+  PaddedGrid2D a(grid.nx(), grid.ny(), taps_.radius());
+  PaddedGrid2D b(grid.nx(), grid.ny(), taps_.radius());
+  a.copy_from(grid);
+
+  Stopwatch sw;
+  for (int t = 0; t < iterations; ++t) {
+    a.refresh_halo();
+    step(a, b, block);
+    std::swap(a, b);
+  }
+  CpuRunResult r;
+  r.seconds = sw.seconds();
+  r.block = block;
+  r.cell_updates = grid.nx() * grid.ny() * std::int64_t(iterations);
+  r.gcells = r.seconds > 0 ? double(r.cell_updates) / r.seconds / 1e9 : 0.0;
+  r.gflops = r.gcells * double(taps_.flops_per_cell());
+  a.copy_to(grid);
+  return r;
+}
+
+CpuBlockSize YaskLikeStencil2D::auto_tune(std::int64_t nx,
+                                          std::int64_t ny) const {
+  Grid2D<float> probe(nx, ny);
+  probe.fill_random(99);
+  CpuBlockSize best;
+  double best_time = std::numeric_limits<double>::max();
+  for (std::int64_t by : {8, 16, 32, 64, 128}) {
+    if (by > ny) break;
+    Grid2D<float> work = probe;
+    const CpuBlockSize cand{nx, by, 1};
+    const CpuRunResult r = run(work, 2, cand);
+    if (r.seconds < best_time) {
+      best_time = r.seconds;
+      best = cand;
+    }
+  }
+  if (best.bx == 0) best = CpuBlockSize{nx, ny, 1};
+  return best;
+}
+
+// -------------------------------------------------------------- 3D kernel
+
+YaskLikeStencil3D::YaskLikeStencil3D(const StarStencil& stencil)
+    : YaskLikeStencil3D(stencil.to_taps()) {}
+
+YaskLikeStencil3D::YaskLikeStencil3D(const TapSet& taps) : taps_(taps) {
+  FPGASTENCIL_EXPECT(taps.dims() == 3, "3D executor needs a 3D tap set");
+}
+
+void YaskLikeStencil3D::step(const PaddedGrid3D& in, PaddedGrid3D& out,
+                             const CpuBlockSize& block) const {
+  FPGASTENCIL_EXPECT(in.nx() == out.nx() && in.ny() == out.ny() &&
+                         in.nz() == out.nz(),
+                     "shape mismatch");
+  FPGASTENCIL_EXPECT(in.radius() >= taps_.radius(),
+                     "halo smaller than the stencil radius");
+  const std::int64_t nx = in.nx(), ny = in.ny(), nz = in.nz();
+  const std::int64_t px = in.pitch_x(), py = in.pitch_y();
+  const std::int64_t by = std::max<std::int64_t>(1, block.by);
+  const std::int64_t bz = std::max<std::int64_t>(1, block.bz);
+  const PackedTaps taps = pack_taps_3d(taps_, px, py);
+  const float* src = in.interior();
+  float* dst = out.interior();
+  const int ntaps = static_cast<int>(taps.coeffs.size());
+  const float* cf = taps.coeffs.data();
+  const std::int64_t* off = taps.offsets.data();
+
+  const std::int64_t nbz = (nz + bz - 1) / bz;
+  const std::int64_t nby = (ny + by - 1) / by;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t kb = 0; kb < nbz; ++kb) {
+    for (std::int64_t jb = 0; jb < nby; ++jb) {
+      const std::int64_t z0 = kb * bz, z1 = std::min(nz, z0 + bz);
+      const std::int64_t y0 = jb * by, y1 = std::min(ny, y0 + by);
+      for (std::int64_t z = z0; z < z1; ++z) {
+        for (std::int64_t y = y0; y < y1; ++y) {
+          const float* row = src + (z * py + y) * px;
+          float* orow = dst + (z * py + y) * px;
+#pragma omp simd
+          for (std::int64_t x = 0; x < nx; ++x) {
+            float acc = cf[0] * row[x + off[0]];
+            for (int t = 1; t < ntaps; ++t) acc += cf[t] * row[x + off[t]];
+            orow[x] = acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+CpuRunResult YaskLikeStencil3D::run(Grid3D<float>& grid, int iterations,
+                                    const CpuBlockSize& block) const {
+  PaddedGrid3D a(grid.nx(), grid.ny(), grid.nz(), taps_.radius());
+  PaddedGrid3D b(grid.nx(), grid.ny(), grid.nz(), taps_.radius());
+  a.copy_from(grid);
+
+  Stopwatch sw;
+  for (int t = 0; t < iterations; ++t) {
+    a.refresh_halo();
+    step(a, b, block);
+    std::swap(a, b);
+  }
+  CpuRunResult r;
+  r.seconds = sw.seconds();
+  r.block = block;
+  r.cell_updates =
+      grid.nx() * grid.ny() * grid.nz() * std::int64_t(iterations);
+  r.gcells = r.seconds > 0 ? double(r.cell_updates) / r.seconds / 1e9 : 0.0;
+  r.gflops = r.gcells * double(taps_.flops_per_cell());
+  a.copy_to(grid);
+  return r;
+}
+
+CpuBlockSize YaskLikeStencil3D::auto_tune(std::int64_t nx, std::int64_t ny,
+                                          std::int64_t nz) const {
+  Grid3D<float> probe(nx, ny, nz);
+  probe.fill_random(99);
+  CpuBlockSize best;
+  double best_time = std::numeric_limits<double>::max();
+  for (std::int64_t bz : {4, 8, 16}) {
+    for (std::int64_t by : {8, 16, 32}) {
+      if (by > ny || bz > nz) continue;
+      Grid3D<float> work = probe;
+      const CpuBlockSize cand{nx, by, bz};
+      const CpuRunResult r = run(work, 2, cand);
+      if (r.seconds < best_time) {
+        best_time = r.seconds;
+        best = cand;
+      }
+    }
+  }
+  if (best.bx == 0) best = CpuBlockSize{nx, ny, nz};
+  return best;
+}
+
+}  // namespace fpga_stencil

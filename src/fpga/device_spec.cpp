@@ -1,0 +1,133 @@
+#include "fpga/device_spec.hpp"
+
+namespace fpga_stencil {
+
+DeviceSpec arria10_gx1150() {
+  DeviceSpec d;
+  d.name = "Arria 10 GX 1150";
+  d.kind = DeviceKind::kFpga;
+  d.peak_gflops = 1450.0;
+  d.peak_bw_gbps = 34.1;  // 2 banks of DDR4-2133
+  d.tdp_watts = 70.0;
+  d.process_nm = 20;
+  d.year = 2014;
+  d.dsps = 1518;
+  d.m20k_blocks = 2713;
+  d.alms = 427200;
+  d.mem_controller_mhz = 266.0;
+  d.ddr_banks = 2;
+  return d;
+}
+
+DeviceSpec stratix_v_gxa7() {
+  DeviceSpec d;
+  d.name = "Stratix V GX A7";
+  d.kind = DeviceKind::kFpga;
+  d.peak_gflops = 200.0;  // DSPs are 27x27 multipliers; FP adds use logic
+  d.peak_bw_gbps = 25.6;  // 2 banks of DDR3-1600
+  d.tdp_watts = 40.0;
+  d.process_nm = 28;
+  d.year = 2011;
+  d.dsps = 256;
+  d.m20k_blocks = 2560;
+  d.alms = 234720;
+  d.mem_controller_mhz = 200.0;
+  d.ddr_banks = 2;
+  return d;
+}
+
+DeviceSpec stratix10_gx2800() {
+  DeviceSpec d;
+  d.name = "Stratix 10 GX 2800";
+  d.kind = DeviceKind::kFpga;
+  d.peak_gflops = 9200.0;
+  d.peak_bw_gbps = 76.8;  // 4 banks of DDR4-2400 (conclusion's scenario)
+  d.tdp_watts = 225.0;
+  d.process_nm = 14;
+  d.year = 2017;
+  d.dsps = 5760;
+  d.m20k_blocks = 11721;
+  d.alms = 933120;
+  d.mem_controller_mhz = 300.0;
+  d.ddr_banks = 4;
+  return d;
+}
+
+DeviceSpec stratix10_mx2100() {
+  DeviceSpec d;
+  d.name = "Stratix 10 MX 2100";
+  d.kind = DeviceKind::kFpga;
+  d.peak_gflops = 6660.0;
+  d.peak_bw_gbps = 512.0;  // HBM2
+  d.tdp_watts = 225.0;
+  d.process_nm = 14;
+  d.year = 2018;
+  d.dsps = 3960;
+  d.m20k_blocks = 6847;
+  d.alms = 702720;
+  d.mem_controller_mhz = 300.0;
+  d.ddr_banks = 32;  // HBM pseudo-channels
+  return d;
+}
+
+DeviceSpec xeon_e5_2650v4() {
+  DeviceSpec d;
+  d.name = "Xeon E5-2650 v4";
+  d.kind = DeviceKind::kCpu;
+  d.peak_gflops = 700.0;
+  d.peak_bw_gbps = 76.8;  // quad-channel DDR4-2400
+  d.tdp_watts = 105.0;
+  d.process_nm = 14;
+  d.year = 2016;
+  return d;
+}
+
+DeviceSpec xeon_phi_7210f() {
+  DeviceSpec d;
+  d.name = "Xeon Phi 7210F";
+  d.kind = DeviceKind::kManycore;
+  d.peak_gflops = 5325.0;
+  d.peak_bw_gbps = 400.0;  // MCDRAM in flat mode
+  d.tdp_watts = 235.0;
+  d.process_nm = 14;
+  d.year = 2016;
+  return d;
+}
+
+DeviceSpec gtx_580() {
+  DeviceSpec d;
+  d.name = "GTX 580";
+  d.kind = DeviceKind::kGpu;
+  d.peak_gflops = 1580.0;
+  d.peak_bw_gbps = 192.4;
+  d.tdp_watts = 244.0;
+  d.process_nm = 40;
+  d.year = 2010;
+  return d;
+}
+
+DeviceSpec gtx_980ti() {
+  DeviceSpec d;
+  d.name = "GTX 980 Ti";
+  d.kind = DeviceKind::kGpu;
+  d.peak_gflops = 6900.0;
+  d.peak_bw_gbps = 336.6;
+  d.tdp_watts = 275.0;
+  d.process_nm = 28;
+  d.year = 2015;
+  return d;
+}
+
+DeviceSpec tesla_p100() {
+  DeviceSpec d;
+  d.name = "Tesla P100";
+  d.kind = DeviceKind::kGpu;
+  d.peak_gflops = 9300.0;
+  d.peak_bw_gbps = 720.9;
+  d.tdp_watts = 250.0;
+  d.process_nm = 16;
+  d.year = 2016;
+  return d;
+}
+
+}  // namespace fpga_stencil

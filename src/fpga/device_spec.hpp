@@ -1,0 +1,62 @@
+// Hardware catalog for every device in the paper's Table II, plus the two
+// extra FPGAs discussed in the text (Stratix V for the fmax cross-check,
+// Stratix 10 for the conclusion's bandwidth argument).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fpga_stencil {
+
+enum class DeviceKind : std::uint8_t { kFpga, kCpu, kManycore, kGpu };
+
+/// Static device characteristics (paper Table II) plus FPGA resource counts
+/// used by the fitting / tuning machinery.
+struct DeviceSpec {
+  std::string name;
+  DeviceKind kind = DeviceKind::kFpga;
+  double peak_gflops = 0.0;   ///< single-precision peak
+  double peak_bw_gbps = 0.0;  ///< theoretical external memory bandwidth
+  double tdp_watts = 0.0;
+  int process_nm = 0;
+  int year = 0;
+
+  // --- FPGA-only resources (zero for non-FPGA devices) ---
+  int dsps = 0;          ///< DSP blocks; on Arria 10 one DSP = one SP FMA
+  int m20k_blocks = 0;   ///< 20 Kb Block RAMs
+  std::int64_t alms = 0; ///< adaptive logic modules
+  double mem_controller_mhz = 0.0;  ///< external memory controller clock
+  int ddr_banks = 0;
+
+  /// Table II's FLOP/Byte column: compute-to-bandwidth ratio.
+  [[nodiscard]] double flop_per_byte() const {
+    return peak_bw_gbps > 0 ? peak_gflops / peak_bw_gbps : 0.0;
+  }
+
+  [[nodiscard]] std::int64_t m20k_bits_total() const {
+    return static_cast<std::int64_t>(m20k_blocks) * 20480;
+  }
+
+  [[nodiscard]] bool is_fpga() const { return kind == DeviceKind::kFpga; }
+};
+
+/// The paper's evaluation platform: Nallatech 385A with Arria 10 GX 1150
+/// and two banks of DDR4-2133.
+DeviceSpec arria10_gx1150();
+
+/// The authors' previous-generation platform, used in the paper only for
+/// the "fmax is radius-independent at small parameters" cross-check.
+DeviceSpec stratix_v_gxa7();
+
+/// Next-generation devices from the conclusion's discussion.
+DeviceSpec stratix10_gx2800();
+DeviceSpec stratix10_mx2100();
+
+// Table II comparison devices.
+DeviceSpec xeon_e5_2650v4();
+DeviceSpec xeon_phi_7210f();
+DeviceSpec gtx_580();
+DeviceSpec gtx_980ti();
+DeviceSpec tesla_p100();
+
+}  // namespace fpga_stencil

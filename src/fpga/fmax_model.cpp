@@ -1,0 +1,39 @@
+#include "fpga/fmax_model.hpp"
+
+#include <algorithm>
+
+#include "fpga/resource_model.hpp"
+
+namespace fpga_stencil {
+namespace fmax_detail {
+
+double device_speed_scale(const DeviceSpec& device) {
+  if (device.name.find("Arria 10") != std::string::npos) return 1.0;
+  if (device.name.find("Stratix V") != std::string::npos) return 0.78;
+  if (device.name.find("Stratix 10") != std::string::npos) return 1.35;
+  return 0.9;
+}
+
+}  // namespace fmax_detail
+
+double estimate_fmax_mhz(const AcceleratorConfig& cfg,
+                         const DeviceSpec& device) {
+  FPGASTENCIL_EXPECT(device.is_fpga(), "fmax model needs an FPGA");
+  const ResourceUsage u = estimate_resources(cfg, device);
+
+  // Radius-dependent critical paths only appear once the device fills up
+  // (paper: Stratix V at small parameters shows no radius penalty).
+  const double util = std::max(u.dsp_fraction, u.bram_block_fraction);
+  const double pressure = std::clamp((util - 0.3) / 0.3, 0.0, 1.0);
+
+  const bool is2d = cfg.dims == 2;
+  const double base = is2d ? 343.8 : 286.6;
+  const double slope = is2d ? 21.3 : 15.0;
+  const double floor = is2d ? 301.0 : 200.0;
+
+  const double f =
+      std::max(base - slope * (cfg.radius - 1) * pressure, floor);
+  return f * fmax_detail::device_speed_scale(device);
+}
+
+}  // namespace fpga_stencil

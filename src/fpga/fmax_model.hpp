@@ -1,0 +1,33 @@
+// Operating-frequency model.
+//
+// The OpenCL flow picks the highest PLL frequency that closes timing, so
+// fmax is an emergent property of place-and-route. The paper observes
+// (Section VI.A):
+//   * fmax falls as the radius grows -- but only at large parvec/partime on
+//     the heavily-utilized Arria 10; on a Stratix V with small parameters
+//     the same fmax is reached regardless of radius,
+//   * 2D designs close timing near 300-344 MHz, 3D designs near 243-287,
+//   * for high-order 3D stencils fmax falls below the 266 MHz memory
+//     controller clock, derating peak memory bandwidth.
+//
+// We model this with a per-dimensionality base and radius slope, gated by
+// resource pressure (so lightly-utilized designs show no radius penalty),
+// with a floor. Constants are calibrated against Table III; deviations are
+// recorded in EXPERIMENTS.md.
+#pragma once
+
+#include "stencil/accel_config.hpp"
+#include "fpga/device_spec.hpp"
+
+namespace fpga_stencil {
+
+/// Estimated kernel fmax in MHz for `cfg` synthesized on `device`.
+double estimate_fmax_mhz(const AcceleratorConfig& cfg,
+                         const DeviceSpec& device);
+
+namespace fmax_detail {
+/// Device speed relative to the Arria 10 calibration point.
+double device_speed_scale(const DeviceSpec& device);
+}  // namespace fmax_detail
+
+}  // namespace fpga_stencil

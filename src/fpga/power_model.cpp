@@ -1,0 +1,25 @@
+#include "fpga/power_model.hpp"
+
+#include <algorithm>
+
+#include "fpga/resource_model.hpp"
+
+namespace fpga_stencil {
+
+double estimate_power_watts(const AcceleratorConfig& cfg,
+                            const DeviceSpec& device, double fmax_mhz) {
+  FPGASTENCIL_EXPECT(device.is_fpga(), "power model needs an FPGA");
+  FPGASTENCIL_EXPECT(fmax_mhz > 0, "fmax must be positive");
+  const ResourceUsage u = estimate_resources(cfg, device);
+
+  // Affine fit against Table III (see header). The idle floor keeps the
+  // model sane for tiny designs; the TDP cap keeps it sane for huge ones.
+  constexpr double kBase = -14.0;
+  constexpr double kPerMhz = 0.2;
+  constexpr double kPerBramFraction = 30.0;
+  const double p =
+      kBase + kPerMhz * fmax_mhz + kPerBramFraction * u.bram_bits_fraction;
+  return std::clamp(p, 25.0, device.tdp_watts * 1.2);
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,21 @@
+// Board power model.
+//
+// The paper reads the Nallatech 385A's on-board power sensor; we model the
+// reading as an affine function of clock frequency and Block-RAM activity,
+// the two factors the paper identifies as dominant (Section VI.A: "The main
+// factor contributing to this difference is the difference in fmax. The
+// next contributing factor to power usage is area utilization", with the
+// 3rd-order 3D stencil drawing more than the 2nd-order one due to higher
+// Block RAM usage despite lower fmax). Calibrated against Table III.
+#pragma once
+
+#include "stencil/accel_config.hpp"
+#include "fpga/device_spec.hpp"
+
+namespace fpga_stencil {
+
+/// Estimated board power in watts while running `cfg` at `fmax_mhz`.
+double estimate_power_watts(const AcceleratorConfig& cfg,
+                            const DeviceSpec& device, double fmax_mhz);
+
+}  // namespace fpga_stencil

@@ -1,0 +1,117 @@
+#include "fpga/resource_model.hpp"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "stencil/characteristics.hpp"
+
+namespace fpga_stencil {
+namespace resource_detail {
+
+// Calibration tables: factors fitted to the eight configurations of the
+// paper's Table III (2D/3D, radius 1..4). Radii beyond 4 extrapolate from
+// the radius-4 value; the paper's Section VI.A projection for 5th/6th-order
+// 3D stencils (partime limited to 2) emerges from these factors.
+
+double bram_bits_replication(int dims, int radius) {
+  if (dims == 2) return radius == 1 ? 2.24 : 1.89;
+  static constexpr std::array<double, 4> k3d = {1.04, 1.61, 1.79, 1.88};
+  if (radius <= 4) return k3d[static_cast<std::size_t>(radius - 1)];
+  return std::min(2.0, 1.88 + 0.02 * (radius - 4));
+}
+
+double bram_block_replication(int dims, int radius, int parvec) {
+  if (dims == 2) {
+    // Scales with the number of parallel read lanes; fitted slope 0.59.
+    return std::max(1.0, 0.59 * parvec);
+  }
+  static constexpr std::array<double, 4> k3d = {1.10, 1.92, 2.18, 2.20};
+  const double base =
+      radius <= 4 ? k3d[static_cast<std::size_t>(radius - 1)] : 2.25;
+  return std::max(1.0, base * (parvec / 16.0));
+}
+
+}  // namespace resource_detail
+
+std::int64_t dsps_per_cell_update(int dims, int radius,
+                                  bool shared_coefficients) {
+  const StencilCharacteristics c = stencil_characteristics(dims, radius);
+  return shared_coefficients ? c.dsp_per_cell_shared : c.dsp_per_cell;
+}
+
+std::int64_t dsp_usage(const AcceleratorConfig& cfg, bool shared_coefficients) {
+  return dsps_per_cell_update(cfg.dims, cfg.radius, shared_coefficients) *
+         cfg.updates_per_cycle();
+}
+
+std::int64_t max_total_parallelism(const DeviceSpec& device, int dims,
+                                   int radius) {
+  FPGASTENCIL_EXPECT(device.is_fpga(), "device has no DSP budget");
+  return device.dsps / dsps_per_cell_update(dims, radius);
+}
+
+ResourceUsage estimate_resources(const AcceleratorConfig& cfg,
+                                 const DeviceSpec& device,
+                                 bool shared_coefficients) {
+  FPGASTENCIL_EXPECT(device.is_fpga(), "resource estimate needs an FPGA");
+  cfg.validate();
+
+  ResourceUsage u;
+  u.dsps = dsp_usage(cfg, shared_coefficients);
+
+  // Shift-register storage: eq. (7) cells * 32 bits, one register per PE.
+  constexpr std::int64_t kM20kBits = 20480;
+  const std::int64_t raw_bits_per_pe = cfg.shift_register_cells() * 32;
+  const double bits_repl =
+      resource_detail::bram_bits_replication(cfg.dims, cfg.radius);
+  const double block_repl = resource_detail::bram_block_replication(
+      cfg.dims, cfg.radius, cfg.parvec);
+
+  u.bram_bits = static_cast<std::int64_t>(
+      std::llround(double(raw_bits_per_pe) * cfg.partime * bits_repl));
+  const std::int64_t raw_blocks_per_pe = ceil_div(raw_bits_per_pe, kM20kBits);
+  u.bram_blocks = static_cast<std::int64_t>(
+      std::llround(double(raw_blocks_per_pe * cfg.partime) * block_repl));
+
+  // Logic: affine in the FLOPs instantiated per cycle. Calibrated on the
+  // Arria 10 GX 1150 (427,200 ALMs): fraction = 0.12 + 1.6e-4 * flops,
+  // i.e. ~51k ALMs of base infrastructure (BSP, read/write kernels) plus
+  // ~68 ALMs per parallel FLOP; expressed absolutely so larger devices get
+  // proportionally more headroom.
+  const StencilCharacteristics sc =
+      stencil_characteristics(cfg.dims, cfg.radius);
+  const double flops_per_cycle =
+      double(sc.flop_per_cell) * double(cfg.updates_per_cycle());
+  const double alms_used = 51264.0 + 68.352 * flops_per_cycle;
+  u.logic_fraction = alms_used / double(device.alms);
+
+  u.dsp_fraction = double(u.dsps) / device.dsps;
+  u.bram_bits_fraction =
+      double(u.bram_bits) / double(device.m20k_bits_total());
+  u.bram_block_fraction = double(u.bram_blocks) / device.m20k_blocks;
+  return u;
+}
+
+void check_fit(const AcceleratorConfig& cfg, const DeviceSpec& device) {
+  const ResourceUsage u = estimate_resources(cfg, device);
+  if (u.fits()) return;
+  std::ostringstream os;
+  os << "configuration [" << cfg.describe() << "] does not fit on "
+     << device.name << ":";
+  if (u.dsp_fraction > 1.0) {
+    os << " DSPs " << u.dsps << "/" << device.dsps;
+  }
+  if (u.bram_block_fraction > 1.0) {
+    os << " M20K blocks " << u.bram_blocks << "/" << device.m20k_blocks;
+  }
+  if (u.bram_bits_fraction > 1.0) {
+    os << " M20K bits " << u.bram_bits << "/" << device.m20k_bits_total();
+  }
+  if (u.logic_fraction > 1.0) {
+    os << " logic " << static_cast<int>(u.logic_fraction * 100) << "%";
+  }
+  throw ResourceError(os.str());
+}
+
+}  // namespace fpga_stencil

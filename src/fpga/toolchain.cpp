@@ -1,0 +1,41 @@
+#include "fpga/toolchain.hpp"
+
+#include <cmath>
+
+#include "fpga/fmax_model.hpp"
+
+namespace fpga_stencil {
+
+ToolchainRegression toolchain_regression(ToolchainVersion version) {
+  switch (version) {
+    case ToolchainVersion::kQuartus16_1:
+      return {1.0, 1.0};
+    case ToolchainVersion::kQuartus17:
+      // Mid-points of the paper's observed ranges: 20-30% lower
+      // performance, 5-10% more Block RAMs.
+      return {0.75, 1.075};
+  }
+  FPGASTENCIL_ASSERT(false, "unknown toolchain version");
+}
+
+ResourceUsage estimate_resources_with_toolchain(const AcceleratorConfig& cfg,
+                                                const DeviceSpec& device,
+                                                ToolchainVersion version) {
+  ResourceUsage u = estimate_resources(cfg, device);
+  const ToolchainRegression r = toolchain_regression(version);
+  u.bram_bits = std::llround(double(u.bram_bits) * r.bram_scale);
+  u.bram_blocks = std::llround(double(u.bram_blocks) * r.bram_scale);
+  u.bram_bits_fraction =
+      double(u.bram_bits) / double(device.m20k_bits_total());
+  u.bram_block_fraction = double(u.bram_blocks) / device.m20k_blocks;
+  return u;
+}
+
+double estimate_fmax_with_toolchain(const AcceleratorConfig& cfg,
+                                    const DeviceSpec& device,
+                                    ToolchainVersion version) {
+  return estimate_fmax_mhz(cfg, device) *
+         toolchain_regression(version).fmax_scale;
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,38 @@
+// Toolchain-version effects.
+//
+// Section IV.B of the paper: "We avoided newer versions of Quartus (v17.0
+// and v17.1) since they reliably resulted in lower performance (20-30%
+// lower) and higher area utilization (5-10% more Block RAMs) for the same
+// kernel." This module models that regression so what-if studies can ask
+// "what would Table III look like if we had to use v17".
+#pragma once
+
+#include "fpga/device_spec.hpp"
+#include "fpga/resource_model.hpp"
+
+namespace fpga_stencil {
+
+enum class ToolchainVersion : std::uint8_t {
+  kQuartus16_1,  ///< the paper's toolchain (baseline)
+  kQuartus17,    ///< the regressed versions the paper avoided
+};
+
+/// Multipliers relative to the v16.1 baseline.
+struct ToolchainRegression {
+  double fmax_scale = 1.0;        ///< achieved-performance proxy
+  double bram_scale = 1.0;        ///< Block-RAM bits and blocks
+};
+
+ToolchainRegression toolchain_regression(ToolchainVersion version);
+
+/// Resource usage of `cfg` on `device` as version `version` would report.
+ResourceUsage estimate_resources_with_toolchain(const AcceleratorConfig& cfg,
+                                                const DeviceSpec& device,
+                                                ToolchainVersion version);
+
+/// Achievable fmax under the toolchain regression.
+double estimate_fmax_with_toolchain(const AcceleratorConfig& cfg,
+                                    const DeviceSpec& device,
+                                    ToolchainVersion version);
+
+}  // namespace fpga_stencil

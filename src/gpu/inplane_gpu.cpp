@@ -1,0 +1,55 @@
+#include "gpu/inplane_gpu.hpp"
+
+#include <array>
+
+#include "common/expect.hpp"
+#include "stencil/characteristics.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+/// GTX 580 in-plane results from [10] as quoted in the paper's Table V.
+constexpr std::array<double, 4> kGtx580Gcells = {17.294, 14.349, 10.944,
+                                                 9.254};
+
+constexpr double kPowerFractionOfTdp = 0.75;
+
+ComparisonRow make_row(const DeviceSpec& device, int radius, double gcells,
+                       bool extrapolated) {
+  const StencilCharacteristics sc = stencil_characteristics(3, radius);
+  ComparisonRow row;
+  row.device = device.name;
+  row.radius = radius;
+  row.gcells = gcells;
+  row.gflops = gcells * double(sc.flop_per_cell);
+  row.power_watts = kPowerFractionOfTdp * device.tdp_watts;
+  row.power_efficiency = row.gflops / row.power_watts;
+  row.roofline_ratio =
+      gcells * double(sc.bytes_per_cell) / device.peak_bw_gbps;
+  row.extrapolated = extrapolated;
+  return row;
+}
+
+}  // namespace
+
+double gtx580_inplane_gcells(int radius) {
+  FPGASTENCIL_EXPECT(radius >= 1 && radius <= 4,
+                     "in-plane dataset covers radius 1..4");
+  return kGtx580Gcells[static_cast<std::size_t>(radius - 1)];
+}
+
+ComparisonRow gpu_measured_row(int radius) {
+  return make_row(gtx_580(), radius, gtx580_inplane_gcells(radius),
+                  /*extrapolated=*/false);
+}
+
+ComparisonRow gpu_extrapolated_row(const DeviceSpec& device, int radius) {
+  FPGASTENCIL_EXPECT(device.kind == DeviceKind::kGpu,
+                     "extrapolation targets GPUs");
+  const DeviceSpec base = gtx_580();
+  const double scale = device.peak_bw_gbps / base.peak_bw_gbps;
+  return make_row(device, radius, gtx580_inplane_gcells(radius) * scale,
+                  /*extrapolated=*/true);
+}
+
+}  // namespace fpga_stencil

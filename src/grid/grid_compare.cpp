@@ -1,0 +1,138 @@
+#include "grid/grid_compare.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace fpga_stencil {
+namespace {
+
+/// Distance in representable floats between a and b (same-sign finite
+/// values); returns UINT32_MAX for NaN or opposite-sign comparisons that are
+/// not exactly equal.
+std::uint32_t ulp_distance(float a, float b) {
+  if (a == b) return 0;  // covers +0 vs -0
+  if (std::isnan(a) || std::isnan(b)) return UINT32_MAX;
+  const auto ia = std::bit_cast<std::int32_t>(a);
+  const auto ib = std::bit_cast<std::int32_t>(b);
+  if ((ia < 0) != (ib < 0)) return UINT32_MAX;
+  const std::int64_t d = std::int64_t(ia) - std::int64_t(ib);
+  const std::int64_t mag = d < 0 ? -d : d;
+  return mag > UINT32_MAX ? UINT32_MAX : static_cast<std::uint32_t>(mag);
+}
+
+struct Recorder {
+  CompareResult result;
+
+  /// Records one cell comparison; `bad` is the caller's tolerance verdict.
+  void record(float va, float vb, bool bad, std::int64_t x, std::int64_t y,
+              std::int64_t z) {
+    const double abs_err = std::abs(double(va) - double(vb));
+    const double denom = std::max(std::abs(double(va)), std::abs(double(vb)));
+    const double rel_err = denom > 0 ? abs_err / denom : 0.0;
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, rel_err);
+    if (bad) {
+      if (result.mismatches == 0) {
+        result.first_bad_x = x;
+        result.first_bad_y = y;
+        result.first_bad_z = z;
+      }
+      ++result.mismatches;
+    }
+  }
+};
+
+template <typename BadFn>
+CompareResult compare2(const Grid2D<float>& a, const Grid2D<float>& b,
+                       BadFn bad) {
+  FPGASTENCIL_EXPECT(a.nx() == b.nx() && a.ny() == b.ny(),
+                     "grid shapes differ");
+  Recorder rec;
+  for (std::int64_t y = 0; y < a.ny(); ++y) {
+    for (std::int64_t x = 0; x < a.nx(); ++x) {
+      const float va = a.at(x, y);
+      const float vb = b.at(x, y);
+      rec.record(va, vb, bad(va, vb), x, y, -1);
+    }
+  }
+  return rec.result;
+}
+
+template <typename BadFn>
+CompareResult compare3(const Grid3D<float>& a, const Grid3D<float>& b,
+                       BadFn bad) {
+  FPGASTENCIL_EXPECT(a.nx() == b.nx() && a.ny() == b.ny() && a.nz() == b.nz(),
+                     "grid shapes differ");
+  Recorder rec;
+  for (std::int64_t z = 0; z < a.nz(); ++z) {
+    for (std::int64_t y = 0; y < a.ny(); ++y) {
+      for (std::int64_t x = 0; x < a.nx(); ++x) {
+        const float va = a.at(x, y, z);
+        const float vb = b.at(x, y, z);
+        rec.record(va, vb, bad(va, vb), x, y, z);
+      }
+    }
+  }
+  return rec.result;
+}
+
+bool exact_bad(float va, float vb) {
+  if (std::isnan(va) && std::isnan(vb)) return false;
+  return !(va == vb);
+}
+
+}  // namespace
+
+std::string CompareResult::summary() const {
+  std::ostringstream os;
+  if (identical()) {
+    os << "identical (max_abs_err=" << max_abs_error << ")";
+  } else {
+    os << mismatches << " mismatches, first at (" << first_bad_x << ","
+       << first_bad_y;
+    if (first_bad_z >= 0) os << "," << first_bad_z;
+    os << "), max_abs_err=" << max_abs_error
+       << ", max_rel_err=" << max_rel_error;
+  }
+  return os.str();
+}
+
+CompareResult compare_exact(const Grid2D<float>& a, const Grid2D<float>& b) {
+  return compare2(a, b, exact_bad);
+}
+
+CompareResult compare_exact(const Grid3D<float>& a, const Grid3D<float>& b) {
+  return compare3(a, b, exact_bad);
+}
+
+CompareResult compare_ulps(const Grid2D<float>& a, const Grid2D<float>& b,
+                           std::uint32_t max_ulps) {
+  return compare2(
+      a, b, [max_ulps](float x, float y) { return ulp_distance(x, y) > max_ulps; });
+}
+
+CompareResult compare_ulps(const Grid3D<float>& a, const Grid3D<float>& b,
+                           std::uint32_t max_ulps) {
+  return compare3(
+      a, b, [max_ulps](float x, float y) { return ulp_distance(x, y) > max_ulps; });
+}
+
+CompareResult compare_relative(const Grid2D<float>& a, const Grid2D<float>& b,
+                               double rel_tol) {
+  return compare2(a, b, [rel_tol](float x, float y) {
+    const double denom = std::max(std::abs(double(x)), std::abs(double(y)));
+    return std::abs(double(x) - double(y)) > rel_tol * std::max(denom, 1e-30);
+  });
+}
+
+CompareResult compare_relative(const Grid3D<float>& a, const Grid3D<float>& b,
+                               double rel_tol) {
+  return compare3(a, b, [rel_tol](float x, float y) {
+    const double denom = std::max(std::abs(double(x)), std::abs(double(y)));
+    return std::abs(double(x) - double(y)) > rel_tol * std::max(denom, 1e-30);
+  });
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,45 @@
+// Grid comparison utilities for validation.
+//
+// The accelerator is required to match the naive reference *bit-exactly*
+// (identical floating-point operation order per output cell), so the primary
+// comparator counts exact mismatches. A ULP-tolerant comparator is provided
+// for comparing against implementations with a different summation order
+// (the YASK-like CPU baseline).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "grid/grid.hpp"
+
+namespace fpga_stencil {
+
+struct CompareResult {
+  std::uint64_t mismatches = 0;   ///< cells exceeding the tolerance
+  double max_abs_error = 0.0;     ///< worst absolute difference
+  double max_rel_error = 0.0;     ///< worst relative difference
+  std::int64_t first_bad_x = -1;  ///< coordinates of the first mismatch
+  std::int64_t first_bad_y = -1;
+  std::int64_t first_bad_z = -1;
+
+  [[nodiscard]] bool identical() const { return mismatches == 0; }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Exact (bitwise for non-NaN values) comparison.
+CompareResult compare_exact(const Grid2D<float>& a, const Grid2D<float>& b);
+CompareResult compare_exact(const Grid3D<float>& a, const Grid3D<float>& b);
+
+/// Comparison tolerating `max_ulps` units-in-last-place of divergence.
+CompareResult compare_ulps(const Grid2D<float>& a, const Grid2D<float>& b,
+                           std::uint32_t max_ulps);
+CompareResult compare_ulps(const Grid3D<float>& a, const Grid3D<float>& b,
+                           std::uint32_t max_ulps);
+
+/// Relative-tolerance comparison for differently-ordered reductions.
+CompareResult compare_relative(const Grid2D<float>& a, const Grid2D<float>& b,
+                               double rel_tol);
+CompareResult compare_relative(const Grid3D<float>& a, const Grid3D<float>& b,
+                               double rel_tol);
+
+}  // namespace fpga_stencil

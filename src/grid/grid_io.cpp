@@ -1,0 +1,110 @@
+#include "grid/grid_io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace fpga_stencil {
+namespace {
+
+constexpr char kMagic2D[8] = {'F', 'S', 'G', 'R', 'D', '2', 'D', '\0'};
+constexpr char kMagic3D[8] = {'F', 'S', 'G', 'R', 'D', '3', 'D', '\0'};
+
+int to_gray(float v, float lo, float hi) {
+  const float t = std::clamp((v - lo) / (hi - lo), 0.0f, 1.0f);
+  return static_cast<int>(t * 255.0f + 0.5f);
+}
+
+void write_i64(std::ostream& os, std::int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::int64_t read_i64(std::istream& is) {
+  std::int64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  FPGASTENCIL_EXPECT(bool(is), "truncated grid snapshot");
+  return v;
+}
+
+}  // namespace
+
+void write_pgm(const Grid2D<float>& g, std::ostream& os, float lo, float hi) {
+  FPGASTENCIL_EXPECT(hi > lo, "pgm range must be non-empty");
+  os << "P2\n" << g.nx() << " " << g.ny() << "\n255\n";
+  for (std::int64_t y = 0; y < g.ny(); ++y) {
+    for (std::int64_t x = 0; x < g.nx(); ++x) {
+      os << to_gray(g.at(x, y), lo, hi) << (x + 1 == g.nx() ? '\n' : ' ');
+    }
+  }
+}
+
+void write_pgm_slice(const Grid3D<float>& g, std::int64_t z, std::ostream& os,
+                     float lo, float hi) {
+  FPGASTENCIL_EXPECT(z >= 0 && z < g.nz(), "slice out of range");
+  FPGASTENCIL_EXPECT(hi > lo, "pgm range must be non-empty");
+  os << "P2\n" << g.nx() << " " << g.ny() << "\n255\n";
+  for (std::int64_t y = 0; y < g.ny(); ++y) {
+    for (std::int64_t x = 0; x < g.nx(); ++x) {
+      os << to_gray(g.at(x, y, z), lo, hi) << (x + 1 == g.nx() ? '\n' : ' ');
+    }
+  }
+}
+
+void write_csv(const Grid2D<float>& g, std::ostream& os) {
+  const auto old_precision = os.precision(9);
+  for (std::int64_t y = 0; y < g.ny(); ++y) {
+    for (std::int64_t x = 0; x < g.nx(); ++x) {
+      os << g.at(x, y) << (x + 1 == g.nx() ? '\n' : ',');
+    }
+  }
+  os.precision(old_precision);
+}
+
+void write_binary(const Grid2D<float>& g, std::ostream& os) {
+  os.write(kMagic2D, sizeof(kMagic2D));
+  write_i64(os, g.nx());
+  write_i64(os, g.ny());
+  os.write(reinterpret_cast<const char*>(g.data()),
+           std::streamsize(g.size() * sizeof(float)));
+}
+
+void write_binary(const Grid3D<float>& g, std::ostream& os) {
+  os.write(kMagic3D, sizeof(kMagic3D));
+  write_i64(os, g.nx());
+  write_i64(os, g.ny());
+  write_i64(os, g.nz());
+  os.write(reinterpret_cast<const char*>(g.data()),
+           std::streamsize(g.size() * sizeof(float)));
+}
+
+Grid2D<float> read_binary_2d(std::istream& is) {
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  FPGASTENCIL_EXPECT(bool(is) && std::memcmp(magic, kMagic2D, 8) == 0,
+                     "not a 2D grid snapshot");
+  const std::int64_t nx = read_i64(is);
+  const std::int64_t ny = read_i64(is);
+  Grid2D<float> g(nx, ny);
+  is.read(reinterpret_cast<char*>(g.data()),
+          std::streamsize(g.size() * sizeof(float)));
+  FPGASTENCIL_EXPECT(bool(is), "truncated grid snapshot");
+  return g;
+}
+
+Grid3D<float> read_binary_3d(std::istream& is) {
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  FPGASTENCIL_EXPECT(bool(is) && std::memcmp(magic, kMagic3D, 8) == 0,
+                     "not a 3D grid snapshot");
+  const std::int64_t nx = read_i64(is);
+  const std::int64_t ny = read_i64(is);
+  const std::int64_t nz = read_i64(is);
+  Grid3D<float> g(nx, ny, nz);
+  is.read(reinterpret_cast<char*>(g.data()),
+          std::streamsize(g.size() * sizeof(float)));
+  FPGASTENCIL_EXPECT(bool(is), "truncated grid snapshot");
+  return g;
+}
+
+}  // namespace fpga_stencil

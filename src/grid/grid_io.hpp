@@ -1,0 +1,35 @@
+// Grid serialization: portable text/binary formats for examples, tooling,
+// and cross-run comparison.
+//
+//   * PGM (P2 ASCII): quick-look grayscale images of 2D grids / 3D slices,
+//     viewable by any image tool.
+//   * CSV: one row per grid row (2D) for spreadsheet-scale debugging.
+//   * Raw binary: exact float32 round-trip with a small self-describing
+//     header (magic, dims, extents) -- the library's native snapshot format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "grid/grid.hpp"
+
+namespace fpga_stencil {
+
+/// Writes a 2D grid as an ASCII PGM image, mapping [lo, hi] to 0..255
+/// (values outside the range clamp).
+void write_pgm(const Grid2D<float>& g, std::ostream& os, float lo, float hi);
+
+/// One z-slice of a 3D grid as PGM.
+void write_pgm_slice(const Grid3D<float>& g, std::int64_t z, std::ostream& os,
+                     float lo, float hi);
+
+/// CSV with one line per row, full float precision.
+void write_csv(const Grid2D<float>& g, std::ostream& os);
+
+/// Self-describing binary snapshots (exact float32 round trip).
+void write_binary(const Grid2D<float>& g, std::ostream& os);
+void write_binary(const Grid3D<float>& g, std::ostream& os);
+Grid2D<float> read_binary_2d(std::istream& is);
+Grid3D<float> read_binary_3d(std::istream& is);
+
+}  // namespace fpga_stencil

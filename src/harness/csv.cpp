@@ -1,0 +1,38 @@
+#include "harness/csv.hpp"
+
+namespace fpga_stencil {
+
+void write_comparison_csv(const std::vector<ComparisonRow>& rows,
+                          std::ostream& os) {
+  os << "device,radius,gflops,gcells,power_w,gflops_per_w,roofline,"
+        "extrapolated\n";
+  for (const ComparisonRow& r : rows) {
+    os << '"' << r.device << "\"," << r.radius << ',' << r.gflops << ','
+       << r.gcells << ',' << r.power_watts << ',' << r.power_efficiency
+       << ',' << r.roofline_ratio << ',' << (r.extrapolated ? 1 : 0) << '\n';
+  }
+}
+
+void write_table3_csv(const DeviceSpec& device, std::ostream& os) {
+  os << "dims,radius,bsize_x,bsize_y,parvec,partime,input_x,input_y,input_z,"
+        "estimated_gbps,measured_gbps,measured_gflops,measured_gcells,"
+        "fmax_mhz,logic_frac,bram_bits_frac,bram_blocks_frac,dsp_frac,"
+        "power_w,pipeline_efficiency\n";
+  for (int dims : {2, 3}) {
+    for (int rad = 1; rad <= 4; ++rad) {
+      const FpgaResultRow r = fpga_result_row(dims, rad, device);
+      os << dims << ',' << rad << ',' << r.config.bsize_x << ','
+         << r.config.bsize_y << ',' << r.config.parvec << ','
+         << r.config.partime << ',' << r.input_x << ',' << r.input_y << ','
+         << r.input_z << ',' << r.perf.estimated_gbps << ','
+         << r.perf.measured_gbps << ',' << r.perf.measured_gflops << ','
+         << r.perf.measured_gcells << ',' << r.fmax_mhz << ','
+         << r.usage.logic_fraction << ',' << r.usage.bram_bits_fraction
+         << ',' << r.usage.bram_block_fraction << ','
+         << r.usage.dsp_fraction << ',' << r.power_watts << ','
+         << r.perf.pipeline_efficiency << '\n';
+    }
+  }
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,19 @@
+// CSV emission for the regenerated tables, for downstream plotting.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "harness/experiments.hpp"
+#include "model/comparison_row.hpp"
+
+namespace fpga_stencil {
+
+/// device,radius,gflops,gcells,power_w,gflops_per_w,roofline,extrapolated
+void write_comparison_csv(const std::vector<ComparisonRow>& rows,
+                          std::ostream& os);
+
+/// One row per Table III configuration with every modeled column.
+void write_table3_csv(const DeviceSpec& device, std::ostream& os);
+
+}  // namespace fpga_stencil

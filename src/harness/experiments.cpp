@@ -1,0 +1,86 @@
+#include "harness/experiments.hpp"
+
+#include "cpu/cpu_device_model.hpp"
+#include "fpga/fmax_model.hpp"
+#include "fpga/power_model.hpp"
+#include "gpu/inplane_gpu.hpp"
+#include "harness/paper_reference.hpp"
+#include "stencil/characteristics.hpp"
+
+namespace fpga_stencil {
+
+AcceleratorConfig paper_config(int dims, int radius) {
+  const paper::Table3Row& r = paper::table3_row(dims, radius);
+  AcceleratorConfig cfg;
+  cfg.dims = r.dims;
+  cfg.radius = r.radius;
+  cfg.bsize_x = r.bsize_x;
+  cfg.bsize_y = r.bsize_y;
+  cfg.parvec = r.parvec;
+  cfg.partime = r.partime;
+  cfg.validate();
+  return cfg;
+}
+
+void paper_input_size(int dims, int radius, std::int64_t& nx,
+                      std::int64_t& ny, std::int64_t& nz) {
+  const paper::Table3Row& r = paper::table3_row(dims, radius);
+  nx = r.input_x;
+  ny = r.input_y;
+  nz = r.input_z;
+}
+
+FpgaResultRow fpga_result_row(int dims, int radius,
+                              const DeviceSpec& device) {
+  FpgaResultRow row;
+  row.config = paper_config(dims, radius);
+  paper_input_size(dims, radius, row.input_x, row.input_y, row.input_z);
+  row.usage = estimate_resources(row.config, device);
+  row.fmax_mhz = estimate_fmax_mhz(row.config, device);
+  row.perf = estimate_performance(row.config, device, row.fmax_mhz,
+                                  row.input_x, row.input_y, row.input_z);
+  row.power_watts = estimate_power_watts(row.config, device, row.fmax_mhz);
+  return row;
+}
+
+ComparisonRow fpga_comparison_row(int dims, int radius,
+                                  const DeviceSpec& device) {
+  const FpgaResultRow r = fpga_result_row(dims, radius, device);
+  ComparisonRow row;
+  row.device = device.name;
+  row.radius = radius;
+  row.gflops = r.perf.measured_gflops;
+  row.gcells = r.perf.measured_gcells;
+  row.power_watts = r.power_watts;
+  row.power_efficiency = row.gflops / row.power_watts;
+  row.roofline_ratio = r.perf.roofline_ratio;
+  row.extrapolated = false;
+  return row;
+}
+
+std::vector<ComparisonRow> comparison_table(int dims) {
+  FPGASTENCIL_EXPECT(dims == 2 || dims == 3, "dims must be 2 or 3");
+  std::vector<ComparisonRow> rows;
+  const DeviceSpec fpga = arria10_gx1150();
+  for (int rad = 1; rad <= 4; ++rad) {
+    rows.push_back(fpga_comparison_row(dims, rad, fpga));
+  }
+  for (int rad = 1; rad <= 4; ++rad) {
+    rows.push_back(yask_comparison_row(xeon_e5_2650v4(), dims, rad));
+  }
+  for (int rad = 1; rad <= 4; ++rad) {
+    rows.push_back(yask_comparison_row(xeon_phi_7210f(), dims, rad));
+  }
+  if (dims == 3) {
+    for (int rad = 1; rad <= 4; ++rad) rows.push_back(gpu_measured_row(rad));
+    for (int rad = 1; rad <= 4; ++rad) {
+      rows.push_back(gpu_extrapolated_row(gtx_980ti(), rad));
+    }
+    for (int rad = 1; rad <= 4; ++rad) {
+      rows.push_back(gpu_extrapolated_row(tesla_p100(), rad));
+    }
+  }
+  return rows;
+}
+
+}  // namespace fpga_stencil

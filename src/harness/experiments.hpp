@@ -1,0 +1,47 @@
+// Experiment assembly: regenerates the paper's result rows from this
+// library's models and simulators. Every bench binary is a thin printer
+// around these functions, so tests can pin the numbers directly.
+#pragma once
+
+#include <vector>
+
+#include "fpga/device_spec.hpp"
+#include "fpga/resource_model.hpp"
+#include "model/comparison_row.hpp"
+#include "model/performance_model.hpp"
+#include "stencil/accel_config.hpp"
+
+namespace fpga_stencil {
+
+/// One regenerated row of Table III.
+struct FpgaResultRow {
+  AcceleratorConfig config;
+  std::int64_t input_x = 0, input_y = 0, input_z = 1;
+  ResourceUsage usage;
+  double fmax_mhz = 0.0;
+  PerformanceEstimate perf;
+  double power_watts = 0.0;
+};
+
+/// The exact accelerator configuration the paper synthesized for
+/// (dims, radius) in Table III.
+AcceleratorConfig paper_config(int dims, int radius);
+
+/// The paper's benchmark input size for that configuration (a multiple of
+/// the compute block size, Section IV.C).
+void paper_input_size(int dims, int radius, std::int64_t& nx,
+                      std::int64_t& ny, std::int64_t& nz);
+
+/// Regenerates one Table III row on `device` (normally the Arria 10).
+FpgaResultRow fpga_result_row(int dims, int radius, const DeviceSpec& device);
+
+/// The same result in Table IV/V form.
+ComparisonRow fpga_comparison_row(int dims, int radius,
+                                  const DeviceSpec& device);
+
+/// Full Table IV (dims == 2) or Table V (dims == 3) in the paper's row
+/// order: Arria 10, Xeon, Xeon Phi, then (3D only) GTX 580 and the two
+/// extrapolated GPUs.
+std::vector<ComparisonRow> comparison_table(int dims);
+
+}  // namespace fpga_stencil

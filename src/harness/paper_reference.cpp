@@ -1,0 +1,95 @@
+#include "harness/paper_reference.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace fpga_stencil::paper {
+
+const std::vector<Table3Row>& table3() {
+  // Transcribed from Table III. Memory utilization is reported as
+  // bits% | blocks%; logic and DSP as fractions of the Arria 10 GX 1150.
+  static const std::vector<Table3Row> rows = {
+      // dims rad bsx   bsy pv  pt  in_x   in_y   in_z  est      meas_gbps meas_gflops meas_gcells fmax    logic bits  blocks dsp   power   acc
+      {2, 1, 4096, 1,   8, 36, 16096, 16096, 1, 780.500, 673.959, 758.204, 84.245, 343.76, 0.55, 0.38, 0.83, 0.95, 72.530, 0.863},
+      {2, 2, 4096, 1,   4, 42, 15712, 15712, 1, 423.173, 359.752, 764.473, 44.969, 322.47, 0.64, 0.75, 1.00, 1.00, 69.611, 0.850},
+      {2, 3, 4096, 1,   4, 28, 15712, 15712, 1, 264.863, 225.215, 703.797, 28.152, 302.75, 0.57, 0.75, 1.00, 0.96, 66.139, 0.850},
+      {2, 4, 4096, 1,   4, 22, 15680, 15680, 1, 206.061, 174.381, 719.322, 21.798, 301.20, 0.60, 0.78, 1.00, 0.99, 68.925, 0.846},
+      {3, 1, 256, 256, 16, 12, 696, 696, 696, 378.345, 230.568, 374.673, 28.821, 286.61, 0.60, 0.94, 1.00, 0.89, 71.628, 0.609},
+      {3, 2, 256, 128, 16,  6, 696, 728, 696, 176.713,  97.035, 303.234, 12.129, 262.88, 0.44, 0.73, 0.87, 0.83, 59.664, 0.549},
+      {3, 3, 256, 128, 16,  4, 696, 728, 696, 114.667,  63.737, 294.784,  7.967, 255.36, 0.44, 0.81, 0.99, 0.81, 63.183, 0.556},
+      {3, 4, 256, 128, 16,  3, 696, 728, 696,  81.597,  44.701, 273.794,  5.588, 242.77, 0.47, 0.85, 1.00, 0.80, 58.572, 0.548},
+  };
+  return rows;
+}
+
+const Table3Row& table3_row(int dims, int radius) {
+  for (const Table3Row& r : table3()) {
+    if (r.dims == dims && r.radius == radius) return r;
+  }
+  throw ConfigError("no Table III row for dims=" + std::to_string(dims) +
+                    " radius=" + std::to_string(radius));
+}
+
+const std::vector<ComparisonRefRow>& table4() {
+  static const std::vector<ComparisonRefRow> rows = {
+      {"Arria 10 GX 1150", 1, 758.204, 84.245, 10.454, 19.76, false},
+      {"Arria 10 GX 1150", 2, 764.473, 44.969, 10.982, 10.55, false},
+      {"Arria 10 GX 1150", 3, 703.797, 28.152, 10.641, 6.60, false},
+      {"Arria 10 GX 1150", 4, 719.322, 21.798, 10.436, 5.11, false},
+      {"Xeon E5-2650 v4", 1, 45.306, 5.034, 0.521, 0.52, false},
+      {"Xeon E5-2650 v4", 2, 85.255, 5.015, 0.942, 0.52, false},
+      {"Xeon E5-2650 v4", 3, 124.500, 4.980, 1.331, 0.52, false},
+      {"Xeon E5-2650 v4", 4, 165.231, 5.007, 1.737, 0.52, false},
+      {"Xeon Phi 7210F", 1, 222.804, 24.756, 1.000, 0.50, false},
+      {"Xeon Phi 7210F", 2, 398.735, 23.455, 1.774, 0.47, false},
+      {"Xeon Phi 7210F", 3, 592.250, 23.690, 2.629, 0.47, false},
+      {"Xeon Phi 7210F", 4, 759.198, 23.006, 3.369, 0.46, false},
+  };
+  return rows;
+}
+
+const std::vector<ComparisonRefRow>& table5() {
+  static const std::vector<ComparisonRefRow> rows = {
+      {"Arria 10 GX 1150", 1, 374.673, 28.821, 5.231, 6.76, false},
+      {"Arria 10 GX 1150", 2, 303.234, 12.129, 5.082, 2.85, false},
+      {"Arria 10 GX 1150", 3, 294.784, 7.967, 4.666, 1.87, false},
+      {"Arria 10 GX 1150", 4, 273.794, 5.588, 4.674, 1.31, false},
+      {"Xeon E5-2650 v4", 1, 61.282, 4.714, 0.686, 0.49, false},
+      {"Xeon E5-2650 v4", 2, 115.225, 4.609, 1.235, 0.48, false},
+      {"Xeon E5-2650 v4", 3, 151.996, 4.108, 1.617, 0.43, false},
+      {"Xeon E5-2650 v4", 4, 205.751, 4.199, 2.069, 0.44, false},
+      {"Xeon Phi 7210F", 1, 288.990, 22.230, 1.279, 0.44, false},
+      {"Xeon Phi 7210F", 2, 549.300, 21.972, 2.428, 0.44, false},
+      {"Xeon Phi 7210F", 3, 788.544, 21.312, 3.480, 0.43, false},
+      {"Xeon Phi 7210F", 4, 1069.278, 21.822, 4.714, 0.44, false},
+      {"GTX 580", 1, 224.822, 17.294, 1.229, 0.72, false},
+      {"GTX 580", 2, 358.725, 14.349, 1.960, 0.60, false},
+      {"GTX 580", 3, 404.928, 10.944, 2.213, 0.46, false},
+      {"GTX 580", 4, 453.446, 9.254, 2.478, 0.38, false},
+      {"GTX 980 Ti", 1, 393.322, 30.256, 1.907, 0.72, true},
+      {"GTX 980 Ti", 2, 627.582, 25.103, 3.043, 0.60, true},
+      {"GTX 980 Ti", 3, 708.414, 19.146, 3.435, 0.46, true},
+      {"GTX 980 Ti", 4, 793.295, 16.190, 3.846, 0.38, true},
+      {"Tesla P100", 1, 842.381, 64.799, 4.493, 0.72, true},
+      {"Tesla P100", 2, 1344.100, 53.764, 7.169, 0.60, true},
+      {"Tesla P100", 3, 1517.217, 41.006, 8.092, 0.46, true},
+      {"Tesla P100", 4, 1699.008, 34.674, 9.061, 0.38, true},
+  };
+  return rows;
+}
+
+const std::vector<RelatedFpgaWork>& related_fpga_work() {
+  static const std::vector<RelatedFpgaWork> rows = {
+      {"Shafiq et al. [18]", "Virtex-4 LX200", 4, 2.783, 5.588},
+      {"Fu and Clapp [19]", "2x Virtex-5 LX330", 3, 1.540, 7.967},
+  };
+  return rows;
+}
+
+double deviation(double ours, double paper_value) {
+  FPGASTENCIL_EXPECT(std::abs(paper_value) > 0, "paper value is zero");
+  return std::abs(ours - paper_value) / std::abs(paper_value);
+}
+
+}  // namespace fpga_stencil::paper

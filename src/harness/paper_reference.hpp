@@ -1,0 +1,70 @@
+// The paper's published numbers, used to (a) annotate every regenerated
+// table with paper-vs-ours deviations and (b) pin the calibrated models in
+// tests. Values are transcribed from Tables III, IV and V of the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fpga_stencil::paper {
+
+/// One row of the paper's Table III (FPGA results).
+struct Table3Row {
+  int dims = 0;
+  int radius = 0;
+  std::int64_t bsize_x = 0;
+  std::int64_t bsize_y = 1;
+  int parvec = 0;
+  int partime = 0;
+  std::int64_t input_x = 0, input_y = 0, input_z = 1;
+  double estimated_gbps = 0.0;
+  double measured_gbps = 0.0;
+  double measured_gflops = 0.0;
+  double measured_gcells = 0.0;
+  double fmax_mhz = 0.0;
+  double logic_fraction = 0.0;
+  double mem_bits_fraction = 0.0;
+  double mem_blocks_fraction = 0.0;
+  double dsp_fraction = 0.0;
+  double power_watts = 0.0;
+  double model_accuracy = 0.0;
+};
+
+/// All eight rows (2D radius 1..4, then 3D radius 1..4).
+const std::vector<Table3Row>& table3();
+
+/// The row for (dims, radius); throws if absent.
+const Table3Row& table3_row(int dims, int radius);
+
+/// One row of the paper's Tables IV/V (cross-device comparison).
+struct ComparisonRefRow {
+  const char* device;
+  int radius;
+  double gflops;
+  double gcells;
+  double power_efficiency;
+  double roofline_ratio;
+  bool extrapolated;
+};
+
+/// Table IV: 2D stencils (Arria 10, Xeon, Xeon Phi).
+const std::vector<ComparisonRefRow>& table4();
+
+/// Table V: 3D stencils (adds GTX 580 + extrapolated GPUs).
+const std::vector<ComparisonRefRow>& table5();
+
+/// Section VI.C comparison values for related FPGA work.
+struct RelatedFpgaWork {
+  const char* citation;
+  const char* device;
+  int radius;
+  double reported_gcells;  ///< what they report
+  double paper_gcells;     ///< what the paper achieves for that case
+};
+const std::vector<RelatedFpgaWork>& related_fpga_work();
+
+/// Relative deviation |ours - paper| / |paper|.
+double deviation(double ours, double paper_value);
+
+}  // namespace fpga_stencil::paper

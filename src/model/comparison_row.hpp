@@ -1,0 +1,20 @@
+// Shared row type for the cross-device comparison tables (paper Tables
+// IV/V and Figs. 3/4): one device x stencil-order measurement.
+#pragma once
+
+#include <string>
+
+namespace fpga_stencil {
+
+struct ComparisonRow {
+  std::string device;
+  int radius = 0;
+  double gflops = 0.0;
+  double gcells = 0.0;
+  double power_watts = 0.0;
+  double power_efficiency = 0.0;  ///< GFLOP/s per watt
+  double roofline_ratio = 0.0;    ///< achieved GB/s over theoretical peak
+  bool extrapolated = false;      ///< the paper's hachured rows
+};
+
+}  // namespace fpga_stencil

@@ -1,0 +1,87 @@
+#include "model/performance_model.hpp"
+
+#include <algorithm>
+
+namespace fpga_stencil {
+namespace {
+
+constexpr double kBaseEfficiency2D = 0.86;
+constexpr double kBaseEfficiency3D = 0.88;
+constexpr double kNarrowAlignEff = 0.97;  // accesses <= 32 B coalesce well
+constexpr double kWideAlignEff = 0.76;    // >= 64 B accesses split bursts
+
+}  // namespace
+
+double memory_demand_gbps(const AcceleratorConfig& cfg, double fmax_mhz,
+                          ValuePrecision precision) {
+  // Read stream + write stream, parvec values per kernel cycle each.
+  return 2.0 * cfg.parvec * double(bytes_per_value(precision)) * fmax_mhz *
+         1e6 / 1e9;
+}
+
+double effective_bandwidth_gbps(const AcceleratorConfig& cfg,
+                                const DeviceSpec& device, double fmax_mhz,
+                                ValuePrecision precision) {
+  FPGASTENCIL_EXPECT(device.is_fpga(), "bandwidth model needs an FPGA");
+  const double clock_derate =
+      device.mem_controller_mhz > 0
+          ? std::min(1.0, fmax_mhz / device.mem_controller_mhz)
+          : 1.0;
+  const std::int64_t access_bytes =
+      std::int64_t(cfg.parvec) * bytes_per_value(precision);
+  const double align_eff =
+      access_bytes <= 32 ? kNarrowAlignEff : kWideAlignEff;
+  return device.peak_bw_gbps * clock_derate * align_eff;
+}
+
+double pipeline_efficiency(const AcceleratorConfig& cfg,
+                           const DeviceSpec& device, double fmax_mhz,
+                           ValuePrecision precision) {
+  const double base = cfg.dims == 2 ? kBaseEfficiency2D : kBaseEfficiency3D;
+  const double demand = memory_demand_gbps(cfg, fmax_mhz, precision);
+  const double ebw =
+      effective_bandwidth_gbps(cfg, device, fmax_mhz, precision);
+  return base * std::min(1.0, ebw / demand);
+}
+
+PerformanceEstimate estimate_performance(const AcceleratorConfig& cfg,
+                                         const DeviceSpec& device,
+                                         double fmax_mhz, std::int64_t nx,
+                                         std::int64_t ny, std::int64_t nz,
+                                         ValuePrecision precision) {
+  FPGASTENCIL_EXPECT(fmax_mhz > 0, "fmax must be positive");
+  const BlockingPlan plan = make_blocking_plan(cfg, nx, ny, nz);
+  const StencilCharacteristics sc =
+      stencil_characteristics(cfg.dims, cfg.radius, precision);
+
+  PerformanceEstimate e;
+  e.config = cfg;
+  e.fmax_mhz = fmax_mhz;
+  e.nx = nx;
+  e.ny = ny;
+  e.nz = nz;
+  e.valid_fraction = double(plan.valid_cells) / double(plan.cells_streamed);
+  // One pass = partime time steps; cycles per single step:
+  e.cycles_per_step = double(plan.vectors_streamed) / cfg.partime;
+
+  // Layer 1: zero-stall estimate.
+  const double updates_per_sec = fmax_mhz * 1e6 * cfg.parvec * cfg.partime *
+                                 e.valid_fraction;  // valid updates/s
+  e.estimated_gcells = updates_per_sec / 1e9;
+  e.estimated_gbps = e.estimated_gcells * double(sc.bytes_per_cell);
+  e.estimated_gflops = e.estimated_gcells * double(sc.flop_per_cell);
+
+  // Layer 2: memory-controller efficiency.
+  e.pipeline_efficiency =
+      pipeline_efficiency(cfg, device, fmax_mhz, precision);
+  e.measured_gbps = e.estimated_gbps * e.pipeline_efficiency;
+  e.measured_gflops = e.estimated_gflops * e.pipeline_efficiency;
+  e.measured_gcells = e.estimated_gcells * e.pipeline_efficiency;
+
+  e.roofline_ratio = device.peak_bw_gbps > 0
+                         ? e.measured_gbps / device.peak_bw_gbps
+                         : 0.0;
+  return e;
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,31 @@
+#include "model/roofline.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace fpga_stencil {
+
+double roofline_attainable_gflops(const DeviceSpec& device,
+                                  double flop_per_byte) {
+  FPGASTENCIL_EXPECT(flop_per_byte > 0, "intensity must be positive");
+  return std::min(device.peak_gflops, flop_per_byte * device.peak_bw_gbps);
+}
+
+double roofline_attainable_gflops(const DeviceSpec& device,
+                                  const StencilCharacteristics& stencil) {
+  return roofline_attainable_gflops(device, stencil.flop_per_byte);
+}
+
+bool is_memory_bound(const DeviceSpec& device,
+                     const StencilCharacteristics& stencil) {
+  return stencil.flop_per_byte < device.flop_per_byte();
+}
+
+double roofline_ratio(const DeviceSpec& device,
+                      const StencilCharacteristics& stencil, double gcells) {
+  FPGASTENCIL_EXPECT(device.peak_bw_gbps > 0, "device has no bandwidth");
+  return gcells * double(stencil.bytes_per_cell) / device.peak_bw_gbps;
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,34 @@
+// The roofline model [Williams et al., CACM 2009] as used by the paper's
+// Tables IV/V: attainable performance and the "Roofline Ratio" column,
+// which is achieved memory throughput over theoretical peak bandwidth.
+// Without temporal blocking the ratio cannot exceed 1; the FPGA's ratios of
+// 1.3-19.8 are the paper's headline evidence that temporal blocking works.
+#pragma once
+
+#include "fpga/device_spec.hpp"
+#include "stencil/characteristics.hpp"
+
+namespace fpga_stencil {
+
+/// Attainable GFLOP/s for an arithmetic intensity (FLOP/byte) on `device`:
+/// min(peak_compute, intensity * peak_bandwidth).
+double roofline_attainable_gflops(const DeviceSpec& device,
+                                  double flop_per_byte);
+
+/// Attainable GFLOP/s for a star stencil without temporal blocking.
+double roofline_attainable_gflops(const DeviceSpec& device,
+                                  const StencilCharacteristics& stencil);
+
+/// True when the stencil is memory-bound on the device (stencil intensity
+/// below the device's compute/bandwidth balance point). The paper's
+/// Section IV.B observation: every star stencil of radius 1..4 is
+/// memory-bound on every evaluated device.
+bool is_memory_bound(const DeviceSpec& device,
+                     const StencilCharacteristics& stencil);
+
+/// The paper's Roofline Ratio: achieved memory throughput over theoretical
+/// peak bandwidth. `gcells` is achieved billions of cell updates/s.
+double roofline_ratio(const DeviceSpec& device,
+                      const StencilCharacteristics& stencil, double gcells);
+
+}  // namespace fpga_stencil

@@ -1,0 +1,284 @@
+#include "ocl/opencl_shim.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/format.hpp"
+#include "common/stopwatch.hpp"
+#include "core/stencil_accelerator.hpp"
+#include "fpga/fmax_model.hpp"
+#include "model/performance_model.hpp"
+
+namespace fpga_stencil::ocl {
+
+// ---------------------------------------------------------------- options
+
+BuildOptions BuildOptions::parse(const std::string& options) {
+  BuildOptions out;
+  std::istringstream is(options);
+  std::string tok;
+  while (is >> tok) {
+    if (tok.rfind("-D", 0) != 0 || tok.size() <= 2) {
+      throw BuildError("unrecognized build option: `" + tok +
+                       "` (only -DNAME=VALUE is supported)");
+    }
+    const std::string body = tok.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == body.size()) {
+      throw BuildError("malformed macro definition: `" + tok + "`");
+    }
+    out.macros_[body.substr(0, eq)] = body.substr(eq + 1);
+  }
+  return out;
+}
+
+bool BuildOptions::has(const std::string& name) const {
+  return macros_.count(name) != 0;
+}
+
+std::int64_t BuildOptions::get_int(const std::string& name) const {
+  const auto it = macros_.find(name);
+  if (it == macros_.end()) {
+    throw BuildError("required macro -D" + name + " is missing");
+  }
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw BuildError("macro -D" + name + "=" + it->second +
+                     " is not an integer");
+  }
+}
+
+std::int64_t BuildOptions::get_int_or(const std::string& name,
+                                      std::int64_t fallback) const {
+  return has(name) ? get_int(name) : fallback;
+}
+
+AcceleratorConfig BuildOptions::to_config() const {
+  AcceleratorConfig cfg;
+  cfg.dims = static_cast<int>(get_int("DIM"));
+  cfg.radius = static_cast<int>(get_int("RAD"));
+  cfg.bsize_x = get_int("BSIZE_X");
+  cfg.bsize_y = cfg.dims == 3 ? get_int("BSIZE_Y") : 1;
+  cfg.parvec = static_cast<int>(get_int("PAR_VEC"));
+  cfg.partime = static_cast<int>(get_int("PAR_TIME"));
+  return cfg;
+}
+
+// --------------------------------------------------------------- platform
+
+Platform Platform::intel_fpga_sdk() {
+  Platform p;
+  p.devices_.emplace_back(arria10_gx1150());
+  p.devices_.emplace_back(stratix_v_gxa7());
+  p.devices_.emplace_back(stratix10_gx2800());
+  p.devices_.emplace_back(stratix10_mx2100());
+  return p;
+}
+
+const Device& Platform::device_by_name(const std::string& substr) const {
+  for (const Device& d : devices_) {
+    if (d.name().find(substr) != std::string::npos) return d;
+  }
+  throw BuildError("no device matching `" + substr + "` on this platform");
+}
+
+// ----------------------------------------------------------------- buffer
+
+Buffer::Buffer(const Context& ctx, std::size_t bytes) : storage_(bytes) {
+  (void)ctx;
+  FPGASTENCIL_EXPECT(bytes > 0, "zero-sized buffer");
+}
+
+// ---------------------------------------------------------------- program
+
+std::string BuildReport::summary() const {
+  std::ostringstream os;
+  os << "kernel configuration: " << config.describe() << "\n"
+     << "fmax: " << format_fixed(fmax_mhz, 2) << " MHz\n"
+     << "DSP blocks: " << usage.dsps << " ("
+     << format_percent(usage.dsp_fraction) << ")\n"
+     << "RAM bits: " << usage.bram_bits << " ("
+     << format_percent(usage.bram_bits_fraction) << ")\n"
+     << "RAM blocks: " << usage.bram_blocks << " ("
+     << format_percent(usage.bram_block_fraction) << ")\n"
+     << "logic: " << format_percent(usage.logic_fraction) << "\n";
+  return os.str();
+}
+
+Program Program::build(const Context& ctx, const std::string& options) {
+  const BuildOptions opts = BuildOptions::parse(options);
+  AcceleratorConfig cfg;
+  try {
+    cfg = opts.to_config();
+    cfg.validate();
+  } catch (const ConfigError& e) {
+    throw BuildError(std::string("kernel configuration invalid: ") + e.what());
+  }
+  try {
+    check_fit(cfg, ctx.device().spec());
+  } catch (const ResourceError& e) {
+    throw BuildError(std::string("design does not fit: ") + e.what());
+  }
+
+  Program p;
+  p.report_.config = cfg;
+  p.report_.usage = estimate_resources(cfg, ctx.device().spec());
+  p.report_.fmax_mhz = estimate_fmax_mhz(cfg, ctx.device().spec());
+  return p;
+}
+
+// ------------------------------------------------------------------ queue
+
+void CommandQueue::enqueue_write_buffer(Buffer& dst, const void* src,
+                                        std::size_t bytes) {
+  FPGASTENCIL_EXPECT(bytes <= dst.size(), "write exceeds buffer size");
+  std::memcpy(dst.data(), src, bytes);
+}
+
+void CommandQueue::enqueue_read_buffer(const Buffer& src, void* dst,
+                                       std::size_t bytes) {
+  FPGASTENCIL_EXPECT(bytes <= src.size(), "read exceeds buffer size");
+  std::memcpy(dst, src.data(), bytes);
+}
+
+namespace {
+
+/// Shared launch epilogue: modeled device timing for a finished run.
+Event make_event(const Program& program, const DeviceSpec& device,
+                 const RunStats& stats, double host_seconds) {
+  Event ev;
+  ev.host_seconds = host_seconds;
+  ev.device_cycles = stats.vectors_processed;
+  const double fmax_hz = program.report().fmax_mhz * 1e6;
+  const AcceleratorConfig& cfg = program.config();
+  const double zero_stall_seconds = double(stats.vectors_processed) / fmax_hz;
+  ev.device_seconds =
+      zero_stall_seconds /
+      pipeline_efficiency(cfg, device, program.report().fmax_mhz);
+  return ev;
+}
+
+void check_kernel_args(const Program& program, const StarStencil& stencil) {
+  const AcceleratorConfig& cfg = program.config();
+  if (stencil.dims() != cfg.dims || stencil.radius() != cfg.radius) {
+    throw BuildError(
+        "kernel argument mismatch: stencil coefficients are for " +
+        std::to_string(stencil.dims()) + "D radius " +
+        std::to_string(stencil.radius()) + " but the program was built for " +
+        cfg.describe());
+  }
+}
+
+void check_kernel_args(const Program& program, const TapSet& taps) {
+  const AcceleratorConfig& cfg = program.config();
+  if (taps.dims() != cfg.dims || taps.radius() > cfg.radius) {
+    throw BuildError(
+        "kernel argument mismatch: tap set is " + std::to_string(taps.dims()) +
+        "D radius " + std::to_string(taps.radius()) +
+        " but the program was built for " + cfg.describe());
+  }
+}
+
+}  // namespace
+
+Event CommandQueue::enqueue_stencil_2d(const Program& program,
+                                       const StarStencil& stencil,
+                                       const Buffer& in, Buffer& out,
+                                       std::int64_t nx, std::int64_t ny,
+                                       int iterations) {
+  check_kernel_args(program, stencil);
+  FPGASTENCIL_EXPECT(program.config().dims == 2,
+                     "2D launch of a 3D program");
+  const std::size_t bytes = std::size_t(nx) * std::size_t(ny) * sizeof(float);
+  FPGASTENCIL_EXPECT(bytes <= in.size() && bytes <= out.size(),
+                     "grid does not fit in the buffers");
+
+  Grid2D<float> grid(nx, ny);
+  std::memcpy(grid.data(), in.data(), bytes);
+
+  Stopwatch sw;
+  StencilAccelerator accel(stencil, program.config());
+  const RunStats stats = accel.run(grid, iterations);
+  const double host_seconds = sw.seconds();
+
+  std::memcpy(out.data(), grid.data(), bytes);
+  return make_event(program, ctx_->device().spec(), stats, host_seconds);
+}
+
+Event CommandQueue::enqueue_stencil_3d(const Program& program,
+                                       const StarStencil& stencil,
+                                       const Buffer& in, Buffer& out,
+                                       std::int64_t nx, std::int64_t ny,
+                                       std::int64_t nz, int iterations) {
+  check_kernel_args(program, stencil);
+  FPGASTENCIL_EXPECT(program.config().dims == 3,
+                     "3D launch of a 2D program");
+  const std::size_t bytes =
+      std::size_t(nx) * std::size_t(ny) * std::size_t(nz) * sizeof(float);
+  FPGASTENCIL_EXPECT(bytes <= in.size() && bytes <= out.size(),
+                     "grid does not fit in the buffers");
+
+  Grid3D<float> grid(nx, ny, nz);
+  std::memcpy(grid.data(), in.data(), bytes);
+
+  Stopwatch sw;
+  StencilAccelerator accel(stencil, program.config());
+  const RunStats stats = accel.run(grid, iterations);
+  const double host_seconds = sw.seconds();
+
+  std::memcpy(out.data(), grid.data(), bytes);
+  return make_event(program, ctx_->device().spec(), stats, host_seconds);
+}
+
+Event CommandQueue::enqueue_stencil_taps_2d(const Program& program,
+                                            const TapSet& taps,
+                                            const Buffer& in, Buffer& out,
+                                            std::int64_t nx, std::int64_t ny,
+                                            int iterations) {
+  check_kernel_args(program, taps);
+  FPGASTENCIL_EXPECT(program.config().dims == 2, "2D launch of a 3D program");
+  const std::size_t bytes = std::size_t(nx) * std::size_t(ny) * sizeof(float);
+  FPGASTENCIL_EXPECT(bytes <= in.size() && bytes <= out.size(),
+                     "grid does not fit in the buffers");
+
+  Grid2D<float> grid(nx, ny);
+  std::memcpy(grid.data(), in.data(), bytes);
+
+  Stopwatch sw;
+  StencilAccelerator accel(taps, program.config());
+  const RunStats stats = accel.run(grid, iterations);
+  const double host_seconds = sw.seconds();
+
+  std::memcpy(out.data(), grid.data(), bytes);
+  return make_event(program, ctx_->device().spec(), stats, host_seconds);
+}
+
+Event CommandQueue::enqueue_stencil_taps_3d(const Program& program,
+                                            const TapSet& taps,
+                                            const Buffer& in, Buffer& out,
+                                            std::int64_t nx, std::int64_t ny,
+                                            std::int64_t nz, int iterations) {
+  check_kernel_args(program, taps);
+  FPGASTENCIL_EXPECT(program.config().dims == 3, "3D launch of a 2D program");
+  const std::size_t bytes =
+      std::size_t(nx) * std::size_t(ny) * std::size_t(nz) * sizeof(float);
+  FPGASTENCIL_EXPECT(bytes <= in.size() && bytes <= out.size(),
+                     "grid does not fit in the buffers");
+
+  Grid3D<float> grid(nx, ny, nz);
+  std::memcpy(grid.data(), in.data(), bytes);
+
+  Stopwatch sw;
+  StencilAccelerator accel(taps, program.config());
+  const RunStats stats = accel.run(grid, iterations);
+  const double host_seconds = sw.seconds();
+
+  std::memcpy(out.data(), grid.data(), bytes);
+  return make_event(program, ctx_->device().spec(), stats, host_seconds);
+}
+
+}  // namespace fpga_stencil::ocl

@@ -1,0 +1,181 @@
+// Miniature OpenCL-style host runtime ("Intel FPGA SDK for OpenCL" shim).
+//
+// Reproduces the host-side experience of the paper's flow without silicon:
+//
+//   * Platform/Device discovery (the board catalog),
+//   * offline "compilation" via Program::build("-DRAD=3 -DPAR_TIME=4 ...");
+//     macro parsing, configuration validation, and a resource fit against
+//     the device model -- an oversubscribed design throws BuildError just
+//     like a failed aoc place-and-route, and a successful build yields an
+//     aoc-style area/fmax report,
+//   * Buffers and a CommandQueue with blocking transfers,
+//   * kernel launch returning a profiling Event whose device time is the
+//     *modeled* FPGA execution time (cycles at the modeled fmax through the
+//     pipeline-efficiency model), while the data itself is produced by the
+//     bit-exact functional accelerator.
+//
+// Build macros understood (all integers):
+//   DIM (2|3), RAD, BSIZE_X, BSIZE_Y (3D), PAR_VEC, PAR_TIME
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fpga/device_spec.hpp"
+#include "fpga/resource_model.hpp"
+#include "grid/grid.hpp"
+#include "stencil/accel_config.hpp"
+#include "stencil/star_stencil.hpp"
+#include "stencil/tap_set.hpp"
+
+namespace fpga_stencil::ocl {
+
+/// Thrown when "offline compilation" fails: bad options, invalid
+/// configuration, or a design that does not fit the device.
+class BuildError : public std::runtime_error {
+ public:
+  explicit BuildError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parsed `-DNAME=VALUE` build options.
+class BuildOptions {
+ public:
+  /// Parses a `-DNAME=VALUE ...` option string; unknown -D macros are kept,
+  /// non -D tokens are rejected (mirroring aoc's strictness about typos).
+  static BuildOptions parse(const std::string& options);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Integer macro value; throws BuildError when absent or non-numeric.
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int_or(const std::string& name,
+                                        std::int64_t fallback) const;
+
+  /// Translates the macro set into an accelerator configuration.
+  [[nodiscard]] AcceleratorConfig to_config() const;
+
+ private:
+  std::map<std::string, std::string> macros_;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec) : spec_(std::move(spec)) {}
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+class Platform {
+ public:
+  /// The vendor platform with the catalog's FPGA boards.
+  static Platform intel_fpga_sdk();
+
+  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+  /// First device whose name contains `substr`; throws if none.
+  [[nodiscard]] const Device& device_by_name(const std::string& substr) const;
+
+ private:
+  std::vector<Device> devices_;
+};
+
+class Context {
+ public:
+  explicit Context(Device device) : device_(std::move(device)) {}
+  [[nodiscard]] const Device& device() const { return device_; }
+
+ private:
+  Device device_;
+};
+
+/// Device-global-memory buffer (byte-addressed, like cl_mem).
+class Buffer {
+ public:
+  Buffer(const Context& ctx, std::size_t bytes);
+  [[nodiscard]] std::size_t size() const { return storage_.size(); }
+
+  std::byte* data() { return storage_.data(); }
+  [[nodiscard]] const std::byte* data() const { return storage_.data(); }
+
+ private:
+  std::vector<std::byte> storage_;
+};
+
+/// aoc-style area/timing report of a successful build.
+struct BuildReport {
+  AcceleratorConfig config;
+  ResourceUsage usage;
+  double fmax_mhz = 0.0;
+  [[nodiscard]] std::string summary() const;
+};
+
+class Program {
+ public:
+  /// Offline compilation: parse options, validate, fit, predict fmax.
+  static Program build(const Context& ctx, const std::string& options);
+
+  [[nodiscard]] const BuildReport& report() const { return report_; }
+  [[nodiscard]] const AcceleratorConfig& config() const {
+    return report_.config;
+  }
+
+ private:
+  Program() = default;
+  BuildReport report_;
+};
+
+/// Kernel-execution profiling info (CL_PROFILING_COMMAND_START/END).
+struct Event {
+  double device_seconds = 0.0;  ///< modeled FPGA kernel time
+  double host_seconds = 0.0;    ///< wall time of the functional simulation
+  std::int64_t device_cycles = 0;  ///< modeled pipeline cycles
+
+  [[nodiscard]] double device_ms() const { return device_seconds * 1e3; }
+};
+
+class CommandQueue {
+ public:
+  explicit CommandQueue(const Context& ctx) : ctx_(&ctx) {}
+
+  /// Blocking host-to-device / device-to-host transfers.
+  void enqueue_write_buffer(Buffer& dst, const void* src, std::size_t bytes);
+  void enqueue_read_buffer(const Buffer& src, void* dst, std::size_t bytes);
+
+  /// Launches the read->PE-chain->write kernel trio for `iterations` time
+  /// steps of a 2D grid stored row-major in `in` (nx*ny float32). The
+  /// result lands in `out`. The stencil supplies the coefficient kernel
+  /// arguments and must agree with the program's DIM/RAD macros.
+  Event enqueue_stencil_2d(const Program& program, const StarStencil& stencil,
+                           const Buffer& in, Buffer& out, std::int64_t nx,
+                           std::int64_t ny, int iterations);
+
+  /// 3D variant (nx*ny*nz float32, z-major slowest).
+  Event enqueue_stencil_3d(const Program& program, const StarStencil& stencil,
+                           const Buffer& in, Buffer& out, std::int64_t nx,
+                           std::int64_t ny, std::int64_t nz, int iterations);
+
+  /// Generic tap-set launches (box stencils, custom shapes): the tap set
+  /// supplies the coefficient arguments; its radius must not exceed the
+  /// program's RAD macro.
+  Event enqueue_stencil_taps_2d(const Program& program, const TapSet& taps,
+                                const Buffer& in, Buffer& out,
+                                std::int64_t nx, std::int64_t ny,
+                                int iterations);
+  Event enqueue_stencil_taps_3d(const Program& program, const TapSet& taps,
+                                const Buffer& in, Buffer& out,
+                                std::int64_t nx, std::int64_t ny,
+                                std::int64_t nz, int iterations);
+
+  /// All work here is synchronous; finish() exists for API fidelity.
+  void finish() {}
+
+ private:
+  const Context* ctx_;
+};
+
+}  // namespace fpga_stencil::ocl

@@ -1,0 +1,54 @@
+// On-chip channel: the bounded FIFO connecting read kernel, PEs, and write
+// kernel (Intel OpenCL `channel` / `pipe`).
+//
+// The functional accelerator path chains PEs synchronously and does not
+// stall, but the cycle-level simulator uses these channels with finite
+// capacity to model back-pressure from the memory controller.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/expect.hpp"
+
+namespace fpga_stencil {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {
+    FPGASTENCIL_EXPECT(capacity > 0, "channel capacity must be positive");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return fifo_.size(); }
+  [[nodiscard]] bool empty() const { return fifo_.empty(); }
+  [[nodiscard]] bool full() const { return fifo_.size() >= capacity_; }
+
+  /// Non-blocking write: returns false when full (producer must stall).
+  bool try_write(T value) {
+    if (full()) return false;
+    fifo_.push_back(std::move(value));
+    ++total_writes_;
+    return true;
+  }
+
+  /// Non-blocking read: empty optional when the FIFO is empty.
+  std::optional<T> try_read() {
+    if (fifo_.empty()) return std::nullopt;
+    T v = std::move(fifo_.front());
+    fifo_.pop_front();
+    return v;
+  }
+
+  /// Lifetime statistics (cycle-simulator occupancy accounting).
+  [[nodiscard]] std::uint64_t total_writes() const { return total_writes_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> fifo_;
+  std::uint64_t total_writes_ = 0;
+};
+
+}  // namespace fpga_stencil

@@ -1,0 +1,75 @@
+// HLS-style shift register.
+//
+// On the FPGA the spatial-blocking buffer is a shift register inferred into
+// Block RAM: every cycle `parvec` new cells enter at the tail and the whole
+// register shifts by `parvec`; the stencil taps fixed logical offsets. This
+// class reproduces those semantics exactly while storing the data in a ring
+// buffer, so a shift is O(parvec) instead of O(size).
+//
+// Logical index convention: 0 is the oldest element, size()-1 the newest.
+// After shift_in(v[0..p)), tap(size()-p+i) == v[i].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace fpga_stencil {
+
+template <typename T>
+class ShiftRegister {
+ public:
+  /// `size` total cells, shifted by `shift_width` cells per cycle.
+  ShiftRegister(std::int64_t size, std::int64_t shift_width)
+      : size_(size), shift_width_(shift_width),
+        data_(static_cast<std::size_t>(size), T{}) {
+    FPGASTENCIL_EXPECT(size > 0, "shift register must be non-empty");
+    FPGASTENCIL_EXPECT(shift_width > 0 && shift_width <= size,
+                       "shift width must be in [1, size]");
+  }
+
+  [[nodiscard]] std::int64_t size() const { return size_; }
+  [[nodiscard]] std::int64_t shift_width() const { return shift_width_; }
+
+  /// One pipeline cycle: shifts by shift_width and loads `values` at the
+  /// tail (logical indices [size - shift_width, size)).
+  void shift_in(std::span<const T> values) {
+    FPGASTENCIL_ASSERT(std::int64_t(values.size()) == shift_width_,
+                       "shift_in width mismatch");
+    // The ring's head marks the oldest element; overwriting the oldest
+    // shift_width slots and advancing the head is exactly a shift.
+    for (std::int64_t i = 0; i < shift_width_; ++i) {
+      data_[static_cast<std::size_t>(physical(i))] = values[size_t(i)];
+    }
+    head_ += shift_width_;
+    if (head_ >= size_) head_ -= size_;
+  }
+
+  /// Reads the element at logical index `i` (0 = oldest).
+  [[nodiscard]] const T& tap(std::int64_t i) const {
+    FPGASTENCIL_ASSERT(i >= 0 && i < size_, "tap index out of range");
+    return data_[static_cast<std::size_t>(physical(i))];
+  }
+
+  /// Resets contents to T{} (block-pass boundaries).
+  void clear() {
+    std::fill(data_.begin(), data_.end(), T{});
+    head_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::int64_t physical(std::int64_t logical) const {
+    std::int64_t p = head_ + logical;
+    if (p >= size_) p -= size_;
+    return p;
+  }
+
+  std::int64_t size_;
+  std::int64_t shift_width_;
+  std::int64_t head_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace fpga_stencil

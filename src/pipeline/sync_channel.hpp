@@ -1,0 +1,62 @@
+// Thread-safe blocking channel: the concurrent-execution counterpart of
+// Channel<T>. Semantics match Intel OpenCL channels: bounded FIFO,
+// blocking read/write, plus a close() for orderly pipeline shutdown
+// (hardware autorun kernels never terminate; host software needs to).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/expect.hpp"
+
+namespace fpga_stencil {
+
+template <typename T>
+class SyncChannel {
+ public:
+  explicit SyncChannel(std::size_t capacity) : capacity_(capacity) {
+    FPGASTENCIL_EXPECT(capacity > 0, "channel capacity must be positive");
+  }
+
+  /// Blocks until there is room. Writing to a closed channel throws.
+  void write(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return fifo_.size() < capacity_ || closed_; });
+    FPGASTENCIL_ASSERT(!closed_, "write to a closed channel");
+    fifo_.push_back(std::move(value));
+    not_empty_.notify_one();
+  }
+
+  /// Blocks until a value arrives; empty optional once the channel is
+  /// closed and drained.
+  std::optional<T> read() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !fifo_.empty() || closed_; });
+    if (fifo_.empty()) return std::nullopt;
+    T v = std::move(fifo_.front());
+    fifo_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Ends the stream: readers drain what is buffered, then see nullopt.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> fifo_;
+  bool closed_ = false;
+};
+
+}  // namespace fpga_stencil

@@ -1,0 +1,40 @@
+#include "stencil/accel_config.hpp"
+
+namespace fpga_stencil {
+
+BlockingPlan make_blocking_plan(const AcceleratorConfig& cfg, std::int64_t nx,
+                                std::int64_t ny, std::int64_t nz) {
+  cfg.validate();
+  FPGASTENCIL_EXPECT(nx > 0 && ny > 0 && nz > 0, "grid extents must be positive");
+  if (cfg.dims == 2) {
+    FPGASTENCIL_EXPECT(nz == 1, "2D plan must have nz == 1");
+  }
+
+  BlockingPlan plan;
+  plan.config = cfg;
+  plan.nx = nx;
+  plan.ny = ny;
+  plan.nz = nz;
+  plan.blocks_x = ceil_div(nx, cfg.csize_x());
+
+  if (cfg.dims == 2) {
+    plan.blocks_y = 1;
+    // y is streamed: ny real rows plus the chain's drain rows so the last
+    // PE can retire row ny-1.
+    plan.stream_extent = ny + cfg.stream_drain();
+    plan.valid_cells = nx * ny;
+  } else {
+    plan.blocks_y = ceil_div(ny, cfg.csize_y());
+    // z is streamed: nz real planes plus the chain's drain planes.
+    plan.stream_extent = nz + cfg.stream_drain();
+    plan.valid_cells = nx * ny * nz;
+  }
+
+  plan.cells_streamed_per_pass = plan.stream_extent * cfg.row_cells();
+  plan.cells_streamed =
+      plan.cells_streamed_per_pass * plan.blocks_x * plan.blocks_y;
+  plan.vectors_streamed = plan.cells_streamed / cfg.parvec;
+  return plan;
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,145 @@
+// Accelerator configuration: the paper's performance knobs.
+//
+//   - radius  : stencil radius (compile-time parameter in the paper; a
+//               plain field here, since our "synthesis" is instantaneous)
+//   - bsize   : spatial block size (x, and y for 3D) -- paper Section V.A
+//   - parvec  : vector width, consecutive x-cells updated per cycle
+//   - partime : degree of temporal parallelism = number of chained PEs
+//
+// Derived quantities follow the paper exactly:
+//   halo       = partime * radius                  (overlapped blocking)
+//   csize      = bsize - 2 * halo                  (eq. 2)
+//   SR size    = 2*rad*bsize_x            + parvec (eq. 7, 2D)
+//                2*rad*bsize_x*bsize_y    + parvec (eq. 7, 3D)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/expect.hpp"
+#include "common/math_util.hpp"
+
+namespace fpga_stencil {
+
+struct AcceleratorConfig {
+  int dims = 2;              ///< 2 or 3
+  int radius = 1;            ///< stencil radius ("order" in the paper)
+  std::int64_t bsize_x = 0;  ///< spatial block width (vectorized dimension)
+  std::int64_t bsize_y = 1;  ///< spatial block height, 3D only (1 for 2D)
+  int parvec = 1;            ///< vector width (cells per cycle per PE)
+  int partime = 1;           ///< temporal parallelism (chained PEs)
+
+  /// Stream-dimension rows (2D) / planes (3D) of lag per pipeline stage.
+  /// 0 means "auto" = radius, which is exact for star stencils; generic
+  /// tap sets whose farthest tap reaches past `radius` whole rows (e.g.
+  /// box-stencil corners) need radius + 1. The accelerator sets this from
+  /// the tap set.
+  int stage_lag = 0;
+
+  [[nodiscard]] int effective_stage_lag() const {
+    return stage_lag > 0 ? stage_lag : radius;
+  }
+
+  /// Warm-up/drain rows of the streamed dimension per pass: the total
+  /// pipeline lag of the PE chain.
+  [[nodiscard]] std::int64_t stream_drain() const {
+    return std::int64_t(partime) * effective_stage_lag();
+  }
+
+  /// Overlapped-blocking halo per side of each blocked dimension.
+  [[nodiscard]] std::int64_t halo() const {
+    return std::int64_t(partime) * radius;
+  }
+
+  /// Valid ("compute") block extent, paper eq. (2).
+  [[nodiscard]] std::int64_t csize_x() const { return bsize_x - 2 * halo(); }
+  [[nodiscard]] std::int64_t csize_y() const {
+    return dims == 3 ? bsize_y - 2 * halo() : 1;
+  }
+
+  /// Cells per shift-register "row": one x-row in 2D, one z-plane in 3D.
+  /// This is the unit the streaming dimension advances by.
+  [[nodiscard]] std::int64_t row_cells() const {
+    return dims == 3 ? bsize_x * bsize_y : bsize_x;
+  }
+
+  /// Shift-register size in cells, paper eq. (7).
+  [[nodiscard]] std::int64_t shift_register_cells() const {
+    return 2 * std::int64_t(radius) * row_cells() + parvec;
+  }
+
+  /// Cell updates retired per cycle across the whole PE chain.
+  [[nodiscard]] std::int64_t updates_per_cycle() const {
+    return std::int64_t(parvec) * partime;
+  }
+
+  /// Structural validity (block large enough for the halo, vectorization
+  /// divides the block, positive knobs). Throws ConfigError on violation.
+  void validate() const {
+    FPGASTENCIL_EXPECT(dims == 2 || dims == 3, "dims must be 2 or 3");
+    FPGASTENCIL_EXPECT(radius >= 1, "radius must be >= 1");
+    FPGASTENCIL_EXPECT(parvec >= 1, "parvec must be >= 1");
+    FPGASTENCIL_EXPECT(partime >= 1, "partime must be >= 1");
+    FPGASTENCIL_EXPECT(bsize_x > 0, "bsize_x must be positive");
+    FPGASTENCIL_EXPECT(is_multiple(bsize_x, std::int64_t(parvec)),
+                       "bsize_x must be a multiple of parvec");
+    FPGASTENCIL_EXPECT(stage_lag >= 0, "stage_lag must be non-negative");
+    FPGASTENCIL_EXPECT(csize_x() > 0,
+                       "block too small: bsize_x must exceed 2*partime*rad");
+    if (dims == 3) {
+      FPGASTENCIL_EXPECT(bsize_y > 1, "3D blocks need bsize_y > 1");
+      FPGASTENCIL_EXPECT(csize_y() > 0,
+                         "block too small: bsize_y must exceed 2*partime*rad");
+    } else {
+      FPGASTENCIL_EXPECT(bsize_y == 1, "2D blocks must have bsize_y == 1");
+    }
+  }
+
+  /// The paper's external-memory alignment rule, eq. (6):
+  /// (partime * rad) mod 4 == 0, and parvec a multiple of two (memory port
+  /// width restriction). The tuner enforces this; the simulator does not
+  /// require it.
+  [[nodiscard]] bool meets_alignment_rule() const {
+    return is_multiple(halo(), std::int64_t(4)) && parvec % 2 == 0;
+  }
+
+  [[nodiscard]] std::string describe() const {
+    std::string s = std::to_string(dims) + "D rad=" + std::to_string(radius) +
+                    " bsize=" + std::to_string(bsize_x);
+    if (dims == 3) s += "x" + std::to_string(bsize_y);
+    s += " parvec=" + std::to_string(parvec) +
+         " partime=" + std::to_string(partime);
+    return s;
+  }
+};
+
+/// Block decomposition of a concrete grid under a configuration, with the
+/// exact streamed-vs-valid cell accounting used by both the functional
+/// simulator and the performance model.
+struct BlockingPlan {
+  AcceleratorConfig config;
+  std::int64_t nx = 0, ny = 0, nz = 1;  ///< grid extents (nz==1 for 2D)
+  std::int64_t blocks_x = 0;            ///< ceil(nx / csize_x)
+  std::int64_t blocks_y = 1;            ///< ceil(ny / csize_y), 3D only
+  std::int64_t stream_extent = 0;       ///< rows (2D) / planes (3D) streamed
+                                        ///< per pass incl. drain filler
+  std::int64_t cells_streamed_per_pass = 0;
+  std::int64_t valid_cells = 0;      ///< nx*ny(*nz): real grid cells
+  std::int64_t cells_streamed = 0;   ///< over all passes
+  std::int64_t vectors_streamed = 0; ///< cells_streamed / parvec = cycles
+                                     ///< in the zero-stall pipeline model
+
+  /// Redundancy factor: streamed / valid >= 1. The paper's "redundant
+  /// computation to support overlapped blocking".
+  [[nodiscard]] double redundancy() const {
+    return double(cells_streamed) / double(valid_cells);
+  }
+};
+
+/// Builds the plan; validates that the grid is compatible (positive sizes).
+/// Grids that are not multiples of csize are allowed: the final block is
+/// partially wasted, exactly as on the real accelerator.
+BlockingPlan make_blocking_plan(const AcceleratorConfig& cfg, std::int64_t nx,
+                                std::int64_t ny, std::int64_t nz = 1);
+
+}  // namespace fpga_stencil

@@ -1,0 +1,56 @@
+#include "stencil/box_stencil.hpp"
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace fpga_stencil {
+
+std::int64_t box_tap_count(int dims, int radius) {
+  FPGASTENCIL_EXPECT(dims == 2 || dims == 3, "box stencil must be 2D or 3D");
+  FPGASTENCIL_EXPECT(radius >= 1, "radius must be >= 1");
+  const std::int64_t side = 2 * std::int64_t(radius) + 1;
+  return dims == 2 ? side * side : side * side * side;
+}
+
+TapSet make_box_stencil(int dims, int radius, std::uint64_t seed) {
+  const std::int64_t count = box_tap_count(dims, radius);
+  SplitMix64 rng(seed);
+
+  std::vector<Tap> taps;
+  taps.reserve(static_cast<std::size_t>(count));
+  double total = 0.0;
+  const int zlo = dims == 3 ? -radius : 0;
+  const int zhi = dims == 3 ? radius : 0;
+  for (int dz = zlo; dz <= zhi; ++dz) {
+    for (int dy = -radius; dy <= radius; ++dy) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        // The center gets extra raw weight so it dominates, like a
+        // smoothing kernel.
+        const bool center = dx == 0 && dy == 0 && dz == 0;
+        const float w = center ? 2.0f : rng.next_float(0.05f, 1.0f);
+        taps.push_back(Tap{dx, dy, dz, w});
+        total += w;
+      }
+    }
+  }
+  const float scale = static_cast<float>(1.0 / total);
+  for (Tap& t : taps) t.coeff *= scale;
+  return TapSet(dims, radius, std::move(taps));
+}
+
+TapSet make_cubic27_stencil() {
+  std::vector<Tap> taps;
+  taps.reserve(27);
+  const float neighbor = 0.5f / 26.0f;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const bool center = dx == 0 && dy == 0 && dz == 0;
+        taps.push_back(Tap{dx, dy, dz, center ? 0.5f : neighbor});
+      }
+    }
+  }
+  return TapSet(3, 1, std::move(taps));
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,31 @@
+// Box (cubic) stencils: the full (2r+1)^dims neighborhood.
+//
+// The paper evaluates star stencils, but the architecture generalizes (its
+// related work [19] runs a first-order 3D *cubic* stencil on the same kind
+// of pipeline). Box stencils stress the design differently: tap count --
+// and hence DSP demand -- grows as (2r+1)^dims instead of 2*dims*r+1, so
+// the DSP budget collapses the feasible parallelism almost immediately
+// (see bench/extension_box_stencil).
+//
+// Taps are ordered row-major over (dz, dy, dx) ascending; that order is the
+// accumulation order (bit-exactness contract, same as everywhere else).
+#pragma once
+
+#include <cstdint>
+
+#include "stencil/tap_set.hpp"
+
+namespace fpga_stencil {
+
+/// Full box neighborhood with deterministic per-tap coefficients whose sum
+/// is 1 (numerically stable under iteration). `seed` varies coefficients.
+TapSet make_box_stencil(int dims, int radius, std::uint64_t seed = 42);
+
+/// The related-work [19] comparison case: a first-order 3D cubic (27-point)
+/// stencil with one shared coefficient for all neighbors.
+TapSet make_cubic27_stencil();
+
+/// Number of taps in a box stencil: (2r+1)^dims.
+std::int64_t box_tap_count(int dims, int radius);
+
+}  // namespace fpga_stencil

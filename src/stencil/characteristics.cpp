@@ -1,0 +1,29 @@
+#include "stencil/characteristics.hpp"
+
+#include "common/expect.hpp"
+
+namespace fpga_stencil {
+
+StencilCharacteristics stencil_characteristics(int dims, int radius,
+                                               ValuePrecision precision) {
+  FPGASTENCIL_EXPECT(dims == 2 || dims == 3, "stencil must be 2D or 3D");
+  FPGASTENCIL_EXPECT(radius >= 1, "stencil radius must be >= 1");
+  StencilCharacteristics c;
+  c.dims = dims;
+  c.radius = radius;
+  const std::int64_t ndir = 2 * dims;  // 4 in 2D, 6 in 3D
+  c.fmul_per_cell = ndir * radius + 1;
+  c.fadd_per_cell = ndir * radius;
+  c.flop_per_cell = c.fmul_per_cell + c.fadd_per_cell;
+  // One read + one write per cell update with full spatial reuse.
+  c.bytes_per_cell = 2 * bytes_per_value(precision);
+  c.flop_per_byte =
+      static_cast<double>(c.flop_per_cell) / static_cast<double>(c.bytes_per_cell);
+  // Every multiply fuses with the following add except the last one; each
+  // fused op costs dsps_per_fma for the precision.
+  c.dsp_per_cell = (ndir * radius + 1) * dsps_per_fma(precision);
+  c.dsp_per_cell_shared = c.dsp_per_cell - dsps_per_fma(precision);
+  return c;
+}
+
+}  // namespace fpga_stencil

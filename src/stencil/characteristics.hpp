@@ -1,0 +1,51 @@
+// Computational characteristics of star stencils (paper Table I) and the
+// DSP-cost arithmetic of Section V.A.
+#pragma once
+
+#include <cstdint>
+
+namespace fpga_stencil {
+
+/// Value precision of the stencil data. The paper evaluates float32; the
+/// float64 variant models the conclusion-adjacent what-if: doubled memory
+/// traffic and ~4 DSPs per fused multiply-add on Arria-10-class devices
+/// (double precision is emulated from 27x27 multipliers plus logic).
+enum class ValuePrecision : std::uint8_t { kFloat32, kFloat64 };
+
+/// Bytes per value for a precision.
+constexpr std::int64_t bytes_per_value(ValuePrecision p) {
+  return p == ValuePrecision::kFloat32 ? 4 : 8;
+}
+
+/// DSP blocks per fused multiply-add for a precision (Arria-10-class).
+constexpr std::int64_t dsps_per_fma(ValuePrecision p) {
+  return p == ValuePrecision::kFloat32 ? 1 : 4;
+}
+
+/// Per-cell-update cost of a star stencil, assuming distinct coefficients
+/// (the paper's worst case) and full spatial reuse for the byte count.
+struct StencilCharacteristics {
+  int dims = 0;
+  int radius = 0;
+  std::int64_t fmul_per_cell = 0;   ///< floating multiplies per update
+  std::int64_t fadd_per_cell = 0;   ///< floating adds per update
+  std::int64_t flop_per_cell = 0;   ///< fmul + fadd (paper: 8r+1 / 12r+1)
+  std::int64_t bytes_per_cell = 0;  ///< 1 float read + 1 float write = 8
+  double flop_per_byte = 0.0;       ///< Table I's FLOP/Byte column
+
+  /// DSPs per cell update on Arria-10-class devices where one DSP does one
+  /// FMA: every multiply fuses with the following add except the last, so
+  /// 4*rad+1 (2D) / 6*rad+1 (3D). Paper Section V.A.
+  std::int64_t dsp_per_cell = 0;
+
+  /// DSPs per cell update when coefficients are shared per direction: the
+  /// multiply count drops but the adds remain, saving exactly one DSP
+  /// (Section V.A, shared-coefficient remark).
+  std::int64_t dsp_per_cell_shared = 0;
+};
+
+/// Closed-form characteristics for a star stencil.
+StencilCharacteristics stencil_characteristics(
+    int dims, int radius, ValuePrecision precision = ValuePrecision::kFloat32);
+
+}  // namespace fpga_stencil

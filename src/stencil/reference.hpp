@@ -1,0 +1,48 @@
+// Naive reference executors for star stencils with clamped boundaries.
+//
+// These are the golden implementations every optimized path is validated
+// against. They iterate cells in plain row-major order and evaluate each
+// point via StarStencil::apply_point, i.e. in the canonical accumulation
+// order, so bit-exact comparison against the FPGA pipeline simulator is
+// meaningful.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/grid.hpp"
+#include "stencil/star_stencil.hpp"
+#include "stencil/tap_set.hpp"
+
+namespace fpga_stencil {
+
+/// One time step: out(x,y) = stencil applied to in at (x,y).
+void reference_step(const StarStencil& stencil, const Grid2D<float>& in,
+                    Grid2D<float>& out);
+void reference_step(const StarStencil& stencil, const Grid3D<float>& in,
+                    Grid3D<float>& out);
+
+/// `iterations` time steps with internal ping-pong; `grid` holds the final
+/// state on return.
+void reference_run(const StarStencil& stencil, Grid2D<float>& grid,
+                   int iterations);
+void reference_run(const StarStencil& stencil, Grid3D<float>& grid,
+                   int iterations);
+
+// --- generic tap-set executors (box stencils, custom shapes) ---
+// Accumulation strictly in tap order, every tap clamped per axis; for
+// StarStencil::to_taps() these are bit-exact with the star overloads.
+
+float apply_taps(const TapSet& taps, const Grid2D<float>& g, std::int64_t x,
+                 std::int64_t y);
+float apply_taps(const TapSet& taps, const Grid3D<float>& g, std::int64_t x,
+                 std::int64_t y, std::int64_t z);
+
+void reference_step(const TapSet& taps, const Grid2D<float>& in,
+                    Grid2D<float>& out);
+void reference_step(const TapSet& taps, const Grid3D<float>& in,
+                    Grid3D<float>& out);
+
+void reference_run(const TapSet& taps, Grid2D<float>& grid, int iterations);
+void reference_run(const TapSet& taps, Grid3D<float>& grid, int iterations);
+
+}  // namespace fpga_stencil

@@ -1,0 +1,133 @@
+#include "stencil/star_stencil.hpp"
+
+#include <span>
+
+#include "common/rng.hpp"
+
+namespace fpga_stencil {
+
+NeighborOffset direction_offset(Direction d, std::int64_t distance) {
+  switch (d) {
+    case Direction::kWest:
+      return {-distance, 0, 0};
+    case Direction::kEast:
+      return {distance, 0, 0};
+    case Direction::kSouth:
+      return {0, -distance, 0};
+    case Direction::kNorth:
+      return {0, distance, 0};
+    case Direction::kBelow:
+      return {0, 0, -distance};
+    case Direction::kAbove:
+      return {0, 0, distance};
+  }
+  FPGASTENCIL_ASSERT(false, "unknown direction");
+}
+
+StarStencil::StarStencil(int dims, int radius, float center_coeff,
+                         std::vector<std::vector<float>> neighbor_coeffs)
+    : dims_(dims),
+      radius_(radius),
+      center_(center_coeff),
+      coeffs_(std::move(neighbor_coeffs)) {
+  FPGASTENCIL_EXPECT(dims == 2 || dims == 3, "stencil must be 2D or 3D");
+  FPGASTENCIL_EXPECT(radius >= 1, "stencil radius must be >= 1");
+  FPGASTENCIL_EXPECT(coeffs_.size() == static_cast<std::size_t>(2 * dims),
+                     "need one coefficient row per direction");
+  for (const auto& row : coeffs_) {
+    FPGASTENCIL_EXPECT(row.size() == static_cast<std::size_t>(radius),
+                       "need one coefficient per distance 1..radius");
+  }
+}
+
+StarStencil StarStencil::make_benchmark(int dims, int radius,
+                                        std::uint64_t seed) {
+  FPGASTENCIL_EXPECT(dims == 2 || dims == 3, "stencil must be 2D or 3D");
+  FPGASTENCIL_EXPECT(radius >= 1, "stencil radius must be >= 1");
+  // Draw raw positive weights, then normalize so center + sum(neighbors) = 1.
+  // This keeps iterated application bounded (a convex combination of clamped
+  // values) for arbitrarily many time steps.
+  SplitMix64 rng(seed);
+  const int ndir = 2 * dims;
+  std::vector<std::vector<float>> raw(static_cast<std::size_t>(ndir));
+  double total = 2.0;  // raw weight of the center term
+  for (auto& row : raw) {
+    row.resize(static_cast<std::size_t>(radius));
+    for (float& c : row) {
+      c = rng.next_float(0.05f, 1.0f);
+      total += c;
+    }
+  }
+  const float scale = static_cast<float>(1.0 / total);
+  for (auto& row : raw) {
+    for (float& c : row) c *= scale;
+  }
+  return StarStencil(dims, radius, 2.0f * scale, std::move(raw));
+}
+
+StarStencil StarStencil::make_shared_coefficient(int dims, int radius) {
+  FPGASTENCIL_EXPECT(dims == 2 || dims == 3, "stencil must be 2D or 3D");
+  const int ndir = 2 * dims;
+  // One coefficient per direction, shared across distances, normalized as
+  // in make_benchmark.
+  const double total = 2.0 + ndir * radius * 0.5;
+  const float c = static_cast<float>(0.5 / total);
+  std::vector<std::vector<float>> rows(
+      static_cast<std::size_t>(ndir),
+      std::vector<float>(static_cast<std::size_t>(radius), c));
+  return StarStencil(dims, radius, static_cast<float>(2.0 / total),
+                     std::move(rows));
+}
+
+float StarStencil::coeff(Direction d, int i) const {
+  FPGASTENCIL_EXPECT(i >= 1 && i <= radius_, "distance out of range");
+  const auto di = static_cast<std::size_t>(d);
+  FPGASTENCIL_EXPECT(di < coeffs_.size(), "direction out of range for dims");
+  return coeffs_[di][static_cast<std::size_t>(i - 1)];
+}
+
+float StarStencil::apply_point(const Grid2D<float>& g, std::int64_t x,
+                               std::int64_t y) const {
+  FPGASTENCIL_ASSERT(dims_ == 2, "2D apply on a 3D stencil");
+  float acc = center_ * g.at(x, y);
+  for (int i = 1; i <= radius_; ++i) {
+    for (Direction d : kDirections2D) {
+      const NeighborOffset o = direction_offset(d, i);
+      acc += coeff(d, i) * g.at_clamped(x + o.dx, y + o.dy);
+    }
+  }
+  return acc;
+}
+
+float StarStencil::apply_point(const Grid3D<float>& g, std::int64_t x,
+                               std::int64_t y, std::int64_t z) const {
+  FPGASTENCIL_ASSERT(dims_ == 3, "3D apply on a 2D stencil");
+  float acc = center_ * g.at(x, y, z);
+  for (int i = 1; i <= radius_; ++i) {
+    for (Direction d : kDirections3D) {
+      const NeighborOffset o = direction_offset(d, i);
+      acc += coeff(d, i) * g.at_clamped(x + o.dx, y + o.dy, z + o.dz);
+    }
+  }
+  return acc;
+}
+
+TapSet StarStencil::to_taps() const {
+  std::vector<Tap> taps;
+  taps.reserve(1 + std::size_t(direction_count()) * std::size_t(radius_));
+  taps.push_back(Tap{0, 0, 0, center_});
+  const auto dirs2 = kDirections2D;
+  const auto dirs3 = kDirections3D;
+  const std::span<const Direction> dirs =
+      dims_ == 2 ? std::span<const Direction>(dirs2)
+                 : std::span<const Direction>(dirs3);
+  for (int i = 1; i <= radius_; ++i) {
+    for (Direction d : dirs) {
+      const NeighborOffset o = direction_offset(d, i);
+      taps.push_back(Tap{o.dx, o.dy, o.dz, coeff(d, i)});
+    }
+  }
+  return TapSet(dims_, radius_, std::move(taps));
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,112 @@
+// Star-shaped stencil definitions (paper eq. 1).
+//
+// A star stencil of radius `rad` updates each cell from the cell itself and
+// its neighbors at distances 1..rad along each axis:
+//
+//   f_c(t+1) = cc*f_c(t) + sum_{i=1..rad} sum_{d in directions} c_{d,i} * f_{d,i}(t)
+//
+// The paper's implementation keeps one coefficient per *direction* but,
+// because floating-point reordering is disallowed, treats every term as a
+// distinct multiply -- i.e. it optimizes the worst case where every
+// neighbor has its own coefficient. We therefore store one coefficient per
+// (direction, distance) pair.
+//
+// Floating-point evaluation order is part of this type's contract: every
+// executor in the library (naive reference, FPGA pipeline simulator, CPU
+// baseline in "exact" mode, generated OpenCL source) accumulates terms in
+// the identical sequence defined by `Direction` order for each distance
+// i = 1..rad, after the center term. This is what makes bit-exact
+// cross-validation between the architecture simulator and the reference
+// possible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "grid/grid.hpp"
+#include "stencil/tap_set.hpp"
+
+namespace fpga_stencil {
+
+/// Axis directions in canonical accumulation order.
+/// 2D stencils use West..North; 3D adds Below/Above (z axis).
+enum class Direction : std::uint8_t {
+  kWest = 0,   ///< x - i
+  kEast = 1,   ///< x + i
+  kSouth = 2,  ///< y - i
+  kNorth = 3,  ///< y + i
+  kBelow = 4,  ///< z - i
+  kAbove = 5,  ///< z + i
+};
+
+inline constexpr std::array<Direction, 4> kDirections2D = {
+    Direction::kWest, Direction::kEast, Direction::kSouth, Direction::kNorth};
+inline constexpr std::array<Direction, 6> kDirections3D = {
+    Direction::kWest,  Direction::kEast,  Direction::kSouth,
+    Direction::kNorth, Direction::kBelow, Direction::kAbove};
+
+/// Coefficient offset (dx, dy, dz) for direction `d` at distance `i`.
+struct NeighborOffset {
+  std::int64_t dx = 0;
+  std::int64_t dy = 0;
+  std::int64_t dz = 0;
+};
+
+NeighborOffset direction_offset(Direction d, std::int64_t distance);
+
+/// Star stencil of parameterizable radius in 2 or 3 dimensions.
+class StarStencil {
+ public:
+  /// Builds a stencil with explicitly given coefficients.
+  /// `neighbor_coeffs[d][i-1]` is the coefficient for direction d at
+  /// distance i; d indexes the canonical direction order.
+  StarStencil(int dims, int radius, float center_coeff,
+              std::vector<std::vector<float>> neighbor_coeffs);
+
+  /// Builds the benchmark stencil used throughout the reproduction:
+  /// deterministic per-(direction,distance) coefficients whose total sum is
+  /// 1, so iterated application stays numerically bounded. `seed` varies
+  /// the coefficients for property tests.
+  static StarStencil make_benchmark(int dims, int radius,
+                                    std::uint64_t seed = 42);
+
+  /// The paper's comparison case: one shared coefficient per direction
+  /// (still evaluated as distinct multiplies).
+  static StarStencil make_shared_coefficient(int dims, int radius);
+
+  [[nodiscard]] int dims() const { return dims_; }
+  [[nodiscard]] int radius() const { return radius_; }
+  [[nodiscard]] float center() const { return center_; }
+
+  /// Coefficient for `d` at distance `i` (1-based, i <= radius).
+  [[nodiscard]] float coeff(Direction d, int i) const;
+
+  /// Number of directions (4 in 2D, 6 in 3D).
+  [[nodiscard]] int direction_count() const { return 2 * dims_; }
+
+  /// Applies the stencil at one 2D point with clamped boundaries, in the
+  /// canonical accumulation order. Bit-exact contract anchor.
+  [[nodiscard]] float apply_point(const Grid2D<float>& g, std::int64_t x,
+                                  std::int64_t y) const;
+
+  /// Applies the stencil at one 3D point with clamped boundaries.
+  [[nodiscard]] float apply_point(const Grid3D<float>& g, std::int64_t x,
+                                  std::int64_t y, std::int64_t z) const;
+
+  /// Lowers to the ordered TapSet the generic pipeline executes: center
+  /// first, then distances 1..radius in canonical direction order --
+  /// exactly apply_point's accumulation order, so TapSet execution is
+  /// bit-exact with this class.
+  [[nodiscard]] TapSet to_taps() const;
+
+ private:
+  int dims_;
+  int radius_;
+  float center_;
+  /// Indexed [direction][distance-1].
+  std::vector<std::vector<float>> coeffs_;
+};
+
+}  // namespace fpga_stencil

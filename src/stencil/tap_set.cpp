@@ -1,0 +1,53 @@
+#include "stencil/tap_set.hpp"
+
+#include <algorithm>
+
+namespace fpga_stencil {
+
+TapSet::TapSet(int dims, int radius, std::vector<Tap> taps)
+    : dims_(dims), radius_(radius), taps_(std::move(taps)) {
+  FPGASTENCIL_EXPECT(dims == 2 || dims == 3, "tap set must be 2D or 3D");
+  FPGASTENCIL_EXPECT(radius >= 1, "radius must be >= 1");
+  FPGASTENCIL_EXPECT(!taps_.empty(), "tap set must not be empty");
+  for (const Tap& t : taps_) {
+    FPGASTENCIL_EXPECT(
+        std::abs(t.dx) <= radius && std::abs(t.dy) <= radius &&
+            std::abs(t.dz) <= radius,
+        "tap offset exceeds the declared radius");
+    if (dims == 2) {
+      FPGASTENCIL_EXPECT(t.dz == 0, "2D tap set cannot have z offsets");
+    }
+  }
+}
+
+std::int64_t TapSet::flat_offset(const Tap& t, std::int64_t bsize_x,
+                                 std::int64_t row_cells) const {
+  if (dims_ == 2) return t.dy * bsize_x + t.dx;
+  return t.dz * row_cells + t.dy * bsize_x + t.dx;
+}
+
+std::int64_t TapSet::min_flat_offset(std::int64_t bsize_x,
+                                     std::int64_t row_cells) const {
+  std::int64_t m = 0;
+  for (const Tap& t : taps_) {
+    m = std::min(m, flat_offset(t, bsize_x, row_cells));
+  }
+  return m;
+}
+
+std::int64_t TapSet::max_flat_offset(std::int64_t bsize_x,
+                                     std::int64_t row_cells) const {
+  std::int64_t m = 0;
+  for (const Tap& t : taps_) {
+    m = std::max(m, flat_offset(t, bsize_x, row_cells));
+  }
+  return m;
+}
+
+double TapSet::coefficient_sum() const {
+  double s = 0.0;
+  for (const Tap& t : taps_) s += t.coeff;
+  return s;
+}
+
+}  // namespace fpga_stencil

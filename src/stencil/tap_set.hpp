@@ -1,0 +1,78 @@
+// Generic stencil tap sets.
+//
+// The paper's architecture is presented for star stencils, but nothing in
+// the deep-pipeline design is star-specific: any stencil whose taps fit in
+// the shift-register window streams the same way (related work [19]
+// accelerates a first-order 3D *cubic* stencil on the same architecture).
+// A TapSet is the generalization: an *ordered* list of (offset,
+// coefficient) taps. The order is the floating-point accumulation order --
+// part of the contract, because the library's executors must agree
+// bit-for-bit.
+//
+// StarStencil lowers to a TapSet in its canonical order; BoxStencil emits
+// row-major offset order. The ProcessingElement executes any TapSet whose
+// offsets are bounded by its radius.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace fpga_stencil {
+
+struct Tap {
+  std::int64_t dx = 0;
+  std::int64_t dy = 0;
+  std::int64_t dz = 0;
+  float coeff = 0.0f;
+};
+
+/// Ordered stencil taps. The first tap is conventionally the center, but
+/// any shape is legal as long as offsets are within +-radius per axis.
+class TapSet {
+ public:
+  /// `radius` bounds |dx|, |dy|, |dz| of every tap and determines the
+  /// blocking halo (per stage) and the shift-register reach.
+  TapSet(int dims, int radius, std::vector<Tap> taps);
+
+  [[nodiscard]] int dims() const { return dims_; }
+  [[nodiscard]] int radius() const { return radius_; }
+  [[nodiscard]] const std::vector<Tap>& taps() const { return taps_; }
+  [[nodiscard]] std::size_t size() const { return taps_.size(); }
+
+  /// Flat shift-register offset of tap `t` for a given block geometry
+  /// (row_cells = bsize_x in 2D, bsize_x*bsize_y in 3D).
+  [[nodiscard]] std::int64_t flat_offset(const Tap& t, std::int64_t bsize_x,
+                                         std::int64_t row_cells) const;
+
+  /// Smallest/largest flat offsets over all taps -- the shift-register
+  /// window the tap set needs.
+  [[nodiscard]] std::int64_t min_flat_offset(std::int64_t bsize_x,
+                                             std::int64_t row_cells) const;
+  [[nodiscard]] std::int64_t max_flat_offset(std::int64_t bsize_x,
+                                             std::int64_t row_cells) const;
+
+  /// Sum of all coefficients (stability diagnostics).
+  [[nodiscard]] double coefficient_sum() const;
+
+  /// FLOPs per cell update: one multiply per tap plus one add per tap
+  /// beyond the first.
+  [[nodiscard]] std::int64_t flops_per_cell() const {
+    return 2 * std::int64_t(taps_.size()) - 1;
+  }
+
+  /// DSPs per cell update on Arria-10-class devices: one FMA-capable DSP
+  /// per tap (the final multiply has no following add but still occupies
+  /// one DSP) -- the generalization of 4*rad+1 / 6*rad+1.
+  [[nodiscard]] std::int64_t dsps_per_cell() const {
+    return std::int64_t(taps_.size());
+  }
+
+ private:
+  int dims_;
+  int radius_;
+  std::vector<Tap> taps_;
+};
+
+}  // namespace fpga_stencil

@@ -1,0 +1,95 @@
+#include "stencil/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace fpga_stencil {
+
+void add_gaussian(Grid2D<float>& g, double cx, double cy, double sigma,
+                  float amplitude) {
+  FPGASTENCIL_EXPECT(sigma > 0, "sigma must be positive");
+  const double inv = 1.0 / (2.0 * sigma * sigma);
+  for (std::int64_t y = 0; y < g.ny(); ++y) {
+    for (std::int64_t x = 0; x < g.nx(); ++x) {
+      const double dx = double(x) - cx;
+      const double dy = double(y) - cy;
+      g.at(x, y) += amplitude *
+                    static_cast<float>(std::exp(-(dx * dx + dy * dy) * inv));
+    }
+  }
+}
+
+void add_gaussian(Grid3D<float>& g, double cx, double cy, double cz,
+                  double sigma, float amplitude) {
+  FPGASTENCIL_EXPECT(sigma > 0, "sigma must be positive");
+  const double inv = 1.0 / (2.0 * sigma * sigma);
+  for (std::int64_t z = 0; z < g.nz(); ++z) {
+    for (std::int64_t y = 0; y < g.ny(); ++y) {
+      for (std::int64_t x = 0; x < g.nx(); ++x) {
+        const double dx = double(x) - cx;
+        const double dy = double(y) - cy;
+        const double dz = double(z) - cz;
+        g.at(x, y, z) +=
+            amplitude * static_cast<float>(
+                            std::exp(-(dx * dx + dy * dy + dz * dz) * inv));
+      }
+    }
+  }
+}
+
+void add_plane_wave(Grid2D<float>& g, double kx, double ky,
+                    float amplitude) {
+  for (std::int64_t y = 0; y < g.ny(); ++y) {
+    for (std::int64_t x = 0; x < g.nx(); ++x) {
+      g.at(x, y) += amplitude * static_cast<float>(
+                                    std::sin(kx * double(x) + ky * double(y)));
+    }
+  }
+}
+
+void add_point_sources(Grid2D<float>& g, int count, float amplitude,
+                       std::uint64_t seed) {
+  FPGASTENCIL_EXPECT(count >= 0, "count must be non-negative");
+  SplitMix64 rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t x = std::int64_t(rng.next_below(std::uint64_t(g.nx())));
+    const std::int64_t y = std::int64_t(rng.next_below(std::uint64_t(g.ny())));
+    g.at(x, y) += amplitude;
+  }
+}
+
+void add_point_sources(Grid3D<float>& g, int count, float amplitude,
+                       std::uint64_t seed) {
+  FPGASTENCIL_EXPECT(count >= 0, "count must be non-negative");
+  SplitMix64 rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t x = std::int64_t(rng.next_below(std::uint64_t(g.nx())));
+    const std::int64_t y = std::int64_t(rng.next_below(std::uint64_t(g.ny())));
+    const std::int64_t z = std::int64_t(rng.next_below(std::uint64_t(g.nz())));
+    g.at(x, y, z) += amplitude;
+  }
+}
+
+namespace {
+
+template <typename Grid>
+FieldStats stats_of(const Grid& g) {
+  FieldStats s;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const float v = g.data()[i];
+    s.total += v;
+    s.peak = std::max(s.peak, v);
+    s.l2 += double(v) * double(v);
+  }
+  s.l2 = std::sqrt(s.l2);
+  return s;
+}
+
+}  // namespace
+
+FieldStats field_stats(const Grid2D<float>& g) { return stats_of(g); }
+FieldStats field_stats(const Grid3D<float>& g) { return stats_of(g); }
+
+}  // namespace fpga_stencil

@@ -1,0 +1,35 @@
+// Workload initializers: the physical field shapes the paper's motivating
+// applications start from (seismic point sources, thermal hot spots, plane
+// waves), shared by examples, benches and tests. All deterministic.
+#pragma once
+
+#include "grid/grid.hpp"
+
+namespace fpga_stencil {
+
+/// Gaussian bump of peak `amplitude` centered at (cx, cy) with std `sigma`.
+void add_gaussian(Grid2D<float>& g, double cx, double cy, double sigma,
+                  float amplitude);
+void add_gaussian(Grid3D<float>& g, double cx, double cy, double cz,
+                  double sigma, float amplitude);
+
+/// Plane wave amplitude * sin(kx*x + ky*y): the classic dispersion test
+/// input (an approximate eigenfunction of any symmetric stencil).
+void add_plane_wave(Grid2D<float>& g, double kx, double ky, float amplitude);
+
+/// `count` deterministic point sources of the given amplitude.
+void add_point_sources(Grid2D<float>& g, int count, float amplitude,
+                       std::uint64_t seed = 42);
+void add_point_sources(Grid3D<float>& g, int count, float amplitude,
+                       std::uint64_t seed = 42);
+
+/// Field diagnostics used by the physics-flavored examples.
+struct FieldStats {
+  double total = 0.0;   ///< sum over all cells
+  float peak = 0.0f;    ///< maximum value
+  double l2 = 0.0;      ///< sqrt(sum of squares)
+};
+FieldStats field_stats(const Grid2D<float>& g);
+FieldStats field_stats(const Grid3D<float>& g);
+
+}  // namespace fpga_stencil

@@ -1,0 +1,124 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+
+#include "fpga/fmax_model.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+/// Nearest positive multiple of `unit` to `target` (at least one unit).
+std::int64_t snap_to_multiple(std::int64_t target, std::int64_t unit) {
+  const std::int64_t down = round_down(target, unit);
+  const std::int64_t up = down + unit;
+  if (down <= 0) return up;
+  return (target - down) <= (up - target) ? down : up;
+}
+
+}  // namespace
+
+void TunerOptions::apply_defaults() {
+  if (bsize_x_candidates.empty()) {
+    bsize_x_candidates =
+        dims == 2 ? std::vector<std::int64_t>{4096}
+                  : std::vector<std::int64_t>{256, 128};
+  }
+  if (dims == 3 && bsize_y_candidates.empty()) {
+    bsize_y_candidates = {256, 128};
+  }
+  if (dims == 2) bsize_y_candidates = {1};
+}
+
+std::vector<TunedConfig> enumerate_configs(const DeviceSpec& device,
+                                           TunerOptions options) {
+  FPGASTENCIL_EXPECT(device.is_fpga(), "tuner targets FPGAs");
+  FPGASTENCIL_EXPECT(options.nx > 0 && options.ny > 0 && options.nz > 0,
+                     "tuner needs a target grid");
+  options.apply_defaults();
+
+  const std::int64_t partotal =
+      max_total_parallelism(device, options.dims, options.radius);
+
+  std::vector<TunedConfig> results;
+  for (std::int64_t bx : options.bsize_x_candidates) {
+    for (std::int64_t by : options.bsize_y_candidates) {
+      for (int parvec = 2; parvec <= options.max_parvec; parvec *= 2) {
+        if (bx % parvec != 0) continue;
+        const int max_pt = static_cast<int>(
+            std::min<std::int64_t>(partotal / parvec, options.max_partime));
+        for (int partime = 1; partime <= max_pt; ++partime) {
+          AcceleratorConfig cfg;
+          cfg.dims = options.dims;
+          cfg.radius = options.radius;
+          cfg.bsize_x = bx;
+          cfg.bsize_y = options.dims == 3 ? by : 1;
+          cfg.parvec = parvec;
+          cfg.partime = partime;
+
+          // Structural feasibility: halo must leave a positive compute
+          // block, and the block cannot exceed the grid dimension (a block
+          // wider than the grid wastes the whole point of blocking).
+          if (cfg.csize_x() <= 0) break;  // larger partime only gets worse
+          if (options.dims == 3 && cfg.csize_y() <= 0) break;
+
+          const bool aligned = cfg.meets_alignment_rule();
+          if (!aligned && options.alignment == AlignmentRule::kRequire) {
+            continue;
+          }
+
+          const ResourceUsage usage = estimate_resources(cfg, device);
+          if (!usage.fits()) continue;
+
+          // Section IV.C: size the benchmark grid as a multiple of the
+          // compute block so the final spatial block is fully used.
+          std::int64_t nx = options.nx, ny = options.ny;
+          if (options.snap_input_to_csize) {
+            nx = snap_to_multiple(nx, cfg.csize_x());
+            if (options.dims == 3) ny = snap_to_multiple(ny, cfg.csize_y());
+          }
+
+          TunedConfig tc;
+          tc.config = cfg;
+          tc.usage = usage;
+          tc.fmax_mhz = estimate_fmax_mhz(cfg, device);
+          tc.perf = estimate_performance(cfg, device, tc.fmax_mhz, nx, ny,
+                                         options.nz);
+          tc.meets_alignment = aligned;
+          tc.score = tc.perf.measured_gbps;
+          if (!aligned && options.alignment == AlignmentRule::kPrefer) {
+            tc.score *= 0.9;  // unaligned accesses waste bandwidth
+          }
+          results.push_back(tc);
+        }
+      }
+    }
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const TunedConfig& a, const TunedConfig& b) {
+              return a.score > b.score;
+            });
+  return results;
+}
+
+TunedConfig best_config(const DeviceSpec& device, TunerOptions options) {
+  auto all = enumerate_configs(device, std::move(options));
+  if (all.empty()) {
+    throw ResourceError(
+        "no feasible accelerator configuration fits on " + device.name);
+  }
+  return all.front();
+}
+
+AcceleratorConfig scale_first_order_config(
+    const AcceleratorConfig& first_order, int radius) {
+  FPGASTENCIL_EXPECT(first_order.radius == 1,
+                     "heuristic scales a first-order configuration");
+  FPGASTENCIL_EXPECT(radius >= 1, "radius must be >= 1");
+  AcceleratorConfig cfg = first_order;
+  cfg.radius = radius;
+  cfg.partime = std::max(1, first_order.partime / radius);
+  return cfg;
+}
+
+}  // namespace fpga_stencil

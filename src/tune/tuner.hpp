@@ -1,0 +1,79 @@
+// Design-space exploration: the paper's Section V.A tuning flow.
+//
+// The search space is bounded by the DSP budget (eq. 4):
+//     partotal = floor(#DSPs / dsps_per_cell_update)
+//     partime * parvec <= partotal                       (eq. 5)
+// with parvec restricted to multiples of two (memory port widths) and
+// (partime * rad) mod 4 == 0 preferred for external-memory alignment
+// (eq. 6). Candidate block sizes follow the paper: 4096 for 2D, and
+// 256x256 / 256x128 / 128x128 for 3D. Every candidate is checked against
+// the full resource model (DSP, Block-RAM bits *and* blocks, logic), its
+// fmax and performance are predicted, and candidates are ranked by
+// predicted measured throughput.
+//
+// The paper's eq. (6) is a preference, not a law of physics: their own
+// Section VI.A projection runs 5th/6th-order 3D stencils at partime = 2
+// (which violates eq. 6 for odd radii). `AlignmentRule` encodes the three
+// sensible policies.
+#pragma once
+
+#include <vector>
+
+#include "fpga/device_spec.hpp"
+#include "fpga/resource_model.hpp"
+#include "model/performance_model.hpp"
+#include "stencil/accel_config.hpp"
+
+namespace fpga_stencil {
+
+enum class AlignmentRule {
+  kRequire,  ///< drop configs violating eq. (6)
+  kPrefer,   ///< keep them but penalize predicted throughput by 10%
+  kIgnore,   ///< no penalty (what-if exploration)
+};
+
+struct TunerOptions {
+  int dims = 2;
+  int radius = 1;
+  std::int64_t nx = 0, ny = 0, nz = 1;  ///< target grid for the estimate
+  std::vector<std::int64_t> bsize_x_candidates;  ///< default per paper
+  std::vector<std::int64_t> bsize_y_candidates;  ///< 3D only
+  int max_parvec = 32;
+  int max_partime = 128;
+  AlignmentRule alignment = AlignmentRule::kPrefer;
+
+  /// The paper's Section IV.C methodology: the benchmark input for each
+  /// candidate is the multiple of that candidate's compute block size
+  /// nearest the requested grid, so the last block wastes nothing. When
+  /// false, every candidate is scored on the exact requested grid.
+  bool snap_input_to_csize = true;
+
+  /// Fills bsize candidates with the paper's defaults when empty:
+  /// 2D {4096}; 3D x {256, 128}, y {256, 128}.
+  void apply_defaults();
+};
+
+struct TunedConfig {
+  AcceleratorConfig config;
+  ResourceUsage usage;
+  double fmax_mhz = 0.0;
+  PerformanceEstimate perf;
+  bool meets_alignment = true;
+  double score = 0.0;  ///< predicted measured GB/s after alignment penalty
+};
+
+/// Every feasible configuration, best score first.
+std::vector<TunedConfig> enumerate_configs(const DeviceSpec& device,
+                                           TunerOptions options);
+
+/// The top configuration; throws ResourceError when nothing fits.
+TunedConfig best_config(const DeviceSpec& device, TunerOptions options);
+
+/// The paper's quick heuristic: take the tuned first-order configuration
+/// and divide its partime by the radius (Section V.A). Returns the scaled
+/// configuration (not necessarily optimal -- Table III found better 2D
+/// configs by full search, and exactly this one for 3D).
+AcceleratorConfig scale_first_order_config(const AcceleratorConfig& first_order,
+                                           int radius);
+
+}  // namespace fpga_stencil

@@ -1,0 +1,175 @@
+// Tests for the accelerator configuration algebra (paper eqs. 2, 6, 7) and
+// the blocking plan's streamed-vs-valid accounting.
+#include <gtest/gtest.h>
+
+#include "stencil/accel_config.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+AcceleratorConfig make2d(int rad, std::int64_t bx, int pv, int pt) {
+  AcceleratorConfig c;
+  c.dims = 2;
+  c.radius = rad;
+  c.bsize_x = bx;
+  c.parvec = pv;
+  c.partime = pt;
+  return c;
+}
+
+AcceleratorConfig make3d(int rad, std::int64_t bx, std::int64_t by, int pv,
+                         int pt) {
+  AcceleratorConfig c;
+  c.dims = 3;
+  c.radius = rad;
+  c.bsize_x = bx;
+  c.bsize_y = by;
+  c.parvec = pv;
+  c.partime = pt;
+  return c;
+}
+
+TEST(AccelConfig, HaloAndCsizeEq2) {
+  const AcceleratorConfig c = make2d(2, 4096, 4, 42);
+  EXPECT_EQ(c.halo(), 84);
+  EXPECT_EQ(c.csize_x(), 4096 - 168);  // paper eq. (2)
+  EXPECT_EQ(c.csize_y(), 1);
+}
+
+TEST(AccelConfig, ShiftRegisterEq7) {
+  // 2D: 2*rad*bsize_x + parvec.
+  EXPECT_EQ(make2d(1, 4096, 8, 36).shift_register_cells(), 2 * 4096 + 8);
+  EXPECT_EQ(make2d(4, 4096, 4, 22).shift_register_cells(), 8 * 4096 + 4);
+  // 3D: 2*rad*bsize_x*bsize_y + parvec.
+  EXPECT_EQ(make3d(1, 256, 256, 16, 12).shift_register_cells(),
+            2 * 256 * 256 + 16);
+  EXPECT_EQ(make3d(2, 256, 128, 16, 6).shift_register_cells(),
+            4 * 256 * 128 + 16);
+}
+
+TEST(AccelConfig, RowCells) {
+  EXPECT_EQ(make2d(1, 64, 4, 1).row_cells(), 64);
+  EXPECT_EQ(make3d(1, 32, 16, 4, 1).row_cells(), 32 * 16);
+}
+
+TEST(AccelConfig, AlignmentRuleEq6) {
+  EXPECT_TRUE(make2d(1, 64, 4, 4).meets_alignment_rule());   // 4*1 % 4 == 0
+  EXPECT_TRUE(make2d(2, 64, 4, 6).meets_alignment_rule());   // 12 % 4 == 0
+  EXPECT_FALSE(make2d(1, 64, 4, 3).meets_alignment_rule());  // 3 % 4 != 0
+  EXPECT_FALSE(make2d(1, 64, 3, 4).meets_alignment_rule());  // odd parvec
+  EXPECT_TRUE(make3d(3, 64, 64, 2, 4).meets_alignment_rule());  // 12 % 4
+  EXPECT_FALSE(make3d(5, 64, 64, 2, 2).meets_alignment_rule()); // 10 % 4
+}
+
+TEST(AccelConfig, ValidationRejectsBadShapes) {
+  EXPECT_THROW(make2d(1, 63, 4, 1).validate(), ConfigError);  // not mult pv
+  EXPECT_THROW(make2d(4, 16, 4, 2).validate(), ConfigError);  // halo eats it
+  EXPECT_THROW(make3d(1, 32, 1, 4, 1).validate(), ConfigError);  // by == 1
+  auto bad_dims = make2d(1, 64, 4, 1);
+  bad_dims.dims = 4;
+  EXPECT_THROW(bad_dims.validate(), ConfigError);
+  auto y_in_2d = make2d(1, 64, 4, 1);
+  y_in_2d.bsize_y = 2;
+  EXPECT_THROW(y_in_2d.validate(), ConfigError);
+  EXPECT_NO_THROW(make2d(4, 4096, 4, 22).validate());
+  EXPECT_NO_THROW(make3d(4, 256, 128, 16, 3).validate());
+}
+
+TEST(AccelConfig, UpdatesPerCycle) {
+  EXPECT_EQ(make2d(1, 4096, 8, 36).updates_per_cycle(), 288);
+  EXPECT_EQ(make3d(1, 256, 256, 16, 12).updates_per_cycle(), 192);
+}
+
+TEST(AccelConfig, DescribeMentionsEverything) {
+  const std::string d = make3d(2, 256, 128, 16, 6).describe();
+  EXPECT_NE(d.find("3D"), std::string::npos);
+  EXPECT_NE(d.find("rad=2"), std::string::npos);
+  EXPECT_NE(d.find("256x128"), std::string::npos);
+  EXPECT_NE(d.find("parvec=16"), std::string::npos);
+  EXPECT_NE(d.find("partime=6"), std::string::npos);
+}
+
+// --- blocking plan ---
+
+TEST(BlockingPlan, ExactTiling2D) {
+  // Paper setup: input a multiple of csize -> blocks tile exactly.
+  const AcceleratorConfig c = make2d(1, 4096, 8, 36);  // csize 4024
+  const BlockingPlan p = make_blocking_plan(c, 16096, 16096);
+  EXPECT_EQ(p.blocks_x, 4);
+  EXPECT_EQ(p.stream_extent, 16096 + 36);
+  EXPECT_EQ(p.valid_cells, 16096 * 16096);
+  EXPECT_EQ(p.cells_streamed, 4 * 4096 * (16096 + 36));
+  EXPECT_EQ(p.vectors_streamed, p.cells_streamed / 8);
+  EXPECT_GT(p.redundancy(), 1.0);
+}
+
+TEST(BlockingPlan, PartialLastBlock) {
+  const AcceleratorConfig c = make2d(1, 64, 4, 2);  // csize 60
+  const BlockingPlan p = make_blocking_plan(c, 100, 50);
+  EXPECT_EQ(p.blocks_x, 2);  // 60 + 40
+  EXPECT_EQ(p.valid_cells, 100 * 50);
+  EXPECT_EQ(p.cells_streamed, 2 * 64 * (50 + 2));
+}
+
+TEST(BlockingPlan, ExactTiling3D) {
+  const AcceleratorConfig c = make3d(2, 256, 128, 16, 6);  // cs 232 x 104
+  const BlockingPlan p = make_blocking_plan(c, 696, 728, 696);
+  EXPECT_EQ(p.blocks_x, 3);
+  EXPECT_EQ(p.blocks_y, 7);
+  EXPECT_EQ(p.stream_extent, 696 + 12);
+  EXPECT_EQ(p.cells_streamed, 21 * 256 * 128 * (696 + 12));
+  EXPECT_EQ(p.valid_cells, std::int64_t(696) * 728 * 696);
+}
+
+TEST(BlockingPlan, RedundancyGrowsWithPartime) {
+  // The overlapped-blocking cost the paper trades against temporal reuse.
+  double prev = 1.0;
+  for (int pt : {1, 2, 4, 8}) {
+    const AcceleratorConfig c = make2d(2, 256, 4, pt);
+    const BlockingPlan p = make_blocking_plan(c, 2048, 2048);
+    EXPECT_GT(p.redundancy(), prev);
+    prev = p.redundancy();
+  }
+}
+
+TEST(BlockingPlan, RedundancyShrinksWithBlockSize) {
+  // Comparable last-block waste: both block sizes are small relative to
+  // the grid, so the halo fraction dominates.
+  const BlockingPlan small =
+      make_blocking_plan(make2d(2, 64, 4, 4), 4096, 1024);
+  const BlockingPlan large =
+      make_blocking_plan(make2d(2, 256, 4, 4), 4096, 1024);
+  EXPECT_GT(small.redundancy(), large.redundancy());
+}
+
+TEST(BlockingPlan, Rejects3DGridFor2DConfig) {
+  EXPECT_THROW(make_blocking_plan(make2d(1, 64, 4, 1), 64, 64, 2),
+               ConfigError);
+  EXPECT_THROW(make_blocking_plan(make2d(1, 64, 4, 1), 0, 64), ConfigError);
+}
+
+class PlanAccounting
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PlanAccounting, StreamedEqualsBlocksTimesPassSize) {
+  const auto [rad, parvec, partime] = GetParam();
+  const AcceleratorConfig c = make3d(rad, 64, 32, parvec, partime);
+  if (c.csize_x() <= 0 || c.csize_y() <= 0) GTEST_SKIP();
+  const BlockingPlan p = make_blocking_plan(c, 150, 90, 40);
+  EXPECT_EQ(p.cells_streamed,
+            p.blocks_x * p.blocks_y * p.cells_streamed_per_pass);
+  EXPECT_EQ(p.cells_streamed_per_pass, p.stream_extent * c.row_cells());
+  EXPECT_GE(p.blocks_x * c.csize_x(), 150);
+  EXPECT_GE(p.blocks_y * c.csize_y(), 90);
+  EXPECT_LT((p.blocks_x - 1) * c.csize_x(), 150);
+  EXPECT_LT((p.blocks_y - 1) * c.csize_y(), 90);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanAccounting,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(2, 4, 8),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,289 @@
+// The core validation of the reproduction: the FPGA architecture simulator
+// (read kernel -> PE chain -> write kernel, with overlapped spatial blocking
+// and temporal blocking) must be *bit-exact* against the naive reference for
+// any configuration, grid shape, and iteration count.
+#include <gtest/gtest.h>
+
+#include "core/stencil_accelerator.hpp"
+#include "grid/grid_compare.hpp"
+#include "stencil/reference.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+AcceleratorConfig cfg2d(int rad, std::int64_t bx, int pv, int pt) {
+  AcceleratorConfig c;
+  c.dims = 2;
+  c.radius = rad;
+  c.bsize_x = bx;
+  c.parvec = pv;
+  c.partime = pt;
+  return c;
+}
+
+AcceleratorConfig cfg3d(int rad, std::int64_t bx, std::int64_t by, int pv,
+                        int pt) {
+  AcceleratorConfig c;
+  c.dims = 3;
+  c.radius = rad;
+  c.bsize_x = bx;
+  c.bsize_y = by;
+  c.parvec = pv;
+  c.partime = pt;
+  return c;
+}
+
+void expect_bit_exact_2d(const AcceleratorConfig& cfg, std::int64_t nx,
+                         std::int64_t ny, int iterations,
+                         std::uint64_t seed = 1234) {
+  const StarStencil s = StarStencil::make_benchmark(2, cfg.radius, seed);
+  Grid2D<float> grid(nx, ny);
+  grid.fill_random(seed * 7 + 1);
+  Grid2D<float> ref = grid;
+
+  StencilAccelerator accel(s, cfg);
+  const RunStats stats = accel.run(grid, iterations);
+  reference_run(s, ref, iterations);
+
+  const CompareResult cmp = compare_exact(grid, ref);
+  EXPECT_TRUE(cmp.identical())
+      << cfg.describe() << " grid " << nx << "x" << ny << " iters "
+      << iterations << ": " << cmp.summary();
+  EXPECT_EQ(stats.time_steps, iterations);
+  EXPECT_EQ(stats.cells_written, nx * ny * std::int64_t(stats.passes));
+}
+
+void expect_bit_exact_3d(const AcceleratorConfig& cfg, std::int64_t nx,
+                         std::int64_t ny, std::int64_t nz, int iterations,
+                         std::uint64_t seed = 4321) {
+  const StarStencil s = StarStencil::make_benchmark(3, cfg.radius, seed);
+  Grid3D<float> grid(nx, ny, nz);
+  grid.fill_random(seed * 3 + 1);
+  Grid3D<float> ref = grid;
+
+  StencilAccelerator accel(s, cfg);
+  const RunStats stats = accel.run(grid, iterations);
+  reference_run(s, ref, iterations);
+
+  const CompareResult cmp = compare_exact(grid, ref);
+  EXPECT_TRUE(cmp.identical())
+      << cfg.describe() << " grid " << nx << "x" << ny << "x" << nz
+      << " iters " << iterations << ": " << cmp.summary();
+  EXPECT_EQ(stats.cells_written, nx * ny * nz * std::int64_t(stats.passes));
+}
+
+TEST(Accelerator, RejectsMismatchedDims) {
+  const StarStencil s2 = StarStencil::make_benchmark(2, 1);
+  EXPECT_THROW(StencilAccelerator(s2, cfg3d(1, 16, 8, 2, 1)), ConfigError);
+  StencilAccelerator acc(s2, cfg2d(1, 16, 2, 1));
+  Grid3D<float> g3(8, 8, 8);
+  EXPECT_THROW(acc.run(g3, 1), ConfigError);
+}
+
+TEST(Accelerator, ZeroIterationsIsNoop) {
+  const StarStencil s = StarStencil::make_benchmark(2, 1);
+  StencilAccelerator acc(s, cfg2d(1, 16, 2, 1));
+  Grid2D<float> g(10, 10);
+  g.fill_random(5);
+  Grid2D<float> before = g;
+  const RunStats stats = acc.run(g, 0);
+  EXPECT_TRUE(compare_exact(g, before).identical());
+  EXPECT_EQ(stats.passes, 0);
+  EXPECT_EQ(stats.cells_streamed, 0);
+}
+
+// ---- 2D parameterized sweep: (radius, parvec, partime) ----
+
+class Exactness2D
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Exactness2D, MultiBlockMultiPass) {
+  const auto [rad, parvec, partime] = GetParam();
+  const AcceleratorConfig cfg = cfg2d(rad, 48, parvec, partime);
+  if (cfg.csize_x() <= 0) GTEST_SKIP() << "halo exceeds block";
+  // Grid wider than one block, height not a multiple of anything special,
+  // iterations chosen to include a partial tail pass.
+  expect_bit_exact_2d(cfg, 115, 23, 2 * partime + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Exactness2D,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                                            ::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+// ---- 3D parameterized sweep ----
+
+class Exactness3D
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Exactness3D, MultiBlockMultiPass) {
+  const auto [rad, parvec, partime] = GetParam();
+  const AcceleratorConfig cfg = cfg3d(rad, 24, 20, parvec, partime);
+  if (cfg.csize_x() <= 0 || cfg.csize_y() <= 0) GTEST_SKIP();
+  expect_bit_exact_3d(cfg, 37, 25, 14, partime + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Exactness3D,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+// ---- edge-case grids ----
+
+TEST(Accelerator, TinyGridSmallerThanEverything2D) {
+  // Grid smaller than the radius in y and barely wider than it in x.
+  expect_bit_exact_2d(cfg2d(3, 32, 2, 2), 5, 2, 3);
+  expect_bit_exact_2d(cfg2d(4, 32, 2, 1), 2, 1, 2);
+}
+
+TEST(Accelerator, TinyGrid3D) {
+  expect_bit_exact_3d(cfg3d(2, 16, 12, 2, 1), 3, 2, 2, 2);
+  expect_bit_exact_3d(cfg3d(3, 32, 16, 2, 1), 4, 3, 1, 1);
+}
+
+TEST(Accelerator, GridExactlyOneBlock2D) {
+  const AcceleratorConfig cfg = cfg2d(2, 64, 4, 2);  // csize 56
+  expect_bit_exact_2d(cfg, 56, 33, 4);
+}
+
+TEST(Accelerator, GridExactMultipleOfCsize2D) {
+  const AcceleratorConfig cfg = cfg2d(1, 32, 4, 2);  // csize 28
+  expect_bit_exact_2d(cfg, 28 * 3, 17, 5);
+}
+
+TEST(Accelerator, GridOneCellOverBlockBoundary) {
+  const AcceleratorConfig cfg = cfg2d(1, 32, 4, 2);  // csize 28
+  expect_bit_exact_2d(cfg, 28 * 2 + 1, 9, 2);
+}
+
+TEST(Accelerator, NonSquare3DBlocks) {
+  // The paper added non-square block support for high-order 3D tuning.
+  expect_bit_exact_3d(cfg3d(2, 32, 16, 4, 2), 40, 30, 9, 4);
+  expect_bit_exact_3d(cfg3d(2, 16, 32, 4, 2), 40, 30, 9, 4);
+}
+
+TEST(Accelerator, HighRadiusSingleStage) {
+  expect_bit_exact_2d(cfg2d(8, 64, 4, 1), 60, 21, 2);
+}
+
+TEST(Accelerator, IterationsNotMultipleOfPartime) {
+  // Tail passes run with trailing PEs in pass-through mode; every residue
+  // class of iterations mod partime must be exact.
+  const AcceleratorConfig cfg = cfg2d(1, 32, 4, 4);
+  for (int iters = 1; iters <= 9; ++iters) {
+    expect_bit_exact_2d(cfg, 50, 13, iters, 100 + std::uint64_t(iters));
+  }
+}
+
+TEST(Accelerator, ConstantFieldPreserved) {
+  const StarStencil s = StarStencil::make_benchmark(3, 2);
+  StencilAccelerator acc(s, cfg3d(2, 16, 12, 4, 2));
+  Grid3D<float> g(20, 18, 7, 3.0f);
+  acc.run(g, 4);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_NEAR(g.data()[i], 3.0f, 2e-4f);
+  }
+}
+
+// ---- statistics / accounting ----
+
+TEST(Accelerator, StatsMatchBlockingPlan) {
+  const AcceleratorConfig cfg = cfg2d(2, 64, 4, 3);
+  const std::int64_t nx = 130, ny = 40;
+  const StarStencil s = StarStencil::make_benchmark(2, 2);
+  StencilAccelerator acc(s, cfg);
+  Grid2D<float> g(nx, ny);
+  g.fill_random(9);
+  const RunStats stats = acc.run(g, 6);  // exactly two passes
+
+  const BlockingPlan plan = make_blocking_plan(cfg, nx, ny);
+  EXPECT_EQ(stats.passes, 2);
+  EXPECT_EQ(stats.cells_streamed, 2 * plan.cells_streamed);
+  EXPECT_EQ(stats.vectors_processed, 2 * plan.vectors_streamed);
+  EXPECT_EQ(stats.block_passes, 2 * plan.blocks_x);
+  EXPECT_DOUBLE_EQ(stats.redundancy(),
+                   double(2 * plan.cells_streamed) / double(2 * nx * ny));
+}
+
+TEST(Accelerator, StatsMatchBlockingPlan3D) {
+  const AcceleratorConfig cfg = cfg3d(1, 24, 16, 4, 2);
+  const StarStencil s = StarStencil::make_benchmark(3, 1);
+  StencilAccelerator acc(s, cfg);
+  Grid3D<float> g(50, 30, 11);
+  g.fill_random(10);
+  const RunStats stats = acc.run(g, 2);
+  const BlockingPlan plan = make_blocking_plan(cfg, 50, 30, 11);
+  EXPECT_EQ(stats.vectors_processed, plan.vectors_streamed);
+  EXPECT_EQ(stats.block_passes, plan.blocks_x * plan.blocks_y);
+}
+
+TEST(Accelerator, LinearityOfTheOperator) {
+  // A stencil step is a linear operator; the accelerator must satisfy
+  // superposition up to float rounding: A(x + y) ~= A(x) + A(y), and be
+  // exactly homogeneous for a power-of-two scale (exact in binary FP).
+  const StarStencil s = StarStencil::make_benchmark(2, 2, 3);
+  const AcceleratorConfig cfg = cfg2d(2, 32, 4, 2);
+  const std::int64_t nx = 50, ny = 20;
+  Grid2D<float> x(nx, ny), y(nx, ny), xy(nx, ny);
+  x.fill_random(1, 0.0f, 0.5f);
+  y.fill_random(2, 0.0f, 0.5f);
+  for (std::int64_t i = 0; i < std::int64_t(x.size()); ++i) {
+    xy.data()[i] = x.data()[i] + y.data()[i];
+  }
+  StencilAccelerator accel(s, cfg);
+  accel.run(x, 2);
+  accel.run(y, 2);
+  accel.run(xy, 2);
+  for (std::int64_t i = 0; i < std::int64_t(x.size()); ++i) {
+    EXPECT_NEAR(xy.data()[i], x.data()[i] + y.data()[i], 2e-5f);
+  }
+
+  // Homogeneity with a power-of-two factor is bit-exact.
+  Grid2D<float> a(nx, ny), a4(nx, ny);
+  a.fill_random(7, 0.0f, 0.5f);
+  for (std::int64_t i = 0; i < std::int64_t(a.size()); ++i) {
+    a4.data()[i] = 4.0f * a.data()[i];
+  }
+  accel.run(a, 3);
+  accel.run(a4, 3);
+  for (std::int64_t i = 0; i < std::int64_t(a.size()); ++i) {
+    ASSERT_EQ(a4.data()[i], 4.0f * a.data()[i]);
+  }
+}
+
+TEST(Accelerator, TranslationEquivariantInInterior) {
+  // Shifting the input shifts the output, away from the clamped borders.
+  const StarStencil s = StarStencil::make_benchmark(2, 1, 5);
+  const AcceleratorConfig cfg = cfg2d(1, 32, 4, 1);
+  const std::int64_t n = 40;
+  Grid2D<float> a(n, n, 0.0f), b(n, n, 0.0f);
+  SplitMix64 rng(3);
+  for (std::int64_t y = 10; y < 20; ++y) {
+    for (std::int64_t x = 10; x < 20; ++x) {
+      const float v = rng.next_float(0.0f, 1.0f);
+      a.at(x, y) = v;
+      b.at(x + 5, y + 7) = v;
+    }
+  }
+  StencilAccelerator accel(s, cfg);
+  accel.run(a, 3);
+  accel.run(b, 3);
+  for (std::int64_t y = 5; y < 25; ++y) {
+    for (std::int64_t x = 5; x < 25; ++x) {
+      ASSERT_EQ(a.at(x, y), b.at(x + 5, y + 7)) << x << "," << y;
+    }
+  }
+}
+
+TEST(Accelerator, PaperConfigsScaledDown) {
+  // The paper's Table III configurations, scaled to laptop-size grids:
+  // same parvec/partime ratios, same block aspect, reduced bsize.
+  expect_bit_exact_2d(cfg2d(1, 256, 8, 6), 500, 40, 7);
+  expect_bit_exact_2d(cfg2d(2, 256, 4, 7), 500, 40, 8);
+  expect_bit_exact_3d(cfg3d(1, 32, 32, 8, 3), 60, 60, 12, 4);
+  expect_bit_exact_3d(cfg3d(2, 32, 16, 8, 2), 60, 44, 12, 3);
+  expect_bit_exact_3d(cfg3d(4, 64, 32, 8, 2), 70, 40, 10, 3);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

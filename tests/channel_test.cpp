@@ -1,0 +1,64 @@
+// Tests for the on-chip channel FIFO.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pipeline/channel.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+TEST(Channel, ConstructionValidation) {
+  EXPECT_THROW(Channel<int>(0), ConfigError);
+  EXPECT_NO_THROW(Channel<int>(1));
+}
+
+TEST(Channel, FifoOrder) {
+  Channel<int> ch(4);
+  EXPECT_TRUE(ch.try_write(1));
+  EXPECT_TRUE(ch.try_write(2));
+  EXPECT_TRUE(ch.try_write(3));
+  EXPECT_EQ(ch.try_read().value(), 1);
+  EXPECT_EQ(ch.try_read().value(), 2);
+  EXPECT_EQ(ch.try_read().value(), 3);
+  EXPECT_FALSE(ch.try_read().has_value());
+}
+
+TEST(Channel, BackPressureAtCapacity) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_write(1));
+  EXPECT_TRUE(ch.try_write(2));
+  EXPECT_TRUE(ch.full());
+  EXPECT_FALSE(ch.try_write(3));  // producer must stall
+  EXPECT_EQ(ch.size(), 2u);
+  (void)ch.try_read();
+  EXPECT_TRUE(ch.try_write(3));
+}
+
+TEST(Channel, EmptyAfterDrain) {
+  Channel<int> ch(2);
+  (void)ch.try_write(5);
+  (void)ch.try_read();
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(Channel, CountsTotalWrites) {
+  Channel<int> ch(1);
+  (void)ch.try_write(1);
+  (void)ch.try_read();
+  (void)ch.try_write(2);
+  (void)ch.try_write(3);  // rejected, must not count
+  EXPECT_EQ(ch.total_writes(), 2u);
+}
+
+TEST(Channel, MoveOnlyPayload) {
+  Channel<std::unique_ptr<int>> ch(1);
+  EXPECT_TRUE(ch.try_write(std::make_unique<int>(42)));
+  auto out = ch.try_read();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 42);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

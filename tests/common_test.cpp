@@ -1,0 +1,151 @@
+// Unit tests for the common utilities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/expect.hpp"
+#include "common/format.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div<std::int64_t>(16096, 4024), 4);
+}
+
+TEST(MathUtil, RoundUpDown) {
+  EXPECT_EQ(round_up(13, 4), 16);
+  EXPECT_EQ(round_up(16, 4), 16);
+  EXPECT_EQ(round_down(13, 4), 12);
+  EXPECT_EQ(round_down(16, 4), 16);
+}
+
+TEST(MathUtil, IsMultiple) {
+  EXPECT_TRUE(is_multiple(12, 4));
+  EXPECT_FALSE(is_multiple(13, 4));
+  EXPECT_FALSE(is_multiple(13, 0));  // no division by zero
+}
+
+TEST(MathUtil, ClampIndex) {
+  EXPECT_EQ(clamp_index(-3, 0, 9), 0);
+  EXPECT_EQ(clamp_index(12, 0, 9), 9);
+  EXPECT_EQ(clamp_index(5, 0, 9), 5);
+  EXPECT_EQ(clamp_index(0, 0, 9), 0);
+  EXPECT_EQ(clamp_index(9, 0, 9), 9);
+}
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+}
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(SplitMix64, FloatRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.next_float(0.25f, 0.5f);
+    EXPECT_GE(v, 0.25f);
+    EXPECT_LT(v, 0.5f);
+  }
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(100.0, 0), "100");
+  EXPECT_EQ(format_fixed(-2.5, 1), "-2.5");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.85), "85%");
+  EXPECT_EQ(format_percent(1.0), "100%");
+}
+
+TEST(Format, Grouped) {
+  EXPECT_EQ(format_grouped(0), "0");
+  EXPECT_EQ(format_grouped(999), "999");
+  EXPECT_EQ(format_grouped(1000), "1,000");
+  EXPECT_EQ(format_grouped(16096), "16,096");
+  EXPECT_EQ(format_grouped(1234567890ULL), "1,234,567,890");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(5 * 1024 * 1024ULL), "5.00 MiB");
+}
+
+TEST(Format, Dims) {
+  EXPECT_EQ(format_dims2(256, 128), "256x128");
+  EXPECT_EQ(format_dims3(696, 728, 696), "696x728x696");
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, ShortRowsAllowedLongRowsRejected) {
+  TextTable t({"a", "b", "c"});
+  EXPECT_NO_THROW(t.add_row({"only-one"}));
+  EXPECT_THROW(t.add_row({"1", "2", "3", "4"}), ConfigError);
+}
+
+TEST(TextTable, RuleInsertedBetweenGroups) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  std::ostringstream os;
+  t.render(os);
+  // header rule + group rule + closing rule + top rule = 4 dashes lines
+  int rules = 0;
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line)) rules += line.find('+') == 0;
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(Expect, ThrowsConfigError) {
+  EXPECT_THROW(FPGASTENCIL_EXPECT(false, "boom"), ConfigError);
+  EXPECT_NO_THROW(FPGASTENCIL_EXPECT(true, "fine"));
+}
+
+TEST(Expect, MessageContainsContext) {
+  try {
+    FPGASTENCIL_EXPECT(1 == 2, "the message");
+    FAIL() << "should have thrown";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,191 @@
+// Tests for the YASK-like CPU baseline and the Xeon / Xeon Phi device model.
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_device_model.hpp"
+#include "cpu/yask_like.hpp"
+#include "grid/grid_compare.hpp"
+#include "stencil/reference.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+TEST(PaddedGrid2D, CopyRoundTrip) {
+  Grid2D<float> g(13, 9);
+  g.fill_random(3);
+  PaddedGrid2D p(13, 9, 2);
+  p.copy_from(g);
+  Grid2D<float> back(13, 9);
+  p.copy_to(back);
+  EXPECT_TRUE(compare_exact(g, back).identical());
+}
+
+TEST(PaddedGrid2D, HaloReplicatesBordersAndCorners) {
+  Grid2D<float> g(4, 3);
+  for (std::int64_t y = 0; y < 3; ++y) {
+    for (std::int64_t x = 0; x < 4; ++x) g.at(x, y) = float(10 * y + x);
+  }
+  PaddedGrid2D p(4, 3, 2);
+  p.copy_from(g);
+  p.refresh_halo();
+  const float* o = p.interior();
+  const std::int64_t pitch = p.pitch();
+  EXPECT_EQ(o[-1], g.at(0, 0));                // west halo
+  EXPECT_EQ(o[-2], g.at(0, 0));
+  EXPECT_EQ(o[4], g.at(3, 0));                 // east halo
+  EXPECT_EQ(o[-pitch], g.at(0, 0));            // south halo
+  EXPECT_EQ(o[2 * pitch + 1 + pitch], g.at(1, 2));  // north halo row
+  EXPECT_EQ(o[-2 * pitch - 2], g.at(0, 0));    // corner = corner cell
+  EXPECT_EQ(o[(2 + 2) * pitch + 3 + 2], g.at(3, 2));  // NE corner
+}
+
+TEST(PaddedGrid3D, HaloReplicates) {
+  Grid3D<float> g(3, 3, 3);
+  g.fill_random(8);
+  PaddedGrid3D p(3, 3, 3, 1);
+  p.copy_from(g);
+  p.refresh_halo();
+  const float* o = p.interior();
+  const std::int64_t px = p.pitch_x(), py = p.pitch_y();
+  EXPECT_EQ(o[-1], g.at(0, 0, 0));
+  EXPECT_EQ(o[-px], g.at(0, 0, 0));
+  EXPECT_EQ(o[-px * py], g.at(0, 0, 0));
+  EXPECT_EQ(o[3], g.at(2, 0, 0));
+  EXPECT_EQ(o[2 * px * py + 2 * px + 2 + px * py], g.at(2, 2, 2));
+}
+
+TEST(PaddedGrid, RejectsBadShapes) {
+  EXPECT_THROW(PaddedGrid2D(0, 3, 1), ConfigError);
+  EXPECT_THROW(PaddedGrid3D(3, 3, 3, 0), ConfigError);
+  Grid2D<float> g(4, 4);
+  PaddedGrid2D p(5, 4, 1);
+  EXPECT_THROW(p.copy_from(g), ConfigError);
+}
+
+class CpuExactness2D : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuExactness2D, MatchesReference) {
+  const int rad = GetParam();
+  const StarStencil s = StarStencil::make_benchmark(2, rad, 31);
+  Grid2D<float> g(57, 33);
+  g.fill_random(17);
+  Grid2D<float> want = g;
+  reference_run(s, want, 4);
+
+  YaskLikeStencil2D exec(s);
+  const CpuRunResult r = exec.run(g, 4, CpuBlockSize{57, 8, 1});
+  // Same accumulation order per cell: bit-exact with the reference.
+  EXPECT_TRUE(compare_exact(g, want).identical()) << "rad=" << rad;
+  EXPECT_EQ(r.cell_updates, 57 * 33 * 4);
+  EXPECT_GT(r.gcells, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, CpuExactness2D, ::testing::Values(1, 2, 3, 4));
+
+class CpuExactness3D : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuExactness3D, MatchesReference) {
+  const int rad = GetParam();
+  const StarStencil s = StarStencil::make_benchmark(3, rad, 37);
+  Grid3D<float> g(22, 18, 11);
+  g.fill_random(19);
+  Grid3D<float> want = g;
+  reference_run(s, want, 3);
+
+  YaskLikeStencil3D exec(s);
+  exec.run(g, 3, CpuBlockSize{22, 6, 4});
+  EXPECT_TRUE(compare_exact(g, want).identical()) << "rad=" << rad;
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, CpuExactness3D, ::testing::Values(1, 2, 3, 4));
+
+TEST(CpuBaseline, BlockSizeDoesNotChangeResults) {
+  const StarStencil s = StarStencil::make_benchmark(2, 2);
+  Grid2D<float> base(40, 28);
+  base.fill_random(5);
+  Grid2D<float> first = base;
+  YaskLikeStencil2D exec(s);
+  exec.run(first, 3, CpuBlockSize{40, 4, 1});
+  for (std::int64_t by : {1, 7, 16, 28}) {
+    Grid2D<float> g = base;
+    exec.run(g, 3, CpuBlockSize{40, by, 1});
+    EXPECT_TRUE(compare_exact(g, first).identical()) << "by=" << by;
+  }
+  for (std::int64_t bx : {8, 13, 40}) {
+    Grid2D<float> g = base;
+    exec.run(g, 3, CpuBlockSize{bx, 8, 1});
+    EXPECT_TRUE(compare_exact(g, first).identical()) << "bx=" << bx;
+  }
+}
+
+TEST(CpuBaseline, AutoTuneReturnsUsableBlock) {
+  const StarStencil s = StarStencil::make_benchmark(2, 2);
+  YaskLikeStencil2D exec(s);
+  const CpuBlockSize b = exec.auto_tune(64, 48);
+  EXPECT_GT(b.by, 0);
+  EXPECT_LE(b.by, 48);
+  const StarStencil s3 = StarStencil::make_benchmark(3, 1);
+  YaskLikeStencil3D exec3(s3);
+  const CpuBlockSize b3 = exec3.auto_tune(24, 20, 16);
+  EXPECT_GT(b3.by, 0);
+  EXPECT_GT(b3.bz, 0);
+}
+
+TEST(CpuBaseline, DimsMismatchThrows) {
+  EXPECT_THROW(YaskLikeStencil2D(StarStencil::make_benchmark(3, 1)),
+               ConfigError);
+  EXPECT_THROW(YaskLikeStencil3D(StarStencil::make_benchmark(2, 1)),
+               ConfigError);
+}
+
+// ---- paper-scale Xeon / Xeon Phi model ----
+
+TEST(CpuDeviceModel, GcellsFlatInRadius) {
+  // The paper's observation: CPU GCell/s is independent of the radius.
+  for (const DeviceSpec& d : {xeon_e5_2650v4(), xeon_phi_7210f()}) {
+    for (int dims : {2, 3}) {
+      const double g1 = yask_comparison_row(d, dims, 1).gcells;
+      for (int rad = 2; rad <= 4; ++rad) {
+        EXPECT_DOUBLE_EQ(yask_comparison_row(d, dims, rad).gcells, g1);
+      }
+    }
+  }
+}
+
+TEST(CpuDeviceModel, GflopsGrowsLinearly) {
+  const DeviceSpec d = xeon_e5_2650v4();
+  const ComparisonRow r1 = yask_comparison_row(d, 2, 1);
+  const ComparisonRow r4 = yask_comparison_row(d, 2, 4);
+  EXPECT_NEAR(r4.gflops / r1.gflops, 33.0 / 9.0, 1e-9);
+}
+
+TEST(CpuDeviceModel, MatchesPaperTable4) {
+  // Xeon 2D: ~5.0 GCell/s at roofline ratio 0.52, 45-165 GFLOP/s.
+  const ComparisonRow r = yask_comparison_row(xeon_e5_2650v4(), 2, 1);
+  EXPECT_NEAR(r.gcells, 5.034, 0.07);
+  EXPECT_NEAR(r.gflops, 45.306, 0.6);
+  EXPECT_NEAR(r.roofline_ratio, 0.52, 1e-9);
+  EXPECT_NEAR(r.power_efficiency, 0.521, 0.02);
+  // Xeon Phi 2D radius 4: the row that overtakes the FPGA.
+  const ComparisonRow p = yask_comparison_row(xeon_phi_7210f(), 2, 4);
+  EXPECT_NEAR(p.gflops, 759.198, 30.0);
+  EXPECT_NEAR(p.gcells, 23.006, 1.0);
+}
+
+TEST(CpuDeviceModel, PowerInMeasuredRange) {
+  for (int rad = 1; rad <= 4; ++rad) {
+    const double xeon = yask_power_watts(xeon_e5_2650v4(), 2, rad);
+    EXPECT_GE(xeon, 85.0);
+    EXPECT_LE(xeon, 100.0);
+    const double phi = yask_power_watts(xeon_phi_7210f(), 3, rad);
+    EXPECT_GE(phi, 222.0);
+    EXPECT_LE(phi, 227.0);
+  }
+}
+
+TEST(CpuDeviceModel, RejectsNonCpuDevices) {
+  EXPECT_THROW(yask_sustained_bw_fraction(arria10_gx1150(), 2), ConfigError);
+  EXPECT_THROW(yask_comparison_row(gtx_580(), 3, 1), ConfigError);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

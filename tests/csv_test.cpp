@@ -1,0 +1,67 @@
+// Tests for the CSV emitters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include <algorithm>
+
+#include "harness/csv.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+std::size_t count_lines(const std::string& s) {
+  return std::size_t(std::count(s.begin(), s.end(), '\n'));
+}
+
+TEST(Csv, ComparisonTableShape) {
+  std::ostringstream os;
+  write_comparison_csv(comparison_table(3), os);
+  const std::string out = os.str();
+  EXPECT_EQ(count_lines(out), 1u + 24u);  // header + 6 devices x 4 radii
+  EXPECT_EQ(out.rfind("device,radius,gflops,gcells,power_w,gflops_per_w,"
+                      "roofline,extrapolated\n",
+                      0),
+            0u);
+  // Extrapolated rows flagged.
+  EXPECT_NE(out.find("\"Tesla P100\",1,"), std::string::npos);
+  EXPECT_NE(out.find(",1\n"), std::string::npos);
+  // Quoted device names survive commas-free round trips.
+  EXPECT_NE(out.find("\"Arria 10 GX 1150\""), std::string::npos);
+}
+
+TEST(Csv, Table3Shape) {
+  std::ostringstream os;
+  write_table3_csv(arria10_gx1150(), os);
+  const std::string out = os.str();
+  EXPECT_EQ(count_lines(out), 1u + 8u);
+  // Every data line has the full column count.
+  std::istringstream is(out);
+  std::string line;
+  std::getline(is, line);
+  const auto cols = std::count(line.begin(), line.end(), ',') + 1;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ',') + 1, cols);
+  }
+}
+
+TEST(Csv, NumbersParseBack) {
+  std::ostringstream os;
+  write_table3_csv(arria10_gx1150(), os);
+  std::istringstream is(os.str());
+  std::string header, first;
+  std::getline(is, header);
+  std::getline(is, first);
+  // dims,radius,bsize_x,...
+  std::istringstream row(first);
+  std::string cell;
+  std::getline(row, cell, ',');
+  EXPECT_EQ(std::stoi(cell), 2);
+  std::getline(row, cell, ',');
+  EXPECT_EQ(std::stoi(cell), 1);
+  std::getline(row, cell, ',');
+  EXPECT_EQ(std::stoll(cell), 4096);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,156 @@
+// Tests for the cycle-level timing simulator: convergence, zero-stall
+// behaviour when bandwidth is ample, and the wide-access splitting
+// mechanism behind the paper's 3D pipeline-efficiency loss.
+#include <gtest/gtest.h>
+
+#include "model/cycle_simulator.hpp"
+#include "model/performance_model.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+const DeviceSpec kArria = arria10_gx1150();
+
+CycleSimConfig make_sim(int dims, int rad, std::int64_t bx, std::int64_t by,
+                        int pv, int pt, double fmax,
+                        std::int64_t block_x0 = 0) {
+  CycleSimConfig sim;
+  sim.accel.dims = dims;
+  sim.accel.radius = rad;
+  sim.accel.bsize_x = bx;
+  sim.accel.bsize_y = by;
+  sim.accel.parvec = pv;
+  sim.accel.partime = pt;
+  sim.nx = 4 * bx;
+  sim.stream_extent = dims == 2 ? 256 : 64;
+  sim.fmax_mhz = fmax;
+  sim.block_x0 = block_x0;
+  return sim;
+}
+
+TEST(CycleSimulator, ConvergesAndCountsCycles) {
+  const CycleSimConfig sim = make_sim(2, 1, 64, 1, 4, 2, 300.0);
+  const CycleStats st = simulate_block_pass(sim, kArria);
+  EXPECT_EQ(st.ideal_cycles, 256 * 64 / 4);
+  EXPECT_GE(st.kernel_cycles, st.ideal_cycles);
+  EXPECT_GT(st.total_bursts, 0);
+  EXPECT_GT(st.efficiency(), 0.0);
+  EXPECT_LE(st.efficiency(), 1.0);
+}
+
+TEST(CycleSimulator, NarrowAccessesNearZeroStall) {
+  // 16-byte accesses at 300 MHz demand ~9.6 GB/s of 34.1 available: the
+  // pipeline runs essentially stall-free once the fill/drain overhead is
+  // amortized over a long stream.
+  CycleSimConfig sim = make_sim(2, 2, 256, 1, 4, 4, 300.0);
+  sim.stream_extent = 4096;
+  const CycleStats st = simulate_block_pass(sim, kArria);
+  EXPECT_GT(st.efficiency(), 0.95);
+}
+
+TEST(CycleSimulator, WideUnalignedAccessesStall) {
+  // 64-byte accesses from a non-burst-aligned block origin split into two
+  // bursts: read+write demand exceeds what the controller can serve and
+  // the chain starves, reproducing the paper's 3D loss.
+  const CycleSimConfig aligned = make_sim(3, 2, 64, 32, 16, 2, 280.0,
+                                          /*block_x0=*/0);
+  const CycleSimConfig unaligned = make_sim(3, 2, 64, 32, 16, 2, 280.0,
+                                            /*block_x0=*/4);
+  const CycleStats a = simulate_block_pass(aligned, kArria);
+  const CycleStats u = simulate_block_pass(unaligned, kArria);
+  EXPECT_EQ(a.split_accesses, 0);
+  EXPECT_GT(u.split_accesses, 0);
+  EXPECT_GT(a.efficiency(), u.efficiency());
+  EXPECT_LT(u.efficiency(), 0.75);
+  EXPECT_GT(u.read_stall_cycles, 0);
+}
+
+TEST(CycleSimulator, SplitCountMatchesAddressArithmetic) {
+  // With a 4-cell (16 B) offset, every 64 B access crosses one boundary.
+  const CycleSimConfig sim = make_sim(3, 1, 64, 16, 16, 1, 280.0,
+                                      /*block_x0=*/4);
+  const CycleStats st = simulate_block_pass(sim, kArria);
+  const std::int64_t reads = sim.stream_extent * 64 * 16 / 16;
+  EXPECT_GE(st.split_accesses, reads);  // every read splits (plus writes)
+}
+
+TEST(CycleSimulator, EfficiencyTracksAnalyticModel) {
+  // The from-first-principles simulation lands in the same regime as the
+  // calibrated layer-2 model. The simulated case is worst-case alignment
+  // (every access splits), so it sits below the calibrated average; allow
+  // a wide band but demand the same bandwidth-starved regime.
+  const CycleSimConfig sim = make_sim(3, 2, 64, 32, 16, 2, 280.0,
+                                      /*block_x0=*/4);
+  const CycleStats st = simulate_block_pass(sim, kArria);
+  const double analytic =
+      pipeline_efficiency(sim.accel, kArria, sim.fmax_mhz) /
+      (sim.accel.dims == 2 ? 0.86 : 0.88);  // strip the base factor
+  EXPECT_NEAR(st.efficiency(), analytic, 0.25);
+  EXPECT_LT(st.efficiency(), 0.9);  // clearly stalled, like the model
+}
+
+TEST(CycleSimulator, LowerFmaxReducesStalls) {
+  // A slower kernel demands less bandwidth per cycle: fewer stalls.
+  const CycleSimConfig fast = make_sim(3, 2, 64, 32, 16, 2, 280.0, 4);
+  const CycleSimConfig slow = make_sim(3, 2, 64, 32, 16, 2, 140.0, 4);
+  const CycleStats f = simulate_block_pass(fast, kArria);
+  const CycleStats s = simulate_block_pass(slow, kArria);
+  EXPECT_GT(s.efficiency(), f.efficiency());
+}
+
+TEST(CycleSimulator, SeparateBanksBeatSharedBusWhenTurnaroundDominates) {
+  // Two DDR banks (the Nallatech 385A configuration): each stream gets its
+  // own controller, so the shared-bus read<->write turnaround disappears.
+  // With balanced narrow streams where turnaround is the dominant cost,
+  // banking wins; with a read-heavy split-access stream, halving the read
+  // bank's rate can hurt instead -- both behaviours are modeled.
+  CycleSimConfig shared = make_sim(2, 2, 256, 1, 4, 4, 300.0, 0);
+  shared.separate_rw_banks = false;
+  shared.turnaround_cost = 1.0;  // worst-case bus turnaround
+  CycleSimConfig banked = shared;
+  banked.separate_rw_banks = true;
+  const CycleStats s = simulate_block_pass(shared, kArria);
+  const CycleStats b = simulate_block_pass(banked, kArria);
+  EXPECT_GT(b.efficiency(), s.efficiency());
+
+  // Read-heavy wide-access traffic: the shared bus can come out ahead.
+  CycleSimConfig shared_wide = make_sim(3, 2, 64, 32, 16, 2, 280.0, 4);
+  shared_wide.turnaround_cost = 0.5;
+  CycleSimConfig banked_wide = shared_wide;
+  banked_wide.separate_rw_banks = true;
+  EXPECT_GT(simulate_block_pass(shared_wide, kArria).efficiency(),
+            simulate_block_pass(banked_wide, kArria).efficiency());
+}
+
+TEST(CycleSimulator, TurnaroundCostMonotone) {
+  CycleSimConfig sim = make_sim(3, 2, 64, 32, 16, 2, 280.0, 4);
+  sim.turnaround_cost = 0.0;
+  const double none = simulate_block_pass(sim, kArria).efficiency();
+  sim.turnaround_cost = 1.0;
+  const double heavy = simulate_block_pass(sim, kArria).efficiency();
+  EXPECT_GT(none, heavy);
+}
+
+TEST(CycleSimulator, BankedModeUnaffectedByTurnaroundCost) {
+  CycleSimConfig sim = make_sim(3, 2, 64, 32, 16, 2, 280.0, 4);
+  sim.separate_rw_banks = true;
+  sim.turnaround_cost = 0.0;
+  const std::int64_t a = simulate_block_pass(sim, kArria).kernel_cycles;
+  sim.turnaround_cost = 2.0;
+  const std::int64_t b = simulate_block_pass(sim, kArria).kernel_cycles;
+  EXPECT_EQ(a, b);
+}
+
+TEST(CycleSimulator, InvalidInputsThrow) {
+  CycleSimConfig sim = make_sim(2, 1, 64, 1, 4, 1, 300.0);
+  sim.fmax_mhz = 0;
+  EXPECT_THROW(simulate_block_pass(sim, kArria), ConfigError);
+  sim = make_sim(2, 1, 64, 1, 4, 1, 300.0);
+  sim.stream_extent = 0;
+  EXPECT_THROW(simulate_block_pass(sim, kArria), ConfigError);
+  sim = make_sim(2, 1, 64, 1, 4, 1, 300.0);
+  EXPECT_THROW(simulate_block_pass(sim, xeon_e5_2650v4()), ConfigError);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,155 @@
+// Tests for the extension models: double precision, the Quartus-v17
+// regression, and the Stratix 10 projection claims.
+#include <gtest/gtest.h>
+
+#include "fpga/fmax_model.hpp"
+#include "fpga/toolchain.hpp"
+#include "harness/experiments.hpp"
+#include "model/performance_model.hpp"
+#include "tune/tuner.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+const DeviceSpec kArria = arria10_gx1150();
+
+// ---- precision ----
+
+TEST(Precision, BytesAndFmaCosts) {
+  EXPECT_EQ(bytes_per_value(ValuePrecision::kFloat32), 4);
+  EXPECT_EQ(bytes_per_value(ValuePrecision::kFloat64), 8);
+  EXPECT_EQ(dsps_per_fma(ValuePrecision::kFloat32), 1);
+  EXPECT_EQ(dsps_per_fma(ValuePrecision::kFloat64), 4);
+}
+
+TEST(Precision, CharacteristicsScale) {
+  const StencilCharacteristics f32 =
+      stencil_characteristics(3, 2, ValuePrecision::kFloat32);
+  const StencilCharacteristics f64 =
+      stencil_characteristics(3, 2, ValuePrecision::kFloat64);
+  EXPECT_EQ(f64.flop_per_cell, f32.flop_per_cell);  // FLOPs are FLOPs
+  EXPECT_EQ(f64.bytes_per_cell, 2 * f32.bytes_per_cell);
+  EXPECT_EQ(f64.dsp_per_cell, 4 * f32.dsp_per_cell);
+  EXPECT_DOUBLE_EQ(f64.flop_per_byte, f32.flop_per_byte / 2.0);
+}
+
+TEST(Precision, DemandDoubles) {
+  const AcceleratorConfig cfg = paper_config(3, 2);
+  const double d32 =
+      memory_demand_gbps(cfg, 260.0, ValuePrecision::kFloat32);
+  const double d64 =
+      memory_demand_gbps(cfg, 260.0, ValuePrecision::kFloat64);
+  EXPECT_DOUBLE_EQ(d64, 2.0 * d32);
+}
+
+TEST(Precision, Fp64EfficiencyNoBetter) {
+  // Wider accesses + doubled demand: efficiency can only drop.
+  for (int rad = 1; rad <= 4; ++rad) {
+    const AcceleratorConfig cfg = paper_config(3, rad);
+    const double e32 =
+        pipeline_efficiency(cfg, kArria, 260.0, ValuePrecision::kFloat32);
+    const double e64 =
+        pipeline_efficiency(cfg, kArria, 260.0, ValuePrecision::kFloat64);
+    EXPECT_LE(e64, e32 + 1e-12) << "rad " << rad;
+  }
+}
+
+TEST(Precision, EstimateUsesPrecisionBytes) {
+  const AcceleratorConfig cfg = paper_config(2, 1);
+  const PerformanceEstimate e32 = estimate_performance(
+      cfg, kArria, 343.8, 16096, 16096, 1, ValuePrecision::kFloat32);
+  const PerformanceEstimate e64 = estimate_performance(
+      cfg, kArria, 343.8, 16096, 16096, 1, ValuePrecision::kFloat64);
+  EXPECT_DOUBLE_EQ(e64.estimated_gbps, 2.0 * e32.estimated_gbps);
+  EXPECT_DOUBLE_EQ(e64.estimated_gcells, e32.estimated_gcells);
+  EXPECT_DOUBLE_EQ(e64.estimated_gflops, e32.estimated_gflops);
+}
+
+// ---- toolchain regression ----
+
+TEST(Toolchain, BaselineIsIdentity) {
+  const AcceleratorConfig cfg = paper_config(2, 2);
+  const ResourceUsage base = estimate_resources(cfg, kArria);
+  const ResourceUsage v16 = estimate_resources_with_toolchain(
+      cfg, kArria, ToolchainVersion::kQuartus16_1);
+  EXPECT_EQ(base.bram_blocks, v16.bram_blocks);
+  EXPECT_DOUBLE_EQ(
+      estimate_fmax_with_toolchain(cfg, kArria,
+                                   ToolchainVersion::kQuartus16_1),
+      estimate_fmax_mhz(cfg, kArria));
+}
+
+TEST(Toolchain, V17RegressionInPaperRanges) {
+  const ToolchainRegression r =
+      toolchain_regression(ToolchainVersion::kQuartus17);
+  // "20-30% lower performance", "5-10% more Block RAMs".
+  EXPECT_GE(1.0 - r.fmax_scale, 0.20);
+  EXPECT_LE(1.0 - r.fmax_scale, 0.30);
+  EXPECT_GE(r.bram_scale - 1.0, 0.05);
+  EXPECT_LE(r.bram_scale - 1.0, 0.10);
+}
+
+TEST(Toolchain, MaxedOutConfigsStopFitting) {
+  // The paper's 2D radius-2..4 configs sit at ~100% Block RAM blocks under
+  // v16.1; +7.5% breaks them.
+  for (int rad : {2, 3, 4}) {
+    const AcceleratorConfig cfg = paper_config(2, rad);
+    EXPECT_TRUE(estimate_resources_with_toolchain(
+                    cfg, kArria, ToolchainVersion::kQuartus16_1)
+                    .fits())
+        << rad;
+    EXPECT_FALSE(estimate_resources_with_toolchain(
+                     cfg, kArria, ToolchainVersion::kQuartus17)
+                     .fits())
+        << rad;
+  }
+}
+
+// ---- Stratix 10 projection (conclusion claims) ----
+
+TunedConfig tune_3d(const DeviceSpec& dev, int rad) {
+  TunerOptions o;
+  o.dims = 3;
+  o.radius = rad;
+  o.nx = 696;
+  o.ny = 728;
+  o.nz = 696;
+  o.max_parvec = 64;
+  return best_config(dev, o);
+}
+
+TEST(Stratix10, GxGainsTrailDspGains) {
+  // GX 2800 has 3.79x the Arria 10's DSPs but only 2.25x its bandwidth;
+  // high-order 3D GFLOP/s gains must land well below the DSP ratio.
+  const double dsp_ratio =
+      double(stratix10_gx2800().dsps) / double(arria10_gx1150().dsps);
+  for (int rad : {2, 3, 4}) {
+    const double arria =
+        fpga_result_row(3, rad, arria10_gx1150()).perf.measured_gflops;
+    const double gx = tune_3d(stratix10_gx2800(), rad).perf.measured_gflops;
+    EXPECT_GT(gx, arria) << rad;                    // it does improve...
+    EXPECT_LT(gx / arria, dsp_ratio * 0.95) << rad; // ...but sub-DSP-ratio
+  }
+}
+
+TEST(Stratix10, MxBeatsGxAtHighOrder) {
+  // HBM removes the memory wall (the conclusion's "will likely not suffer").
+  for (int rad : {2, 3, 4}) {
+    const TunedConfig gx = tune_3d(stratix10_gx2800(), rad);
+    const TunedConfig mx = tune_3d(stratix10_mx2100(), rad);
+    EXPECT_GT(mx.perf.measured_gflops, gx.perf.measured_gflops) << rad;
+    EXPECT_GE(mx.perf.pipeline_efficiency, gx.perf.pipeline_efficiency)
+        << rad;
+  }
+}
+
+TEST(Stratix10, MxNeedsLessTemporalBlocking) {
+  // With 512 GB/s the MX's tuned configs lean on bandwidth, not temporal
+  // reuse: its best roofline ratio at radius 4 is below 1 while the
+  // bandwidth-starved GX still must exceed 1.
+  EXPECT_LT(tune_3d(stratix10_mx2100(), 4).perf.roofline_ratio, 1.0);
+  EXPECT_GT(tune_3d(stratix10_gx2800(), 4).perf.roofline_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,250 @@
+// Tests for the FPGA device catalog, resource model, fmax model, and power
+// model against the paper's Tables II and III.
+#include <gtest/gtest.h>
+
+#include "fpga/device_spec.hpp"
+#include "fpga/fmax_model.hpp"
+#include "fpga/power_model.hpp"
+#include "fpga/resource_model.hpp"
+#include "harness/experiments.hpp"
+#include "harness/paper_reference.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+TEST(DeviceSpec, Table2Characteristics) {
+  // FLOP/Byte column of the paper's Table II.
+  EXPECT_NEAR(arria10_gx1150().flop_per_byte(), 42.522, 0.01);
+  EXPECT_NEAR(xeon_e5_2650v4().flop_per_byte(), 9.115, 0.01);
+  EXPECT_NEAR(xeon_phi_7210f().flop_per_byte(), 13.313, 0.01);
+  EXPECT_NEAR(gtx_580().flop_per_byte(), 8.212, 0.01);
+  EXPECT_NEAR(gtx_980ti().flop_per_byte(), 20.499, 0.01);
+  EXPECT_NEAR(tesla_p100().flop_per_byte(), 12.901, 0.01);
+}
+
+TEST(DeviceSpec, Arria10Resources) {
+  const DeviceSpec d = arria10_gx1150();
+  EXPECT_EQ(d.dsps, 1518);
+  EXPECT_EQ(d.m20k_blocks, 2713);
+  EXPECT_EQ(d.m20k_bits_total(), std::int64_t(2713) * 20480);
+  EXPECT_TRUE(d.is_fpga());
+  EXPECT_FALSE(xeon_e5_2650v4().is_fpga());
+}
+
+TEST(DeviceSpec, ConclusionStratix10Claim) {
+  // Conclusion: "the FLOP to byte ratio goes beyond 100" for Stratix 10 GX
+  // 2800 with 4 banks of DDR4-2400, while the MX (HBM) does not suffer.
+  EXPECT_GT(stratix10_gx2800().flop_per_byte(), 100.0);
+  EXPECT_LT(stratix10_mx2100().flop_per_byte(), 20.0);
+}
+
+TEST(ResourceModel, DspPerCellUpdateFormulas) {
+  for (int rad = 1; rad <= 8; ++rad) {
+    EXPECT_EQ(dsps_per_cell_update(2, rad), 4 * rad + 1);
+    EXPECT_EQ(dsps_per_cell_update(3, rad), 6 * rad + 1);
+    // Shared coefficients reduce the multiply count but not the adds:
+    // exactly one DSP saved (Section V.A).
+    EXPECT_EQ(dsps_per_cell_update(2, rad, true), 4 * rad);
+    EXPECT_EQ(dsps_per_cell_update(3, rad, true), 6 * rad);
+  }
+}
+
+TEST(ResourceModel, MaxTotalParallelismEq4) {
+  const DeviceSpec d = arria10_gx1150();
+  EXPECT_EQ(max_total_parallelism(d, 2, 1), 1518 / 5);
+  EXPECT_EQ(max_total_parallelism(d, 2, 4), 1518 / 17);
+  EXPECT_EQ(max_total_parallelism(d, 3, 1), 1518 / 7);   // 216
+  EXPECT_EQ(max_total_parallelism(d, 3, 4), 1518 / 25);  // 60
+}
+
+/// The paper's exact DSP counts: 3D radius 1 uses 1344 of 1518 DSPs
+/// (Section VI.B's occupancy discussion).
+TEST(ResourceModel, PaperDspCounts) {
+  const DeviceSpec d = arria10_gx1150();
+  EXPECT_EQ(dsp_usage(paper_config(3, 1)), 1344);
+  EXPECT_EQ(dsp_usage(paper_config(2, 1)), 1440);
+  EXPECT_EQ(dsp_usage(paper_config(2, 2)), 1512);
+  for (int dims : {2, 3}) {
+    for (int rad = 1; rad <= 4; ++rad) {
+      const ResourceUsage u = estimate_resources(paper_config(dims, rad), d);
+      const double paper_dsp = paper::table3_row(dims, rad).dsp_fraction;
+      EXPECT_NEAR(u.dsp_fraction, paper_dsp, 0.015)
+          << dims << "D rad " << rad;
+    }
+  }
+}
+
+class Table3Resources
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Table3Resources, BramWithinCalibrationTolerance) {
+  const auto [dims, rad] = GetParam();
+  const DeviceSpec d = arria10_gx1150();
+  const ResourceUsage u = estimate_resources(paper_config(dims, rad), d);
+  const paper::Table3Row& p = paper::table3_row(dims, rad);
+  EXPECT_TRUE(u.fits());
+  EXPECT_NEAR(u.bram_bits_fraction, p.mem_bits_fraction, 0.03);
+  EXPECT_NEAR(u.bram_block_fraction, p.mem_blocks_fraction, 0.06);
+  EXPECT_NEAR(u.logic_fraction, p.logic_fraction, 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, Table3Resources,
+                         ::testing::Values(std::pair{2, 1}, std::pair{2, 2},
+                                           std::pair{2, 3}, std::pair{2, 4},
+                                           std::pair{3, 1}, std::pair{3, 2},
+                                           std::pair{3, 3}, std::pair{3, 4}));
+
+TEST(ResourceModel, OversubscribedDspThrows) {
+  AcceleratorConfig cfg = paper_config(2, 1);
+  cfg.partime = 64;  // 5 * 8 * 64 = 2560 DSPs > 1518
+  cfg.bsize_x = 4096;
+  EXPECT_THROW(check_fit(cfg, arria10_gx1150()), ResourceError);
+}
+
+TEST(ResourceModel, OversubscribedBramThrows) {
+  AcceleratorConfig cfg;
+  cfg.dims = 3;
+  cfg.radius = 4;
+  cfg.bsize_x = 512;
+  cfg.bsize_y = 256;
+  cfg.parvec = 2;
+  cfg.partime = 8;  // huge shift registers
+  EXPECT_THROW(check_fit(cfg, arria10_gx1150()), ResourceError);
+}
+
+TEST(ResourceModel, ErrorMessageNamesTheResource) {
+  AcceleratorConfig cfg = paper_config(2, 1);
+  cfg.partime = 64;
+  try {
+    check_fit(cfg, arria10_gx1150());
+    FAIL() << "should not fit";
+  } catch (const ResourceError& e) {
+    EXPECT_NE(std::string(e.what()).find("DSP"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("Arria 10"), std::string::npos);
+  }
+}
+
+TEST(ResourceModel, NonFpgaRejected) {
+  EXPECT_THROW(estimate_resources(paper_config(2, 1), xeon_e5_2650v4()),
+               ConfigError);
+  EXPECT_THROW(max_total_parallelism(xeon_e5_2650v4(), 2, 1), ConfigError);
+}
+
+/// Section VI.A projection: on the Arria 10, 5th/6th-order 3D stencils are
+/// limited to two parallel temporal blocks by Block RAM.
+TEST(ResourceModel, HighOrder3DLimitedToPartime2) {
+  const DeviceSpec d = arria10_gx1150();
+  for (int rad : {5, 6}) {
+    AcceleratorConfig cfg;
+    cfg.dims = 3;
+    cfg.radius = rad;
+    cfg.bsize_x = rad == 5 ? 256 : 128;
+    cfg.bsize_y = 128;
+    cfg.parvec = 16;
+    cfg.partime = 2;
+    EXPECT_TRUE(estimate_resources(cfg, d).fits()) << "rad=" << rad;
+    cfg.partime = 3;
+    EXPECT_FALSE(estimate_resources(cfg, d).fits()) << "rad=" << rad;
+  }
+}
+
+// ---- fmax model ----
+
+TEST(FmaxModel, Table3Tolerances) {
+  const DeviceSpec d = arria10_gx1150();
+  for (int dims : {2, 3}) {
+    for (int rad = 1; rad <= 4; ++rad) {
+      const double f = estimate_fmax_mhz(paper_config(dims, rad), d);
+      const double paper_f = paper::table3_row(dims, rad).fmax_mhz;
+      EXPECT_NEAR(f / paper_f, 1.0, 0.045) << dims << "D rad " << rad;
+    }
+  }
+}
+
+TEST(FmaxModel, DecreasesWithRadiusWhenPressured) {
+  const DeviceSpec d = arria10_gx1150();
+  double prev = 1e9;
+  for (int rad = 1; rad <= 4; ++rad) {
+    const double f = estimate_fmax_mhz(paper_config(3, rad), d);
+    EXPECT_LE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(FmaxModel, HighOrder3DBelowMemoryControllerClock) {
+  // Section VI.A: for 2nd-4th order 3D stencils fmax falls below 266 MHz.
+  const DeviceSpec d = arria10_gx1150();
+  EXPECT_GT(estimate_fmax_mhz(paper_config(3, 1), d), d.mem_controller_mhz);
+  for (int rad : {3, 4}) {
+    EXPECT_LT(estimate_fmax_mhz(paper_config(3, rad), d),
+              d.mem_controller_mhz);
+  }
+}
+
+TEST(FmaxModel, StratixVSmallParamsRadiusIndependent) {
+  // Section VI.A: with small parameters on a Stratix V, the exact same
+  // fmax is achieved regardless of the stencil radius.
+  const DeviceSpec sv = stratix_v_gxa7();
+  AcceleratorConfig cfg;
+  cfg.dims = 2;
+  cfg.bsize_x = 1024;
+  cfg.parvec = 2;
+  cfg.partime = 2;
+  double first = 0.0;
+  for (int rad = 1; rad <= 4; ++rad) {
+    cfg.radius = rad;
+    const double f = estimate_fmax_mhz(cfg, sv);
+    if (rad == 1) {
+      first = f;
+    } else {
+      EXPECT_DOUBLE_EQ(f, first) << "rad=" << rad;
+    }
+  }
+}
+
+// ---- power model ----
+
+TEST(PowerModel, Table3Tolerances) {
+  const DeviceSpec d = arria10_gx1150();
+  for (int dims : {2, 3}) {
+    for (int rad = 1; rad <= 4; ++rad) {
+      const paper::Table3Row& p = paper::table3_row(dims, rad);
+      const double watts =
+          estimate_power_watts(paper_config(dims, rad), d, p.fmax_mhz);
+      EXPECT_NEAR(watts / p.power_watts, 1.0, 0.10) << dims << "D r" << rad;
+    }
+  }
+}
+
+TEST(PowerModel, FmaxDominates) {
+  // Section VI.A: the main factor is fmax.
+  const DeviceSpec d = arria10_gx1150();
+  const AcceleratorConfig cfg = paper_config(2, 2);
+  EXPECT_GT(estimate_power_watts(cfg, d, 340.0),
+            estimate_power_watts(cfg, d, 260.0));
+}
+
+TEST(PowerModel, BramRaisesPowerAtEqualFmax) {
+  // Section VI.A: the 3rd-order 3D stencil draws more than the 2nd-order
+  // one despite a lower fmax, due to higher Block RAM usage.
+  const DeviceSpec d = arria10_gx1150();
+  const double p2 = estimate_power_watts(paper_config(3, 2), d, 260.0);
+  const double p3 = estimate_power_watts(paper_config(3, 3), d, 260.0);
+  EXPECT_GT(p3, p2);
+}
+
+TEST(PowerModel, ClampedToSaneRange) {
+  const DeviceSpec d = arria10_gx1150();
+  AcceleratorConfig tiny;
+  tiny.dims = 2;
+  tiny.radius = 1;
+  tiny.bsize_x = 64;
+  tiny.parvec = 2;
+  tiny.partime = 1;
+  EXPECT_GE(estimate_power_watts(tiny, d, 100.0), 25.0);
+  EXPECT_LE(estimate_power_watts(paper_config(3, 1), d, 400.0),
+            d.tdp_watts * 1.2);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,125 @@
+// Randomized stress testing of the architecture simulator: many random
+// (configuration, grid, iteration, stencil) tuples, every one required to
+// be bit-exact against the naive reference. Deterministically seeded.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/stencil_accelerator.hpp"
+#include "grid/grid_compare.hpp"
+#include "stencil/box_stencil.hpp"
+#include "stencil/reference.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+constexpr int kCases2D = 40;
+constexpr int kCases3D = 25;
+
+AcceleratorConfig random_config(SplitMix64& rng, int dims) {
+  AcceleratorConfig cfg;
+  cfg.dims = dims;
+  cfg.radius = 1 + int(rng.next_below(5));  // 1..5
+  static constexpr std::int64_t kBsx[] = {16, 24, 32, 48, 64};
+  cfg.bsize_x = kBsx[rng.next_below(5)];
+  cfg.bsize_y = dims == 3 ? 8 + std::int64_t(rng.next_below(4)) * 8 : 1;
+  static constexpr int kPv[] = {1, 2, 4, 8};
+  do {
+    cfg.parvec = kPv[rng.next_below(4)];
+  } while (cfg.bsize_x % cfg.parvec != 0);
+  cfg.partime = 1 + int(rng.next_below(4));  // 1..4
+  return cfg;
+}
+
+TEST(FuzzAccelerator, Random2DStarCases) {
+  SplitMix64 rng(20180521);  // fixed seed: reproducible
+  int executed = 0;
+  for (int c = 0; c < kCases2D; ++c) {
+    const AcceleratorConfig cfg = random_config(rng, 2);
+    if (cfg.csize_x() <= 0) continue;
+    const std::int64_t nx = 3 + std::int64_t(rng.next_below(120));
+    const std::int64_t ny = 1 + std::int64_t(rng.next_below(40));
+    const int iters = 1 + int(rng.next_below(7));
+    const StarStencil s =
+        StarStencil::make_benchmark(2, cfg.radius, 1000 + std::uint64_t(c));
+
+    Grid2D<float> g(nx, ny);
+    g.fill_random(rng.next_u64());
+    Grid2D<float> want = g;
+    StencilAccelerator accel(s, cfg);
+    accel.run(g, iters);
+    reference_run(s, want, iters);
+    const CompareResult cmp = compare_exact(g, want);
+    ASSERT_TRUE(cmp.identical())
+        << "case " << c << ": " << cfg.describe() << " grid " << nx << "x"
+        << ny << " iters " << iters << ": " << cmp.summary();
+    ++executed;
+  }
+  EXPECT_GT(executed, kCases2D / 2);  // most random configs are valid
+}
+
+TEST(FuzzAccelerator, Random3DStarCases) {
+  SplitMix64 rng(19841984);
+  int executed = 0;
+  for (int c = 0; c < kCases3D; ++c) {
+    const AcceleratorConfig cfg = random_config(rng, 3);
+    if (cfg.csize_x() <= 0 || cfg.csize_y() <= 0) continue;
+    const std::int64_t nx = 3 + std::int64_t(rng.next_below(40));
+    const std::int64_t ny = 2 + std::int64_t(rng.next_below(24));
+    const std::int64_t nz = 1 + std::int64_t(rng.next_below(12));
+    const int iters = 1 + int(rng.next_below(5));
+    const StarStencil s =
+        StarStencil::make_benchmark(3, cfg.radius, 2000 + std::uint64_t(c));
+
+    Grid3D<float> g(nx, ny, nz);
+    g.fill_random(rng.next_u64());
+    Grid3D<float> want = g;
+    StencilAccelerator accel(s, cfg);
+    accel.run(g, iters);
+    reference_run(s, want, iters);
+    const CompareResult cmp = compare_exact(g, want);
+    ASSERT_TRUE(cmp.identical())
+        << "case " << c << ": " << cfg.describe() << " grid " << nx << "x"
+        << ny << "x" << nz << " iters " << iters << ": " << cmp.summary();
+    ++executed;
+  }
+  EXPECT_GT(executed, kCases3D / 3);
+}
+
+TEST(FuzzAccelerator, RandomBoxCases) {
+  SplitMix64 rng(555333);
+  int executed = 0;
+  for (int c = 0; c < 20; ++c) {
+    const int dims = rng.next_below(2) == 0 ? 2 : 3;
+    AcceleratorConfig cfg = random_config(rng, dims);
+    cfg.radius = 1 + int(rng.next_below(2));  // box taps grow fast
+    if (cfg.csize_x() <= 0 || (dims == 3 && cfg.csize_y() <= 0)) continue;
+    const TapSet box =
+        make_box_stencil(dims, cfg.radius, 3000 + std::uint64_t(c));
+    const int iters = 1 + int(rng.next_below(4));
+    if (dims == 2) {
+      Grid2D<float> g(5 + std::int64_t(rng.next_below(70)),
+                      2 + std::int64_t(rng.next_below(20)));
+      g.fill_random(rng.next_u64());
+      Grid2D<float> want = g;
+      StencilAccelerator accel(box, cfg);
+      accel.run(g, iters);
+      reference_run(box, want, iters);
+      ASSERT_TRUE(compare_exact(g, want).identical()) << "case " << c;
+    } else {
+      Grid3D<float> g(4 + std::int64_t(rng.next_below(24)),
+                      3 + std::int64_t(rng.next_below(16)),
+                      1 + std::int64_t(rng.next_below(8)));
+      g.fill_random(rng.next_u64());
+      Grid3D<float> want = g;
+      StencilAccelerator accel(box, cfg);
+      accel.run(g, iters);
+      reference_run(box, want, iters);
+      ASSERT_TRUE(compare_exact(g, want).identical()) << "case " << c;
+    }
+    ++executed;
+  }
+  EXPECT_GT(executed, 5);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,67 @@
+// Tests for the in-plane GPU dataset and bandwidth-ratio extrapolation.
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "gpu/inplane_gpu.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+TEST(GpuModel, DatasetValues) {
+  EXPECT_DOUBLE_EQ(gtx580_inplane_gcells(1), 17.294);
+  EXPECT_DOUBLE_EQ(gtx580_inplane_gcells(4), 9.254);
+  EXPECT_THROW(gtx580_inplane_gcells(0), ConfigError);
+  EXPECT_THROW(gtx580_inplane_gcells(5), ConfigError);
+}
+
+TEST(GpuModel, MeasuredRowMatchesTable5) {
+  const ComparisonRow r = gpu_measured_row(1);
+  EXPECT_DOUBLE_EQ(r.gcells, 17.294);
+  EXPECT_NEAR(r.gflops, 224.822, 1e-9);  // 17.294 * 13
+  EXPECT_NEAR(r.power_watts, 183.0, 1e-9);  // 75% of 244 W
+  EXPECT_NEAR(r.power_efficiency, 1.229, 0.005);
+  EXPECT_NEAR(r.roofline_ratio, 0.72, 0.005);
+  EXPECT_FALSE(r.extrapolated);
+}
+
+TEST(GpuModel, ExtrapolationByBandwidthRatio) {
+  // GTX 980 Ti: 336.6 / 192.4 of the GTX 580's cell rate.
+  const ComparisonRow r = gpu_extrapolated_row(gtx_980ti(), 1);
+  EXPECT_NEAR(r.gcells, 30.256, 0.01);
+  EXPECT_NEAR(r.gflops, 393.322, 0.2);
+  EXPECT_TRUE(r.extrapolated);
+  // Tesla P100.
+  const ComparisonRow p = gpu_extrapolated_row(tesla_p100(), 1);
+  EXPECT_NEAR(p.gcells, 64.799, 0.03);
+  EXPECT_NEAR(p.power_efficiency, 4.493, 0.01);
+}
+
+TEST(GpuModel, RooflineRatioPreservedUnderExtrapolation) {
+  // Scaling the cell rate by the bandwidth ratio keeps the roofline ratio
+  // identical -- the hachured rows of Table V share the GTX 580's column.
+  for (int rad = 1; rad <= 4; ++rad) {
+    const double base = gpu_measured_row(rad).roofline_ratio;
+    EXPECT_NEAR(gpu_extrapolated_row(gtx_980ti(), rad).roofline_ratio, base,
+                1e-9);
+    EXPECT_NEAR(gpu_extrapolated_row(tesla_p100(), rad).roofline_ratio, base,
+                1e-9);
+  }
+}
+
+TEST(GpuModel, UtilizedBandwidthFallsWithRadius) {
+  // Section VI.B: on GPUs the utilized memory bandwidth decreases as the
+  // stencil order increases (0.72 -> 0.38).
+  double prev = 1.0;
+  for (int rad = 1; rad <= 4; ++rad) {
+    const double r = gpu_measured_row(rad).roofline_ratio;
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(GpuModel, OnlyGpusExtrapolated) {
+  EXPECT_THROW(gpu_extrapolated_row(xeon_phi_7210f(), 1), ConfigError);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

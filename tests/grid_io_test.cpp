@@ -1,0 +1,93 @@
+// Tests for grid serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "grid/grid_compare.hpp"
+#include "grid/grid_io.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+TEST(GridIo, PgmHeaderAndRange) {
+  Grid2D<float> g(3, 2);
+  g.at(0, 0) = 0.0f;
+  g.at(1, 0) = 0.5f;
+  g.at(2, 0) = 1.0f;
+  g.at(0, 1) = -5.0f;  // clamps to 0
+  g.at(1, 1) = 5.0f;   // clamps to 255
+  g.at(2, 1) = 0.25f;
+  std::ostringstream os;
+  write_pgm(g, os, 0.0f, 1.0f);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("P2\n3 2\n255\n", 0), 0u);
+  EXPECT_NE(out.find("0 128 255"), std::string::npos);
+  EXPECT_NE(out.find("0 255 64"), std::string::npos);
+}
+
+TEST(GridIo, PgmRejectsEmptyRange) {
+  Grid2D<float> g(2, 2);
+  std::ostringstream os;
+  EXPECT_THROW(write_pgm(g, os, 1.0f, 1.0f), ConfigError);
+}
+
+TEST(GridIo, PgmSlice) {
+  Grid3D<float> g(2, 2, 3, 0.0f);
+  g.at(0, 0, 1) = 1.0f;
+  std::ostringstream os;
+  write_pgm_slice(g, 1, os, 0.0f, 1.0f);
+  EXPECT_EQ(os.str().rfind("P2\n2 2\n255\n255 0\n", 0), 0u);
+  std::ostringstream os2;
+  EXPECT_THROW(write_pgm_slice(g, 3, os2, 0.0f, 1.0f), ConfigError);
+}
+
+TEST(GridIo, CsvShape) {
+  Grid2D<float> g(3, 2);
+  g.fill_random(1);
+  std::ostringstream os;
+  write_csv(g, os);
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_EQ(std::count(out.begin(), out.end(), ','), 4);
+}
+
+TEST(GridIo, BinaryRoundTrip2D) {
+  Grid2D<float> g(37, 11);
+  g.fill_random(99);
+  std::stringstream ss;
+  write_binary(g, ss);
+  const Grid2D<float> back = read_binary_2d(ss);
+  EXPECT_TRUE(compare_exact(g, back).identical());
+}
+
+TEST(GridIo, BinaryRoundTrip3D) {
+  Grid3D<float> g(9, 8, 7);
+  g.fill_random(5);
+  std::stringstream ss;
+  write_binary(g, ss);
+  const Grid3D<float> back = read_binary_3d(ss);
+  EXPECT_TRUE(compare_exact(g, back).identical());
+}
+
+TEST(GridIo, BinaryRejectsWrongMagic) {
+  Grid2D<float> g(4, 4);
+  std::stringstream ss;
+  write_binary(g, ss);
+  EXPECT_THROW(read_binary_3d(ss), ConfigError);  // 2D snapshot, 3D reader
+  std::stringstream junk("not a snapshot at all");
+  EXPECT_THROW(read_binary_2d(junk), ConfigError);
+}
+
+TEST(GridIo, BinaryRejectsTruncation) {
+  Grid3D<float> g(6, 5, 4);
+  g.fill_random(2);
+  std::stringstream ss;
+  write_binary(g, ss);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream cut(bytes);
+  EXPECT_THROW(read_binary_3d(cut), ConfigError);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

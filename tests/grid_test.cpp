@@ -1,0 +1,136 @@
+// Unit tests for the grid containers and comparison utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/grid.hpp"
+#include "grid/grid_compare.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+TEST(Grid2D, RowMajorLayout) {
+  Grid2D<float> g(4, 3);
+  g.at(1, 2) = 7.0f;
+  EXPECT_EQ(g.data()[2 * 4 + 1], 7.0f);
+  EXPECT_EQ(g.size(), 12u);
+}
+
+TEST(Grid2D, RejectsNonPositiveShape) {
+  EXPECT_THROW(Grid2D<float>(0, 3), ConfigError);
+  EXPECT_THROW(Grid2D<float>(3, -1), ConfigError);
+}
+
+TEST(Grid2D, ClampedAccessFallsBackOnBorder) {
+  Grid2D<float> g(3, 3);
+  for (std::int64_t y = 0; y < 3; ++y) {
+    for (std::int64_t x = 0; x < 3; ++x) g.at(x, y) = float(10 * y + x);
+  }
+  EXPECT_EQ(g.at_clamped(-5, 1), g.at(0, 1));
+  EXPECT_EQ(g.at_clamped(7, 1), g.at(2, 1));
+  EXPECT_EQ(g.at_clamped(1, -1), g.at(1, 0));
+  EXPECT_EQ(g.at_clamped(1, 9), g.at(1, 2));
+  EXPECT_EQ(g.at_clamped(-2, -2), g.at(0, 0));  // corner
+}
+
+TEST(Grid2D, InBounds) {
+  Grid2D<float> g(3, 2);
+  EXPECT_TRUE(g.in_bounds(0, 0));
+  EXPECT_TRUE(g.in_bounds(2, 1));
+  EXPECT_FALSE(g.in_bounds(3, 0));
+  EXPECT_FALSE(g.in_bounds(0, 2));
+  EXPECT_FALSE(g.in_bounds(-1, 0));
+}
+
+TEST(Grid2D, FillRandomDeterministic) {
+  Grid2D<float> a(8, 8), b(8, 8);
+  a.fill_random(5);
+  b.fill_random(5);
+  EXPECT_TRUE(compare_exact(a, b).identical());
+  b.fill_random(6);
+  EXPECT_FALSE(compare_exact(a, b).identical());
+}
+
+TEST(Grid3D, RowMajorLayout) {
+  Grid3D<float> g(4, 3, 2);
+  g.at(1, 2, 1) = 9.0f;
+  EXPECT_EQ(g.data()[(1 * 3 + 2) * 4 + 1], 9.0f);
+  EXPECT_EQ(g.size(), 24u);
+}
+
+TEST(Grid3D, ClampedAccess) {
+  Grid3D<float> g(2, 2, 2);
+  for (std::int64_t z = 0; z < 2; ++z) {
+    for (std::int64_t y = 0; y < 2; ++y) {
+      for (std::int64_t x = 0; x < 2; ++x) {
+        g.at(x, y, z) = float(100 * z + 10 * y + x);
+      }
+    }
+  }
+  EXPECT_EQ(g.at_clamped(-1, 0, 0), g.at(0, 0, 0));
+  EXPECT_EQ(g.at_clamped(0, 5, 0), g.at(0, 1, 0));
+  EXPECT_EQ(g.at_clamped(0, 0, -9), g.at(0, 0, 0));
+  EXPECT_EQ(g.at_clamped(5, 5, 5), g.at(1, 1, 1));
+}
+
+TEST(Compare, ExactDetectsSingleMismatch) {
+  Grid2D<float> a(5, 5), b(5, 5);
+  a.fill_random(1);
+  b = a;
+  b.at(3, 2) += 1e-7f;
+  const CompareResult r = compare_exact(a, b);
+  EXPECT_EQ(r.mismatches, 1u);
+  EXPECT_EQ(r.first_bad_x, 3);
+  EXPECT_EQ(r.first_bad_y, 2);
+  EXPECT_FALSE(r.identical());
+  EXPECT_NE(r.summary().find("1 mismatches"), std::string::npos);
+}
+
+TEST(Compare, ExactTreatsNanPairsEqual) {
+  Grid2D<float> a(2, 2, std::nanf("")), b(2, 2, std::nanf(""));
+  EXPECT_TRUE(compare_exact(a, b).identical());
+}
+
+TEST(Compare, UlpsToleratesLastPlace) {
+  Grid2D<float> a(2, 2, 1.0f), b(2, 2, 1.0f);
+  b.at(0, 0) = std::nextafter(1.0f, 2.0f);
+  EXPECT_FALSE(compare_exact(a, b).identical());
+  EXPECT_TRUE(compare_ulps(a, b, 1).identical());
+  EXPECT_FALSE(compare_ulps(a, b, 0).identical());
+}
+
+TEST(Compare, UlpsSignCrossingsAreFar) {
+  Grid2D<float> a(1, 1, 1.0f), b(1, 1, -1.0f);
+  EXPECT_FALSE(compare_ulps(a, b, 1000).identical());
+}
+
+TEST(Compare, ZeroSignsEqual) {
+  Grid2D<float> a(1, 1, 0.0f), b(1, 1, -0.0f);
+  EXPECT_TRUE(compare_ulps(a, b, 0).identical());
+}
+
+TEST(Compare, RelativeTolerance) {
+  Grid3D<float> a(2, 2, 2, 100.0f), b(2, 2, 2, 100.0f);
+  b.at(0, 0, 0) = 100.05f;
+  EXPECT_TRUE(compare_relative(a, b, 1e-3).identical());
+  EXPECT_FALSE(compare_relative(a, b, 1e-6).identical());
+}
+
+TEST(Compare, ShapeMismatchThrows) {
+  Grid2D<float> a(2, 2), b(3, 2);
+  EXPECT_THROW(compare_exact(a, b), ConfigError);
+}
+
+TEST(Compare, MaxErrorsReported) {
+  Grid2D<float> a(2, 1), b(2, 1);
+  a.at(0, 0) = 1.0f;
+  b.at(0, 0) = 1.5f;
+  a.at(1, 0) = 2.0f;
+  b.at(1, 0) = 2.0f;
+  const CompareResult r = compare_relative(a, b, 1e-9);
+  EXPECT_NEAR(r.max_abs_error, 0.5, 1e-12);
+  EXPECT_NEAR(r.max_rel_error, 0.5 / 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

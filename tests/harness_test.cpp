@@ -1,0 +1,195 @@
+// Tests for the experiment harness: the regenerated comparison tables must
+// reproduce the paper's qualitative findings (who wins where) and stay
+// within tolerance of its quantitative rows.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/experiments.hpp"
+#include "harness/paper_reference.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+const ComparisonRow& find_row(const std::vector<ComparisonRow>& rows,
+                              const std::string& device, int rad) {
+  for (const ComparisonRow& r : rows) {
+    if (r.radius == rad && r.device.find(device) != std::string::npos) {
+      return r;
+    }
+  }
+  throw std::runtime_error("row not found: " + device);
+}
+
+TEST(PaperReference, TablesComplete) {
+  EXPECT_EQ(paper::table3().size(), 8u);
+  EXPECT_EQ(paper::table4().size(), 12u);
+  EXPECT_EQ(paper::table5().size(), 24u);
+  EXPECT_EQ(paper::related_fpga_work().size(), 2u);
+  EXPECT_THROW(paper::table3_row(2, 5), ConfigError);
+}
+
+TEST(PaperReference, Deviation) {
+  EXPECT_DOUBLE_EQ(paper::deviation(110.0, 100.0), 0.10);
+  EXPECT_DOUBLE_EQ(paper::deviation(90.0, 100.0), 0.10);
+  EXPECT_THROW(paper::deviation(1.0, 0.0), ConfigError);
+}
+
+TEST(Experiments, PaperConfigsValidate) {
+  for (int dims : {2, 3}) {
+    for (int rad = 1; rad <= 4; ++rad) {
+      EXPECT_NO_THROW(paper_config(dims, rad).validate());
+      std::int64_t nx, ny, nz;
+      paper_input_size(dims, rad, nx, ny, nz);
+      // Section IV.C: inputs are a multiple of the compute block size.
+      const AcceleratorConfig cfg = paper_config(dims, rad);
+      EXPECT_EQ(nx % cfg.csize_x(), 0) << dims << "D rad " << rad;
+      if (dims == 3) {
+        EXPECT_EQ(ny % cfg.csize_y(), 0);
+      }
+    }
+  }
+}
+
+TEST(Experiments, Table4Structure) {
+  const auto rows = comparison_table(2);
+  EXPECT_EQ(rows.size(), 12u);  // 3 devices x 4 radii
+  EXPECT_TRUE(std::none_of(rows.begin(), rows.end(),
+                           [](const auto& r) { return r.extrapolated; }));
+}
+
+TEST(Experiments, Table5Structure) {
+  const auto rows = comparison_table(3);
+  EXPECT_EQ(rows.size(), 24u);  // 6 devices x 4 radii
+  const auto extrapolated =
+      std::count_if(rows.begin(), rows.end(),
+                    [](const auto& r) { return r.extrapolated; });
+  EXPECT_EQ(extrapolated, 8);  // GTX 980 Ti + Tesla P100
+}
+
+// ---- the paper's qualitative findings (Section VI.B) ----
+
+TEST(Findings2D, FpgaWinsRadius1To3PhiWinsRadius4) {
+  const auto rows = comparison_table(2);
+  for (int rad = 1; rad <= 3; ++rad) {
+    const double fpga = find_row(rows, "Arria", rad).gflops;
+    EXPECT_GT(fpga, find_row(rows, "Xeon E5", rad).gflops) << rad;
+    EXPECT_GT(fpga, find_row(rows, "Phi", rad).gflops) << rad;
+  }
+  EXPECT_GT(find_row(rows, "Phi", 4).gflops,
+            find_row(rows, "Arria", 4).gflops);
+}
+
+TEST(Findings2D, FpgaBestPowerEfficiencyByClearMargin) {
+  const auto rows = comparison_table(2);
+  for (int rad = 1; rad <= 4; ++rad) {
+    const double fpga = find_row(rows, "Arria", rad).power_efficiency;
+    EXPECT_GT(fpga, 2.5 * find_row(rows, "Phi", rad).power_efficiency);
+    EXPECT_GT(fpga, 2.5 * find_row(rows, "Xeon E5", rad).power_efficiency);
+  }
+}
+
+TEST(Findings2D, OnlyFpgaBreaksRoofline) {
+  const auto rows = comparison_table(2);
+  for (const ComparisonRow& r : rows) {
+    if (r.device.find("Arria") != std::string::npos) {
+      EXPECT_GT(r.roofline_ratio, 1.0);
+    } else {
+      EXPECT_LT(r.roofline_ratio, 1.0);
+    }
+  }
+}
+
+TEST(Findings3D, FpgaWinsFirstOrderPhiWinsHigherExcludingExtrapolated) {
+  const auto rows = comparison_table(3);
+  const double fpga1 = find_row(rows, "Arria", 1).gflops;
+  EXPECT_GT(fpga1, find_row(rows, "Xeon E5", 1).gflops);
+  EXPECT_GT(fpga1, find_row(rows, "Phi", 1).gflops);
+  EXPECT_GT(fpga1, find_row(rows, "GTX 580", 1).gflops);
+  for (int rad = 2; rad <= 4; ++rad) {
+    const double phi = find_row(rows, "Phi", rad).gflops;
+    EXPECT_GT(phi, find_row(rows, "Arria", rad).gflops) << rad;
+    EXPECT_GT(phi, find_row(rows, "GTX 580", rad).gflops) << rad;
+    EXPECT_GT(phi, find_row(rows, "Xeon E5", rad).gflops) << rad;
+  }
+}
+
+TEST(Findings3D, FpgaBestPowerEfficiencyExceptRadius4) {
+  const auto rows = comparison_table(3);
+  for (int rad = 1; rad <= 3; ++rad) {
+    const double fpga = find_row(rows, "Arria", rad).power_efficiency;
+    for (const char* dev : {"Xeon E5", "Phi", "GTX 580"}) {
+      EXPECT_GT(fpga, find_row(rows, dev, rad).power_efficiency)
+          << dev << " rad " << rad;
+    }
+  }
+  // Radius 4: the Xeon Phi edges out the FPGA (4.714 vs 4.674).
+  EXPECT_GT(find_row(rows, "Phi", 4).power_efficiency,
+            find_row(rows, "Arria", 4).power_efficiency);
+}
+
+TEST(Findings3D, TeslaP100WinsIncludingExtrapolated) {
+  const auto rows = comparison_table(3);
+  for (int rad = 1; rad <= 4; ++rad) {
+    const double p100 = find_row(rows, "P100", rad).gflops;
+    for (const char* dev : {"Arria", "Xeon E5", "Phi", "GTX 580", "980"}) {
+      EXPECT_GT(p100, find_row(rows, dev, rad).gflops) << dev << " " << rad;
+    }
+  }
+}
+
+TEST(Findings, CpuGcellsFlatFpgaGcellsFalling) {
+  // Fig. 4's trend: FPGA GCell/s decreases ~proportional to the order;
+  // Xeon/Phi stay flat; GPUs fall sub-linearly.
+  const auto rows = comparison_table(3);
+  const double fpga1 = find_row(rows, "Arria", 1).gcells;
+  const double fpga4 = find_row(rows, "Arria", 4).gcells;
+  EXPECT_GT(fpga1 / fpga4, 3.0);
+  const double phi1 = find_row(rows, "Phi", 1).gcells;
+  const double phi4 = find_row(rows, "Phi", 4).gcells;
+  EXPECT_NEAR(phi1 / phi4, 1.0, 0.1);
+  const double gpu1 = find_row(rows, "GTX 580", 1).gcells;
+  const double gpu4 = find_row(rows, "GTX 580", 4).gcells;
+  EXPECT_GT(gpu1 / gpu4, 1.0);
+  EXPECT_LT(gpu1 / gpu4, 4.0);  // sub-linear in the radius
+}
+
+// ---- quantitative tolerance against Tables IV/V ----
+
+class TableTolerance : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableTolerance, RowsWithinTolerance) {
+  const int dims = GetParam();
+  const auto ours = comparison_table(dims);
+  const auto& ref = dims == 2 ? paper::table4() : paper::table5();
+  for (const paper::ComparisonRefRow& p : ref) {
+    const ComparisonRow& r = find_row(ours, p.device, p.radius);
+    // GPU rows are exact arithmetic; CPU rows use a per-dims constant
+    // sustained fraction (paper rows wiggle a few percent); FPGA rows come
+    // through the fmax + efficiency models.
+    EXPECT_NEAR(r.gflops / p.gflops, 1.0, 0.08)
+        << p.device << " rad " << p.radius;
+    EXPECT_NEAR(r.gcells / p.gcells, 1.0, 0.08)
+        << p.device << " rad " << p.radius;
+    EXPECT_NEAR(r.power_efficiency / p.power_efficiency, 1.0, 0.15)
+        << p.device << " rad " << p.radius;
+    EXPECT_NEAR(r.roofline_ratio - p.roofline_ratio, 0.0,
+                0.05 + 0.05 * p.roofline_ratio)
+        << p.device << " rad " << p.radius;
+    EXPECT_EQ(r.extrapolated, p.extrapolated) << p.device;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tables4And5, TableTolerance, ::testing::Values(2, 3));
+
+TEST(RelatedWork, SectionVICClaims) {
+  // ~2x Shafiq et al. for 4th-order 3D; >5x Fu & Clapp for 3rd-order 3D.
+  const DeviceSpec fpga = arria10_gx1150();
+  const double ours_r4 = fpga_result_row(3, 4, fpga).perf.measured_gcells;
+  const double ours_r3 = fpga_result_row(3, 3, fpga).perf.measured_gcells;
+  EXPECT_GT(ours_r4, 1.8 * 2.783);
+  EXPECT_GT(ours_r3, 5.0 * 1.540);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,178 @@
+// Cross-module integration tests: the full user-facing flows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "codegen/kernel_generator.hpp"
+#include "core/stencil_accelerator.hpp"
+#include "cpu/yask_like.hpp"
+#include "grid/grid_compare.hpp"
+#include "harness/experiments.hpp"
+#include "ocl/opencl_shim.hpp"
+#include "stencil/reference.hpp"
+#include "tune/tuner.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+/// Flow 1: tune -> express as aoc build options -> build -> run -> verify.
+TEST(Integration, TuneBuildRunVerify) {
+  const DeviceSpec device = arria10_gx1150();
+  TunerOptions opts;
+  opts.dims = 2;
+  opts.radius = 3;
+  opts.nx = 200;
+  opts.ny = 60;
+  opts.bsize_x_candidates = {64};
+  opts.max_parvec = 4;
+  opts.max_partime = 4;
+  const TunedConfig tuned = best_config(device, opts);
+
+  std::ostringstream build;
+  build << "-DDIM=2 -DRAD=3 -DBSIZE_X=" << tuned.config.bsize_x
+        << " -DPAR_VEC=" << tuned.config.parvec
+        << " -DPAR_TIME=" << tuned.config.partime;
+
+  const ocl::Platform plat = ocl::Platform::intel_fpga_sdk();
+  const ocl::Context ctx(plat.device_by_name("Arria 10"));
+  const ocl::Program prog = ocl::Program::build(ctx, build.str());
+  EXPECT_EQ(prog.config().partime, tuned.config.partime);
+
+  const StarStencil s = StarStencil::make_benchmark(2, 3);
+  Grid2D<float> grid(200, 60);
+  grid.fill_random(2024);
+  Grid2D<float> want = grid;
+  reference_run(s, want, 7);
+
+  const std::size_t bytes = 200 * 60 * sizeof(float);
+  ocl::CommandQueue q(ctx);
+  ocl::Buffer in(ctx, bytes), out(ctx, bytes);
+  q.enqueue_write_buffer(in, grid.data(), bytes);
+  q.enqueue_stencil_2d(prog, s, in, out, 200, 60, 7);
+  Grid2D<float> got(200, 60);
+  q.enqueue_read_buffer(out, got.data(), bytes);
+  EXPECT_TRUE(compare_exact(got, want).identical());
+}
+
+/// Flow 2: generated kernel source exists and is structurally sound for
+/// every configuration the paper synthesized.
+TEST(Integration, CodegenForAllPaperConfigs) {
+  for (int dims : {2, 3}) {
+    for (int rad = 1; rad <= 4; ++rad) {
+      const CodegenOptions o{paper_config(dims, rad), true};
+      const std::string src = generate_kernel_source(o);
+      const SourceMetrics m = analyze_source(src);
+      EXPECT_TRUE(m.balanced) << dims << "D rad " << rad;
+      EXPECT_EQ(m.accumulations,
+                std::int64_t(o.config.parvec) * 2 * dims * rad);
+    }
+  }
+}
+
+/// Flow 3: three executors (naive reference, FPGA pipeline, YASK-like CPU)
+/// agree bit-for-bit on the same problem.
+TEST(Integration, ThreeExecutorsAgree) {
+  const StarStencil s = StarStencil::make_benchmark(3, 2, 77);
+  const std::int64_t nx = 30, ny = 26, nz = 10;
+  const int iters = 4;
+
+  Grid3D<float> ref(nx, ny, nz);
+  ref.fill_random(4);
+  Grid3D<float> fpga = ref;
+  Grid3D<float> cpu = ref;
+
+  reference_run(s, ref, iters);
+
+  AcceleratorConfig cfg;
+  cfg.dims = 3;
+  cfg.radius = 2;
+  cfg.bsize_x = 24;
+  cfg.bsize_y = 16;
+  cfg.parvec = 4;
+  cfg.partime = 2;
+  StencilAccelerator accel(s, cfg);
+  accel.run(fpga, iters);
+
+  YaskLikeStencil3D yask(s);
+  yask.run(cpu, iters, CpuBlockSize{nx, 8, 4});
+
+  EXPECT_TRUE(compare_exact(fpga, ref).identical());
+  EXPECT_TRUE(compare_exact(cpu, ref).identical());
+}
+
+/// Flow 4: a physics-flavored scenario -- high-order diffusion smoothing of
+/// a hot spot. The convex stencil must conserve the maximum principle and
+/// spread mass outward symmetrically.
+TEST(Integration, DiffusionPhysicsSanity) {
+  const StarStencil s = StarStencil::make_shared_coefficient(2, 4);
+  const std::int64_t n = 41;
+  Grid2D<float> g(n, n, 0.0f);
+  g.at(20, 20) = 100.0f;
+
+  AcceleratorConfig cfg;
+  cfg.dims = 2;
+  cfg.radius = 4;
+  cfg.bsize_x = 64;
+  cfg.parvec = 4;
+  cfg.partime = 2;
+  StencilAccelerator accel(s, cfg);
+  accel.run(g, 10);
+
+  float peak = -1.0f;
+  std::int64_t px = -1, py = -1;
+  double total = 0.0;
+  for (std::int64_t y = 0; y < n; ++y) {
+    for (std::int64_t x = 0; x < n; ++x) {
+      const float v = g.at(x, y);
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 100.0f);  // maximum principle
+      total += v;
+      if (v > peak) {
+        peak = v;
+        px = x;
+        py = y;
+      }
+    }
+  }
+  EXPECT_EQ(px, 20);
+  EXPECT_EQ(py, 20);
+  EXPECT_LT(peak, 100.0f);  // it actually diffused
+  EXPECT_GT(total, 50.0);   // mass not lost wholesale (interior-conserving)
+  // Symmetry: the shared-coefficient stencil is mirror symmetric.
+  for (std::int64_t d = 1; d < 10; ++d) {
+    EXPECT_FLOAT_EQ(g.at(20 - d, 20), g.at(20 + d, 20));
+    EXPECT_FLOAT_EQ(g.at(20, 20 - d), g.at(20, 20 + d));
+    EXPECT_FLOAT_EQ(g.at(20 - d, 20), g.at(20, 20 + d));
+  }
+}
+
+/// Flow 5: the modeled device time from the OpenCL shim's profiling event
+/// is consistent with the performance model's throughput for the same
+/// problem.
+TEST(Integration, ProfilingConsistentWithModel) {
+  const ocl::Platform plat = ocl::Platform::intel_fpga_sdk();
+  const ocl::Context ctx(plat.device_by_name("Arria 10"));
+  const ocl::Program prog = ocl::Program::build(
+      ctx, "-DDIM=2 -DRAD=2 -DBSIZE_X=64 -DPAR_VEC=4 -DPAR_TIME=4");
+  const StarStencil s = StarStencil::make_benchmark(2, 2);
+  const std::int64_t nx = 112, ny = 40;
+  const int iters = 8;
+  const std::size_t bytes = std::size_t(nx * ny) * sizeof(float);
+
+  Grid2D<float> grid(nx, ny);
+  grid.fill_random(6);
+  ocl::CommandQueue q(ctx);
+  ocl::Buffer in(ctx, bytes), out(ctx, bytes);
+  q.enqueue_write_buffer(in, grid.data(), bytes);
+  const ocl::Event ev = q.enqueue_stencil_2d(prog, s, in, out, nx, ny, iters);
+
+  const PerformanceEstimate e = estimate_performance(
+      prog.config(), ctx.device().spec(), prog.report().fmax_mhz, nx, ny);
+  const double model_seconds =
+      double(nx * ny) * iters / (e.measured_gcells * 1e9);
+  EXPECT_NEAR(ev.device_seconds / model_seconds, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,83 @@
+// Golden-snapshot regression guards for the calibrated models.
+//
+// The paper-tolerance tests (fpga_resource_test, performance_model_test,
+// harness_test) allow a few percent of slack; these snapshots pin the
+// models' *current* outputs tightly, so an accidental constant change that
+// stays inside the paper tolerance is still caught and must be
+// re-snapshotted deliberately.
+#include <gtest/gtest.h>
+
+#include "harness/experiments.hpp"
+#include "tune/tuner.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+struct Snapshot {
+  int dims;
+  int radius;
+  double measured_gbps;
+  double fmax_mhz;
+  double power_watts;
+  double efficiency;
+};
+
+// Regenerate with: build/bench/table3_fpga_results --csv
+constexpr Snapshot kTable3[] = {
+    {2, 1, 667.751039, 343.8, 66.184991, 0.86000000},
+    {2, 2, 355.568529, 322.5, 72.976492, 0.86000000},
+    {2, 3, 221.389646, 301.2, 68.714664, 0.86000000},
+    {2, 4, 173.433573, 301.0, 69.743928, 0.86000000},
+    {3, 1, 220.955039, 286.6, 71.586303, 0.62167655},
+    {3, 2, 99.048811, 271.6, 62.199206, 0.65601068},
+    {3, 3, 63.699060, 256.6, 61.644338, 0.66982143},
+    {3, 4, 44.981565, 241.6, 59.866830, 0.66982143},
+};
+
+TEST(ModelSnapshot, Table3Rows) {
+  const DeviceSpec dev = arria10_gx1150();
+  for (const Snapshot& snap : kTable3) {
+    const FpgaResultRow r = fpga_result_row(snap.dims, snap.radius, dev);
+    SCOPED_TRACE(std::to_string(snap.dims) + "D r" +
+                 std::to_string(snap.radius));
+    EXPECT_NEAR(r.perf.measured_gbps, snap.measured_gbps,
+                snap.measured_gbps * 1e-4);
+    EXPECT_NEAR(r.fmax_mhz, snap.fmax_mhz, 0.05);
+    EXPECT_NEAR(r.power_watts, snap.power_watts, 0.01);
+    EXPECT_NEAR(r.perf.pipeline_efficiency, snap.efficiency, 1e-5);
+  }
+}
+
+TEST(ModelSnapshot, ComparisonTableDigests) {
+  // Cheap whole-table digests: sums over every row. A change anywhere in
+  // the device models moves these.
+  double sum2 = 0.0, sum3 = 0.0;
+  for (const ComparisonRow& r : comparison_table(2)) {
+    sum2 += r.gflops + r.gcells + r.power_efficiency + r.roofline_ratio;
+  }
+  for (const ComparisonRow& r : comparison_table(3)) {
+    sum3 += r.gflops + r.gcells + r.power_efficiency + r.roofline_ratio;
+  }
+  EXPECT_NEAR(sum2, 5721.6060, 0.5);
+  EXPECT_NEAR(sum3, 14486.5105, 0.5);
+}
+
+TEST(ModelSnapshot, TunedConfigsStayPut) {
+  // The tuner's winners for the paper's 3D experiments are part of the
+  // reproduction story (Section V.A); pin them.
+  const DeviceSpec dev = arria10_gx1150();
+  for (int rad = 1; rad <= 4; ++rad) {
+    TunerOptions o;
+    o.dims = 3;
+    o.radius = rad;
+    o.nx = 696;
+    o.ny = 728;
+    o.nz = 696;
+    const TunedConfig best = best_config(dev, o);
+    EXPECT_EQ(best.config.parvec, 16) << rad;
+    EXPECT_EQ(best.config.partime, paper_config(3, rad).partime) << rad;
+  }
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,244 @@
+// Tests for the OpenCL-style host runtime shim.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grid/grid_compare.hpp"
+#include "ocl/opencl_shim.hpp"
+#include "stencil/box_stencil.hpp"
+#include "stencil/reference.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+using ocl::BuildError;
+using ocl::BuildOptions;
+using ocl::Buffer;
+using ocl::CommandQueue;
+using ocl::Context;
+using ocl::Event;
+using ocl::Platform;
+using ocl::Program;
+
+TEST(BuildOptions, ParsesMacros) {
+  const BuildOptions o =
+      BuildOptions::parse("-DDIM=2 -DRAD=3 -DBSIZE_X=4096 -DPAR_VEC=4 "
+                          "-DPAR_TIME=28");
+  EXPECT_TRUE(o.has("RAD"));
+  EXPECT_EQ(o.get_int("RAD"), 3);
+  EXPECT_EQ(o.get_int_or("MISSING", 7), 7);
+  const AcceleratorConfig cfg = o.to_config();
+  EXPECT_EQ(cfg.dims, 2);
+  EXPECT_EQ(cfg.bsize_x, 4096);
+  EXPECT_EQ(cfg.partime, 28);
+}
+
+TEST(BuildOptions, RejectsGarbage) {
+  EXPECT_THROW(BuildOptions::parse("-O3"), BuildError);
+  EXPECT_THROW(BuildOptions::parse("-D=3"), BuildError);
+  EXPECT_THROW(BuildOptions::parse("-DRAD="), BuildError);
+  EXPECT_THROW(BuildOptions::parse("RAD=3"), BuildError);
+  EXPECT_THROW((void)BuildOptions::parse("-DRAD=abc").get_int("RAD"),
+               BuildError);
+  EXPECT_THROW((void)BuildOptions::parse("-DRAD=3x").get_int("RAD"),
+               BuildError);
+  EXPECT_THROW((void)BuildOptions::parse("-DDIM=2").to_config(), BuildError);
+}
+
+TEST(Platform, DeviceDiscovery) {
+  const Platform p = Platform::intel_fpga_sdk();
+  EXPECT_GE(p.devices().size(), 2u);
+  EXPECT_EQ(p.device_by_name("Arria 10").spec().dsps, 1518);
+  EXPECT_THROW((void)p.device_by_name("Virtex"), BuildError);
+}
+
+TEST(Program, BuildSucceedsAndReports) {
+  const Platform plat = Platform::intel_fpga_sdk();
+  const Context ctx(plat.device_by_name("Arria 10"));
+  const Program prog = Program::build(
+      ctx, "-DDIM=2 -DRAD=2 -DBSIZE_X=4096 -DPAR_VEC=4 -DPAR_TIME=42");
+  EXPECT_EQ(prog.config().radius, 2);
+  EXPECT_GT(prog.report().fmax_mhz, 250.0);
+  EXPECT_EQ(prog.report().usage.dsps, 1512);
+  const std::string summary = prog.report().summary();
+  EXPECT_NE(summary.find("DSP"), std::string::npos);
+  EXPECT_NE(summary.find("fmax"), std::string::npos);
+}
+
+TEST(Program, BuildFailsLikePlaceAndRoute) {
+  const Platform plat = Platform::intel_fpga_sdk();
+  const Context ctx(plat.device_by_name("Arria 10"));
+  // 5*8*64 DSPs needed: over budget.
+  EXPECT_THROW(Program::build(ctx, "-DDIM=2 -DRAD=1 -DBSIZE_X=4096 "
+                                   "-DPAR_VEC=8 -DPAR_TIME=64"),
+               BuildError);
+  // Structurally invalid: halo eats the block.
+  EXPECT_THROW(Program::build(ctx, "-DDIM=2 -DRAD=4 -DBSIZE_X=64 "
+                                   "-DPAR_VEC=4 -DPAR_TIME=22"),
+               BuildError);
+  // A design too big for Stratix V but fine on Arria 10.
+  const Context small(plat.device_by_name("Stratix V"));
+  const std::string opts =
+      "-DDIM=2 -DRAD=1 -DBSIZE_X=4096 -DPAR_VEC=8 -DPAR_TIME=36";
+  EXPECT_NO_THROW(Program::build(ctx, opts));
+  EXPECT_THROW(Program::build(small, opts), BuildError);
+}
+
+TEST(Buffer, TransfersRoundTrip) {
+  const Platform plat = Platform::intel_fpga_sdk();
+  const Context ctx(plat.device_by_name("Arria 10"));
+  CommandQueue q(ctx);
+  Buffer buf(ctx, 16 * sizeof(float));
+  std::vector<float> src = {1, 2, 3, 4, 5, 6, 7, 8};
+  q.enqueue_write_buffer(buf, src.data(), src.size() * sizeof(float));
+  std::vector<float> dst(8, 0.0f);
+  q.enqueue_read_buffer(buf, dst.data(), dst.size() * sizeof(float));
+  EXPECT_EQ(src, dst);
+  EXPECT_THROW(q.enqueue_write_buffer(buf, src.data(), 1024), ConfigError);
+  EXPECT_THROW(Buffer(ctx, 0), ConfigError);
+}
+
+class OclEndToEnd : public ::testing::Test {
+ protected:
+  OclEndToEnd()
+      : platform_(Platform::intel_fpga_sdk()),
+        ctx_(platform_.device_by_name("Arria 10")),
+        queue_(ctx_) {}
+
+  Platform platform_;
+  Context ctx_;
+  CommandQueue queue_;
+};
+
+TEST_F(OclEndToEnd, Stencil2DMatchesReference) {
+  const Program prog = Program::build(
+      ctx_, "-DDIM=2 -DRAD=2 -DBSIZE_X=64 -DPAR_VEC=4 -DPAR_TIME=3");
+  const StarStencil s = StarStencil::make_benchmark(2, 2);
+  const std::int64_t nx = 90, ny = 31;
+  Grid2D<float> grid(nx, ny);
+  grid.fill_random(42);
+  Grid2D<float> want = grid;
+  reference_run(s, want, 5);
+
+  Buffer in(ctx_, std::size_t(nx * ny) * sizeof(float));
+  Buffer out(ctx_, std::size_t(nx * ny) * sizeof(float));
+  queue_.enqueue_write_buffer(in, grid.data(),
+                              std::size_t(nx * ny) * sizeof(float));
+  const Event ev = queue_.enqueue_stencil_2d(prog, s, in, out, nx, ny, 5);
+  queue_.finish();
+  Grid2D<float> got(nx, ny);
+  queue_.enqueue_read_buffer(out, got.data(),
+                             std::size_t(nx * ny) * sizeof(float));
+
+  EXPECT_TRUE(compare_exact(got, want).identical());
+  EXPECT_GT(ev.device_seconds, 0.0);
+  EXPECT_GT(ev.device_cycles, 0);
+}
+
+TEST_F(OclEndToEnd, Stencil3DMatchesReference) {
+  const Program prog =
+      Program::build(ctx_, "-DDIM=3 -DRAD=1 -DBSIZE_X=16 -DBSIZE_Y=12 "
+                           "-DPAR_VEC=4 -DPAR_TIME=2");
+  const StarStencil s = StarStencil::make_benchmark(3, 1);
+  const std::int64_t nx = 25, ny = 18, nz = 9;
+  const std::size_t bytes = std::size_t(nx * ny * nz) * sizeof(float);
+  Grid3D<float> grid(nx, ny, nz);
+  grid.fill_random(7);
+  Grid3D<float> want = grid;
+  reference_run(s, want, 3);
+
+  Buffer in(ctx_, bytes), out(ctx_, bytes);
+  queue_.enqueue_write_buffer(in, grid.data(), bytes);
+  const Event ev = queue_.enqueue_stencil_3d(prog, s, in, out, nx, ny, nz, 3);
+  Grid3D<float> got(nx, ny, nz);
+  queue_.enqueue_read_buffer(out, got.data(), bytes);
+
+  EXPECT_TRUE(compare_exact(got, want).identical());
+  EXPECT_GT(ev.device_ms(), 0.0);
+}
+
+TEST_F(OclEndToEnd, KernelArgMismatchRejected) {
+  const Program prog = Program::build(
+      ctx_, "-DDIM=2 -DRAD=2 -DBSIZE_X=64 -DPAR_VEC=4 -DPAR_TIME=3");
+  const StarStencil wrong_rad = StarStencil::make_benchmark(2, 3);
+  Buffer in(ctx_, 1024), out(ctx_, 1024);
+  EXPECT_THROW(
+      queue_.enqueue_stencil_2d(prog, wrong_rad, in, out, 16, 16, 1),
+      BuildError);
+  const StarStencil s2 = StarStencil::make_benchmark(2, 2);
+  EXPECT_THROW(queue_.enqueue_stencil_3d(prog, StarStencil::make_benchmark(3, 2),
+                                         in, out, 8, 8, 4, 1),
+               BuildError);
+  // Grid larger than the buffers.
+  EXPECT_THROW(queue_.enqueue_stencil_2d(prog, s2, in, out, 100, 100, 1),
+               ConfigError);
+}
+
+TEST_F(OclEndToEnd, TapSetLaunchMatchesReference) {
+  const Program prog = Program::build(
+      ctx_, "-DDIM=2 -DRAD=1 -DBSIZE_X=32 -DPAR_VEC=4 -DPAR_TIME=2");
+  const TapSet box = make_box_stencil(2, 1, 12);
+  const std::int64_t nx = 45, ny = 17;
+  const std::size_t bytes = std::size_t(nx * ny) * sizeof(float);
+  Grid2D<float> grid(nx, ny);
+  grid.fill_random(3);
+  Grid2D<float> want = grid;
+  reference_run(box, want, 4);
+
+  Buffer in(ctx_, bytes), out(ctx_, bytes);
+  queue_.enqueue_write_buffer(in, grid.data(), bytes);
+  const Event ev =
+      queue_.enqueue_stencil_taps_2d(prog, box, in, out, nx, ny, 4);
+  Grid2D<float> got(nx, ny);
+  queue_.enqueue_read_buffer(out, got.data(), bytes);
+  EXPECT_TRUE(compare_exact(got, want).identical());
+  EXPECT_GT(ev.device_seconds, 0.0);
+}
+
+TEST_F(OclEndToEnd, TapSetLaunch3DMatchesReference) {
+  const Program prog =
+      Program::build(ctx_, "-DDIM=3 -DRAD=1 -DBSIZE_X=16 -DBSIZE_Y=12 "
+                           "-DPAR_VEC=4 -DPAR_TIME=1");
+  const TapSet cubic = make_cubic27_stencil();
+  const std::int64_t nx = 20, ny = 15, nz = 7;
+  const std::size_t bytes = std::size_t(nx * ny * nz) * sizeof(float);
+  Grid3D<float> grid(nx, ny, nz);
+  grid.fill_random(4);
+  Grid3D<float> want = grid;
+  reference_run(cubic, want, 3);
+
+  Buffer in(ctx_, bytes), out(ctx_, bytes);
+  queue_.enqueue_write_buffer(in, grid.data(), bytes);
+  queue_.enqueue_stencil_taps_3d(prog, cubic, in, out, nx, ny, nz, 3);
+  Grid3D<float> got(nx, ny, nz);
+  queue_.enqueue_read_buffer(out, got.data(), bytes);
+  EXPECT_TRUE(compare_exact(got, want).identical());
+}
+
+TEST_F(OclEndToEnd, TapSetRadiusOverProgramRadRejected) {
+  const Program prog = Program::build(
+      ctx_, "-DDIM=2 -DRAD=1 -DBSIZE_X=32 -DPAR_VEC=4 -DPAR_TIME=2");
+  const TapSet big = make_box_stencil(2, 2);
+  Buffer in(ctx_, 1024), out(ctx_, 1024);
+  EXPECT_THROW(
+      queue_.enqueue_stencil_taps_2d(prog, big, in, out, 10, 10, 1),
+      BuildError);
+}
+
+TEST_F(OclEndToEnd, DeviceTimeScalesWithIterations) {
+  const Program prog = Program::build(
+      ctx_, "-DDIM=2 -DRAD=1 -DBSIZE_X=64 -DPAR_VEC=4 -DPAR_TIME=2");
+  const StarStencil s = StarStencil::make_benchmark(2, 1);
+  const std::int64_t nx = 64, ny = 64;
+  const std::size_t bytes = std::size_t(nx * ny) * sizeof(float);
+  Grid2D<float> grid(nx, ny);
+  grid.fill_random(1);
+  Buffer in(ctx_, bytes), out(ctx_, bytes);
+  queue_.enqueue_write_buffer(in, grid.data(), bytes);
+  const Event e2 = queue_.enqueue_stencil_2d(prog, s, in, out, nx, ny, 2);
+  const Event e8 = queue_.enqueue_stencil_2d(prog, s, in, out, nx, ny, 8);
+  EXPECT_NEAR(e8.device_seconds / e2.device_seconds, 4.0, 0.01);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

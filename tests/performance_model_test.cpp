@@ -1,0 +1,166 @@
+// Tests for the performance model: layer-1 estimates, layer-2 pipeline
+// efficiency, and consistency with the functional simulator's raw cycle
+// accounting.
+#include <gtest/gtest.h>
+
+#include "core/stencil_accelerator.hpp"
+#include "harness/experiments.hpp"
+#include "harness/paper_reference.hpp"
+#include "model/performance_model.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+const DeviceSpec kArria = arria10_gx1150();
+
+class Table3Performance
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(Table3Performance, MeasuredThroughputMatchesPaper) {
+  // The primary reproduced quantity: "measured" GB/s within 5% of every
+  // Table III row (at the paper's fmax the residual is the efficiency
+  // model; at our modeled fmax a further few percent can shift).
+  const auto [dims, rad] = GetParam();
+  const paper::Table3Row& p = paper::table3_row(dims, rad);
+  const PerformanceEstimate e =
+      estimate_performance(paper_config(dims, rad), kArria, p.fmax_mhz,
+                           p.input_x, p.input_y, p.input_z);
+  EXPECT_NEAR(e.measured_gbps / p.measured_gbps, 1.0, 0.05)
+      << dims << "D rad " << rad;
+  EXPECT_NEAR(e.measured_gflops / p.measured_gflops, 1.0, 0.05);
+  EXPECT_NEAR(e.measured_gcells / p.measured_gcells, 1.0, 0.05);
+}
+
+TEST_P(Table3Performance, EstimateWithinModelingTolerance) {
+  // Our layer-1 estimate uses exact streamed-cell accounting (x and y
+  // halos plus stream drain); the paper's model is less pessimistic for
+  // 3D. Documented tolerance: 2% (2D) / 18% (3D), always underestimating.
+  const auto [dims, rad] = GetParam();
+  const paper::Table3Row& p = paper::table3_row(dims, rad);
+  const PerformanceEstimate e =
+      estimate_performance(paper_config(dims, rad), kArria, p.fmax_mhz,
+                           p.input_x, p.input_y, p.input_z);
+  EXPECT_LE(e.estimated_gbps, p.estimated_gbps * 1.005);
+  EXPECT_GE(e.estimated_gbps,
+            p.estimated_gbps * (dims == 2 ? 0.97 : 0.82));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, Table3Performance,
+                         ::testing::Values(std::pair{2, 1}, std::pair{2, 2},
+                                           std::pair{2, 3}, std::pair{2, 4},
+                                           std::pair{3, 1}, std::pair{3, 2},
+                                           std::pair{3, 3}, std::pair{3, 4}));
+
+TEST(PerformanceModel, PipelineEfficiencyShape) {
+  // 2D (narrow accesses): ~0.86 regardless of radius. 3D (64 B accesses):
+  // 0.55-0.70, the paper's 40-45% memory-controller loss.
+  for (int rad = 1; rad <= 4; ++rad) {
+    const paper::Table3Row& p2 = paper::table3_row(2, rad);
+    EXPECT_NEAR(pipeline_efficiency(paper_config(2, rad), kArria, p2.fmax_mhz),
+                0.86, 1e-9);
+    const paper::Table3Row& p3 = paper::table3_row(3, rad);
+    const double e3 =
+        pipeline_efficiency(paper_config(3, rad), kArria, p3.fmax_mhz);
+    EXPECT_GT(e3, 0.5);
+    EXPECT_LT(e3, 0.72);
+  }
+}
+
+TEST(PerformanceModel, MemoryDemand) {
+  // 2 streams * parvec * 4 bytes * fmax.
+  const AcceleratorConfig cfg = paper_config(3, 1);  // parvec 16
+  EXPECT_NEAR(memory_demand_gbps(cfg, 286.61), 2 * 16 * 4 * 0.28661, 1e-6);
+}
+
+TEST(PerformanceModel, EffectiveBandwidthDerates) {
+  const AcceleratorConfig wide = paper_config(3, 2);    // 64 B accesses
+  const AcceleratorConfig narrow = paper_config(2, 2);  // 16 B accesses
+  // Narrow accesses keep most of the peak; wide accesses lose ~24% to
+  // burst splitting.
+  EXPECT_GT(effective_bandwidth_gbps(narrow, kArria, 300.0),
+            effective_bandwidth_gbps(wide, kArria, 300.0));
+  // A kernel slower than the memory controller derates bandwidth further.
+  EXPECT_LT(effective_bandwidth_gbps(wide, kArria, 200.0),
+            effective_bandwidth_gbps(wide, kArria, 266.0));
+  EXPECT_DOUBLE_EQ(effective_bandwidth_gbps(wide, kArria, 266.0),
+                   effective_bandwidth_gbps(wide, kArria, 300.0));
+}
+
+TEST(PerformanceModel, RooflineRatiosAboveOneOnFpga) {
+  // The headline claim: with temporal blocking, computation throughput
+  // exceeds the device's external memory bandwidth in every configuration.
+  for (int dims : {2, 3}) {
+    for (int rad = 1; rad <= 4; ++rad) {
+      const paper::Table3Row& p = paper::table3_row(dims, rad);
+      const PerformanceEstimate e =
+          estimate_performance(paper_config(dims, rad), kArria, p.fmax_mhz,
+                               p.input_x, p.input_y, p.input_z);
+      EXPECT_GT(e.roofline_ratio, 1.0) << dims << "D rad " << rad;
+    }
+  }
+}
+
+TEST(PerformanceModel, GflopsFlatGcellsInverseWithRadius2D) {
+  // Section VI.A: 2D GCell/s falls roughly proportional to the radius
+  // while GFLOP/s stays near 700+.
+  std::vector<double> gcells, gflops;
+  for (int rad = 1; rad <= 4; ++rad) {
+    const FpgaResultRow r = fpga_result_row(2, rad, kArria);
+    gcells.push_back(r.perf.measured_gcells);
+    gflops.push_back(r.perf.measured_gflops);
+  }
+  for (int rad = 2; rad <= 4; ++rad) {
+    EXPECT_NEAR(gcells[0] / gcells[std::size_t(rad - 1)], rad, 0.75 + rad * 0.2);
+    EXPECT_GT(gflops[std::size_t(rad - 1)], 650.0);
+  }
+}
+
+TEST(PerformanceModel, FirstOrder3DMoreThanTwiceSecondOrder) {
+  // Section VI.A: "first-order is more than 2x faster than second-order"
+  // in GCell/s for 3D.
+  const FpgaResultRow r1 = fpga_result_row(3, 1, kArria);
+  const FpgaResultRow r2 = fpga_result_row(3, 2, kArria);
+  EXPECT_GT(r1.perf.measured_gcells, 2.0 * r2.perf.measured_gcells);
+}
+
+TEST(PerformanceModel, CyclesPerStepMatchesFunctionalSimulator) {
+  // The model's cycle count per time step must equal the functional
+  // simulator's vectors_processed per pass divided by partime.
+  AcceleratorConfig cfg;
+  cfg.dims = 2;
+  cfg.radius = 2;
+  cfg.bsize_x = 64;
+  cfg.parvec = 4;
+  cfg.partime = 3;
+  const std::int64_t nx = 150, ny = 40;
+  const PerformanceEstimate e =
+      estimate_performance(cfg, kArria, 300.0, nx, ny);
+
+  const StarStencil s = StarStencil::make_benchmark(2, 2);
+  StencilAccelerator acc(s, cfg);
+  Grid2D<float> g(nx, ny);
+  g.fill_random(3);
+  const RunStats stats = acc.run(g, cfg.partime);  // one pass
+  EXPECT_DOUBLE_EQ(e.cycles_per_step * cfg.partime,
+                   double(stats.vectors_processed));
+}
+
+TEST(PerformanceModel, ValidFractionMatchesPlanRedundancy) {
+  const AcceleratorConfig cfg = paper_config(3, 2);
+  const PerformanceEstimate e =
+      estimate_performance(cfg, kArria, 262.88, 696, 728, 696);
+  const BlockingPlan plan = make_blocking_plan(cfg, 696, 728, 696);
+  EXPECT_DOUBLE_EQ(e.valid_fraction, 1.0 / plan.redundancy());
+}
+
+TEST(PerformanceModel, InvalidInputsThrow) {
+  EXPECT_THROW(
+      estimate_performance(paper_config(2, 1), kArria, -1.0, 100, 100),
+      ConfigError);
+  EXPECT_THROW(effective_bandwidth_gbps(paper_config(2, 1),
+                                        xeon_e5_2650v4(), 300.0),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

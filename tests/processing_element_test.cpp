@@ -1,0 +1,194 @@
+// Tests for a single Processing Element: stream alignment, warm-up,
+// pass-through delay, and one-stage equivalence with the reference.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pipeline/processing_element.hpp"
+#include "stencil/reference.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+AcceleratorConfig cfg2d(int rad, std::int64_t bx, int pv, int pt) {
+  AcceleratorConfig c;
+  c.dims = 2;
+  c.radius = rad;
+  c.bsize_x = bx;
+  c.parvec = pv;
+  c.partime = pt;
+  return c;
+}
+
+/// Streams a 2D grid through one stage-0 PE in a single block whose origin
+/// is -halo (so global x == x_rel - halo), and returns the emitted stream.
+std::vector<float> stream_through_pe(ProcessingElement& pe,
+                                     const Grid2D<float>& g,
+                                     const AcceleratorConfig& cfg,
+                                     bool passthrough = false) {
+  BlockContext ctx;
+  ctx.block_x0 = -cfg.halo();
+  ctx.nx = g.nx();
+  ctx.ny = g.ny();
+  ctx.passthrough = passthrough;
+  pe.begin_block(ctx);
+  const std::int64_t rows = g.ny() + cfg.radius;  // one stage of drain
+  const std::int64_t vecs = rows * cfg.bsize_x / cfg.parvec;
+  std::vector<float> out(static_cast<std::size_t>(vecs * cfg.parvec));
+  std::vector<float> in(static_cast<std::size_t>(cfg.parvec));
+  for (std::int64_t q = 0; q < vecs; ++q) {
+    const std::int64_t flat = q * cfg.parvec;
+    const std::int64_t y = flat / cfg.bsize_x;
+    const std::int64_t xr = flat % cfg.bsize_x;
+    for (std::int64_t l = 0; l < cfg.parvec; ++l) {
+      const std::int64_t xg = ctx.block_x0 + xr + l;
+      in[std::size_t(l)] =
+          (xg >= 0 && xg < g.nx() && y < g.ny()) ? g.at(xg, y) : 0.0f;
+    }
+    pe.process_vector(
+        q, in, std::span<float>(out.data() + flat, std::size_t(cfg.parvec)));
+  }
+  return out;
+}
+
+TEST(ProcessingElement, ConstructionValidation) {
+  const StarStencil s = StarStencil::make_benchmark(2, 2);
+  const AcceleratorConfig c = cfg2d(2, 32, 4, 2);
+  EXPECT_NO_THROW(ProcessingElement(s, c, 0));
+  EXPECT_NO_THROW(ProcessingElement(s, c, 1));
+  EXPECT_THROW(ProcessingElement(s, c, 2), ConfigError);  // stage >= partime
+  EXPECT_THROW(ProcessingElement(s, c, -1), ConfigError);
+  const StarStencil wrong = StarStencil::make_benchmark(2, 3);
+  EXPECT_THROW(ProcessingElement(wrong, c, 0), ConfigError);
+}
+
+TEST(ProcessingElement, WarmupEmitsZeros) {
+  const StarStencil s = StarStencil::make_benchmark(2, 1);
+  const AcceleratorConfig c = cfg2d(1, 8, 4, 1);
+  ProcessingElement pe(s, c, 0);
+  BlockContext ctx;
+  ctx.block_x0 = 0;
+  ctx.nx = 8;
+  ctx.ny = 8;
+  pe.begin_block(ctx);
+  std::vector<float> in(4, 1.0f), out(4, -1.0f);
+  // The first rad*row_cells/parvec = 2 vectors precede a full window.
+  pe.process_vector(0, in, out);
+  EXPECT_EQ(out, std::vector<float>(4, 0.0f));
+  out.assign(4, -1.0f);
+  pe.process_vector(1, in, out);
+  EXPECT_EQ(out, std::vector<float>(4, 0.0f));
+}
+
+TEST(ProcessingElement, VectorWidthMismatchThrows) {
+  const StarStencil s = StarStencil::make_benchmark(2, 1);
+  const AcceleratorConfig c = cfg2d(1, 8, 4, 1);
+  ProcessingElement pe(s, c, 0);
+  BlockContext ctx;
+  ctx.block_x0 = 0;
+  ctx.nx = 8;
+  ctx.ny = 8;
+  pe.begin_block(ctx);
+  std::vector<float> in(2), out(4);
+  EXPECT_THROW(pe.process_vector(0, in, out), std::logic_error);
+}
+
+class SingleStage2D : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SingleStage2D, MatchesReferenceOneStep) {
+  const auto [rad, parvec] = GetParam();
+  const StarStencil s = StarStencil::make_benchmark(2, rad, 13);
+  const AcceleratorConfig c = cfg2d(rad, 64, parvec, 1);
+  Grid2D<float> g(48, 20);
+  g.fill_random(55);
+  Grid2D<float> want(48, 20);
+  reference_step(s, g, want);
+
+  ProcessingElement pe(s, c, 0);
+  const std::vector<float> out = stream_through_pe(pe, g, c);
+
+  // Emitted stream position p carries the center at flat p with one stage
+  // of lag: global row = row(p) - rad, global x = block_x0 + x_rel. With
+  // nx <= bsize - 2*rad every in-grid center is trustworthy after stage 0.
+  ASSERT_LE(g.nx(), c.bsize_x - 2 * rad);
+  std::int64_t checked = 0;
+  for (std::int64_t p = 0; p < std::int64_t(out.size()); ++p) {
+    const std::int64_t yg = p / c.bsize_x - rad;
+    const std::int64_t xg = -c.halo() + p % c.bsize_x;
+    if (yg < 0 || yg >= g.ny() || xg < 0 || xg >= g.nx()) continue;
+    ASSERT_EQ(out[std::size_t(p)], want.at(xg, yg))
+        << "rad=" << rad << " parvec=" << parvec << " at (" << xg << ","
+        << yg << ")";
+    ++checked;
+  }
+  EXPECT_EQ(checked, g.nx() * g.ny());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SingleStage2D,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(1, 2, 4, 8)));
+
+TEST(ProcessingElement, PassthroughDelaysByRadRows) {
+  const int rad = 2;
+  const AcceleratorConfig c = cfg2d(rad, 16, 4, 1);
+  const StarStencil s = StarStencil::make_benchmark(2, rad);
+  Grid2D<float> g(8, 10);
+  g.fill_random(77);
+
+  ProcessingElement pe(s, c, 0);
+  const std::vector<float> out =
+      stream_through_pe(pe, g, c, /*passthrough=*/true);
+
+  // A pass-through stage emits its input delayed by rad rows: output at
+  // stream flat p equals input at flat p - rad*row_cells.
+  const std::int64_t lag = rad * c.row_cells();
+  for (std::int64_t p = 0; p < std::int64_t(out.size()); ++p) {
+    const std::int64_t src = p - lag;
+    float want = 0.0f;
+    if (src >= 0) {
+      const std::int64_t y = src / c.bsize_x;
+      const std::int64_t xg = -c.halo() + src % c.bsize_x;
+      want = (xg >= 0 && xg < g.nx() && y < g.ny()) ? g.at(xg, y) : 0.0f;
+    }
+    ASSERT_EQ(out[std::size_t(p)], want) << "p=" << p;
+  }
+}
+
+TEST(ProcessingElement, OutOfGridCentersEmitZero) {
+  // Grid narrower than the block: centers beyond nx must produce zeros.
+  const AcceleratorConfig c = cfg2d(1, 16, 4, 1);
+  const StarStencil s = StarStencil::make_benchmark(2, 1);
+  Grid2D<float> g(5, 6, 1.0f);
+  ProcessingElement pe(s, c, 0);
+  const std::vector<float> out = stream_through_pe(pe, g, c);
+  for (std::int64_t p = 0; p < std::int64_t(out.size()); ++p) {
+    const std::int64_t yg = p / c.bsize_x - 1;
+    const std::int64_t xg = -c.halo() + p % c.bsize_x;
+    if (xg < 0 || xg >= g.nx() || yg < 0 || yg >= g.ny()) {
+      ASSERT_EQ(out[std::size_t(p)], 0.0f) << "p=" << p;
+    }
+  }
+}
+
+TEST(ProcessingElement, ClampedTapContainment) {
+  // The invariant that makes in-PE boundary handling sound: for an in-grid
+  // center, the clamped neighbor coordinate never leaves [center - rad,
+  // center + rad] in any axis.
+  for (int rad = 1; rad <= 8; ++rad) {
+    for (std::int64_t n : {1, 2, 5, 100}) {
+      for (std::int64_t center = 0; center < n; ++center) {
+        for (int i = 1; i <= rad; ++i) {
+          const std::int64_t lo = clamp_index(center - i, 0, n - 1);
+          const std::int64_t hi = clamp_index(center + i, 0, n - 1);
+          ASSERT_GE(lo, center - rad);
+          ASSERT_LE(lo, center + rad);
+          ASSERT_GE(hi, center - rad);
+          ASSERT_LE(hi, center + rad);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,76 @@
+// Tests for the roofline model and the paper's Section IV.B claims.
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "model/roofline.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+TEST(Roofline, AttainableIsMinOfCeilings) {
+  const DeviceSpec d = xeon_e5_2650v4();  // 700 GFLOP/s, 76.8 GB/s
+  // Low intensity: bandwidth-limited.
+  EXPECT_DOUBLE_EQ(roofline_attainable_gflops(d, 1.0), 76.8);
+  // High intensity: compute-limited.
+  EXPECT_DOUBLE_EQ(roofline_attainable_gflops(d, 100.0), 700.0);
+  // The balance point.
+  EXPECT_NEAR(roofline_attainable_gflops(d, d.flop_per_byte()), 700.0, 1e-9);
+}
+
+TEST(Roofline, EveryStencilMemoryBoundOnEveryDevice) {
+  // Section IV.B: "for every stencil order, computation will be
+  // memory-bound on all of our hardware."
+  const DeviceSpec devices[] = {arria10_gx1150(), xeon_e5_2650v4(),
+                                xeon_phi_7210f(), gtx_580(),
+                                gtx_980ti(),      tesla_p100()};
+  for (const DeviceSpec& d : devices) {
+    for (int dims : {2, 3}) {
+      for (int rad = 1; rad <= 4; ++rad) {
+        EXPECT_TRUE(is_memory_bound(d, stencil_characteristics(dims, rad)))
+            << d.name << " " << dims << "D rad " << rad;
+      }
+    }
+  }
+}
+
+TEST(Roofline, FpgaMostBandwidthStarved) {
+  // Section IV.B: the FPGA has the highest FLOP/Byte ratio of Table II.
+  const DeviceSpec fpga = arria10_gx1150();
+  const DeviceSpec others[] = {xeon_e5_2650v4(), xeon_phi_7210f(), gtx_580(),
+                               gtx_980ti(), tesla_p100()};
+  for (const DeviceSpec& d : others) {
+    EXPECT_GT(fpga.flop_per_byte(), d.flop_per_byte()) << d.name;
+  }
+}
+
+TEST(Roofline, RatioMatchesPaperArithmetic) {
+  // Table IV, Arria 10 radius 1: 84.245 GCell/s * 8 B / 34.1 GB/s = 19.76.
+  EXPECT_NEAR(
+      roofline_ratio(arria10_gx1150(), stencil_characteristics(2, 1), 84.245),
+      19.76, 0.01);
+  // Table V, GTX 580 radius 1: 17.294 * 8 / 192.4 = 0.72.
+  EXPECT_NEAR(
+      roofline_ratio(gtx_580(), stencil_characteristics(3, 1), 17.294), 0.72,
+      0.005);
+}
+
+TEST(Roofline, WithoutTemporalBlockingRatioBoundedByOne) {
+  // A device sustaining its full bandwidth without temporal reuse updates
+  // bw/8 GCell/s -- exactly ratio 1.0.
+  const DeviceSpec d = xeon_phi_7210f();
+  const StencilCharacteristics sc = stencil_characteristics(3, 4);
+  const double max_gcells = d.peak_bw_gbps / double(sc.bytes_per_cell);
+  EXPECT_DOUBLE_EQ(roofline_ratio(d, sc, max_gcells), 1.0);
+}
+
+TEST(Roofline, InvalidInputsThrow) {
+  EXPECT_THROW(roofline_attainable_gflops(xeon_e5_2650v4(), 0.0),
+               ConfigError);
+  DeviceSpec no_bw = xeon_e5_2650v4();
+  no_bw.peak_bw_gbps = 0.0;
+  EXPECT_THROW(roofline_ratio(no_bw, stencil_characteristics(2, 1), 1.0),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

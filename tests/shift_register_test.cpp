@@ -1,0 +1,123 @@
+// Tests for the HLS-style shift register, including a property test against
+// a naive O(n)-shift model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pipeline/shift_register.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+TEST(ShiftRegister, ConstructionValidation) {
+  EXPECT_THROW(ShiftRegister<float>(0, 1), ConfigError);
+  EXPECT_THROW(ShiftRegister<float>(4, 0), ConfigError);
+  EXPECT_THROW(ShiftRegister<float>(4, 5), ConfigError);
+  EXPECT_NO_THROW(ShiftRegister<float>(4, 4));
+}
+
+TEST(ShiftRegister, StartsZeroed) {
+  ShiftRegister<float> sr(6, 2);
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(sr.tap(i), 0.0f);
+}
+
+TEST(ShiftRegister, NewestAtTail) {
+  ShiftRegister<float> sr(6, 2);
+  const float a[2] = {1.0f, 2.0f};
+  sr.shift_in(a);
+  EXPECT_EQ(sr.tap(4), 1.0f);
+  EXPECT_EQ(sr.tap(5), 2.0f);
+  EXPECT_EQ(sr.tap(0), 0.0f);
+}
+
+TEST(ShiftRegister, ShiftMovesTowardZero) {
+  ShiftRegister<float> sr(4, 2);
+  const float a[2] = {1.0f, 2.0f};
+  const float b[2] = {3.0f, 4.0f};
+  sr.shift_in(a);
+  sr.shift_in(b);
+  EXPECT_EQ(sr.tap(0), 1.0f);
+  EXPECT_EQ(sr.tap(1), 2.0f);
+  EXPECT_EQ(sr.tap(2), 3.0f);
+  EXPECT_EQ(sr.tap(3), 4.0f);
+}
+
+TEST(ShiftRegister, OldestFallsOff) {
+  ShiftRegister<float> sr(4, 2);
+  const float a[2] = {1.0f, 2.0f};
+  const float b[2] = {3.0f, 4.0f};
+  const float c[2] = {5.0f, 6.0f};
+  sr.shift_in(a);
+  sr.shift_in(b);
+  sr.shift_in(c);
+  EXPECT_EQ(sr.tap(0), 3.0f);
+  EXPECT_EQ(sr.tap(3), 6.0f);
+}
+
+TEST(ShiftRegister, ClearResets) {
+  ShiftRegister<float> sr(4, 2);
+  const float a[2] = {1.0f, 2.0f};
+  sr.shift_in(a);
+  sr.clear();
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(sr.tap(i), 0.0f);
+}
+
+TEST(ShiftRegister, TapOutOfRangeThrows) {
+  ShiftRegister<float> sr(4, 2);
+  EXPECT_THROW((void)sr.tap(-1), std::logic_error);
+  EXPECT_THROW((void)sr.tap(4), std::logic_error);
+}
+
+TEST(ShiftRegister, WrongWidthShiftThrows) {
+  ShiftRegister<float> sr(8, 4);
+  const float a[2] = {1.0f, 2.0f};
+  EXPECT_THROW(sr.shift_in(std::span<const float>(a, 2)), std::logic_error);
+}
+
+/// Naive reference: a literal shift of a std::vector.
+class NaiveShift {
+ public:
+  NaiveShift(std::int64_t size, std::int64_t width)
+      : width_(width), data_(static_cast<std::size_t>(size), 0.0f) {}
+  void shift_in(std::span<const float> v) {
+    data_.erase(data_.begin(), data_.begin() + width_);
+    data_.insert(data_.end(), v.begin(), v.end());
+  }
+  float tap(std::int64_t i) const { return data_[std::size_t(i)]; }
+
+ private:
+  std::int64_t width_;
+  std::vector<float> data_;
+};
+
+class ShiftRegisterProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ShiftRegisterProperty, MatchesNaiveModel) {
+  const auto [size, width] = GetParam();
+  ShiftRegister<float> sr(size, width);
+  NaiveShift naive(size, width);
+  SplitMix64 rng(size * 131 + width);
+  std::vector<float> in(static_cast<std::size_t>(width));
+  for (int step = 0; step < 200; ++step) {
+    for (float& v : in) v = rng.next_float(-1.0f, 1.0f);
+    sr.shift_in(in);
+    naive.shift_in(in);
+    for (std::int64_t i = 0; i < size; ++i) {
+      ASSERT_EQ(sr.tap(i), naive.tap(i))
+          << "size=" << size << " width=" << width << " step=" << step
+          << " tap=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShiftRegisterProperty,
+    ::testing::Values(std::pair{1, 1}, std::pair{4, 1}, std::pair{4, 2},
+                      std::pair{4, 4}, std::pair{6, 2}, std::pair{7, 3},
+                      std::pair{33, 8}, std::pair{130, 16},
+                      std::pair{515, 4}));
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,237 @@
+// Tests for the star-stencil definitions, Table I characteristics, and the
+// naive reference executors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/grid_compare.hpp"
+#include "stencil/characteristics.hpp"
+#include "stencil/reference.hpp"
+#include "stencil/star_stencil.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+TEST(DirectionOffset, AllAxes) {
+  EXPECT_EQ(direction_offset(Direction::kWest, 3).dx, -3);
+  EXPECT_EQ(direction_offset(Direction::kEast, 2).dx, 2);
+  EXPECT_EQ(direction_offset(Direction::kSouth, 1).dy, -1);
+  EXPECT_EQ(direction_offset(Direction::kNorth, 4).dy, 4);
+  EXPECT_EQ(direction_offset(Direction::kBelow, 2).dz, -2);
+  EXPECT_EQ(direction_offset(Direction::kAbove, 1).dz, 1);
+  // Exactly one component is nonzero for a star stencil.
+  for (Direction d : kDirections3D) {
+    const NeighborOffset o = direction_offset(d, 2);
+    EXPECT_EQ((o.dx != 0) + (o.dy != 0) + (o.dz != 0), 1);
+  }
+}
+
+TEST(StarStencil, ConstructionValidation) {
+  EXPECT_THROW(StarStencil(4, 1, 0.5f, {}), ConfigError);  // bad dims
+  EXPECT_THROW(StarStencil(2, 0, 0.5f, {}), ConfigError);  // bad radius
+  // Wrong number of direction rows.
+  EXPECT_THROW(StarStencil(2, 1, 0.5f, {{0.1f}, {0.1f}}), ConfigError);
+  // Wrong number of distances in a row.
+  EXPECT_THROW(
+      StarStencil(2, 2, 0.5f, {{0.1f}, {0.1f}, {0.1f}, {0.1f}}),
+      ConfigError);
+}
+
+TEST(StarStencil, BenchmarkCoefficientsSumToOne) {
+  for (int dims : {2, 3}) {
+    for (int rad = 1; rad <= 6; ++rad) {
+      const StarStencil s = StarStencil::make_benchmark(dims, rad);
+      double sum = s.center();
+      for (int i = 1; i <= rad; ++i) {
+        for (int d = 0; d < s.direction_count(); ++d) {
+          sum += s.coeff(static_cast<Direction>(d), i);
+        }
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-4) << "dims=" << dims << " rad=" << rad;
+    }
+  }
+}
+
+TEST(StarStencil, BenchmarkSeedsVaryCoefficients) {
+  const StarStencil a = StarStencil::make_benchmark(2, 2, 1);
+  const StarStencil b = StarStencil::make_benchmark(2, 2, 2);
+  EXPECT_NE(a.coeff(Direction::kWest, 1), b.coeff(Direction::kWest, 1));
+}
+
+TEST(StarStencil, SharedCoefficientUniform) {
+  const StarStencil s = StarStencil::make_shared_coefficient(3, 3);
+  const float c = s.coeff(Direction::kWest, 1);
+  for (int i = 1; i <= 3; ++i) {
+    for (Direction d : kDirections3D) EXPECT_EQ(s.coeff(d, i), c);
+  }
+}
+
+TEST(StarStencil, CoeffRangeChecks) {
+  const StarStencil s = StarStencil::make_benchmark(2, 2);
+  EXPECT_THROW((void)s.coeff(Direction::kWest, 0), ConfigError);
+  EXPECT_THROW((void)s.coeff(Direction::kWest, 3), ConfigError);
+  EXPECT_THROW((void)s.coeff(Direction::kBelow, 1), ConfigError);  // 3D in 2D
+}
+
+TEST(StarStencil, ApplyPointInterior2D) {
+  // Hand-check a radius-1 2D stencil at an interior point.
+  const StarStencil s(2, 1, 0.5f, {{0.1f}, {0.2f}, {0.3f}, {0.4f}});
+  Grid2D<float> g(3, 3, 0.0f);
+  g.at(1, 1) = 1.0f;
+  g.at(0, 1) = 2.0f;  // west
+  g.at(2, 1) = 3.0f;  // east
+  g.at(1, 0) = 4.0f;  // south
+  g.at(1, 2) = 5.0f;  // north
+  const float expect = 0.5f * 1.0f + 0.1f * 2.0f + 0.2f * 3.0f + 0.3f * 4.0f +
+                       0.4f * 5.0f;
+  EXPECT_FLOAT_EQ(s.apply_point(g, 1, 1), expect);
+}
+
+TEST(StarStencil, ApplyPointClampsAtCorner) {
+  const StarStencil s(2, 1, 0.5f, {{0.1f}, {0.2f}, {0.3f}, {0.4f}});
+  Grid2D<float> g(2, 2, 0.0f);
+  g.at(0, 0) = 1.0f;
+  g.at(1, 0) = 2.0f;
+  g.at(0, 1) = 3.0f;
+  // At (0,0): west clamps to self, south clamps to self.
+  const float expect =
+      0.5f * 1.0f + 0.1f * 1.0f + 0.2f * 2.0f + 0.3f * 1.0f + 0.4f * 3.0f;
+  EXPECT_FLOAT_EQ(s.apply_point(g, 0, 0), expect);
+}
+
+TEST(StarStencil, ApplyPointDimsMismatchThrows) {
+  const StarStencil s2 = StarStencil::make_benchmark(2, 1);
+  Grid3D<float> g3(2, 2, 2);
+  EXPECT_THROW((void)s2.apply_point(g3, 0, 0, 0), std::logic_error);
+}
+
+// --- Table I characteristics (the first reproduced artifact) ---
+
+struct CharCase {
+  int dims;
+  int radius;
+  std::int64_t flop;
+  double flop_byte;
+};
+
+class CharacteristicsTable : public ::testing::TestWithParam<CharCase> {};
+
+TEST_P(CharacteristicsTable, MatchesPaperTable1) {
+  const CharCase c = GetParam();
+  const StencilCharacteristics sc = stencil_characteristics(c.dims, c.radius);
+  EXPECT_EQ(sc.flop_per_cell, c.flop);
+  EXPECT_EQ(sc.bytes_per_cell, 8);
+  EXPECT_DOUBLE_EQ(sc.flop_per_byte, c.flop_byte);
+  EXPECT_EQ(sc.fmul_per_cell, sc.fadd_per_cell + 1);
+  EXPECT_EQ(sc.dsp_per_cell_shared, sc.dsp_per_cell - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable1, CharacteristicsTable,
+    ::testing::Values(CharCase{2, 1, 9, 1.125}, CharCase{2, 2, 17, 2.125},
+                      CharCase{2, 3, 25, 3.125}, CharCase{2, 4, 33, 4.125},
+                      CharCase{3, 1, 13, 1.625}, CharCase{3, 2, 25, 3.125},
+                      CharCase{3, 3, 37, 4.625}, CharCase{3, 4, 49, 6.125}));
+
+TEST(Characteristics, DspCountFormulas) {
+  // Section V.A: 4*rad+1 DSPs per 2D cell update, 6*rad+1 per 3D.
+  for (int rad = 1; rad <= 8; ++rad) {
+    EXPECT_EQ(stencil_characteristics(2, rad).dsp_per_cell, 4 * rad + 1);
+    EXPECT_EQ(stencil_characteristics(3, rad).dsp_per_cell, 6 * rad + 1);
+  }
+}
+
+TEST(Characteristics, FlopToByteGrowsWithRadius) {
+  // Table I observation: higher-order stencils are less memory-bound.
+  for (int dims : {2, 3}) {
+    double prev = 0.0;
+    for (int rad = 1; rad <= 8; ++rad) {
+      const double r = stencil_characteristics(dims, rad).flop_per_byte;
+      EXPECT_GT(r, prev);
+      prev = r;
+    }
+  }
+}
+
+// --- reference executors ---
+
+TEST(Reference, ConstantFieldStaysConstantForNormalizedStencil) {
+  // Coefficients sum to 1, so a constant field is (nearly) a fixed point;
+  // clamping makes the boundary exact too.
+  const StarStencil s = StarStencil::make_benchmark(2, 3);
+  Grid2D<float> g(16, 12, 2.0f);
+  Grid2D<float> out(16, 12);
+  reference_step(s, g, out);
+  for (std::int64_t y = 0; y < 12; ++y) {
+    for (std::int64_t x = 0; x < 16; ++x) {
+      EXPECT_NEAR(out.at(x, y), 2.0f, 2e-5f);
+    }
+  }
+}
+
+TEST(Reference, IdentityStencilCopies) {
+  // center = 1, all neighbor coefficients 0.
+  const StarStencil s(2, 2, 1.0f,
+                      {{0.f, 0.f}, {0.f, 0.f}, {0.f, 0.f}, {0.f, 0.f}});
+  Grid2D<float> g(9, 7);
+  g.fill_random(3);
+  Grid2D<float> before = g;
+  reference_run(s, g, 5);
+  EXPECT_TRUE(compare_exact(g, before).identical());
+}
+
+TEST(Reference, LinearityInInput) {
+  // reference(a*x) == a * reference(x) for the linear stencil operator.
+  const StarStencil s = StarStencil::make_benchmark(3, 2);
+  Grid3D<float> x(7, 6, 5);
+  x.fill_random(11, 0.0f, 0.5f);
+  Grid3D<float> x2(7, 6, 5);
+  for (std::int64_t i = 0; i < std::int64_t(x.size()); ++i) {
+    x2.data()[i] = 2.0f * x.data()[i];
+  }
+  Grid3D<float> ox(7, 6, 5), ox2(7, 6, 5);
+  reference_step(s, x, ox);
+  reference_step(s, x2, ox2);
+  for (std::int64_t i = 0; i < std::int64_t(x.size()); ++i) {
+    EXPECT_NEAR(ox2.data()[i], 2.0f * ox.data()[i], 1e-5f);
+  }
+}
+
+TEST(Reference, ZeroIterationsIsNoop) {
+  const StarStencil s = StarStencil::make_benchmark(2, 1);
+  Grid2D<float> g(5, 5);
+  g.fill_random(1);
+  Grid2D<float> before = g;
+  reference_run(s, g, 0);
+  EXPECT_TRUE(compare_exact(g, before).identical());
+}
+
+TEST(Reference, MultiStepMatchesRepeatedSingleStep) {
+  const StarStencil s = StarStencil::make_benchmark(3, 2);
+  Grid3D<float> a(6, 5, 4);
+  a.fill_random(17);
+  Grid3D<float> b = a;
+  reference_run(s, a, 3);
+  Grid3D<float> tmp(6, 5, 4);
+  for (int t = 0; t < 3; ++t) {
+    reference_step(s, b, tmp);
+    std::swap(b, tmp);
+  }
+  EXPECT_TRUE(compare_exact(a, b).identical());
+}
+
+TEST(Reference, BoundedOverManyIterations) {
+  // Convex-combination stencil: values stay within the initial range.
+  const StarStencil s = StarStencil::make_benchmark(2, 4);
+  Grid2D<float> g(20, 20);
+  g.fill_random(23, 0.0f, 1.0f);
+  reference_run(s, g, 50);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_GE(g.data()[i], -1e-4f);
+    EXPECT_LE(g.data()[i], 1.0f + 1e-4f);
+    EXPECT_TRUE(std::isfinite(g.data()[i]));
+  }
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,103 @@
+// Tests for the CPU overlapped temporal blocking executor.
+#include <gtest/gtest.h>
+
+#include "cpu/temporal_cpu.hpp"
+#include "grid/grid_compare.hpp"
+#include "stencil/box_stencil.hpp"
+#include "stencil/reference.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+class TemporalCpu2D
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TemporalCpu2D, BitExactVsReference) {
+  const auto [rad, t_block, block_y] = GetParam();
+  const TapSet taps =
+      StarStencil::make_benchmark(2, rad, 42 + std::uint64_t(rad)).to_taps();
+  Grid2D<float> g(65, 41);
+  g.fill_random(7);
+  Grid2D<float> want = g;
+  const int iters = 2 * t_block + 1;  // includes a partial tail pass
+  const TemporalCpuResult r =
+      temporal_blocked_run_2d(taps, g, iters, block_y, t_block);
+  reference_run(taps, want, iters);
+  const CompareResult cmp = compare_exact(g, want);
+  EXPECT_TRUE(cmp.identical())
+      << "rad=" << rad << " T=" << t_block << " by=" << block_y << ": "
+      << cmp.summary();
+  EXPECT_EQ(r.run.cell_updates, 65 * 41 * std::int64_t(iters));
+  EXPECT_GE(r.redundancy(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TemporalCpu2D,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2, 4),
+                                            ::testing::Values(8, 16, 41)));
+
+TEST(TemporalCpu2D, BoxStencilSupported) {
+  const TapSet box = make_box_stencil(2, 2, 17);
+  Grid2D<float> g(40, 33);
+  g.fill_random(5);
+  Grid2D<float> want = g;
+  temporal_blocked_run_2d(box, g, 5, 8, 2);
+  reference_run(box, want, 5);
+  EXPECT_TRUE(compare_exact(g, want).identical());
+}
+
+TEST(TemporalCpu3D, BitExactVsReference) {
+  for (int rad : {1, 2}) {
+    for (int t_block : {1, 3}) {
+      const TapSet taps =
+          StarStencil::make_benchmark(3, rad, 11).to_taps();
+      Grid3D<float> g(22, 18, 13);
+      g.fill_random(9);
+      Grid3D<float> want = g;
+      const TemporalCpuResult r =
+          temporal_blocked_run_3d(taps, g, 4, 4, t_block);
+      reference_run(taps, want, 4);
+      EXPECT_TRUE(compare_exact(g, want).identical())
+          << "rad=" << rad << " T=" << t_block;
+      EXPECT_GE(r.redundancy(), 1.0);
+    }
+  }
+}
+
+TEST(TemporalCpu, RedundancyGrowsWithTBlock) {
+  // The cost side of the trade-off: the recomputed halo grows with the
+  // number of fused steps.
+  const TapSet taps = StarStencil::make_benchmark(2, 2).to_taps();
+  double prev = 0.0;
+  for (int t : {1, 2, 4}) {
+    Grid2D<float> g(64, 48);
+    g.fill_random(1);
+    const TemporalCpuResult r = temporal_blocked_run_2d(taps, g, 8, 8, t);
+    EXPECT_GT(r.redundancy(), prev);
+    prev = r.redundancy();
+  }
+}
+
+TEST(TemporalCpu, TBlockOneMatchesPlainRedundancy) {
+  // With one fused step per pass the halo is rad rows: small but nonzero.
+  const TapSet taps = StarStencil::make_benchmark(2, 1).to_taps();
+  Grid2D<float> g(32, 32);
+  g.fill_random(2);
+  const TemporalCpuResult r = temporal_blocked_run_2d(taps, g, 4, 16, 1);
+  // Two 16-row blocks, 1-row halo per interior seam side (clipped at the
+  // grid borders): each block computes 17 rows -> 34/32.
+  EXPECT_NEAR(r.redundancy(), 34.0 / 32.0, 1e-9);
+}
+
+TEST(TemporalCpu, InvalidInputsThrow) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1).to_taps();
+  Grid2D<float> g(8, 8);
+  EXPECT_THROW(temporal_blocked_run_2d(taps, g, 1, 0, 1), ConfigError);
+  EXPECT_THROW(temporal_blocked_run_2d(taps, g, 1, 8, 0), ConfigError);
+  EXPECT_THROW(temporal_blocked_run_2d(taps, g, -1, 8, 1), ConfigError);
+  const TapSet t3 = StarStencil::make_benchmark(3, 1).to_taps();
+  EXPECT_THROW(temporal_blocked_run_2d(t3, g, 1, 8, 1), ConfigError);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,173 @@
+// Tests for the design-space exploration (paper Section V.A).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/experiments.hpp"
+#include "tune/tuner.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+const DeviceSpec kArria = arria10_gx1150();
+
+TunerOptions options_for(int dims, int rad) {
+  TunerOptions o;
+  o.dims = dims;
+  o.radius = rad;
+  if (dims == 2) {
+    o.nx = 16096;
+    o.ny = 16096;
+    o.nz = 1;
+  } else {
+    o.nx = 696;
+    o.ny = 696;
+    o.nz = 696;
+  }
+  return o;
+}
+
+TEST(Tuner, DefaultsMatchPaperCandidates) {
+  TunerOptions o2 = options_for(2, 1);
+  o2.apply_defaults();
+  EXPECT_EQ(o2.bsize_x_candidates, std::vector<std::int64_t>{4096});
+  TunerOptions o3 = options_for(3, 1);
+  o3.apply_defaults();
+  EXPECT_EQ(o3.bsize_x_candidates, (std::vector<std::int64_t>{256, 128}));
+  EXPECT_EQ(o3.bsize_y_candidates, (std::vector<std::int64_t>{256, 128}));
+}
+
+TEST(Tuner, AllCandidatesSatisfyConstraints) {
+  for (int dims : {2, 3}) {
+    for (int rad : {1, 2, 4}) {
+      TunerOptions o = options_for(dims, rad);
+      o.alignment = AlignmentRule::kRequire;
+      const auto configs = enumerate_configs(kArria, o);
+      ASSERT_FALSE(configs.empty()) << dims << "D rad " << rad;
+      const std::int64_t partotal =
+          max_total_parallelism(kArria, dims, rad);
+      for (const TunedConfig& tc : configs) {
+        // eq. (5): partime * parvec <= partotal
+        EXPECT_LE(std::int64_t(tc.config.partime) * tc.config.parvec,
+                  partotal);
+        // eq. (6) under kRequire
+        EXPECT_TRUE(tc.config.meets_alignment_rule());
+        EXPECT_TRUE(tc.usage.fits());
+        EXPECT_EQ(tc.config.parvec % 2, 0);
+        EXPECT_GT(tc.config.csize_x(), 0);
+      }
+    }
+  }
+}
+
+TEST(Tuner, RankedByScoreDescending) {
+  const auto configs = enumerate_configs(kArria, options_for(2, 2));
+  ASSERT_GE(configs.size(), 2u);
+  for (std::size_t i = 1; i < configs.size(); ++i) {
+    EXPECT_GE(configs[i - 1].score, configs[i].score);
+  }
+}
+
+TEST(Tuner, BestConfigNearPaperThroughput2D) {
+  // Our search must find configurations at least as good (per the model)
+  // as the paper's published ones.
+  for (int rad = 1; rad <= 4; ++rad) {
+    const TunedConfig best = best_config(kArria, options_for(2, rad));
+    const FpgaResultRow paper_row = fpga_result_row(2, rad, kArria);
+    EXPECT_GE(best.perf.measured_gbps,
+              paper_row.perf.measured_gbps * 0.98)
+        << "rad " << rad << " best=" << best.config.describe();
+  }
+}
+
+TEST(Tuner, BestConfig3DMatchesPaperShape) {
+  // Section VI.A: for 3D the best high-order configuration is the
+  // first-order one with partime divided by the radius (parvec 16 stays).
+  for (int rad = 2; rad <= 4; ++rad) {
+    const TunedConfig best = best_config(kArria, options_for(3, rad));
+    EXPECT_EQ(best.config.parvec, 16) << best.config.describe();
+    const FpgaResultRow paper_row = fpga_result_row(3, rad, kArria);
+    EXPECT_GE(best.perf.measured_gbps, paper_row.perf.measured_gbps * 0.98)
+        << "rad " << rad << " best=" << best.config.describe();
+  }
+}
+
+TEST(Tuner, PaperConfigsAreEnumerated) {
+  // The exact Table III configurations must appear in the search space.
+  for (int dims : {2, 3}) {
+    for (int rad = 1; rad <= 4; ++rad) {
+      const AcceleratorConfig want = paper_config(dims, rad);
+      const auto configs = enumerate_configs(kArria, options_for(dims, rad));
+      const bool found =
+          std::any_of(configs.begin(), configs.end(), [&](const auto& tc) {
+            return tc.config.bsize_x == want.bsize_x &&
+                   tc.config.bsize_y == want.bsize_y &&
+                   tc.config.parvec == want.parvec &&
+                   tc.config.partime == want.partime;
+          });
+      EXPECT_TRUE(found) << dims << "D rad " << rad << ": "
+                         << want.describe();
+    }
+  }
+}
+
+TEST(Tuner, AlignmentPreferencePenalizesButKeeps) {
+  TunerOptions o = options_for(3, 5);  // odd radius: partime 2 unaligned
+  o.alignment = AlignmentRule::kPrefer;
+  const auto preferred = enumerate_configs(kArria, o);
+  ASSERT_FALSE(preferred.empty());
+  const bool has_unaligned =
+      std::any_of(preferred.begin(), preferred.end(),
+                  [](const auto& tc) { return !tc.meets_alignment; });
+  EXPECT_TRUE(has_unaligned);
+  for (const TunedConfig& tc : preferred) {
+    if (!tc.meets_alignment) {
+      EXPECT_NEAR(tc.score, tc.perf.measured_gbps * 0.9, 1e-9);
+    }
+  }
+}
+
+TEST(Tuner, HighOrder3DLimitedToPartime2) {
+  // Section VI.A projection, via the tuner: at the paper's high-order
+  // block size (256x128), radius-5/6 3D stencils admit no feasible
+  // configuration with more than two PEs -- Block RAM bits run out.
+  for (int rad : {5, 6}) {
+    TunerOptions o = options_for(3, rad);
+    o.alignment = AlignmentRule::kIgnore;
+    o.bsize_x_candidates = {256};
+    o.bsize_y_candidates = {128};
+    const auto configs = enumerate_configs(kArria, o);
+    ASSERT_FALSE(configs.empty()) << "rad " << rad;
+    for (const TunedConfig& tc : configs) {
+      EXPECT_LE(tc.config.partime, 2) << tc.config.describe();
+    }
+  }
+}
+
+TEST(Tuner, ScaleFirstOrderHeuristic) {
+  const AcceleratorConfig first = paper_config(3, 1);  // partime 12
+  for (int rad = 2; rad <= 4; ++rad) {
+    const AcceleratorConfig scaled = scale_first_order_config(first, rad);
+    EXPECT_EQ(scaled.partime, 12 / rad);
+    EXPECT_EQ(scaled.parvec, first.parvec);
+    EXPECT_EQ(scaled.radius, rad);
+  }
+  EXPECT_THROW(scale_first_order_config(paper_config(3, 2), 3), ConfigError);
+}
+
+TEST(Tuner, NoFitThrows) {
+  TunerOptions o = options_for(3, 4);
+  o.bsize_x_candidates = {2048};  // shift registers far beyond the device
+  o.bsize_y_candidates = {2048};
+  EXPECT_THROW(best_config(kArria, o), ResourceError);
+}
+
+TEST(Tuner, NeedsTargetGrid) {
+  TunerOptions o;
+  o.dims = 2;
+  o.radius = 1;
+  EXPECT_THROW(enumerate_configs(kArria, o), ConfigError);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

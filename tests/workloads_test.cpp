@@ -1,0 +1,67 @@
+// Tests for the workload initializers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stencil/workloads.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+TEST(Workloads, GaussianPeakAtCenter) {
+  Grid2D<float> g(33, 33, 0.0f);
+  add_gaussian(g, 16.0, 16.0, 3.0, 10.0f);
+  EXPECT_NEAR(g.at(16, 16), 10.0f, 1e-5f);
+  EXPECT_LT(g.at(0, 0), 1e-3f);
+  // Radially monotone along the axis.
+  EXPECT_GT(g.at(17, 16), g.at(20, 16));
+  EXPECT_THROW(add_gaussian(g, 0, 0, 0.0, 1.0f), ConfigError);
+}
+
+TEST(Workloads, GaussianAccumulates) {
+  Grid2D<float> g(16, 16, 0.0f);
+  add_gaussian(g, 8, 8, 2.0, 1.0f);
+  const float first = g.at(8, 8);
+  add_gaussian(g, 8, 8, 2.0, 1.0f);
+  EXPECT_FLOAT_EQ(g.at(8, 8), 2.0f * first);
+}
+
+TEST(Workloads, Gaussian3D) {
+  Grid3D<float> g(17, 17, 17, 0.0f);
+  add_gaussian(g, 8, 8, 8, 2.0, 5.0f);
+  EXPECT_NEAR(g.at(8, 8, 8), 5.0f, 1e-5f);
+  EXPECT_GT(g.at(8, 8, 8), g.at(8, 8, 12));
+}
+
+TEST(Workloads, PlaneWaveBounded) {
+  Grid2D<float> g(64, 64, 0.0f);
+  add_plane_wave(g, 0.3, 0.1, 2.0f);
+  const FieldStats s = field_stats(g);
+  EXPECT_LE(s.peak, 2.0f + 1e-5f);
+  EXPECT_GT(s.l2, 0.0);
+  // A sine over many periods roughly integrates to zero.
+  EXPECT_LT(std::abs(s.total), 0.05 * s.l2 * 64.0);
+}
+
+TEST(Workloads, PointSourcesDeterministic) {
+  Grid2D<float> a(32, 32, 0.0f), b(32, 32, 0.0f);
+  add_point_sources(a, 10, 1.0f, 5);
+  add_point_sources(b, 10, 1.0f, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]);
+  }
+  // Total mass equals the injected amount even if sources collide.
+  EXPECT_NEAR(field_stats(a).total, 10.0, 1e-5);
+  EXPECT_THROW(add_point_sources(a, -1, 1.0f), ConfigError);
+}
+
+TEST(Workloads, FieldStats3D) {
+  Grid3D<float> g(4, 4, 4, 0.5f);
+  const FieldStats s = field_stats(g);
+  EXPECT_NEAR(s.total, 32.0, 1e-5);
+  EXPECT_FLOAT_EQ(s.peak, 0.5f);
+  EXPECT_NEAR(s.l2, std::sqrt(64 * 0.25), 1e-5);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,272 @@
+// stencilctl: command-line front end to the library.
+//
+//   stencilctl devices
+//       list the FPGA catalog with Table II characteristics
+//   stencilctl tune   --dims D --radius R [--device NAME] [--nx N --ny N --nz N] [--top K]
+//       Section V.A design-space exploration, ranked configurations
+//   stencilctl model  --dims D --radius R --bsize-x B [--bsize-y B] --parvec V --partime T [--device NAME]
+//       resource / fmax / power / performance prediction for one config
+//   stencilctl codegen --dims D --radius R --bsize-x B [--bsize-y B] --parvec V --partime T [--box]
+//       emit the OpenCL-C kernel source to stdout
+//   stencilctl simulate --dims D --radius R --bsize-x B [--bsize-y B] --parvec V --partime T
+//                       [--nx N --ny N --nz N] [--iters I] [--box]
+//       run the bit-exact architecture simulator and verify vs the reference
+//
+// Exit status: 0 on success, 1 on verification/model failure, 2 on usage.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "codegen/kernel_generator.hpp"
+#include "common/format.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/stencil_accelerator.hpp"
+#include "fpga/fmax_model.hpp"
+#include "fpga/power_model.hpp"
+#include "grid/grid_compare.hpp"
+#include "model/performance_model.hpp"
+#include "stencil/box_stencil.hpp"
+#include "stencil/reference.hpp"
+#include "tune/tuner.hpp"
+
+using namespace fpga_stencil;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool box = false;
+
+  [[nodiscard]] std::int64_t get(const std::string& key,
+                                 std::int64_t fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::stoll(it->second);
+  }
+  [[nodiscard]] std::string get_str(const std::string& key,
+                                    const std::string& fallback) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kv.count(key) != 0;
+  }
+};
+
+Args parse_args(int argc, char** argv, int start) {
+  Args a;
+  for (int i = start; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw ConfigError("expected --flag, got `" + key + "`");
+    }
+    key = key.substr(2);
+    if (key == "box") {
+      a.box = true;
+      continue;
+    }
+    if (i + 1 >= argc) throw ConfigError("missing value for --" + key);
+    a.kv[key] = argv[++i];
+  }
+  return a;
+}
+
+DeviceSpec device_from(const Args& a) {
+  const std::string name = a.get_str("device", "Arria 10");
+  for (const DeviceSpec& d :
+       {arria10_gx1150(), stratix_v_gxa7(), stratix10_gx2800(),
+        stratix10_mx2100()}) {
+    if (d.name.find(name) != std::string::npos) return d;
+  }
+  throw ConfigError("unknown device `" + name + "`");
+}
+
+AcceleratorConfig config_from(const Args& a) {
+  AcceleratorConfig cfg;
+  cfg.dims = static_cast<int>(a.get("dims", 2));
+  cfg.radius = static_cast<int>(a.get("radius", 1));
+  cfg.bsize_x = a.get("bsize-x", cfg.dims == 2 ? 4096 : 256);
+  cfg.bsize_y = cfg.dims == 3 ? a.get("bsize-y", 128) : 1;
+  cfg.parvec = static_cast<int>(a.get("parvec", 4));
+  cfg.partime = static_cast<int>(a.get("partime", 4));
+  cfg.validate();
+  return cfg;
+}
+
+int cmd_devices() {
+  TextTable t({"Device", "GFLOP/s", "GB/s", "FLOP/Byte", "DSPs", "M20Ks",
+               "TDP W"});
+  for (const DeviceSpec& d :
+       {arria10_gx1150(), stratix_v_gxa7(), stratix10_gx2800(),
+        stratix10_mx2100()}) {
+    t.add_row({d.name, format_fixed(d.peak_gflops, 0),
+               format_fixed(d.peak_bw_gbps, 1),
+               format_fixed(d.flop_per_byte(), 1), std::to_string(d.dsps),
+               std::to_string(d.m20k_blocks), format_fixed(d.tdp_watts, 0)});
+  }
+  t.render(std::cout);
+  return 0;
+}
+
+int cmd_tune(const Args& a) {
+  TunerOptions o;
+  o.dims = static_cast<int>(a.get("dims", 2));
+  o.radius = static_cast<int>(a.get("radius", 1));
+  o.nx = a.get("nx", o.dims == 2 ? 16096 : 696);
+  o.ny = a.get("ny", o.dims == 2 ? 16096 : 728);
+  o.nz = o.dims == 3 ? a.get("nz", 696) : 1;
+  const DeviceSpec dev = device_from(a);
+  const auto configs = enumerate_configs(dev, o);
+  const std::size_t top = std::size_t(a.get("top", 5));
+  std::cout << configs.size() << " feasible configurations on " << dev.name
+            << "; top " << std::min(top, configs.size()) << ":\n";
+  TextTable t({"rank", "config", "aligned", "pred GB/s", "GFLOP/s", "fmax",
+               "DSP", "BRAM blk"});
+  for (std::size_t i = 0; i < configs.size() && i < top; ++i) {
+    const TunedConfig& c = configs[i];
+    t.add_row({std::to_string(i + 1), c.config.describe(),
+               c.meets_alignment ? "yes" : "no",
+               format_fixed(c.perf.measured_gbps, 1),
+               format_fixed(c.perf.measured_gflops, 1),
+               format_fixed(c.fmax_mhz, 1),
+               format_percent(c.usage.dsp_fraction),
+               format_percent(c.usage.bram_block_fraction)});
+  }
+  t.render(std::cout);
+  return configs.empty() ? 1 : 0;
+}
+
+int cmd_model(const Args& a) {
+  const AcceleratorConfig cfg = config_from(a);
+  const DeviceSpec dev = device_from(a);
+  const ResourceUsage u = estimate_resources(cfg, dev);
+  const double fmax = estimate_fmax_mhz(cfg, dev);
+  const std::int64_t nx = a.get("nx", cfg.dims == 2 ? 16096 : 696);
+  const std::int64_t ny = a.get("ny", cfg.dims == 2 ? 16096 : 728);
+  const std::int64_t nz = cfg.dims == 3 ? a.get("nz", 696) : 1;
+  const PerformanceEstimate e =
+      estimate_performance(cfg, dev, fmax, nx, ny, nz);
+
+  std::cout << "configuration: " << cfg.describe() << " on " << dev.name
+            << "\n"
+            << "fits: " << (u.fits() ? "yes" : "NO") << "\n"
+            << "  DSP          " << u.dsps << " ("
+            << format_percent(u.dsp_fraction) << ")\n"
+            << "  BRAM bits    " << format_percent(u.bram_bits_fraction)
+            << ", blocks " << format_percent(u.bram_block_fraction) << "\n"
+            << "  logic        " << format_percent(u.logic_fraction) << "\n"
+            << "fmax:  " << format_fixed(fmax, 1) << " MHz\n"
+            << "power: "
+            << format_fixed(estimate_power_watts(cfg, dev, fmax), 1)
+            << " W\n"
+            << "performance on " << nx << "x" << ny
+            << (cfg.dims == 3 ? "x" + std::to_string(nz) : "") << ":\n"
+            << "  estimated  " << format_fixed(e.estimated_gbps, 1)
+            << " GB/s\n"
+            << "  pipeline efficiency "
+            << format_percent(e.pipeline_efficiency) << "\n"
+            << "  predicted  " << format_fixed(e.measured_gbps, 1)
+            << " GB/s = " << format_fixed(e.measured_gflops, 1)
+            << " GFLOP/s = " << format_fixed(e.measured_gcells, 2)
+            << " GCell/s\n"
+            << "  roofline ratio " << format_fixed(e.roofline_ratio, 2)
+            << "x of " << format_fixed(dev.peak_bw_gbps, 1) << " GB/s peak\n";
+  return u.fits() ? 0 : 1;
+}
+
+int cmd_codegen(const Args& a) {
+  const AcceleratorConfig cfg = config_from(a);
+  if (a.box) {
+    const TapSet box = make_box_stencil(cfg.dims, cfg.radius);
+    std::cout << generate_tap_kernel_source(box, {cfg, true});
+  } else {
+    std::cout << generate_kernel_source({cfg, true});
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& a) {
+  const AcceleratorConfig cfg = config_from(a);
+  const std::int64_t nx = a.get("nx", 200);
+  const std::int64_t ny = a.get("ny", cfg.dims == 2 ? 100 : 60);
+  const std::int64_t nz = cfg.dims == 3 ? a.get("nz", 30) : 1;
+  const int iters = static_cast<int>(a.get("iters", cfg.partime + 1));
+
+  Stopwatch sw;
+  CompareResult cmp;
+  RunStats stats;
+  if (cfg.dims == 2) {
+    Grid2D<float> g(nx, ny);
+    g.fill_random(1);
+    Grid2D<float> want = g;
+    if (a.box) {
+      const TapSet taps = make_box_stencil(2, cfg.radius);
+      StencilAccelerator accel(taps, cfg);
+      stats = accel.run(g, iters);
+      reference_run(taps, want, iters);
+    } else {
+      const StarStencil s = StarStencil::make_benchmark(2, cfg.radius);
+      StencilAccelerator accel(s, cfg);
+      stats = accel.run(g, iters);
+      reference_run(s, want, iters);
+    }
+    cmp = compare_exact(g, want);
+  } else {
+    Grid3D<float> g(nx, ny, nz);
+    g.fill_random(1);
+    Grid3D<float> want = g;
+    if (a.box) {
+      const TapSet taps = make_box_stencil(3, cfg.radius);
+      StencilAccelerator accel(taps, cfg);
+      stats = accel.run(g, iters);
+      reference_run(taps, want, iters);
+    } else {
+      const StarStencil s = StarStencil::make_benchmark(3, cfg.radius);
+      StencilAccelerator accel(s, cfg);
+      stats = accel.run(g, iters);
+      reference_run(s, want, iters);
+    }
+    cmp = compare_exact(g, want);
+  }
+
+  std::cout << "simulated " << cfg.describe() << " on " << nx << "x" << ny
+            << (cfg.dims == 3 ? "x" + std::to_string(nz) : "") << " for "
+            << iters << " iterations (" << format_fixed(sw.seconds(), 2)
+            << " s host time)\n"
+            << "  passes " << stats.passes << ", cells streamed "
+            << stats.cells_streamed << ", redundancy "
+            << format_fixed(stats.redundancy(), 3) << "x, pipeline cycles "
+            << stats.vectors_processed << "\n"
+            << "  verification vs naive reference: " << cmp.summary()
+            << "\n";
+  return cmp.identical() ? 0 : 1;
+}
+
+int usage() {
+  std::cerr
+      << "usage: stencilctl <devices|tune|model|codegen|simulate> [flags]\n"
+         "  common flags: --dims 2|3 --radius R --bsize-x B --bsize-y B\n"
+         "                --parvec V --partime T --device NAME\n"
+         "                --nx N --ny N --nz N --iters I --top K --box\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args a = parse_args(argc, argv, 2);
+    if (cmd == "devices") return cmd_devices();
+    if (cmd == "tune") return cmd_tune(a);
+    if (cmd == "model") return cmd_model(a);
+    if (cmd == "codegen") return cmd_codegen(a);
+    if (cmd == "simulate") return cmd_simulate(a);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "stencilctl: " << e.what() << "\n";
+    return 2;
+  }
+}
