@@ -3,16 +3,23 @@
 #include <algorithm>
 
 #include "core/stencil_accelerator.hpp"
+#include "fault/fault_injector.hpp"
 #include "fpga/fmax_model.hpp"
 #include "model/performance_model.hpp"
 
 namespace fpga_stencil {
+
+namespace {
+/// Bandwidth penalty of a pass on a degraded interconnect.
+constexpr double kLinkDegradeFactor = 4.0;
+}  // namespace
 
 MultiFpgaCluster::MultiFpgaCluster(int boards, const TapSet& taps,
                                    const AcceleratorConfig& cfg,
                                    const DeviceSpec& device,
                                    const LinkSpec& link)
     : boards_(boards),
+      alive_(boards),
       taps_(taps),
       cfg_(cfg),
       device_(device),
@@ -41,7 +48,7 @@ ClusterStats MultiFpgaCluster::run(Grid2D<float>& grid, int iterations) {
   const std::int64_t nx = grid.nx(), ny = grid.ny();
   FPGASTENCIL_EXPECT(boards_ <= ny, "more boards than grid rows");
   const int rad = cfg_.radius;
-  const std::int64_t slab = ceil_div<std::int64_t>(ny, boards_);
+  FaultInjector* fi = active_fault_injector();
 
   StencilAccelerator accel(taps_, cfg_);
   ClusterStats stats;
@@ -53,33 +60,57 @@ ClusterStats MultiFpgaCluster::run(Grid2D<float>& grid, int iterations) {
     const int steps = std::min(remaining, cfg_.partime);
     const std::int64_t halo = std::int64_t(steps) * rad;
 
+    // One pass over all surviving boards. A board can die mid-pass
+    // (board_dropout): the slabs are re-partitioned across the survivors
+    // and the whole pass replayed -- overlapped-halo slicing makes the
+    // output independent of the partition, so this stays bit-exact.
     double slowest_board = 0.0;
-    for (int b = 0; b < boards_; ++b) {
-      const std::int64_t y0 = b * slab;
-      if (y0 >= ny) break;
-      const std::int64_t rows = std::min(slab, ny - y0);
-      // Halo exchange: the extended slab carries steps*rad rows of
-      // neighbor data per interior side (clipped at real grid borders,
-      // where the clamp boundary condition applies instead).
-      const std::int64_t lo = std::max<std::int64_t>(0, y0 - halo);
-      const std::int64_t hi = std::min(ny, y0 + rows + halo);
-      Grid2D<float> local(nx, hi - lo);
-      std::copy_n(grid.data() + lo * nx, std::size_t(nx * (hi - lo)),
-                  local.data());
-      accel.run(local, steps);
-      std::copy_n(local.data() + (y0 - lo) * nx, std::size_t(nx * rows),
-                  next.data() + y0 * nx);
+    std::int64_t halo_bytes = 0;
+    bool replay = true;
+    while (replay) {
+      replay = false;
+      slowest_board = 0.0;
+      halo_bytes = 0;
+      const std::int64_t slab = ceil_div<std::int64_t>(ny, alive_);
+      for (int b = 0; b < alive_; ++b) {
+        if (alive_ > 1 && fi && fi->should_fire(FaultSite::board_dropout)) {
+          --alive_;
+          ++stats.board_dropouts;
+          ++stats.pass_replays;
+          replay = true;
+          break;
+        }
+        const std::int64_t y0 = b * slab;
+        if (y0 >= ny) break;
+        const std::int64_t rows = std::min(slab, ny - y0);
+        // Halo exchange: the extended slab carries steps*rad rows of
+        // neighbor data per interior side (clipped at real grid borders,
+        // where the clamp boundary condition applies instead).
+        const std::int64_t lo = std::max<std::int64_t>(0, y0 - halo);
+        const std::int64_t hi = std::min(ny, y0 + rows + halo);
+        Grid2D<float> local(nx, hi - lo);
+        std::copy_n(grid.data() + lo * nx, std::size_t(nx * (hi - lo)),
+                    local.data());
+        accel.run(local, steps);
+        std::copy_n(local.data() + (y0 - lo) * nx, std::size_t(nx * rows),
+                    next.data() + y0 * nx);
 
-      if (b > 0) stats.halo_bytes_exchanged += 2 * halo * nx * 4;
-      slowest_board =
-          std::max(slowest_board, board_pass_seconds(nx, ny, hi - lo));
+        if (b > 0) halo_bytes += 2 * halo * nx * 4;
+        slowest_board =
+            std::max(slowest_board, board_pass_seconds(nx, ny, hi - lo));
+      }
     }
     std::swap(grid, next);
+    stats.halo_bytes_exchanged += halo_bytes;
 
-    const double exchange =
-        boards_ > 1 ? link_.latency_us * 1e-6 +
-                          double(halo * nx * 4) / (link_.bandwidth_gbps * 1e9)
-                    : 0.0;
+    double exchange =
+        alive_ > 1 ? link_.latency_us * 1e-6 +
+                         double(halo * nx * 4) / (link_.bandwidth_gbps * 1e9)
+                   : 0.0;
+    if (alive_ > 1 && fi && fi->should_fire(FaultSite::link_degrade)) {
+      exchange *= kLinkDegradeFactor;
+      ++stats.link_degraded_passes;
+    }
     stats.compute_seconds += slowest_board;
     stats.exchange_seconds += exchange;
     remaining -= steps;
@@ -96,7 +127,7 @@ ClusterStats MultiFpgaCluster::run(Grid3D<float>& grid, int iterations) {
   const std::int64_t plane = nx * ny;
   FPGASTENCIL_EXPECT(boards_ <= nz, "more boards than grid planes");
   const int rad = cfg_.radius;
-  const std::int64_t slab = ceil_div<std::int64_t>(nz, boards_);
+  FaultInjector* fi = active_fault_injector();
 
   StencilAccelerator accel(taps_, cfg_);
   ClusterStats stats;
@@ -108,31 +139,52 @@ ClusterStats MultiFpgaCluster::run(Grid3D<float>& grid, int iterations) {
     const int steps = std::min(remaining, cfg_.partime);
     const std::int64_t halo = std::int64_t(steps) * rad;
 
+    // See the 2D run for the dropout/re-partition argument.
     double slowest_board = 0.0;
-    for (int b = 0; b < boards_; ++b) {
-      const std::int64_t z0 = b * slab;
-      if (z0 >= nz) break;
-      const std::int64_t planes = std::min(slab, nz - z0);
-      const std::int64_t lo = std::max<std::int64_t>(0, z0 - halo);
-      const std::int64_t hi = std::min(nz, z0 + planes + halo);
-      Grid3D<float> local(nx, ny, hi - lo);
-      std::copy_n(grid.data() + lo * plane, std::size_t(plane * (hi - lo)),
-                  local.data());
-      accel.run(local, steps);
-      std::copy_n(local.data() + (z0 - lo) * plane,
-                  std::size_t(plane * planes), next.data() + z0 * plane);
+    std::int64_t halo_bytes = 0;
+    bool replay = true;
+    while (replay) {
+      replay = false;
+      slowest_board = 0.0;
+      halo_bytes = 0;
+      const std::int64_t slab = ceil_div<std::int64_t>(nz, alive_);
+      for (int b = 0; b < alive_; ++b) {
+        if (alive_ > 1 && fi && fi->should_fire(FaultSite::board_dropout)) {
+          --alive_;
+          ++stats.board_dropouts;
+          ++stats.pass_replays;
+          replay = true;
+          break;
+        }
+        const std::int64_t z0 = b * slab;
+        if (z0 >= nz) break;
+        const std::int64_t planes = std::min(slab, nz - z0);
+        const std::int64_t lo = std::max<std::int64_t>(0, z0 - halo);
+        const std::int64_t hi = std::min(nz, z0 + planes + halo);
+        Grid3D<float> local(nx, ny, hi - lo);
+        std::copy_n(grid.data() + lo * plane, std::size_t(plane * (hi - lo)),
+                    local.data());
+        accel.run(local, steps);
+        std::copy_n(local.data() + (z0 - lo) * plane,
+                    std::size_t(plane * planes), next.data() + z0 * plane);
 
-      if (b > 0) stats.halo_bytes_exchanged += 2 * halo * plane * 4;
-      slowest_board =
-          std::max(slowest_board, board_pass_seconds(nx, ny, hi - lo));
+        if (b > 0) halo_bytes += 2 * halo * plane * 4;
+        slowest_board =
+            std::max(slowest_board, board_pass_seconds(nx, ny, hi - lo));
+      }
     }
     std::swap(grid, next);
+    stats.halo_bytes_exchanged += halo_bytes;
 
-    const double exchange =
-        boards_ > 1
+    double exchange =
+        alive_ > 1
             ? link_.latency_us * 1e-6 +
                   double(halo * plane * 4) / (link_.bandwidth_gbps * 1e9)
             : 0.0;
+    if (alive_ > 1 && fi && fi->should_fire(FaultSite::link_degrade)) {
+      exchange *= kLinkDegradeFactor;
+      ++stats.link_degraded_passes;
+    }
     stats.compute_seconds += slowest_board;
     stats.exchange_seconds += exchange;
     remaining -= steps;

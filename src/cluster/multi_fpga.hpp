@@ -45,6 +45,11 @@ struct ClusterStats {
   double exchange_seconds = 0.0;           ///< modeled link time summed
   double total_seconds = 0.0;
 
+  // Failover counters (active fault injector only; zero otherwise).
+  int board_dropouts = 0;        ///< boards lost during the run
+  int pass_replays = 0;          ///< passes re-run after a mid-pass dropout
+  int link_degraded_passes = 0;  ///< passes on a degraded interconnect
+
   [[nodiscard]] double exchange_fraction() const {
     return total_seconds > 0 ? exchange_seconds / total_seconds : 0.0;
   }
@@ -93,6 +98,14 @@ ClusterStats model_cluster_run(int boards, const AcceleratorConfig& cfg,
 
 /// A row of boards, each an instance of the paper's accelerator, slicing
 /// the grid along the streamed dimension.
+///
+/// Failover: when the process-wide fault injector (fault/fault_injector)
+/// arms board_dropout, a board can die mid-pass; the cluster removes it,
+/// re-partitions the slabs across the survivors, and replays the pass --
+/// overlapped-halo partitioning is value-transparent, so the output stays
+/// bit-exact at any board count. link_degrade faults model an interconnect
+/// running at a fraction of its bandwidth for a pass. Dropouts persist for
+/// the lifetime of the cluster object (a dead board stays dead).
 class MultiFpgaCluster {
  public:
   /// `boards` identical devices running `taps` under `cfg` (stage lag
@@ -109,6 +122,8 @@ class MultiFpgaCluster {
   ClusterStats run(Grid3D<float>& grid, int iterations);
 
   [[nodiscard]] int boards() const { return boards_; }
+  /// Boards still alive after any injected dropouts.
+  [[nodiscard]] int alive_boards() const { return alive_; }
   [[nodiscard]] const AcceleratorConfig& config() const { return cfg_; }
 
  private:
@@ -117,6 +132,7 @@ class MultiFpgaCluster {
                                           std::int64_t slab_rows) const;
 
   int boards_;
+  int alive_;
   TapSet taps_;
   AcceleratorConfig cfg_;
   DeviceSpec device_;

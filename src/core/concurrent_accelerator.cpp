@@ -1,15 +1,28 @@
 #include "core/concurrent_accelerator.hpp"
 
+#include <atomic>
+#include <cstring>
 #include <functional>
 #include <thread>
 #include <vector>
 
+#include "fault/watchdog.hpp"
 #include "pipeline/sync_channel.hpp"
 
 namespace fpga_stencil {
 namespace {
 
 using Vec = std::vector<float>;
+
+/// SEU model: flips one deterministic-geometry bit of one lane of the
+/// vector about to enter the PE's shift register.
+void inject_bit_flip(FaultInjector& fi, Vec& v) {
+  const std::uint32_t lane = fi.pick_lane(std::uint32_t(v.size()));
+  std::uint32_t bits;
+  std::memcpy(&bits, &v[lane], sizeof(bits));
+  bits ^= 1u << fi.pick_bit();
+  std::memcpy(&v[lane], &bits, sizeof(bits));
+}
 
 /// Everything one pass needs, independent of dimensionality: the block
 /// contexts in streaming order, the per-block vector count, and callbacks
@@ -25,14 +38,35 @@ struct PassGeometry {
 
 /// One pass of `steps` time steps, executed as a true dataflow: a reader
 /// thread, one thread per PE, and the calling thread as the write kernel.
+///
+/// With a watchdog armed, a stalled stage (injected hang/stall, or any
+/// future bug) is unwound rather than deadlocking: the timeout closes
+/// every channel and opens the injector's stall gate, each stage thread
+/// observes end-of-stream / ChannelClosedError and exits, and the pass
+/// throws PassAbortedError after joining all threads.
 void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
                          const PassGeometry& geo, int steps,
-                         std::size_t channel_depth, RunStats& stats) {
+                         const ConcurrentOptions& opts, RunStats& stats) {
   const int stages = cfg.partime;
+  FaultInjector* fi = opts.injector;
+  if (fi) fi->reset_stalls();
+
   std::vector<std::unique_ptr<SyncChannel<Vec>>> channels;
   channels.reserve(std::size_t(stages) + 1);
   for (int i = 0; i <= stages; ++i) {
-    channels.push_back(std::make_unique<SyncChannel<Vec>>(channel_depth));
+    channels.push_back(std::make_unique<SyncChannel<Vec>>(opts.channel_depth));
+  }
+
+  std::atomic<bool> aborted{false};
+  const auto unwind = [&] {
+    aborted.store(true, std::memory_order_release);
+    if (fi) fi->release_stalls();
+    for (auto& ch : channels) ch->close();
+  };
+
+  std::optional<Watchdog> dog;
+  if (opts.watchdog_deadline.count() > 0) {
+    dog.emplace(opts.watchdog_deadline, unwind);
   }
 
   std::vector<std::thread> threads;
@@ -40,56 +74,103 @@ void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
 
   // Read kernel.
   threads.emplace_back([&] {
-    for (std::size_t b = 0; b < geo.blocks.size(); ++b) {
-      for (std::int64_t q = 0; q < geo.vectors_per_block; ++q) {
-        Vec v(std::size_t(cfg.parvec));
-        geo.read(b, q, v.data());
-        channels[0]->write(std::move(v));
+    try {
+      for (std::size_t b = 0; b < geo.blocks.size(); ++b) {
+        for (std::int64_t q = 0; q < geo.vectors_per_block; ++q) {
+          if (aborted.load(std::memory_order_acquire)) return;
+          Vec v(std::size_t(cfg.parvec));
+          geo.read(b, q, v.data());
+          if (fi && fi->should_fire(FaultSite::channel_stall)) {
+            fi->stall_until_released();
+            // Woken by the watchdog's unwind, not a real release: exit
+            // without touching further fault sites, so an aborted attempt
+            // consumes only the stall's own budget.
+            if (aborted.load(std::memory_order_acquire)) return;
+          }
+          channels[0]->write(std::move(v));
+        }
       }
+      channels[0]->close();
+    } catch (const ChannelClosedError&) {
+      // Pipeline shutdown raced our write; nothing to clean up.
     }
-    channels[0]->close();
   });
 
   // Compute PEs: each an autorun-style loop over its input channel.
   for (int k = 0; k < stages; ++k) {
     threads.emplace_back([&, k] {
-      ProcessingElement pe(taps, cfg, k);
-      Vec out(std::size_t(cfg.parvec));
-      for (std::size_t b = 0; b < geo.blocks.size(); ++b) {
-        BlockContext ctx = geo.blocks[b];
-        ctx.passthrough = k >= steps;
-        pe.begin_block(ctx);
-        for (std::int64_t q = 0; q < geo.vectors_per_block; ++q) {
-          std::optional<Vec> in = channels[std::size_t(k)]->read();
-          FPGASTENCIL_ASSERT(in.has_value(), "pipeline underrun");
-          pe.process_vector(q, *in, out);
-          channels[std::size_t(k) + 1]->write(out);
+      try {
+        ProcessingElement pe(taps, cfg, k);
+        Vec out(std::size_t(cfg.parvec));
+        for (std::size_t b = 0; b < geo.blocks.size(); ++b) {
+          BlockContext ctx = geo.blocks[b];
+          ctx.passthrough = k >= steps;
+          pe.begin_block(ctx);
+          for (std::int64_t q = 0; q < geo.vectors_per_block; ++q) {
+            std::optional<Vec> in = channels[std::size_t(k)]->read();
+            if (!in.has_value()) {
+              // Upstream ended early: the pass is being unwound.
+              channels[std::size_t(k) + 1]->close();
+              return;
+            }
+            if (fi && fi->should_fire(FaultSite::kernel_hang)) {
+              fi->stall_until_released();
+              if (aborted.load(std::memory_order_acquire)) {
+                channels[std::size_t(k) + 1]->close();
+                return;
+              }
+            }
+            if (fi && fi->should_fire(FaultSite::seu_bit_flip)) {
+              inject_bit_flip(*fi, *in);
+            }
+            pe.process_vector(q, *in, out);
+            channels[std::size_t(k) + 1]->write(out);
+          }
         }
+        channels[std::size_t(k) + 1]->close();
+      } catch (const ChannelClosedError&) {
+        // Downstream closed under us; exit, the write kernel reports.
       }
-      channels[std::size_t(k) + 1]->close();
     });
   }
 
   // Write kernel runs on the calling thread.
-  for (std::size_t b = 0; b < geo.blocks.size(); ++b) {
+  bool underrun = false;
+  for (std::size_t b = 0; b < geo.blocks.size() && !underrun; ++b) {
     for (std::int64_t q = 0; q < geo.vectors_per_block; ++q) {
       std::optional<Vec> v = channels[std::size_t(stages)]->read();
-      FPGASTENCIL_ASSERT(v.has_value(), "pipeline underrun at write kernel");
+      if (!v.has_value()) {
+        underrun = true;
+        break;
+      }
+      if (dog) dog->kick();
       stats.cells_written += geo.write(b, q, v->data());
       stats.cells_streamed += cfg.parvec;
     }
-    stats.vectors_processed += geo.vectors_per_block;
-    ++stats.block_passes;
+    if (!underrun) {
+      stats.vectors_processed += geo.vectors_per_block;
+      ++stats.block_passes;
+    }
   }
 
+  if (underrun) unwind();  // make sure every stage observes shutdown
+  if (dog) dog->stop();
   for (std::thread& t : threads) t.join();
+
+  if (underrun) {
+    throw PassAbortedError(
+        dog && dog->fired()
+            ? "concurrent pass unwound by watchdog (no progress within "
+              "deadline)"
+            : "concurrent pass aborted: pipeline underrun");
+  }
 }
 
 }  // namespace
 
 RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
                         Grid2D<float>& grid, int iterations,
-                        std::size_t channel_depth) {
+                        const ConcurrentOptions& options) {
   FPGASTENCIL_EXPECT(cfg.dims == 2, "2D run on a 3D configuration");
   FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
   // Resolve the stage lag exactly as StencilAccelerator does.
@@ -146,7 +227,7 @@ RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
       return written;
     };
 
-    run_pass_concurrent(taps, rcfg, geo, steps, channel_depth, stats);
+    run_pass_concurrent(taps, rcfg, geo, steps, options, stats);
     std::swap(grid, scratch);
     remaining -= steps;
     stats.time_steps += steps;
@@ -157,7 +238,7 @@ RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
 
 RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
                         Grid3D<float>& grid, int iterations,
-                        std::size_t channel_depth) {
+                        const ConcurrentOptions& options) {
   FPGASTENCIL_EXPECT(cfg.dims == 3, "3D run on a 2D configuration");
   FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
   AcceleratorConfig rcfg = StencilAccelerator(taps, cfg).config();
@@ -229,13 +310,29 @@ RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
       return written;
     };
 
-    run_pass_concurrent(taps, rcfg, geo, steps, channel_depth, stats);
+    run_pass_concurrent(taps, rcfg, geo, steps, options, stats);
     std::swap(grid, scratch);
     remaining -= steps;
     stats.time_steps += steps;
     ++stats.passes;
   }
   return stats;
+}
+
+RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
+                        Grid2D<float>& grid, int iterations,
+                        std::size_t channel_depth) {
+  ConcurrentOptions options;
+  options.channel_depth = channel_depth;
+  return run_concurrent(taps, cfg, grid, iterations, options);
+}
+
+RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
+                        Grid3D<float>& grid, int iterations,
+                        std::size_t channel_depth) {
+  ConcurrentOptions options;
+  options.channel_depth = channel_depth;
+  return run_concurrent(taps, cfg, grid, iterations, options);
 }
 
 }  // namespace fpga_stencil

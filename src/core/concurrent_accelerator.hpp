@@ -10,15 +10,46 @@
 // tests).
 //
 // Use StencilAccelerator for speed; use this to study the dataflow.
+//
+// Fault tolerance: with a ConcurrentOptions carrying a FaultInjector the
+// pass exercises the kernel_hang / channel_stall / seu_bit_flip sites,
+// and a watchdog (deadline > 0) unwinds a stalled pass by closing every
+// channel -- stage threads observe ChannelClosedError / end-of-stream and
+// join, and the pass throws PassAbortedError with the input grid intact
+// (pass output is only committed on a complete pass). The injector is
+// deliberately explicit here rather than read from the process-wide
+// registry: injecting a stall without a watchdog would deadlock.
 #pragma once
 
+#include <chrono>
+
 #include "core/stencil_accelerator.hpp"
+#include "fault/fault_injector.hpp"
 
 namespace fpga_stencil {
 
+/// Knobs of the threaded dataflow execution.
+struct ConcurrentOptions {
+  /// Per-channel vector capacity (the OpenCL `depth` attribute).
+  std::size_t channel_depth = 64;
+  /// Fault sites are armed only when an injector is supplied.
+  FaultInjector* injector = nullptr;
+  /// No-progress deadline at the write kernel; 0 disables the watchdog.
+  std::chrono::milliseconds watchdog_deadline{0};
+};
+
 /// Advances `grid` by `iterations` time steps in place using one thread
-/// per pipeline stage. `channel_depth` is the per-channel vector capacity
-/// (the OpenCL `depth` attribute).
+/// per pipeline stage. Throws PassAbortedError if the watchdog unwinds a
+/// stalled pass (the grid then still holds the last completed pass).
+RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
+                        Grid2D<float>& grid, int iterations,
+                        const ConcurrentOptions& options);
+
+RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
+                        Grid3D<float>& grid, int iterations,
+                        const ConcurrentOptions& options);
+
+/// Fault-free convenience overloads (the original interface).
 RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
                         Grid2D<float>& grid, int iterations,
                         std::size_t channel_depth = 64);

@@ -47,10 +47,41 @@ struct RunStats {
   std::int64_t vectors_processed = 0;   ///< == pipeline cycles, zero-stall
   std::int64_t block_passes = 0;        ///< blocks streamed across all passes
 
+  // Resilience counters, populated by the fault-aware execution paths
+  // (fault/resilient_runner, ocl retry wrappers); all zero in fault-free
+  // runs, so benches can report resilience overhead directly.
+  std::int64_t faults_injected = 0;     ///< injector fires observed this run
+  std::int64_t transient_retries = 0;   ///< backoff retries of shim calls
+  std::int64_t watchdog_trips = 0;      ///< passes unwound by the watchdog
+  std::int64_t checksum_failures = 0;   ///< corrupted passes detected
+  std::int64_t pass_replays = 0;        ///< pass attempts repeated
+  std::int64_t checkpoints_saved = 0;
+  std::int64_t checkpoint_restores = 0;
+  bool degraded_to_reference = false;   ///< fell back to the CPU golden path
+
   /// Redundant work factor actually incurred (streamed / written).
   [[nodiscard]] double redundancy() const {
     return cells_written > 0 ? double(cells_streamed) / double(cells_written)
                              : 0.0;
+  }
+
+  /// Folds the streaming/resilience counters of another run (e.g. one
+  /// pass attempt) into this aggregate.
+  void accumulate(const RunStats& other) {
+    passes += other.passes;
+    time_steps += other.time_steps;
+    cells_streamed += other.cells_streamed;
+    cells_written += other.cells_written;
+    vectors_processed += other.vectors_processed;
+    block_passes += other.block_passes;
+    faults_injected += other.faults_injected;
+    transient_retries += other.transient_retries;
+    watchdog_trips += other.watchdog_trips;
+    checksum_failures += other.checksum_failures;
+    pass_replays += other.pass_replays;
+    checkpoints_saved += other.checkpoints_saved;
+    checkpoint_restores += other.checkpoint_restores;
+    degraded_to_reference = degraded_to_reference || other.degraded_to_reference;
   }
 };
 

@@ -1,0 +1,23 @@
+#include "fault/checksum.hpp"
+
+namespace fpga_stencil {
+
+std::uint64_t bytes_checksum(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::uint64_t grid_checksum(const Grid2D<float>& g) {
+  return bytes_checksum(g.data(), g.size() * sizeof(float));
+}
+
+std::uint64_t grid_checksum(const Grid3D<float>& g) {
+  return bytes_checksum(g.data(), g.size() * sizeof(float));
+}
+
+}  // namespace fpga_stencil

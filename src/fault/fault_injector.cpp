@@ -1,0 +1,218 @@
+#include "fault/fault_injector.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace fpga_stencil {
+
+namespace {
+
+constexpr std::array<const char*, kFaultSiteCount> kSiteNames = {
+    "shim_build",   "shim_enqueue", "shim_transfer", "kernel_hang",
+    "channel_stall", "seu_bit_flip", "link_degrade",  "board_dropout",
+};
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+std::optional<FaultSite> fault_site_from_name(const std::string& name) {
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    if (name == kSiteNames[std::size_t(i)]) return FaultSite(i);
+  }
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------------ plan
+
+FaultPlan& FaultPlan::add(FaultSite site, double probability,
+                          std::int64_t max_fires) {
+  FPGASTENCIL_EXPECT(probability >= 0.0 && probability <= 1.0,
+                     "fault probability must be in [0, 1]");
+  specs.push_back({site, probability, max_fires});
+  return *this;
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream is(text);
+  std::string term;
+  while (std::getline(is, term, ',')) {
+    // Trim surrounding whitespace.
+    const auto b = term.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    term = term.substr(b, term.find_last_not_of(" \t") - b + 1);
+
+    if (term.rfind("seed=", 0) == 0) {
+      try {
+        plan.seed = std::stoull(term.substr(5));
+      } catch (const std::exception&) {
+        throw ConfigError("fault plan: bad seed in `" + term + "`");
+      }
+      continue;
+    }
+
+    std::istringstream ts(term);
+    std::string field;
+    std::getline(ts, field, ':');
+    const std::optional<FaultSite> site = fault_site_from_name(field);
+    if (!site) {
+      throw ConfigError("fault plan: unknown fault site `" + field + "`");
+    }
+    FaultSpec spec;
+    spec.site = *site;
+    while (std::getline(ts, field, ':')) {
+      try {
+        if (field.rfind("p=", 0) == 0) {
+          spec.probability = std::stod(field.substr(2));
+          FPGASTENCIL_EXPECT(spec.probability >= 0.0 && spec.probability <= 1.0,
+                             "fault probability must be in [0, 1]");
+        } else if (field.rfind("n=", 0) == 0) {
+          const std::string n = field.substr(2);
+          spec.max_fires = n == "inf" ? -1 : std::stoll(n);
+        } else {
+          throw std::invalid_argument("unknown option");
+        }
+      } catch (const ConfigError&) {
+        throw;
+      } catch (const std::exception&) {
+        throw ConfigError("fault plan: bad option `" + field + "` in `" +
+                          term + "`");
+      }
+    }
+    plan.specs.push_back(spec);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* env = std::getenv("FPGASTENCIL_FAULT_PLAN");
+  return env ? parse(env) : FaultPlan{};
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  for (const FaultSpec& s : specs) {
+    os << "," << fault_site_name(s.site) << ":p=" << s.probability << ":n=";
+    if (s.unlimited()) {
+      os << "inf";
+    } else {
+      os << s.max_fires;
+    }
+  }
+  return os.str();
+}
+
+// -------------------------------------------------------------- injector
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), geometry_rng_(plan_.seed ^ 0x9e3779b9ULL) {
+  for (const FaultSpec& s : plan_.specs) {
+    SiteState& st = sites_[static_cast<std::size_t>(s.site)];
+    st.armed = true;
+    st.probability = s.probability;
+    st.max_fires = s.max_fires;
+    st.rng = SplitMix64(plan_.seed ^ (0x100 + std::uint64_t(s.site)));
+  }
+}
+
+bool FaultInjector::should_fire(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& st = sites_[static_cast<std::size_t>(site)];
+  if (!st.armed) return false;
+  if (!(st.max_fires < 0) && st.fired >= st.max_fires) return false;
+  if (st.probability < 1.0 && st.rng.next_float01() >= st.probability) {
+    return false;
+  }
+  ++st.fired;
+  return true;
+}
+
+std::uint32_t FaultInjector::pick_lane(std::uint32_t parvec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::uint32_t(geometry_rng_.next_below(parvec));
+}
+
+std::uint32_t FaultInjector::pick_bit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::uint32_t(geometry_rng_.next_below(32));
+}
+
+void FaultInjector::stall_until_released() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stall_cv_.wait(lock, [&] { return stalls_released_; });
+}
+
+void FaultInjector::release_stalls() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stalls_released_ = true;
+  stall_cv_.notify_all();
+}
+
+void FaultInjector::reset_stalls() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stalls_released_ = false;
+}
+
+std::int64_t FaultInjector::fires(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_[static_cast<std::size_t>(site)].fired;
+}
+
+std::int64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const SiteState& st : sites_) total += st.fired;
+  return total;
+}
+
+std::string FaultInjector::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    const SiteState& st = sites_[std::size_t(i)];
+    if (!st.armed) continue;
+    os << kSiteNames[std::size_t(i)] << " " << st.fired << "/";
+    if (st.max_fires < 0) {
+      os << "inf";
+    } else {
+      os << st.max_fires;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------- global
+
+namespace {
+std::atomic<FaultInjector*> g_active_injector{nullptr};
+}  // namespace
+
+FaultInjector* active_fault_injector() {
+  return g_active_injector.load(std::memory_order_acquire);
+}
+
+ScopedFaultInjector::ScopedFaultInjector(FaultInjector& injector)
+    : previous_(g_active_injector.exchange(&injector,
+                                           std::memory_order_acq_rel)) {}
+
+ScopedFaultInjector::~ScopedFaultInjector() {
+  g_active_injector.store(previous_, std::memory_order_release);
+}
+
+void maybe_inject_transient(FaultSite site, const char* what) {
+  FaultInjector* fi = active_fault_injector();
+  if (fi && fi->should_fire(site)) {
+    throw TransientError(std::string("injected ") + fault_site_name(site) +
+                         " fault: " + what);
+  }
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,97 @@
+// Deterministic, seeded fault injection.
+//
+// A FaultInjector owns one independent splitmix64 stream per fault site
+// (seeded from plan.seed ^ site), so whether the k-th arming opportunity
+// of a site fires is a pure function of (seed, site, k) -- independent of
+// thread interleaving across sites. Fire counts are bounded by the plan's
+// per-site budget, which is what lets a campaign be transient: once a
+// site's budget is exhausted the replayed pass runs clean.
+//
+// Stall semantics: the kernel_hang / channel_stall sites do not sleep --
+// they park the calling thread on a gate (stall_until_released) that the
+// watchdog opens when it unwinds the pass. This keeps the deadlock test
+// deterministic and fast, and mirrors the real mechanism: a hung kernel
+// only ever ends because the host resets the device.
+//
+// One injector may be installed process-wide (ScopedFaultInjector) so the
+// OpenCL shim and the cluster runtime pick it up without every call site
+// threading a pointer through; the deadlock-prone concurrent pipeline
+// takes its injector explicitly (ConcurrentOptions) because injecting a
+// stall without a watchdog would hang a plain run_concurrent call.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "fault/faults.hpp"
+
+namespace fpga_stencil {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// One arming opportunity at `site`: true when the plan says this
+  /// occurrence fails (deterministic per site, budget-bounded).
+  bool should_fire(FaultSite site);
+
+  /// Deterministic SEU geometry: which lane of a parvec-wide word and
+  /// which of its 32 bits to flip.
+  std::uint32_t pick_lane(std::uint32_t parvec);
+  std::uint32_t pick_bit();
+
+  /// Parks the calling thread until release_stalls(); used by the hang
+  /// and stall sites.
+  void stall_until_released();
+  /// Opens the stall gate (watchdog unwinding a pass).
+  void release_stalls();
+  /// Re-arms the stall gate for the next pass attempt. Only call when no
+  /// thread is parked (i.e. between passes, after joining).
+  void reset_stalls();
+
+  [[nodiscard]] std::int64_t fires(FaultSite site) const;
+  [[nodiscard]] std::int64_t total_fires() const;
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  /// One line per armed site: "site fired/budget".
+  [[nodiscard]] std::string report() const;
+
+ private:
+  struct SiteState {
+    bool armed = false;
+    double probability = 1.0;
+    std::int64_t max_fires = 0;  ///< <0 = unlimited
+    std::int64_t fired = 0;
+    SplitMix64 rng{0};
+  };
+
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::array<SiteState, kFaultSiteCount> sites_;
+  SplitMix64 geometry_rng_;  ///< lane/bit picks for SEUs
+  std::condition_variable stall_cv_;
+  bool stalls_released_ = false;
+};
+
+/// The process-wide injector consulted by the OpenCL shim and the cluster
+/// runtime; nullptr (the default) means fault-free operation.
+FaultInjector* active_fault_injector();
+
+/// RAII installation of a process-wide injector.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector& injector);
+  ~ScopedFaultInjector();
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// Shim/cluster helper: throw TransientError when the active injector
+/// fires `site`. No-op when no injector is installed.
+void maybe_inject_transient(FaultSite site, const char* what);
+
+}  // namespace fpga_stencil

@@ -1,0 +1,101 @@
+// Fault model: named fault sites, typed fault errors, and the FaultPlan
+// configuration that drives deterministic injection campaigns.
+//
+// The runtime is instrumented with *fault sites* -- points where a real
+// deployment can fail (a transient aoc link error, a stalled channel, an
+// SEU bit-flip in a shift-register word, a dropped board). A FaultPlan
+// names the sites that should misbehave, with what probability, and how
+// often; a seeded FaultInjector (fault_injector.hpp) evaluates the plan
+// deterministically so every campaign is reproducible.
+//
+// Error taxonomy:
+//   TransientError     -- retryable (injected link/transfer hiccups); the
+//                         retry helpers (retry.hpp) absorb these.
+//   PassAbortedError   -- a concurrent pass was unwound by the watchdog;
+//                         the resilient runner replays the pass.
+// Fatal errors (ocl::BuildError, ConfigError, ResourceError) are never
+// retried: a design that does not fit will not fit on the next attempt.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fpga_stencil {
+
+/// Every instrumented failure point in the runtime.
+enum class FaultSite : int {
+  shim_build = 0,   ///< Program::build fails transiently (link hiccup)
+  shim_enqueue,     ///< kernel launch fails transiently
+  shim_transfer,    ///< host<->device buffer transfer fails transiently
+  kernel_hang,      ///< a PE stops making progress mid-stream
+  channel_stall,    ///< the read kernel's channel write stalls forever
+  seu_bit_flip,     ///< single-event upset in a shift-register word
+  link_degrade,     ///< inter-board link drops to a fraction of its bandwidth
+  board_dropout,    ///< a cluster board dies mid-campaign
+};
+
+inline constexpr int kFaultSiteCount = 8;
+
+/// Stable lower_snake_case name (the FaultPlan grammar's site token).
+const char* fault_site_name(FaultSite site);
+
+/// Inverse of fault_site_name; nullopt for unknown names.
+std::optional<FaultSite> fault_site_from_name(const std::string& name);
+
+/// A retryable failure: the operation may succeed if repeated.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A concurrent pass was aborted (watchdog deadline, stalled stage). The
+/// input grid is untouched; the pass can be replayed.
+class PassAbortedError : public std::runtime_error {
+ public:
+  explicit PassAbortedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// How one fault site should misbehave during a campaign.
+struct FaultSpec {
+  FaultSite site = FaultSite::shim_build;
+  double probability = 1.0;  ///< chance each arming opportunity fires
+  std::int64_t max_fires = 1;  ///< total budget; <0 means unlimited
+
+  [[nodiscard]] bool unlimited() const { return max_fires < 0; }
+};
+
+/// A named, seeded fault campaign: which sites fire, how often.
+///
+/// Textual grammar (CLI `--plan` / env FPGASTENCIL_FAULT_PLAN), terms
+/// separated by commas:
+///
+///   seed=<u64>                        (default 1)
+///   <site>                            (fire once, probability 1)
+///   <site>:p=<float>:n=<count|inf>    (options in any order)
+///
+/// e.g. "seed=42,shim_build:n=2,seu_bit_flip:p=0.5:n=200,board_dropout"
+class FaultPlan {
+ public:
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> specs;
+
+  FaultPlan& add(FaultSite site, double probability = 1.0,
+                 std::int64_t max_fires = 1);
+
+  /// Parses the grammar above; throws ConfigError on unknown sites or
+  /// malformed terms. The empty string is the empty (fault-free) plan.
+  static FaultPlan parse(const std::string& text);
+
+  /// Plan from $FPGASTENCIL_FAULT_PLAN, or the empty plan when unset.
+  static FaultPlan from_env();
+
+  [[nodiscard]] bool empty() const { return specs.empty(); }
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace fpga_stencil

@@ -1,0 +1,115 @@
+#include "fault/resilient_runner.hpp"
+
+#include <algorithm>
+
+#include "fault/checkpoint.hpp"
+#include "fault/checksum.hpp"
+#include "stencil/reference.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+template <typename GridT>
+RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
+                            GridT& grid, int iterations,
+                            const ResilienceOptions& opts) {
+  FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
+  FPGASTENCIL_EXPECT(opts.max_pass_attempts >= 1,
+                     "need at least one pass attempt");
+  // Resolve stage lag once so every path below executes the same config.
+  StencilAccelerator golden(taps, cfg);
+  const AcceleratorConfig rcfg = golden.config();
+
+  FaultInjector* fi = opts.injector ? opts.injector : active_fault_injector();
+  const std::int64_t fires_before = fi ? fi->total_fires() : 0;
+
+  ConcurrentOptions copts;
+  copts.channel_depth = opts.channel_depth;
+  copts.injector = fi;
+  copts.watchdog_deadline = opts.watchdog_deadline;
+
+  RunStats total;
+  CheckpointStore<GridT> checkpoint;
+  checkpoint.save(grid, 0);
+  ++total.checkpoints_saved;
+
+  GridT pass_input = grid;
+  int done = 0;
+  bool device_lost = false;
+  while (done < iterations) {
+    const int steps = std::min(iterations - done, rcfg.partime);
+    pass_input = grid;
+
+    bool pass_ok = false;
+    for (int attempt = 1; attempt <= opts.max_pass_attempts; ++attempt) {
+      if (attempt > 1) ++total.pass_replays;
+      try {
+        const RunStats attempt_stats =
+            run_concurrent(taps, rcfg, grid, steps, copts);
+        if (opts.verify_checksums) {
+          GridT expected = pass_input;
+          golden.run(expected, steps);
+          if (grid_checksum(expected) != grid_checksum(grid)) {
+            // Corruption escaped into the output (SEU in a word whose
+            // dependency cone reached a valid cell): roll back, replay.
+            ++total.checksum_failures;
+            grid = pass_input;
+            continue;
+          }
+        }
+        total.accumulate(attempt_stats);
+        pass_ok = true;
+        break;
+      } catch (const PassAbortedError&) {
+        // Watchdog unwound a stalled pipeline. The pass output is only
+        // committed on completion, so the input is intact; restore
+        // defensively and replay.
+        ++total.watchdog_trips;
+        grid = pass_input;
+      }
+    }
+    if (!pass_ok) {
+      device_lost = true;
+      break;
+    }
+
+    done += steps;
+    if (opts.checkpoint_interval > 0 &&
+        total.passes % opts.checkpoint_interval == 0) {
+      checkpoint.save(grid, done);
+      ++total.checkpoints_saved;
+    }
+  }
+
+  if (device_lost) {
+    // Graceful degradation: the device keeps failing the same pass, so
+    // restart from the last checkpoint on the CPU reference path --
+    // slower, but bit-exact with everything the device produced.
+    done = checkpoint.restore(grid);
+    ++total.checkpoint_restores;
+    reference_run(taps, grid, iterations - done);
+    total.time_steps = iterations;
+    total.degraded_to_reference = true;
+  }
+
+  if (fi) total.faults_injected += fi->total_fires() - fires_before;
+  return total;
+}
+
+}  // namespace
+
+RunStats run_resilient(const TapSet& taps, const AcceleratorConfig& cfg,
+                       Grid2D<float>& grid, int iterations,
+                       const ResilienceOptions& options) {
+  FPGASTENCIL_EXPECT(cfg.dims == 2, "2D run on a 3D configuration");
+  return run_resilient_impl(taps, cfg, grid, iterations, options);
+}
+
+RunStats run_resilient(const TapSet& taps, const AcceleratorConfig& cfg,
+                       Grid3D<float>& grid, int iterations,
+                       const ResilienceOptions& options) {
+  FPGASTENCIL_EXPECT(cfg.dims == 3, "3D run on a 2D configuration");
+  return run_resilient_impl(taps, cfg, grid, iterations, options);
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,57 @@
+// The resilient host runtime: concurrent dataflow execution that survives
+// the whole FaultPlan.
+//
+// Per pass (up to partime fused time steps):
+//   1. Snapshot the pass input, then run the pass through the threaded
+//      dataflow pipeline under a progress watchdog. A stalled stage
+//      (kernel_hang / channel_stall) trips the watchdog, which unwinds
+//      the pipeline; the attempt surfaces as PassAbortedError.
+//   2. Verify the output against the synchronous golden model's checksum
+//      (bit-exact by construction). A mismatch -- e.g. an injected SEU in
+//      a shift-register word that reached a valid output -- rolls the
+//      grid back and replays the pass.
+//   3. A successful pass advances the run; every checkpoint_interval
+//      passes the grid is checkpointed.
+// After max_pass_attempts consecutive failures of one pass the device is
+// declared lost: the run restores the last checkpoint and finishes on the
+// CPU reference path (graceful degradation), still bit-exact.
+//
+// All resilience events are tallied in the returned RunStats so benches
+// and `stencilctl faults` can report the overhead of surviving a plan.
+#pragma once
+
+#include <chrono>
+
+#include "core/concurrent_accelerator.hpp"
+#include "fault/fault_injector.hpp"
+
+namespace fpga_stencil {
+
+struct ResilienceOptions {
+  std::size_t channel_depth = 64;
+  /// No-progress deadline of a pass attempt at the write kernel.
+  std::chrono::milliseconds watchdog_deadline{500};
+  /// Attempts per pass before degrading to the CPU reference path.
+  int max_pass_attempts = 3;
+  /// Passes between grid checkpoints (K); <=0 disables periodic
+  /// checkpoints (only the t=0 snapshot is kept).
+  int checkpoint_interval = 4;
+  /// Compare every pass against the synchronous golden checksum.
+  bool verify_checksums = true;
+  /// Fault source; nullptr falls back to the process-wide injector (and
+  /// to fault-free execution when none is installed).
+  FaultInjector* injector = nullptr;
+};
+
+/// Advances `grid` by `iterations` time steps in place, surviving the
+/// active fault plan; the result is bit-exact with the naive reference
+/// regardless of which faults fired.
+RunStats run_resilient(const TapSet& taps, const AcceleratorConfig& cfg,
+                       Grid2D<float>& grid, int iterations,
+                       const ResilienceOptions& options = {});
+
+RunStats run_resilient(const TapSet& taps, const AcceleratorConfig& cfg,
+                       Grid3D<float>& grid, int iterations,
+                       const ResilienceOptions& options = {});
+
+}  // namespace fpga_stencil

@@ -1,0 +1,53 @@
+// Exponential-backoff-with-jitter retry for transient failures.
+//
+// Only TransientError is retried: fatal classes (ocl::BuildError,
+// ConfigError, ResourceError) propagate immediately, because an invalid or
+// oversubscribed design will fail identically on every attempt. Backoff
+// delays are jittered by a seeded splitmix64 stream so campaigns stay
+// reproducible while still decorrelating concurrent retriers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "fault/faults.hpp"
+
+namespace fpga_stencil {
+
+struct RetryPolicy {
+  int max_attempts = 4;                     ///< total tries, including the first
+  std::chrono::microseconds base_delay{500};  ///< before the first retry
+  double multiplier = 2.0;                  ///< delay growth per retry
+  double jitter = 0.5;                      ///< +-fraction of the delay
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// Runs `fn`, retrying on TransientError per `policy`. Rethrows the last
+/// TransientError once attempts are exhausted; every other exception
+/// propagates immediately. `retries`, when non-null, accumulates the
+/// number of retries actually taken.
+template <typename Fn>
+auto retry_transient(const RetryPolicy& policy, Fn&& fn,
+                     std::int64_t* retries = nullptr) -> decltype(fn()) {
+  SplitMix64 rng(policy.seed);
+  double delay_us = double(policy.base_delay.count());
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return std::forward<Fn>(fn)();
+    } catch (const TransientError&) {
+      if (attempt >= policy.max_attempts) throw;
+      if (retries) ++*retries;
+      const double jitter_scale =
+          1.0 + policy.jitter * (2.0 * double(rng.next_float01()) - 1.0);
+      const auto delay =
+          std::chrono::microseconds(std::int64_t(delay_us * jitter_scale));
+      if (delay.count() > 0) std::this_thread::sleep_for(delay);
+      delay_us *= policy.multiplier;
+    }
+  }
+}
+
+}  // namespace fpga_stencil

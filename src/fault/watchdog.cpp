@@ -1,0 +1,52 @@
+#include "fault/watchdog.hpp"
+
+namespace fpga_stencil {
+
+Watchdog::Watchdog(std::chrono::milliseconds deadline,
+                   std::function<void()> on_timeout)
+    : deadline_(deadline),
+      on_timeout_(std::move(on_timeout)),
+      thread_([this] { run(); }) {}
+
+Watchdog::~Watchdog() {
+  stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::kick() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    kicked_ = true;
+  }
+  cv_.notify_one();
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_one();
+}
+
+bool Watchdog::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+void Watchdog::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopped_) {
+    if (cv_.wait_for(lock, deadline_,
+                     [&] { return stopped_ || kicked_; })) {
+      kicked_ = false;  // progress observed; re-arm
+    } else {
+      fired_ = true;
+      lock.unlock();
+      on_timeout_();
+      return;  // fires at most once
+    }
+  }
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,54 @@
+// Progress watchdog for the concurrent dataflow pipeline.
+//
+// The write kernel kicks the watchdog every retired vector; if no kick
+// arrives within the deadline the pipeline has stopped making progress
+// (hung PE, stalled channel) and the timeout callback runs exactly once.
+// The callback's job is to unwind, not diagnose: close every channel and
+// open the injector's stall gate so all stage threads observe shutdown
+// and join promptly.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace fpga_stencil {
+
+class Watchdog {
+ public:
+  /// Arms immediately; `on_timeout` runs on the watchdog thread if no
+  /// kick() lands within `deadline` of arming or of the previous kick.
+  Watchdog(std::chrono::milliseconds deadline,
+           std::function<void()> on_timeout);
+
+  /// Stops the watchdog thread (without firing) and joins it.
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Records progress, pushing the deadline out.
+  void kick();
+
+  /// Disarms without firing; idempotent, called by the destructor.
+  void stop();
+
+  /// True once the timeout callback has run.
+  [[nodiscard]] bool fired() const;
+
+ private:
+  void run();
+
+  std::chrono::milliseconds deadline_;
+  std::function<void()> on_timeout_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool kicked_ = false;
+  bool stopped_ = false;
+  bool fired_ = false;
+  std::thread thread_;
+};
+
+}  // namespace fpga_stencil

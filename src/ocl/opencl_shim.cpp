@@ -5,6 +5,7 @@
 
 #include "common/format.hpp"
 #include "common/stopwatch.hpp"
+#include "fault/fault_injector.hpp"
 #include "core/stencil_accelerator.hpp"
 #include "fpga/fmax_model.hpp"
 #include "model/performance_model.hpp"
@@ -110,6 +111,9 @@ std::string BuildReport::summary() const {
 }
 
 Program Program::build(const Context& ctx, const std::string& options) {
+  // A real aoc link/program step can fail transiently; the injector
+  // models that before any fatal validation is attempted.
+  maybe_inject_transient(FaultSite::shim_build, "offline compilation");
   const BuildOptions opts = BuildOptions::parse(options);
   AcceleratorConfig cfg;
   try {
@@ -131,16 +135,26 @@ Program Program::build(const Context& ctx, const std::string& options) {
   return p;
 }
 
+Program Program::build_with_retry(const Context& ctx,
+                                  const std::string& options,
+                                  const RetryPolicy& policy,
+                                  std::int64_t* retries) {
+  return retry_transient(
+      policy, [&] { return build(ctx, options); }, retries);
+}
+
 // ------------------------------------------------------------------ queue
 
 void CommandQueue::enqueue_write_buffer(Buffer& dst, const void* src,
                                         std::size_t bytes) {
+  maybe_inject_transient(FaultSite::shim_transfer, "host-to-device transfer");
   FPGASTENCIL_EXPECT(bytes <= dst.size(), "write exceeds buffer size");
   std::memcpy(dst.data(), src, bytes);
 }
 
 void CommandQueue::enqueue_read_buffer(const Buffer& src, void* dst,
                                        std::size_t bytes) {
+  maybe_inject_transient(FaultSite::shim_transfer, "device-to-host transfer");
   FPGASTENCIL_EXPECT(bytes <= src.size(), "read exceeds buffer size");
   std::memcpy(dst, src.data(), bytes);
 }
@@ -190,6 +204,7 @@ Event CommandQueue::enqueue_stencil_2d(const Program& program,
                                        const Buffer& in, Buffer& out,
                                        std::int64_t nx, std::int64_t ny,
                                        int iterations) {
+  maybe_inject_transient(FaultSite::shim_enqueue, "kernel launch");
   check_kernel_args(program, stencil);
   FPGASTENCIL_EXPECT(program.config().dims == 2,
                      "2D launch of a 3D program");
@@ -214,6 +229,7 @@ Event CommandQueue::enqueue_stencil_3d(const Program& program,
                                        const Buffer& in, Buffer& out,
                                        std::int64_t nx, std::int64_t ny,
                                        std::int64_t nz, int iterations) {
+  maybe_inject_transient(FaultSite::shim_enqueue, "kernel launch");
   check_kernel_args(program, stencil);
   FPGASTENCIL_EXPECT(program.config().dims == 3,
                      "3D launch of a 2D program");
@@ -239,6 +255,7 @@ Event CommandQueue::enqueue_stencil_taps_2d(const Program& program,
                                             const Buffer& in, Buffer& out,
                                             std::int64_t nx, std::int64_t ny,
                                             int iterations) {
+  maybe_inject_transient(FaultSite::shim_enqueue, "kernel launch");
   check_kernel_args(program, taps);
   FPGASTENCIL_EXPECT(program.config().dims == 2, "2D launch of a 3D program");
   const std::size_t bytes = std::size_t(nx) * std::size_t(ny) * sizeof(float);
@@ -262,6 +279,7 @@ Event CommandQueue::enqueue_stencil_taps_3d(const Program& program,
                                             const Buffer& in, Buffer& out,
                                             std::int64_t nx, std::int64_t ny,
                                             std::int64_t nz, int iterations) {
+  maybe_inject_transient(FaultSite::shim_enqueue, "kernel launch");
   check_kernel_args(program, taps);
   FPGASTENCIL_EXPECT(program.config().dims == 3, "3D launch of a 2D program");
   const std::size_t bytes =

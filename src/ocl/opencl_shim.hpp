@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/retry.hpp"
 #include "fpga/device_spec.hpp"
 #include "fpga/resource_model.hpp"
 #include "grid/grid.hpp"
@@ -117,7 +118,18 @@ struct BuildReport {
 class Program {
  public:
   /// Offline compilation: parse options, validate, fit, predict fmax.
+  /// Throws BuildError on a fatal problem (bad options, no fit) and
+  /// TransientError when the active fault injector simulates a toolchain
+  /// or link hiccup -- the latter is worth retrying, the former is not.
   static Program build(const Context& ctx, const std::string& options);
+
+  /// build() under retry_transient: absorbs injected shim_build faults
+  /// with exponential backoff, counts retries into `retries` (when
+  /// non-null), and rethrows BuildError immediately.
+  static Program build_with_retry(const Context& ctx,
+                                  const std::string& options,
+                                  const RetryPolicy& policy = {},
+                                  std::int64_t* retries = nullptr);
 
   [[nodiscard]] const BuildReport& report() const { return report_; }
   [[nodiscard]] const AcceleratorConfig& config() const {

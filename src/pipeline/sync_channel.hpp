@@ -2,16 +2,42 @@
 // Channel<T>. Semantics match Intel OpenCL channels: bounded FIFO,
 // blocking read/write, plus a close() for orderly pipeline shutdown
 // (hardware autorun kernels never terminate; host software needs to).
+//
+// Fault behaviour: writing to a closed channel throws the typed
+// ChannelClosedError -- including writers that were *blocked* on a full
+// channel when close() landed -- so the watchdog can unwind a stalled
+// pipeline by closing every channel and have all stage threads observe a
+// recoverable exception instead of aborting the process. The timed
+// variants (try_write_for / read_for) report timeout vs. closed through
+// ChannelStatus without throwing, which is what the watchdog-driven
+// drain loops want.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 
 #include "common/expect.hpp"
 
 namespace fpga_stencil {
+
+/// A write raced with pipeline shutdown: the channel was closed before or
+/// while the writer was blocked. Recoverable -- the stage thread unwinds.
+class ChannelClosedError : public std::runtime_error {
+ public:
+  explicit ChannelClosedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Outcome of a timed channel operation.
+enum class ChannelStatus {
+  ok,        ///< the value was transferred
+  timed_out, ///< the deadline passed with the channel still full/empty
+  closed,    ///< the channel is closed (and drained, for reads)
+};
 
 template <typename T>
 class SyncChannel {
@@ -20,14 +46,33 @@ class SyncChannel {
     FPGASTENCIL_EXPECT(capacity > 0, "channel capacity must be positive");
   }
 
-  /// Blocks until there is room. Writing to a closed channel throws.
+  /// Blocks until there is room. Throws ChannelClosedError if the channel
+  /// is closed, including while blocked waiting for room.
   void write(T value) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock,
                    [&] { return fifo_.size() < capacity_ || closed_; });
-    FPGASTENCIL_ASSERT(!closed_, "write to a closed channel");
+    if (closed_) {
+      throw ChannelClosedError("write to a closed channel");
+    }
     fifo_.push_back(std::move(value));
     not_empty_.notify_one();
+  }
+
+  /// Timed write: ok on transfer, closed if the channel closed first,
+  /// timed_out if the deadline passed with the channel still full. The
+  /// value is consumed only on ok.
+  template <typename Rep, typename Period>
+  ChannelStatus try_write_for(T& value,
+                              std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool ready = not_full_.wait_for(
+        lock, timeout, [&] { return fifo_.size() < capacity_ || closed_; });
+    if (closed_) return ChannelStatus::closed;
+    if (!ready) return ChannelStatus::timed_out;
+    fifo_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return ChannelStatus::ok;
   }
 
   /// Blocks until a value arrives; empty optional once the channel is
@@ -42,7 +87,24 @@ class SyncChannel {
     return v;
   }
 
-  /// Ends the stream: readers drain what is buffered, then see nullopt.
+  /// Timed read: ok fills `out`; closed means closed-and-drained;
+  /// timed_out means the deadline passed with the channel still empty.
+  template <typename Rep, typename Period>
+  ChannelStatus read_for(T& out, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool ready = not_empty_.wait_for(
+        lock, timeout, [&] { return !fifo_.empty() || closed_; });
+    if (!fifo_.empty()) {
+      out = std::move(fifo_.front());
+      fifo_.pop_front();
+      not_full_.notify_one();
+      return ChannelStatus::ok;
+    }
+    return ready ? ChannelStatus::closed : ChannelStatus::timed_out;
+  }
+
+  /// Ends the stream: readers drain what is buffered, then see nullopt;
+  /// writers (blocked or future) get ChannelClosedError. Idempotent.
   void close() {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
@@ -50,9 +112,14 @@ class SyncChannel {
     not_full_.notify_all();
   }
 
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
  private:
   std::size_t capacity_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> fifo_;

@@ -1,0 +1,341 @@
+// Tests for the fault-injection framework itself: the FaultPlan grammar,
+// the deterministic seeded injector, the retry helper, the watchdog, the
+// checksum oracle, and checkpoint/restart.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "fault/checkpoint.hpp"
+#include "fault/checksum.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/retry.hpp"
+#include "fault/watchdog.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Backoff delays scaled down so the retry tests run in microseconds.
+RetryPolicy fast_policy(int max_attempts) {
+  RetryPolicy p;
+  p.max_attempts = max_attempts;
+  p.base_delay = std::chrono::microseconds(1);
+  return p;
+}
+
+// ---------------------------------------------------------------- plan
+
+TEST(FaultPlan, SiteNamesRoundTrip) {
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    const FaultSite site = static_cast<FaultSite>(i);
+    const auto back = fault_site_from_name(fault_site_name(site));
+    ASSERT_TRUE(back.has_value()) << fault_site_name(site);
+    EXPECT_EQ(*back, site);
+  }
+  EXPECT_FALSE(fault_site_from_name("flux_capacitor").has_value());
+}
+
+TEST(FaultPlan, ParseGrammar) {
+  const FaultPlan plan =
+      FaultPlan::parse("seed=42,shim_build:n=2,seu_bit_flip:p=0.5:n=inf,"
+                       "board_dropout");
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.specs.size(), 3u);
+  EXPECT_EQ(plan.specs[0].site, FaultSite::shim_build);
+  EXPECT_EQ(plan.specs[0].max_fires, 2);
+  EXPECT_DOUBLE_EQ(plan.specs[0].probability, 1.0);
+  EXPECT_EQ(plan.specs[1].site, FaultSite::seu_bit_flip);
+  EXPECT_DOUBLE_EQ(plan.specs[1].probability, 0.5);
+  EXPECT_TRUE(plan.specs[1].unlimited());
+  EXPECT_EQ(plan.specs[2].site, FaultSite::board_dropout);
+  EXPECT_EQ(plan.specs[2].max_fires, 1);
+}
+
+TEST(FaultPlan, ParseEmptyIsFaultFree) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+}
+
+TEST(FaultPlan, ParseRejectsUnknownSiteAndBadOptions) {
+  EXPECT_THROW(FaultPlan::parse("flux_capacitor"), ConfigError);
+  EXPECT_THROW(FaultPlan::parse("shim_build:q=3"), ConfigError);
+  EXPECT_THROW(FaultPlan::parse("seed=banana"), ConfigError);
+}
+
+TEST(FaultPlan, DescribeRoundTripsThroughParse) {
+  const FaultPlan plan = FaultPlan::parse("seed=7,kernel_hang:n=3");
+  const FaultPlan again = FaultPlan::parse(plan.describe());
+  EXPECT_EQ(again.seed, 7u);
+  ASSERT_EQ(again.specs.size(), 1u);
+  EXPECT_EQ(again.specs[0].site, FaultSite::kernel_hang);
+  EXPECT_EQ(again.specs[0].max_fires, 3);
+}
+
+// ------------------------------------------------------------ injector
+
+TEST(FaultInjector, UnplannedSitesNeverFire) {
+  FaultInjector fi(FaultPlan::parse("shim_build:n=1"));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fi.should_fire(FaultSite::kernel_hang));
+  }
+  EXPECT_EQ(fi.fires(FaultSite::kernel_hang), 0);
+}
+
+TEST(FaultInjector, BudgetBoundsFires) {
+  FaultInjector fi(FaultPlan::parse("shim_enqueue:n=3"));
+  int fired = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (fi.should_fire(FaultSite::shim_enqueue)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(fi.fires(FaultSite::shim_enqueue), 3);
+  EXPECT_EQ(fi.total_fires(), 3);
+}
+
+TEST(FaultInjector, ProbabilityOneFiresOnFirstOpportunities) {
+  FaultInjector fi(FaultPlan::parse("shim_transfer:n=2"));
+  EXPECT_TRUE(fi.should_fire(FaultSite::shim_transfer));
+  EXPECT_TRUE(fi.should_fire(FaultSite::shim_transfer));
+  EXPECT_FALSE(fi.should_fire(FaultSite::shim_transfer));
+}
+
+TEST(FaultInjector, DeterministicAcrossInstances) {
+  // Which of the k-th opportunities fire is a pure function of
+  // (seed, site, k): two injectors built from the same plan agree.
+  const FaultPlan plan = FaultPlan::parse("seed=99,seu_bit_flip:p=0.3:n=inf");
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.should_fire(FaultSite::seu_bit_flip),
+              b.should_fire(FaultSite::seu_bit_flip));
+  }
+  EXPECT_EQ(a.fires(FaultSite::seu_bit_flip), b.fires(FaultSite::seu_bit_flip));
+  EXPECT_GT(a.fires(FaultSite::seu_bit_flip), 0);
+  EXPECT_LT(a.fires(FaultSite::seu_bit_flip), 500);
+}
+
+TEST(FaultInjector, SeedChangesFirePattern) {
+  FaultInjector a(FaultPlan::parse("seed=1,seu_bit_flip:p=0.5:n=inf"));
+  FaultInjector b(FaultPlan::parse("seed=2,seu_bit_flip:p=0.5:n=inf"));
+  bool differed = false;
+  for (int i = 0; i < 200; ++i) {
+    if (a.should_fire(FaultSite::seu_bit_flip) !=
+        b.should_fire(FaultSite::seu_bit_flip)) {
+      differed = true;
+    }
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(FaultInjector, PickLaneStaysInRange) {
+  FaultInjector fi(FaultPlan::parse("seed=5,seu_bit_flip:n=inf"));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(fi.pick_lane(16), 16u);
+    EXPECT_LT(fi.pick_bit(), 32u);
+  }
+}
+
+TEST(FaultInjector, StallGateReleasesParkedThread) {
+  FaultInjector fi(FaultPlan::parse("kernel_hang:n=1"));
+  std::atomic<bool> resumed{false};
+  std::thread t([&] {
+    fi.stall_until_released();
+    resumed.store(true);
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(resumed.load());
+  fi.release_stalls();
+  t.join();
+  EXPECT_TRUE(resumed.load());
+  // After reset, the gate parks again (released state is per attempt).
+  fi.reset_stalls();
+  std::thread t2([&] { fi.stall_until_released(); });
+  fi.release_stalls();
+  t2.join();
+}
+
+TEST(FaultInjector, ScopedInstallAndRestore) {
+  EXPECT_EQ(active_fault_injector(), nullptr);
+  FaultInjector outer(FaultPlan::parse("shim_build:n=1"));
+  {
+    ScopedFaultInjector scope(outer);
+    EXPECT_EQ(active_fault_injector(), &outer);
+    FaultInjector inner(FaultPlan::parse("shim_enqueue:n=1"));
+    {
+      ScopedFaultInjector nested(inner);
+      EXPECT_EQ(active_fault_injector(), &inner);
+    }
+    EXPECT_EQ(active_fault_injector(), &outer);
+  }
+  EXPECT_EQ(active_fault_injector(), nullptr);
+}
+
+TEST(FaultInjector, MaybeInjectTransientThrowsWhileArmed) {
+  FaultInjector fi(FaultPlan::parse("shim_transfer:n=1"));
+  ScopedFaultInjector scope(fi);
+  EXPECT_THROW(maybe_inject_transient(FaultSite::shim_transfer, "DMA"),
+               TransientError);
+  // Budget exhausted: the same site is clean afterwards.
+  EXPECT_NO_THROW(maybe_inject_transient(FaultSite::shim_transfer, "DMA"));
+}
+
+TEST(FaultInjector, ReportListsArmedSites) {
+  FaultInjector fi(FaultPlan::parse("shim_build:n=2"));
+  (void)fi.should_fire(FaultSite::shim_build);
+  const std::string report = fi.report();
+  EXPECT_NE(report.find("shim_build 1/2"), std::string::npos) << report;
+}
+
+// --------------------------------------------------------------- retry
+
+TEST(Retry, SucceedsAfterTransientFailures) {
+  int calls = 0;
+  std::int64_t retries = 0;
+  const int got = retry_transient(
+      fast_policy(4),
+      [&] {
+        if (++calls < 3) throw TransientError("hiccup");
+        return 42;
+      },
+      &retries);
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2);
+}
+
+TEST(Retry, RethrowsAfterMaxAttempts) {
+  int calls = 0;
+  EXPECT_THROW(retry_transient(fast_policy(3),
+                               [&]() -> int {
+                                 ++calls;
+                                 throw TransientError("always");
+                               }),
+               TransientError);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Retry, NonTransientPropagatesImmediately) {
+  int calls = 0;
+  EXPECT_THROW(retry_transient(fast_policy(5),
+                               [&]() -> int {
+                                 ++calls;
+                                 throw ConfigError("fatal");
+                               }),
+               ConfigError);
+  EXPECT_EQ(calls, 1);  // fatal errors are never retried
+}
+
+TEST(Retry, VoidCallableSupported) {
+  int calls = 0;
+  retry_transient(fast_policy(2), [&] {
+    if (++calls < 2) throw TransientError("once");
+  });
+  EXPECT_EQ(calls, 2);
+}
+
+// ------------------------------------------------------------ watchdog
+
+TEST(Watchdog, FiresOnceWithoutKicks) {
+  std::atomic<int> fired{0};
+  Watchdog dog(std::chrono::milliseconds(10), [&] { ++fired; });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_TRUE(dog.fired());
+  EXPECT_EQ(fired.load(), 1);  // exactly once, even long past the deadline
+}
+
+TEST(Watchdog, KicksPushTheDeadlineOut) {
+  std::atomic<int> fired{0};
+  Watchdog dog(std::chrono::milliseconds(100), [&] { ++fired; });
+  for (int i = 0; i < 10; ++i) {
+    std::this_thread::sleep_for(5ms);
+    dog.kick();
+  }
+  dog.stop();
+  EXPECT_FALSE(dog.fired());
+  EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(Watchdog, StopDisarmsBeforeDeadline) {
+  std::atomic<int> fired{0};
+  {
+    Watchdog dog(std::chrono::milliseconds(250), [&] { ++fired; });
+    dog.stop();
+  }
+  EXPECT_EQ(fired.load(), 0);
+}
+
+// ------------------------------------------------------------ checksum
+
+TEST(Checksum, SensitiveToAnySingleBit) {
+  Grid2D<float> g(16, 8);
+  g.fill_random(3);
+  const std::uint64_t base = grid_checksum(g);
+  // Flip one mantissa bit of one cell: the digest must change.
+  std::uint32_t bits;
+  std::memcpy(&bits, &g.at(5, 3), sizeof(bits));
+  bits ^= 1u;
+  std::memcpy(&g.at(5, 3), &bits, sizeof(bits));
+  EXPECT_NE(grid_checksum(g), base);
+}
+
+TEST(Checksum, EqualGridsEqualDigests) {
+  Grid3D<float> a(6, 5, 4);
+  a.fill_random(11);
+  Grid3D<float> b = a;
+  EXPECT_EQ(grid_checksum(a), grid_checksum(b));
+}
+
+TEST(Checksum, DistinguishesPermutedBytes) {
+  const unsigned char x[2] = {1, 2};
+  const unsigned char y[2] = {2, 1};
+  EXPECT_NE(bytes_checksum(x, 2), bytes_checksum(y, 2));
+}
+
+// ---------------------------------------------------------- checkpoint
+
+TEST(Checkpoint, InMemoryRoundTrip) {
+  Grid2D<float> g(10, 6);
+  g.fill_random(5);
+  CheckpointStore<Grid2D<float>> store;
+  EXPECT_FALSE(store.has());
+  store.save(g, 8);
+  EXPECT_TRUE(store.has());
+  EXPECT_EQ(store.steps_done(), 8);
+  g.fill_random(99);  // diverge
+  Grid2D<float> restored(10, 6);
+  EXPECT_EQ(store.restore(restored), 8);
+  Grid2D<float> expected(10, 6);
+  expected.fill_random(5);
+  EXPECT_EQ(grid_checksum(restored), grid_checksum(expected));
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  Grid3D<float> g(5, 4, 3);
+  g.fill_random(13);
+  CheckpointStore<Grid3D<float>> store;
+  store.save(g, 21);
+  const std::string path = ::testing::TempDir() + "fault_ckpt_test.bin";
+  store.save_file(path);
+
+  CheckpointStore<Grid3D<float>> loaded;
+  loaded.load_file(path);
+  EXPECT_TRUE(loaded.has());
+  EXPECT_EQ(loaded.steps_done(), 21);
+  Grid3D<float> restored(5, 4, 3);
+  loaded.restore(restored);
+  EXPECT_EQ(grid_checksum(restored), grid_checksum(g));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RestoreFromEmptyThrows) {
+  CheckpointStore<Grid2D<float>> store;
+  Grid2D<float> g(2, 2);
+  EXPECT_THROW(store.restore(g), ConfigError);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,0 +1,307 @@
+// End-to-end resilience tests: injected stalls, hangs, SEUs, transient
+// shim failures, and cluster board dropouts, each recovered to an output
+// bit-exact with the naive reference.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "cluster/multi_fpga.hpp"
+#include "core/concurrent_accelerator.hpp"
+#include "fault/checksum.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/resilient_runner.hpp"
+#include "fpga/device_spec.hpp"
+#include "grid/grid_compare.hpp"
+#include "ocl/opencl_shim.hpp"
+#include "stencil/reference.hpp"
+#include "stencil/star_stencil.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+using namespace std::chrono_literals;
+
+// The demo workload shared by these tests: small enough to replay a pass
+// in milliseconds, deep enough (3 temporal stages, 3 spatial blocks) that
+// every stage thread and block boundary is exercised.
+AcceleratorConfig test_config() {
+  AcceleratorConfig cfg;
+  cfg.dims = 2;
+  cfg.radius = 2;
+  cfg.bsize_x = 48;
+  cfg.parvec = 4;
+  cfg.partime = 3;
+  cfg.validate();
+  return cfg;
+}
+
+TapSet test_taps() { return StarStencil::make_benchmark(2, 2).to_taps(); }
+
+Grid2D<float> test_grid() {
+  Grid2D<float> g(96, 48);
+  g.fill_random(17);
+  return g;
+}
+
+Grid2D<float> reference_result(int iterations) {
+  Grid2D<float> want = test_grid();
+  reference_run(test_taps(), want, iterations);
+  return want;
+}
+
+RetryPolicy fast_policy(int max_attempts = 4) {
+  RetryPolicy p;
+  p.max_attempts = max_attempts;
+  p.base_delay = std::chrono::microseconds(1);
+  return p;
+}
+
+// ------------------------------------------------- deadlock freedom
+
+// Without a watchdog an injected stall would deadlock run_concurrent
+// forever; with one, the pass must unwind -- all threads joined (the call
+// returns), typed error thrown, input grid untouched.
+TEST(Resilience, WatchdogUnwindsStalledReadKernel) {
+  FaultInjector fi(FaultPlan::parse("seed=3,channel_stall:n=1"));
+  ConcurrentOptions opts;
+  opts.injector = &fi;
+  opts.watchdog_deadline = 200ms;
+
+  Grid2D<float> g = test_grid();
+  const std::uint64_t before = grid_checksum(g);
+  EXPECT_THROW(run_concurrent(test_taps(), test_config(), g, 3, opts),
+               PassAbortedError);
+  EXPECT_EQ(grid_checksum(g), before);  // output only commits on success
+
+  // The stall budget is spent: the same injector now runs clean.
+  const RunStats stats = run_concurrent(test_taps(), test_config(), g, 3, opts);
+  EXPECT_EQ(stats.time_steps, 3);
+  EXPECT_TRUE(compare_exact(g, reference_result(3)).identical());
+}
+
+TEST(Resilience, WatchdogUnwindsHungProcessingElement) {
+  FaultInjector fi(FaultPlan::parse("seed=3,kernel_hang:n=1"));
+  ConcurrentOptions opts;
+  opts.injector = &fi;
+  opts.watchdog_deadline = 200ms;
+
+  Grid2D<float> g = test_grid();
+  const std::uint64_t before = grid_checksum(g);
+  EXPECT_THROW(run_concurrent(test_taps(), test_config(), g, 3, opts),
+               PassAbortedError);
+  EXPECT_EQ(grid_checksum(g), before);
+  EXPECT_EQ(fi.fires(FaultSite::kernel_hang), 1);
+}
+
+TEST(Resilience, RunResilientReplaysWatchdogTrips) {
+  FaultInjector fi(
+      FaultPlan::parse("seed=3,channel_stall:n=1,kernel_hang:n=1"));
+  ResilienceOptions opts;
+  opts.injector = &fi;
+  opts.watchdog_deadline = 200ms;
+  opts.max_pass_attempts = 4;
+
+  Grid2D<float> g = test_grid();
+  const RunStats stats = run_resilient(test_taps(), test_config(), g, 12, opts);
+  EXPECT_TRUE(compare_exact(g, reference_result(12)).identical());
+  EXPECT_EQ(stats.watchdog_trips, 2);  // one stall + one hang, both replayed
+  EXPECT_EQ(stats.pass_replays, 2);
+  EXPECT_FALSE(stats.degraded_to_reference);
+  EXPECT_EQ(stats.faults_injected, 2);
+}
+
+// ------------------------------------------------------ SEU detection
+
+TEST(Resilience, BitFlipsDetectedByChecksumAndReplayed) {
+  // 150 flips land in the first pass attempt (the budget is exhausted
+  // well within one pass's ~5800 PE vectors), corrupt valid output, and
+  // the checksum oracle catches it; the replay runs clean.
+  FaultInjector fi(FaultPlan::parse("seed=42,seu_bit_flip:n=150"));
+  ResilienceOptions opts;
+  opts.injector = &fi;
+  opts.watchdog_deadline = 500ms;
+
+  Grid2D<float> g = test_grid();
+  const RunStats stats = run_resilient(test_taps(), test_config(), g, 12, opts);
+  EXPECT_TRUE(compare_exact(g, reference_result(12)).identical());
+  EXPECT_GE(stats.checksum_failures, 1);
+  EXPECT_GE(stats.pass_replays, 1);
+  EXPECT_EQ(stats.faults_injected, 150);
+  EXPECT_FALSE(stats.degraded_to_reference);
+}
+
+TEST(Resilience, ChecksumVerificationCanBeDisabled) {
+  // Control experiment: with verification off, the same SEU campaign
+  // silently corrupts the output -- which is exactly why the oracle
+  // defaults to on.
+  FaultInjector fi(FaultPlan::parse("seed=42,seu_bit_flip:n=150"));
+  ResilienceOptions opts;
+  opts.injector = &fi;
+  opts.watchdog_deadline = 500ms;
+  opts.verify_checksums = false;
+
+  Grid2D<float> g = test_grid();
+  const RunStats stats = run_resilient(test_taps(), test_config(), g, 12, opts);
+  EXPECT_EQ(stats.checksum_failures, 0);
+  EXPECT_EQ(stats.pass_replays, 0);
+  EXPECT_FALSE(compare_exact(g, reference_result(12)).identical());
+}
+
+// --------------------------------------------------- graceful degrade
+
+TEST(Resilience, DegradesToReferenceWhenDeviceKeepsFailing) {
+  // An unlimited hang budget means every device attempt trips the
+  // watchdog; after max_pass_attempts the runner restores the last
+  // checkpoint and finishes on the CPU -- still bit-exact.
+  FaultInjector fi(FaultPlan::parse("seed=3,kernel_hang:p=1:n=inf"));
+  ResilienceOptions opts;
+  opts.injector = &fi;
+  opts.watchdog_deadline = 100ms;
+  opts.max_pass_attempts = 2;
+
+  Grid2D<float> g = test_grid();
+  const RunStats stats = run_resilient(test_taps(), test_config(), g, 12, opts);
+  EXPECT_TRUE(stats.degraded_to_reference);
+  EXPECT_EQ(stats.watchdog_trips, 2);
+  EXPECT_EQ(stats.checkpoint_restores, 1);
+  EXPECT_EQ(stats.time_steps, 12);
+  EXPECT_TRUE(compare_exact(g, reference_result(12)).identical());
+}
+
+TEST(Resilience, CheckpointCadenceCountsSnapshots) {
+  ResilienceOptions opts;
+  opts.checkpoint_interval = 1;
+  Grid2D<float> g = test_grid();
+  // Fault-free: 12 iterations = 4 passes of partime 3, one snapshot each,
+  // plus the t=0 snapshot.
+  const RunStats stats = run_resilient(test_taps(), test_config(), g, 12, opts);
+  EXPECT_EQ(stats.checkpoints_saved, 5);
+  EXPECT_EQ(stats.faults_injected, 0);
+  EXPECT_TRUE(compare_exact(g, reference_result(12)).identical());
+}
+
+// ------------------------------------------------------- shim retries
+
+TEST(Resilience, BuildWithRetryAbsorbsTransientFaults) {
+  FaultInjector fi(FaultPlan::parse("shim_build:n=2"));
+  ScopedFaultInjector scope(fi);
+  const ocl::Platform platform = ocl::Platform::intel_fpga_sdk();
+  const ocl::Context ctx(platform.device_by_name("Arria"));
+
+  std::int64_t retries = 0;
+  const ocl::Program program = ocl::Program::build_with_retry(
+      ctx, "-DDIM=2 -DRAD=2 -DBSIZE_X=256 -DPAR_VEC=4 -DPAR_TIME=2",
+      fast_policy(), &retries);
+  EXPECT_EQ(retries, 2);
+  EXPECT_EQ(program.config().radius, 2);
+}
+
+TEST(Resilience, BuildWithRetryGivesUpWhenFaultPersists) {
+  FaultInjector fi(FaultPlan::parse("shim_build:n=10"));
+  ScopedFaultInjector scope(fi);
+  const ocl::Platform platform = ocl::Platform::intel_fpga_sdk();
+  const ocl::Context ctx(platform.device_by_name("Arria"));
+  EXPECT_THROW(ocl::Program::build_with_retry(
+                   ctx, "-DDIM=2 -DRAD=2 -DBSIZE_X=256 -DPAR_VEC=4"
+                        " -DPAR_TIME=2",
+                   fast_policy(3)),
+               TransientError);
+  EXPECT_EQ(fi.fires(FaultSite::shim_build), 3);  // one per attempt
+}
+
+TEST(Resilience, FatalBuildErrorsAreNeverRetried) {
+  FaultInjector fi(FaultPlan::parse("shim_build:n=1"));
+  ScopedFaultInjector scope(fi);
+  const ocl::Platform platform = ocl::Platform::intel_fpga_sdk();
+  const ocl::Context ctx(platform.device_by_name("Arria"));
+  // Attempt 1 absorbs the injected transient; attempt 2 reaches the
+  // malformed option string, which is fatal and must surface as
+  // BuildError without burning the remaining retry budget.
+  EXPECT_THROW(ocl::Program::build_with_retry(ctx, "not-a-macro",
+                                              fast_policy(4)),
+               ocl::BuildError);
+  EXPECT_EQ(fi.fires(FaultSite::shim_build), 1);
+}
+
+TEST(Resilience, TransferFaultsAreRetryable) {
+  FaultInjector fi(FaultPlan::parse("shim_transfer:n=1"));
+  ScopedFaultInjector scope(fi);
+  const ocl::Platform platform = ocl::Platform::intel_fpga_sdk();
+  const ocl::Context ctx(platform.device_by_name("Arria"));
+  ocl::Buffer buf(ctx, 16);
+  ocl::CommandQueue queue(ctx);
+  const float src[4] = {1, 2, 3, 4};
+  std::int64_t retries = 0;
+  retry_transient(fast_policy(),
+                  [&] { queue.enqueue_write_buffer(buf, src, 16); }, &retries);
+  EXPECT_EQ(retries, 1);
+  float back[4] = {0, 0, 0, 0};
+  queue.enqueue_read_buffer(buf, back, 16);
+  EXPECT_EQ(back[3], 4.0f);
+}
+
+// --------------------------------------------------- cluster failover
+
+TEST(Resilience, ClusterSurvivesBoardDropout) {
+  FaultInjector fi(
+      FaultPlan::parse("seed=11,board_dropout:n=1,link_degrade:n=2"));
+  ScopedFaultInjector scope(fi);
+  MultiFpgaCluster cluster(4, test_taps(), test_config(), arria10_gx1150(),
+                           LinkSpec{});
+  EXPECT_EQ(cluster.alive_boards(), 4);
+
+  Grid2D<float> g = test_grid();
+  const ClusterStats stats = cluster.run(g, 12);
+  // Slab re-partitioning across the survivors is value-transparent.
+  EXPECT_TRUE(compare_exact(g, reference_result(12)).identical());
+  EXPECT_EQ(stats.board_dropouts, 1);
+  EXPECT_EQ(cluster.alive_boards(), 3);
+  EXPECT_EQ(stats.pass_replays, 1);
+  EXPECT_GE(stats.link_degraded_passes, 1);
+  // A degraded link costs modeled time, never correctness.
+  EXPECT_GT(stats.exchange_seconds, 0.0);
+}
+
+TEST(Resilience, ClusterDropoutsPersistAcrossRuns) {
+  FaultInjector fi(FaultPlan::parse("seed=11,board_dropout:n=1"));
+  ScopedFaultInjector scope(fi);
+  MultiFpgaCluster cluster(3, test_taps(), test_config(), arria10_gx1150(),
+                           LinkSpec{});
+  Grid2D<float> g = test_grid();
+  (void)cluster.run(g, 6);
+  EXPECT_EQ(cluster.alive_boards(), 2);
+  // A dead board stays dead: the next run starts from the survivors.
+  Grid2D<float> h = test_grid();
+  const ClusterStats stats = cluster.run(h, 6);
+  EXPECT_EQ(stats.board_dropouts, 0);
+  EXPECT_TRUE(compare_exact(h, reference_result(6)).identical());
+}
+
+// ---------------------------------------------------- whole campaigns
+
+TEST(Resilience, MixedCampaignStaysBitExact) {
+  // Four distinct fault sites in one resilient run: both stall classes,
+  // SEUs, and (via the scoped injector) transient shim probes before it.
+  FaultInjector fi(FaultPlan::parse(
+      "seed=42,channel_stall:n=1,kernel_hang:n=1,seu_bit_flip:n=150,"
+      "shim_transfer:n=1"));
+  ScopedFaultInjector scope(fi);
+  EXPECT_THROW(maybe_inject_transient(FaultSite::shim_transfer, "probe"),
+               TransientError);
+
+  ResilienceOptions opts;
+  opts.watchdog_deadline = 250ms;
+  opts.max_pass_attempts = 5;
+  Grid2D<float> g = test_grid();
+  // No explicit opts.injector: run_resilient picks up the scoped one.
+  const RunStats stats = run_resilient(test_taps(), test_config(), g, 12, opts);
+  EXPECT_TRUE(compare_exact(g, reference_result(12)).identical());
+  EXPECT_EQ(stats.watchdog_trips, 2);
+  EXPECT_GE(stats.checksum_failures, 1);
+  EXPECT_GE(stats.pass_replays, 3);
+  EXPECT_FALSE(stats.degraded_to_reference);
+  EXPECT_EQ(fi.total_fires(), 153);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

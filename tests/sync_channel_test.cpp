@@ -1,0 +1,129 @@
+// Tests for the blocking channel's shutdown and timeout semantics: the
+// watchdog unwinds a stalled pipeline by closing channels, so writers must
+// see a typed recoverable error (never an abort) and the timed variants
+// must distinguish timeout from closed.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "pipeline/sync_channel.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(SyncChannel, BlockingRoundTrip) {
+  SyncChannel<int> ch(2);
+  ch.write(1);
+  ch.write(2);
+  EXPECT_EQ(ch.read().value(), 1);
+  EXPECT_EQ(ch.read().value(), 2);
+}
+
+TEST(SyncChannel, ReadDrainsThenSeesEndOfStream) {
+  SyncChannel<int> ch(4);
+  ch.write(7);
+  ch.close();
+  EXPECT_EQ(ch.read().value(), 7);          // buffered data survives close
+  EXPECT_FALSE(ch.read().has_value());      // then end-of-stream
+}
+
+TEST(SyncChannel, WriteToClosedThrowsTyped) {
+  SyncChannel<int> ch(4);
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+  EXPECT_THROW(ch.write(1), ChannelClosedError);
+}
+
+TEST(SyncChannel, BlockedWriterUnblocksOnCloseWithTypedError) {
+  SyncChannel<int> ch(1);
+  ch.write(1);  // channel now full; the next write blocks
+  std::thread closer([&] {
+    std::this_thread::sleep_for(20ms);
+    ch.close();
+  });
+  EXPECT_THROW(ch.write(2), ChannelClosedError);
+  closer.join();
+}
+
+TEST(SyncChannel, BlockedReaderUnblocksOnClose) {
+  SyncChannel<int> ch(1);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(20ms);
+    ch.close();
+  });
+  EXPECT_FALSE(ch.read().has_value());
+  closer.join();
+}
+
+TEST(SyncChannel, TimedWriteOkAndTimeout) {
+  SyncChannel<int> ch(1);
+  int v = 1;
+  EXPECT_EQ(ch.try_write_for(v, 5ms), ChannelStatus::ok);
+  int w = 2;
+  EXPECT_EQ(ch.try_write_for(w, 5ms), ChannelStatus::timed_out);
+  EXPECT_EQ(w, 2);  // value not consumed on timeout
+  EXPECT_EQ(ch.read().value(), 1);
+}
+
+TEST(SyncChannel, TimedReadOkAndTimeout) {
+  SyncChannel<int> ch(1);
+  int out = -1;
+  EXPECT_EQ(ch.read_for(out, 5ms), ChannelStatus::timed_out);
+  ch.write(9);
+  EXPECT_EQ(ch.read_for(out, 5ms), ChannelStatus::ok);
+  EXPECT_EQ(out, 9);
+}
+
+// The ordering the watchdog drain loops rely on: a full/empty channel
+// first reports timed_out, and after close() reports closed -- never the
+// other way around, and never an exception.
+TEST(SyncChannel, TimedWriteTimeoutThenClosedOrdering) {
+  SyncChannel<int> ch(1);
+  int v = 1;
+  ASSERT_EQ(ch.try_write_for(v, 1ms), ChannelStatus::ok);
+  int w = 2;
+  EXPECT_EQ(ch.try_write_for(w, 1ms), ChannelStatus::timed_out);
+  ch.close();
+  EXPECT_EQ(ch.try_write_for(w, 1ms), ChannelStatus::closed);
+  // closed wins over full: no timeout is reported once the channel closed
+  EXPECT_EQ(ch.try_write_for(w, 0ms), ChannelStatus::closed);
+}
+
+TEST(SyncChannel, TimedReadTimeoutThenClosedOrdering) {
+  SyncChannel<int> ch(1);
+  int out = -1;
+  EXPECT_EQ(ch.read_for(out, 1ms), ChannelStatus::timed_out);
+  ch.write(3);
+  ch.close();
+  // buffered data still drains as ok after close ...
+  EXPECT_EQ(ch.read_for(out, 1ms), ChannelStatus::ok);
+  EXPECT_EQ(out, 3);
+  // ... and only a closed-and-drained channel reports closed
+  EXPECT_EQ(ch.read_for(out, 1ms), ChannelStatus::closed);
+}
+
+TEST(SyncChannel, BlockedTimedWriterSeesCloseBeforeDeadline) {
+  SyncChannel<int> ch(1);
+  ch.write(1);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(10ms);
+    ch.close();
+  });
+  int w = 2;
+  // Deadline far beyond the close: the close must win, as closed.
+  EXPECT_EQ(ch.try_write_for(w, 5s), ChannelStatus::closed);
+  closer.join();
+}
+
+TEST(SyncChannel, CloseIsIdempotent) {
+  SyncChannel<int> ch(1);
+  ch.close();
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+}
+
+}  // namespace
+}  // namespace fpga_stencil
