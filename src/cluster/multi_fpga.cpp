@@ -1,17 +1,54 @@
 #include "cluster/multi_fpga.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "core/stencil_accelerator.hpp"
 #include "fault/fault_injector.hpp"
 #include "fpga/fmax_model.hpp"
 #include "model/performance_model.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fpga_stencil {
 
 namespace {
 /// Bandwidth penalty of a pass on a degraded interconnect.
 constexpr double kLinkDegradeFactor = 4.0;
+
+/// Single counting mechanism for cluster fault events: tallies go through
+/// metrics-registry counters (the attached Telemetry, or a run-local one)
+/// and the ClusterStats fields are filled from the deltas at the end.
+struct ClusterCounters {
+  Counter& dropouts;
+  Counter& replays;
+  Counter& degraded;
+  std::int64_t base_dropouts, base_replays, base_degraded;
+
+  explicit ClusterCounters(Telemetry& tel)
+      : dropouts(tel.metrics().counter("cluster.board_dropouts")),
+        replays(tel.metrics().counter("cluster.pass_replays")),
+        degraded(tel.metrics().counter("cluster.link_degraded_passes")),
+        base_dropouts(dropouts.value()),
+        base_replays(replays.value()),
+        base_degraded(degraded.value()) {}
+
+  void fill(ClusterStats& stats) const {
+    stats.board_dropouts = dropouts.value() - base_dropouts;
+    stats.pass_replays = replays.value() - base_replays;
+    stats.link_degraded_passes = degraded.value() - base_degraded;
+  }
+};
+
+/// Publishes the modeled steady-state throughput of one board's slab.
+void record_board_throughput(Telemetry* tel, int board,
+                             std::int64_t cells_per_pass, int steps,
+                             double pass_seconds) {
+  if (!tel || pass_seconds <= 0) return;
+  tel->metrics()
+      .gauge("cluster.board." + std::to_string(board) + ".cells_per_s")
+      .set(std::int64_t(double(cells_per_pass) * double(steps) /
+                        pass_seconds));
+}
 }  // namespace
 
 MultiFpgaCluster::MultiFpgaCluster(int boards, const TapSet& taps,
@@ -50,6 +87,11 @@ ClusterStats MultiFpgaCluster::run(Grid2D<float>& grid, int iterations) {
   const int rad = cfg_.radius;
   FaultInjector* fi = active_fault_injector();
 
+  Telemetry local_telemetry;
+  Telemetry* const attached = cfg_.telemetry;
+  Telemetry& tel = attached ? *attached : local_telemetry;
+  ClusterCounters counters(tel);
+
   StencilAccelerator accel(taps_, cfg_);
   ClusterStats stats;
   stats.boards = boards_;
@@ -75,8 +117,11 @@ ClusterStats MultiFpgaCluster::run(Grid2D<float>& grid, int iterations) {
       for (int b = 0; b < alive_; ++b) {
         if (alive_ > 1 && fi && fi->should_fire(FaultSite::board_dropout)) {
           --alive_;
-          ++stats.board_dropouts;
-          ++stats.pass_replays;
+          counters.dropouts.add(1);
+          counters.replays.add(1);
+          if (attached) {
+            attached->tracer().instant("board_dropout", 0, "cluster");
+          }
           replay = true;
           break;
         }
@@ -96,8 +141,9 @@ ClusterStats MultiFpgaCluster::run(Grid2D<float>& grid, int iterations) {
                     next.data() + y0 * nx);
 
         if (b > 0) halo_bytes += 2 * halo * nx * 4;
-        slowest_board =
-            std::max(slowest_board, board_pass_seconds(nx, ny, hi - lo));
+        const double board_secs = board_pass_seconds(nx, ny, hi - lo);
+        record_board_throughput(attached, b, rows * nx, steps, board_secs);
+        slowest_board = std::max(slowest_board, board_secs);
       }
     }
     std::swap(grid, next);
@@ -109,7 +155,10 @@ ClusterStats MultiFpgaCluster::run(Grid2D<float>& grid, int iterations) {
                    : 0.0;
     if (alive_ > 1 && fi && fi->should_fire(FaultSite::link_degrade)) {
       exchange *= kLinkDegradeFactor;
-      ++stats.link_degraded_passes;
+      counters.degraded.add(1);
+      if (attached) {
+        attached->tracer().instant("link_degrade", 0, "cluster");
+      }
     }
     stats.compute_seconds += slowest_board;
     stats.exchange_seconds += exchange;
@@ -117,6 +166,7 @@ ClusterStats MultiFpgaCluster::run(Grid2D<float>& grid, int iterations) {
     ++stats.passes;
   }
   stats.total_seconds = stats.compute_seconds + stats.exchange_seconds;
+  counters.fill(stats);
   return stats;
 }
 
@@ -128,6 +178,11 @@ ClusterStats MultiFpgaCluster::run(Grid3D<float>& grid, int iterations) {
   FPGASTENCIL_EXPECT(boards_ <= nz, "more boards than grid planes");
   const int rad = cfg_.radius;
   FaultInjector* fi = active_fault_injector();
+
+  Telemetry local_telemetry;
+  Telemetry* const attached = cfg_.telemetry;
+  Telemetry& tel = attached ? *attached : local_telemetry;
+  ClusterCounters counters(tel);
 
   StencilAccelerator accel(taps_, cfg_);
   ClusterStats stats;
@@ -151,8 +206,11 @@ ClusterStats MultiFpgaCluster::run(Grid3D<float>& grid, int iterations) {
       for (int b = 0; b < alive_; ++b) {
         if (alive_ > 1 && fi && fi->should_fire(FaultSite::board_dropout)) {
           --alive_;
-          ++stats.board_dropouts;
-          ++stats.pass_replays;
+          counters.dropouts.add(1);
+          counters.replays.add(1);
+          if (attached) {
+            attached->tracer().instant("board_dropout", 0, "cluster");
+          }
           replay = true;
           break;
         }
@@ -169,8 +227,10 @@ ClusterStats MultiFpgaCluster::run(Grid3D<float>& grid, int iterations) {
                     std::size_t(plane * planes), next.data() + z0 * plane);
 
         if (b > 0) halo_bytes += 2 * halo * plane * 4;
-        slowest_board =
-            std::max(slowest_board, board_pass_seconds(nx, ny, hi - lo));
+        const double board_secs = board_pass_seconds(nx, ny, hi - lo);
+        record_board_throughput(attached, b, planes * plane, steps,
+                                board_secs);
+        slowest_board = std::max(slowest_board, board_secs);
       }
     }
     std::swap(grid, next);
@@ -183,7 +243,10 @@ ClusterStats MultiFpgaCluster::run(Grid3D<float>& grid, int iterations) {
             : 0.0;
     if (alive_ > 1 && fi && fi->should_fire(FaultSite::link_degrade)) {
       exchange *= kLinkDegradeFactor;
-      ++stats.link_degraded_passes;
+      counters.degraded.add(1);
+      if (attached) {
+        attached->tracer().instant("link_degrade", 0, "cluster");
+      }
     }
     stats.compute_seconds += slowest_board;
     stats.exchange_seconds += exchange;
@@ -191,6 +254,7 @@ ClusterStats MultiFpgaCluster::run(Grid3D<float>& grid, int iterations) {
     ++stats.passes;
   }
   stats.total_seconds = stats.compute_seconds + stats.exchange_seconds;
+  counters.fill(stats);
   return stats;
 }
 

@@ -1,0 +1,289 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace fpga_stencil {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------
+
+void JsonWriter::newline_indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;  // top-level document value
+  if (stack_.back() == Scope::object) {
+    if (!key_pending_) {
+      throw std::logic_error("JsonWriter: object value requires a key()");
+    }
+    key_pending_ = false;
+    return;  // key() already emitted separator and indent
+  }
+  if (!first_in_scope_) os_ << ',';
+  newline_indent();
+  first_in_scope_ = false;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Scope::object) {
+    throw std::logic_error("JsonWriter: key() outside an object");
+  }
+  if (key_pending_) throw std::logic_error("JsonWriter: dangling key()");
+  if (!first_in_scope_) os_ << ',';
+  newline_indent();
+  first_in_scope_ = false;
+  os_ << '"' << json_escape(k) << "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Scope::object);
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::object || key_pending_) {
+    throw std::logic_error("JsonWriter: unbalanced end_object()");
+  }
+  const bool empty = first_in_scope_;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  os_ << '}';
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Scope::array);
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::array) {
+    throw std::logic_error("JsonWriter: unbalanced end_array()");
+  }
+  const bool empty = first_in_scope_;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  os_ << ']';
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {  // JSON has no Inf/NaN literals
+    os_ << "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+// ---------------------------------------------------------------------
+// json_is_valid: strict recursive-descent checker
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct JsonChecker {
+  std::string_view s;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  [[nodiscard]] bool eof() const { return pos >= s.size(); }
+  [[nodiscard]] char peek() const { return s[pos]; }
+
+  void skip_ws() {
+    while (!eof() && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                      s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || s[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      const char c = s[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (eof()) return false;
+        const char e = s[pos++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(s[pos]))) {
+              return false;
+            }
+            ++pos;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      return false;
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(s[pos]))) ++pos;
+    return true;
+  }
+
+  bool number() {
+    consume('-');
+    if (consume('0')) {
+      // leading zero must not be followed by more digits
+      if (!eof() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+        return false;
+      }
+    } else if (!digits()) {
+      return false;
+    }
+    if (consume('.') && !digits()) return false;
+    if (!eof() && (s[pos] == 'e' || s[pos] == 'E')) {
+      ++pos;
+      if (!eof() && (s[pos] == '+' || s[pos] == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = number(); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool object() {
+    consume('{');
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    consume('[');
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_is_valid(std::string_view text) {
+  JsonChecker c{text};
+  if (!c.value()) return false;
+  c.skip_ws();
+  return c.eof();
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,67 @@
+// Minimal JSON emission and validation, dependency-free.
+//
+// JsonWriter is a streaming emitter with automatic comma/nesting
+// management, enough for the telemetry exports (metric snapshots, Chrome
+// trace_event files) and the machine-readable bench artifacts
+// (BENCH_*.json). json_is_valid is a strict RFC 8259 recursive-descent
+// checker used by tests and CLI self-checks to prove emitted documents are
+// well-formed without pulling in a parser library.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpga_stencil {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string json_escape(std::string_view s);
+
+/// Strict well-formedness check of a complete JSON document.
+bool json_is_valid(std::string_view text);
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("name").value("x");
+///   w.key("rows").begin_array();
+///   w.value(1).value(2);
+///   w.end_array();
+///   w.end_object();
+/// Emits 2-space-indented output. Misuse (value without key inside an
+/// object, unbalanced end_*) throws std::logic_error.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the member key; the next call must produce its value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(std::int64_t(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+ private:
+  enum class Scope { object, array };
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  bool first_in_scope_ = true;
+  bool key_pending_ = false;
+};
+
+}  // namespace fpga_stencil

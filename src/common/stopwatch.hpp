@@ -3,6 +3,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace fpga_stencil {
 
@@ -11,6 +12,15 @@ class Stopwatch {
   Stopwatch() : start_(Clock::now()) {}
 
   void reset() { start_ = Clock::now(); }
+
+  /// Elapsed monotonic nanoseconds since construction or the last reset().
+  /// Integer all the way: span timestamps and blocked-time counters must
+  /// not round-trip through a double of seconds.
+  [[nodiscard]] std::int64_t nanoseconds() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
 
   /// Elapsed seconds since construction or the last reset().
   [[nodiscard]] double seconds() const {

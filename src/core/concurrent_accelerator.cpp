@@ -3,11 +3,14 @@
 #include <atomic>
 #include <cstring>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/stopwatch.hpp"
 #include "fault/watchdog.hpp"
 #include "pipeline/sync_channel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fpga_stencil {
 namespace {
@@ -51,15 +54,32 @@ void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
   FaultInjector* fi = opts.injector;
   if (fi) fi->reset_stalls();
 
+  // Trace lanes: 0 = read kernel, 1..stages = PEs, stages+1 = write kernel.
+  Telemetry* const tel = opts.telemetry;
+  const int write_lane = stages + 1;
+  if (tel) {
+    Tracer& tr = tel->tracer();
+    tr.set_thread_name(0, "read_kernel");
+    for (int k = 0; k < stages; ++k) {
+      tr.set_thread_name(k + 1, "PE" + std::to_string(k));
+    }
+    tr.set_thread_name(write_lane, "write_kernel");
+  }
+
   std::vector<std::unique_ptr<SyncChannel<Vec>>> channels;
   channels.reserve(std::size_t(stages) + 1);
   for (int i = 0; i <= stages; ++i) {
     channels.push_back(std::make_unique<SyncChannel<Vec>>(opts.channel_depth));
+    if (tel) {
+      channels.back()->attach_probe(
+          make_channel_probe(*tel, "channel." + std::to_string(i)));
+    }
   }
 
   std::atomic<bool> aborted{false};
   const auto unwind = [&] {
     aborted.store(true, std::memory_order_release);
+    if (tel) tel->tracer().instant("pipeline_unwind", write_lane);
     if (fi) fi->release_stalls();
     for (auto& ch : channels) ch->close();
   };
@@ -72,8 +92,15 @@ void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
   std::vector<std::thread> threads;
   threads.reserve(std::size_t(stages) + 1);
 
+  Tracer::Span pass_span;
+  if (tel) pass_span = tel->tracer().span("pass", write_lane);
+  const Stopwatch pass_clock;
+  const std::int64_t written_before = stats.cells_written;
+
   // Read kernel.
   threads.emplace_back([&] {
+    Tracer::Span span;
+    if (tel) span = tel->tracer().span("read_kernel", 0);
     try {
       for (std::size_t b = 0; b < geo.blocks.size(); ++b) {
         for (std::int64_t q = 0; q < geo.vectors_per_block; ++q) {
@@ -99,6 +126,13 @@ void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
   // Compute PEs: each an autorun-style loop over its input channel.
   for (int k = 0; k < stages; ++k) {
     threads.emplace_back([&, k] {
+      Tracer::Span span;
+      Counter* vectors = nullptr;
+      if (tel) {
+        span = tel->tracer().span("PE" + std::to_string(k), k + 1);
+        vectors =
+            &tel->metrics().counter("pe." + std::to_string(k) + ".vectors");
+      }
       try {
         ProcessingElement pe(taps, cfg, k);
         Vec out(std::size_t(cfg.parvec));
@@ -124,6 +158,7 @@ void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
               inject_bit_flip(*fi, *in);
             }
             pe.process_vector(q, *in, out);
+            if (vectors) vectors->add(1);
             channels[std::size_t(k) + 1]->write(out);
           }
         }
@@ -135,6 +170,8 @@ void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
   }
 
   // Write kernel runs on the calling thread.
+  Tracer::Span write_span;
+  if (tel) write_span = tel->tracer().span("write_kernel", write_lane);
   bool underrun = false;
   for (std::size_t b = 0; b < geo.blocks.size() && !underrun; ++b) {
     for (std::int64_t q = 0; q < geo.vectors_per_block; ++q) {
@@ -152,10 +189,19 @@ void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
       ++stats.block_passes;
     }
   }
+  write_span.end();
 
   if (underrun) unwind();  // make sure every stage observes shutdown
   if (dog) dog->stop();
   for (std::thread& t : threads) t.join();
+  pass_span.end();
+
+  if (tel) {
+    if (underrun) tel->metrics().counter("pipeline.underruns").add(1);
+    record_pass_metrics(*tel, "pipeline",
+                        stats.cells_written - written_before,
+                        pass_clock.nanoseconds());
+  }
 
   if (underrun) {
     throw PassAbortedError(
@@ -175,6 +221,8 @@ RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
   FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
   // Resolve the stage lag exactly as StencilAccelerator does.
   AcceleratorConfig rcfg = StencilAccelerator(taps, cfg).config();
+  ConcurrentOptions ropts = options;
+  if (!ropts.telemetry) ropts.telemetry = rcfg.telemetry;
 
   RunStats stats;
   Grid2D<float> scratch(grid.nx(), grid.ny());
@@ -227,7 +275,7 @@ RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
       return written;
     };
 
-    run_pass_concurrent(taps, rcfg, geo, steps, options, stats);
+    run_pass_concurrent(taps, rcfg, geo, steps, ropts, stats);
     std::swap(grid, scratch);
     remaining -= steps;
     stats.time_steps += steps;
@@ -242,6 +290,8 @@ RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
   FPGASTENCIL_EXPECT(cfg.dims == 3, "3D run on a 2D configuration");
   FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
   AcceleratorConfig rcfg = StencilAccelerator(taps, cfg).config();
+  ConcurrentOptions ropts = options;
+  if (!ropts.telemetry) ropts.telemetry = rcfg.telemetry;
 
   RunStats stats;
   Grid3D<float> scratch(grid.nx(), grid.ny(), grid.nz());
@@ -310,7 +360,7 @@ RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
       return written;
     };
 
-    run_pass_concurrent(taps, rcfg, geo, steps, options, stats);
+    run_pass_concurrent(taps, rcfg, geo, steps, ropts, stats);
     std::swap(grid, scratch);
     remaining -= steps;
     stats.time_steps += steps;

@@ -36,6 +36,11 @@ struct ConcurrentOptions {
   FaultInjector* injector = nullptr;
   /// No-progress deadline at the write kernel; 0 disables the watchdog.
   std::chrono::milliseconds watchdog_deadline{0};
+  /// Observability hook; falls back to AcceleratorConfig::telemetry when
+  /// null. With a hook attached every pass records kernel spans (one trace
+  /// lane per pipeline stage), channel depth high-water marks and
+  /// blocked-time counters, and per-pass cell throughput.
+  Telemetry* telemetry = nullptr;
 };
 
 /// Advances `grid` by `iterations` time steps in place using one thread

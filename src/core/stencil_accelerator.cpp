@@ -4,6 +4,9 @@
 #include <span>
 #include <utility>
 
+#include "common/stopwatch.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace fpga_stencil {
 namespace {
 
@@ -52,7 +55,17 @@ RunStats StencilAccelerator::run(Grid2D<float>& grid, int iterations) {
   int remaining = iterations;
   while (remaining > 0) {
     const int steps = std::min(remaining, cfg_.partime);
+    const std::int64_t written_before = stats.cells_written;
+    Tracer::Span span;
+    if (cfg_.telemetry) span = cfg_.telemetry->tracer().span("sync_pass", 0, "sync");
+    const Stopwatch pass_clock;
     run_pass(grid, scratch, steps, stats);
+    if (cfg_.telemetry) {
+      span.end();
+      record_pass_metrics(*cfg_.telemetry, "sync",
+                          stats.cells_written - written_before,
+                          pass_clock.nanoseconds());
+    }
     std::swap(grid, scratch);
     remaining -= steps;
     stats.time_steps += steps;
@@ -69,7 +82,17 @@ RunStats StencilAccelerator::run(Grid3D<float>& grid, int iterations) {
   int remaining = iterations;
   while (remaining > 0) {
     const int steps = std::min(remaining, cfg_.partime);
+    const std::int64_t written_before = stats.cells_written;
+    Tracer::Span span;
+    if (cfg_.telemetry) span = cfg_.telemetry->tracer().span("sync_pass", 0, "sync");
+    const Stopwatch pass_clock;
     run_pass(grid, scratch, steps, stats);
+    if (cfg_.telemetry) {
+      span.end();
+      record_pass_metrics(*cfg_.telemetry, "sync",
+                          stats.cells_written - written_before,
+                          pass_clock.nanoseconds());
+    }
     std::swap(grid, scratch);
     remaining -= steps;
     stats.time_steps += steps;

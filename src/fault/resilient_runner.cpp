@@ -2,12 +2,64 @@
 
 #include <algorithm>
 
+#include "common/stopwatch.hpp"
 #include "fault/checkpoint.hpp"
 #include "fault/checksum.hpp"
 #include "stencil/reference.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fpga_stencil {
 namespace {
+
+/// The single counting mechanism for resilience events: every tally goes
+/// through metrics-registry counters (the caller's attached Telemetry, or
+/// a run-local one when observability is off), and the RunStats fields are
+/// filled from the counter deltas at the end -- thin accessors over the
+/// registry, not a second set of books.
+struct ResilienceCounters {
+  Counter& watchdog_trips;
+  Counter& checksum_failures;
+  Counter& pass_replays;
+  Counter& checkpoints_saved;
+  Counter& checkpoint_restores;
+  Counter& faults_injected;
+  Gauge& degraded;
+  Histogram& checkpoint_save_ns;
+
+  std::int64_t base_trips, base_checksum, base_replays, base_saved,
+      base_restores, base_faults;
+
+  explicit ResilienceCounters(Telemetry& tel)
+      : watchdog_trips(tel.metrics().counter("resilience.watchdog_trips")),
+        checksum_failures(
+            tel.metrics().counter("resilience.checksum_failures")),
+        pass_replays(tel.metrics().counter("resilience.pass_replays")),
+        checkpoints_saved(
+            tel.metrics().counter("resilience.checkpoints_saved")),
+        checkpoint_restores(
+            tel.metrics().counter("resilience.checkpoint_restores")),
+        faults_injected(tel.metrics().counter("resilience.faults_injected")),
+        degraded(tel.metrics().gauge("resilience.degraded_to_reference")),
+        checkpoint_save_ns(tel.metrics().histogram(
+            "resilience.checkpoint_save_ns", default_latency_bounds_ns())),
+        base_trips(watchdog_trips.value()),
+        base_checksum(checksum_failures.value()),
+        base_replays(pass_replays.value()),
+        base_saved(checkpoints_saved.value()),
+        base_restores(checkpoint_restores.value()),
+        base_faults(faults_injected.value()) {}
+
+  /// Copies this run's deltas into the public RunStats fields.
+  void fill(RunStats& stats) const {
+    stats.watchdog_trips = watchdog_trips.value() - base_trips;
+    stats.checksum_failures = checksum_failures.value() - base_checksum;
+    stats.pass_replays = pass_replays.value() - base_replays;
+    stats.checkpoints_saved = checkpoints_saved.value() - base_saved;
+    stats.checkpoint_restores = checkpoint_restores.value() - base_restores;
+    stats.faults_injected = faults_injected.value() - base_faults;
+    stats.degraded_to_reference = degraded.value() != 0;
+  }
+};
 
 template <typename GridT>
 RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
@@ -17,8 +69,19 @@ RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
   FPGASTENCIL_EXPECT(opts.max_pass_attempts >= 1,
                      "need at least one pass attempt");
   // Resolve stage lag once so every path below executes the same config.
-  StencilAccelerator golden(taps, cfg);
-  const AcceleratorConfig rcfg = golden.config();
+  // The golden model runs uninstrumented: its verification passes must not
+  // pollute the device pipeline's spans and throughput metrics.
+  AcceleratorConfig golden_cfg = cfg;
+  golden_cfg.telemetry = nullptr;
+  StencilAccelerator golden(taps, golden_cfg);
+  AcceleratorConfig rcfg = golden.config();
+  rcfg.telemetry = cfg.telemetry;
+
+  Telemetry local_telemetry;
+  Telemetry* const attached =
+      opts.telemetry ? opts.telemetry : cfg.telemetry;
+  Telemetry& tel = attached ? *attached : local_telemetry;
+  ResilienceCounters counters(tel);
 
   FaultInjector* fi = opts.injector ? opts.injector : active_fault_injector();
   const std::int64_t fires_before = fi ? fi->total_fires() : 0;
@@ -27,11 +90,17 @@ RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
   copts.channel_depth = opts.channel_depth;
   copts.injector = fi;
   copts.watchdog_deadline = opts.watchdog_deadline;
+  copts.telemetry = attached;
 
   RunStats total;
   CheckpointStore<GridT> checkpoint;
-  checkpoint.save(grid, 0);
-  ++total.checkpoints_saved;
+  const auto save_checkpoint = [&](const GridT& g, int step) {
+    const Stopwatch save_clock;
+    checkpoint.save(g, step);
+    counters.checkpoint_save_ns.observe(save_clock.nanoseconds());
+    counters.checkpoints_saved.add(1);
+  };
+  save_checkpoint(grid, 0);
 
   GridT pass_input = grid;
   int done = 0;
@@ -42,7 +111,7 @@ RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
 
     bool pass_ok = false;
     for (int attempt = 1; attempt <= opts.max_pass_attempts; ++attempt) {
-      if (attempt > 1) ++total.pass_replays;
+      if (attempt > 1) counters.pass_replays.add(1);
       try {
         const RunStats attempt_stats =
             run_concurrent(taps, rcfg, grid, steps, copts);
@@ -52,7 +121,10 @@ RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
           if (grid_checksum(expected) != grid_checksum(grid)) {
             // Corruption escaped into the output (SEU in a word whose
             // dependency cone reached a valid cell): roll back, replay.
-            ++total.checksum_failures;
+            counters.checksum_failures.add(1);
+            if (attached) {
+              attached->tracer().instant("checksum_rollback", 0, "fault");
+            }
             grid = pass_input;
             continue;
           }
@@ -64,7 +136,10 @@ RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
         // Watchdog unwound a stalled pipeline. The pass output is only
         // committed on completion, so the input is intact; restore
         // defensively and replay.
-        ++total.watchdog_trips;
+        counters.watchdog_trips.add(1);
+        if (attached) {
+          attached->tracer().instant("watchdog_trip", 0, "fault");
+        }
         grid = pass_input;
       }
     }
@@ -76,8 +151,7 @@ RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
     done += steps;
     if (opts.checkpoint_interval > 0 &&
         total.passes % opts.checkpoint_interval == 0) {
-      checkpoint.save(grid, done);
-      ++total.checkpoints_saved;
+      save_checkpoint(grid, done);
     }
   }
 
@@ -86,13 +160,17 @@ RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
     // restart from the last checkpoint on the CPU reference path --
     // slower, but bit-exact with everything the device produced.
     done = checkpoint.restore(grid);
-    ++total.checkpoint_restores;
+    counters.checkpoint_restores.add(1);
+    counters.degraded.set(1);
+    if (attached) {
+      attached->tracer().instant("degraded_to_reference", 0, "fault");
+    }
     reference_run(taps, grid, iterations - done);
     total.time_steps = iterations;
-    total.degraded_to_reference = true;
   }
 
-  if (fi) total.faults_injected += fi->total_fires() - fires_before;
+  if (fi) counters.faults_injected.add(fi->total_fires() - fires_before);
+  counters.fill(total);
   return total;
 }
 

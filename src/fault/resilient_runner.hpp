@@ -41,6 +41,11 @@ struct ResilienceOptions {
   /// Fault source; nullptr falls back to the process-wide injector (and
   /// to fault-free execution when none is installed).
   FaultInjector* injector = nullptr;
+  /// Observability hook; falls back to AcceleratorConfig::telemetry. The
+  /// resilience counters in the returned RunStats are always tallied
+  /// through a metrics registry (a run-local one when no hook is
+  /// attached), so there is a single counting mechanism.
+  Telemetry* telemetry = nullptr;
 };
 
 /// Advances `grid` by `iterations` time steps in place, surviving the

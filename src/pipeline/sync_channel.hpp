@@ -11,6 +11,12 @@
 // variants (try_write_for / read_for) report timeout vs. closed through
 // ChannelStatus without throwing, which is what the watchdog-driven
 // drain loops want.
+//
+// Telemetry: attach_probe() hands the channel pre-resolved instruments
+// (depth high-water mark, blocked-read/write nanoseconds). Updates are
+// single relaxed atomic RMWs and the blocked-time clock is read only on
+// the paths that actually block, so an unprobed channel pays nothing and a
+// probed one pays almost nothing.
 #pragma once
 
 #include <chrono>
@@ -21,6 +27,8 @@
 #include <stdexcept>
 
 #include "common/expect.hpp"
+#include "common/stopwatch.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace fpga_stencil {
 
@@ -46,16 +54,31 @@ class SyncChannel {
     FPGASTENCIL_EXPECT(capacity > 0, "channel capacity must be positive");
   }
 
+  /// Installs telemetry instruments. Not thread-safe against concurrent
+  /// channel operations: attach before the pipeline threads start.
+  void attach_probe(const ChannelProbe& probe) { probe_ = probe; }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
   /// Blocks until there is room. Throws ChannelClosedError if the channel
   /// is closed, including while blocked waiting for room.
   void write(T value) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return fifo_.size() < capacity_ || closed_; });
+    const auto room = [&] { return fifo_.size() < capacity_ || closed_; };
+    if (!room()) {
+      if (probe_.blocked_write_ns) {
+        const Stopwatch blocked;
+        not_full_.wait(lock, room);
+        probe_.blocked_write_ns->add(blocked.nanoseconds());
+      } else {
+        not_full_.wait(lock, room);
+      }
+    }
     if (closed_) {
       throw ChannelClosedError("write to a closed channel");
     }
     fifo_.push_back(std::move(value));
+    note_depth();
     not_empty_.notify_one();
   }
 
@@ -71,6 +94,7 @@ class SyncChannel {
     if (closed_) return ChannelStatus::closed;
     if (!ready) return ChannelStatus::timed_out;
     fifo_.push_back(std::move(value));
+    note_depth();
     not_empty_.notify_one();
     return ChannelStatus::ok;
   }
@@ -79,7 +103,16 @@ class SyncChannel {
   /// closed and drained.
   std::optional<T> read() {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !fifo_.empty() || closed_; });
+    const auto available = [&] { return !fifo_.empty() || closed_; };
+    if (!available()) {
+      if (probe_.blocked_read_ns) {
+        const Stopwatch blocked;
+        not_empty_.wait(lock, available);
+        probe_.blocked_read_ns->add(blocked.nanoseconds());
+      } else {
+        not_empty_.wait(lock, available);
+      }
+    }
     if (fifo_.empty()) return std::nullopt;
     T v = std::move(fifo_.front());
     fifo_.pop_front();
@@ -118,12 +151,20 @@ class SyncChannel {
   }
 
  private:
+  /// Called with the lock held after every push.
+  void note_depth() {
+    if (probe_.high_water) {
+      probe_.high_water->max_of(std::int64_t(fifo_.size()));
+    }
+  }
+
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> fifo_;
   bool closed_ = false;
+  ChannelProbe probe_;
 };
 
 }  // namespace fpga_stencil

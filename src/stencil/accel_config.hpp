@@ -21,6 +21,8 @@
 
 namespace fpga_stencil {
 
+class Telemetry;  // telemetry/telemetry.hpp; pointer-only here
+
 struct AcceleratorConfig {
   int dims = 2;              ///< 2 or 3
   int radius = 1;            ///< stencil radius ("order" in the paper)
@@ -35,6 +37,13 @@ struct AcceleratorConfig {
   /// box-stencil corners) need radius + 1. The accelerator sets this from
   /// the tap set.
   int stage_lag = 0;
+
+  /// Opt-in observability hook, honored by every execution layer
+  /// (StencilAccelerator, run_concurrent, run_resilient,
+  /// MultiFpgaCluster). Null disables all instrumentation; the pointee
+  /// must outlive the runs. Not a performance knob: it never changes what
+  /// is computed.
+  Telemetry* telemetry = nullptr;
 
   [[nodiscard]] int effective_stage_lag() const {
     return stage_lag > 0 ? stage_lag : radius;

@@ -1,0 +1,142 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/json.hpp"
+
+namespace fpga_stencil {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::int64_t>[bounds_.size() + 1]) {
+  FPGASTENCIL_EXPECT(!bounds_.empty(), "histogram needs at least one bound");
+  FPGASTENCIL_EXPECT(std::is_sorted(bounds_.begin(), bounds_.end()),
+                     "histogram bounds must be ascending");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+std::string_view metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::counter: return "counter";
+    case MetricKind::gauge: return "gauge";
+    case MetricKind::histogram: return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::int64_t MetricsSnapshot::value_or(std::string_view name,
+                                       std::int64_t fallback) const {
+  const MetricSample* s = find(name);
+  return s ? s->value : fallback;
+}
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("metrics").begin_array();
+  for (const MetricSample& s : samples) {
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("kind").value(metric_kind_name(s.kind));
+    if (s.kind == MetricKind::histogram) {
+      w.key("count").value(s.value);
+      w.key("sum").value(s.sum);
+      w.key("bounds").begin_array();
+      for (const std::int64_t b : s.bounds) w.value(b);
+      w.end_array();
+      w.key("buckets").begin_array();
+      for (const std::int64_t b : s.buckets) w.value(b);
+      w.end_array();
+    } else {
+      w.key("value").value(s.value);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void MetricsSnapshot::write_csv(std::ostream& os) const {
+  os << "metric,kind,value,sum\n";
+  for (const MetricSample& s : samples) {
+    os << s.name << ',' << metric_kind_name(s.kind) << ',' << s.value << ','
+       << (s.kind == MetricKind::histogram ? s.sum : 0) << '\n';
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<std::int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(bounds)))
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(counters_.size() + gauges_.size() +
+                       histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::counter;
+    s.value = c->value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::gauge;
+    s.value = g->value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::histogram;
+    s.value = h->count();
+    s.sum = h->sum();
+    s.bounds = h->bounds();
+    s.buckets.reserve(s.bounds.size() + 1);
+    for (std::size_t i = 0; i <= s.bounds.size(); ++i) {
+      s.buckets.push_back(h->bucket_count(i));
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+}  // namespace fpga_stencil

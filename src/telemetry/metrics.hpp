@@ -1,0 +1,167 @@
+// Thread-safe metrics registry: counters, gauges, and fixed-bucket
+// histograms.
+//
+// Design rules, in order:
+//   1. No allocation and no registry lock on the hot path. Instrumented
+//      code looks its instrument up once (registry lock, may allocate) and
+//      then updates through the returned reference -- a single relaxed
+//      atomic RMW per event. References stay valid for the registry's
+//      lifetime.
+//   2. One counting mechanism. The resilience counters surfaced through
+//      RunStats/ClusterStats are *read out of* this registry by the
+//      runtimes, not tallied separately (see fault/resilient_runner).
+//   3. Snapshots are consistent enough: each value is read atomically;
+//      cross-metric skew during concurrent updates is acceptable for
+//      observability.
+//
+// Metric names are dot-separated paths ("channel.2.high_water",
+// "resilience.watchdog_trips"); the full vocabulary is documented in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpga_stencil {
+
+/// Monotonically increasing count (events, nanoseconds, cells).
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-value instrument with a lock-free running-maximum variant for
+/// high-water marks.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+
+  /// Raises the gauge to `v` if larger (depth high-water marks).
+  void max_of(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket latency/size distribution. Bucket i counts observations
+/// with value <= bounds[i] (first matching bucket); the implicit last
+/// bucket counts everything above the top bound. Bounds are fixed at
+/// registration, so observe() is one atomic increment plus a short scan --
+/// no allocation.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t v) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& bounds() const {
+    return bounds_;
+  }
+  /// Valid indices: 0 .. bounds().size() (the last is the overflow bucket).
+  [[nodiscard]] std::int64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::int64_t> bounds_;  ///< ascending upper bounds
+  std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+enum class MetricKind { counter, gauge, histogram };
+
+[[nodiscard]] std::string_view metric_kind_name(MetricKind k);
+
+/// One metric's state at snapshot time.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::counter;
+  std::int64_t value = 0;  ///< counter/gauge value; histogram observation count
+  std::int64_t sum = 0;    ///< histogram only
+  std::vector<std::int64_t> bounds;   ///< histogram only
+  std::vector<std::int64_t> buckets;  ///< histogram only, bounds.size()+1
+};
+
+/// Name-sorted point-in-time copy of a registry.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// nullptr when no metric of that name was registered.
+  [[nodiscard]] const MetricSample* find(std::string_view name) const;
+  [[nodiscard]] std::int64_t value_or(std::string_view name,
+                                      std::int64_t fallback) const;
+
+  /// {"metrics": [{"name":..., "kind":..., ...}, ...]}
+  void write_json(std::ostream& os) const;
+  /// metric,kind,value,sum -- one row per metric (harness/csv conventions).
+  void write_csv(std::ostream& os) const;
+};
+
+/// Find-or-create instrument store. Lookups lock; returned references are
+/// stable and lock-free to update.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` must be ascending and non-empty; a re-registration under the
+  /// same name returns the existing histogram (original bounds win).
+  Histogram& histogram(std::string_view name,
+                       std::vector<std::int64_t> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: deterministic snapshot order, node-stable references.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Pre-resolved instruments for one SyncChannel, updated from inside the
+/// channel without touching the registry (see pipeline/sync_channel.hpp).
+/// Null members disable the corresponding measurement.
+struct ChannelProbe {
+  Gauge* high_water = nullptr;        ///< max queued entries observed
+  Counter* blocked_read_ns = nullptr;   ///< time readers spent blocked
+  Counter* blocked_write_ns = nullptr;  ///< time writers spent blocked
+};
+
+}  // namespace fpga_stencil

@@ -1,0 +1,35 @@
+#include "telemetry/telemetry.hpp"
+
+namespace fpga_stencil {
+
+ChannelProbe make_channel_probe(Telemetry& telemetry,
+                                std::string_view prefix) {
+  MetricsRegistry& reg = telemetry.metrics();
+  const std::string p(prefix);
+  ChannelProbe probe;
+  probe.high_water = &reg.gauge(p + ".high_water");
+  probe.blocked_read_ns = &reg.counter(p + ".blocked_read_ns");
+  probe.blocked_write_ns = &reg.counter(p + ".blocked_write_ns");
+  return probe;
+}
+
+std::vector<std::int64_t> default_latency_bounds_ns() {
+  return {1'000,          10'000,         100'000,       1'000'000,
+          10'000'000,     100'000'000,    1'000'000'000, 10'000'000'000};
+}
+
+void record_pass_metrics(Telemetry& telemetry, std::string_view prefix,
+                         std::int64_t cells_written, std::int64_t pass_ns) {
+  MetricsRegistry& reg = telemetry.metrics();
+  const std::string p(prefix);
+  reg.counter(p + ".passes").add(1);
+  reg.counter(p + ".cells_written").add(cells_written);
+  reg.histogram(p + ".pass_ns", default_latency_bounds_ns())
+      .observe(pass_ns);
+  if (pass_ns > 0) {
+    reg.gauge(p + ".pass.cells_per_s")
+        .set(std::int64_t(double(cells_written) * 1e9 / double(pass_ns)));
+  }
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,66 @@
+// Telemetry facade: one object bundling the metrics registry and the
+// tracer, threaded through the execution layers as an opt-in hook.
+//
+// Attachment points (all nullable; a null hook keeps every hot path
+// instrument-free):
+//   - AcceleratorConfig::telemetry      -- picked up by StencilAccelerator,
+//     run_concurrent, run_resilient, and MultiFpgaCluster
+//   - ConcurrentOptions / ResilienceOptions::telemetry -- per-call override
+//
+// The runtimes that must count *unconditionally* (the RunStats/ClusterStats
+// resilience counters) bind to a function-local Telemetry when none is
+// attached, so there is exactly one counting mechanism either way and the
+// public stat fields are thin copies of registry counters.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace fpga_stencil {
+
+class Telemetry {
+ public:
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const { return tracer_; }
+
+  /// Snapshot exports; see MetricsSnapshot for the formats.
+  void write_metrics_json(std::ostream& os) const {
+    metrics_.snapshot().write_json(os);
+  }
+  void write_metrics_csv(std::ostream& os) const {
+    metrics_.snapshot().write_csv(os);
+  }
+  void write_trace_json(std::ostream& os) const {
+    tracer_.write_chrome_trace(os);
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+/// Binds the three per-channel instruments under `prefix`
+/// ("<prefix>.high_water", "<prefix>.blocked_read_ns",
+/// "<prefix>.blocked_write_ns").
+ChannelProbe make_channel_probe(Telemetry& telemetry,
+                                std::string_view prefix);
+
+/// Default latency-histogram bucket bounds in nanoseconds: 1us .. 10s in
+/// decade steps, for pass durations and checkpoint times.
+std::vector<std::int64_t> default_latency_bounds_ns();
+
+/// Records one finished pipeline pass under `prefix`:
+///   <prefix>.passes            counter
+///   <prefix>.cells_written     counter
+///   <prefix>.pass_ns           histogram (default_latency_bounds_ns)
+///   <prefix>.pass.cells_per_s  gauge, throughput of this pass
+void record_pass_metrics(Telemetry& telemetry, std::string_view prefix,
+                         std::int64_t cells_written, std::int64_t pass_ns);
+
+}  // namespace fpga_stencil

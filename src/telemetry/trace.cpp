@@ -1,0 +1,102 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+
+#include "common/json.hpp"
+
+namespace fpga_stencil {
+
+void Tracer::Span::end() {
+  if (!tracer_) return;
+  Tracer* t = std::exchange(tracer_, nullptr);
+  t->complete(std::move(name_), std::move(category_), tid_, start_ns_,
+              t->now_ns() - start_ns_);
+}
+
+void Tracer::complete(std::string name, std::string category, int tid,
+                      std::int64_t start_ns, std::int64_t duration_ns) {
+  Event e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.tid = tid;
+  e.phase = 'X';
+  e.start_ns = start_ns;
+  e.duration_ns = std::max<std::int64_t>(duration_ns, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::instant(std::string name, int tid, std::string category) {
+  Event e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.tid = tid;
+  e.phase = 'i';
+  e.start_ns = now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::set_thread_name(int tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing_tid, existing_name] : thread_names_) {
+    if (existing_tid == tid) {
+      existing_name = std::move(name);
+      return;
+    }
+  }
+  thread_names_.emplace_back(tid, std::move(name));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<std::string> Tracer::event_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(events_.size());
+  for (const Event& e : events_) names.push_back(e.name);
+  return names;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const auto& [tid, name] : thread_names_) {
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(1);
+    w.key("tid").value(tid);
+    w.key("args").begin_object();
+    w.key("name").value(name);
+    w.end_object();
+    w.end_object();
+  }
+  for (const Event& e : events_) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value(e.category);
+    w.key("ph").value(std::string_view(&e.phase, 1));
+    w.key("pid").value(1);
+    w.key("tid").value(e.tid);
+    // trace_event timestamps are microseconds; keep sub-us precision.
+    w.key("ts").value(double(e.start_ns) / 1e3);
+    if (e.phase == 'X') {
+      w.key("dur").value(double(e.duration_ns) / 1e3);
+    } else if (e.phase == 'i') {
+      w.key("s").value("t");  // instant scoped to its thread
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace fpga_stencil

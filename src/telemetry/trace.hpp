@@ -1,0 +1,115 @@
+// Span-based tracer with Chrome trace_event export.
+//
+// Spans model the pipeline's concurrent structure: each kernel thread of a
+// concurrent pass (read, PE 0..n-1, write) opens a span on its own trace
+// lane ("tid"), so the exported file opens directly in chrome://tracing or
+// https://ui.perfetto.dev and shows the read -> PE chain -> write overlap,
+// back-pressure gaps included. Lanes are small caller-chosen integers (the
+// stage index), not OS thread ids: deterministic lane order beats raw tids
+// for reading a pipeline.
+//
+// Timestamps come from one shared monotonic epoch (Stopwatch::nanoseconds)
+// so spans from different threads line up. Recording a finished span takes
+// one mutex-guarded vector push -- spans are per-pass/per-stage, not
+// per-vector, so this is far off the hot path.
+//
+// Export format: the JSON Object Format of the Trace Event spec -- ph "X"
+// (complete) events with microsecond ts/dur, plus thread_name metadata.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+
+namespace fpga_stencil {
+
+class Tracer {
+ public:
+  /// RAII span: records on end() or destruction, whichever comes first.
+  /// Movable so it can be created by Tracer::span and kept on the stack of
+  /// the traced thread.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept {
+      end();
+      tracer_ = std::exchange(other.tracer_, nullptr);
+      name_ = std::move(other.name_);
+      category_ = std::move(other.category_);
+      tid_ = other.tid_;
+      start_ns_ = other.start_ns_;
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { end(); }
+
+    /// Records the span now; further calls are no-ops.
+    void end();
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, std::string name, std::string category, int tid)
+        : tracer_(tracer),
+          name_(std::move(name)),
+          category_(std::move(category)),
+          tid_(tid),
+          start_ns_(tracer->now_ns()) {}
+
+    Tracer* tracer_ = nullptr;
+    std::string name_;
+    std::string category_;
+    int tid_ = 0;
+    std::int64_t start_ns_ = 0;
+  };
+
+  /// Nanoseconds since the tracer's epoch (construction).
+  [[nodiscard]] std::int64_t now_ns() const { return epoch_.nanoseconds(); }
+
+  /// Opens a span on lane `tid` starting now.
+  [[nodiscard]] Span span(std::string name, int tid,
+                          std::string category = "pipeline") {
+    return Span(this, std::move(name), std::move(category), tid);
+  }
+
+  /// Records a zero-duration marker (ph "i") -- failover events, trips.
+  void instant(std::string name, int tid, std::string category = "event");
+
+  /// Records an already-timed span (both ends measured by the caller).
+  void complete(std::string name, std::string category, int tid,
+                std::int64_t start_ns, std::int64_t duration_ns);
+
+  /// Labels lane `tid` in the trace viewer ("read_kernel", "PE 2", ...).
+  void set_thread_name(int tid, std::string name);
+
+  [[nodiscard]] std::size_t event_count() const;
+  /// Names of all recorded span/instant events, in record order (used by
+  /// self-checks: "does the trace cover every PE?").
+  [[nodiscard]] std::vector<std::string> event_names() const;
+
+  /// Writes the whole trace as Chrome trace_event JSON.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    int tid = 0;
+    char phase = 'X';
+    std::int64_t start_ns = 0;
+    std::int64_t duration_ns = 0;
+  };
+
+  Stopwatch epoch_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::vector<std::pair<int, std::string>> thread_names_;
+};
+
+}  // namespace fpga_stencil

@@ -8,6 +8,7 @@
 #include "pipeline/sync_channel.hpp"
 #include "stencil/box_stencil.hpp"
 #include "stencil/reference.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fpga_stencil {
 namespace {
@@ -143,6 +144,37 @@ TEST(Concurrent, TinyChannelDepthStillCorrect) {
   run_concurrent(s.to_taps(), cfg, g, 3, /*channel_depth=*/1);
   reference_run(s, want, 3);
   EXPECT_TRUE(compare_exact(g, want).identical());
+}
+
+TEST(Concurrent, ChannelHighWaterWithinConfiguredCapacity) {
+  // An instrumented run must report a nonzero queue depth on every
+  // inter-stage channel, and the high-water mark can never exceed the
+  // configured channel capacity (the OpenCL `depth` attribute).
+  AcceleratorConfig cfg;
+  cfg.dims = 2;
+  cfg.radius = 1;
+  cfg.bsize_x = 16;
+  cfg.parvec = 2;
+  cfg.partime = 3;
+  Telemetry telemetry;
+  cfg.telemetry = &telemetry;
+  const StarStencil s = StarStencil::make_benchmark(2, 1);
+  Grid2D<float> g(30, 14);
+  g.fill_random(2);
+
+  constexpr std::size_t kDepth = 4;
+  run_concurrent(s.to_taps(), cfg, g, 3, kDepth);
+
+  const MetricsSnapshot snap = telemetry.metrics().snapshot();
+  // Channels: read -> PE0 .. PE{partime-1} -> write = partime + 1 lanes.
+  for (int i = 0; i <= cfg.partime; ++i) {
+    const std::string name =
+        "channel." + std::to_string(i) + ".high_water";
+    const std::int64_t high_water = snap.value_or(name, -1);
+    EXPECT_GE(high_water, 1) << name;
+    EXPECT_LE(high_water, std::int64_t(kDepth)) << name;
+  }
+  EXPECT_GT(snap.value_or("pipeline.cells_written", 0), 0);
 }
 
 }  // namespace

@@ -1,0 +1,208 @@
+// Tests for the telemetry subsystem: metrics registry semantics (including
+// find-or-create under thread contention), histogram bucket edges,
+// snapshot export (JSON/CSV), and the Chrome trace_event emitter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "pipeline/sync_channel.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+TEST(Metrics, CounterGaugeBasics) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a.count");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Find-or-create: same name, same instrument.
+  EXPECT_EQ(&reg.counter("a.count"), &c);
+
+  Gauge& g = reg.gauge("a.level");
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.max_of(3);
+  EXPECT_EQ(g.value(), 7);  // lower values never lower a high-water mark
+  g.max_of(12);
+  EXPECT_EQ(g.value(), 12);
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {10, 100});
+  h.observe(0);    // <= 10        -> bucket 0
+  h.observe(10);   // == bound     -> bucket 0 (bounds are inclusive)
+  h.observe(11);   // first above  -> bucket 1
+  h.observe(100);  // == bound     -> bucket 1
+  h.observe(101);  // above top    -> overflow bucket 2
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 2);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 0 + 10 + 11 + 100 + 101);
+  // Re-registration keeps the original instrument and bounds.
+  EXPECT_EQ(&reg.histogram("lat", {1, 2, 3}), &h);
+  EXPECT_EQ(h.bounds().size(), 2u);
+}
+
+TEST(Metrics, RegistryConcurrencyEightThreads) {
+  // 8 threads race find-or-create on shared names AND update through the
+  // returned references; totals must be exact (run under TSan in the
+  // sanitize build).
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      Counter& shared = reg.counter("shared.count");
+      Gauge& water = reg.gauge("shared.high_water");
+      Histogram& h = reg.histogram("shared.lat", {8, 64, 512});
+      Counter& mine = reg.counter("thread." + std::to_string(t) + ".count");
+      for (int i = 0; i < kPerThread; ++i) {
+        shared.add(1);
+        mine.add(1);
+        water.max_of(i);
+        h.observe(i % 1000);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value_or("shared.count", -1), kThreads * kPerThread);
+  EXPECT_EQ(snap.value_or("shared.high_water", -1), kPerThread - 1);
+  const MetricSample* h = snap.find("shared.lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->value, kThreads * kPerThread);  // observation count
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.value_or("thread." + std::to_string(t) + ".count", -1),
+              kPerThread);
+  }
+}
+
+TEST(Metrics, SnapshotExportsValidJsonAndCsv) {
+  MetricsRegistry reg;
+  reg.counter("pipe.cells").add(96);
+  reg.gauge("pipe.depth \"quoted\"").set(-3);  // name needing escaping
+  reg.histogram("pipe.ns", {100, 1000}).observe(250);
+
+  std::ostringstream json;
+  reg.snapshot().write_json(json);
+  EXPECT_TRUE(json_is_valid(json.str())) << json.str();
+  EXPECT_NE(json.str().find("pipe.cells"), std::string::npos);
+
+  std::ostringstream csv;
+  reg.snapshot().write_csv(csv);
+  EXPECT_NE(csv.str().find("metric,kind,value,sum"), std::string::npos);
+  EXPECT_NE(csv.str().find("pipe.cells,counter,96"), std::string::npos);
+
+  // Snapshots are name-sorted for deterministic diffs.
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  for (std::size_t i = 1; i < snap.samples.size(); ++i) {
+    EXPECT_LT(snap.samples[i - 1].name, snap.samples[i].name);
+  }
+}
+
+TEST(Trace, SpansInstantsAndChromeExport) {
+  Tracer tracer;
+  tracer.set_thread_name(0, "read_kernel");
+  tracer.set_thread_name(1, "PE0");
+  {
+    Tracer::Span pass = tracer.span("pass", 0);
+    Tracer::Span pe = tracer.span("PE0", 1, "pipeline");
+    tracer.instant("watchdog_trip", 0, "fault");
+    pe.end();
+    pe.end();  // idempotent
+  }  // pass records on destruction
+  tracer.complete("checkpoint", "fault", 0, 10, 2000);
+
+  EXPECT_EQ(tracer.event_count(), 4u);
+  const std::vector<std::string> names = tracer.event_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "pass"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "watchdog_trip"),
+            names.end());
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  const std::string doc = os.str();
+  EXPECT_TRUE(json_is_valid(doc)) << doc;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);  // complete span
+  EXPECT_NE(doc.find("\"ph\": \"i\""), std::string::npos);  // instant
+  EXPECT_NE(doc.find("\"ph\": \"M\""), std::string::npos);  // thread_name
+  EXPECT_NE(doc.find("read_kernel"), std::string::npos);
+}
+
+TEST(Trace, MovedSpanRecordsOnce) {
+  Tracer tracer;
+  {
+    Tracer::Span outer;
+    {
+      Tracer::Span inner = tracer.span("work", 2);
+      outer = std::move(inner);
+    }  // inner destructs empty: no record
+    EXPECT_EQ(tracer.event_count(), 0u);
+  }
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(Telemetry, ChannelProbeMeasuresDepthAndBlockedTime) {
+  Telemetry tel;
+  SyncChannel<int> ch(4);
+  ch.attach_probe(make_channel_probe(tel, "channel.0"));
+
+  std::thread producer([&] {
+    for (int i = 0; i < 64; ++i) ch.write(i);
+    ch.close();
+  });
+  // Let the producer fill the channel so the high-water mark and its
+  // blocked-write clock both engage before draining.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  while (ch.read()) {
+  }
+  producer.join();
+
+  const MetricsSnapshot snap = tel.metrics().snapshot();
+  const std::int64_t high_water = snap.value_or("channel.0.high_water", -1);
+  EXPECT_GE(high_water, 1);
+  EXPECT_LE(high_water, 4);  // never above the configured capacity
+  EXPECT_GT(snap.value_or("channel.0.blocked_write_ns", -1), 0);
+}
+
+TEST(Telemetry, RecordPassMetricsVocabulary) {
+  Telemetry tel;
+  record_pass_metrics(tel, "pipeline", /*cells_written=*/1000,
+                      /*pass_ns=*/2'000'000);
+  const MetricsSnapshot snap = tel.metrics().snapshot();
+  EXPECT_EQ(snap.value_or("pipeline.passes", -1), 1);
+  EXPECT_EQ(snap.value_or("pipeline.cells_written", -1), 1000);
+  EXPECT_EQ(snap.value_or("pipeline.pass.cells_per_s", -1), 500'000);
+  const MetricSample* h = snap.find("pipeline.pass_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->value, 1);
+  EXPECT_EQ(h->sum, 2'000'000);
+}
+
+TEST(Json, ValidatorRejectsMalformedDocuments) {
+  EXPECT_TRUE(json_is_valid(R"({"a": [1, 2.5e3, true, null, "x\n"]})"));
+  EXPECT_FALSE(json_is_valid(""));
+  EXPECT_FALSE(json_is_valid("{"));
+  EXPECT_FALSE(json_is_valid(R"({"a": 1,})"));
+  EXPECT_FALSE(json_is_valid(R"({"a": 01})"));
+  EXPECT_FALSE(json_is_valid("[1, 2] trailing"));
+  EXPECT_FALSE(json_is_valid("\"unterminated"));
+}
+
+}  // namespace
+}  // namespace fpga_stencil

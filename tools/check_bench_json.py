@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json artifact against the benchmark export schema.
+
+Stdlib-only on purpose: this runs as a ctest hook and in CI containers
+with no third-party Python packages. The schema is expressed as plain
+data below (a miniature of JSON Schema: required keys, type checks,
+nested objects/arrays) instead of pulling in jsonschema.
+
+Usage: check_bench_json.py FILE [FILE...]
+Exit status: 0 if every file validates, 1 otherwise.
+"""
+
+import json
+import sys
+
+NUMBER = (int, float)
+
+# Leaf values are required types; dicts recurse; ("array", item_schema)
+# requires a non-empty list whose entries all match item_schema.
+SCHEMA = {
+    "schema_version": int,
+    "bench": str,
+    "paper": str,
+    "device": str,
+    "configs": ("array", {
+        "name": str,
+        "dims": int,
+        "radius": int,
+        "config": str,
+        "bsize_x": int,
+        "bsize_y": int,
+        "parvec": int,
+        "partime": int,
+        "input": {"nx": int, "ny": int, "nz": int},
+        "model": {
+            "fmax_mhz": NUMBER,
+            "gbps": NUMBER,
+            "gflops": NUMBER,
+            "gcells": NUMBER,
+            "power_watts": NUMBER,
+            "roofline_ratio": NUMBER,
+        },
+        "simulation": {
+            "nx": int,
+            "ny": int,
+            "nz": int,
+            "iters": int,
+            "wall_seconds": NUMBER,
+            "cells_per_s": NUMBER,
+        },
+    }),
+    "telemetry": {
+        "metrics": ("array", {
+            "name": str,
+            "kind": str,
+            "value": int,
+            "sum": int,
+        }),
+    },
+}
+
+METRIC_KINDS = {"counter", "gauge", "histogram"}
+
+
+def check(value, schema, path, errors):
+    if isinstance(schema, dict):
+        if not isinstance(value, dict):
+            errors.append(f"{path}: expected object, got {type(value).__name__}")
+            return
+        for key, sub in schema.items():
+            if key not in value:
+                errors.append(f"{path}.{key}: missing required key")
+            else:
+                check(value[key], sub, f"{path}.{key}", errors)
+    elif isinstance(schema, tuple) and schema and schema[0] == "array":
+        if not isinstance(value, list):
+            errors.append(f"{path}: expected array, got {type(value).__name__}")
+            return
+        if not value:
+            errors.append(f"{path}: array must be non-empty")
+        for i, item in enumerate(value):
+            check(item, schema[1], f"{path}[{i}]", errors)
+    else:
+        # bool is an int subclass in Python; never accept it for numbers.
+        if isinstance(value, bool) or not isinstance(value, schema):
+            want = getattr(schema, "__name__", "number")
+            errors.append(
+                f"{path}: expected {want}, got {type(value).__name__} "
+                f"({value!r})")
+
+
+def semantic_checks(doc, errors):
+    """Constraints the type schema can't express."""
+    for i, cfg in enumerate(doc.get("configs", [])):
+        path = f"$.configs[{i}]"
+        if isinstance(cfg, dict):
+            if cfg.get("dims") not in (2, 3):
+                errors.append(f"{path}.dims: must be 2 or 3")
+            if isinstance(cfg.get("radius"), int) and cfg["radius"] < 1:
+                errors.append(f"{path}.radius: must be >= 1")
+            model = cfg.get("model", {})
+            if isinstance(model, dict):
+                for key in ("gflops", "gcells", "gbps", "fmax_mhz"):
+                    v = model.get(key)
+                    if isinstance(v, NUMBER) and not isinstance(v, bool) and v <= 0:
+                        errors.append(f"{path}.model.{key}: must be positive")
+            sim = cfg.get("simulation", {})
+            if isinstance(sim, dict):
+                v = sim.get("wall_seconds")
+                if isinstance(v, NUMBER) and not isinstance(v, bool) and v < 0:
+                    errors.append(f"{path}.simulation.wall_seconds: negative")
+    metrics = doc.get("telemetry", {})
+    if isinstance(metrics, dict):
+        for i, m in enumerate(metrics.get("metrics", [])):
+            if isinstance(m, dict) and m.get("kind") not in METRIC_KINDS:
+                errors.append(
+                    f"$.telemetry.metrics[{i}].kind: {m.get('kind')!r} not in "
+                    f"{sorted(METRIC_KINDS)}")
+
+
+def validate_file(name):
+    try:
+        with open(name, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{name}: FAIL: {exc}")
+        return False
+    errors = []
+    check(doc, SCHEMA, "$", errors)
+    semantic_checks(doc, errors)
+    if errors:
+        print(f"{name}: FAIL ({len(errors)} schema violations)")
+        for e in errors:
+            print(f"  {e}")
+        return False
+    n = len(doc["configs"])
+    print(f"{name}: OK ({n} configs, "
+          f"{len(doc['telemetry']['metrics'])} metrics)")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ok = all([validate_file(name) for name in argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

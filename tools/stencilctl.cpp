@@ -15,21 +15,34 @@
 //       run a seeded fault campaign (default: one of every recoverable
 //       fault class) through the shim, the resilient concurrent runtime,
 //       and the cluster failover path, and print the resilience counters
+//   stencilctl metrics [config flags] [--format table|json|csv] [--out FILE]
+//       run the threaded dataflow pipeline with telemetry attached and
+//       report the metrics snapshot (channel high-water marks, blocked
+//       time, per-pass throughput)
+//   stencilctl trace [config flags] [--out trace.json]
+//       same instrumented run, exported as Chrome trace_event JSON
+//       (open in chrome://tracing or https://ui.perfetto.dev)
 //
 // Exit status: 0 on success, 1 on verification/model failure, 2 on usage.
+#include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "cluster/multi_fpga.hpp"
 #include "codegen/kernel_generator.hpp"
 #include "common/format.hpp"
+#include "common/json.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
+#include "core/concurrent_accelerator.hpp"
 #include "core/stencil_accelerator.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/resilient_runner.hpp"
+#include "telemetry/telemetry.hpp"
 #include "fpga/fmax_model.hpp"
 #include "fpga/power_model.hpp"
 #include "grid/grid_compare.hpp"
@@ -251,6 +264,117 @@ int cmd_simulate(const Args& a) {
   return cmp.identical() ? 0 : 1;
 }
 
+/// Shared workload of `metrics` and `trace`: the threaded dataflow
+/// pipeline (the only engine where channels and stage overlap exist) with
+/// the telemetry hook attached through AcceleratorConfig.
+RunStats run_instrumented(const Args& a, Telemetry& telemetry,
+                          std::ostream& os) {
+  AcceleratorConfig cfg = config_from(a);
+  cfg.telemetry = &telemetry;
+  const std::int64_t nx = a.get("nx", 200);
+  const std::int64_t ny = a.get("ny", cfg.dims == 2 ? 100 : 60);
+  const std::int64_t nz = cfg.dims == 3 ? a.get("nz", 30) : 1;
+  const int iters = static_cast<int>(a.get("iters", cfg.partime + 1));
+  const std::size_t depth = std::size_t(a.get("depth", 64));
+  const TapSet taps =
+      a.box ? make_box_stencil(cfg.dims, cfg.radius)
+            : StarStencil::make_benchmark(cfg.dims, cfg.radius).to_taps();
+
+  RunStats stats;
+  if (cfg.dims == 2) {
+    Grid2D<float> g(nx, ny);
+    g.fill_random(1);
+    stats = run_concurrent(taps, cfg, g, iters, depth);
+  } else {
+    Grid3D<float> g(nx, ny, nz);
+    g.fill_random(1);
+    stats = run_concurrent(taps, cfg, g, iters, depth);
+  }
+  os << "instrumented concurrent run: " << cfg.describe() << " on " << nx
+     << "x" << ny << (cfg.dims == 3 ? "x" + std::to_string(nz) : "")
+     << " for " << iters << " iterations (" << stats.passes << " passes)\n";
+  return stats;
+}
+
+int cmd_metrics(const Args& a) {
+  Telemetry telemetry;
+  run_instrumented(a, telemetry, std::cout);
+  const MetricsSnapshot snap = telemetry.metrics().snapshot();
+
+  const std::string format = a.get_str("format", "table");
+  const std::string out = a.get_str("out", "");
+  std::ofstream file;
+  if (!out.empty()) {
+    file.open(out);
+    if (!file) throw ConfigError("cannot open --out file `" + out + "`");
+  }
+  std::ostream& os = out.empty() ? std::cout : file;
+
+  if (format == "json") {
+    snap.write_json(os);
+  } else if (format == "csv") {
+    snap.write_csv(os);
+  } else if (format == "table") {
+    TextTable t({"metric", "kind", "value", "sum"});
+    for (const MetricSample& s : snap.samples) {
+      t.add_row({s.name, std::string(metric_kind_name(s.kind)),
+                 std::to_string(s.value),
+                 s.kind == MetricKind::histogram ? std::to_string(s.sum)
+                                                 : ""});
+    }
+    t.render(os);
+  } else {
+    throw ConfigError("unknown --format `" + format +
+                      "` (want table|json|csv)");
+  }
+  if (!out.empty()) {
+    std::cout << snap.samples.size() << " metrics written to " << out
+              << "\n";
+  }
+  // A healthy pipeline run must have moved data through the channels.
+  return snap.value_or("channel.0.high_water", 0) > 0 &&
+                 snap.value_or("pipeline.cells_written", 0) > 0
+             ? 0
+             : 1;
+}
+
+int cmd_trace(const Args& a) {
+  Telemetry telemetry;
+  run_instrumented(a, telemetry, std::cout);
+  const AcceleratorConfig cfg = config_from(a);
+
+  std::ostringstream json;
+  telemetry.tracer().write_chrome_trace(json);
+  if (!json_is_valid(json.str())) {
+    std::cerr << "stencilctl: internal error: trace JSON failed "
+                 "validation\n";
+    return 1;
+  }
+
+  const std::string out = a.get_str("out", "trace.json");
+  std::ofstream file(out);
+  if (!file) throw ConfigError("cannot open --out file `" + out + "`");
+  file << json.str();
+
+  // Self-check: the trace must cover every pipeline stage.
+  const std::vector<std::string> names = telemetry.tracer().event_names();
+  const auto covered = [&](const std::string& want) {
+    return std::find(names.begin(), names.end(), want) != names.end();
+  };
+  bool all_stages = covered("read_kernel") && covered("write_kernel");
+  for (int k = 0; k < cfg.partime; ++k) {
+    all_stages = all_stages && covered("PE" + std::to_string(k));
+  }
+  std::cout << telemetry.tracer().event_count() << " trace events written"
+            << " to " << out << " (open in chrome://tracing or "
+            << "https://ui.perfetto.dev)\n"
+            << "  stage coverage: "
+            << (all_stages ? "read kernel, every PE, write kernel"
+                           : "INCOMPLETE")
+            << "\n";
+  return all_stages ? 0 : 1;
+}
+
 // The default demo campaign: at least one budgeted fault at every
 // recoverable site, so every resilience mechanism (shim retry, watchdog
 // replay, checksum rollback, cluster failover) exercises once and the
@@ -399,13 +523,16 @@ int cmd_faults(const Args& a) {
 
 int usage() {
   std::cerr
-      << "usage: stencilctl <devices|tune|model|codegen|simulate|faults> "
+      << "usage: stencilctl "
+         "<devices|tune|model|codegen|simulate|faults|metrics|trace> "
          "[flags]\n"
          "  common flags: --dims 2|3 --radius R --bsize-x B --bsize-y B\n"
          "                --parvec V --partime T --device NAME\n"
          "                --nx N --ny N --nz N --iters I --top K --box\n"
          "  faults flags: --plan SPEC (else $FPGASTENCIL_FAULT_PLAN, else a\n"
-         "                demo campaign) --boards B\n";
+         "                demo campaign) --boards B\n"
+         "  metrics flags: --format table|json|csv --out FILE --depth D\n"
+         "  trace flags:   --out trace.json --depth D\n";
   return 2;
 }
 
@@ -422,6 +549,8 @@ int main(int argc, char** argv) {
     if (cmd == "codegen") return cmd_codegen(a);
     if (cmd == "simulate") return cmd_simulate(a);
     if (cmd == "faults") return cmd_faults(a);
+    if (cmd == "metrics") return cmd_metrics(a);
+    if (cmd == "trace") return cmd_trace(a);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "stencilctl: " << e.what() << "\n";
