@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks of the StencilEngine session overhead:
+// what a job pays on top of the raw simulator for planning, admission, and
+// buffer management -- and what the plan cache / buffer pool give back.
+//
+// Two granularities:
+//   * PlanCache cold vs hit: the isolated cost of validating a config,
+//     building a BlockingPlan, and fingerprinting the generated kernel
+//     source, against the cost of an LRU lookup.
+//   * Engine end-to-end cold vs cached: submit-to-completion latency of a
+//     small job with caches cleared every iteration vs a warm session.
+//     The grid is deliberately tiny so session overhead is not drowned by
+//     simulation time.
+#include <benchmark/benchmark.h>
+
+#include <utility>
+
+#include "engine/plan_cache.hpp"
+#include "engine/stencil_engine.hpp"
+#include "stencil/star_stencil.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+AcceleratorConfig small2d() {
+  AcceleratorConfig cfg;
+  cfg.dims = 2;
+  cfg.radius = 1;
+  cfg.bsize_x = 32;
+  cfg.parvec = 4;
+  cfg.partime = 2;
+  return cfg;
+}
+
+Grid2D<float> small_grid() {
+  Grid2D<float> g(48, 20);
+  g.fill_random(3);
+  return g;
+}
+
+void BM_PlanCacheCold(benchmark::State& state) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 7).to_taps();
+  const AcceleratorConfig cfg = small2d();
+  PlanCache cache(8);
+  for (auto _ : state) {
+    cache.clear();
+    auto plan = cache.lookup_or_build(taps, cfg, 48, 20);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["misses"] = double(cache.misses());
+}
+BENCHMARK(BM_PlanCacheCold);
+
+void BM_PlanCacheHit(benchmark::State& state) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 7).to_taps();
+  const AcceleratorConfig cfg = small2d();
+  PlanCache cache(8);
+  (void)cache.lookup_or_build(taps, cfg, 48, 20);  // warm
+  for (auto _ : state) {
+    auto plan = cache.lookup_or_build(taps, cfg, 48, 20);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["hit_rate"] =
+      double(cache.hits()) / double(cache.hits() + cache.misses());
+}
+BENCHMARK(BM_PlanCacheHit);
+
+// One small job, caches dumped each iteration: plan build + fresh scratch
+// allocation on every run. This is the first-job latency of a session.
+void BM_EngineRunColdPlan(benchmark::State& state) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 7).to_taps();
+  const AcceleratorConfig cfg = small2d();
+  StencilEngine engine({.workers = 1});
+  const Grid2D<float> input = small_grid();
+  for (auto _ : state) {
+    engine.clear_caches();
+    JobResult r = engine.run(JobSpec(taps, cfg, input, 3));
+    benchmark::DoNotOptimize(r.grid2d().data());
+  }
+  state.counters["cache_hit_rate"] = engine.stats().cache_hit_rate();
+}
+BENCHMARK(BM_EngineRunColdPlan);
+
+// Same job against a warm session: plan served from the LRU cache and
+// scratch from the buffer pool. The delta to ColdPlan is the amortizable
+// per-session setup cost.
+void BM_EngineRunCachedPlan(benchmark::State& state) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 7).to_taps();
+  const AcceleratorConfig cfg = small2d();
+  StencilEngine engine({.workers = 1});
+  const Grid2D<float> input = small_grid();
+  (void)engine.run(JobSpec(taps, cfg, input, 3));  // warm plan + pool
+  for (auto _ : state) {
+    JobResult r = engine.run(JobSpec(taps, cfg, input, 3));
+    benchmark::DoNotOptimize(r.grid2d().data());
+  }
+  state.counters["cache_hit_rate"] = engine.stats().cache_hit_rate();
+  state.counters["pool_reuses"] = double(engine.stats().pool_reuses);
+}
+BENCHMARK(BM_EngineRunCachedPlan);
+
+}  // namespace
+}  // namespace fpga_stencil

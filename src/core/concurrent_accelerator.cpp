@@ -212,20 +212,21 @@ void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
   }
 }
 
-}  // namespace
-
-RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
-                        Grid2D<float>& grid, int iterations,
-                        const ConcurrentOptions& options) {
+RunStats run_concurrent_impl(const TapSet& taps, const AcceleratorConfig& cfg,
+                             Grid2D<float>& grid, int iterations,
+                             const RunOptions& options) {
   FPGASTENCIL_EXPECT(cfg.dims == 2, "2D run on a 3D configuration");
   FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
   // Resolve the stage lag exactly as StencilAccelerator does.
-  AcceleratorConfig rcfg = StencilAccelerator(taps, cfg).config();
-  ConcurrentOptions ropts = options;
+  AcceleratorConfig rcfg = resolve_stage_lag(taps, cfg);
+  RunOptions ropts = options;
   if (!ropts.telemetry) ropts.telemetry = rcfg.telemetry;
 
   RunStats stats;
-  Grid2D<float> scratch(grid.nx(), grid.ny());
+  Grid2D<float> scratch =
+      ropts.scratch
+          ? Grid2D<float>(grid.nx(), grid.ny(), std::move(*ropts.scratch))
+          : Grid2D<float>(grid.nx(), grid.ny());
   int remaining = iterations;
   while (remaining > 0) {
     const int steps = std::min(remaining, rcfg.partime);
@@ -281,20 +282,25 @@ RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
     stats.time_steps += steps;
     ++stats.passes;
   }
+  if (ropts.scratch) *ropts.scratch = scratch.release_storage();
   return stats;
 }
 
-RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
-                        Grid3D<float>& grid, int iterations,
-                        const ConcurrentOptions& options) {
+RunStats run_concurrent_impl(const TapSet& taps, const AcceleratorConfig& cfg,
+                             Grid3D<float>& grid, int iterations,
+                             const RunOptions& options) {
   FPGASTENCIL_EXPECT(cfg.dims == 3, "3D run on a 2D configuration");
   FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
-  AcceleratorConfig rcfg = StencilAccelerator(taps, cfg).config();
-  ConcurrentOptions ropts = options;
+  AcceleratorConfig rcfg = resolve_stage_lag(taps, cfg);
+  RunOptions ropts = options;
   if (!ropts.telemetry) ropts.telemetry = rcfg.telemetry;
 
   RunStats stats;
-  Grid3D<float> scratch(grid.nx(), grid.ny(), grid.nz());
+  Grid3D<float> scratch =
+      ropts.scratch
+          ? Grid3D<float>(grid.nx(), grid.ny(), grid.nz(),
+                          std::move(*ropts.scratch))
+          : Grid3D<float>(grid.nx(), grid.ny(), grid.nz());
   int remaining = iterations;
   while (remaining > 0) {
     const int steps = std::min(remaining, rcfg.partime);
@@ -366,13 +372,32 @@ RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
     stats.time_steps += steps;
     ++stats.passes;
   }
+  if (ropts.scratch) *ropts.scratch = scratch.release_storage();
   return stats;
 }
+
+}  // namespace
+
+template <typename GridT>
+RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
+                        GridT& grid, int iterations,
+                        const RunOptions& options) {
+  return run_concurrent_impl(taps, cfg, grid, iterations, options);
+}
+
+template RunStats run_concurrent<Grid2D<float>>(const TapSet&,
+                                                const AcceleratorConfig&,
+                                                Grid2D<float>&, int,
+                                                const RunOptions&);
+template RunStats run_concurrent<Grid3D<float>>(const TapSet&,
+                                                const AcceleratorConfig&,
+                                                Grid3D<float>&, int,
+                                                const RunOptions&);
 
 RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
                         Grid2D<float>& grid, int iterations,
                         std::size_t channel_depth) {
-  ConcurrentOptions options;
+  RunOptions options;
   options.channel_depth = channel_depth;
   return run_concurrent(taps, cfg, grid, iterations, options);
 }
@@ -380,7 +405,7 @@ RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
 RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
                         Grid3D<float>& grid, int iterations,
                         std::size_t channel_depth) {
-  ConcurrentOptions options;
+  RunOptions options;
   options.channel_depth = channel_depth;
   return run_concurrent(taps, cfg, grid, iterations, options);
 }

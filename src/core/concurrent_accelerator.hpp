@@ -28,8 +28,10 @@
 
 namespace fpga_stencil {
 
-/// Knobs of the threaded dataflow execution.
-struct ConcurrentOptions {
+/// Knobs of the threaded dataflow execution. This is the single options
+/// struct of the unified `run_concurrent` entry point (the former
+/// `ConcurrentOptions`; that name remains as an alias).
+struct RunOptions {
   /// Per-channel vector capacity (the OpenCL `depth` attribute).
   std::size_t channel_depth = 64;
   /// Fault sites are armed only when an injector is supplied.
@@ -41,26 +43,47 @@ struct ConcurrentOptions {
   /// lane per pipeline stage), channel depth high-water marks and
   /// blocked-time counters, and per-pass cell throughput.
   Telemetry* telemetry = nullptr;
+  /// Reusable backing store for the internal ping-pong scratch grid: when
+  /// non-null its storage is adopted for the run and returned on normal
+  /// completion (the engine's buffer pool threads through here). An
+  /// aborted pass drops the storage; the vector is left empty.
+  std::vector<float>* scratch = nullptr;
 };
+
+/// Legacy name of RunOptions, kept so existing call sites keep compiling.
+using ConcurrentOptions = RunOptions;
 
 /// Advances `grid` by `iterations` time steps in place using one thread
 /// per pipeline stage. Throws PassAbortedError if the watchdog unwinds a
 /// stalled pass (the grid then still holds the last completed pass).
+/// Instantiated for Grid2D<float> and Grid3D<float>.
+template <typename GridT>
+RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
+                        GridT& grid, int iterations,
+                        const RunOptions& options = {});
+
+extern template RunStats run_concurrent<Grid2D<float>>(
+    const TapSet&, const AcceleratorConfig&, Grid2D<float>&, int,
+    const RunOptions&);
+extern template RunStats run_concurrent<Grid3D<float>>(
+    const TapSet&, const AcceleratorConfig&, Grid3D<float>&, int,
+    const RunOptions&);
+
+/// Deprecated shims over the unified entry point (the original
+/// channel-depth-only interface). Intentionally without a default depth:
+/// a four-argument call resolves to the RunOptions template above.
+[[deprecated(
+    "use run_concurrent(taps, cfg, grid, iters, RunOptions{.channel_depth = "
+    "depth})")]]
 RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
                         Grid2D<float>& grid, int iterations,
-                        const ConcurrentOptions& options);
+                        std::size_t channel_depth);
 
+[[deprecated(
+    "use run_concurrent(taps, cfg, grid, iters, RunOptions{.channel_depth = "
+    "depth})")]]
 RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
                         Grid3D<float>& grid, int iterations,
-                        const ConcurrentOptions& options);
-
-/// Fault-free convenience overloads (the original interface).
-RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
-                        Grid2D<float>& grid, int iterations,
-                        std::size_t channel_depth = 64);
-
-RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
-                        Grid3D<float>& grid, int iterations,
-                        std::size_t channel_depth = 64);
+                        std::size_t channel_depth);
 
 }  // namespace fpga_stencil

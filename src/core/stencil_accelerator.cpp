@@ -8,12 +8,12 @@
 #include "telemetry/telemetry.hpp"
 
 namespace fpga_stencil {
-namespace {
 
-/// Resolves the automatic stage lag: enough whole rows to cover the tap
-/// set's forward reach (= radius for star stencils).
-AcceleratorConfig resolve_lag(const TapSet& taps, AcceleratorConfig cfg) {
+AcceleratorConfig resolve_stage_lag(const TapSet& taps,
+                                    AcceleratorConfig cfg) {
   cfg.validate();
+  FPGASTENCIL_EXPECT(taps.dims() == cfg.dims && taps.radius() <= cfg.radius,
+                     "tap set and configuration disagree on dims/radius");
   if (cfg.stage_lag == 0) {
     const std::int64_t max_flat =
         taps.max_flat_offset(cfg.bsize_x, cfg.row_cells());
@@ -24,11 +24,9 @@ AcceleratorConfig resolve_lag(const TapSet& taps, AcceleratorConfig cfg) {
   return cfg;
 }
 
-}  // namespace
-
 StencilAccelerator::StencilAccelerator(const TapSet& taps,
                                        const AcceleratorConfig& cfg)
-    : taps_(taps), cfg_(resolve_lag(taps, cfg)) {
+    : taps_(taps), cfg_(resolve_stage_lag(taps, cfg)) {
   FPGASTENCIL_EXPECT(taps.dims() == cfg_.dims && taps.radius() <= cfg_.radius,
                      "tap set and configuration disagree on dims/radius");
   pes_.reserve(static_cast<std::size_t>(cfg_.partime));
@@ -47,11 +45,15 @@ StencilAccelerator::StencilAccelerator(const StarStencil& stencil,
       "stencil and configuration disagree on dims/radius");
 }
 
-RunStats StencilAccelerator::run(Grid2D<float>& grid, int iterations) {
+RunStats StencilAccelerator::run(Grid2D<float>& grid, int iterations,
+                                 std::vector<float>* scratch_storage) {
   FPGASTENCIL_EXPECT(cfg_.dims == 2, "2D run on a 3D configuration");
   FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
   RunStats stats;
-  Grid2D<float> scratch(grid.nx(), grid.ny());
+  Grid2D<float> scratch =
+      scratch_storage
+          ? Grid2D<float>(grid.nx(), grid.ny(), std::move(*scratch_storage))
+          : Grid2D<float>(grid.nx(), grid.ny());
   int remaining = iterations;
   while (remaining > 0) {
     const int steps = std::min(remaining, cfg_.partime);
@@ -71,14 +73,20 @@ RunStats StencilAccelerator::run(Grid2D<float>& grid, int iterations) {
     stats.time_steps += steps;
     ++stats.passes;
   }
+  if (scratch_storage) *scratch_storage = scratch.release_storage();
   return stats;
 }
 
-RunStats StencilAccelerator::run(Grid3D<float>& grid, int iterations) {
+RunStats StencilAccelerator::run(Grid3D<float>& grid, int iterations,
+                                 std::vector<float>* scratch_storage) {
   FPGASTENCIL_EXPECT(cfg_.dims == 3, "3D run on a 2D configuration");
   FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
   RunStats stats;
-  Grid3D<float> scratch(grid.nx(), grid.ny(), grid.nz());
+  Grid3D<float> scratch =
+      scratch_storage
+          ? Grid3D<float>(grid.nx(), grid.ny(), grid.nz(),
+                          std::move(*scratch_storage))
+          : Grid3D<float>(grid.nx(), grid.ny(), grid.nz());
   int remaining = iterations;
   while (remaining > 0) {
     const int steps = std::min(remaining, cfg_.partime);
@@ -98,6 +106,7 @@ RunStats StencilAccelerator::run(Grid3D<float>& grid, int iterations) {
     stats.time_steps += steps;
     ++stats.passes;
   }
+  if (scratch_storage) *scratch_storage = scratch.release_storage();
   return stats;
 }
 

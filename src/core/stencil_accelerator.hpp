@@ -85,6 +85,14 @@ struct RunStats {
   }
 };
 
+/// Validates `cfg` and resolves an automatic (0) stage_lag to the tap
+/// set's forward reach in whole rows: radius for star stencils, radius+1
+/// for shapes whose farthest tap crosses a row boundary (box corners).
+/// This is the exact derivation every executor and the engine's plan
+/// cache share, so a cached plan equals what StencilAccelerator runs.
+AcceleratorConfig resolve_stage_lag(const TapSet& taps,
+                                    AcceleratorConfig cfg);
+
 class StencilAccelerator {
  public:
   /// Generic construction: executes `taps` under `cfg`. If cfg.stage_lag
@@ -95,11 +103,16 @@ class StencilAccelerator {
   /// Star-stencil convenience (the paper's benchmarks).
   StencilAccelerator(const StarStencil& stencil, const AcceleratorConfig& cfg);
 
-  /// Advances `grid` by `iterations` time steps in place (2D configs only).
-  RunStats run(Grid2D<float>& grid, int iterations);
+  /// Advances `grid` by `iterations` time steps in place (2D configs
+  /// only). `scratch`, when non-null, donates its storage for the internal
+  /// ping-pong grid and receives it back on return (buffer-pool reuse
+  /// across runs); null keeps the original allocate-per-run behavior.
+  RunStats run(Grid2D<float>& grid, int iterations,
+               std::vector<float>* scratch = nullptr);
 
   /// Advances `grid` by `iterations` time steps in place (3D configs only).
-  RunStats run(Grid3D<float>& grid, int iterations);
+  RunStats run(Grid3D<float>& grid, int iterations,
+               std::vector<float>* scratch = nullptr);
 
   /// The configuration as actually executed (stage_lag resolved).
   [[nodiscard]] const AcceleratorConfig& config() const { return cfg_; }

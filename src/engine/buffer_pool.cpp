@@ -1,0 +1,71 @@
+#include "engine/buffer_pool.hpp"
+
+#include <algorithm>
+
+namespace fpga_stencil {
+
+std::vector<float> BufferPool::acquire(std::size_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++acquires_;
+  // Best fit: the smallest retained buffer that already has the capacity.
+  std::size_t best = free_.size();
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].capacity() < size) continue;
+    if (best == free_.size() ||
+        free_[i].capacity() < free_[best].capacity()) {
+      best = i;
+    }
+  }
+  if (best < free_.size()) {
+    std::vector<float> buffer = std::move(free_[best]);
+    free_.erase(free_.begin() + std::ptrdiff_t(best));
+    buffer.resize(size);
+    ++reuses_;
+    return buffer;
+  }
+  ++allocations_;
+  return std::vector<float>(size);
+}
+
+void BufferPool::release(std::vector<float> buffer) {
+  if (buffer.capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() >= max_retained_) return;  // drop: frees on destruction
+  free_.push_back(std::move(buffer));
+}
+
+std::int64_t BufferPool::acquires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquires_;
+}
+
+std::int64_t BufferPool::allocations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocations_;
+}
+
+std::int64_t BufferPool::reuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reuses_;
+}
+
+std::size_t BufferPool::retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+std::int64_t BufferPool::retained_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t bytes = 0;
+  for (const auto& b : free_) {
+    bytes += std::int64_t(b.capacity()) * std::int64_t(sizeof(float));
+  }
+  return bytes;
+}
+
+void BufferPool::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.clear();
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,205 @@
+// Job vocabulary of the StencilEngine: what a caller submits (JobSpec),
+// what comes back (JobResult), and the future-style handle between them.
+//
+// A job is one complete stencil computation -- tap set + configuration +
+// input grid + iteration count -- plus routing and QoS hints. The engine
+// owns the grid for the duration (the spec *moves* in) and hands it back
+// through the result, so concurrent jobs never alias storage.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+#include "cluster/multi_fpga.hpp"
+#include "core/stencil_accelerator.hpp"
+#include "fault/resilient_runner.hpp"
+#include "fpga/device_spec.hpp"
+#include "grid/grid.hpp"
+#include "stencil/accel_config.hpp"
+#include "stencil/tap_set.hpp"
+
+namespace fpga_stencil {
+
+/// Execution paths the engine can route a job to.
+enum class Backend {
+  automatic,   ///< engine picks: cluster if boards > 1, resilient if an
+               ///< injector is set, else the synchronous simulator
+  sync_sim,    ///< StencilAccelerator (fastest, single-threaded)
+  concurrent,  ///< run_concurrent (threaded dataflow pipeline)
+  resilient,   ///< run_resilient (watchdog/checksum/checkpoint)
+  cluster,     ///< MultiFpgaCluster (spatial partitioning over `boards`)
+};
+
+[[nodiscard]] constexpr const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::automatic: return "automatic";
+    case Backend::sync_sim: return "sync_sim";
+    case Backend::concurrent: return "concurrent";
+    case Backend::resilient: return "resilient";
+    case Backend::cluster: return "cluster";
+  }
+  return "?";
+}
+
+/// Either grid dimensionality, by value. The engine works on whichever
+/// alternative the spec carries; cfg.dims must agree (validated at submit).
+using GridVariant = std::variant<Grid2D<float>, Grid3D<float>>;
+
+/// One unit of work. Construct with the required fields, then adjust the
+/// public knobs before submitting. The grid moves into the spec and the
+/// spec moves into the engine.
+struct JobSpec {
+  JobSpec(TapSet taps_, AcceleratorConfig config_, Grid2D<float> grid_,
+          int iterations_)
+      : taps(std::move(taps_)),
+        config(config_),
+        grid(std::move(grid_)),
+        iterations(iterations_) {}
+  JobSpec(TapSet taps_, AcceleratorConfig config_, Grid3D<float> grid_,
+          int iterations_)
+      : taps(std::move(taps_)),
+        config(config_),
+        grid(std::move(grid_)),
+        iterations(iterations_) {}
+
+  TapSet taps;
+  AcceleratorConfig config;
+  GridVariant grid;
+  int iterations = 0;
+
+  Backend backend = Backend::automatic;
+  /// Dataflow knobs (concurrent / resilient backends).
+  std::size_t channel_depth = 64;
+  /// Per-job fault source. Routing note: under Backend::automatic an
+  /// injector routes to the resilient backend -- injecting a stall into
+  /// the bare concurrent pipeline without a watchdog would deadlock.
+  FaultInjector* injector = nullptr;
+  std::chrono::milliseconds watchdog_deadline{0};
+  /// Resilient-backend policy (attempts, checkpoints, checksums). Its
+  /// injector/telemetry/scratch fields are overridden by the engine.
+  ResilienceOptions resilience;
+  /// Cluster-backend shape; boards > 1 routes automatic jobs there.
+  int boards = 1;
+  DeviceSpec device;  ///< cluster only; name empty = arria10_gx1150()
+  LinkSpec link;      ///< cluster only
+  /// Free-form tag echoed in the result (demo campaigns, debugging).
+  std::string label;
+
+  [[nodiscard]] bool is_3d() const {
+    return std::holds_alternative<Grid3D<float>>(grid);
+  }
+};
+
+/// What a finished job hands back.
+struct JobResult {
+  GridVariant grid;  ///< the advanced grid (moved back out of the engine)
+  RunStats stats;
+  ClusterStats cluster;      ///< cluster backend only; default otherwise
+  Backend backend = Backend::sync_sim;  ///< path actually taken
+  bool plan_cache_hit = false;
+  std::uint64_t kernel_fingerprint = 0;  ///< from the cached plan
+  std::int64_t queue_ns = 0;  ///< admission to dispatch
+  std::int64_t run_ns = 0;    ///< dispatch to completion
+  std::string label;
+
+  JobResult() : grid(Grid2D<float>(1, 1)) {}
+
+  [[nodiscard]] Grid2D<float>& grid2d() {
+    return std::get<Grid2D<float>>(grid);
+  }
+  [[nodiscard]] const Grid2D<float>& grid2d() const {
+    return std::get<Grid2D<float>>(grid);
+  }
+  [[nodiscard]] Grid3D<float>& grid3d() {
+    return std::get<Grid3D<float>>(grid);
+  }
+  [[nodiscard]] const Grid3D<float>& grid3d() const {
+    return std::get<Grid3D<float>>(grid);
+  }
+};
+
+enum class JobStatus { queued, running, done, failed };
+
+/// Submission rejected by a full admission queue under
+/// EngineOptions::Admission::reject.
+class EngineOverloadedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+/// Shared between the engine's worker and every JobHandle copy.
+struct JobState {
+  explicit JobState(JobSpec s) : spec(std::move(s)) {}
+
+  std::mutex mu;
+  std::condition_variable cv;
+  JobStatus status = JobStatus::queued;
+  JobSpec spec;               ///< consumed by the worker at dispatch
+  JobResult result;           ///< valid once status == done
+  std::exception_ptr error;   ///< set when status == failed
+  std::chrono::steady_clock::time_point enqueue_time;
+};
+
+}  // namespace detail
+
+/// Future-style handle to a submitted job. Copyable; all copies observe
+/// the same job. wait() blocks until the job finishes and either returns
+/// the result or rethrows the job's exception -- a failed job never
+/// silently yields a grid.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  [[nodiscard]] JobStatus status() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->status;
+  }
+
+  [[nodiscard]] bool finished() const {
+    const JobStatus s = status();
+    return s == JobStatus::done || s == JobStatus::failed;
+  }
+
+  /// Blocks until the job completes. Rethrows the job's exception on
+  /// failure. The reference stays valid while any handle copy lives.
+  JobResult& wait() {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] {
+      return state_->status == JobStatus::done ||
+             state_->status == JobStatus::failed;
+    });
+    if (state_->status == JobStatus::failed) {
+      std::rethrow_exception(state_->error);
+    }
+    return state_->result;
+  }
+
+  /// wait() with a deadline; false if still running when it expires.
+  bool wait_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    return state_->cv.wait_for(lock, timeout, [&] {
+      return state_->status == JobStatus::done ||
+             state_->status == JobStatus::failed;
+    });
+  }
+
+ private:
+  friend class StencilEngine;
+  explicit JobHandle(std::shared_ptr<detail::JobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::JobState> state_;
+};
+
+}  // namespace fpga_stencil

@@ -1,0 +1,307 @@
+#include "engine/stencil_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/expect.hpp"
+#include "common/stopwatch.hpp"
+#include "core/concurrent_accelerator.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+/// Cells in whichever grid the variant holds.
+std::int64_t grid_cells(const GridVariant& g) {
+  return std::visit([](const auto& grid) { return std::int64_t(grid.size()); },
+                    g);
+}
+
+}  // namespace
+
+StencilEngine::StencilEngine(EngineOptions options)
+    : options_(options),
+      telemetry_(options.telemetry ? options.telemetry : &own_telemetry_),
+      plans_(options.plan_cache_capacity),
+      pool_(options.pool_max_retained),
+      paused_(options.start_paused) {
+  const int workers = std::max(1, options_.workers);
+  workers_.reserve(std::size_t(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+StencilEngine::~StencilEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    paused_ = false;  // a parked pool must still drain accepted jobs
+  }
+  dispatch_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+JobHandle StencilEngine::submit(JobSpec spec) {
+  // Cheap shape checks fail fast at the call site; full plan validation
+  // happens in the worker and surfaces through the handle.
+  FPGASTENCIL_EXPECT(spec.iterations >= 0, "iterations must be non-negative");
+  FPGASTENCIL_EXPECT(spec.boards >= 1, "boards must be >= 1");
+  FPGASTENCIL_EXPECT(spec.config.dims == (spec.is_3d() ? 3 : 2),
+                     "grid dimensionality does not match the configuration");
+
+  auto state = std::make_shared<detail::JobState>(std::move(spec));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (options_.admission == EngineOptions::Admission::reject) {
+      if (queue_.size() >= options_.queue_capacity && !stopping_) {
+        telemetry_->metrics().counter("engine.jobs_rejected").add(1);
+        throw EngineOverloadedError(
+            "engine admission queue is full (" +
+            std::to_string(options_.queue_capacity) + " jobs)");
+      }
+    } else {
+      space_cv_.wait(lock, [&] {
+        return queue_.size() < options_.queue_capacity || stopping_;
+      });
+    }
+    if (stopping_) {
+      throw std::runtime_error("engine is shutting down");
+    }
+    state->enqueue_time = std::chrono::steady_clock::now();
+    queue_.push_back(state);
+    queue_high_water_ =
+        std::max(queue_high_water_, std::int64_t(queue_.size()));
+    telemetry_->metrics().counter("engine.jobs_submitted").add(1);
+    telemetry_->metrics().gauge("engine.queue_depth")
+        .set(std::int64_t(queue_.size()));
+  }
+  dispatch_cv_.notify_one();
+  return JobHandle(std::move(state));
+}
+
+std::vector<JobHandle> StencilEngine::submit_batch(
+    std::vector<JobSpec> specs) {
+  std::vector<JobHandle> handles;
+  handles.reserve(specs.size());
+  for (JobSpec& spec : specs) {
+    handles.push_back(submit(std::move(spec)));
+  }
+  return handles;
+}
+
+JobResult StencilEngine::run(JobSpec spec) {
+  JobHandle handle = submit(std::move(spec));
+  return std::move(handle.wait());
+}
+
+void StencilEngine::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void StencilEngine::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  dispatch_cv_.notify_all();
+}
+
+void StencilEngine::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void StencilEngine::clear_caches() {
+  plans_.clear();
+  pool_.clear();
+}
+
+EngineStats StencilEngine::stats() const {
+  EngineStats s;
+  const MetricsSnapshot snap = telemetry_->metrics().snapshot();
+  s.jobs_submitted = snap.value_or("engine.jobs_submitted", 0);
+  s.jobs_completed = snap.value_or("engine.jobs_completed", 0);
+  s.jobs_failed = snap.value_or("engine.jobs_failed", 0);
+  s.jobs_rejected = snap.value_or("engine.jobs_rejected", 0);
+  s.plan_cache_hits = plans_.hits();
+  s.plan_cache_misses = plans_.misses();
+  s.pool_acquires = pool_.acquires();
+  s.pool_allocations = pool_.allocations();
+  s.pool_reuses = pool_.reuses();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_high_water = queue_high_water_;
+  }
+  return s;
+}
+
+void StencilEngine::worker_loop(int worker_id) {
+  for (;;) {
+    std::shared_ptr<detail::JobState> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      dispatch_cv_.wait(lock,
+                        [&] { return stopping_ || (!paused_ && !queue_.empty()); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;  // woken by pause()/resume() races; re-wait
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+      telemetry_->metrics().gauge("engine.queue_depth")
+          .set(std::int64_t(queue_.size()));
+    }
+    space_cv_.notify_one();
+
+    {
+      std::lock_guard<std::mutex> job_lock(job->mu);
+      job->status = JobStatus::running;
+    }
+    execute(*job, worker_id);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void StencilEngine::execute(detail::JobState& job, int worker_id) {
+  JobSpec& spec = job.spec;
+  const std::int64_t queue_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - job.enqueue_time)
+          .count();
+  const auto span = telemetry_->tracer().span(
+      "engine.job" + (spec.label.empty() ? "" : ":" + spec.label), worker_id,
+      "engine");
+  const Stopwatch run_clock;
+  try {
+    const std::int64_t nx =
+        std::visit([](const auto& g) { return g.nx(); }, spec.grid);
+    const std::int64_t ny =
+        std::visit([](const auto& g) { return g.ny(); }, spec.grid);
+    const std::int64_t nz =
+        spec.is_3d() ? std::get<Grid3D<float>>(spec.grid).nz() : 1;
+
+    bool hit = false;
+    const std::shared_ptr<const CachedPlan> plan =
+        plans_.lookup_or_build(spec.taps, spec.config, nx, ny, nz, &hit);
+    telemetry_->metrics()
+        .counter(hit ? "engine.plan_cache_hit" : "engine.plan_cache_miss")
+        .add(1);
+
+    // Routing. An automatic job with an injector goes to the resilient
+    // runner, never the bare concurrent pipeline: an injected stall
+    // without a watchdog would deadlock the pass.
+    Backend backend = spec.backend;
+    if (backend == Backend::automatic) {
+      if (spec.boards > 1) {
+        backend = Backend::cluster;
+      } else if (spec.injector != nullptr) {
+        backend = Backend::resilient;
+      } else {
+        backend = Backend::sync_sim;
+      }
+    }
+
+    // The cached config is hook-free; restore this job's telemetry hook.
+    AcceleratorConfig cfg = plan->config;
+    cfg.telemetry = spec.config.telemetry;
+
+    JobResult result;
+    result.backend = backend;
+    result.plan_cache_hit = hit;
+    result.kernel_fingerprint = plan->kernel_fingerprint;
+    result.label = spec.label;
+    result.queue_ns = queue_ns;
+
+    const std::int64_t cells = grid_cells(spec.grid);
+    std::visit(
+        [&](auto& grid) {
+          switch (backend) {
+            case Backend::automatic:  // resolved above; unreachable
+            case Backend::sync_sim: {
+              BufferPool::Lease lease(pool_, std::size_t(cells));
+              StencilAccelerator accel(spec.taps, cfg);
+              result.stats = accel.run(grid, spec.iterations, &lease.buffer());
+              break;
+            }
+            case Backend::concurrent: {
+              BufferPool::Lease lease(pool_, std::size_t(cells));
+              RunOptions ropts;
+              ropts.channel_depth = spec.channel_depth;
+              ropts.injector = spec.injector;
+              ropts.watchdog_deadline = spec.watchdog_deadline;
+              ropts.scratch = &lease.buffer();
+              result.stats =
+                  run_concurrent(spec.taps, cfg, grid, spec.iterations, ropts);
+              break;
+            }
+            case Backend::resilient: {
+              BufferPool::Lease lease(pool_, std::size_t(cells));
+              ResilienceOptions ropts = spec.resilience;
+              ropts.channel_depth = spec.channel_depth;
+              if (spec.injector) ropts.injector = spec.injector;
+              if (spec.watchdog_deadline.count() > 0) {
+                ropts.watchdog_deadline = spec.watchdog_deadline;
+              }
+              ropts.scratch = &lease.buffer();
+              result.stats =
+                  run_resilient(spec.taps, cfg, grid, spec.iterations, ropts);
+              break;
+            }
+            case Backend::cluster: {
+              const DeviceSpec device =
+                  spec.device.name.empty() ? arria10_gx1150() : spec.device;
+              MultiFpgaCluster cluster(spec.boards, spec.taps, cfg, device,
+                                       spec.link);
+              result.cluster = cluster.run(grid, spec.iterations);
+              // The cluster reports modeled timing, not streaming counts;
+              // synthesize the valid-cell work for the job metrics.
+              result.stats.passes = result.cluster.passes;
+              result.stats.time_steps = spec.iterations;
+              result.stats.cells_written = cells * spec.iterations;
+              break;
+            }
+          }
+        },
+        spec.grid);
+
+    result.grid = std::move(spec.grid);
+    result.run_ns = run_clock.nanoseconds();
+    record_job_metrics(*telemetry_, "engine", queue_ns, result.run_ns,
+                       result.stats.cells_written);
+    telemetry_->metrics().counter("engine.jobs_completed").add(1);
+    finish(job, std::move(result));
+  } catch (...) {
+    telemetry_->metrics().counter("engine.jobs_failed").add(1);
+    telemetry_->tracer().instant("engine.job_failed", worker_id, "engine");
+    fail(job, std::current_exception());
+  }
+}
+
+void StencilEngine::finish(detail::JobState& job, JobResult result) {
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.result = std::move(result);
+    job.status = JobStatus::done;
+  }
+  job.cv.notify_all();
+}
+
+void StencilEngine::fail(detail::JobState& job, std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.error = std::move(error);
+    job.status = JobStatus::failed;
+  }
+  job.cv.notify_all();
+}
+
+}  // namespace fpga_stencil

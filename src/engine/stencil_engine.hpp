@@ -1,0 +1,158 @@
+// StencilEngine: one session object serving many stencil jobs.
+//
+// Before this subsystem every entry point was a free function that paid
+// full setup per call -- validate the configuration, resolve the stage
+// lag, build the blocking plan, allocate a scratch grid -- and callers
+// wanting concurrency had to thread their own pool. The engine is the
+// session API over the same executors:
+//
+//   StencilEngine engine;                         // owns a worker pool
+//   JobHandle h = engine.submit(std::move(spec)); // bounded admission
+//   JobResult& r = h.wait();                      // future-style
+//
+// Internally: an LRU PlanCache keyed by (tap-set fingerprint, config,
+// grid extents) front-loads validation/planning/kernel-fingerprinting
+// once per distinct spec; a BufferPool recycles scratch storage across
+// jobs (zero allocation growth after warm-up); a router dispatches each
+// job to the synchronous simulator, the concurrent dataflow pipeline,
+// the resilient runner, or the multi-FPGA cluster behind one seam.
+//
+// Observability: the engine tallies engine.jobs_{submitted,completed,
+// failed,rejected}, engine.plan_cache_{hit,miss}, an engine.queue_depth
+// gauge (plus high-water), and per-job latency histograms -- into the
+// attached Telemetry when EngineOptions::telemetry is set, else into an
+// engine-local registry that stats() snapshots either way. Per-job fault
+// injectors pass straight through to the executors, preserving the
+// fault-injection semantics of the underlying runtimes.
+//
+// Failure isolation: a job that throws (ConfigError, exhausted resilient
+// attempts, ...) marks only its own handle failed; workers, cache, and
+// pool keep serving subsequent jobs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/buffer_pool.hpp"
+#include "engine/job.hpp"
+#include "engine/plan_cache.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace fpga_stencil {
+
+struct EngineOptions {
+  /// Worker threads executing jobs (min 1).
+  int workers = 4;
+  /// Bounded admission queue: jobs accepted but not yet dispatched.
+  std::size_t queue_capacity = 64;
+  /// What submit() does when the queue is full.
+  enum class Admission {
+    block,   ///< wait for space (backpressure propagates to the caller)
+    reject,  ///< throw EngineOverloadedError immediately
+  };
+  Admission admission = Admission::block;
+  /// Distinct (taps, config, extents) plans kept hot.
+  std::size_t plan_cache_capacity = 32;
+  /// Idle scratch buffers retained for reuse.
+  std::size_t pool_max_retained = 64;
+  /// Engine-level observability hook; null uses an engine-local registry.
+  /// Either way stats() reads the same counters. Must outlive the engine.
+  Telemetry* telemetry = nullptr;
+  /// Start with workers parked: submissions queue but nothing dispatches
+  /// until resume(). Deterministic backpressure tests rely on this.
+  bool start_paused = false;
+};
+
+/// Point-in-time engine counters (monotonic over the engine's lifetime).
+struct EngineStats {
+  std::int64_t jobs_submitted = 0;
+  std::int64_t jobs_completed = 0;
+  std::int64_t jobs_failed = 0;
+  std::int64_t jobs_rejected = 0;
+  std::int64_t plan_cache_hits = 0;
+  std::int64_t plan_cache_misses = 0;
+  std::int64_t pool_acquires = 0;
+  std::int64_t pool_allocations = 0;
+  std::int64_t pool_reuses = 0;
+  std::int64_t queue_high_water = 0;
+
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::int64_t lookups = plan_cache_hits + plan_cache_misses;
+    return lookups > 0 ? double(plan_cache_hits) / double(lookups) : 0.0;
+  }
+};
+
+class StencilEngine {
+ public:
+  explicit StencilEngine(EngineOptions options = {});
+
+  /// Finishes every accepted job (resuming paused workers), then joins
+  /// the pool. Jobs already submitted are never dropped.
+  ~StencilEngine();
+
+  StencilEngine(const StencilEngine&) = delete;
+  StencilEngine& operator=(const StencilEngine&) = delete;
+
+  /// Queues one job. Cheap spec errors (dims/grid mismatch, negative
+  /// iterations) throw ConfigError here; plan validation errors surface
+  /// through the handle. A full queue blocks or throws
+  /// EngineOverloadedError per EngineOptions::admission.
+  JobHandle submit(JobSpec spec);
+
+  /// submit() for each spec, in order; same admission semantics per job.
+  std::vector<JobHandle> submit_batch(std::vector<JobSpec> specs);
+
+  /// Synchronous convenience: submit + wait. Rethrows the job's error.
+  JobResult run(JobSpec spec);
+
+  /// Parks the workers after their current job; queued jobs stay queued.
+  void pause();
+  /// Unparks the workers.
+  void resume();
+
+  /// Blocks until no job is queued or running. Workers must not be
+  /// paused (a paused engine never drains).
+  void wait_idle();
+
+  /// Drops cached plans and pooled buffers (cold-start benchmarking).
+  void clear_caches();
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] const PlanCache& plan_cache() const { return plans_; }
+  [[nodiscard]] const BufferPool& buffer_pool() const { return pool_; }
+  /// The registry/tracer the engine records into (attached or local).
+  [[nodiscard]] Telemetry& telemetry() { return *telemetry_; }
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+ private:
+  void worker_loop(int worker_id);
+  void execute(detail::JobState& job, int worker_id);
+  void finish(detail::JobState& job, JobResult result);
+  void fail(detail::JobState& job, std::exception_ptr error);
+
+  EngineOptions options_;
+  Telemetry own_telemetry_;
+  Telemetry* telemetry_;  ///< options_.telemetry or &own_telemetry_
+
+  PlanCache plans_;
+  BufferPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable dispatch_cv_;  ///< workers: work available / stop
+  std::condition_variable space_cv_;     ///< submitters: queue has room
+  std::condition_variable idle_cv_;      ///< wait_idle: drained
+  std::deque<std::shared_ptr<detail::JobState>> queue_;
+  int active_ = 0;  ///< jobs currently executing
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::int64_t queue_high_water_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fpga_stencil

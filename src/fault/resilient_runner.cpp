@@ -1,6 +1,7 @@
 #include "fault/resilient_runner.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "common/stopwatch.hpp"
 #include "fault/checkpoint.hpp"
@@ -86,11 +87,12 @@ RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
   FaultInjector* fi = opts.injector ? opts.injector : active_fault_injector();
   const std::int64_t fires_before = fi ? fi->total_fires() : 0;
 
-  ConcurrentOptions copts;
+  RunOptions copts;
   copts.channel_depth = opts.channel_depth;
   copts.injector = fi;
   copts.watchdog_deadline = opts.watchdog_deadline;
   copts.telemetry = attached;
+  copts.scratch = opts.scratch;
 
   RunStats total;
   CheckpointStore<GridT> checkpoint;
@@ -174,20 +176,28 @@ RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
   return total;
 }
 
+/// The grid type encodes the dimensionality the configuration must match.
+template <typename GridT>
+constexpr int grid_dims_v = std::is_same_v<GridT, Grid3D<float>> ? 3 : 2;
+
 }  // namespace
 
+template <typename GridT>
 RunStats run_resilient(const TapSet& taps, const AcceleratorConfig& cfg,
-                       Grid2D<float>& grid, int iterations,
+                       GridT& grid, int iterations,
                        const ResilienceOptions& options) {
-  FPGASTENCIL_EXPECT(cfg.dims == 2, "2D run on a 3D configuration");
+  FPGASTENCIL_EXPECT(cfg.dims == grid_dims_v<GridT>,
+                     "grid dimensionality does not match the configuration");
   return run_resilient_impl(taps, cfg, grid, iterations, options);
 }
 
-RunStats run_resilient(const TapSet& taps, const AcceleratorConfig& cfg,
-                       Grid3D<float>& grid, int iterations,
-                       const ResilienceOptions& options) {
-  FPGASTENCIL_EXPECT(cfg.dims == 3, "3D run on a 2D configuration");
-  return run_resilient_impl(taps, cfg, grid, iterations, options);
-}
+template RunStats run_resilient<Grid2D<float>>(const TapSet&,
+                                               const AcceleratorConfig&,
+                                               Grid2D<float>&, int,
+                                               const ResilienceOptions&);
+template RunStats run_resilient<Grid3D<float>>(const TapSet&,
+                                               const AcceleratorConfig&,
+                                               Grid3D<float>&, int,
+                                               const ResilienceOptions&);
 
 }  // namespace fpga_stencil

@@ -46,17 +46,27 @@ struct ResilienceOptions {
   /// through a metrics registry (a run-local one when no hook is
   /// attached), so there is a single counting mechanism.
   Telemetry* telemetry = nullptr;
+  /// Reusable scratch storage forwarded to the underlying concurrent
+  /// passes (see RunOptions::scratch); the engine's buffer pool threads
+  /// through here.
+  std::vector<float>* scratch = nullptr;
 };
 
 /// Advances `grid` by `iterations` time steps in place, surviving the
 /// active fault plan; the result is bit-exact with the naive reference
-/// regardless of which faults fired.
+/// regardless of which faults fired. This is the unified entry point
+/// (formerly one overload per grid type), instantiated for Grid2D<float>
+/// and Grid3D<float>.
+template <typename GridT>
 RunStats run_resilient(const TapSet& taps, const AcceleratorConfig& cfg,
-                       Grid2D<float>& grid, int iterations,
+                       GridT& grid, int iterations,
                        const ResilienceOptions& options = {});
 
-RunStats run_resilient(const TapSet& taps, const AcceleratorConfig& cfg,
-                       Grid3D<float>& grid, int iterations,
-                       const ResilienceOptions& options = {});
+extern template RunStats run_resilient<Grid2D<float>>(
+    const TapSet&, const AcceleratorConfig&, Grid2D<float>&, int,
+    const ResilienceOptions&);
+extern template RunStats run_resilient<Grid3D<float>>(
+    const TapSet&, const AcceleratorConfig&, Grid3D<float>&, int,
+    const ResilienceOptions&);
 
 }  // namespace fpga_stencil

@@ -23,6 +23,22 @@ class Grid2D {
   Grid2D(std::int64_t nx, std::int64_t ny, T fill = T{})
       : nx_(nx), ny_(ny), data_(checked_size(nx, ny), fill) {}
 
+  /// Adopts `storage` as the backing store (resized to nx*ny; existing
+  /// capacity is kept, cell contents are unspecified). This is the
+  /// buffer-pool hook: scratch grids recycled across jobs enter and leave
+  /// through here without reallocating.
+  Grid2D(std::int64_t nx, std::int64_t ny, std::vector<T>&& storage)
+      : nx_(nx), ny_(ny), data_(std::move(storage)) {
+    data_.resize(checked_size(nx, ny));
+  }
+
+  /// Gives the backing store back (e.g. to a buffer pool); the grid is
+  /// empty afterwards.
+  [[nodiscard]] std::vector<T> release_storage() {
+    nx_ = ny_ = 0;
+    return std::move(data_);
+  }
+
   [[nodiscard]] std::int64_t nx() const { return nx_; }
   [[nodiscard]] std::int64_t ny() const { return ny_; }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
@@ -87,6 +103,18 @@ class Grid3D {
   Grid3D() = default;
   Grid3D(std::int64_t nx, std::int64_t ny, std::int64_t nz, T fill = T{})
       : nx_(nx), ny_(ny), nz_(nz), data_(checked_size(nx, ny, nz), fill) {}
+
+  /// Adopts `storage` as the backing store; see Grid2D for the contract.
+  Grid3D(std::int64_t nx, std::int64_t ny, std::int64_t nz,
+         std::vector<T>&& storage)
+      : nx_(nx), ny_(ny), nz_(nz), data_(std::move(storage)) {
+    data_.resize(checked_size(nx, ny, nz));
+  }
+
+  [[nodiscard]] std::vector<T> release_storage() {
+    nx_ = ny_ = nz_ = 0;
+    return std::move(data_);
+  }
 
   [[nodiscard]] std::int64_t nx() const { return nx_; }
   [[nodiscard]] std::int64_t ny() const { return ny_; }

@@ -118,6 +118,12 @@ struct AcceleratorConfig {
     if (dims == 3) s += "x" + std::to_string(bsize_y);
     s += " parvec=" + std::to_string(parvec) +
          " partime=" + std::to_string(partime);
+    // A resolved lag equal to the radius is the star-stencil default and
+    // stays implicit; anything else (box-stencil corners, explicit
+    // overrides) must show up so job labels are unambiguous.
+    if (stage_lag != 0 && stage_lag != radius) {
+      s += " lag=" + std::to_string(stage_lag);
+    }
     return s;
   }
 };

@@ -32,4 +32,19 @@ void record_pass_metrics(Telemetry& telemetry, std::string_view prefix,
   }
 }
 
+void record_job_metrics(Telemetry& telemetry, std::string_view prefix,
+                        std::int64_t queue_ns, std::int64_t run_ns,
+                        std::int64_t cells_written) {
+  MetricsRegistry& reg = telemetry.metrics();
+  const std::string p(prefix);
+  reg.histogram(p + ".queue_wait_ns", default_latency_bounds_ns())
+      .observe(queue_ns);
+  reg.histogram(p + ".job_ns", default_latency_bounds_ns()).observe(run_ns);
+  reg.counter(p + ".cells_written").add(cells_written);
+  if (run_ns > 0) {
+    reg.gauge(p + ".job.cells_per_s")
+        .set(std::int64_t(double(cells_written) * 1e9 / double(run_ns)));
+  }
+}
+
 }  // namespace fpga_stencil

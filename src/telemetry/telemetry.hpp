@@ -63,4 +63,13 @@ std::vector<std::int64_t> default_latency_bounds_ns();
 void record_pass_metrics(Telemetry& telemetry, std::string_view prefix,
                          std::int64_t cells_written, std::int64_t pass_ns);
 
+/// Records one finished engine job under `prefix`:
+///   <prefix>.queue_wait_ns   histogram, admission-to-dispatch wait
+///   <prefix>.job_ns          histogram, execution time
+///   <prefix>.cells_written   counter
+///   <prefix>.job.cells_per_s gauge, throughput of this job
+void record_job_metrics(Telemetry& telemetry, std::string_view prefix,
+                        std::int64_t queue_ns, std::int64_t run_ns,
+                        std::int64_t cells_written);
+
 }  // namespace fpga_stencil

@@ -89,6 +89,17 @@ TEST(AccelConfig, DescribeMentionsEverything) {
   EXPECT_NE(d.find("partime=6"), std::string::npos);
 }
 
+TEST(AccelConfig, DescribeShowsNonDefaultStageLag) {
+  // Auto (0) and the star default (lag == radius) stay implicit; a
+  // resolved box-corner lag or an explicit override must be visible.
+  AcceleratorConfig c = make2d(2, 256, 4, 2);
+  EXPECT_EQ(c.describe().find("lag="), std::string::npos);
+  c.stage_lag = c.radius;
+  EXPECT_EQ(c.describe().find("lag="), std::string::npos);
+  c.stage_lag = c.radius + 1;
+  EXPECT_NE(c.describe().find("lag=3"), std::string::npos);
+}
+
 // --- blocking plan ---
 
 TEST(BlockingPlan, ExactTiling2D) {

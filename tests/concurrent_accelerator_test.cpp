@@ -76,8 +76,8 @@ TEST_P(Concurrent2D, MatchesReferenceAndSynchronous) {
   Grid2D<float> want = threaded;
 
   const int iters = partime + 2;  // includes a partial tail pass
-  const RunStats rc = run_concurrent(taps, cfg, threaded, iters,
-                                     /*channel_depth=*/8);
+  const RunStats rc =
+      run_concurrent(taps, cfg, threaded, iters, RunOptions{.channel_depth = 8});
   StencilAccelerator accel(taps, cfg);
   const RunStats rs = accel.run(sync_grid, iters);
   reference_run(s, want, iters);
@@ -107,7 +107,7 @@ TEST(Concurrent3D, MatchesReference) {
   Grid3D<float> g(30, 22, 11);
   g.fill_random(9);
   Grid3D<float> want = g;
-  run_concurrent(s.to_taps(), cfg, g, 5, /*channel_depth=*/16);
+  run_concurrent(s.to_taps(), cfg, g, 5, RunOptions{.channel_depth = 16});
   reference_run(s, want, 5);
   EXPECT_TRUE(compare_exact(g, want).identical());
 }
@@ -141,7 +141,28 @@ TEST(Concurrent, TinyChannelDepthStillCorrect) {
   Grid2D<float> g(30, 14);
   g.fill_random(2);
   Grid2D<float> want = g;
-  run_concurrent(s.to_taps(), cfg, g, 3, /*channel_depth=*/1);
+  run_concurrent(s.to_taps(), cfg, g, 3, RunOptions{.channel_depth = 1});
+  reference_run(s, want, 3);
+  EXPECT_TRUE(compare_exact(g, want).identical());
+}
+
+TEST(Concurrent, DeprecatedDepthOverloadStillBitExact) {
+  // The pre-RunOptions signature must keep working (and keep agreeing
+  // with the reference) until the shims are removed.
+  AcceleratorConfig cfg;
+  cfg.dims = 2;
+  cfg.radius = 1;
+  cfg.bsize_x = 16;
+  cfg.parvec = 2;
+  cfg.partime = 2;
+  const StarStencil s = StarStencil::make_benchmark(2, 1);
+  Grid2D<float> g(30, 14);
+  g.fill_random(2);
+  Grid2D<float> want = g;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  run_concurrent(s.to_taps(), cfg, g, 3, std::size_t{8});
+#pragma GCC diagnostic pop
   reference_run(s, want, 3);
   EXPECT_TRUE(compare_exact(g, want).identical());
 }
@@ -163,7 +184,7 @@ TEST(Concurrent, ChannelHighWaterWithinConfiguredCapacity) {
   g.fill_random(2);
 
   constexpr std::size_t kDepth = 4;
-  run_concurrent(s.to_taps(), cfg, g, 3, kDepth);
+  run_concurrent(s.to_taps(), cfg, g, 3, RunOptions{.channel_depth = kDepth});
 
   const MetricsSnapshot snap = telemetry.metrics().snapshot();
   // Channels: read -> PE0 .. PE{partime-1} -> write = partime + 1 lanes.

@@ -1,0 +1,317 @@
+// Tests for the StencilEngine session API: plan-cache accounting, buffer
+// pool reuse across jobs, concurrent submission bit-exactness, admission
+// backpressure, routing, and failure isolation.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "engine/stencil_engine.hpp"
+#include "grid/grid_compare.hpp"
+#include "stencil/box_stencil.hpp"
+#include "stencil/reference.hpp"
+#include "stencil/star_stencil.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+AcceleratorConfig cfg2d() {
+  AcceleratorConfig c;
+  c.dims = 2;
+  c.radius = 1;
+  c.bsize_x = 32;
+  c.parvec = 4;
+  c.partime = 2;
+  return c;
+}
+
+AcceleratorConfig cfg3d() {
+  AcceleratorConfig c;
+  c.dims = 3;
+  c.radius = 1;
+  c.bsize_x = 16;
+  c.bsize_y = 8;
+  c.parvec = 4;
+  c.partime = 2;
+  return c;
+}
+
+Grid2D<float> grid2d(unsigned seed = 3) {
+  Grid2D<float> g(48, 20);
+  g.fill_random(seed);
+  return g;
+}
+
+Grid3D<float> grid3d(unsigned seed = 4) {
+  Grid3D<float> g(20, 14, 10);
+  g.fill_random(seed);
+  return g;
+}
+
+TEST(Engine, SingleJobMatchesReference) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> want = grid2d();
+  reference_run(taps, want, 4);
+
+  StencilEngine engine;
+  JobResult result = engine.run(JobSpec(taps, cfg2d(), grid2d(), 4));
+  EXPECT_TRUE(compare_exact(result.grid2d(), want).identical());
+  EXPECT_EQ(result.backend, Backend::sync_sim);
+  EXPECT_EQ(result.stats.time_steps, 4);
+  EXPECT_NE(result.kernel_fingerprint, 0u);
+  EXPECT_GE(result.run_ns, 0);
+  EXPECT_GE(result.queue_ns, 0);
+}
+
+TEST(Engine, PlanCacheHitMissAccounting) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 1});
+
+  JobResult first = engine.run(JobSpec(taps, cfg2d(), grid2d(), 2));
+  EXPECT_FALSE(first.plan_cache_hit);
+  JobResult second = engine.run(JobSpec(taps, cfg2d(), grid2d(), 2));
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_EQ(first.kernel_fingerprint, second.kernel_fingerprint);
+  // A different grid shape is a different plan.
+  Grid2D<float> other(64, 20);
+  other.fill_random(3);
+  JobResult third = engine.run(JobSpec(taps, cfg2d(), std::move(other), 2));
+  EXPECT_FALSE(third.plan_cache_hit);
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.plan_cache_hits, 1);
+  EXPECT_EQ(stats.plan_cache_misses, 2);
+  EXPECT_EQ(stats.jobs_submitted, 3);
+  EXPECT_EQ(stats.jobs_completed, 3);
+  EXPECT_EQ(stats.jobs_failed, 0);
+  // The engine-local telemetry carries the same counters.
+  const MetricsSnapshot snap = engine.telemetry().metrics().snapshot();
+  EXPECT_EQ(snap.value_or("engine.plan_cache_hit", -1), 1);
+  EXPECT_EQ(snap.value_or("engine.plan_cache_miss", -1), 2);
+  EXPECT_EQ(snap.value_or("engine.jobs_completed", -1), 3);
+}
+
+TEST(Engine, BufferPoolStopsAllocatingAfterWarmup) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 1});
+
+  (void)engine.run(JobSpec(taps, cfg2d(), grid2d(), 3));
+  const std::int64_t warm_allocations = engine.stats().pool_allocations;
+  for (int i = 0; i < 8; ++i) {
+    (void)engine.run(JobSpec(taps, cfg2d(), grid2d(unsigned(i)), 3));
+  }
+  const EngineStats stats = engine.stats();
+  // Zero buffer growth after warm-up: every later job reuses the first
+  // job's scratch storage.
+  EXPECT_EQ(stats.pool_allocations, warm_allocations);
+  EXPECT_GE(stats.pool_reuses, 8);
+  EXPECT_EQ(stats.pool_acquires, 9);
+}
+
+TEST(Engine, ConcurrentStress64JobsBitExact) {
+  const TapSet star2 = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  const TapSet box2 = make_box_stencil(2, 1, 21);
+  const TapSet star3 = StarStencil::make_benchmark(3, 1, 9).to_taps();
+  const int iters = 3;
+
+  // Expected outputs, one per distinct spec, via the naive reference.
+  Grid2D<float> want_star2 = grid2d();
+  reference_run(star2, want_star2, iters);
+  Grid2D<float> want_box2 = grid2d();
+  reference_run(box2, want_box2, iters);
+  Grid3D<float> want_star3 = grid3d();
+  reference_run(star3, want_star3, iters);
+
+  StencilEngine engine({.workers = 4, .queue_capacity = 128});
+  // Warm the cache so the stress-phase hit rate is deterministic (>0.9
+  // requires the misses to be bounded by the distinct spec count).
+  (void)engine.run(JobSpec(star2, cfg2d(), grid2d(), iters));
+  (void)engine.run(JobSpec(box2, cfg2d(), grid2d(), iters));
+  (void)engine.run(JobSpec(star3, cfg3d(), grid3d(), iters));
+
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 16;
+  std::vector<std::vector<JobHandle>> handles(kThreads);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        const int kind = (t + i) % 4;
+        JobSpec spec = [&]() -> JobSpec {
+          switch (kind) {
+            case 0: return {star2, cfg2d(), grid2d(), iters};
+            case 1: return {box2, cfg2d(), grid2d(), iters};
+            case 2: return {star3, cfg3d(), grid3d(), iters};
+            default: {
+              JobSpec s(star2, cfg2d(), grid2d(), iters);
+              s.backend = Backend::concurrent;
+              return s;
+            }
+          }
+        }();
+        handles[std::size_t(t)].push_back(engine.submit(std::move(spec)));
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  int verified = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kJobsPerThread; ++i) {
+      JobResult& r = handles[std::size_t(t)][std::size_t(i)].wait();
+      switch ((t + i) % 4) {
+        case 2:
+          EXPECT_TRUE(compare_exact(r.grid3d(), want_star3).identical());
+          break;
+        case 1:
+          EXPECT_TRUE(compare_exact(r.grid2d(), want_box2).identical());
+          break;
+        default:
+          EXPECT_TRUE(compare_exact(r.grid2d(), want_star2).identical());
+          break;
+      }
+      ++verified;
+    }
+  }
+  EXPECT_EQ(verified, kThreads * kJobsPerThread);
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.jobs_submitted, 3 + 64);
+  EXPECT_EQ(stats.jobs_completed, 3 + 64);
+  EXPECT_EQ(stats.jobs_failed, 0);
+  EXPECT_GT(stats.cache_hit_rate(), 0.9);
+}
+
+TEST(Engine, RejectAdmissionThrowsWhenQueueIsFull) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 1,
+                        .queue_capacity = 2,
+                        .admission = EngineOptions::Admission::reject,
+                        .start_paused = true});
+  JobHandle a = engine.submit(JobSpec(taps, cfg2d(), grid2d(), 2));
+  JobHandle b = engine.submit(JobSpec(taps, cfg2d(), grid2d(), 2));
+  EXPECT_THROW((void)engine.submit(JobSpec(taps, cfg2d(), grid2d(), 2)),
+               EngineOverloadedError);
+  EXPECT_EQ(engine.stats().jobs_rejected, 1);
+
+  engine.resume();
+  (void)a.wait();
+  (void)b.wait();
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.jobs_completed, 2);
+  EXPECT_EQ(stats.queue_high_water, 2);
+}
+
+TEST(Engine, BlockAdmissionBoundsTheQueue) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  std::vector<JobHandle> handles;
+  {
+    StencilEngine engine({.workers = 1,
+                          .queue_capacity = 1,
+                          .admission = EngineOptions::Admission::block,
+                          .start_paused = true});
+    std::thread submitter([&] {
+      for (int i = 0; i < 4; ++i) {
+        handles.push_back(engine.submit(JobSpec(taps, cfg2d(), grid2d(), 2)));
+      }
+    });
+    // The submitter blocks on the full queue until workers drain it.
+    engine.resume();
+    submitter.join();
+    // Backpressure held the queue at its capacity the whole time.
+    EXPECT_LE(engine.stats().queue_high_water, 1);
+  }  // engine destructor drains every accepted job
+  for (JobHandle& h : handles) {
+    EXPECT_NO_THROW((void)h.wait());
+  }
+}
+
+TEST(Engine, FailedJobDoesNotPoisonSubsequentJobs) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 1});
+
+  AcceleratorConfig bad = cfg2d();
+  bad.bsize_x = 4;  // halo eats the block: plan validation fails
+  JobHandle failing = engine.submit(JobSpec(taps, bad, grid2d(), 2));
+  EXPECT_THROW((void)failing.wait(), ConfigError);
+  EXPECT_EQ(failing.status(), JobStatus::failed);
+
+  Grid2D<float> want = grid2d();
+  reference_run(taps, want, 4);
+  JobResult ok = engine.run(JobSpec(taps, cfg2d(), grid2d(), 4));
+  EXPECT_TRUE(compare_exact(ok.grid2d(), want).identical());
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.jobs_failed, 1);
+  EXPECT_EQ(stats.jobs_completed, 1);
+}
+
+TEST(Engine, FaultInjectedJobIsServedResilientlyAndIsolated) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> want = grid2d();
+  reference_run(taps, want, 4);
+
+  FaultInjector injector(FaultPlan::parse("seed=3,kernel_hang:n=1"));
+  StencilEngine engine({.workers = 1});
+
+  JobSpec faulty(taps, cfg2d(), grid2d(), 4);
+  faulty.injector = &injector;  // automatic routing -> resilient runner
+  JobResult r = engine.run(std::move(faulty));
+  EXPECT_EQ(r.backend, Backend::resilient);
+  EXPECT_TRUE(compare_exact(r.grid2d(), want).identical());
+  EXPECT_GE(r.stats.watchdog_trips + r.stats.checksum_failures +
+                r.stats.faults_injected,
+            1);
+
+  // The next (clean) job sees a healthy engine.
+  JobResult clean = engine.run(JobSpec(taps, cfg2d(), grid2d(), 4));
+  EXPECT_EQ(clean.backend, Backend::sync_sim);
+  EXPECT_TRUE(compare_exact(clean.grid2d(), want).identical());
+  EXPECT_EQ(engine.stats().jobs_failed, 0);
+}
+
+TEST(Engine, RoutesClusterJobsAndStaysBitExact) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> want = grid2d();
+  reference_run(taps, want, 4);
+
+  StencilEngine engine;
+  JobSpec spec(taps, cfg2d(), grid2d(), 4);
+  spec.boards = 3;  // automatic routing -> cluster
+  JobResult r = engine.run(std::move(spec));
+  EXPECT_EQ(r.backend, Backend::cluster);
+  EXPECT_EQ(r.cluster.boards, 3);
+  EXPECT_GT(r.cluster.total_seconds, 0.0);
+  EXPECT_TRUE(compare_exact(r.grid2d(), want).identical());
+}
+
+TEST(Engine, SubmitBatchPreservesOrderAndCompletes) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 2});
+  std::vector<JobSpec> specs;
+  for (int i = 0; i < 8; ++i) {
+    JobSpec s(taps, cfg2d(), grid2d(), 2);
+    s.label = "batch-" + std::to_string(i);
+    specs.push_back(std::move(s));
+  }
+  std::vector<JobHandle> handles = engine.submit_batch(std::move(specs));
+  ASSERT_EQ(handles.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(handles[std::size_t(i)].wait().label,
+              "batch-" + std::to_string(i));
+  }
+  engine.wait_idle();
+  EXPECT_EQ(engine.stats().jobs_completed, 8);
+}
+
+TEST(Engine, SubmitRejectsMismatchedDimsEagerly) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine;
+  // 2D config, 3D grid: caught at submit, not in the worker.
+  EXPECT_THROW((void)engine.submit(JobSpec(taps, cfg2d(), grid3d(), 2)),
+               ConfigError);
+  JobSpec negative(taps, cfg2d(), grid2d(), -1);
+  EXPECT_THROW((void)engine.submit(std::move(negative)), ConfigError);
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -59,7 +59,48 @@ SCHEMA = {
     },
 }
 
+# The engine demo campaign artifact (stencilctl engine --json): per-job
+# latency records plus session-level cache/pool summary. Dispatch: a
+# document with a top-level "jobs" array uses this schema, otherwise the
+# experiments-summary schema above.
+ENGINE_SCHEMA = {
+    "schema_version": int,
+    "bench": str,
+    "paper": str,
+    "engine": {
+        "workers": int,
+        "queue_capacity": int,
+        "plan_cache_capacity": int,
+    },
+    "jobs": ("array", {
+        "label": str,
+        "backend": str,
+        "dims": int,
+        "nx": int,
+        "ny": int,
+        "nz": int,
+        "iters": int,
+        "plan_cache_hit": bool,
+        "exact": bool,
+        "queue_ns": int,
+        "run_ns": int,
+        "cells_written": int,
+    }),
+    "summary": {
+        "jobs": int,
+        "completed": int,
+        "failed": int,
+        "cache_hit_rate": NUMBER,
+        "plan_cache_hits": int,
+        "plan_cache_misses": int,
+        "pool_allocations": int,
+        "pool_reuses": int,
+        "queue_high_water": int,
+    },
+}
+
 METRIC_KINDS = {"counter", "gauge", "histogram"}
+BACKENDS = {"automatic", "sync_sim", "concurrent", "resilient", "cluster"}
 
 
 def check(value, schema, path, errors):
@@ -81,12 +122,50 @@ def check(value, schema, path, errors):
         for i, item in enumerate(value):
             check(item, schema[1], f"{path}[{i}]", errors)
     else:
-        # bool is an int subclass in Python; never accept it for numbers.
-        if isinstance(value, bool) or not isinstance(value, schema):
+        # bool is an int subclass in Python; never accept it for numbers,
+        # but do accept it when bool is what the schema asks for.
+        if schema is bool:
+            ok = isinstance(value, bool)
+        else:
+            ok = not isinstance(value, bool) and isinstance(value, schema)
+        if not ok:
             want = getattr(schema, "__name__", "number")
             errors.append(
                 f"{path}: expected {want}, got {type(value).__name__} "
                 f"({value!r})")
+
+
+def engine_semantic_checks(doc, errors):
+    """Constraints of the engine campaign the type schema can't express."""
+    for i, job in enumerate(doc.get("jobs", [])):
+        if not isinstance(job, dict):
+            continue
+        path = f"$.jobs[{i}]"
+        if job.get("dims") not in (2, 3):
+            errors.append(f"{path}.dims: must be 2 or 3")
+        if job.get("backend") not in BACKENDS:
+            errors.append(
+                f"{path}.backend: {job.get('backend')!r} not in "
+                f"{sorted(BACKENDS)}")
+        for key in ("queue_ns", "run_ns", "cells_written"):
+            v = job.get(key)
+            if isinstance(v, int) and not isinstance(v, bool) and v < 0:
+                errors.append(f"{path}.{key}: negative")
+        if job.get("exact") is False:
+            errors.append(f"{path}: job output was not bit-exact")
+    summary = doc.get("summary", {})
+    if isinstance(summary, dict):
+        rate = summary.get("cache_hit_rate")
+        if (isinstance(rate, NUMBER) and not isinstance(rate, bool)
+                and not 0.0 <= rate <= 1.0):
+            errors.append("$.summary.cache_hit_rate: outside [0, 1]")
+        jobs = summary.get("jobs")
+        done = summary.get("completed")
+        if isinstance(jobs, int) and isinstance(done, int) and jobs != done:
+            errors.append("$.summary: completed != jobs")
+        failed = summary.get("failed")
+        if isinstance(failed, int) and failed != 0:
+            errors.append("$.summary.failed: campaign had failed jobs")
 
 
 def semantic_checks(doc, errors):
@@ -126,16 +205,25 @@ def validate_file(name):
         print(f"{name}: FAIL: {exc}")
         return False
     errors = []
-    check(doc, SCHEMA, "$", errors)
-    semantic_checks(doc, errors)
+    is_engine = isinstance(doc, dict) and "jobs" in doc
+    if is_engine:
+        check(doc, ENGINE_SCHEMA, "$", errors)
+        engine_semantic_checks(doc, errors)
+    else:
+        check(doc, SCHEMA, "$", errors)
+        semantic_checks(doc, errors)
     if errors:
         print(f"{name}: FAIL ({len(errors)} schema violations)")
         for e in errors:
             print(f"  {e}")
         return False
-    n = len(doc["configs"])
-    print(f"{name}: OK ({n} configs, "
-          f"{len(doc['telemetry']['metrics'])} metrics)")
+    if is_engine:
+        rate = doc["summary"]["cache_hit_rate"]
+        print(f"{name}: OK ({len(doc['jobs'])} jobs, "
+              f"cache hit rate {rate:.3f})")
+    else:
+        print(f"{name}: OK ({len(doc['configs'])} configs, "
+              f"{len(doc['telemetry']['metrics'])} metrics)")
     return True
 
 

@@ -22,6 +22,12 @@
 //   stencilctl trace [config flags] [--out trace.json]
 //       same instrumented run, exported as Chrome trace_event JSON
 //       (open in chrome://tracing or https://ui.perfetto.dev)
+//   stencilctl engine [--jobs N] [--workers W] [--iters I] [--json FILE]
+//       drive a mixed 2D/3D job campaign through one StencilEngine
+//       session (plan cache + buffer pool + backend router) and
+//       self-check: every job bit-exact vs the naive reference, at least
+//       one plan-cache hit, no failed jobs; --json exports the per-job
+//       latency scorecard (BENCH_PR3.json)
 //
 // Exit status: 0 on success, 1 on verification/model failure, 2 on usage.
 #include <algorithm>
@@ -40,6 +46,7 @@
 #include "common/table.hpp"
 #include "core/concurrent_accelerator.hpp"
 #include "core/stencil_accelerator.hpp"
+#include "engine/stencil_engine.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/resilient_runner.hpp"
 #include "telemetry/telemetry.hpp"
@@ -281,14 +288,15 @@ RunStats run_instrumented(const Args& a, Telemetry& telemetry,
             : StarStencil::make_benchmark(cfg.dims, cfg.radius).to_taps();
 
   RunStats stats;
+  const RunOptions opts{.channel_depth = depth};
   if (cfg.dims == 2) {
     Grid2D<float> g(nx, ny);
     g.fill_random(1);
-    stats = run_concurrent(taps, cfg, g, iters, depth);
+    stats = run_concurrent(taps, cfg, g, iters, opts);
   } else {
     Grid3D<float> g(nx, ny, nz);
     g.fill_random(1);
-    stats = run_concurrent(taps, cfg, g, iters, depth);
+    stats = run_concurrent(taps, cfg, g, iters, opts);
   }
   os << "instrumented concurrent run: " << cfg.describe() << " on " << nx
      << "x" << ny << (cfg.dims == 3 ? "x" + std::to_string(nz) : "")
@@ -521,10 +529,210 @@ int cmd_faults(const Args& a) {
   return all_exact && fired ? 0 : 1;
 }
 
+// The engine demo campaign: a stream of mixed 2D/3D jobs through one
+// StencilEngine session. Eight job kinds cycle: star/box 2D and star 3D
+// on the synchronous simulator, the same specs again (plan-cache hits),
+// one job on the threaded dataflow backend, one fault-injected job routed
+// to the resilient runner, and one 3-board cluster job -- all sharing
+// three distinct plans, so the steady-state cache hit rate approaches 1.
+int cmd_engine(const Args& a) {
+  const int jobs = static_cast<int>(a.get("jobs", 64));
+  const int iters = static_cast<int>(a.get("iters", 3));
+  if (jobs < 1) throw ConfigError("--jobs must be >= 1");
+
+  EngineOptions eopts;
+  eopts.workers = static_cast<int>(a.get("workers", 4));
+  eopts.queue_capacity = std::size_t(a.get("queue", 128));
+
+  AcceleratorConfig c2;
+  c2.dims = 2;
+  c2.radius = 1;
+  c2.bsize_x = 32;
+  c2.parvec = 4;
+  c2.partime = 2;
+  AcceleratorConfig c3;
+  c3.dims = 3;
+  c3.radius = 1;
+  c3.bsize_x = 16;
+  c3.bsize_y = 8;
+  c3.parvec = 4;
+  c3.partime = 2;
+  const TapSet star2 = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  const TapSet box2 = make_box_stencil(2, 1, 21);
+  const TapSet star3 = StarStencil::make_benchmark(3, 1, 9).to_taps();
+  const auto fresh2 = [] {
+    Grid2D<float> g(48, 20);
+    g.fill_random(3);
+    return g;
+  };
+  const auto fresh3 = [] {
+    Grid3D<float> g(20, 14, 10);
+    g.fill_random(4);
+    return g;
+  };
+  Grid2D<float> want_star2 = fresh2();
+  reference_run(star2, want_star2, iters);
+  Grid2D<float> want_box2 = fresh2();
+  reference_run(box2, want_box2, iters);
+  Grid3D<float> want_star3 = fresh3();
+  reference_run(star3, want_star3, iters);
+
+  // One budgeted hang: the first resilient job survives a watchdog trip,
+  // later ones run clean (exercises injector pass-through, not chaos).
+  FaultInjector injector(FaultPlan::parse("seed=3,kernel_hang:n=1"));
+
+  StencilEngine engine(eopts);
+  std::vector<JobHandle> handles;
+  std::vector<int> kinds;
+  handles.reserve(std::size_t(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    const int kind = i % 8;
+    kinds.push_back(kind);
+    JobSpec spec = [&]() -> JobSpec {
+      switch (kind) {
+        case 1:
+        case 7: return {box2, c2, fresh2(), iters};
+        case 2:
+        case 6: return {star3, c3, fresh3(), iters};
+        default: return {star2, c2, fresh2(), iters};
+      }
+    }();
+    if (kind == 3) spec.backend = Backend::concurrent;
+    if (kind == 4) spec.injector = &injector;  // routes to resilient
+    if (kind == 5) spec.boards = 3;            // routes to cluster
+    spec.label = "job-" + std::to_string(i);
+    handles.push_back(engine.submit(std::move(spec)));
+  }
+
+  int completed = 0;
+  int exact = 0;
+  struct JobRow {
+    std::string label;
+    Backend backend;
+    int dims;
+    std::int64_t nx, ny, nz;
+    bool cache_hit;
+    bool exact;
+    std::int64_t queue_ns, run_ns, cells_written;
+  };
+  std::vector<JobRow> rows;
+  for (int i = 0; i < jobs; ++i) {
+    JobResult& r = handles[std::size_t(i)].wait();
+    ++completed;
+    bool ok = false;
+    JobRow row;
+    switch (kinds[std::size_t(i)]) {
+      case 1:
+      case 7: ok = compare_exact(r.grid2d(), want_box2).identical(); break;
+      case 2:
+      case 6: ok = compare_exact(r.grid3d(), want_star3).identical(); break;
+      default: ok = compare_exact(r.grid2d(), want_star2).identical(); break;
+    }
+    exact += ok ? 1 : 0;
+    row.label = r.label;
+    row.backend = r.backend;
+    row.dims = std::holds_alternative<Grid3D<float>>(r.grid) ? 3 : 2;
+    row.nx = std::visit([](const auto& g) { return g.nx(); }, r.grid);
+    row.ny = std::visit([](const auto& g) { return g.ny(); }, r.grid);
+    row.nz = row.dims == 3 ? r.grid3d().nz() : 1;
+    row.cache_hit = r.plan_cache_hit;
+    row.exact = ok;
+    row.queue_ns = r.queue_ns;
+    row.run_ns = r.run_ns;
+    row.cells_written = r.stats.cells_written;
+    rows.push_back(std::move(row));
+  }
+  const EngineStats stats = engine.stats();
+
+  std::cout << "engine campaign: " << jobs << " jobs through "
+            << eopts.workers << " workers (" << iters
+            << " iterations each)\n";
+  TextTable t({"counter", "value"});
+  t.add_row({"jobs completed", std::to_string(completed)});
+  t.add_row({"jobs bit-exact", std::to_string(exact)});
+  t.add_row({"jobs failed", std::to_string(stats.jobs_failed)});
+  t.add_row({"plan-cache hits", std::to_string(stats.plan_cache_hits)});
+  t.add_row({"plan-cache misses", std::to_string(stats.plan_cache_misses)});
+  t.add_row({"cache hit rate",
+             format_fixed(stats.cache_hit_rate() * 100.0, 1) + "%"});
+  t.add_row({"pool allocations", std::to_string(stats.pool_allocations)});
+  t.add_row({"pool reuses", std::to_string(stats.pool_reuses)});
+  t.add_row({"queue high-water", std::to_string(stats.queue_high_water)});
+  t.add_row({"faults injected", std::to_string(injector.total_fires())});
+  t.render(std::cout);
+
+  const std::string json_path = a.get_str("json", "");
+  if (!json_path.empty()) {
+    std::ostringstream body;
+    JsonWriter w(body);
+    w.begin_object();
+    w.key("schema_version").value(1);
+    w.key("bench").value("engine_demo_campaign");
+    w.key("paper").value(
+        "High-Performance High-Order Stencil Computation on FPGAs Using "
+        "OpenCL");
+    w.key("engine").begin_object();
+    w.key("workers").value(eopts.workers);
+    w.key("queue_capacity").value(std::int64_t(eopts.queue_capacity));
+    w.key("plan_cache_capacity")
+        .value(std::int64_t(eopts.plan_cache_capacity));
+    w.end_object();
+    w.key("jobs").begin_array();
+    for (const JobRow& row : rows) {
+      w.begin_object();
+      w.key("label").value(row.label);
+      w.key("backend").value(backend_name(row.backend));
+      w.key("dims").value(row.dims);
+      w.key("nx").value(row.nx);
+      w.key("ny").value(row.ny);
+      w.key("nz").value(row.nz);
+      w.key("iters").value(iters);
+      w.key("plan_cache_hit").value(row.cache_hit);
+      w.key("exact").value(row.exact);
+      w.key("queue_ns").value(row.queue_ns);
+      w.key("run_ns").value(row.run_ns);
+      w.key("cells_written").value(row.cells_written);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("summary").begin_object();
+    w.key("jobs").value(jobs);
+    w.key("completed").value(completed);
+    w.key("failed").value(stats.jobs_failed);
+    w.key("cache_hit_rate").value(stats.cache_hit_rate());
+    w.key("plan_cache_hits").value(stats.plan_cache_hits);
+    w.key("plan_cache_misses").value(stats.plan_cache_misses);
+    w.key("pool_allocations").value(stats.pool_allocations);
+    w.key("pool_reuses").value(stats.pool_reuses);
+    w.key("queue_high_water").value(stats.queue_high_water);
+    w.end_object();
+    w.end_object();
+    if (!json_is_valid(body.str())) {
+      std::cerr << "stencilctl: internal error: engine JSON failed "
+                   "validation\n";
+      return 1;
+    }
+    std::ofstream file(json_path);
+    if (!file) throw ConfigError("cannot open --json file `" + json_path + "`");
+    file << body.str() << "\n";
+    std::cout << rows.size() << " job records written to " << json_path
+              << "\n";
+  }
+
+  // Self-check: the campaign passes only if the session served every job
+  // correctly and actually exercised the plan cache.
+  const bool ok = completed == jobs && exact == jobs &&
+                  stats.jobs_failed == 0 && stats.plan_cache_hits >= 1;
+  std::cout << "campaign " << (ok ? "passed" : "FAILED") << ": " << exact
+            << "/" << jobs << " bit-exact, hit rate "
+            << format_fixed(stats.cache_hit_rate() * 100.0, 1) << "%\n";
+  return ok ? 0 : 1;
+}
+
 int usage() {
   std::cerr
       << "usage: stencilctl "
-         "<devices|tune|model|codegen|simulate|faults|metrics|trace> "
+         "<devices|tune|model|codegen|simulate|faults|metrics|trace|engine> "
          "[flags]\n"
          "  common flags: --dims 2|3 --radius R --bsize-x B --bsize-y B\n"
          "                --parvec V --partime T --device NAME\n"
@@ -532,7 +740,9 @@ int usage() {
          "  faults flags: --plan SPEC (else $FPGASTENCIL_FAULT_PLAN, else a\n"
          "                demo campaign) --boards B\n"
          "  metrics flags: --format table|json|csv --out FILE --depth D\n"
-         "  trace flags:   --out trace.json --depth D\n";
+         "  trace flags:   --out trace.json --depth D\n"
+         "  engine flags:  --jobs N --workers W --iters I --queue Q\n"
+         "                 --json BENCH_PR3.json\n";
   return 2;
 }
 
@@ -551,6 +761,7 @@ int main(int argc, char** argv) {
     if (cmd == "faults") return cmd_faults(a);
     if (cmd == "metrics") return cmd_metrics(a);
     if (cmd == "trace") return cmd_trace(a);
+    if (cmd == "engine") return cmd_engine(a);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "stencilctl: " << e.what() << "\n";
