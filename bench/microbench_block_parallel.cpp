@@ -1,0 +1,116 @@
+// google-benchmark microbenchmarks of the block-parallel backend: host
+// threads work-stealing overlapped blocks of one pass chain. The scaling
+// question is blocks/s versus worker count at a fixed decomposition; the
+// acceptance-grade 512^3 campaign (with exactness oracle and JSON export)
+// lives in `stencilctl blockpar`, this file is for quick comparative runs.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/block_parallel_accelerator.hpp"
+#include "core/stencil_accelerator.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+AcceleratorConfig bench_config(int dims, int radius, int partime) {
+  AcceleratorConfig cfg;
+  cfg.dims = dims;
+  cfg.radius = radius;
+  cfg.parvec = 4;
+  cfg.partime = partime;
+  cfg.bsize_x = 2 * partime * radius + 32;  // csize 32 per dimension
+  cfg.bsize_y = dims == 3 ? cfg.bsize_x : 1;
+  return cfg;
+}
+
+void BM_BlockParallel2D(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  const AcceleratorConfig cfg = bench_config(2, 2, 4);
+  const TapSet taps = StarStencil::make_benchmark(2, 2).to_taps();
+  Grid2D<float> g(n, n);
+  g.fill_random(1);
+  RunOptions opts;
+  opts.workers = workers;
+  std::vector<float> scratch;
+  opts.scratch = &scratch;
+  std::int64_t updates = 0;
+  for (auto _ : state) {
+    run_block_parallel(taps, cfg, g, cfg.partime, opts);
+    updates += std::int64_t(n) * n * cfg.partime;
+  }
+  state.counters["cell_updates/s"] =
+      benchmark::Counter(double(updates), benchmark::Counter::kIsRate);
+  state.counters["workers"] = double(workers);
+}
+BENCHMARK(BM_BlockParallel2D)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({512, 8});
+
+void BM_BlockParallel3D(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  const AcceleratorConfig cfg = bench_config(3, 2, 2);
+  const TapSet taps = StarStencil::make_benchmark(3, 2).to_taps();
+  Grid3D<float> g(n, n, 16);
+  g.fill_random(1);
+  RunOptions opts;
+  opts.workers = workers;
+  std::vector<float> scratch;
+  opts.scratch = &scratch;
+  std::int64_t updates = 0;
+  for (auto _ : state) {
+    run_block_parallel(taps, cfg, g, cfg.partime, opts);
+    updates += std::int64_t(n) * n * 16 * cfg.partime;
+  }
+  state.counters["cell_updates/s"] =
+      benchmark::Counter(double(updates), benchmark::Counter::kIsRate);
+  state.counters["workers"] = double(workers);
+}
+BENCHMARK(BM_BlockParallel3D)
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({128, 8});
+
+/// Same workload through the sequential block sweep, as the speedup
+/// denominator for the runs above.
+void BM_SyncBaseline2D(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const AcceleratorConfig cfg = bench_config(2, 2, 4);
+  const StarStencil s = StarStencil::make_benchmark(2, 2);
+  StencilAccelerator accel(s, cfg);
+  Grid2D<float> g(n, n);
+  g.fill_random(1);
+  std::int64_t updates = 0;
+  for (auto _ : state) {
+    accel.run(g, cfg.partime);
+    updates += std::int64_t(n) * n * cfg.partime;
+  }
+  state.counters["cell_updates/s"] =
+      benchmark::Counter(double(updates), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SyncBaseline2D)->Arg(512);
+
+void BM_SyncBaseline3D(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const AcceleratorConfig cfg = bench_config(3, 2, 2);
+  const StarStencil s = StarStencil::make_benchmark(3, 2);
+  StencilAccelerator accel(s, cfg);
+  Grid3D<float> g(n, n, 16);
+  g.fill_random(1);
+  std::int64_t updates = 0;
+  for (auto _ : state) {
+    accel.run(g, cfg.partime);
+    updates += std::int64_t(n) * n * 16 * cfg.partime;
+  }
+  state.counters["cell_updates/s"] =
+      benchmark::Counter(double(updates), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SyncBaseline3D)->Arg(128);
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -1,4 +1,4 @@
-#include "engine/buffer_pool.hpp"
+#include "common/buffer_pool.hpp"
 
 #include <algorithm>
 

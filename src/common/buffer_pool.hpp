@@ -1,13 +1,15 @@
-// Pool of float buffers recycled across engine jobs.
+// Pool of float buffers recycled across engine jobs and worker threads.
 //
 // Every job needs a scratch grid the size of its input for the executor's
 // ping-pong buffering (StencilAccelerator::run and run_concurrent both
-// allocate one per call when not handed storage). Under a stream of jobs
-// that allocation dominates setup for small grids, so the engine leases
-// backing stores from this pool instead: a released vector keeps its
-// capacity, and the next job of the same (or smaller) footprint runs
+// allocate one per call when not handed storage), and every block-parallel
+// worker needs a pair of lane buffers (RunOptions::pool). Under a stream
+// of jobs that allocation dominates setup for small grids, so the engine
+// leases backing stores from this pool instead: a released vector keeps
+// its capacity, and the next job of the same (or smaller) footprint runs
 // allocation-free. The pool is what makes "zero buffer growth after
 // warm-up" a testable property (see EngineStats and tests/engine_test).
+// Lives in common/ so execution layers below the engine can lease from it.
 //
 // Thread-safe; acquire picks the smallest retained buffer whose capacity
 // fits the request (best fit), so mixed job sizes don't pathologically

@@ -1,0 +1,134 @@
+#include "core/block_streamer.hpp"
+
+#include <utility>
+
+namespace fpga_stencil {
+
+void stream_block(std::vector<ProcessingElement>& pes,
+                  const BlockingPlan& plan, const BlockExtent& blk,
+                  const Grid2D<float>& in, Grid2D<float>& out, int steps,
+                  std::span<float> va, std::span<float> vb, RunStats& stats) {
+  const AcceleratorConfig& cfg = plan.config;
+  const std::int64_t halo = cfg.halo();
+  const std::int64_t drain = cfg.stream_drain();
+  const std::int64_t csize = cfg.csize_x();
+  const std::int64_t vectors_per_block =
+      plan.cells_streamed_per_pass / cfg.parvec;
+
+  BlockContext ctx;
+  ctx.block_x0 = blk.x0;
+  ctx.nx = in.nx();
+  ctx.ny = in.ny();
+  for (auto& pe : pes) {
+    ctx.passthrough = pe.stage() >= steps;
+    pe.begin_block(ctx);
+  }
+
+  // The collapsed loop: one global vector index drives the read kernel,
+  // every PE, and the write kernel for this block pass.
+  for (std::int64_t q = 0; q < vectors_per_block; ++q) {
+    // --- read kernel: fetch parvec cells (zero outside the grid) ---
+    const std::int64_t flat_in = q * cfg.parvec;
+    const std::int64_t y_in = flat_in / cfg.bsize_x;
+    const std::int64_t x_rel_in = flat_in % cfg.bsize_x;
+    for (std::int64_t l = 0; l < cfg.parvec; ++l) {
+      const std::int64_t xg = blk.x0 + x_rel_in + l;
+      va[size_t(l)] = (xg >= 0 && xg < in.nx() && y_in < in.ny())
+                          ? in.at(xg, y_in)
+                          : 0.0f;
+    }
+    stats.cells_streamed += cfg.parvec;
+
+    // --- compute: chain of PEs ---
+    std::span<float> cur = va;
+    std::span<float> nxt = vb;
+    for (auto& pe : pes) {
+      pe.process_vector(q, cur, nxt);
+      std::swap(cur, nxt);
+    }
+
+    // --- write kernel: retire valid cells ---
+    const std::int64_t yg = y_in - drain;  // total chain lag
+    if (yg < 0 || yg >= in.ny()) continue;
+    for (std::int64_t l = 0; l < cfg.parvec; ++l) {
+      const std::int64_t x_rel = x_rel_in + l;
+      const std::int64_t xg = blk.x0 + x_rel;
+      if (x_rel >= halo && x_rel < halo + csize && xg < blk.valid_x_end) {
+        out.at(xg, yg) = cur[size_t(l)];
+        ++stats.cells_written;
+      }
+    }
+  }
+  stats.vectors_processed += vectors_per_block;
+  ++stats.block_passes;
+}
+
+void stream_block(std::vector<ProcessingElement>& pes,
+                  const BlockingPlan& plan, const BlockExtent& blk,
+                  const Grid3D<float>& in, Grid3D<float>& out, int steps,
+                  std::span<float> va, std::span<float> vb, RunStats& stats) {
+  const AcceleratorConfig& cfg = plan.config;
+  const std::int64_t halo = cfg.halo();
+  const std::int64_t drain = cfg.stream_drain();
+  const std::int64_t csx = cfg.csize_x();
+  const std::int64_t csy = cfg.csize_y();
+  const std::int64_t plane = cfg.row_cells();
+  const std::int64_t vectors_per_block =
+      plan.cells_streamed_per_pass / cfg.parvec;
+
+  BlockContext ctx;
+  ctx.block_x0 = blk.x0;
+  ctx.block_y0 = blk.y0;
+  ctx.nx = in.nx();
+  ctx.ny = in.ny();
+  ctx.nz = in.nz();
+  for (auto& pe : pes) {
+    ctx.passthrough = pe.stage() >= steps;
+    pe.begin_block(ctx);
+  }
+
+  for (std::int64_t q = 0; q < vectors_per_block; ++q) {
+    // --- read kernel ---
+    const std::int64_t flat_in = q * cfg.parvec;
+    const std::int64_t z_in = flat_in / plane;
+    const std::int64_t rem_in = flat_in % plane;
+    const std::int64_t y_rel_in = rem_in / cfg.bsize_x;
+    const std::int64_t x_rel_in = rem_in % cfg.bsize_x;
+    const std::int64_t yg_in = blk.y0 + y_rel_in;
+    const bool row_in_grid = z_in < in.nz() && yg_in >= 0 && yg_in < in.ny();
+    for (std::int64_t l = 0; l < cfg.parvec; ++l) {
+      const std::int64_t xg = blk.x0 + x_rel_in + l;
+      va[size_t(l)] = (row_in_grid && xg >= 0 && xg < in.nx())
+                          ? in.at(xg, yg_in, z_in)
+                          : 0.0f;
+    }
+    stats.cells_streamed += cfg.parvec;
+
+    // --- compute ---
+    std::span<float> cur = va;
+    std::span<float> nxt = vb;
+    for (auto& pe : pes) {
+      pe.process_vector(q, cur, nxt);
+      std::swap(cur, nxt);
+    }
+
+    // --- write kernel ---
+    const std::int64_t zg = z_in - drain;
+    if (zg < 0 || zg >= in.nz()) continue;
+    const std::int64_t y_rel = y_rel_in;
+    const std::int64_t yg = blk.y0 + y_rel;
+    if (y_rel < halo || y_rel >= halo + csy || yg >= blk.valid_y_end) continue;
+    for (std::int64_t l = 0; l < cfg.parvec; ++l) {
+      const std::int64_t x_rel = x_rel_in + l;
+      const std::int64_t xg = blk.x0 + x_rel;
+      if (x_rel >= halo && x_rel < halo + csx && xg < blk.valid_x_end) {
+        out.at(xg, yg, zg) = cur[size_t(l)];
+        ++stats.cells_written;
+      }
+    }
+  }
+  stats.vectors_processed += vectors_per_block;
+  ++stats.block_passes;
+}
+
+}  // namespace fpga_stencil

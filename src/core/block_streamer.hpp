@@ -1,0 +1,39 @@
+// The per-block streaming core: read kernel -> PE chain -> write kernel
+// for one overlapped block, driven by the collapsed global vector index.
+//
+// This is the code that used to live inline in
+// StencilAccelerator::run_pass. It is factored out because two executors
+// stream blocks: the synchronous simulator (one block after another) and
+// the block-parallel backend (blocks fanned out over a worker pool).
+// Both call these functions, so their outputs are bit-exact with each
+// other by construction, not by coincidence.
+//
+// A call touches only its arguments: the PE chain and the lane buffers
+// `va`/`vb` (each cfg.parvec floats) must be private to the caller
+// (thread), while `in`/`out` may be shared across concurrent calls --
+// reads are unrestricted and each block writes only its own disjoint
+// compute region.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/stencil_accelerator.hpp"
+
+namespace fpga_stencil {
+
+/// Streams one 2D block (1.5D blocking: x blocked, y streamed) through
+/// `pes` for a pass of `steps <= partime` time steps, retiring valid
+/// cells of the block's compute region into `out`.
+void stream_block(std::vector<ProcessingElement>& pes,
+                  const BlockingPlan& plan, const BlockExtent& blk,
+                  const Grid2D<float>& in, Grid2D<float>& out, int steps,
+                  std::span<float> va, std::span<float> vb, RunStats& stats);
+
+/// Streams one 3D block (2.5D blocking: x/y blocked, z streamed).
+void stream_block(std::vector<ProcessingElement>& pes,
+                  const BlockingPlan& plan, const BlockExtent& blk,
+                  const Grid3D<float>& in, Grid3D<float>& out, int steps,
+                  std::span<float> va, std::span<float> vb, RunStats& stats);
+
+}  // namespace fpga_stencil

@@ -49,7 +49,7 @@ struct PassGeometry {
 /// throws PassAbortedError after joining all threads.
 void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
                          const PassGeometry& geo, int steps,
-                         const ConcurrentOptions& opts, RunStats& stats) {
+                         const RunOptions& opts, RunStats& stats) {
   const int stages = cfg.partime;
   FaultInjector* fi = opts.injector;
   if (fi) fi->reset_stalls();
@@ -393,21 +393,5 @@ template RunStats run_concurrent<Grid3D<float>>(const TapSet&,
                                                 const AcceleratorConfig&,
                                                 Grid3D<float>&, int,
                                                 const RunOptions&);
-
-RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
-                        Grid2D<float>& grid, int iterations,
-                        std::size_t channel_depth) {
-  RunOptions options;
-  options.channel_depth = channel_depth;
-  return run_concurrent(taps, cfg, grid, iterations, options);
-}
-
-RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
-                        Grid3D<float>& grid, int iterations,
-                        std::size_t channel_depth) {
-  RunOptions options;
-  options.channel_depth = channel_depth;
-  return run_concurrent(taps, cfg, grid, iterations, options);
-}
 
 }  // namespace fpga_stencil

@@ -11,7 +11,7 @@
 //
 // Use StencilAccelerator for speed; use this to study the dataflow.
 //
-// Fault tolerance: with a ConcurrentOptions carrying a FaultInjector the
+// Fault tolerance: with a RunOptions carrying a FaultInjector the
 // pass exercises the kernel_hang / channel_stall / seu_bit_flip sites,
 // and a watchdog (deadline > 0) unwinds a stalled pass by closing every
 // channel -- stage threads observe ChannelClosedError / end-of-stream and
@@ -19,39 +19,17 @@
 // (pass output is only committed on a complete pass). The injector is
 // deliberately explicit here rather than read from the process-wide
 // registry: injecting a stall without a watchdog would deadlock.
+//
+// RunOptions itself lives in core/run_options.hpp: it is the one options
+// struct shared by every single-board backend (see also engine/run.hpp
+// for the routing entry point).
 #pragma once
 
-#include <chrono>
-
+#include "core/run_options.hpp"
 #include "core/stencil_accelerator.hpp"
 #include "fault/fault_injector.hpp"
 
 namespace fpga_stencil {
-
-/// Knobs of the threaded dataflow execution. This is the single options
-/// struct of the unified `run_concurrent` entry point (the former
-/// `ConcurrentOptions`; that name remains as an alias).
-struct RunOptions {
-  /// Per-channel vector capacity (the OpenCL `depth` attribute).
-  std::size_t channel_depth = 64;
-  /// Fault sites are armed only when an injector is supplied.
-  FaultInjector* injector = nullptr;
-  /// No-progress deadline at the write kernel; 0 disables the watchdog.
-  std::chrono::milliseconds watchdog_deadline{0};
-  /// Observability hook; falls back to AcceleratorConfig::telemetry when
-  /// null. With a hook attached every pass records kernel spans (one trace
-  /// lane per pipeline stage), channel depth high-water marks and
-  /// blocked-time counters, and per-pass cell throughput.
-  Telemetry* telemetry = nullptr;
-  /// Reusable backing store for the internal ping-pong scratch grid: when
-  /// non-null its storage is adopted for the run and returned on normal
-  /// completion (the engine's buffer pool threads through here). An
-  /// aborted pass drops the storage; the vector is left empty.
-  std::vector<float>* scratch = nullptr;
-};
-
-/// Legacy name of RunOptions, kept so existing call sites keep compiling.
-using ConcurrentOptions = RunOptions;
 
 /// Advances `grid` by `iterations` time steps in place using one thread
 /// per pipeline stage. Throws PassAbortedError if the watchdog unwinds a
@@ -68,22 +46,5 @@ extern template RunStats run_concurrent<Grid2D<float>>(
 extern template RunStats run_concurrent<Grid3D<float>>(
     const TapSet&, const AcceleratorConfig&, Grid3D<float>&, int,
     const RunOptions&);
-
-/// Deprecated shims over the unified entry point (the original
-/// channel-depth-only interface). Intentionally without a default depth:
-/// a four-argument call resolves to the RunOptions template above.
-[[deprecated(
-    "use run_concurrent(taps, cfg, grid, iters, RunOptions{.channel_depth = "
-    "depth})")]]
-RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
-                        Grid2D<float>& grid, int iterations,
-                        std::size_t channel_depth);
-
-[[deprecated(
-    "use run_concurrent(taps, cfg, grid, iters, RunOptions{.channel_depth = "
-    "depth})")]]
-RunStats run_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
-                        Grid3D<float>& grid, int iterations,
-                        std::size_t channel_depth);
 
 }  // namespace fpga_stencil

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/stopwatch.hpp"
+#include "core/block_streamer.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace fpga_stencil {
@@ -113,142 +114,18 @@ RunStats StencilAccelerator::run(Grid3D<float>& grid, int iterations,
 void StencilAccelerator::run_pass(const Grid2D<float>& in, Grid2D<float>& out,
                                   int steps, RunStats& stats) {
   const BlockingPlan plan = make_blocking_plan(cfg_, in.nx(), in.ny());
-  const std::int64_t halo = cfg_.halo();
-  const std::int64_t drain = cfg_.stream_drain();
-  const std::int64_t csize = cfg_.csize_x();
-  const std::int64_t vectors_per_pass =
-      plan.cells_streamed_per_pass / cfg_.parvec;
-  std::span<float> va(vec_a_);
-  std::span<float> vb(vec_b_);
-
-  for (std::int64_t bx = 0; bx < plan.blocks_x; ++bx) {
-    const std::int64_t block_x0 = bx * csize - halo;
-    const std::int64_t valid_x_end = std::min(in.nx(), (bx + 1) * csize);
-
-    BlockContext ctx;
-    ctx.block_x0 = block_x0;
-    ctx.nx = in.nx();
-    ctx.ny = in.ny();
-    for (auto& pe : pes_) {
-      ctx.passthrough = pe.stage() >= steps;
-      pe.begin_block(ctx);
-    }
-
-    // The collapsed loop: one global vector index drives the read kernel,
-    // every PE, and the write kernel for this block pass.
-    for (std::int64_t q = 0; q < vectors_per_pass; ++q) {
-      // --- read kernel: fetch parvec cells (zero outside the grid) ---
-      const std::int64_t flat_in = q * cfg_.parvec;
-      const std::int64_t y_in = flat_in / cfg_.bsize_x;
-      const std::int64_t x_rel_in = flat_in % cfg_.bsize_x;
-      for (std::int64_t l = 0; l < cfg_.parvec; ++l) {
-        const std::int64_t xg = block_x0 + x_rel_in + l;
-        va[size_t(l)] = (xg >= 0 && xg < in.nx() && y_in < in.ny())
-                            ? in.at(xg, y_in)
-                            : 0.0f;
-      }
-      stats.cells_streamed += cfg_.parvec;
-
-      // --- compute: chain of PEs ---
-      std::span<float> cur = va;
-      std::span<float> nxt = vb;
-      for (auto& pe : pes_) {
-        pe.process_vector(q, cur, nxt);
-        std::swap(cur, nxt);
-      }
-
-      // --- write kernel: retire valid cells ---
-      const std::int64_t yg = y_in - drain;  // total chain lag
-      if (yg < 0 || yg >= in.ny()) continue;
-      for (std::int64_t l = 0; l < cfg_.parvec; ++l) {
-        const std::int64_t x_rel = x_rel_in + l;
-        const std::int64_t xg = block_x0 + x_rel;
-        if (x_rel >= halo && x_rel < halo + csize && xg < valid_x_end) {
-          out.at(xg, yg) = cur[size_t(l)];
-          ++stats.cells_written;
-        }
-      }
-    }
-    stats.vectors_processed += vectors_per_pass;
-    ++stats.block_passes;
+  for (std::int64_t b = 0; b < plan.total_blocks(); ++b) {
+    stream_block(pes_, plan, block_extent(plan, b), in, out, steps,
+                 std::span<float>(vec_a_), std::span<float>(vec_b_), stats);
   }
 }
 
 void StencilAccelerator::run_pass(const Grid3D<float>& in, Grid3D<float>& out,
                                   int steps, RunStats& stats) {
   const BlockingPlan plan = make_blocking_plan(cfg_, in.nx(), in.ny(), in.nz());
-  const std::int64_t halo = cfg_.halo();
-  const std::int64_t drain = cfg_.stream_drain();
-  const std::int64_t csx = cfg_.csize_x();
-  const std::int64_t csy = cfg_.csize_y();
-  const std::int64_t plane = cfg_.row_cells();
-  const std::int64_t vectors_per_pass =
-      plan.cells_streamed_per_pass / cfg_.parvec;
-  std::span<float> va(vec_a_);
-  std::span<float> vb(vec_b_);
-
-  for (std::int64_t by = 0; by < plan.blocks_y; ++by) {
-    for (std::int64_t bx = 0; bx < plan.blocks_x; ++bx) {
-      const std::int64_t block_x0 = bx * csx - halo;
-      const std::int64_t block_y0 = by * csy - halo;
-      const std::int64_t valid_x_end = std::min(in.nx(), (bx + 1) * csx);
-      const std::int64_t valid_y_end = std::min(in.ny(), (by + 1) * csy);
-
-      BlockContext ctx;
-      ctx.block_x0 = block_x0;
-      ctx.block_y0 = block_y0;
-      ctx.nx = in.nx();
-      ctx.ny = in.ny();
-      ctx.nz = in.nz();
-      for (auto& pe : pes_) {
-        ctx.passthrough = pe.stage() >= steps;
-        pe.begin_block(ctx);
-      }
-
-      for (std::int64_t q = 0; q < vectors_per_pass; ++q) {
-        // --- read kernel ---
-        const std::int64_t flat_in = q * cfg_.parvec;
-        const std::int64_t z_in = flat_in / plane;
-        const std::int64_t rem_in = flat_in % plane;
-        const std::int64_t y_rel_in = rem_in / cfg_.bsize_x;
-        const std::int64_t x_rel_in = rem_in % cfg_.bsize_x;
-        const std::int64_t yg_in = block_y0 + y_rel_in;
-        const bool row_in_grid =
-            z_in < in.nz() && yg_in >= 0 && yg_in < in.ny();
-        for (std::int64_t l = 0; l < cfg_.parvec; ++l) {
-          const std::int64_t xg = block_x0 + x_rel_in + l;
-          va[size_t(l)] = (row_in_grid && xg >= 0 && xg < in.nx())
-                              ? in.at(xg, yg_in, z_in)
-                              : 0.0f;
-        }
-        stats.cells_streamed += cfg_.parvec;
-
-        // --- compute ---
-        std::span<float> cur = va;
-        std::span<float> nxt = vb;
-        for (auto& pe : pes_) {
-          pe.process_vector(q, cur, nxt);
-          std::swap(cur, nxt);
-        }
-
-        // --- write kernel ---
-        const std::int64_t zg = z_in - drain;
-        if (zg < 0 || zg >= in.nz()) continue;
-        const std::int64_t y_rel = y_rel_in;
-        const std::int64_t yg = block_y0 + y_rel;
-        if (y_rel < halo || y_rel >= halo + csy || yg >= valid_y_end) continue;
-        for (std::int64_t l = 0; l < cfg_.parvec; ++l) {
-          const std::int64_t x_rel = x_rel_in + l;
-          const std::int64_t xg = block_x0 + x_rel;
-          if (x_rel >= halo && x_rel < halo + csx && xg < valid_x_end) {
-            out.at(xg, yg, zg) = cur[size_t(l)];
-            ++stats.cells_written;
-          }
-        }
-      }
-      stats.vectors_processed += vectors_per_pass;
-      ++stats.block_passes;
-    }
+  for (std::int64_t b = 0; b < plan.total_blocks(); ++b) {
+    stream_block(pes_, plan, block_extent(plan, b), in, out, steps,
+                 std::span<float>(vec_a_), std::span<float>(vec_b_), stats);
   }
 }
 

@@ -18,6 +18,7 @@
 #include <variant>
 
 #include "cluster/multi_fpga.hpp"
+#include "core/run_options.hpp"
 #include "core/stencil_accelerator.hpp"
 #include "fault/resilient_runner.hpp"
 #include "fpga/device_spec.hpp"
@@ -27,26 +28,12 @@
 
 namespace fpga_stencil {
 
-/// Execution paths the engine can route a job to.
-enum class Backend {
-  automatic,   ///< engine picks: cluster if boards > 1, resilient if an
-               ///< injector is set, else the synchronous simulator
-  sync_sim,    ///< StencilAccelerator (fastest, single-threaded)
-  concurrent,  ///< run_concurrent (threaded dataflow pipeline)
-  resilient,   ///< run_resilient (watchdog/checksum/checkpoint)
-  cluster,     ///< MultiFpgaCluster (spatial partitioning over `boards`)
-};
-
-[[nodiscard]] constexpr const char* backend_name(Backend b) {
-  switch (b) {
-    case Backend::automatic: return "automatic";
-    case Backend::sync_sim: return "sync_sim";
-    case Backend::concurrent: return "concurrent";
-    case Backend::resilient: return "resilient";
-    case Backend::cluster: return "cluster";
-  }
-  return "?";
-}
+/// Execution paths the engine can route a job to: the engine-level name
+/// of the shared backend vocabulary (core/run_options.hpp). Under
+/// `automatic` the engine picks cluster if boards > 1, resilient if an
+/// injector is set, block_parallel if the plan yields at least two
+/// blocks per worker, else the synchronous simulator.
+using Backend = ExecutionBackend;
 
 /// Either grid dimensionality, by value. The engine works on whichever
 /// alternative the spec carries; cfg.dims must agree (validated at submit).
@@ -77,6 +64,10 @@ struct JobSpec {
   Backend backend = Backend::automatic;
   /// Dataflow knobs (concurrent / resilient backends).
   std::size_t channel_depth = 64;
+  /// Block-parallel worker threads; 0 = hardware_concurrency. Routing
+  /// note: Backend::automatic picks block_parallel only when the cached
+  /// plan yields >= 2 blocks per worker (see docs/PARALLEL.md).
+  int workers = 0;
   /// Per-job fault source. Routing note: under Backend::automatic an
   /// injector routes to the resilient backend -- injecting a stall into
   /// the bare concurrent pipeline without a watchdog would deadlock.

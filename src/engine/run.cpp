@@ -1,0 +1,91 @@
+#include "engine/run.hpp"
+
+#include <chrono>
+#include <type_traits>
+
+#include "common/expect.hpp"
+#include "core/block_parallel_accelerator.hpp"
+#include "core/concurrent_accelerator.hpp"
+#include "fault/resilient_runner.hpp"
+
+namespace fpga_stencil {
+
+ExecutionBackend resolve_backend(const TapSet& taps,
+                                 const AcceleratorConfig& cfg,
+                                 std::int64_t nx, std::int64_t ny,
+                                 std::int64_t nz, const RunOptions& options) {
+  if (options.backend != ExecutionBackend::automatic) return options.backend;
+  // An injector routes to the resilient runner, never the bare pipeline:
+  // an injected stall without a watchdog would deadlock the pass.
+  if (options.injector != nullptr) return ExecutionBackend::resilient;
+  const AcceleratorConfig resolved = resolve_stage_lag(taps, cfg);
+  const BlockingPlan plan = make_blocking_plan(resolved, nx, ny, nz);
+  const std::int64_t workers = requested_block_workers(options.workers);
+  // Fan out only when every worker gets at least two blocks; below that
+  // the sync simulator's single sweep beats spawning a starved pool.
+  if (workers >= 2 && plan.total_blocks() >= 2 * workers) {
+    return ExecutionBackend::block_parallel;
+  }
+  return ExecutionBackend::sync_sim;
+}
+
+namespace {
+
+template <typename GridT>
+RunStats run_impl(const TapSet& taps, const AcceleratorConfig& cfg,
+                  GridT& grid, int iterations, const RunOptions& options) {
+  constexpr bool is_3d = std::is_same_v<GridT, Grid3D<float>>;
+  const std::int64_t nz = [&] {
+    if constexpr (is_3d) {
+      return grid.nz();
+    } else {
+      return std::int64_t{1};
+    }
+  }();
+  const ExecutionBackend backend =
+      resolve_backend(taps, cfg, grid.nx(), grid.ny(), nz, options);
+  switch (backend) {
+    case ExecutionBackend::automatic:
+      break;  // resolved above; unreachable
+    case ExecutionBackend::sync_sim: {
+      AcceleratorConfig scfg = cfg;
+      if (options.telemetry) scfg.telemetry = options.telemetry;
+      StencilAccelerator accel(taps, scfg);
+      return accel.run(grid, iterations, options.scratch);
+    }
+    case ExecutionBackend::concurrent:
+      return run_concurrent(taps, cfg, grid, iterations, options);
+    case ExecutionBackend::block_parallel:
+      return run_block_parallel(taps, cfg, grid, iterations, options);
+    case ExecutionBackend::resilient: {
+      ResilienceOptions ropts;
+      ropts.base = options;
+      if (ropts.base.watchdog_deadline.count() == 0) {
+        // Default resilience policy: a run without a deadline could never
+        // unwind a stalled pass.
+        ropts.base.watchdog_deadline = std::chrono::milliseconds(500);
+      }
+      return run_resilient(taps, cfg, grid, iterations, ropts);
+    }
+    case ExecutionBackend::cluster:
+      throw ConfigError(
+          "cluster backend is engine-only: submit a JobSpec with boards > 1 "
+          "to a StencilEngine");
+  }
+  throw ConfigError("unknown execution backend");
+}
+
+}  // namespace
+
+template <typename GridT>
+RunStats run(const TapSet& taps, const AcceleratorConfig& cfg, GridT& grid,
+             int iterations, const RunOptions& options) {
+  return run_impl(taps, cfg, grid, iterations, options);
+}
+
+template RunStats run<Grid2D<float>>(const TapSet&, const AcceleratorConfig&,
+                                     Grid2D<float>&, int, const RunOptions&);
+template RunStats run<Grid3D<float>>(const TapSet&, const AcceleratorConfig&,
+                                     Grid3D<float>&, int, const RunOptions&);
+
+}  // namespace fpga_stencil

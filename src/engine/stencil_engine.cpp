@@ -6,6 +6,7 @@
 
 #include "common/expect.hpp"
 #include "common/stopwatch.hpp"
+#include "core/block_parallel_accelerator.hpp"
 #include "core/concurrent_accelerator.hpp"
 
 namespace fpga_stencil {
@@ -198,7 +199,11 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
 
     // Routing. An automatic job with an injector goes to the resilient
     // runner, never the bare concurrent pipeline: an injected stall
-    // without a watchdog would deadlock the pass.
+    // without a watchdog would deadlock the pass. A fault-free
+    // single-board job fans out over overlapped blocks when the cached
+    // plan yields enough block-level work to keep every worker busy
+    // (>= 2 blocks per worker); smaller jobs stay on the sync simulator,
+    // whose single sweep beats spawning a starved pool.
     Backend backend = spec.backend;
     if (backend == Backend::automatic) {
       if (spec.boards > 1) {
@@ -206,7 +211,10 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
       } else if (spec.injector != nullptr) {
         backend = Backend::resilient;
       } else {
-        backend = Backend::sync_sim;
+        const std::int64_t p = requested_block_workers(spec.workers);
+        backend = (p >= 2 && plan->blocking.total_blocks() >= 2 * p)
+                      ? Backend::block_parallel
+                      : Backend::sync_sim;
       }
     }
 
@@ -243,15 +251,25 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
                   run_concurrent(spec.taps, cfg, grid, spec.iterations, ropts);
               break;
             }
+            case Backend::block_parallel: {
+              BufferPool::Lease lease(pool_, std::size_t(cells));
+              RunOptions ropts;
+              ropts.workers = spec.workers;
+              ropts.scratch = &lease.buffer();
+              ropts.pool = &pool_;  // per-worker lane scratch
+              result.stats = run_block_parallel(spec.taps, cfg, grid,
+                                                spec.iterations, ropts);
+              break;
+            }
             case Backend::resilient: {
               BufferPool::Lease lease(pool_, std::size_t(cells));
               ResilienceOptions ropts = spec.resilience;
-              ropts.channel_depth = spec.channel_depth;
-              if (spec.injector) ropts.injector = spec.injector;
+              ropts.base.channel_depth = spec.channel_depth;
+              if (spec.injector) ropts.base.injector = spec.injector;
               if (spec.watchdog_deadline.count() > 0) {
-                ropts.watchdog_deadline = spec.watchdog_deadline;
+                ropts.base.watchdog_deadline = spec.watchdog_deadline;
               }
-              ropts.scratch = &lease.buffer();
+              ropts.base.scratch = &lease.buffer();
               result.stats =
                   run_resilient(spec.taps, cfg, grid, spec.iterations, ropts);
               break;

@@ -38,7 +38,7 @@
 #include <thread>
 #include <vector>
 
-#include "engine/buffer_pool.hpp"
+#include "common/buffer_pool.hpp"
 #include "engine/job.hpp"
 #include "engine/plan_cache.hpp"
 #include "telemetry/telemetry.hpp"

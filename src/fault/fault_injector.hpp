@@ -16,7 +16,7 @@
 // One injector may be installed process-wide (ScopedFaultInjector) so the
 // OpenCL shim and the cluster runtime pick it up without every call site
 // threading a pointer through; the deadlock-prone concurrent pipeline
-// takes its injector explicitly (ConcurrentOptions) because injecting a
+// takes its injector explicitly (RunOptions) because injecting a
 // stall without a watchdog would hang a plain run_concurrent call.
 #pragma once
 

@@ -80,19 +80,19 @@ RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
 
   Telemetry local_telemetry;
   Telemetry* const attached =
-      opts.telemetry ? opts.telemetry : cfg.telemetry;
+      opts.base.telemetry ? opts.base.telemetry : cfg.telemetry;
   Telemetry& tel = attached ? *attached : local_telemetry;
   ResilienceCounters counters(tel);
 
-  FaultInjector* fi = opts.injector ? opts.injector : active_fault_injector();
+  FaultInjector* fi =
+      opts.base.injector ? opts.base.injector : active_fault_injector();
   const std::int64_t fires_before = fi ? fi->total_fires() : 0;
 
-  RunOptions copts;
-  copts.channel_depth = opts.channel_depth;
+  // The pass attempts run the concurrent pipeline with the caller's
+  // execution knobs, resolved injector, and resolved telemetry hook.
+  RunOptions copts = opts.base;
   copts.injector = fi;
-  copts.watchdog_deadline = opts.watchdog_deadline;
   copts.telemetry = attached;
-  copts.scratch = opts.scratch;
 
   RunStats total;
   CheckpointStore<GridT> checkpoint;

@@ -27,10 +27,26 @@
 
 namespace fpga_stencil {
 
+/// Resilience policy on top of the shared execution knobs. Execution
+/// plumbing (channel depth, injector, watchdog, telemetry, scratch) lives
+/// in `base` -- the same RunOptions every backend takes -- so the struct
+/// adds only what is resilience-specific. Notes on `base`:
+///   - base.watchdog_deadline defaults to 500 ms here (a RunOptions
+///     defaults to 0 = off): resilience without a deadline could never
+///     unwind a stalled pass.
+///   - base.injector nullptr falls back to the process-wide injector (and
+///     to fault-free execution when none is installed).
+///   - base.telemetry falls back to AcceleratorConfig::telemetry. The
+///     resilience counters in the returned RunStats are always tallied
+///     through a metrics registry (a run-local one when no hook is
+///     attached), so there is a single counting mechanism.
+// The alias initializers and the compiler-emitted special members below
+// mention the deprecated names; silence only the struct's self-references
+// so external call sites still get the migration warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct ResilienceOptions {
-  std::size_t channel_depth = 64;
-  /// No-progress deadline of a pass attempt at the write kernel.
-  std::chrono::milliseconds watchdog_deadline{500};
+  RunOptions base{.watchdog_deadline = std::chrono::milliseconds(500)};
   /// Attempts per pass before degrading to the CPU reference path.
   int max_pass_attempts = 3;
   /// Passes between grid checkpoints (K); <=0 disables periodic
@@ -38,19 +54,39 @@ struct ResilienceOptions {
   int checkpoint_interval = 4;
   /// Compare every pass against the synchronous golden checksum.
   bool verify_checksums = true;
-  /// Fault source; nullptr falls back to the process-wide injector (and
-  /// to fault-free execution when none is installed).
-  FaultInjector* injector = nullptr;
-  /// Observability hook; falls back to AcceleratorConfig::telemetry. The
-  /// resilience counters in the returned RunStats are always tallied
-  /// through a metrics registry (a run-local one when no hook is
-  /// attached), so there is a single counting mechanism.
-  Telemetry* telemetry = nullptr;
-  /// Reusable scratch storage forwarded to the underlying concurrent
-  /// passes (see RunOptions::scratch); the engine's buffer pool threads
-  /// through here.
-  std::vector<float>* scratch = nullptr;
+
+  // Field-compatible aliases of the former duplicated members, kept one
+  // release so `opts.channel_depth = ...` call sites migrate gradually.
+  // References into `base`, so reads and writes stay coherent either way.
+  [[deprecated("use base.channel_depth")]] std::size_t& channel_depth =
+      base.channel_depth;
+  [[deprecated("use base.watchdog_deadline")]] std::chrono::milliseconds&
+      watchdog_deadline = base.watchdog_deadline;
+  [[deprecated("use base.injector")]] FaultInjector*& injector =
+      base.injector;
+  [[deprecated("use base.telemetry")]] Telemetry*& telemetry =
+      base.telemetry;
+  [[deprecated("use base.scratch")]] std::vector<float>*& scratch =
+      base.scratch;
+
+  ResilienceOptions() = default;
+  // The alias references must bind to the *copy's* base, which the
+  // defaulted copy operations would get wrong; copying the value members
+  // explicitly lets the member initializers re-bind them.
+  ResilienceOptions(const ResilienceOptions& other)
+      : base(other.base),
+        max_pass_attempts(other.max_pass_attempts),
+        checkpoint_interval(other.checkpoint_interval),
+        verify_checksums(other.verify_checksums) {}
+  ResilienceOptions& operator=(const ResilienceOptions& other) {
+    base = other.base;
+    max_pass_attempts = other.max_pass_attempts;
+    checkpoint_interval = other.checkpoint_interval;
+    verify_checksums = other.verify_checksums;
+    return *this;
+  }
 };
+#pragma GCC diagnostic pop
 
 /// Advances `grid` by `iterations` time steps in place, surviving the
 /// active fault plan; the result is bit-exact with the naive reference

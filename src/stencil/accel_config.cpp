@@ -1,5 +1,7 @@
 #include "stencil/accel_config.hpp"
 
+#include <algorithm>
+
 namespace fpga_stencil {
 
 BlockingPlan make_blocking_plan(const AcceleratorConfig& cfg, std::int64_t nx,
@@ -35,6 +37,24 @@ BlockingPlan make_blocking_plan(const AcceleratorConfig& cfg, std::int64_t nx,
       plan.cells_streamed_per_pass * plan.blocks_x * plan.blocks_y;
   plan.vectors_streamed = plan.cells_streamed / cfg.parvec;
   return plan;
+}
+
+BlockExtent block_extent(const BlockingPlan& plan, std::int64_t index) {
+  FPGASTENCIL_EXPECT(index >= 0 && index < plan.total_blocks(),
+                     "block index outside the plan");
+  const AcceleratorConfig& cfg = plan.config;
+  const std::int64_t halo = cfg.halo();
+  BlockExtent b;
+  b.index = index;
+  b.bx = index % plan.blocks_x;
+  b.by = index / plan.blocks_x;
+  b.x0 = b.bx * cfg.csize_x() - halo;
+  b.valid_x_end = std::min(plan.nx, (b.bx + 1) * cfg.csize_x());
+  if (cfg.dims == 3) {
+    b.y0 = b.by * cfg.csize_y() - halo;
+    b.valid_y_end = std::min(plan.ny, (b.by + 1) * cfg.csize_y());
+  }
+  return b;
 }
 
 }  // namespace fpga_stencil

@@ -39,8 +39,9 @@ struct AcceleratorConfig {
   int stage_lag = 0;
 
   /// Opt-in observability hook, honored by every execution layer
-  /// (StencilAccelerator, run_concurrent, run_resilient,
-  /// MultiFpgaCluster). Null disables all instrumentation; the pointee
+  /// (StencilAccelerator, run_concurrent, run_block_parallel,
+  /// run_resilient, MultiFpgaCluster). Null disables all
+  /// instrumentation; the pointee
   /// must outlive the runs. Not a performance knob: it never changes what
   /// is computed.
   Telemetry* telemetry = nullptr;
@@ -149,7 +150,32 @@ struct BlockingPlan {
   [[nodiscard]] double redundancy() const {
     return double(cells_streamed) / double(valid_cells);
   }
+
+  /// Blocks per pass. Each is an independent unit of work (the overlap
+  /// halo decouples them), which is what the block-parallel backend
+  /// schedules over.
+  [[nodiscard]] std::int64_t total_blocks() const {
+    return blocks_x * blocks_y;
+  }
 };
+
+/// One block of a BlockingPlan, resolved to grid coordinates: where the
+/// streamed window starts (halo included, so origins can be negative)
+/// and where the valid compute region ends. Every executor enumerates
+/// blocks through this so they agree on the decomposition cell-for-cell.
+struct BlockExtent {
+  std::int64_t index = 0;        ///< flat block index: by * blocks_x + bx
+  std::int64_t bx = 0, by = 0;   ///< block coordinates (by == 0 for 2D)
+  std::int64_t x0 = 0;           ///< global x of block-local 0 (may be < 0)
+  std::int64_t y0 = 0;           ///< global y of block-local 0, 3D only
+  std::int64_t valid_x_end = 0;  ///< exclusive global end of compute region
+  std::int64_t valid_y_end = 0;  ///< 3D only (unused for 2D)
+};
+
+/// Resolves flat block `index` (0 .. total_blocks()-1, x fastest) of the
+/// plan. The last block of each dimension is clamped to the grid, exactly
+/// as on the real accelerator (partial final block, wasted lanes).
+BlockExtent block_extent(const BlockingPlan& plan, std::int64_t index);
 
 /// Builds the plan; validates that the grid is compatible (positive sizes).
 /// Grids that are not multiples of csize are allowed: the final block is

@@ -4,8 +4,9 @@
 // Attachment points (all nullable; a null hook keeps every hot path
 // instrument-free):
 //   - AcceleratorConfig::telemetry      -- picked up by StencilAccelerator,
-//     run_concurrent, run_resilient, and MultiFpgaCluster
-//   - ConcurrentOptions / ResilienceOptions::telemetry -- per-call override
+//     run_concurrent, run_block_parallel, run_resilient, MultiFpgaCluster
+//   - RunOptions::telemetry (so also ResilienceOptions::base.telemetry)
+//     -- per-call override
 //
 // The runtimes that must count *unconditionally* (the RunStats/ClusterStats
 // resilience counters) bind to a function-local Telemetry when none is

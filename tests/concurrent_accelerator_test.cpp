@@ -146,9 +146,10 @@ TEST(Concurrent, TinyChannelDepthStillCorrect) {
   EXPECT_TRUE(compare_exact(g, want).identical());
 }
 
-TEST(Concurrent, DeprecatedDepthOverloadStillBitExact) {
-  // The pre-RunOptions signature must keep working (and keep agreeing
-  // with the reference) until the shims are removed.
+TEST(Concurrent, RunOptionsIsTheOnlyInterface) {
+  // PR 5 removed the deprecated depth-parameter shims; the RunOptions
+  // form (with designated initializers for the common case) is the one
+  // interface and must stay bit-exact with the reference.
   AcceleratorConfig cfg;
   cfg.dims = 2;
   cfg.radius = 1;
@@ -159,10 +160,7 @@ TEST(Concurrent, DeprecatedDepthOverloadStillBitExact) {
   Grid2D<float> g(30, 14);
   g.fill_random(2);
   Grid2D<float> want = g;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  run_concurrent(s.to_taps(), cfg, g, 3, std::size_t{8});
-#pragma GCC diagnostic pop
+  run_concurrent(s.to_taps(), cfg, g, 3, RunOptions{.channel_depth = 8});
   reference_run(s, want, 3);
   EXPECT_TRUE(compare_exact(g, want).identical());
 }

@@ -2,7 +2,7 @@
 // buffer pool (reuse accounting, best-fit, retention cap).
 #include <gtest/gtest.h>
 
-#include "engine/buffer_pool.hpp"
+#include "common/buffer_pool.hpp"
 #include "engine/plan_cache.hpp"
 #include "stencil/box_stencil.hpp"
 #include "stencil/star_stencil.hpp"

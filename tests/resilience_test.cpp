@@ -63,7 +63,7 @@ RetryPolicy fast_policy(int max_attempts = 4) {
 // returns), typed error thrown, input grid untouched.
 TEST(Resilience, WatchdogUnwindsStalledReadKernel) {
   FaultInjector fi(FaultPlan::parse("seed=3,channel_stall:n=1"));
-  ConcurrentOptions opts;
+  RunOptions opts;
   opts.injector = &fi;
   opts.watchdog_deadline = 200ms;
 
@@ -81,7 +81,7 @@ TEST(Resilience, WatchdogUnwindsStalledReadKernel) {
 
 TEST(Resilience, WatchdogUnwindsHungProcessingElement) {
   FaultInjector fi(FaultPlan::parse("seed=3,kernel_hang:n=1"));
-  ConcurrentOptions opts;
+  RunOptions opts;
   opts.injector = &fi;
   opts.watchdog_deadline = 200ms;
 
@@ -97,8 +97,8 @@ TEST(Resilience, RunResilientReplaysWatchdogTrips) {
   FaultInjector fi(
       FaultPlan::parse("seed=3,channel_stall:n=1,kernel_hang:n=1"));
   ResilienceOptions opts;
-  opts.injector = &fi;
-  opts.watchdog_deadline = 200ms;
+  opts.base.injector = &fi;
+  opts.base.watchdog_deadline = 200ms;
   opts.max_pass_attempts = 4;
 
   Grid2D<float> g = test_grid();
@@ -118,8 +118,8 @@ TEST(Resilience, BitFlipsDetectedByChecksumAndReplayed) {
   // the checksum oracle catches it; the replay runs clean.
   FaultInjector fi(FaultPlan::parse("seed=42,seu_bit_flip:n=150"));
   ResilienceOptions opts;
-  opts.injector = &fi;
-  opts.watchdog_deadline = 500ms;
+  opts.base.injector = &fi;
+  opts.base.watchdog_deadline = 500ms;
 
   Grid2D<float> g = test_grid();
   const RunStats stats = run_resilient(test_taps(), test_config(), g, 12, opts);
@@ -136,8 +136,8 @@ TEST(Resilience, ChecksumVerificationCanBeDisabled) {
   // defaults to on.
   FaultInjector fi(FaultPlan::parse("seed=42,seu_bit_flip:n=150"));
   ResilienceOptions opts;
-  opts.injector = &fi;
-  opts.watchdog_deadline = 500ms;
+  opts.base.injector = &fi;
+  opts.base.watchdog_deadline = 500ms;
   opts.verify_checksums = false;
 
   Grid2D<float> g = test_grid();
@@ -155,8 +155,8 @@ TEST(Resilience, DegradesToReferenceWhenDeviceKeepsFailing) {
   // checkpoint and finishes on the CPU -- still bit-exact.
   FaultInjector fi(FaultPlan::parse("seed=3,kernel_hang:p=1:n=inf"));
   ResilienceOptions opts;
-  opts.injector = &fi;
-  opts.watchdog_deadline = 100ms;
+  opts.base.injector = &fi;
+  opts.base.watchdog_deadline = 100ms;
   opts.max_pass_attempts = 2;
 
   Grid2D<float> g = test_grid();
@@ -290,10 +290,10 @@ TEST(Resilience, MixedCampaignStaysBitExact) {
                TransientError);
 
   ResilienceOptions opts;
-  opts.watchdog_deadline = 250ms;
+  opts.base.watchdog_deadline = 250ms;
   opts.max_pass_attempts = 5;
   Grid2D<float> g = test_grid();
-  // No explicit opts.injector: run_resilient picks up the scoped one.
+  // No explicit opts.base.injector: run_resilient picks up the scoped one.
   const RunStats stats = run_resilient(test_taps(), test_config(), g, 12, opts);
   EXPECT_TRUE(compare_exact(g, reference_result(12)).identical());
   EXPECT_EQ(stats.watchdog_trips, 2);

@@ -99,8 +99,56 @@ ENGINE_SCHEMA = {
     },
 }
 
+# The block-parallel scaling campaign artifact (stencilctl blockpar
+# --json): one fixed workload, a timed sync baseline, and one record per
+# worker count. Dispatch: a document with a top-level "runs" array uses
+# this schema.
+BLOCK_PARALLEL_SCHEMA = {
+    "schema_version": int,
+    "bench": str,
+    "paper": str,
+    "workload": {
+        "dims": int,
+        "nx": int,
+        "ny": int,
+        "nz": int,
+        "radius": int,
+        "parvec": int,
+        "partime": int,
+        "bsize_x": int,
+        "bsize_y": int,
+        "iters": int,
+        "blocks": int,
+    },
+    "baseline": {
+        "backend": str,
+        "wall_seconds": NUMBER,
+        "cells_per_s": NUMBER,
+    },
+    "runs": ("array", {
+        "workers": int,
+        "resolved_workers": int,
+        "blocks": int,
+        "wall_seconds": NUMBER,
+        "cells_per_s": NUMBER,
+        "blocks_per_s": NUMBER,
+        "speedup_vs_sync": NUMBER,
+        "exact": bool,
+    }),
+    "summary": {
+        "runs": int,
+        "exact_runs": int,
+        "max_workers": int,
+        "best_speedup": NUMBER,
+        "redundancy": NUMBER,
+        "hardware_concurrency": int,
+        "speedup_gate_checked": bool,
+    },
+}
+
 METRIC_KINDS = {"counter", "gauge", "histogram"}
-BACKENDS = {"automatic", "sync_sim", "concurrent", "resilient", "cluster"}
+BACKENDS = {"automatic", "sync_sim", "concurrent", "block_parallel",
+            "resilient", "cluster"}
 
 
 def check(value, schema, path, errors):
@@ -168,6 +216,52 @@ def engine_semantic_checks(doc, errors):
             errors.append("$.summary.failed: campaign had failed jobs")
 
 
+def block_parallel_semantic_checks(doc, errors):
+    """Constraints of the scaling campaign the type schema can't express."""
+    workload = doc.get("workload", {})
+    blocks = workload.get("blocks") if isinstance(workload, dict) else None
+    for i, run in enumerate(doc.get("runs", [])):
+        if not isinstance(run, dict):
+            continue
+        path = f"$.runs[{i}]"
+        w = run.get("workers")
+        if isinstance(w, int) and not isinstance(w, bool) and w < 1:
+            errors.append(f"{path}.workers: must be >= 1")
+        b = run.get("blocks")
+        if isinstance(b, int) and not isinstance(b, bool):
+            if b <= 0:
+                errors.append(f"{path}.blocks: must be positive")
+            if isinstance(blocks, int) and b % blocks != 0:
+                errors.append(
+                    f"{path}.blocks: {b} not a multiple of the plan's "
+                    f"{blocks} blocks per pass")
+        for key in ("wall_seconds", "cells_per_s", "blocks_per_s",
+                    "speedup_vs_sync"):
+            v = run.get(key)
+            if isinstance(v, NUMBER) and not isinstance(v, bool) and v <= 0:
+                errors.append(f"{path}.{key}: must be positive")
+        if run.get("exact") is False:
+            errors.append(f"{path}: run was not bit-exact with sync")
+    summary = doc.get("summary", {})
+    if isinstance(summary, dict):
+        runs = summary.get("runs")
+        exact = summary.get("exact_runs")
+        if isinstance(runs, int) and isinstance(exact, int) and runs != exact:
+            errors.append("$.summary: exact_runs != runs")
+        declared = doc.get("runs")
+        if isinstance(runs, int) and isinstance(declared, list) \
+                and runs != len(declared):
+            errors.append("$.summary.runs: does not match len($.runs)")
+        red = summary.get("redundancy")
+        if isinstance(red, NUMBER) and not isinstance(red, bool) and red < 1.0:
+            errors.append(
+                "$.summary.redundancy: streamed/valid ratio cannot be < 1")
+    baseline = doc.get("baseline", {})
+    if isinstance(baseline, dict) and baseline.get("backend") != "sync_sim":
+        errors.append("$.baseline.backend: speedup denominator must be "
+                      "the sync_sim sweep")
+
+
 def semantic_checks(doc, errors):
     """Constraints the type schema can't express."""
     for i, cfg in enumerate(doc.get("configs", [])):
@@ -206,9 +300,13 @@ def validate_file(name):
         return False
     errors = []
     is_engine = isinstance(doc, dict) and "jobs" in doc
+    is_block_parallel = isinstance(doc, dict) and "runs" in doc
     if is_engine:
         check(doc, ENGINE_SCHEMA, "$", errors)
         engine_semantic_checks(doc, errors)
+    elif is_block_parallel:
+        check(doc, BLOCK_PARALLEL_SCHEMA, "$", errors)
+        block_parallel_semantic_checks(doc, errors)
     else:
         check(doc, SCHEMA, "$", errors)
         semantic_checks(doc, errors)
@@ -221,6 +319,10 @@ def validate_file(name):
         rate = doc["summary"]["cache_hit_rate"]
         print(f"{name}: OK ({len(doc['jobs'])} jobs, "
               f"cache hit rate {rate:.3f})")
+    elif is_block_parallel:
+        best = doc["summary"]["best_speedup"]
+        print(f"{name}: OK ({len(doc['runs'])} runs, "
+              f"best speedup {best:.2f}x)")
     else:
         print(f"{name}: OK ({len(doc['configs'])} configs, "
               f"{len(doc['telemetry']['metrics'])} metrics)")

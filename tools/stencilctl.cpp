@@ -10,7 +10,17 @@
 //       emit the OpenCL-C kernel source to stdout
 //   stencilctl simulate --dims D --radius R --bsize-x B [--bsize-y B] --parvec V --partime T
 //                       [--nx N --ny N --nz N] [--iters I] [--box]
-//       run the bit-exact architecture simulator and verify vs the reference
+//                       [--backend NAME] [--workers W]
+//       run the job through the unified run() router (sync / concurrent /
+//       block-parallel / resilient) and verify vs the naive reference
+//   stencilctl blockpar [--nx N --ny N --nz N] [--radius R] [--parvec V]
+//                       [--partime T] [--bsize-x B --bsize-y B] [--iters I]
+//                       [--workers LIST] [--json FILE]
+//       scale one overlapped-blocking job across host worker counts
+//       through the block-parallel backend; self-check: every run
+//       bit-exact vs the synchronous sweep, and (on hosts with enough
+//       cores) the top worker count reaches 3/8 of linear speedup;
+//       --json exports the scaling scorecard (BENCH_PR5.json)
 //   stencilctl faults [--plan SPEC] [--boards B] [--nx N --ny N] [--iters I]
 //       run a seeded fault campaign (default: one of every recoverable
 //       fault class) through the shim, the resilient concurrent runtime,
@@ -37,6 +47,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "cluster/multi_fpga.hpp"
 #include "codegen/kernel_generator.hpp"
@@ -44,8 +55,10 @@
 #include "common/json.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
+#include "core/block_parallel_accelerator.hpp"
 #include "core/concurrent_accelerator.hpp"
 #include "core/stencil_accelerator.hpp"
+#include "engine/run.hpp"
 #include "engine/stencil_engine.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/resilient_runner.hpp"
@@ -214,12 +227,33 @@ int cmd_codegen(const Args& a) {
   return 0;
 }
 
+/// --backend flag -> ExecutionBackend; `automatic` defers to the router.
+ExecutionBackend backend_from(const Args& a) {
+  const std::string name = a.get_str("backend", "automatic");
+  for (const ExecutionBackend b :
+       {ExecutionBackend::automatic, ExecutionBackend::sync_sim,
+        ExecutionBackend::concurrent, ExecutionBackend::block_parallel,
+        ExecutionBackend::resilient, ExecutionBackend::cluster}) {
+    if (name == backend_name(b)) return b;
+  }
+  throw ConfigError("unknown --backend `" + name + "`");
+}
+
 int cmd_simulate(const Args& a) {
   const AcceleratorConfig cfg = config_from(a);
   const std::int64_t nx = a.get("nx", 200);
   const std::int64_t ny = a.get("ny", cfg.dims == 2 ? 100 : 60);
   const std::int64_t nz = cfg.dims == 3 ? a.get("nz", 30) : 1;
   const int iters = static_cast<int>(a.get("iters", cfg.partime + 1));
+  const TapSet taps =
+      a.box ? make_box_stencil(cfg.dims, cfg.radius)
+            : StarStencil::make_benchmark(cfg.dims, cfg.radius).to_taps();
+
+  RunOptions opts;
+  opts.backend = backend_from(a);
+  opts.workers = static_cast<int>(a.get("workers", 0));
+  const ExecutionBackend resolved =
+      resolve_backend(taps, cfg, nx, ny, nz, opts);
 
   Stopwatch sw;
   CompareResult cmp;
@@ -228,39 +262,22 @@ int cmd_simulate(const Args& a) {
     Grid2D<float> g(nx, ny);
     g.fill_random(1);
     Grid2D<float> want = g;
-    if (a.box) {
-      const TapSet taps = make_box_stencil(2, cfg.radius);
-      StencilAccelerator accel(taps, cfg);
-      stats = accel.run(g, iters);
-      reference_run(taps, want, iters);
-    } else {
-      const StarStencil s = StarStencil::make_benchmark(2, cfg.radius);
-      StencilAccelerator accel(s, cfg);
-      stats = accel.run(g, iters);
-      reference_run(s, want, iters);
-    }
+    stats = run(taps, cfg, g, iters, opts);
+    reference_run(taps, want, iters);
     cmp = compare_exact(g, want);
   } else {
     Grid3D<float> g(nx, ny, nz);
     g.fill_random(1);
     Grid3D<float> want = g;
-    if (a.box) {
-      const TapSet taps = make_box_stencil(3, cfg.radius);
-      StencilAccelerator accel(taps, cfg);
-      stats = accel.run(g, iters);
-      reference_run(taps, want, iters);
-    } else {
-      const StarStencil s = StarStencil::make_benchmark(3, cfg.radius);
-      StencilAccelerator accel(s, cfg);
-      stats = accel.run(g, iters);
-      reference_run(s, want, iters);
-    }
+    stats = run(taps, cfg, g, iters, opts);
+    reference_run(taps, want, iters);
     cmp = compare_exact(g, want);
   }
 
   std::cout << "simulated " << cfg.describe() << " on " << nx << "x" << ny
             << (cfg.dims == 3 ? "x" + std::to_string(nz) : "") << " for "
-            << iters << " iterations (" << format_fixed(sw.seconds(), 2)
+            << iters << " iterations via " << backend_name(resolved)
+            << " backend (" << format_fixed(sw.seconds(), 2)
             << " s host time)\n"
             << "  passes " << stats.passes << ", cells streamed "
             << stats.cells_streamed << ", redundancy "
@@ -288,15 +305,17 @@ RunStats run_instrumented(const Args& a, Telemetry& telemetry,
             : StarStencil::make_benchmark(cfg.dims, cfg.radius).to_taps();
 
   RunStats stats;
-  const RunOptions opts{.channel_depth = depth};
+  RunOptions opts;
+  opts.backend = ExecutionBackend::concurrent;
+  opts.channel_depth = depth;
   if (cfg.dims == 2) {
     Grid2D<float> g(nx, ny);
     g.fill_random(1);
-    stats = run_concurrent(taps, cfg, g, iters, opts);
+    stats = run(taps, cfg, g, iters, opts);
   } else {
     Grid3D<float> g(nx, ny, nz);
     g.fill_random(1);
-    stats = run_concurrent(taps, cfg, g, iters, opts);
+    stats = run(taps, cfg, g, iters, opts);
   }
   os << "instrumented concurrent run: " << cfg.describe() << " on " << nx
      << "x" << ny << (cfg.dims == 3 ? "x" + std::to_string(nz) : "")
@@ -471,10 +490,10 @@ int cmd_faults(const Args& a) {
   RunStats rstats;
   {
     ResilienceOptions opts;
-    opts.watchdog_deadline = std::chrono::milliseconds(250);
+    opts.base.watchdog_deadline = std::chrono::milliseconds(250);
+    opts.base.injector = &injector;
     opts.max_pass_attempts = 5;
     opts.checkpoint_interval = 2;
-    opts.injector = &injector;
     Grid2D<float> got = initial;
     rstats = run_resilient(taps, cfg, got, iters, opts);
     const CompareResult cmp = compare_exact(got, want);
@@ -729,14 +748,232 @@ int cmd_engine(const Args& a) {
   return ok ? 0 : 1;
 }
 
+// The block-parallel scaling campaign: one fixed overlapped-blocking job,
+// a timed synchronous baseline (whose output doubles as the exactness
+// oracle), then the same job through the block-parallel backend at each
+// requested worker count. Self-checks: every run bit-exact with the sync
+// sweep; and when the host actually has as many cores as the largest
+// worker count, the best speedup must reach 3/8 of linear (3x at 8
+// workers, the acceptance bar) -- on smaller hosts the scaling gate is
+// recorded as unchecked rather than failed, since host parallelism
+// cannot manifest without cores.
+int cmd_blockpar(const Args& a) {
+  AcceleratorConfig cfg;
+  cfg.dims = static_cast<int>(a.get("dims", 3));
+  cfg.radius = static_cast<int>(a.get("radius", 2));
+  cfg.parvec = static_cast<int>(a.get("parvec", 4));
+  cfg.partime = static_cast<int>(a.get("partime", 4));
+  cfg.bsize_x = a.get("bsize-x", 136);
+  cfg.bsize_y = cfg.dims == 3 ? a.get("bsize-y", 136) : 1;
+  cfg.validate();
+  const std::int64_t nx = a.get("nx", 512);
+  const std::int64_t ny = a.get("ny", 512);
+  const std::int64_t nz = cfg.dims == 3 ? a.get("nz", 512) : 1;
+  const int iters = static_cast<int>(a.get("iters", cfg.partime));
+  const std::int64_t cells = nx * ny * nz;
+
+  std::vector<int> worker_counts;
+  {
+    std::stringstream ss(a.get_str("workers", "1,2,4,8"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      const int w = std::stoi(tok);
+      if (w < 1) throw ConfigError("--workers entries must be >= 1");
+      worker_counts.push_back(w);
+    }
+    if (worker_counts.empty()) throw ConfigError("--workers list is empty");
+  }
+  const int max_workers =
+      *std::max_element(worker_counts.begin(), worker_counts.end());
+
+  const TapSet taps =
+      a.box ? make_box_stencil(cfg.dims, cfg.radius)
+            : StarStencil::make_benchmark(cfg.dims, cfg.radius).to_taps();
+  const AcceleratorConfig rcfg = resolve_stage_lag(taps, cfg);
+  const BlockingPlan plan = cfg.dims == 3
+                                ? make_blocking_plan(rcfg, nx, ny, nz)
+                                : make_blocking_plan(rcfg, nx, ny);
+  const std::int64_t blocks = plan.total_blocks();
+
+  std::cout << "block-parallel campaign: " << cfg.describe() << " on " << nx
+            << "x" << ny << (cfg.dims == 3 ? "x" + std::to_string(nz) : "")
+            << " for " << iters << " iterations, " << blocks
+            << " blocks/pass, workers {";
+  for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+    std::cout << (i ? "," : "") << worker_counts[i];
+  }
+  std::cout << "}\n";
+
+  struct Row {
+    int workers = 0;
+    int resolved = 0;
+    std::int64_t blocks = 0;
+    double wall = 0.0;
+    double cells_per_s = 0.0;
+    double blocks_per_s = 0.0;
+    double speedup = 0.0;
+    bool exact = false;
+  };
+  std::vector<Row> rows;
+  double baseline_wall = 0.0;
+  double baseline_cells_per_s = 0.0;
+  double redundancy = 0.0;
+  bool all_exact = true;
+
+  const auto campaign = [&](auto initial) {
+    auto oracle = initial;
+    {
+      StencilAccelerator accel(taps, cfg);
+      const Stopwatch sw;
+      accel.run(oracle, iters);
+      baseline_wall = sw.seconds();
+    }
+    baseline_cells_per_s = double(cells) * iters / baseline_wall;
+    for (const int w : worker_counts) {
+      auto g = initial;
+      RunOptions opts;
+      opts.workers = w;
+      const Stopwatch sw;
+      const RunStats stats = run_block_parallel(taps, cfg, g, iters, opts);
+      Row row;
+      row.workers = w;
+      row.resolved = resolved_block_workers(opts, plan);
+      row.blocks = stats.block_passes;
+      row.wall = sw.seconds();
+      row.cells_per_s = double(cells) * iters / row.wall;
+      row.blocks_per_s = double(stats.block_passes) / row.wall;
+      row.speedup = baseline_wall / row.wall;
+      row.exact = compare_exact(g, oracle).identical();
+      all_exact = all_exact && row.exact;
+      redundancy = stats.redundancy();
+      rows.push_back(row);
+    }
+  };
+  if (cfg.dims == 2) {
+    Grid2D<float> initial(nx, ny);
+    initial.fill_random(1);
+    campaign(std::move(initial));
+  } else {
+    Grid3D<float> initial(nx, ny, nz);
+    initial.fill_random(1);
+    campaign(std::move(initial));
+  }
+
+  TextTable t({"workers", "resolved", "blocks", "wall s", "Mcells/s",
+               "blocks/s", "speedup", "exact"});
+  t.add_row({"sync", "-", std::to_string(blocks * ((iters + cfg.partime - 1) /
+                                                   cfg.partime)),
+             format_fixed(baseline_wall, 3),
+             format_fixed(baseline_cells_per_s / 1e6, 1), "-", "1.00",
+             "yes"});
+  for (const Row& r : rows) {
+    t.add_row({std::to_string(r.workers), std::to_string(r.resolved),
+               std::to_string(r.blocks), format_fixed(r.wall, 3),
+               format_fixed(r.cells_per_s / 1e6, 1),
+               format_fixed(r.blocks_per_s, 1), format_fixed(r.speedup, 2),
+               r.exact ? "yes" : "NO"});
+  }
+  t.render(std::cout);
+
+  double best_speedup = 0.0;
+  for (const Row& r : rows) best_speedup = std::max(best_speedup, r.speedup);
+  const unsigned hc = std::thread::hardware_concurrency();
+  const bool gate_checked = hc >= unsigned(max_workers);
+  const bool gate_ok =
+      !gate_checked || best_speedup >= 0.375 * double(max_workers);
+  std::cout << "redundancy " << format_fixed(redundancy, 3)
+            << "x, best speedup " << format_fixed(best_speedup, 2) << "x ("
+            << hc << " hardware threads; scaling gate "
+            << (gate_checked ? (gate_ok ? "passed" : "FAILED") : "skipped")
+            << ")\n";
+
+  const std::string json_path = a.get_str("json", "");
+  if (!json_path.empty()) {
+    std::ostringstream body;
+    JsonWriter w(body);
+    w.begin_object();
+    w.key("schema_version").value(1);
+    w.key("bench").value("block_parallel_scaling");
+    w.key("paper").value(
+        "High-Performance High-Order Stencil Computation on FPGAs Using "
+        "OpenCL");
+    w.key("workload").begin_object();
+    w.key("dims").value(cfg.dims);
+    w.key("nx").value(nx);
+    w.key("ny").value(ny);
+    w.key("nz").value(nz);
+    w.key("radius").value(cfg.radius);
+    w.key("parvec").value(cfg.parvec);
+    w.key("partime").value(cfg.partime);
+    w.key("bsize_x").value(cfg.bsize_x);
+    w.key("bsize_y").value(cfg.bsize_y);
+    w.key("iters").value(iters);
+    w.key("blocks").value(blocks);
+    w.end_object();
+    w.key("baseline").begin_object();
+    w.key("backend").value(backend_name(ExecutionBackend::sync_sim));
+    w.key("wall_seconds").value(baseline_wall);
+    w.key("cells_per_s").value(baseline_cells_per_s);
+    w.end_object();
+    w.key("runs").begin_array();
+    for (const Row& r : rows) {
+      w.begin_object();
+      w.key("workers").value(r.workers);
+      w.key("resolved_workers").value(r.resolved);
+      w.key("blocks").value(r.blocks);
+      w.key("wall_seconds").value(r.wall);
+      w.key("cells_per_s").value(r.cells_per_s);
+      w.key("blocks_per_s").value(r.blocks_per_s);
+      w.key("speedup_vs_sync").value(r.speedup);
+      w.key("exact").value(r.exact);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("summary").begin_object();
+    w.key("runs").value(std::int64_t(rows.size()));
+    w.key("exact_runs").value(std::int64_t(std::count_if(
+        rows.begin(), rows.end(), [](const Row& r) { return r.exact; })));
+    w.key("max_workers").value(max_workers);
+    w.key("best_speedup").value(best_speedup);
+    w.key("redundancy").value(redundancy);
+    w.key("hardware_concurrency").value(std::int64_t(hc));
+    w.key("speedup_gate_checked").value(gate_checked);
+    w.end_object();
+    w.end_object();
+    if (!json_is_valid(body.str())) {
+      std::cerr << "stencilctl: internal error: blockpar JSON failed "
+                   "validation\n";
+      return 1;
+    }
+    std::ofstream file(json_path);
+    if (!file) {
+      throw ConfigError("cannot open --json file `" + json_path + "`");
+    }
+    file << body.str() << "\n";
+    std::cout << rows.size() << " run records written to " << json_path
+              << "\n";
+  }
+
+  std::cout << "campaign "
+            << (all_exact && gate_ok ? "passed" : "FAILED") << ": "
+            << (all_exact ? "all runs bit-exact vs sync sweep"
+                          : "run NOT bit-exact vs sync sweep")
+            << "\n";
+  return all_exact && gate_ok ? 0 : 1;
+}
+
 int usage() {
   std::cerr
       << "usage: stencilctl "
-         "<devices|tune|model|codegen|simulate|faults|metrics|trace|engine> "
-         "[flags]\n"
+         "<devices|tune|model|codegen|simulate|blockpar|faults|metrics|"
+         "trace|engine> [flags]\n"
          "  common flags: --dims 2|3 --radius R --bsize-x B --bsize-y B\n"
          "                --parvec V --partime T --device NAME\n"
          "                --nx N --ny N --nz N --iters I --top K --box\n"
+         "  simulate flags: --backend automatic|sync_sim|concurrent|\n"
+         "                  block_parallel|resilient --workers W\n"
+         "  blockpar flags: --workers LIST (e.g. 1,2,4,8)\n"
+         "                  --json BENCH_PR5.json\n"
          "  faults flags: --plan SPEC (else $FPGASTENCIL_FAULT_PLAN, else a\n"
          "                demo campaign) --boards B\n"
          "  metrics flags: --format table|json|csv --out FILE --depth D\n"
@@ -758,6 +995,7 @@ int main(int argc, char** argv) {
     if (cmd == "model") return cmd_model(a);
     if (cmd == "codegen") return cmd_codegen(a);
     if (cmd == "simulate") return cmd_simulate(a);
+    if (cmd == "blockpar") return cmd_blockpar(a);
     if (cmd == "faults") return cmd_faults(a);
     if (cmd == "metrics") return cmd_metrics(a);
     if (cmd == "trace") return cmd_trace(a);
