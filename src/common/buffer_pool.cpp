@@ -28,8 +28,9 @@ std::vector<float> BufferPool::acquire(std::size_t size) {
 }
 
 void BufferPool::release(std::vector<float> buffer) {
-  if (buffer.capacity() == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
+  ++releases_;  // counts even drops: the lease itself came back
+  if (buffer.capacity() == 0) return;
   if (free_.size() >= max_retained_) return;  // drop: frees on destruction
   free_.push_back(std::move(buffer));
 }
@@ -47,6 +48,11 @@ std::int64_t BufferPool::allocations() const {
 std::int64_t BufferPool::reuses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return reuses_;
+}
+
+std::int64_t BufferPool::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquires_ - releases_;
 }
 
 std::size_t BufferPool::retained() const {

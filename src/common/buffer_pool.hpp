@@ -66,6 +66,11 @@ class BufferPool {
   [[nodiscard]] std::int64_t allocations() const;
   /// Acquires served from a retained buffer.
   [[nodiscard]] std::int64_t reuses() const;
+  /// Buffers acquired but not yet released (leases in flight). Zero on an
+  /// idle engine -- the chaos campaign's no-leak invariant. Releases of
+  /// empty vectors (storage lost to an aborted/cancelled pass) still
+  /// count: the lease came back, only its capacity was dropped.
+  [[nodiscard]] std::int64_t outstanding() const;
   /// Buffers currently idle in the pool.
   [[nodiscard]] std::size_t retained() const;
   /// Bytes of capacity currently idle in the pool.
@@ -81,6 +86,7 @@ class BufferPool {
   std::int64_t acquires_ = 0;
   std::int64_t allocations_ = 0;
   std::int64_t reuses_ = 0;
+  std::int64_t releases_ = 0;
 };
 
 }  // namespace fpga_stencil

@@ -1,0 +1,160 @@
+// Cooperative cancellation: a shared token observed by every execution
+// path at block (or finer) granularity.
+//
+// A CancellationToken is a copyable handle to shared cancel state; all
+// copies observe the same request. Cancellation is *cooperative*: nothing
+// is interrupted pre-emptively. The streaming core checks the token every
+// few hundred vectors (core/block_streamer), the block-parallel workers
+// check it before claiming each block, the concurrent write kernel polls
+// it between channel reads, and the resilient runner checks it between
+// pass attempts -- so a cancelled run unwinds at block granularity with
+// all worker threads joined and all pooled buffers released, never
+// mid-write into shared state.
+//
+// Deadlines ride the same mechanism: a token built with with_deadline /
+// with_timeout trips itself the first time anyone checks it past the
+// deadline, so per-job deadlines are enforced by exactly the code that
+// already honors cancel(). The cause distinguishes the two
+// (CancelCause::cancelled vs CancelCause::deadline), and the matching
+// error types let callers unwind both with one catch (DeadlineExceededError
+// derives from CancelledError) while still telling them apart.
+//
+// A default-constructed token is *null*: it never cancels and costs one
+// pointer test to check, so fault-free paths stay hot.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace fpga_stencil {
+
+/// Why a token tripped. `none` means it has not tripped.
+enum class CancelCause : int { none = 0, cancelled = 1, deadline = 2 };
+
+/// A run was cancelled cooperatively; the job's output is discarded. The
+/// input grid of the pass being unwound is never half-written (output
+/// only commits on pass completion), so non-cancelled work is unaffected.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// The token's deadline expired before the run finished. Derives from
+/// CancelledError so one handler unwinds both; the engine maps the types
+/// to distinct terminal job states.
+class DeadlineExceededError : public CancelledError {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : CancelledError(what) {}
+};
+
+class CancellationToken {
+ public:
+  /// Null token: valid() is false and cancel_requested() is always false.
+  CancellationToken() = default;
+
+  /// A live token with no deadline; trips only via request_cancel().
+  [[nodiscard]] static CancellationToken make() {
+    CancellationToken t;
+    t.state_ = std::make_shared<State>();
+    return t;
+  }
+
+  /// A live token that additionally trips itself (cause = deadline) the
+  /// first time it is checked at or after `deadline`.
+  [[nodiscard]] static CancellationToken with_deadline(
+      std::chrono::steady_clock::time_point deadline) {
+    CancellationToken t = make();
+    t.state_->has_deadline = true;
+    t.state_->deadline = deadline;
+    return t;
+  }
+
+  [[nodiscard]] static CancellationToken with_timeout(
+      std::chrono::milliseconds timeout) {
+    return with_deadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// True once the token has tripped (explicit cancel or expired
+  /// deadline). Deadline expiry is latched here on first observation, so
+  /// cause() and cancelled_at() are stable afterwards.
+  [[nodiscard]] bool cancel_requested() const {
+    if (!state_) return false;
+    if (state_->cause.load(std::memory_order_acquire) !=
+        int(CancelCause::none)) {
+      return true;
+    }
+    if (state_->has_deadline &&
+        std::chrono::steady_clock::now() >= state_->deadline) {
+      trip(*state_, CancelCause::deadline, state_->deadline);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] CancelCause cause() const {
+    if (!state_) return CancelCause::none;
+    return CancelCause(state_->cause.load(std::memory_order_acquire));
+  }
+
+  /// Requests cooperative cancellation; idempotent, thread-safe. A token
+  /// that already tripped (either cause) keeps its first cause.
+  void request_cancel() const {
+    if (!state_) return;
+    trip(*state_, CancelCause::cancelled, std::chrono::steady_clock::now());
+  }
+
+  /// Throws CancelledError / DeadlineExceededError if the token tripped.
+  /// The cancellation seam every execution path calls.
+  void throw_if_cancelled() const {
+    if (!cancel_requested()) return;
+    if (cause() == CancelCause::deadline) {
+      throw DeadlineExceededError("job deadline exceeded");
+    }
+    throw CancelledError("job cancelled");
+  }
+
+  /// When the token tripped: the request_cancel() call time, or the
+  /// deadline itself for deadline trips. Meaningful only after
+  /// cancel_requested() returned true (cancel-latency measurements).
+  [[nodiscard]] std::chrono::steady_clock::time_point cancelled_at() const {
+    if (!state_) return {};
+    return std::chrono::steady_clock::time_point(std::chrono::nanoseconds(
+        state_->cancelled_at_ns.load(std::memory_order_acquire)));
+  }
+
+ private:
+  struct State {
+    std::atomic<int> cause{int(CancelCause::none)};
+    std::atomic<std::int64_t> cancelled_at_ns{0};
+    bool has_deadline = false;  ///< set before the token is shared
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  /// First trip wins. The timestamp latches before the cause so a reader
+  /// that observes cause != none always finds a nonzero cancelled_at.
+  static void trip(State& s, CancelCause cause,
+                   std::chrono::steady_clock::time_point when) {
+    std::int64_t expected_ns = 0;
+    s.cancelled_at_ns.compare_exchange_strong(
+        expected_ns,
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            when.time_since_epoch())
+            .count(),
+        std::memory_order_acq_rel);
+    int expected = int(CancelCause::none);
+    s.cause.compare_exchange_strong(expected, int(cause),
+                                    std::memory_order_acq_rel);
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace fpga_stencil

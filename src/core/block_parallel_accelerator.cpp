@@ -14,6 +14,8 @@
 #include "common/buffer_pool.hpp"
 #include "common/stopwatch.hpp"
 #include "core/block_streamer.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/watchdog.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace fpga_stencil {
@@ -89,6 +91,26 @@ RunStats run_block_parallel_impl(const TapSet& taps,
   std::vector<std::int64_t> worker_busy_ns(pool_size, 0);
   std::vector<std::exception_ptr> worker_errors(pool_size);
 
+  // Cooperative unwind machinery. `aborted` stops every worker's claim
+  // loop; the watchdog (when armed) sets it and opens the injector's
+  // stall gate so a hung worker wakes, claims nothing more, and reaches
+  // the finish barrier -- the two-barrier pass protocol never deadlocks.
+  FaultInjector* const fi = opts.injector;
+  if (fi) fi->reset_stalls();  // re-arm the gate; no thread is parked yet
+  const CancellationToken* const cancel =
+      opts.cancel.valid() ? &opts.cancel : nullptr;
+  std::atomic<bool> aborted{false};
+  const auto unwind = [&] {
+    aborted.store(true, std::memory_order_release);
+    if (tel) tel->tracer().instant("block_parallel_unwind", 0,
+                                   "block_parallel");
+    if (fi) fi->release_stalls();
+  };
+  std::optional<Watchdog> dog;
+  if (opts.watchdog_deadline.count() > 0) {
+    dog.emplace(opts.watchdog_deadline, unwind);
+  }
+
   const auto worker_fn = [&](int w) {
     // Private pipeline replica: own PE chain (shift-register state is
     // per-block, reset by begin_block) and own ping-pong lane buffers.
@@ -128,14 +150,28 @@ RunStats run_block_parallel_impl(const TapSet& taps,
         }
         try {
           for (;;) {
+            if (aborted.load(std::memory_order_acquire)) break;
+            if (cancel) cancel->throw_if_cancelled();
+            if (fi && fi->should_fire(FaultSite::kernel_hang)) {
+              // Park on the stall gate exactly like a hung PE; only the
+              // watchdog's unwind releases it. Claim nothing afterwards.
+              fi->stall_until_released();
+              if (aborted.load(std::memory_order_acquire)) break;
+            }
             const std::int64_t b =
                 pass.next_block.fetch_add(1, std::memory_order_relaxed);
             if (b >= plan.total_blocks()) break;
             stream_block(pes, plan, block_extent(plan, b), *pass.in,
                          *pass.out, pass.steps, va, vb,
-                         worker_stats[std::size_t(w)]);
+                         worker_stats[std::size_t(w)], cancel);
+            if (dog) dog->kick();
           }
         } catch (...) {
+          // Cancellation or a streaming error: stop the siblings too so
+          // the pass unwinds at block granularity, then report through
+          // the per-worker slot (first worker by index wins the rethrow).
+          aborted.store(true, std::memory_order_release);
+          if (fi) fi->release_stalls();
           worker_errors[std::size_t(w)] = std::current_exception();
         }
         if (tel) span.end();
@@ -166,6 +202,7 @@ RunStats run_block_parallel_impl(const TapSet& taps,
     for (const std::exception_ptr& e : worker_errors) {
       if (e) failed = true;
     }
+    if (aborted.load(std::memory_order_acquire)) failed = true;
     if (failed) break;
     std::swap(cur, nxt);
     remaining -= pass.steps;
@@ -181,7 +218,25 @@ RunStats run_block_parallel_impl(const TapSet& taps,
   }
   pass.done = true;
   start.arrive_and_wait();  // retire the pool
+  if (dog) dog->stop();
   for (std::thread& t : pool_threads) t.join();
+  if (failed) {
+    // Unwound mid-run (cancel, deadline, watchdog trip, or a worker
+    // error). Leave the caller's grid holding the last *completed* pass
+    // -- the aborted pass only touched the scratch side -- and drop the
+    // scratch storage (opts.scratch stays empty, the documented abort
+    // contract; the pool lease still flows back through the caller).
+    if (cur != &grid) std::swap(grid, scratch);
+    for (const std::exception_ptr& e : worker_errors) {
+      if (e) std::rethrow_exception(e);  // first worker by index wins
+    }
+    // No worker recorded an error: the watchdog unwound a stalled pass
+    // (the hung worker parked on the gate, its siblings drained the
+    // remaining blocks).
+    throw PassAbortedError(
+        "block-parallel pass unwound by watchdog (no progress within "
+        "deadline)");
+  }
   for (const std::exception_ptr& e : worker_errors) {
     if (e) std::rethrow_exception(e);  // first worker by index wins
   }

@@ -3,11 +3,21 @@
 #include <utility>
 
 namespace fpga_stencil {
+namespace {
+
+/// Cancellation poll cadence: every 512 vectors, plus q = 0 so an
+/// already-tripped token aborts before the block does any work. Cheap
+/// (one branch per vector) yet far finer than the one-block-time bound
+/// the engine promises for cancel().
+constexpr std::int64_t kCancelCheckMask = 511;
+
+}  // namespace
 
 void stream_block(std::vector<ProcessingElement>& pes,
                   const BlockingPlan& plan, const BlockExtent& blk,
                   const Grid2D<float>& in, Grid2D<float>& out, int steps,
-                  std::span<float> va, std::span<float> vb, RunStats& stats) {
+                  std::span<float> va, std::span<float> vb, RunStats& stats,
+                  const CancellationToken* cancel) {
   const AcceleratorConfig& cfg = plan.config;
   const std::int64_t halo = cfg.halo();
   const std::int64_t drain = cfg.stream_drain();
@@ -27,6 +37,7 @@ void stream_block(std::vector<ProcessingElement>& pes,
   // The collapsed loop: one global vector index drives the read kernel,
   // every PE, and the write kernel for this block pass.
   for (std::int64_t q = 0; q < vectors_per_block; ++q) {
+    if (cancel && (q & kCancelCheckMask) == 0) cancel->throw_if_cancelled();
     // --- read kernel: fetch parvec cells (zero outside the grid) ---
     const std::int64_t flat_in = q * cfg.parvec;
     const std::int64_t y_in = flat_in / cfg.bsize_x;
@@ -66,7 +77,8 @@ void stream_block(std::vector<ProcessingElement>& pes,
 void stream_block(std::vector<ProcessingElement>& pes,
                   const BlockingPlan& plan, const BlockExtent& blk,
                   const Grid3D<float>& in, Grid3D<float>& out, int steps,
-                  std::span<float> va, std::span<float> vb, RunStats& stats) {
+                  std::span<float> va, std::span<float> vb, RunStats& stats,
+                  const CancellationToken* cancel) {
   const AcceleratorConfig& cfg = plan.config;
   const std::int64_t halo = cfg.halo();
   const std::int64_t drain = cfg.stream_drain();
@@ -88,6 +100,7 @@ void stream_block(std::vector<ProcessingElement>& pes,
   }
 
   for (std::int64_t q = 0; q < vectors_per_block; ++q) {
+    if (cancel && (q & kCancelCheckMask) == 0) cancel->throw_if_cancelled();
     // --- read kernel ---
     const std::int64_t flat_in = q * cfg.parvec;
     const std::int64_t z_in = flat_in / plane;

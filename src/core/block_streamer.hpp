@@ -13,11 +13,18 @@
 // (thread), while `in`/`out` may be shared across concurrent calls --
 // reads are unrestricted and each block writes only its own disjoint
 // compute region.
+//
+// Cancellation: a non-null `cancel` token is checked every few hundred
+// vectors; a tripped token aborts the block by throwing CancelledError /
+// DeadlineExceededError. The block's partial writes land only in `out`
+// (the pass's scratch side), which the caller discards on unwind, so the
+// caller-visible grid is never left half-written.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "common/cancellation.hpp"
 #include "core/stencil_accelerator.hpp"
 
 namespace fpga_stencil {
@@ -28,12 +35,14 @@ namespace fpga_stencil {
 void stream_block(std::vector<ProcessingElement>& pes,
                   const BlockingPlan& plan, const BlockExtent& blk,
                   const Grid2D<float>& in, Grid2D<float>& out, int steps,
-                  std::span<float> va, std::span<float> vb, RunStats& stats);
+                  std::span<float> va, std::span<float> vb, RunStats& stats,
+                  const CancellationToken* cancel = nullptr);
 
 /// Streams one 3D block (2.5D blocking: x/y blocked, z streamed).
 void stream_block(std::vector<ProcessingElement>& pes,
                   const BlockingPlan& plan, const BlockExtent& blk,
                   const Grid3D<float>& in, Grid3D<float>& out, int steps,
-                  std::span<float> va, std::span<float> vb, RunStats& stats);
+                  std::span<float> va, std::span<float> vb, RunStats& stats,
+                  const CancellationToken* cancel = nullptr);
 
 }  // namespace fpga_stencil

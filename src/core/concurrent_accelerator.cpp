@@ -169,13 +169,40 @@ void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
     });
   }
 
-  // Write kernel runs on the calling thread.
+  // Write kernel runs on the calling thread. With a cancellation token
+  // attached it polls the token between bounded channel reads, so a
+  // cancel/deadline trips within one poll interval even while the
+  // pipeline is streaming normally.
+  const CancellationToken* const cancel =
+      opts.cancel.valid() ? &opts.cancel : nullptr;
+  constexpr std::chrono::milliseconds kCancelPoll{5};
   Tracer::Span write_span;
   if (tel) write_span = tel->tracer().span("write_kernel", write_lane);
   bool underrun = false;
-  for (std::size_t b = 0; b < geo.blocks.size() && !underrun; ++b) {
+  bool cancelled = false;
+  for (std::size_t b = 0; b < geo.blocks.size() && !underrun && !cancelled;
+       ++b) {
     for (std::int64_t q = 0; q < geo.vectors_per_block; ++q) {
-      std::optional<Vec> v = channels[std::size_t(stages)]->read();
+      std::optional<Vec> v;
+      if (cancel) {
+        Vec tmp;
+        for (;;) {
+          if (cancel->cancel_requested()) {
+            cancelled = true;
+            break;
+          }
+          const ChannelStatus st =
+              channels[std::size_t(stages)]->read_for(tmp, kCancelPoll);
+          if (st == ChannelStatus::ok) {
+            v = std::move(tmp);
+            break;
+          }
+          if (st == ChannelStatus::closed) break;  // leaves v empty
+        }
+        if (cancelled) break;
+      } else {
+        v = channels[std::size_t(stages)]->read();
+      }
       if (!v.has_value()) {
         underrun = true;
         break;
@@ -184,14 +211,15 @@ void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
       stats.cells_written += geo.write(b, q, v->data());
       stats.cells_streamed += cfg.parvec;
     }
-    if (!underrun) {
+    if (!underrun && !cancelled) {
       stats.vectors_processed += geo.vectors_per_block;
       ++stats.block_passes;
     }
   }
   write_span.end();
 
-  if (underrun) unwind();  // make sure every stage observes shutdown
+  // Make sure every stage observes shutdown before joining.
+  if (underrun || cancelled) unwind();
   if (dog) dog->stop();
   for (std::thread& t : threads) t.join();
   pass_span.end();
@@ -203,6 +231,12 @@ void run_pass_concurrent(const TapSet& taps, const AcceleratorConfig& cfg,
                         pass_clock.nanoseconds());
   }
 
+  if (cancelled) {
+    // The pass output never committed (it lives in the scratch side the
+    // caller discards on unwind), so the caller-visible grid still holds
+    // the last completed pass.
+    cancel->throw_if_cancelled();
+  }
   if (underrun) {
     throw PassAbortedError(
         dog && dog->fired()
@@ -229,6 +263,7 @@ RunStats run_concurrent_impl(const TapSet& taps, const AcceleratorConfig& cfg,
           : Grid2D<float>(grid.nx(), grid.ny());
   int remaining = iterations;
   while (remaining > 0) {
+    if (ropts.cancel.valid()) ropts.cancel.throw_if_cancelled();
     const int steps = std::min(remaining, rcfg.partime);
     const BlockingPlan plan = make_blocking_plan(rcfg, grid.nx(), grid.ny());
     const std::int64_t halo = rcfg.halo();
@@ -303,6 +338,7 @@ RunStats run_concurrent_impl(const TapSet& taps, const AcceleratorConfig& cfg,
           : Grid3D<float>(grid.nx(), grid.ny(), grid.nz());
   int remaining = iterations;
   while (remaining > 0) {
+    if (ropts.cancel.valid()) ropts.cancel.throw_if_cancelled();
     const int steps = std::min(remaining, rcfg.partime);
     const BlockingPlan plan =
         make_blocking_plan(rcfg, grid.nx(), grid.ny(), grid.nz());

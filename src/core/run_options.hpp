@@ -14,6 +14,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/cancellation.hpp"
+
 namespace fpga_stencil {
 
 class BufferPool;     // common/buffer_pool.hpp; pointer-only here
@@ -74,6 +76,11 @@ struct RunOptions {
   /// Lease source for per-worker lane scratch (block-parallel backend);
   /// null keeps the allocate-per-worker behavior.
   BufferPool* pool = nullptr;
+  /// Cooperative cancellation/deadline token. Every backend checks it at
+  /// block (or finer) granularity and unwinds with CancelledError /
+  /// DeadlineExceededError; a default (null) token never cancels. See
+  /// docs/LIFECYCLE.md for the exact check points and guarantees.
+  CancellationToken cancel{};
 };
 
 }  // namespace fpga_stencil

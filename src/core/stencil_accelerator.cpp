@@ -47,7 +47,8 @@ StencilAccelerator::StencilAccelerator(const StarStencil& stencil,
 }
 
 RunStats StencilAccelerator::run(Grid2D<float>& grid, int iterations,
-                                 std::vector<float>* scratch_storage) {
+                                 std::vector<float>* scratch_storage,
+                                 const CancellationToken* cancel) {
   FPGASTENCIL_EXPECT(cfg_.dims == 2, "2D run on a 3D configuration");
   FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
   RunStats stats;
@@ -62,7 +63,7 @@ RunStats StencilAccelerator::run(Grid2D<float>& grid, int iterations,
     Tracer::Span span;
     if (cfg_.telemetry) span = cfg_.telemetry->tracer().span("sync_pass", 0, "sync");
     const Stopwatch pass_clock;
-    run_pass(grid, scratch, steps, stats);
+    run_pass(grid, scratch, steps, stats, cancel);
     if (cfg_.telemetry) {
       span.end();
       record_pass_metrics(*cfg_.telemetry, "sync",
@@ -79,7 +80,8 @@ RunStats StencilAccelerator::run(Grid2D<float>& grid, int iterations,
 }
 
 RunStats StencilAccelerator::run(Grid3D<float>& grid, int iterations,
-                                 std::vector<float>* scratch_storage) {
+                                 std::vector<float>* scratch_storage,
+                                 const CancellationToken* cancel) {
   FPGASTENCIL_EXPECT(cfg_.dims == 3, "3D run on a 2D configuration");
   FPGASTENCIL_EXPECT(iterations >= 0, "iterations must be non-negative");
   RunStats stats;
@@ -95,7 +97,7 @@ RunStats StencilAccelerator::run(Grid3D<float>& grid, int iterations,
     Tracer::Span span;
     if (cfg_.telemetry) span = cfg_.telemetry->tracer().span("sync_pass", 0, "sync");
     const Stopwatch pass_clock;
-    run_pass(grid, scratch, steps, stats);
+    run_pass(grid, scratch, steps, stats, cancel);
     if (cfg_.telemetry) {
       span.end();
       record_pass_metrics(*cfg_.telemetry, "sync",
@@ -112,20 +114,24 @@ RunStats StencilAccelerator::run(Grid3D<float>& grid, int iterations,
 }
 
 void StencilAccelerator::run_pass(const Grid2D<float>& in, Grid2D<float>& out,
-                                  int steps, RunStats& stats) {
+                                  int steps, RunStats& stats,
+                                  const CancellationToken* cancel) {
   const BlockingPlan plan = make_blocking_plan(cfg_, in.nx(), in.ny());
   for (std::int64_t b = 0; b < plan.total_blocks(); ++b) {
     stream_block(pes_, plan, block_extent(plan, b), in, out, steps,
-                 std::span<float>(vec_a_), std::span<float>(vec_b_), stats);
+                 std::span<float>(vec_a_), std::span<float>(vec_b_), stats,
+                 cancel);
   }
 }
 
 void StencilAccelerator::run_pass(const Grid3D<float>& in, Grid3D<float>& out,
-                                  int steps, RunStats& stats) {
+                                  int steps, RunStats& stats,
+                                  const CancellationToken* cancel) {
   const BlockingPlan plan = make_blocking_plan(cfg_, in.nx(), in.ny(), in.nz());
   for (std::int64_t b = 0; b < plan.total_blocks(); ++b) {
     stream_block(pes_, plan, block_extent(plan, b), in, out, steps,
-                 std::span<float>(vec_a_), std::span<float>(vec_b_), stats);
+                 std::span<float>(vec_a_), std::span<float>(vec_b_), stats,
+                 cancel);
   }
 }
 

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancellation.hpp"
 #include "grid/grid.hpp"
 #include "pipeline/processing_element.hpp"
 #include "stencil/accel_config.hpp"
@@ -107,12 +108,18 @@ class StencilAccelerator {
   /// only). `scratch`, when non-null, donates its storage for the internal
   /// ping-pong grid and receives it back on return (buffer-pool reuse
   /// across runs); null keeps the original allocate-per-run behavior.
+  /// A non-null `cancel` token is polled at sub-block granularity; a
+  /// tripped token throws CancelledError / DeadlineExceededError with
+  /// `grid` still holding the last *completed* pass (never a partial one)
+  /// and `scratch` left empty (the aborted pass drops its storage).
   RunStats run(Grid2D<float>& grid, int iterations,
-               std::vector<float>* scratch = nullptr);
+               std::vector<float>* scratch = nullptr,
+               const CancellationToken* cancel = nullptr);
 
   /// Advances `grid` by `iterations` time steps in place (3D configs only).
   RunStats run(Grid3D<float>& grid, int iterations,
-               std::vector<float>* scratch = nullptr);
+               std::vector<float>* scratch = nullptr,
+               const CancellationToken* cancel = nullptr);
 
   /// The configuration as actually executed (stage_lag resolved).
   [[nodiscard]] const AcceleratorConfig& config() const { return cfg_; }
@@ -121,9 +128,9 @@ class StencilAccelerator {
  private:
   /// One pass of `steps <= partime` time steps over the whole grid.
   void run_pass(const Grid2D<float>& in, Grid2D<float>& out, int steps,
-                RunStats& stats);
+                RunStats& stats, const CancellationToken* cancel);
   void run_pass(const Grid3D<float>& in, Grid3D<float>& out, int steps,
-                RunStats& stats);
+                RunStats& stats, const CancellationToken* cancel);
 
   TapSet taps_;
   AcceleratorConfig cfg_;

@@ -73,6 +73,13 @@ struct JobSpec {
   /// the bare concurrent pipeline without a watchdog would deadlock.
   FaultInjector* injector = nullptr;
   std::chrono::milliseconds watchdog_deadline{0};
+  /// Per-job deadline measured from submit(); 0 = none. Enforced
+  /// cooperatively by whichever worker/backend runs the job (the job's
+  /// CancellationToken trips itself past the deadline), so a job that
+  /// overruns -- or never leaves the queue in time -- lands in
+  /// JobStatus::deadline_exceeded. Independent of watchdog_deadline,
+  /// which bounds *progress stalls*, not total latency.
+  std::chrono::milliseconds deadline{0};
   /// Resilient-backend policy (attempts, checkpoints, checksums). Its
   /// injector/telemetry/scratch fields are overridden by the engine.
   ResilienceOptions resilience;
@@ -94,6 +101,9 @@ struct JobResult {
   RunStats stats;
   ClusterStats cluster;      ///< cluster backend only; default otherwise
   Backend backend = Backend::sync_sim;  ///< path actually taken
+  /// True when the circuit breaker overrode the requested backend (the
+  /// job ran on the sync_sim fallback; `backend` reflects the override).
+  bool rerouted = false;
   bool plan_cache_hit = false;
   std::uint64_t kernel_fingerprint = 0;  ///< from the cached plan
   std::int64_t queue_ns = 0;  ///< admission to dispatch
@@ -116,11 +126,49 @@ struct JobResult {
   }
 };
 
-enum class JobStatus { queued, running, done, failed };
+/// The job lifecycle state machine (docs/LIFECYCLE.md):
+///
+///   queued --> running --> done | failed | cancelled | deadline_exceeded
+///   queued ---------------------> cancelled | deadline_exceeded
+///
+/// done/failed/cancelled/deadline_exceeded are terminal; a handle's wait()
+/// rethrows the job's error for every terminal state except done.
+enum class JobStatus {
+  queued,
+  running,
+  done,
+  failed,
+  cancelled,           ///< JobHandle::cancel() (or engine shutdown) tripped it
+  deadline_exceeded,   ///< JobSpec::deadline expired before completion
+};
+
+[[nodiscard]] constexpr bool job_status_terminal(JobStatus s) {
+  return s == JobStatus::done || s == JobStatus::failed ||
+         s == JobStatus::cancelled || s == JobStatus::deadline_exceeded;
+}
+
+[[nodiscard]] constexpr const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::queued: return "queued";
+    case JobStatus::running: return "running";
+    case JobStatus::done: return "done";
+    case JobStatus::failed: return "failed";
+    case JobStatus::cancelled: return "cancelled";
+    case JobStatus::deadline_exceeded: return "deadline_exceeded";
+  }
+  return "?";
+}
 
 /// Submission rejected by a full admission queue under
 /// EngineOptions::Admission::reject.
 class EngineOverloadedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Submission rejected because the engine left the running state
+/// (drain(), shutdown(), or destruction in progress).
+class EngineStoppedError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
@@ -136,8 +184,12 @@ struct JobState {
   JobStatus status = JobStatus::queued;
   JobSpec spec;               ///< consumed by the worker at dispatch
   JobResult result;           ///< valid once status == done
-  std::exception_ptr error;   ///< set when status == failed
+  /// Set for every non-done terminal state; wait() rethrows it.
+  std::exception_ptr error;
   std::chrono::steady_clock::time_point enqueue_time;
+  /// Created at submit (deadline-armed when spec.deadline > 0); shared
+  /// with the executing backend, tripped by JobHandle::cancel().
+  CancellationToken token;
 };
 
 }  // namespace detail
@@ -158,31 +210,52 @@ class JobHandle {
   }
 
   [[nodiscard]] bool finished() const {
-    const JobStatus s = status();
-    return s == JobStatus::done || s == JobStatus::failed;
+    return job_status_terminal(status());
   }
 
-  /// Blocks until the job completes. Rethrows the job's exception on
-  /// failure. The reference stays valid while any handle copy lives.
+  /// Requests cooperative cancellation. Non-blocking and idempotent: the
+  /// job unwinds at block granularity (docs/LIFECYCLE.md) and lands in
+  /// JobStatus::cancelled -- or keeps its terminal state if it already
+  /// finished; cancelling a done job does not un-finish it. Use
+  /// wait()/wait_or_cancel() to observe the outcome.
+  void cancel() { state_->token.request_cancel(); }
+
+  /// Blocks until the job reaches a terminal state. Returns the result
+  /// for a done job; rethrows the job's error otherwise (failure,
+  /// CancelledError, DeadlineExceededError) -- a job that did not finish
+  /// never silently yields a grid. The reference stays valid while any
+  /// handle copy lives.
   JobResult& wait() {
     std::unique_lock<std::mutex> lock(state_->mu);
-    state_->cv.wait(lock, [&] {
-      return state_->status == JobStatus::done ||
-             state_->status == JobStatus::failed;
-    });
-    if (state_->status == JobStatus::failed) {
+    state_->cv.wait(lock, [&] { return job_status_terminal(state_->status); });
+    if (state_->status != JobStatus::done) {
       std::rethrow_exception(state_->error);
     }
     return state_->result;
   }
 
-  /// wait() with a deadline; false if still running when it expires.
+  /// wait() with a timeout; false if the job is not terminal when it
+  /// expires. An expired wait_for does NOT stop the job -- it keeps
+  /// running (and still holds its queue slot and buffers); compose with
+  /// cancel() or use wait_or_cancel() to bound the job itself.
   bool wait_for(std::chrono::milliseconds timeout) {
     std::unique_lock<std::mutex> lock(state_->mu);
     return state_->cv.wait_for(lock, timeout, [&] {
-      return state_->status == JobStatus::done ||
-             state_->status == JobStatus::failed;
+      return job_status_terminal(state_->status);
     });
+  }
+
+  /// wait_for composed with cancel-on-timeout: waits up to `timeout`; if
+  /// the job is still live, requests cancellation and blocks until the
+  /// cooperative unwind completes (bounded by one block's streaming
+  /// time). Never throws; returns the terminal status -- done when the
+  /// job beat the timeout (or finished during the race), cancelled /
+  /// deadline_exceeded / failed otherwise.
+  JobStatus wait_or_cancel(std::chrono::milliseconds timeout) {
+    if (!wait_for(timeout)) cancel();
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return job_status_terminal(state_->status); });
+    return state_->status;
   }
 
  private:

@@ -51,7 +51,8 @@ RunStats run_impl(const TapSet& taps, const AcceleratorConfig& cfg,
       AcceleratorConfig scfg = cfg;
       if (options.telemetry) scfg.telemetry = options.telemetry;
       StencilAccelerator accel(taps, scfg);
-      return accel.run(grid, iterations, options.scratch);
+      return accel.run(grid, iterations, options.scratch,
+                       options.cancel.valid() ? &options.cancel : nullptr);
     }
     case ExecutionBackend::concurrent:
       return run_concurrent(taps, cfg, grid, iterations, options);

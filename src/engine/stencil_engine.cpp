@@ -18,6 +18,15 @@ std::int64_t grid_cells(const GridVariant& g) {
                     g);
 }
 
+/// Cancel-latency buckets: trip -> terminal is bounded by one block's
+/// streaming time, so the interesting range is microseconds to tens of
+/// milliseconds -- much finer than the decade-per-bucket job latencies.
+std::vector<std::int64_t> cancel_latency_bounds_ns() {
+  return {1'000,      10'000,      50'000,      100'000,      500'000,
+          1'000'000,  5'000'000,   10'000'000,  50'000'000,   100'000'000,
+          500'000'000, 1'000'000'000, 10'000'000'000};
+}
+
 }  // namespace
 
 StencilEngine::StencilEngine(EngineOptions options)
@@ -25,6 +34,7 @@ StencilEngine::StencilEngine(EngineOptions options)
       telemetry_(options.telemetry ? options.telemetry : &own_telemetry_),
       plans_(options.plan_cache_capacity),
       pool_(options.pool_max_retained),
+      breaker_(options.breaker_threshold, options.breaker_cooldown),
       paused_(options.start_paused) {
   const int workers = std::max(1, options_.workers);
   workers_.reserve(std::size_t(workers));
@@ -36,12 +46,17 @@ StencilEngine::StencilEngine(EngineOptions options)
 StencilEngine::~StencilEngine() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == EngineState::running) state_ = EngineState::draining;
     stopping_ = true;
     paused_ = false;  // a parked pool must still drain accepted jobs
   }
   dispatch_cv_.notify_all();
   space_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = EngineState::stopped;
+  }
 }
 
 JobHandle StencilEngine::submit(JobSpec spec) {
@@ -53,10 +68,16 @@ JobHandle StencilEngine::submit(JobSpec spec) {
                      "grid dimensionality does not match the configuration");
 
   auto state = std::make_shared<detail::JobState>(std::move(spec));
+  // The token is born at submit so a per-job deadline covers queue time:
+  // a job that never leaves the queue in time still expires.
+  state->token = state->spec.deadline.count() > 0
+                     ? CancellationToken::with_timeout(state->spec.deadline)
+                     : CancellationToken::make();
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (options_.admission == EngineOptions::Admission::reject) {
-      if (queue_.size() >= options_.queue_capacity && !stopping_) {
+      if (queue_.size() >= options_.queue_capacity &&
+          state_ == EngineState::running) {
         telemetry_->metrics().counter("engine.jobs_rejected").add(1);
         throw EngineOverloadedError(
             "engine admission queue is full (" +
@@ -64,11 +85,15 @@ JobHandle StencilEngine::submit(JobSpec spec) {
       }
     } else {
       space_cv_.wait(lock, [&] {
-        return queue_.size() < options_.queue_capacity || stopping_;
+        return queue_.size() < options_.queue_capacity ||
+               state_ != EngineState::running;
       });
     }
-    if (stopping_) {
-      throw std::runtime_error("engine is shutting down");
+    if (state_ != EngineState::running) {
+      telemetry_->metrics().counter("engine.jobs_rejected").add(1);
+      throw EngineStoppedError(std::string("engine is ") +
+                               engine_state_name(state_) +
+                               "; submissions are closed");
     }
     state->enqueue_time = std::chrono::steady_clock::now();
     queue_.push_back(state);
@@ -115,6 +140,51 @@ void StencilEngine::wait_idle() {
   idle_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
 }
 
+void StencilEngine::begin_drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == EngineState::running) state_ = EngineState::draining;
+    paused_ = false;  // a parked pool must still drain accepted jobs
+  }
+  dispatch_cv_.notify_all();
+  space_cv_.notify_all();  // blocked submitters wake and see the state
+}
+
+void StencilEngine::drain() {
+  begin_drain();
+  wait_idle();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == EngineState::draining) state_ = EngineState::stopped;
+}
+
+bool StencilEngine::shutdown(std::chrono::milliseconds deadline) {
+  begin_drain();
+  bool graceful = true;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    graceful = idle_cv_.wait_for(
+        lock, deadline, [&] { return queue_.empty() && active_ == 0; });
+    if (!graceful) {
+      // Patience exhausted: cancel everything still in flight. Queued
+      // jobs finalize as cancelled at dispatch; running jobs unwind
+      // cooperatively at block granularity.
+      for (const auto& job : queue_) job->token.request_cancel();
+      for (const auto& job : running_) job->token.request_cancel();
+    }
+  }
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == EngineState::draining) state_ = EngineState::stopped;
+  }
+  return graceful;
+}
+
+EngineState StencilEngine::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
 void StencilEngine::clear_caches() {
   plans_.clear();
   pool_.clear();
@@ -129,6 +199,10 @@ EngineStats StencilEngine::stats() const {
   s.jobs_rejected = snap.value_or("engine.jobs_rejected", 0);
   s.plan_cache_hits = plans_.hits();
   s.plan_cache_misses = plans_.misses();
+  s.jobs_cancelled = snap.value_or("engine.jobs_cancelled", 0);
+  s.deadline_exceeded = snap.value_or("engine.deadline_exceeded", 0);
+  s.breaker_trips = breaker_.trips();
+  s.breaker_reroutes = breaker_.reroutes();
   s.pool_acquires = pool_.acquires();
   s.pool_allocations = pool_.allocations();
   s.pool_reuses = pool_.reuses();
@@ -153,19 +227,28 @@ void StencilEngine::worker_loop(int worker_id) {
       job = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      running_.push_back(job);
       telemetry_->metrics().gauge("engine.queue_depth")
           .set(std::int64_t(queue_.size()));
     }
     space_cv_.notify_one();
 
-    {
-      std::lock_guard<std::mutex> job_lock(job->mu);
-      job->status = JobStatus::running;
+    // A job whose token tripped while queued (cancel() on a queued
+    // handle, deadline expiring in the queue, forced shutdown) never
+    // starts executing: finalize it straight from the queue.
+    if (job->token.cancel_requested()) {
+      finish_cancelled(*job, job->token.cause() == CancelCause::deadline);
+    } else {
+      {
+        std::lock_guard<std::mutex> job_lock(job->mu);
+        job->status = JobStatus::running;
+      }
+      execute(*job, worker_id);
     }
-    execute(*job, worker_id);
 
     {
       std::lock_guard<std::mutex> lock(mu_);
+      running_.erase(std::find(running_.begin(), running_.end(), job));
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
@@ -182,6 +265,7 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
       "engine.job" + (spec.label.empty() ? "" : ":" + spec.label), worker_id,
       "engine");
   const Stopwatch run_clock;
+  Backend backend_used = Backend::automatic;  // set once routing resolves
   try {
     const std::int64_t nx =
         std::visit([](const auto& g) { return g.nx(); }, spec.grid);
@@ -218,12 +302,25 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
       }
     }
 
+    // The circuit breaker gets the last word: a backend with an open
+    // breaker hands its jobs to the sync_sim fallback until a half-open
+    // probe proves it healthy again.
+    const CircuitBreaker::Decision routed = breaker_.route(backend);
+    backend = routed.backend;
+    backend_used = backend;
+    if (routed.rerouted) {
+      telemetry_->metrics().counter("engine.breaker_rerouted").add(1);
+      telemetry_->tracer().instant("engine.breaker_reroute", worker_id,
+                                   "engine");
+    }
+
     // The cached config is hook-free; restore this job's telemetry hook.
     AcceleratorConfig cfg = plan->config;
     cfg.telemetry = spec.config.telemetry;
 
     JobResult result;
     result.backend = backend;
+    result.rerouted = routed.rerouted;
     result.plan_cache_hit = hit;
     result.kernel_fingerprint = plan->kernel_fingerprint;
     result.label = spec.label;
@@ -237,7 +334,8 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
             case Backend::sync_sim: {
               BufferPool::Lease lease(pool_, std::size_t(cells));
               StencilAccelerator accel(spec.taps, cfg);
-              result.stats = accel.run(grid, spec.iterations, &lease.buffer());
+              result.stats = accel.run(grid, spec.iterations, &lease.buffer(),
+                                       &job.token);
               break;
             }
             case Backend::concurrent: {
@@ -247,6 +345,7 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
               ropts.injector = spec.injector;
               ropts.watchdog_deadline = spec.watchdog_deadline;
               ropts.scratch = &lease.buffer();
+              ropts.cancel = job.token;
               result.stats =
                   run_concurrent(spec.taps, cfg, grid, spec.iterations, ropts);
               break;
@@ -255,8 +354,11 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
               BufferPool::Lease lease(pool_, std::size_t(cells));
               RunOptions ropts;
               ropts.workers = spec.workers;
+              ropts.injector = spec.injector;
+              ropts.watchdog_deadline = spec.watchdog_deadline;
               ropts.scratch = &lease.buffer();
               ropts.pool = &pool_;  // per-worker lane scratch
+              ropts.cancel = job.token;
               result.stats = run_block_parallel(spec.taps, cfg, grid,
                                                 spec.iterations, ropts);
               break;
@@ -270,11 +372,15 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
                 ropts.base.watchdog_deadline = spec.watchdog_deadline;
               }
               ropts.base.scratch = &lease.buffer();
+              ropts.base.cancel = job.token;
               result.stats =
                   run_resilient(spec.taps, cfg, grid, spec.iterations, ropts);
               break;
             }
             case Backend::cluster: {
+              // The cluster is a timing model (no block loop to poll);
+              // honor a pre-run trip, then run to completion.
+              job.token.throw_if_cancelled();
               const DeviceSpec device =
                   spec.device.name.empty() ? arria10_gx1150() : spec.device;
               MultiFpgaCluster cluster(spec.boards, spec.taps, cfg, device,
@@ -296,11 +402,61 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
     record_job_metrics(*telemetry_, "engine", queue_ns, result.run_ns,
                        result.stats.cells_written);
     telemetry_->metrics().counter("engine.jobs_completed").add(1);
+    breaker_.on_success(backend_used);
+    export_breaker_gauges();
     finish(job, std::move(result));
-  } catch (...) {
+  } catch (const DeadlineExceededError&) {
+    finish_cancelled(job, /*deadline=*/true);
+  } catch (const CancelledError&) {
+    finish_cancelled(job, /*deadline=*/false);
+  } catch (const ConfigError&) {
+    // A bad spec is the caller's fault, not the backend's: fail the job
+    // without charging the breaker.
     telemetry_->metrics().counter("engine.jobs_failed").add(1);
     telemetry_->tracer().instant("engine.job_failed", worker_id, "engine");
     fail(job, std::current_exception());
+  } catch (...) {
+    telemetry_->metrics().counter("engine.jobs_failed").add(1);
+    telemetry_->tracer().instant("engine.job_failed", worker_id, "engine");
+    if (backend_used != Backend::automatic) breaker_.on_failure(backend_used);
+    export_breaker_gauges();
+    fail(job, std::current_exception());
+  }
+}
+
+void StencilEngine::finish_cancelled(detail::JobState& job, bool deadline) {
+  // Cancel latency: token trip -> job terminal. For a pre-cancelled
+  // queued job this is dominated by dispatch delay; for a running job it
+  // is the cooperative unwind (bounded by one block's streaming time).
+  const std::int64_t latency_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - job.token.cancelled_at())
+          .count();
+  telemetry_->metrics()
+      .histogram("engine.cancel_latency_ns", cancel_latency_bounds_ns())
+      .observe(std::max<std::int64_t>(latency_ns, 0));
+  telemetry_->metrics()
+      .counter(deadline ? "engine.deadline_exceeded" : "engine.jobs_cancelled")
+      .add(1);
+  std::exception_ptr error =
+      deadline ? std::make_exception_ptr(
+                     DeadlineExceededError("job deadline exceeded"))
+               : std::make_exception_ptr(CancelledError("job cancelled"));
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.error = std::move(error);
+    job.status =
+        deadline ? JobStatus::deadline_exceeded : JobStatus::cancelled;
+  }
+  job.cv.notify_all();
+}
+
+void StencilEngine::export_breaker_gauges() {
+  // 0 = closed, 1 = open, 2 = half_open (docs/OBSERVABILITY.md).
+  for (const Backend b : CircuitBreaker::breakable_backends()) {
+    telemetry_->metrics()
+        .gauge(std::string("engine.breaker_state.") + backend_name(b))
+        .set(std::int64_t(breaker_.state(b)));
   }
 }
 

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/buffer_pool.hpp"
+#include "engine/circuit_breaker.hpp"
 #include "engine/job.hpp"
 #include "engine/plan_cache.hpp"
 #include "telemetry/telemetry.hpp"
@@ -66,7 +67,32 @@ struct EngineOptions {
   /// Start with workers parked: submissions queue but nothing dispatches
   /// until resume(). Deterministic backpressure tests rely on this.
   bool start_paused = false;
+  /// Consecutive backend failures that open that backend's circuit
+  /// breaker (jobs reroute to sync_sim until a half-open probe succeeds);
+  /// 0 disables the breaker. Cancellations, deadline expiries, and
+  /// ConfigErrors never count (they say nothing about backend health).
+  int breaker_threshold = 3;
+  /// Open -> half-open cooldown before a probe job is admitted.
+  std::chrono::milliseconds breaker_cooldown{250};
 };
+
+/// Engine lifecycle (docs/LIFECYCLE.md). `paused` is orthogonal: a paused
+/// engine is still running (accepting submissions), just not dispatching.
+///
+///   running --drain()/shutdown()--> draining --(idle)--> stopped
+///
+/// draining and stopped both reject submit() with EngineStoppedError;
+/// the transition is one-way (no restart -- construct a new engine).
+enum class EngineState { running, draining, stopped };
+
+[[nodiscard]] constexpr const char* engine_state_name(EngineState s) {
+  switch (s) {
+    case EngineState::running: return "running";
+    case EngineState::draining: return "draining";
+    case EngineState::stopped: return "stopped";
+  }
+  return "?";
+}
 
 /// Point-in-time engine counters (monotonic over the engine's lifetime).
 struct EngineStats {
@@ -74,6 +100,10 @@ struct EngineStats {
   std::int64_t jobs_completed = 0;
   std::int64_t jobs_failed = 0;
   std::int64_t jobs_rejected = 0;
+  std::int64_t jobs_cancelled = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t breaker_trips = 0;
+  std::int64_t breaker_reroutes = 0;
   std::int64_t plan_cache_hits = 0;
   std::int64_t plan_cache_misses = 0;
   std::int64_t pool_acquires = 0;
@@ -92,7 +122,8 @@ class StencilEngine {
   explicit StencilEngine(EngineOptions options = {});
 
   /// Finishes every accepted job (resuming paused workers), then joins
-  /// the pool. Jobs already submitted are never dropped.
+  /// the pool. Jobs already submitted are never dropped. Equivalent to
+  /// drain() when the engine is still running.
   ~StencilEngine();
 
   StencilEngine(const StencilEngine&) = delete;
@@ -119,6 +150,25 @@ class StencilEngine {
   /// paused (a paused engine never drains).
   void wait_idle();
 
+  /// Graceful stop: rejects new submissions (EngineStoppedError), unparks
+  /// the workers, and blocks until every accepted job reaches a terminal
+  /// state. Idempotent; the engine ends in EngineState::stopped.
+  void drain();
+
+  /// drain() with a patience bound: waits up to `deadline` for accepted
+  /// jobs to finish on their own, then requests cancellation on every job
+  /// still queued or running and waits for the cooperative unwind (bounded
+  /// by one block's streaming time per running job). Returns true when the
+  /// engine drained gracefully, false when it had to cancel stragglers.
+  bool shutdown(std::chrono::milliseconds deadline);
+
+  [[nodiscard]] EngineState state() const;
+  /// Breaker state for one backend (BreakerState::closed for unbreakable
+  /// backends or when the breaker is disabled).
+  [[nodiscard]] BreakerState breaker_state(Backend b) const {
+    return breaker_.state(b);
+  }
+
   /// Drops cached plans and pooled buffers (cold-start benchmarking).
   void clear_caches();
 
@@ -134,6 +184,11 @@ class StencilEngine {
   void execute(detail::JobState& job, int worker_id);
   void finish(detail::JobState& job, JobResult result);
   void fail(detail::JobState& job, std::exception_ptr error);
+  /// Finalizes a cancelled / deadline-exceeded job: stores the error,
+  /// bumps the counters, observes cancel latency (trip -> terminal).
+  void finish_cancelled(detail::JobState& job, bool deadline);
+  void begin_drain();
+  void export_breaker_gauges();
 
   EngineOptions options_;
   Telemetry own_telemetry_;
@@ -141,15 +196,19 @@ class StencilEngine {
 
   PlanCache plans_;
   BufferPool pool_;
+  CircuitBreaker breaker_;
 
   mutable std::mutex mu_;
   std::condition_variable dispatch_cv_;  ///< workers: work available / stop
   std::condition_variable space_cv_;     ///< submitters: queue has room
   std::condition_variable idle_cv_;      ///< wait_idle: drained
   std::deque<std::shared_ptr<detail::JobState>> queue_;
-  int active_ = 0;  ///< jobs currently executing
+  /// Jobs currently executing; shutdown() cancels through these.
+  std::vector<std::shared_ptr<detail::JobState>> running_;
+  int active_ = 0;  ///< jobs currently executing (== running_.size())
   bool paused_ = false;
-  bool stopping_ = false;
+  EngineState state_ = EngineState::running;
+  bool stopping_ = false;  ///< destructor: workers exit when queue empty
   std::int64_t queue_high_water_ = 0;
 
   std::vector<std::thread> workers_;

@@ -93,6 +93,8 @@ RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
   RunOptions copts = opts.base;
   copts.injector = fi;
   copts.telemetry = attached;
+  const CancellationToken* const cancel =
+      opts.base.cancel.valid() ? &opts.base.cancel : nullptr;
 
   RunStats total;
   CheckpointStore<GridT> checkpoint;
@@ -108,18 +110,24 @@ RunStats run_resilient_impl(const TapSet& taps, const AcceleratorConfig& cfg,
   int done = 0;
   bool device_lost = false;
   while (done < iterations) {
+    if (cancel) cancel->throw_if_cancelled();
     const int steps = std::min(iterations - done, rcfg.partime);
     pass_input = grid;
 
     bool pass_ok = false;
     for (int attempt = 1; attempt <= opts.max_pass_attempts; ++attempt) {
+      // Cancellation escapes the retry loop: a tripped token must not be
+      // "absorbed" like a watchdog trip. The attempt below rethrows
+      // CancelledError past the PassAbortedError handler with the grid at
+      // the pass input (attempt output only commits on completion).
+      if (cancel) cancel->throw_if_cancelled();
       if (attempt > 1) counters.pass_replays.add(1);
       try {
         const RunStats attempt_stats =
             run_concurrent(taps, rcfg, grid, steps, copts);
         if (opts.verify_checksums) {
           GridT expected = pass_input;
-          golden.run(expected, steps);
+          golden.run(expected, steps, nullptr, cancel);
           if (grid_checksum(expected) != grid_checksum(grid)) {
             // Corruption escaped into the output (SEU in a word whose
             // dependency cone reached a valid cell): roll back, replay.

@@ -40,11 +40,13 @@ namespace fpga_stencil {
 ///     resilience counters in the returned RunStats are always tallied
 ///     through a metrics registry (a run-local one when no hook is
 ///     attached), so there is a single counting mechanism.
-// The alias initializers and the compiler-emitted special members below
-// mention the deprecated names; silence only the struct's self-references
-// so external call sites still get the migration warning.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+//   - base.cancel, when valid, is honored between pass attempts and
+//     inside every attempt (the concurrent write kernel polls it); a
+//     tripped token escapes the retry loop as CancelledError /
+//     DeadlineExceededError -- cancellation is never "absorbed" the way
+//     a watchdog trip is.
+// The PR 5 reference aliases (opts.channel_depth and friends, deprecated
+// one release) are gone; spell the execution knobs through `base`.
 struct ResilienceOptions {
   RunOptions base{.watchdog_deadline = std::chrono::milliseconds(500)};
   /// Attempts per pass before degrading to the CPU reference path.
@@ -54,39 +56,7 @@ struct ResilienceOptions {
   int checkpoint_interval = 4;
   /// Compare every pass against the synchronous golden checksum.
   bool verify_checksums = true;
-
-  // Field-compatible aliases of the former duplicated members, kept one
-  // release so `opts.channel_depth = ...` call sites migrate gradually.
-  // References into `base`, so reads and writes stay coherent either way.
-  [[deprecated("use base.channel_depth")]] std::size_t& channel_depth =
-      base.channel_depth;
-  [[deprecated("use base.watchdog_deadline")]] std::chrono::milliseconds&
-      watchdog_deadline = base.watchdog_deadline;
-  [[deprecated("use base.injector")]] FaultInjector*& injector =
-      base.injector;
-  [[deprecated("use base.telemetry")]] Telemetry*& telemetry =
-      base.telemetry;
-  [[deprecated("use base.scratch")]] std::vector<float>*& scratch =
-      base.scratch;
-
-  ResilienceOptions() = default;
-  // The alias references must bind to the *copy's* base, which the
-  // defaulted copy operations would get wrong; copying the value members
-  // explicitly lets the member initializers re-bind them.
-  ResilienceOptions(const ResilienceOptions& other)
-      : base(other.base),
-        max_pass_attempts(other.max_pass_attempts),
-        checkpoint_interval(other.checkpoint_interval),
-        verify_checksums(other.verify_checksums) {}
-  ResilienceOptions& operator=(const ResilienceOptions& other) {
-    base = other.base;
-    max_pass_attempts = other.max_pass_attempts;
-    checkpoint_interval = other.checkpoint_interval;
-    verify_checksums = other.verify_checksums;
-    return *this;
-  }
 };
-#pragma GCC diagnostic pop
 
 /// Advances `grid` by `iterations` time steps in place, surviving the
 /// active fault plan; the result is bit-exact with the naive reference

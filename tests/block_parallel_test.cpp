@@ -292,5 +292,47 @@ TEST(EngineBlockParallel, AutomaticRoutingNeedsTwoBlocksPerWorker) {
   EXPECT_EQ(engine.run(std::move(narrow)).backend, Backend::sync_sim);
 }
 
+// PR 1 introduced the watchdog for the concurrent pipeline; PR 6 wires
+// it into the block-parallel pool. The load-bearing property: one worker
+// parked on the injector's stall gate (a hung PE) must not deadlock the
+// two-barrier pass protocol -- the watchdog's unwind releases the gate,
+// every sibling drains, and the whole pool retires through both barriers.
+TEST(BlockParallelWatchdog, StalledWorkerUnwindsWholePoolWithoutDeadlock) {
+  const AcceleratorConfig cfg = sweep_config(2, 1);
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 7).to_taps();
+  Grid2D<float> g(61, 23);
+  g.fill_random(5);
+  const Grid2D<float> initial = g;
+
+  FaultInjector fi(FaultPlan::parse("seed=7,kernel_hang:n=1"));
+  RunOptions opts;
+  opts.workers = 4;  // P >= 2: siblings are mid-pass when the stall hits
+  opts.injector = &fi;
+  opts.watchdog_deadline = std::chrono::milliseconds(100);
+  // The hang fires on the first pass; the watchdog unwinds it. If the
+  // unwind mishandled either barrier this test would hang, not fail.
+  EXPECT_THROW((void)run_block_parallel(taps, cfg, g, 6, opts),
+               PassAbortedError);
+  // No pass completed: the caller's grid is untouched (the aborted pass
+  // wrote only the scratch side).
+  EXPECT_TRUE(compare_exact(g, initial).identical());
+}
+
+TEST(BlockParallelWatchdog, CleanRunUnderWatchdogStaysBitExact) {
+  const AcceleratorConfig cfg = sweep_config(2, 1);
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 7).to_taps();
+  Grid2D<float> want(61, 23);
+  want.fill_random(5);
+  Grid2D<float> g = want;
+  StencilAccelerator accel(taps, cfg);
+  accel.run(want, 6);
+
+  RunOptions opts;
+  opts.workers = 4;
+  opts.watchdog_deadline = std::chrono::milliseconds(10000);
+  (void)run_block_parallel(taps, cfg, g, 6, opts);
+  EXPECT_TRUE(compare_exact(g, want).identical());
+}
+
 }  // namespace
 }  // namespace fpga_stencil

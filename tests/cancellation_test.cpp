@@ -1,0 +1,218 @@
+// Cancellation-token semantics and direct backend cancellation: the
+// token itself (latching, deadlines, error hierarchy), then each
+// execution path observing a tripped token -- sync simulator,
+// block-parallel pool, concurrent pipeline, resilient runner -- with the
+// documented grid/scratch abort contract. Engine-level cancellation
+// (handles, lifecycle, breaker) lives in engine_test.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/buffer_pool.hpp"
+#include "common/cancellation.hpp"
+#include "core/block_parallel_accelerator.hpp"
+#include "core/concurrent_accelerator.hpp"
+#include "core/stencil_accelerator.hpp"
+#include "fault/resilient_runner.hpp"
+#include "grid/grid_compare.hpp"
+#include "stencil/reference.hpp"
+#include "stencil/star_stencil.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+AcceleratorConfig small_cfg() {
+  AcceleratorConfig c;
+  c.dims = 2;
+  c.radius = 1;
+  c.bsize_x = 32;
+  c.parvec = 4;
+  c.partime = 2;
+  return c;
+}
+
+Grid2D<float> small_grid(unsigned seed = 3) {
+  Grid2D<float> g(48, 20);
+  g.fill_random(seed);
+  return g;
+}
+
+/// Enough streamed cells that a mid-run cancel lands mid-computation.
+Grid2D<float> big_grid(unsigned seed = 9) {
+  Grid2D<float> g(256, 192);
+  g.fill_random(seed);
+  return g;
+}
+
+TEST(CancellationToken, NullTokenNeverCancels) {
+  CancellationToken t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_FALSE(t.cancel_requested());
+  EXPECT_EQ(t.cause(), CancelCause::none);
+  EXPECT_NO_THROW(t.throw_if_cancelled());
+  // Requesting cancel on a null token is a harmless no-op.
+  t.request_cancel();
+  EXPECT_FALSE(t.cancel_requested());
+}
+
+TEST(CancellationToken, RequestCancelLatches) {
+  CancellationToken t = CancellationToken::make();
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(t.cancel_requested());
+  const auto before = std::chrono::steady_clock::now();
+  t.request_cancel();
+  EXPECT_TRUE(t.cancel_requested());
+  EXPECT_EQ(t.cause(), CancelCause::cancelled);
+  EXPECT_GE(t.cancelled_at(), before);
+  EXPECT_LE(t.cancelled_at(), std::chrono::steady_clock::now());
+  EXPECT_THROW(t.throw_if_cancelled(), CancelledError);
+  // Latched: a second request does not move the timestamp or the cause.
+  const auto first = t.cancelled_at();
+  t.request_cancel();
+  EXPECT_EQ(t.cancelled_at(), first);
+  EXPECT_EQ(t.cause(), CancelCause::cancelled);
+}
+
+TEST(CancellationToken, DeadlineTripsLazily) {
+  CancellationToken t =
+      CancellationToken::with_timeout(std::chrono::milliseconds(5));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // No thread ticks the deadline; the observer's poll latches it.
+  EXPECT_TRUE(t.cancel_requested());
+  EXPECT_EQ(t.cause(), CancelCause::deadline);
+  EXPECT_THROW(t.throw_if_cancelled(), DeadlineExceededError);
+}
+
+TEST(CancellationToken, UnexpiredDeadlineDoesNotTrip) {
+  CancellationToken t =
+      CancellationToken::with_timeout(std::chrono::minutes(10));
+  EXPECT_FALSE(t.cancel_requested());
+  // An explicit cancel beats a pending deadline.
+  t.request_cancel();
+  EXPECT_EQ(t.cause(), CancelCause::cancelled);
+  EXPECT_THROW(t.throw_if_cancelled(), CancelledError);
+}
+
+TEST(CancellationToken, DeadlineErrorIsACancelledError) {
+  // Callers may catch the whole family with one handler.
+  CancellationToken t =
+      CancellationToken::with_deadline(std::chrono::steady_clock::now());
+  EXPECT_THROW(t.throw_if_cancelled(), CancelledError);
+}
+
+TEST(CancellationToken, CopiesShareOneState) {
+  CancellationToken a = CancellationToken::make();
+  CancellationToken b = a;
+  b.request_cancel();
+  EXPECT_TRUE(a.cancel_requested());
+  EXPECT_EQ(a.cancelled_at(), b.cancelled_at());
+}
+
+TEST(CancelBackends, SyncSimPreTrippedTokenLeavesGridUntouched) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> g = small_grid();
+  const Grid2D<float> initial = g;
+  CancellationToken t = CancellationToken::make();
+  t.request_cancel();
+  StencilAccelerator accel(taps, small_cfg());
+  EXPECT_THROW((void)accel.run(g, 6, nullptr, &t), CancelledError);
+  EXPECT_TRUE(compare_exact(g, initial).identical());
+}
+
+TEST(CancelBackends, SyncSimMidRunCancelStopsPromptlyKeepsCompletedPass) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> g = big_grid();
+  CancellationToken t = CancellationToken::make();
+  StencilAccelerator accel(taps, small_cfg());
+  std::thread canceller([&t] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    t.request_cancel();
+  });
+  // Enough iterations to outlast the canceller by a wide margin.
+  EXPECT_THROW((void)accel.run(g, 5000, nullptr, &t), CancelledError);
+  canceller.join();
+  // The abort contract: the grid holds some *completed* pass -- i.e. the
+  // state reachable by a whole number of passes from the start.
+  Grid2D<float> walk = big_grid();
+  bool matched = compare_exact(g, walk).identical();  // pass 0
+  for (int pass = 0; pass < 5000 / 2 && !matched; ++pass) {
+    reference_run(taps, walk, 2);  // one partime=2 pass
+    matched = compare_exact(g, walk).identical();
+  }
+  EXPECT_TRUE(matched) << "grid is not at a pass boundary";
+}
+
+TEST(CancelBackends, BlockParallelMidRunCancelUnwindsAllWorkers) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> g = big_grid();
+  RunOptions opts;
+  opts.workers = 4;
+  opts.cancel = CancellationToken::make();
+  std::thread canceller([&opts] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    opts.cancel.request_cancel();
+  });
+  EXPECT_THROW((void)run_block_parallel(taps, small_cfg(), g, 5000, opts),
+               CancelledError);
+  canceller.join();  // joining proves the pool unwound; no hang
+}
+
+TEST(CancelBackends, BlockParallelReturnsPoolLeasesOnCancel) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> g = big_grid();
+  BufferPool pool(16);
+  std::vector<float> scratch;
+  RunOptions opts;
+  opts.workers = 4;
+  opts.pool = &pool;
+  opts.scratch = &scratch;
+  opts.cancel = CancellationToken::make();
+  opts.cancel.request_cancel();  // trip before the first block
+  const Grid2D<float> initial = g;
+  EXPECT_THROW((void)run_block_parallel(taps, small_cfg(), g, 6, opts),
+               CancelledError);
+  EXPECT_TRUE(compare_exact(g, initial).identical());
+  // Every worker-lane lease flowed back; nothing leaked on the unwind.
+  EXPECT_EQ(pool.outstanding(), 0);
+}
+
+TEST(CancelBackends, ConcurrentPipelineCancelUnblocksDataflow) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> g = big_grid();
+  RunOptions opts;
+  opts.cancel = CancellationToken::make();
+  std::thread canceller([&opts] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    opts.cancel.request_cancel();
+  });
+  EXPECT_THROW((void)run_concurrent(taps, small_cfg(), g, 5000, opts),
+               CancelledError);
+  canceller.join();
+}
+
+TEST(CancelBackends, ResilientRunnerNeverAbsorbsCancellation) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> g = small_grid();
+  ResilienceOptions opts;  // retries PassAbortedError, not CancelledError
+  opts.base.cancel = CancellationToken::make();
+  opts.base.cancel.request_cancel();
+  EXPECT_THROW((void)run_resilient(taps, small_cfg(), g, 6, opts),
+               CancelledError);
+}
+
+TEST(CancelBackends, NonCancelledRunStaysBitExact) {
+  // A valid-but-never-tripped token must not perturb the computation.
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> want = small_grid();
+  reference_run(taps, want, 6);
+  Grid2D<float> g = small_grid();
+  CancellationToken t = CancellationToken::make();
+  StencilAccelerator accel(taps, small_cfg());
+  (void)accel.run(g, 6, nullptr, &t);
+  EXPECT_TRUE(compare_exact(g, want).identical());
+}
+
+}  // namespace
+}  // namespace fpga_stencil

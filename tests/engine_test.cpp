@@ -3,9 +3,11 @@
 // backpressure, routing, and failure isolation.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "engine/stencil_engine.hpp"
+#include "fault/fault_injector.hpp"
 #include "grid/grid_compare.hpp"
 #include "stencil/box_stencil.hpp"
 #include "stencil/reference.hpp"
@@ -311,6 +313,237 @@ TEST(Engine, SubmitRejectsMismatchedDimsEagerly) {
                ConfigError);
   JobSpec negative(taps, cfg2d(), grid2d(), -1);
   EXPECT_THROW((void)engine.submit(std::move(negative)), ConfigError);
+}
+
+// -------------------------------------------------------------------------
+// Cancellation, deadlines, lifecycle, and the circuit breaker (PR 6).
+
+/// A spec big enough that the job is still running when a cancel lands.
+JobSpec slow_spec(const TapSet& taps) {
+  Grid2D<float> g(256, 192);
+  g.fill_random(9);
+  return JobSpec(taps, cfg2d(), std::move(g), 5000);
+}
+
+TEST(EngineCancel, RunningBlockParallelJobCancelsWithinOneBlockTime) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 2});
+  JobSpec spec = slow_spec(taps);
+  spec.backend = Backend::block_parallel;
+  spec.workers = 4;
+  JobHandle h = engine.submit(std::move(spec));
+  // Let it get properly underway before cancelling.
+  while (h.status() == JobStatus::queued) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto cancel_at = std::chrono::steady_clock::now();
+  h.cancel();
+  // Acceptance bound: terminal within one block's streaming time; 2 s is
+  // orders of magnitude above that for this spec, immune to CI jitter.
+  ASSERT_TRUE(h.wait_for(std::chrono::milliseconds(2000)));
+  const auto latency = std::chrono::steady_clock::now() - cancel_at;
+  EXPECT_LT(latency, std::chrono::milliseconds(2000));
+  EXPECT_EQ(h.status(), JobStatus::cancelled);
+  EXPECT_THROW((void)h.wait(), CancelledError);
+  engine.wait_idle();
+  // Cooperative unwind returned every lease (scratch + worker lanes).
+  EXPECT_EQ(engine.buffer_pool().outstanding(), 0);
+  EXPECT_EQ(engine.stats().jobs_cancelled, 1);
+  EXPECT_EQ(engine.stats().jobs_failed, 0);
+}
+
+TEST(EngineCancel, QueuedJobNeverRunsAndSiblingsAreUnaffected) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> want = grid2d();
+  reference_run(taps, want, 4);
+
+  StencilEngine engine({.workers = 1, .start_paused = true});
+  JobHandle keep = engine.submit(JobSpec(taps, cfg2d(), grid2d(), 4));
+  JobHandle drop = engine.submit(JobSpec(taps, cfg2d(), grid2d(), 4));
+  drop.cancel();  // still parked in the queue
+  engine.resume();
+  JobResult& r = keep.wait();
+  EXPECT_TRUE(compare_exact(r.grid2d(), want).identical());
+  EXPECT_THROW((void)drop.wait(), CancelledError);
+  EXPECT_EQ(drop.status(), JobStatus::cancelled);
+  engine.wait_idle();
+  // The cancelled job never executed: exactly one job's worth of work.
+  EXPECT_EQ(engine.stats().jobs_completed, 1);
+  EXPECT_EQ(engine.stats().jobs_cancelled, 1);
+}
+
+TEST(EngineCancel, DeadlineExpiresInQueue) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 1, .start_paused = true});
+  JobSpec spec(taps, cfg2d(), grid2d(), 4);
+  spec.deadline = std::chrono::milliseconds(10);
+  JobHandle h = engine.submit(std::move(spec));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  engine.resume();
+  EXPECT_THROW((void)h.wait(), DeadlineExceededError);
+  EXPECT_EQ(h.status(), JobStatus::deadline_exceeded);
+  EXPECT_EQ(engine.stats().deadline_exceeded, 1);
+  EXPECT_EQ(engine.stats().jobs_cancelled, 0);
+}
+
+TEST(EngineCancel, DeadlineExpiresMidRun) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 1});
+  JobSpec spec = slow_spec(taps);
+  spec.deadline = std::chrono::milliseconds(30);
+  JobHandle h = engine.submit(std::move(spec));
+  ASSERT_TRUE(h.wait_for(std::chrono::milliseconds(5000)));
+  EXPECT_EQ(h.status(), JobStatus::deadline_exceeded);
+  EXPECT_THROW((void)h.wait(), DeadlineExceededError);
+  engine.wait_idle();
+  EXPECT_EQ(engine.buffer_pool().outstanding(), 0);
+}
+
+TEST(EngineCancel, WaitOrCancelComposesWaitAndCancel) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 2});
+  // A fast job beats the timeout: done, nothing cancelled.
+  JobHandle fast = engine.submit(JobSpec(taps, cfg2d(), grid2d(), 2));
+  EXPECT_EQ(fast.wait_or_cancel(std::chrono::milliseconds(10000)),
+            JobStatus::done);
+  // A slow job does not: wait_or_cancel cancels it and reports so,
+  // without throwing.
+  JobHandle slow = engine.submit(slow_spec(taps));
+  EXPECT_EQ(slow.wait_or_cancel(std::chrono::milliseconds(20)),
+            JobStatus::cancelled);
+  engine.wait_idle();
+  EXPECT_EQ(engine.stats().jobs_cancelled, 1);
+}
+
+TEST(EngineLifecycle, DrainFinishesAcceptedAndRejectsNew) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> want = grid2d();
+  reference_run(taps, want, 4);
+
+  StencilEngine engine({.workers = 2, .start_paused = true});
+  EXPECT_EQ(engine.state(), EngineState::running);
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(engine.submit(JobSpec(taps, cfg2d(), grid2d(), 4)));
+  }
+  engine.drain();  // unparks the pool, runs everything accepted
+  EXPECT_EQ(engine.state(), EngineState::stopped);
+  for (JobHandle& h : handles) {
+    EXPECT_TRUE(compare_exact(h.wait().grid2d(), want).identical());
+  }
+  EXPECT_THROW((void)engine.submit(JobSpec(taps, cfg2d(), grid2d(), 2)),
+               EngineStoppedError);
+  EXPECT_EQ(engine.stats().jobs_completed, 4);
+}
+
+TEST(EngineLifecycle, ShutdownDeadlineCancelsStragglers) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 1});
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 3; ++i) handles.push_back(engine.submit(slow_spec(taps)));
+  // Far too little patience for three slow jobs on one worker: the
+  // engine must cancel the stragglers and still come down cleanly.
+  EXPECT_FALSE(engine.shutdown(std::chrono::milliseconds(30)));
+  EXPECT_EQ(engine.state(), EngineState::stopped);
+  int cancelled = 0;
+  for (JobHandle& h : handles) {
+    ASSERT_TRUE(h.finished());
+    if (h.status() == JobStatus::cancelled) ++cancelled;
+  }
+  EXPECT_GE(cancelled, 1);
+  EXPECT_EQ(engine.buffer_pool().outstanding(), 0);
+  EXPECT_THROW((void)engine.submit(JobSpec(taps, cfg2d(), grid2d(), 2)),
+               EngineStoppedError);
+}
+
+TEST(EngineLifecycle, ShutdownIsGracefulWhenJobsFinishInTime) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 2});
+  JobHandle h = engine.submit(JobSpec(taps, cfg2d(), grid2d(), 4));
+  EXPECT_TRUE(engine.shutdown(std::chrono::milliseconds(10000)));
+  EXPECT_EQ(h.status(), JobStatus::done);
+  EXPECT_EQ(engine.stats().jobs_cancelled, 0);
+}
+
+TEST(EngineBreaker, TripsReroutesAndRecovers) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> want = grid2d();
+  reference_run(taps, want, 4);
+
+  StencilEngine engine({.workers = 1,
+                        .breaker_threshold = 2,
+                        .breaker_cooldown = std::chrono::milliseconds(50)});
+  // Two consecutive fault-injected failures on the concurrent backend.
+  // Per-job injectors: each hang is private to its job.
+  for (int i = 0; i < 2; ++i) {
+    FaultInjector fi(FaultPlan::parse("seed=" + std::to_string(i + 1) +
+                                      ",kernel_hang:p=1:n=inf"));
+    JobSpec spec(taps, cfg2d(), grid2d(), 4);
+    spec.backend = Backend::concurrent;  // explicit: no resilient rescue
+    spec.injector = &fi;
+    spec.watchdog_deadline = std::chrono::milliseconds(40);
+    JobHandle h = engine.submit(std::move(spec));
+    EXPECT_THROW((void)h.wait(), PassAbortedError);
+    engine.wait_idle();  // the injector must outlive the execution
+  }
+  EXPECT_EQ(engine.breaker_state(Backend::concurrent), BreakerState::open);
+  EXPECT_GE(engine.stats().breaker_trips, 1);
+
+  // While open, concurrent jobs reroute to the sync fallback -- and
+  // still produce the bit-exact answer.
+  JobSpec rerouted(taps, cfg2d(), grid2d(), 4);
+  rerouted.backend = Backend::concurrent;
+  JobResult r = engine.run(std::move(rerouted));
+  EXPECT_TRUE(r.rerouted);
+  EXPECT_EQ(r.backend, Backend::sync_sim);
+  EXPECT_TRUE(compare_exact(r.grid2d(), want).identical());
+  EXPECT_GE(engine.stats().breaker_reroutes, 1);
+
+  // After the cooldown a clean probe closes the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  JobSpec probe(taps, cfg2d(), grid2d(), 4);
+  probe.backend = Backend::concurrent;
+  JobResult pr = engine.run(std::move(probe));
+  EXPECT_FALSE(pr.rerouted);
+  EXPECT_EQ(pr.backend, Backend::concurrent);
+  EXPECT_TRUE(compare_exact(pr.grid2d(), want).identical());
+  EXPECT_EQ(engine.breaker_state(Backend::concurrent), BreakerState::closed);
+  // Other backends were never charged.
+  EXPECT_EQ(engine.breaker_state(Backend::block_parallel),
+            BreakerState::closed);
+}
+
+TEST(EngineBreaker, ConfigErrorsDoNotCharge) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 1, .breaker_threshold = 1});
+  // A spec whose plan validation fails in the worker: bsize too small
+  // for the halo leaves no compute region.
+  AcceleratorConfig bad = cfg2d();
+  bad.bsize_x = 2 * bad.partime * bad.radius;  // csize == 0
+  JobSpec spec(taps, bad, grid2d(), 2);
+  spec.backend = Backend::block_parallel;
+  JobHandle h = engine.submit(std::move(spec));
+  EXPECT_THROW((void)h.wait(), ConfigError);
+  // Even at threshold 1 the breaker stays closed: the spec was at
+  // fault, not the backend.
+  EXPECT_EQ(engine.breaker_state(Backend::block_parallel),
+            BreakerState::closed);
+  EXPECT_EQ(engine.stats().breaker_trips, 0);
+}
+
+TEST(EngineCancel, CancelLatencyHistogramIsRecorded) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 1});
+  JobHandle h = engine.submit(slow_spec(taps));
+  while (h.status() == JobStatus::queued) std::this_thread::yield();
+  h.cancel();
+  (void)h.wait_or_cancel(std::chrono::milliseconds(5000));
+  engine.wait_idle();
+  const MetricsSnapshot snap = engine.telemetry().metrics().snapshot();
+  const MetricSample* lat = snap.find("engine.cancel_latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->value, 1);  // one observation
+  EXPECT_GT(lat->sum, 0);
+  EXPECT_EQ(snap.value_or("engine.jobs_cancelled", -1), 1);
 }
 
 }  // namespace

@@ -146,6 +146,53 @@ BLOCK_PARALLEL_SCHEMA = {
     },
 }
 
+# The chaos campaign artifact (stencilctl chaos --json): lifecycle /
+# cancellation outcome counts, cancel-latency percentiles, and circuit
+# breaker counters. Dispatch: a document whose top-level "bench" is
+# "chaos_campaign" uses this schema (checked before the jobs/runs keys).
+CHAOS_SCHEMA = {
+    "schema_version": int,
+    "bench": str,
+    "paper": str,
+    "engine": {
+        "workers": int,
+        "queue_capacity": int,
+        "breaker_threshold": int,
+        "breaker_cooldown_ms": int,
+    },
+    "campaign": {
+        "jobs": int,
+        "seed": int,
+        "cancels_requested": int,
+        "deadlines_assigned": int,
+        "faulted_jobs": int,
+        "wall_seconds": NUMBER,
+    },
+    "results": {
+        "done": int,
+        "cancelled": int,
+        "deadline_exceeded": int,
+        "failed": int,
+        "bit_exact": int,
+        "hung": int,
+    },
+    "cancel_latency_ns": {
+        "count": int,
+        "p50": int,
+        "p99": int,
+    },
+    "breaker": {
+        "trips": int,
+        "reroutes": int,
+        "recovered": bool,
+    },
+    "pool": {
+        "outstanding": int,
+        "allocations": int,
+        "reuses": int,
+    },
+}
+
 METRIC_KINDS = {"counter", "gauge", "histogram"}
 BACKENDS = {"automatic", "sync_sim", "concurrent", "block_parallel",
             "resilient", "cluster"}
@@ -291,6 +338,56 @@ def semantic_checks(doc, errors):
                     f"{sorted(METRIC_KINDS)}")
 
 
+def chaos_semantic_checks(doc, errors):
+    """Constraints of the chaos campaign the type schema can't express."""
+    results = doc.get("results", {})
+    campaign = doc.get("campaign", {})
+    if isinstance(results, dict) and isinstance(campaign, dict):
+        counts = [results.get(k) for k in
+                  ("done", "cancelled", "deadline_exceeded", "failed")]
+        jobs = campaign.get("jobs")
+        if all(isinstance(c, int) and not isinstance(c, bool)
+               for c in counts) and isinstance(jobs, int):
+            if sum(counts) != jobs:
+                errors.append(
+                    "$.results: outcome counts do not sum to $.campaign.jobs")
+        if results.get("failed") != 0:
+            errors.append("$.results.failed: campaign had unexpected failures")
+        if results.get("hung") != 0:
+            errors.append("$.results.hung: a job never reached a terminal "
+                          "state")
+        done = results.get("done")
+        exact = results.get("bit_exact")
+        if isinstance(done, int) and isinstance(exact, int) and done != exact:
+            errors.append("$.results: bit_exact != done (a surviving job "
+                          "produced a wrong grid)")
+        for key in ("cancelled", "deadline_exceeded"):
+            v = results.get(key)
+            if isinstance(v, int) and not isinstance(v, bool) and v < 1:
+                errors.append(f"$.results.{key}: campaign never exercised it")
+    lat = doc.get("cancel_latency_ns", {})
+    if isinstance(lat, dict):
+        p50, p99 = lat.get("p50"), lat.get("p99")
+        if (isinstance(p50, int) and isinstance(p99, int)
+                and not isinstance(p50, bool) and not isinstance(p99, bool)
+                and p50 > p99):
+            errors.append("$.cancel_latency_ns: p50 > p99")
+        count = lat.get("count")
+        if isinstance(count, int) and not isinstance(count, bool) and count < 1:
+            errors.append("$.cancel_latency_ns.count: no latencies recorded")
+    breaker = doc.get("breaker", {})
+    if isinstance(breaker, dict):
+        trips = breaker.get("trips")
+        if isinstance(trips, int) and not isinstance(trips, bool) and trips < 1:
+            errors.append("$.breaker.trips: the breaker never tripped")
+        if breaker.get("recovered") is False:
+            errors.append("$.breaker.recovered: half-open probe never closed "
+                          "the breaker")
+    pool = doc.get("pool", {})
+    if isinstance(pool, dict) and pool.get("outstanding") != 0:
+        errors.append("$.pool.outstanding: leaked buffer-pool leases")
+
+
 def validate_file(name):
     try:
         with open(name, encoding="utf-8") as fh:
@@ -299,9 +396,14 @@ def validate_file(name):
         print(f"{name}: FAIL: {exc}")
         return False
     errors = []
-    is_engine = isinstance(doc, dict) and "jobs" in doc
-    is_block_parallel = isinstance(doc, dict) and "runs" in doc
-    if is_engine:
+    is_chaos = isinstance(doc, dict) and doc.get("bench") == "chaos_campaign"
+    is_engine = not is_chaos and isinstance(doc, dict) and "jobs" in doc
+    is_block_parallel = (not is_chaos and isinstance(doc, dict)
+                         and "runs" in doc)
+    if is_chaos:
+        check(doc, CHAOS_SCHEMA, "$", errors)
+        chaos_semantic_checks(doc, errors)
+    elif is_engine:
         check(doc, ENGINE_SCHEMA, "$", errors)
         engine_semantic_checks(doc, errors)
     elif is_block_parallel:
@@ -315,7 +417,12 @@ def validate_file(name):
         for e in errors:
             print(f"  {e}")
         return False
-    if is_engine:
+    if is_chaos:
+        r = doc["results"]
+        print(f"{name}: OK ({doc['campaign']['jobs']} jobs: "
+              f"{r['done']} done, {r['cancelled']} cancelled, "
+              f"{r['deadline_exceeded']} expired)")
+    elif is_engine:
         rate = doc["summary"]["cache_hit_rate"]
         print(f"{name}: OK ({len(doc['jobs'])} jobs, "
               f"cache hit rate {rate:.3f})")

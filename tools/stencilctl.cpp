@@ -38,10 +38,21 @@
 //       self-check: every job bit-exact vs the naive reference, at least
 //       one plan-cache hit, no failed jobs; --json exports the per-job
 //       latency scorecard (BENCH_PR3.json)
+//   stencilctl chaos [--jobs N] [--workers W] [--seed S] [--json FILE]
+//       the robustness campaign (docs/LIFECYCLE.md): first a
+//       deterministic circuit-breaker proof (fault-injected concurrent
+//       jobs trip the breaker open, jobs reroute to the sync fallback,
+//       a post-cooldown probe closes it again), then N mixed jobs with
+//       seeded random cancellations and deadlines; self-check: zero
+//       hangs, zero unexpected failures, zero leaked pool buffers,
+//       every surviving job bit-exact; --json exports cancel-latency
+//       percentiles and breaker counters (BENCH_PR6.json)
 //
 // Exit status: 0 on success, 1 on verification/model failure, 2 on usage.
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -53,6 +64,7 @@
 #include "codegen/kernel_generator.hpp"
 #include "common/format.hpp"
 #include "common/json.hpp"
+#include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "core/block_parallel_accelerator.hpp"
@@ -962,11 +974,410 @@ int cmd_blockpar(const Args& a) {
   return all_exact && gate_ok ? 0 : 1;
 }
 
+// The chaos campaign: the end-to-end robustness proof for cooperative
+// cancellation, per-job deadlines, the engine lifecycle, and the
+// circuit breaker. Two phases through one engine session:
+//
+//   Phase A (deterministic): `breaker_threshold` consecutive
+//   fault-injected failures on the explicit concurrent backend trip its
+//   breaker open; a clean concurrent job then visibly reroutes to the
+//   sync fallback (and stays bit-exact); after the cooldown a probe job
+//   runs on the concurrent backend again and closes the breaker.
+//
+//   Phase B (seeded random): --jobs mixed jobs -- 2D star/box, 3D star,
+//   explicit block-parallel, resilient-with-injector -- with ~15%
+//   random deadlines (tight and loose) and ~20% random cancellations,
+//   plus one guaranteed mid-run cancel and one guaranteed
+//   impossible deadline. Every handle is collected with
+//   wait_or_cancel(30 s), so a hang anywhere would fail the campaign
+//   rather than wedge it.
+//
+// Self-checks: every phase-B job reaches a terminal state; zero
+// unexpected failures; every *done* job bit-exact vs the naive
+// reference; at least one cancellation and one deadline expiry
+// observed; the breaker tripped, rerouted, and recovered; and after
+// drain() the buffer pool has zero outstanding leases (nothing leaked
+// across hundreds of unwinds). --json exports the scorecard
+// (BENCH_PR6.json) including cancel-latency p50/p99 from the
+// engine.cancel_latency_ns histogram.
+int cmd_chaos(const Args& a) {
+  const int jobs = static_cast<int>(a.get("jobs", 220));
+  const std::uint64_t seed = std::uint64_t(a.get("seed", 42));
+  if (jobs < 1) throw ConfigError("--jobs must be >= 1");
+
+  EngineOptions eopts;
+  eopts.workers = static_cast<int>(a.get("workers", 4));
+  eopts.queue_capacity = std::size_t(jobs) + 16;
+  eopts.breaker_threshold = 3;
+  eopts.breaker_cooldown = std::chrono::milliseconds(200);
+
+  AcceleratorConfig c2;
+  c2.dims = 2;
+  c2.radius = 1;
+  c2.bsize_x = 32;
+  c2.parvec = 4;
+  c2.partime = 2;
+  AcceleratorConfig c3;
+  c3.dims = 3;
+  c3.radius = 1;
+  c3.bsize_x = 16;
+  c3.bsize_y = 8;
+  c3.parvec = 4;
+  c3.partime = 2;
+  const TapSet star2 = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  const TapSet box2 = make_box_stencil(2, 1, 21);
+  const TapSet star3 = StarStencil::make_benchmark(3, 1, 9).to_taps();
+  const auto fresh2 = [] {
+    Grid2D<float> g(48, 20);
+    g.fill_random(3);
+    return g;
+  };
+  const auto fresh3 = [] {
+    Grid3D<float> g(20, 14, 10);
+    g.fill_random(4);
+    return g;
+  };
+  const auto fresh_wide = [] {  // enough blocks for the parallel pool
+    Grid2D<float> g(128, 96);
+    g.fill_random(6);
+    return g;
+  };
+  const auto fresh_slow = [] {  // long enough to be mid-run when hit
+    Grid2D<float> g(256, 192);
+    g.fill_random(9);
+    return g;
+  };
+  const int iters = 4;
+  const int wide_iters = 8;
+  // Per-kind expected outputs (every job of a kind starts from the same
+  // seeded grid, so one reference run per kind serves the whole fleet).
+  Grid2D<float> want_star2 = fresh2();
+  reference_run(star2, want_star2, iters);
+  Grid2D<float> want_box2 = fresh2();
+  reference_run(box2, want_box2, iters);
+  Grid3D<float> want_star3 = fresh3();
+  reference_run(star3, want_star3, iters);
+  Grid2D<float> want_wide = fresh_wide();
+  reference_run(star2, want_wide, wide_iters);
+
+  StencilEngine engine(eopts);
+  const Stopwatch campaign_clock;
+  int checks_failed = 0;
+  const auto check = [&](bool ok, const std::string& what) {
+    std::cout << (ok ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+    if (!ok) ++checks_failed;
+  };
+
+  // ---- Phase A: the breaker must trip, reroute, and recover. --------
+  std::cout << "phase A: circuit breaker (threshold "
+            << eopts.breaker_threshold << ", cooldown "
+            << eopts.breaker_cooldown.count() << " ms)\n";
+  std::deque<FaultInjector> injectors;
+  int phase_a_failed = 0;
+  for (int i = 0; i < eopts.breaker_threshold; ++i) {
+    FaultInjector fi(FaultPlan::parse(
+        "seed=" + std::to_string(seed + std::uint64_t(i) + 1) +
+        ",kernel_hang:p=1:n=inf"));
+    JobSpec spec(star2, c2, fresh2(), iters);
+    spec.backend = Backend::concurrent;  // explicit: no resilient rescue
+    spec.injector = &fi;
+    spec.watchdog_deadline = std::chrono::milliseconds(40);
+    spec.label = "breaker-fault-" + std::to_string(i);
+    JobHandle h = engine.submit(std::move(spec));
+    (void)h.wait_or_cancel(std::chrono::milliseconds(30000));
+    engine.wait_idle();  // injector lives on this stack frame
+    if (h.status() == JobStatus::failed) ++phase_a_failed;
+  }
+  check(phase_a_failed == eopts.breaker_threshold,
+        "fault-injected concurrent jobs failed (" +
+            std::to_string(phase_a_failed) + "/" +
+            std::to_string(eopts.breaker_threshold) + ")");
+  check(engine.breaker_state(Backend::concurrent) == BreakerState::open,
+        "concurrent breaker tripped open");
+
+  JobSpec reroute_spec(star2, c2, fresh2(), iters);
+  reroute_spec.backend = Backend::concurrent;
+  reroute_spec.label = "breaker-reroute";
+  JobResult rerouted = engine.run(std::move(reroute_spec));
+  check(rerouted.rerouted && rerouted.backend == Backend::sync_sim,
+        "open breaker rerouted a concurrent job to sync_sim");
+  check(compare_exact(rerouted.grid2d(), want_star2).identical(),
+        "rerouted job stayed bit-exact");
+
+  std::this_thread::sleep_for(eopts.breaker_cooldown +
+                              std::chrono::milliseconds(50));
+  JobSpec probe_spec(star2, c2, fresh2(), iters);
+  probe_spec.backend = Backend::concurrent;
+  probe_spec.label = "breaker-probe";
+  JobResult probe = engine.run(std::move(probe_spec));
+  const bool recovered =
+      !probe.rerouted && probe.backend == Backend::concurrent &&
+      engine.breaker_state(Backend::concurrent) == BreakerState::closed;
+  check(recovered, "post-cooldown probe ran on concurrent and closed "
+                   "the breaker");
+  check(compare_exact(probe.grid2d(), want_star2).identical(),
+        "probe job stayed bit-exact");
+
+  // ---- Phase B: mixed jobs under random cancels and deadlines. ------
+  std::cout << "phase B: " << jobs << " mixed jobs, seed " << seed
+            << " (random cancels + deadlines)\n";
+  SplitMix64 rng(seed);
+  enum Kind { kStar2, kBox2, kStar3, kWidePar, kResilient, kConcurrent };
+  struct ChaosJob {
+    JobHandle handle;
+    int kind = 0;
+    bool cancel_planned = false;
+    bool has_deadline = false;
+  };
+  std::vector<ChaosJob> fleet;
+  fleet.reserve(std::size_t(jobs) + 2);
+  int cancels_requested = 0;
+  int deadlines_assigned = 0;
+  int faulted_jobs = 0;
+
+  for (int i = 0; i < jobs; ++i) {
+    const int kind = int(rng.next_below(6));
+    JobSpec spec = [&]() -> JobSpec {
+      switch (kind) {
+        case kBox2: return {box2, c2, fresh2(), iters};
+        case kStar3: return {star3, c3, fresh3(), iters};
+        case kWidePar: return {star2, c2, fresh_wide(), wide_iters};
+        default: return {star2, c2, fresh2(), iters};
+      }
+    }();
+    if (kind == kWidePar) {
+      spec.backend = Backend::block_parallel;
+      spec.workers = 4;
+    }
+    if (kind == kConcurrent) spec.backend = Backend::concurrent;
+    if (kind == kResilient) {
+      // One budgeted, survivable hang per resilient job; the runner
+      // absorbs it (watchdog trip + replay), so the job still finishes
+      // bit-exact. Injectors outlive their jobs in the deque.
+      injectors.emplace_back(FaultPlan::parse(
+          "seed=" + std::to_string(seed + std::uint64_t(i)) +
+          ",kernel_hang:n=1"));
+      spec.injector = &injectors.back();
+      spec.backend = Backend::resilient;
+      spec.resilience.base.watchdog_deadline =
+          std::chrono::milliseconds(40);
+      ++faulted_jobs;
+    }
+    ChaosJob job;
+    job.kind = kind;
+    if (rng.next_float01() < 0.15f) {
+      // Mostly-loose deadlines keep the done/expired mix interesting
+      // without starving the bit-exactness sample.
+      spec.deadline = rng.next_float01() < 0.3f
+                          ? std::chrono::milliseconds(1)
+                          : std::chrono::milliseconds(5000);
+      job.has_deadline = true;
+      ++deadlines_assigned;
+    }
+    job.cancel_planned = rng.next_float01() < 0.2f;
+    spec.label = "chaos-" + std::to_string(i);
+    job.handle = engine.submit(std::move(spec));
+    fleet.push_back(std::move(job));
+  }
+
+  // Two guaranteed extremes: a long block-parallel job cancelled while
+  // streaming, and a job whose deadline cannot possibly be met.
+  {
+    JobSpec spec(star2, c2, fresh_slow(), 5000);
+    spec.backend = Backend::block_parallel;
+    spec.workers = 4;
+    spec.label = "chaos-guaranteed-cancel";
+    ChaosJob job;
+    job.kind = kWidePar;
+    job.cancel_planned = true;
+    job.handle = engine.submit(std::move(spec));
+    fleet.push_back(std::move(job));
+  }
+  {
+    JobSpec spec(star2, c2, fresh_slow(), 5000);
+    spec.deadline = std::chrono::milliseconds(1);
+    spec.label = "chaos-guaranteed-deadline";
+    ChaosJob job;
+    job.kind = kStar2;
+    job.has_deadline = true;
+    job.handle = engine.submit(std::move(spec));
+    fleet.push_back(std::move(job));
+  }
+
+  // The canceller: sweep the fleet while it executes, cancelling the
+  // planned ~20% with a small jitter so cancels land on queued jobs,
+  // running jobs, and already-finished jobs alike.
+  std::thread canceller([&] {
+    SplitMix64 crng(seed ^ 0x9e3779b97f4a7c15ULL);
+    for (ChaosJob& job : fleet) {
+      if (!job.cancel_planned) continue;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(crng.next_below(2000)));
+      job.handle.cancel();
+      ++cancels_requested;
+    }
+  });
+  canceller.join();
+
+  int done = 0, cancelled = 0, deadline_exceeded = 0, failed = 0;
+  int bit_exact = 0, hung = 0;
+  for (ChaosJob& job : fleet) {
+    const JobStatus status =
+        job.handle.wait_or_cancel(std::chrono::milliseconds(30000));
+    switch (status) {
+      case JobStatus::done: {
+        ++done;
+        JobResult& r = job.handle.wait();
+        bool ok = false;
+        switch (job.kind) {
+          case kBox2: ok = compare_exact(r.grid2d(), want_box2).identical();
+                      break;
+          case kStar3: ok = compare_exact(r.grid3d(), want_star3).identical();
+                       break;
+          case kWidePar: ok = compare_exact(r.grid2d(), want_wide).identical();
+                         break;
+          default: ok = compare_exact(r.grid2d(), want_star2).identical();
+                   break;
+        }
+        bit_exact += ok ? 1 : 0;
+        break;
+      }
+      case JobStatus::cancelled: ++cancelled; break;
+      case JobStatus::deadline_exceeded: ++deadline_exceeded; break;
+      case JobStatus::failed: ++failed; break;
+      default: ++hung; break;  // non-terminal after wait_or_cancel: a hang
+    }
+  }
+  engine.drain();
+  const double wall_seconds = campaign_clock.seconds();
+  const EngineStats stats = engine.stats();
+  const std::int64_t outstanding = engine.buffer_pool().outstanding();
+  const int total = int(fleet.size());
+
+  // Cancel-latency percentiles from the engine histogram.
+  const MetricsSnapshot snap = engine.telemetry().metrics().snapshot();
+  const MetricSample* lat = snap.find("engine.cancel_latency_ns");
+  std::int64_t lat_count = 0, lat_p50 = 0, lat_p99 = 0;
+  if (lat != nullptr && lat->value > 0) {
+    lat_count = lat->value;
+    const auto percentile = [&](double q) -> std::int64_t {
+      std::int64_t cum = 0;
+      const std::int64_t want_rank =
+          std::int64_t(q * double(lat_count) + 0.5);
+      for (std::size_t b = 0; b < lat->buckets.size(); ++b) {
+        cum += lat->buckets[b];
+        if (cum >= want_rank) {
+          // Overflow bucket reports the largest finite bound.
+          return b < lat->bounds.size() ? lat->bounds[b]
+                                        : lat->bounds.back();
+        }
+      }
+      return lat->bounds.back();
+    };
+    lat_p50 = percentile(0.50);
+    lat_p99 = percentile(0.99);
+  }
+
+  std::cout << "phase B results (" << format_fixed(wall_seconds, 2)
+            << " s wall)\n";
+  TextTable t({"outcome", "count"});
+  t.add_row({"done", std::to_string(done)});
+  t.add_row({"bit-exact", std::to_string(bit_exact)});
+  t.add_row({"cancelled", std::to_string(cancelled)});
+  t.add_row({"deadline exceeded", std::to_string(deadline_exceeded)});
+  t.add_row({"failed", std::to_string(failed)});
+  t.add_row({"cancel latency p50 (us)", std::to_string(lat_p50 / 1000)});
+  t.add_row({"cancel latency p99 (us)", std::to_string(lat_p99 / 1000)});
+  t.add_row({"breaker trips", std::to_string(stats.breaker_trips)});
+  t.add_row({"breaker reroutes", std::to_string(stats.breaker_reroutes)});
+  t.add_row({"pool outstanding", std::to_string(outstanding)});
+  t.render(std::cout);
+
+  check(hung == 0, "every job reached a terminal state (no hangs)");
+  check(done + cancelled + deadline_exceeded + failed == total,
+        "status counts sum to the fleet size");
+  check(failed == 0, "zero unexpected failures");
+  check(bit_exact == done, "every surviving job bit-exact (" +
+                               std::to_string(bit_exact) + "/" +
+                               std::to_string(done) + ")");
+  check(cancelled >= 1, "at least one cancellation observed");
+  check(deadline_exceeded >= 1, "at least one deadline expiry observed");
+  check(outstanding == 0, "buffer pool has zero outstanding leases");
+  check(stats.breaker_trips >= 1 && stats.breaker_reroutes >= 1,
+        "breaker tripped and rerouted");
+  check(engine.state() == EngineState::stopped, "engine drained to stopped");
+
+  const std::string json_path = a.get_str("json", "");
+  if (!json_path.empty()) {
+    std::ostringstream body;
+    JsonWriter w(body);
+    w.begin_object();
+    w.key("schema_version").value(1);
+    w.key("bench").value("chaos_campaign");
+    w.key("paper").value(
+        "High-Performance High-Order Stencil Computation on FPGAs Using "
+        "OpenCL");
+    w.key("engine").begin_object();
+    w.key("workers").value(eopts.workers);
+    w.key("queue_capacity").value(std::int64_t(eopts.queue_capacity));
+    w.key("breaker_threshold").value(eopts.breaker_threshold);
+    w.key("breaker_cooldown_ms")
+        .value(std::int64_t(eopts.breaker_cooldown.count()));
+    w.end_object();
+    w.key("campaign").begin_object();
+    w.key("jobs").value(total);
+    w.key("seed").value(std::int64_t(seed));
+    w.key("cancels_requested").value(cancels_requested);
+    w.key("deadlines_assigned").value(deadlines_assigned + 1);
+    w.key("faulted_jobs").value(faulted_jobs);
+    w.key("wall_seconds").value(wall_seconds);
+    w.end_object();
+    w.key("results").begin_object();
+    w.key("done").value(done);
+    w.key("cancelled").value(cancelled);
+    w.key("deadline_exceeded").value(deadline_exceeded);
+    w.key("failed").value(failed);
+    w.key("bit_exact").value(bit_exact);
+    w.key("hung").value(hung);
+    w.end_object();
+    w.key("cancel_latency_ns").begin_object();
+    w.key("count").value(lat_count);
+    w.key("p50").value(lat_p50);
+    w.key("p99").value(lat_p99);
+    w.end_object();
+    w.key("breaker").begin_object();
+    w.key("trips").value(stats.breaker_trips);
+    w.key("reroutes").value(stats.breaker_reroutes);
+    w.key("recovered").value(recovered);
+    w.end_object();
+    w.key("pool").begin_object();
+    w.key("outstanding").value(outstanding);
+    w.key("allocations").value(stats.pool_allocations);
+    w.key("reuses").value(stats.pool_reuses);
+    w.end_object();
+    w.end_object();
+    if (!json_is_valid(body.str())) {
+      std::cerr << "stencilctl: internal error: chaos JSON failed "
+                   "validation\n";
+      return 1;
+    }
+    std::ofstream file(json_path);
+    if (!file) throw ConfigError("cannot open --json file `" + json_path + "`");
+    file << body.str() << "\n";
+    std::cout << "chaos scorecard written to " << json_path << "\n";
+  }
+
+  std::cout << "chaos campaign "
+            << (checks_failed == 0 ? "passed" : "FAILED") << " ("
+            << checks_failed << " self-checks failed)\n";
+  return checks_failed == 0 ? 0 : 1;
+}
+
 int usage() {
   std::cerr
       << "usage: stencilctl "
          "<devices|tune|model|codegen|simulate|blockpar|faults|metrics|"
-         "trace|engine> [flags]\n"
+         "trace|engine|chaos> [flags]\n"
          "  common flags: --dims 2|3 --radius R --bsize-x B --bsize-y B\n"
          "                --parvec V --partime T --device NAME\n"
          "                --nx N --ny N --nz N --iters I --top K --box\n"
@@ -979,7 +1390,9 @@ int usage() {
          "  metrics flags: --format table|json|csv --out FILE --depth D\n"
          "  trace flags:   --out trace.json --depth D\n"
          "  engine flags:  --jobs N --workers W --iters I --queue Q\n"
-         "                 --json BENCH_PR3.json\n";
+         "                 --json BENCH_PR3.json\n"
+         "  chaos flags:   --jobs N --workers W --seed S\n"
+         "                 --json BENCH_PR6.json\n";
   return 2;
 }
 
@@ -1000,6 +1413,7 @@ int main(int argc, char** argv) {
     if (cmd == "metrics") return cmd_metrics(a);
     if (cmd == "trace") return cmd_trace(a);
     if (cmd == "engine") return cmd_engine(a);
+    if (cmd == "chaos") return cmd_chaos(a);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "stencilctl: " << e.what() << "\n";
