@@ -1,6 +1,12 @@
 #include "core/block_streamer.hpp"
 
+#include <string>
 #include <utility>
+
+#include "common/stopwatch.hpp"
+#include "kernels/kernel_registry.hpp"
+#include "kernels/kernel_workspace.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace fpga_stencil {
 namespace {
@@ -11,6 +17,50 @@ namespace {
 /// the engine promises for cancel().
 constexpr std::int64_t kCancelCheckMask = 511;
 
+/// Runs the block on a registry kernel if this configuration has one.
+/// Returns false (off-envelope or dispatch disabled) when the caller
+/// must fall back to the interpreter. Telemetry, when attached: hit/miss
+/// counters plus a per-kernel retired-cell throughput gauge.
+template <typename GridT>
+bool try_specialized(std::vector<ProcessingElement>& pes,
+                     const BlockingPlan& plan, const BlockExtent& blk,
+                     const GridT& in, GridT& out, int steps, RunStats& stats,
+                     const CancellationToken* cancel) {
+  const AcceleratorConfig& cfg = plan.config;
+  if (!cfg.use_specialized_kernels || pes.empty()) return false;
+  const TapSet& taps = pes.front().taps();
+  const SpecializedKernel* kernel = KernelRegistry::instance().find(taps, cfg);
+  if (kernel == nullptr) return false;
+  Telemetry* const tel = cfg.telemetry;
+  if (tel) tel->metrics().counter("kernels.dispatch_specialized").add(1);
+
+  // Coefficients travel as runtime data in tap (= accumulation) order;
+  // one specialized instantiation serves every coefficient set.
+  std::vector<float>& cf = tls_kernel_workspace().coefficients();
+  cf.resize(taps.size());
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    cf[i] = taps.taps()[i].coeff;
+  }
+
+  const std::int64_t written_before = stats.cells_written;
+  const Stopwatch clock;
+  if constexpr (std::is_same_v<GridT, Grid2D<float>>) {
+    kernel->run_2d(plan, blk, in, out, steps, cf.data(), stats, cancel);
+  } else {
+    kernel->run_3d(plan, blk, in, out, steps, cf.data(), stats, cancel);
+  }
+  if (tel) {
+    const std::int64_t ns = clock.nanoseconds();
+    const std::int64_t cells = stats.cells_written - written_before;
+    if (ns > 0) {
+      tel->metrics()
+          .gauge(std::string("kernels.") + kernel->name + ".cells_per_s")
+          .set(cells * 1'000'000'000 / ns);
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 void stream_block(std::vector<ProcessingElement>& pes,
@@ -18,6 +68,32 @@ void stream_block(std::vector<ProcessingElement>& pes,
                   const Grid2D<float>& in, Grid2D<float>& out, int steps,
                   std::span<float> va, std::span<float> vb, RunStats& stats,
                   const CancellationToken* cancel) {
+  if (try_specialized(pes, plan, blk, in, out, steps, stats, cancel)) return;
+  if (plan.config.telemetry) {
+    plan.config.telemetry->metrics().counter("kernels.dispatch_fallback")
+        .add(1);
+  }
+  stream_block_generic(pes, plan, blk, in, out, steps, va, vb, stats, cancel);
+}
+
+void stream_block(std::vector<ProcessingElement>& pes,
+                  const BlockingPlan& plan, const BlockExtent& blk,
+                  const Grid3D<float>& in, Grid3D<float>& out, int steps,
+                  std::span<float> va, std::span<float> vb, RunStats& stats,
+                  const CancellationToken* cancel) {
+  if (try_specialized(pes, plan, blk, in, out, steps, stats, cancel)) return;
+  if (plan.config.telemetry) {
+    plan.config.telemetry->metrics().counter("kernels.dispatch_fallback")
+        .add(1);
+  }
+  stream_block_generic(pes, plan, blk, in, out, steps, va, vb, stats, cancel);
+}
+
+void stream_block_generic(std::vector<ProcessingElement>& pes,
+                          const BlockingPlan& plan, const BlockExtent& blk,
+                          const Grid2D<float>& in, Grid2D<float>& out,
+                          int steps, std::span<float> va, std::span<float> vb,
+                          RunStats& stats, const CancellationToken* cancel) {
   const AcceleratorConfig& cfg = plan.config;
   const std::int64_t halo = cfg.halo();
   const std::int64_t drain = cfg.stream_drain();
@@ -74,11 +150,11 @@ void stream_block(std::vector<ProcessingElement>& pes,
   ++stats.block_passes;
 }
 
-void stream_block(std::vector<ProcessingElement>& pes,
-                  const BlockingPlan& plan, const BlockExtent& blk,
-                  const Grid3D<float>& in, Grid3D<float>& out, int steps,
-                  std::span<float> va, std::span<float> vb, RunStats& stats,
-                  const CancellationToken* cancel) {
+void stream_block_generic(std::vector<ProcessingElement>& pes,
+                          const BlockingPlan& plan, const BlockExtent& blk,
+                          const Grid3D<float>& in, Grid3D<float>& out,
+                          int steps, std::span<float> va, std::span<float> vb,
+                          RunStats& stats, const CancellationToken* cancel) {
   const AcceleratorConfig& cfg = plan.config;
   const std::int64_t halo = cfg.halo();
   const std::int64_t drain = cfg.stream_drain();

@@ -4,6 +4,7 @@
 
 #include "codegen/kernel_generator.hpp"
 #include "core/stencil_accelerator.hpp"
+#include "kernels/kernel_registry.hpp"
 
 namespace fpga_stencil {
 namespace {
@@ -61,6 +62,7 @@ PlanCache::Key PlanCache::make_key(const TapSet& taps,
   k.nx = nx;
   k.ny = ny;
   k.nz = nz;
+  k.use_specialized_kernels = cfg.use_specialized_kernels;
   return k;
 }
 
@@ -94,6 +96,13 @@ std::shared_ptr<const CachedPlan> PlanCache::lookup_or_build(
       generate_tap_kernel_source(taps, {plan->config, false});
   plan->kernel_fingerprint = fnv_bytes(source);
   plan->kernel_source_bytes = std::int64_t(source.size());
+  // Resolve the dispatch target once per plan; stream_block re-derives
+  // the same answer per block (same registry, same structural match), so
+  // the handle is a cached fact about the plan, not a side channel.
+  if (plan->config.use_specialized_kernels) {
+    plan->specialized_kernel = KernelRegistry::instance().find(taps,
+                                                              plan->config);
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   ++misses_;

@@ -28,6 +28,8 @@
 
 namespace fpga_stencil {
 
+struct SpecializedKernel;  // kernels/kernel_registry.hpp; pointer-only here
+
 /// FNV-1a over the tap set's value identity: dims, radius, and each tap's
 /// offsets and coefficient bit pattern (accumulation order included --
 /// reordered taps are a different stencil bit-wise).
@@ -39,6 +41,13 @@ struct CachedPlan {
   BlockingPlan blocking;     ///< decomposition for the keyed extents
   std::uint64_t kernel_fingerprint = 0;  ///< FNV-1a of the generated source
   std::int64_t kernel_source_bytes = 0;  ///< size of that source
+
+  /// Resolved KernelRegistry handle: the specialized kernel stream_block
+  /// will dispatch this plan's blocks to, or null when the configuration
+  /// is off-envelope (or opted out) and runs on the scalar interpreter.
+  /// Points into the process-lifetime registry, so sharing the plan
+  /// across jobs and threads is safe.
+  const SpecializedKernel* specialized_kernel = nullptr;
 };
 
 class PlanCache {
@@ -72,6 +81,9 @@ class PlanCache {
     int dims = 0, radius = 0, parvec = 0, partime = 0, stage_lag = 0;
     std::int64_t bsize_x = 0, bsize_y = 0;
     std::int64_t nx = 0, ny = 0, nz = 1;
+    // Part of the key (unlike telemetry): it changes which code executes
+    // the plan's blocks, and the cached specialized_kernel must agree.
+    bool use_specialized_kernels = true;
     bool operator==(const Key&) const = default;
   };
   struct Entry {

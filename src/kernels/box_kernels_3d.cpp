@@ -1,0 +1,18 @@
+// Explicit instantiations: box stencils, 3D, radius 1-4 x parvec
+// {1,4,8,16}. Radius 4 has 729 taps; the tap loop stays a runtime loop
+// over the constexpr pattern precisely so this TU does not explode.
+#include "kernels/run_specialized_impl.hpp"
+
+namespace fpga_stencil {
+
+#define FPGASTENCIL_INSTANTIATE_KERNEL(SHAPE, RAD, DIMS, PARVEC)        \
+  template void run_specialized<StencilShape::SHAPE, RAD, DIMS, PARVEC>( \
+      const BlockingPlan&, const BlockExtent&, const GridOf<DIMS>&,     \
+      GridOf<DIMS>&, int, const float*, RunStats&,                      \
+      const CancellationToken*);
+
+FPGASTENCIL_FOR_EACH_RADIUS_PARVEC(FPGASTENCIL_INSTANTIATE_KERNEL, kBox, 3)
+
+#undef FPGASTENCIL_INSTANTIATE_KERNEL
+
+}  // namespace fpga_stencil

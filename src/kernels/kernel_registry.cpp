@@ -1,0 +1,113 @@
+#include "kernels/kernel_registry.hpp"
+
+#include <string>
+
+namespace fpga_stencil {
+
+bool matches_canonical_star(const TapSet& taps) {
+  const int dims = taps.dims();
+  const int rad = taps.radius();
+  const std::vector<Tap>& ts = taps.taps();
+  if (ts.size() != std::size_t(1 + 2 * dims * rad)) return false;
+  std::size_t t = 0;
+  const auto next_is = [&](std::int64_t dx, std::int64_t dy, std::int64_t dz) {
+    const Tap& tap = ts[t++];
+    return tap.dx == dx && tap.dy == dy && tap.dz == dz;
+  };
+  if (!next_is(0, 0, 0)) return false;
+  for (int i = 1; i <= rad; ++i) {
+    if (!next_is(-i, 0, 0) || !next_is(i, 0, 0) || !next_is(0, -i, 0) ||
+        !next_is(0, i, 0)) {
+      return false;
+    }
+    if (dims == 3 && (!next_is(0, 0, -i) || !next_is(0, 0, i))) return false;
+  }
+  return true;
+}
+
+bool matches_canonical_box(const TapSet& taps) {
+  const int dims = taps.dims();
+  const int rad = taps.radius();
+  const std::vector<Tap>& ts = taps.taps();
+  const std::int64_t side = 2 * std::int64_t(rad) + 1;
+  std::int64_t expect = side * side;
+  if (dims == 3) expect *= side;
+  if (std::int64_t(ts.size()) != expect) return false;
+  std::size_t t = 0;
+  const int zr = dims == 3 ? rad : 0;
+  for (int dz = -zr; dz <= zr; ++dz) {
+    for (int dy = -rad; dy <= rad; ++dy) {
+      for (int dx = -rad; dx <= rad; ++dx) {
+        const Tap& tap = ts[t++];
+        if (tap.dx != dx || tap.dy != dy || tap.dz != dz) return false;
+      }
+    }
+  }
+  return true;
+}
+
+template <StencilShape Shape, int Rad, int Dims, int ParVec>
+void KernelRegistry::add_entry() {
+  SpecializedKernel k;
+  k.shape = Shape;
+  k.dims = Dims;
+  k.radius = Rad;
+  k.parvec = ParVec;
+  if constexpr (Dims == 2) {
+    k.run_2d = &run_specialized<Shape, Rad, 2, ParVec>;
+  } else {
+    k.run_3d = &run_specialized<Shape, Rad, 3, ParVec>;
+  }
+  // names_ is reserved to the envelope size up front, so the c_str()
+  // stays stable for the registry's (process) lifetime.
+  names_.push_back(std::string(stencil_shape_name(Shape)) + "_" +
+                   std::to_string(Dims) + "d_r" + std::to_string(Rad) + "_v" +
+                   std::to_string(ParVec));
+  k.name = names_.back().c_str();
+  entries_.push_back(k);
+}
+
+KernelRegistry::KernelRegistry() {
+  constexpr std::size_t kEnvelopePoints = 64;
+  entries_.reserve(kEnvelopePoints);
+  names_.reserve(kEnvelopePoints);
+#define FPGASTENCIL_REGISTER_KERNEL(SHAPE, RAD, DIMS, PARVEC) \
+  add_entry<StencilShape::SHAPE, RAD, DIMS, PARVEC>();
+  FPGASTENCIL_FOR_EACH_RADIUS_PARVEC(FPGASTENCIL_REGISTER_KERNEL, kStar, 2)
+  FPGASTENCIL_FOR_EACH_RADIUS_PARVEC(FPGASTENCIL_REGISTER_KERNEL, kStar, 3)
+  FPGASTENCIL_FOR_EACH_RADIUS_PARVEC(FPGASTENCIL_REGISTER_KERNEL, kBox, 2)
+  FPGASTENCIL_FOR_EACH_RADIUS_PARVEC(FPGASTENCIL_REGISTER_KERNEL, kBox, 3)
+#undef FPGASTENCIL_REGISTER_KERNEL
+}
+
+const KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+const SpecializedKernel* KernelRegistry::find(
+    const TapSet& taps, const AcceleratorConfig& cfg) const {
+  if (cfg.dims != taps.dims()) return nullptr;
+  StencilShape shape;
+  if (matches_canonical_star(taps)) {
+    shape = StencilShape::kStar;
+  } else if (matches_canonical_box(taps)) {
+    shape = StencilShape::kBox;
+  } else {
+    return nullptr;  // custom tap order: interpreter territory
+  }
+  return lookup(shape, taps.dims(), taps.radius(), cfg.parvec);
+}
+
+const SpecializedKernel* KernelRegistry::lookup(StencilShape shape, int dims,
+                                                int radius, int parvec) const {
+  for (const SpecializedKernel& k : entries_) {
+    if (k.shape == shape && k.dims == dims && k.radius == radius &&
+        k.parvec == parvec) {
+      return &k;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,98 @@
+// Static dispatch table of compile-time-specialized stencil kernels.
+//
+// The paper's throughput comes from baking the stencil shape, radius, and
+// vector width into the generated OpenCL pipeline at synthesis time; the
+// host-side analogue is a C++ template (`run_specialized`, kernels/
+// run_specialized.hpp) instantiated over the supported envelope
+//
+//   shape  in {star, box}  x  dims in {2, 3}  x  radius in {1..4}
+//                          x  parvec in {1, 4, 8, 16}
+//
+// = 64 entries, registered here in a process-lifetime table. `find`
+// resolves a (TapSet, AcceleratorConfig) pair to an entry by structural
+// match: the tap offsets must be exactly the canonical star or box order
+// (the accumulation order the specialized loops hard-code), and the
+// config's parvec must be an envelope point. Anything else -- custom tap
+// orders, parvec 2, radius 5+ -- returns null and the caller falls back to
+// the scalar interpreter (`stream_block_generic`), which remains the
+// semantic reference.
+//
+// Matching is structural, not fingerprint-equality: coefficients are
+// runtime data (passed to the kernel in tap order), so one instantiation
+// serves every coefficient set of its shape point. The PlanCache still
+// keys plans by the full tap fingerprint and caches the resolved
+// `SpecializedKernel*` alongside the BlockingPlan, so steady-state jobs
+// skip even this structural match.
+//
+// Every kernel is bit-exact with the interpreter by construction (same
+// clamping, same per-cell accumulation order; see docs/KERNELS.md) and
+// tests/kernels_test.cpp verifies each entry exhaustively.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernels/run_specialized.hpp"
+
+namespace fpga_stencil {
+
+/// One registered instantiation point of `run_specialized`.
+struct SpecializedKernel {
+  StencilShape shape = StencilShape::kStar;
+  int dims = 2;
+  int radius = 1;
+  int parvec = 1;
+  SpecializedKernel2DFn run_2d = nullptr;  ///< set when dims == 2
+  SpecializedKernel3DFn run_3d = nullptr;  ///< set when dims == 3
+  const char* name = "";                   ///< e.g. "star_3d_r4_v16"
+};
+
+/// True when `taps` is exactly the canonical star order for its (dims,
+/// radius): center first, then per ring i = 1..radius the axis pairs
+/// W(-i), E(+i), S(-i), N(+i) [, B(-i), A(+i) in 3D] -- the order
+/// StarStencil::to_taps emits.
+[[nodiscard]] bool matches_canonical_star(const TapSet& taps);
+
+/// True when `taps` is exactly the canonical box order: all (2r+1)^dims
+/// offsets in row-major (dz, dy, dx) ascending order, as make_box_stencil
+/// emits.
+[[nodiscard]] bool matches_canonical_box(const TapSet& taps);
+
+class KernelRegistry {
+ public:
+  KernelRegistry(const KernelRegistry&) = delete;
+  KernelRegistry& operator=(const KernelRegistry&) = delete;
+
+  /// The process-wide table. Construction is thread-safe (C++ static
+  /// local) and the table is immutable afterwards, so handles can be
+  /// shared freely across threads and cached in plans.
+  [[nodiscard]] static const KernelRegistry& instance();
+
+  /// Resolves the specialized kernel for a (taps, config) pair, or null
+  /// when the pair is off-envelope and must run on the interpreter.
+  /// Structural match only -- never inspects coefficients, grid extents,
+  /// or block sizes.
+  [[nodiscard]] const SpecializedKernel* find(
+      const TapSet& taps, const AcceleratorConfig& cfg) const;
+
+  /// Exact envelope lookup (tests, benches).
+  [[nodiscard]] const SpecializedKernel* lookup(StencilShape shape, int dims,
+                                                int radius, int parvec) const;
+
+  [[nodiscard]] std::span<const SpecializedKernel> entries() const {
+    return entries_;
+  }
+
+ private:
+  KernelRegistry();
+
+  template <StencilShape Shape, int Rad, int Dims, int ParVec>
+  void add_entry();
+
+  std::vector<SpecializedKernel> entries_;
+  std::vector<std::string> names_;  ///< owns SpecializedKernel::name storage
+};
+
+}  // namespace fpga_stencil

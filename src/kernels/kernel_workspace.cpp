@@ -1,0 +1,10 @@
+#include "kernels/kernel_workspace.hpp"
+
+namespace fpga_stencil {
+
+KernelWorkspace& tls_kernel_workspace() {
+  thread_local KernelWorkspace ws;
+  return ws;
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,17 @@
+// Explicit instantiations: star stencils, 3D, radius 1-4 x parvec
+// {1,4,8,16}.
+#include "kernels/run_specialized_impl.hpp"
+
+namespace fpga_stencil {
+
+#define FPGASTENCIL_INSTANTIATE_KERNEL(SHAPE, RAD, DIMS, PARVEC)        \
+  template void run_specialized<StencilShape::SHAPE, RAD, DIMS, PARVEC>( \
+      const BlockingPlan&, const BlockExtent&, const GridOf<DIMS>&,     \
+      GridOf<DIMS>&, int, const float*, RunStats&,                      \
+      const CancellationToken*);
+
+FPGASTENCIL_FOR_EACH_RADIUS_PARVEC(FPGASTENCIL_INSTANTIATE_KERNEL, kStar, 3)
+
+#undef FPGASTENCIL_INSTANTIATE_KERNEL
+
+}  // namespace fpga_stencil

@@ -72,6 +72,10 @@ class ProcessingElement {
   [[nodiscard]] int stage() const { return stage_; }
   [[nodiscard]] const AcceleratorConfig& config() const { return cfg_; }
 
+  /// The ordered tap set this PE executes (the KernelRegistry's dispatch
+  /// hook matches it structurally against the canonical star/box orders).
+  [[nodiscard]] const TapSet& taps() const { return taps_; }
+
   /// Actual shift-register size for this tap set; equals the paper's
   /// eq. (7) for star stencils, larger for box stencils (corner reach).
   [[nodiscard]] std::int64_t shift_register_size() const {

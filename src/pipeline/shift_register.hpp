@@ -72,4 +72,51 @@ class ShiftRegister {
   std::vector<T> data_;
 };
 
+/// Structure-of-arrays shift-register variant: a ring of `depth` whole
+/// planes (one z-plane in 3D, one x-row in 2D) over caller-owned storage.
+///
+/// ShiftRegister models the FPGA's cell-granular window: one flat ring,
+/// taps addressed by flat logical offset, a bounds check per access. The
+/// specialized kernels (src/kernels) instead retire a whole plane per
+/// streamed index and address taps as `plane base + row offset + dx`, so
+/// the natural layout is plane-granular: plane p of the stream lives in
+/// ring slot p mod depth, and a window of the last `depth` planes is
+/// always resident. Retiring plane p implicitly evicts plane p - depth --
+/// there is no shift, which is what makes the per-lane inner loops
+/// contiguous and vectorizable.
+///
+/// Non-owning: `storage` must hold depth * plane_cells elements and
+/// outlive the view (the kernels carve these out of the thread-local
+/// KernelWorkspace slab).
+template <typename T>
+class PlanarShiftRegister {
+ public:
+  PlanarShiftRegister(T* storage, std::int64_t depth, std::int64_t plane_cells)
+      : storage_(storage), depth_(depth), plane_cells_(plane_cells) {
+    FPGASTENCIL_EXPECT(storage != nullptr, "planar SR needs storage");
+    FPGASTENCIL_EXPECT(depth > 0, "planar SR depth must be positive");
+    FPGASTENCIL_EXPECT(plane_cells > 0, "planar SR planes must be non-empty");
+  }
+
+  [[nodiscard]] std::int64_t depth() const { return depth_; }
+  [[nodiscard]] std::int64_t plane_cells() const { return plane_cells_; }
+
+  /// Slot of stream plane `stream_index` (>= 0). Writing slot p evicts
+  /// plane p - depth; reading is valid for the last `depth` planes
+  /// written, which the kernels' clamped window accesses never leave.
+  [[nodiscard]] T* plane(std::int64_t stream_index) {
+    FPGASTENCIL_ASSERT(stream_index >= 0, "planar SR index negative");
+    return storage_ + (stream_index % depth_) * plane_cells_;
+  }
+  [[nodiscard]] const T* plane(std::int64_t stream_index) const {
+    FPGASTENCIL_ASSERT(stream_index >= 0, "planar SR index negative");
+    return storage_ + (stream_index % depth_) * plane_cells_;
+  }
+
+ private:
+  T* storage_;
+  std::int64_t depth_;
+  std::int64_t plane_cells_;
+};
+
 }  // namespace fpga_stencil

@@ -1,0 +1,254 @@
+// The specialized kernel subsystem's contract: every KernelRegistry entry
+// is bit-exact with the scalar interpreter (the semantic reference), the
+// registry matches exactly the canonical star/box envelope and nothing
+// else, off-envelope configurations fall back to the interpreter, and
+// dispatch is observable through telemetry and the plan cache.
+//
+// The exactness sweep runs the whole envelope -- star/box x 2D/3D x
+// radius 1-4 x parvec {1,4,8,16} -- through StencilAccelerator twice
+// (dispatch on / forced interpreter) on grids chosen so every block shape
+// occurs: interior blocks, partial tail blocks in each blocked dimension,
+// and a tail pass with fewer steps than partime.
+#include <gtest/gtest.h>
+
+#include "core/block_parallel_accelerator.hpp"
+#include "core/stencil_accelerator.hpp"
+#include "grid/grid_compare.hpp"
+#include "kernels/kernel_registry.hpp"
+#include "stencil/box_stencil.hpp"
+#include "stencil/star_stencil.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+constexpr int kRadii[] = {1, 2, 3, 4};
+constexpr int kParvecs[] = {1, 4, 8, 16};
+
+TapSet envelope_taps(StencilShape shape, int dims, int radius,
+                     std::uint64_t seed = 99) {
+  if (shape == StencilShape::kStar) {
+    return StarStencil::make_benchmark(dims, radius, seed).to_taps();
+  }
+  return make_box_stencil(dims, radius, seed);
+}
+
+/// Small config with every block-shape stress: bsize_x = 32 is a
+/// multiple of every envelope parvec, partime = 2 with the grid sizes
+/// below yields interior + partial-tail blocks and (iterations = 3) a
+/// short final pass.
+AcceleratorConfig envelope_config(int dims, int radius, int parvec,
+                                  int partime = 2) {
+  AcceleratorConfig cfg;
+  cfg.dims = dims;
+  cfg.radius = radius;
+  cfg.parvec = parvec;
+  cfg.partime = partime;
+  cfg.bsize_x = 32;
+  cfg.bsize_y = dims == 3 ? 2 * partime * radius + 5 : 1;
+  return cfg;
+}
+
+struct ExactnessResult {
+  CompareResult cmp;
+  RunStats specialized;
+  RunStats generic;
+};
+
+ExactnessResult run_both_2d(const TapSet& taps, AcceleratorConfig cfg,
+                            std::int64_t nx, std::int64_t ny, int iters) {
+  Grid2D<float> a(nx, ny), b(nx, ny);
+  a.fill_random(7, -1.0f, 1.0f);
+  b = a;
+  cfg.use_specialized_kernels = true;
+  StencilAccelerator fast(taps, cfg);
+  ExactnessResult r;
+  r.specialized = fast.run(a, iters);
+  cfg.use_specialized_kernels = false;
+  StencilAccelerator slow(taps, cfg);
+  r.generic = slow.run(b, iters);
+  r.cmp = compare_exact(a, b);
+  return r;
+}
+
+ExactnessResult run_both_3d(const TapSet& taps, AcceleratorConfig cfg,
+                            std::int64_t nx, std::int64_t ny, std::int64_t nz,
+                            int iters) {
+  Grid3D<float> a(nx, ny, nz), b(nx, ny, nz);
+  a.fill_random(11, -1.0f, 1.0f);
+  b = a;
+  cfg.use_specialized_kernels = true;
+  StencilAccelerator fast(taps, cfg);
+  ExactnessResult r;
+  r.specialized = fast.run(a, iters);
+  cfg.use_specialized_kernels = false;
+  StencilAccelerator slow(taps, cfg);
+  r.generic = slow.run(b, iters);
+  r.cmp = compare_exact(a, b);
+  return r;
+}
+
+void expect_stats_parity(const ExactnessResult& r, const std::string& label) {
+  EXPECT_TRUE(r.cmp.identical()) << label << ": " << r.cmp.summary();
+  EXPECT_EQ(r.specialized.cells_written, r.generic.cells_written) << label;
+  EXPECT_EQ(r.specialized.cells_streamed, r.generic.cells_streamed) << label;
+  EXPECT_EQ(r.specialized.vectors_processed, r.generic.vectors_processed)
+      << label;
+  EXPECT_EQ(r.specialized.block_passes, r.generic.block_passes) << label;
+}
+
+TEST(KernelRegistry, CoversExactlyTheEnvelope) {
+  const KernelRegistry& reg = KernelRegistry::instance();
+  EXPECT_EQ(reg.entries().size(), 64u);
+  for (StencilShape shape : {StencilShape::kStar, StencilShape::kBox}) {
+    for (int dims : {2, 3}) {
+      for (int rad : kRadii) {
+        for (int pv : kParvecs) {
+          const SpecializedKernel* k = reg.lookup(shape, dims, rad, pv);
+          ASSERT_NE(k, nullptr);
+          EXPECT_EQ(k->shape, shape);
+          EXPECT_EQ(k->dims, dims);
+          EXPECT_EQ(k->radius, rad);
+          EXPECT_EQ(k->parvec, pv);
+          EXPECT_NE(dims == 2 ? (void*)k->run_2d : (void*)k->run_3d, nullptr);
+          EXPECT_NE(std::string(k->name).find(stencil_shape_name(shape)),
+                    std::string::npos);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(reg.lookup(StencilShape::kStar, 2, 5, 4), nullptr);  // radius 5
+  EXPECT_EQ(reg.lookup(StencilShape::kStar, 2, 1, 2), nullptr);  // parvec 2
+}
+
+TEST(KernelRegistry, FindMatchesCanonicalOrdersOnly) {
+  const KernelRegistry& reg = KernelRegistry::instance();
+  for (int dims : {2, 3}) {
+    for (int rad : kRadii) {
+      const TapSet star = envelope_taps(StencilShape::kStar, dims, rad);
+      const TapSet box = envelope_taps(StencilShape::kBox, dims, rad);
+      EXPECT_TRUE(matches_canonical_star(star));
+      EXPECT_FALSE(matches_canonical_box(star));
+      EXPECT_TRUE(matches_canonical_box(box));
+      EXPECT_FALSE(matches_canonical_star(box));
+      const AcceleratorConfig cfg = envelope_config(dims, rad, 4);
+      EXPECT_NE(reg.find(star, cfg), nullptr);
+      EXPECT_NE(reg.find(box, cfg), nullptr);
+
+      // Same taps, reversed order: a different stencil bit-wise, so it
+      // must not match (the kernels hard-code the accumulation order).
+      std::vector<Tap> reversed(star.taps().rbegin(), star.taps().rend());
+      const TapSet custom(dims, rad, std::move(reversed));
+      EXPECT_EQ(reg.find(custom, cfg), nullptr);
+    }
+  }
+}
+
+TEST(KernelDispatch, EnvelopeExactness2D) {
+  for (StencilShape shape : {StencilShape::kStar, StencilShape::kBox}) {
+    for (int rad : kRadii) {
+      for (int pv : kParvecs) {
+        const AcceleratorConfig cfg = envelope_config(2, rad, pv);
+        const TapSet taps = envelope_taps(shape, 2, rad);
+        const ExactnessResult r = run_both_2d(taps, cfg, 45, 23, 3);
+        expect_stats_parity(r, std::string(stencil_shape_name(shape)) +
+                                   " 2D r" + std::to_string(rad) + " v" +
+                                   std::to_string(pv));
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, EnvelopeExactness3D) {
+  for (StencilShape shape : {StencilShape::kStar, StencilShape::kBox}) {
+    for (int rad : kRadii) {
+      for (int pv : kParvecs) {
+        const AcceleratorConfig cfg = envelope_config(3, rad, pv);
+        const TapSet taps = envelope_taps(shape, 3, rad);
+        const ExactnessResult r = run_both_3d(taps, cfg, 45, 27, 9, 3);
+        expect_stats_parity(r, std::string(stencil_shape_name(shape)) +
+                                   " 3D r" + std::to_string(rad) + " v" +
+                                   std::to_string(pv));
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, DeepTemporalChainAndPartialTail) {
+  // partime 4 with iterations 6: a full 4-step pass then a 2-step tail,
+  // halo 16 > radius so the influence-cone bound is exercised away from
+  // its tight case.
+  AcceleratorConfig cfg = envelope_config(3, 4, 8, 4);
+  cfg.bsize_x = 48;
+  cfg.bsize_y = 2 * cfg.partime * cfg.radius + 3;
+  const TapSet taps = envelope_taps(StencilShape::kStar, 3, 4);
+  const ExactnessResult r = run_both_3d(taps, cfg, 52, 40, 11, 6);
+  expect_stats_parity(r, "star 3D r4 v8 partime4");
+}
+
+TEST(KernelDispatch, OffEnvelopeFallsBackBitExact) {
+  // parvec 2 is off-envelope: both runs take the interpreter, results
+  // identical, and telemetry shows fallback dispatches only.
+  AcceleratorConfig cfg = envelope_config(2, 2, 2);
+  Telemetry tel;
+  cfg.telemetry = &tel;
+  const TapSet taps = envelope_taps(StencilShape::kStar, 2, 2);
+  EXPECT_EQ(KernelRegistry::instance().find(taps, cfg), nullptr);
+  const ExactnessResult r = run_both_2d(taps, cfg, 45, 23, 3);
+  expect_stats_parity(r, "star 2D r2 v2 (off-envelope)");
+  EXPECT_GT(tel.metrics().counter("kernels.dispatch_fallback").value(), 0);
+  EXPECT_EQ(tel.metrics().counter("kernels.dispatch_specialized").value(), 0);
+}
+
+TEST(KernelDispatch, TelemetryCountsSpecializedDispatch) {
+  AcceleratorConfig cfg = envelope_config(2, 1, 4);
+  Telemetry tel;
+  cfg.telemetry = &tel;
+  const TapSet taps = envelope_taps(StencilShape::kStar, 2, 1);
+  Grid2D<float> g(40, 20);
+  g.fill_random(3);
+  StencilAccelerator accel(taps, cfg);
+  (void)accel.run(g, 2);
+  EXPECT_GT(tel.metrics().counter("kernels.dispatch_specialized").value(), 0);
+  EXPECT_EQ(tel.metrics().counter("kernels.dispatch_fallback").value(), 0);
+  // Per-kernel throughput gauge was published under the kernel's name.
+  EXPECT_GE(tel.metrics().gauge("kernels.star_2d_r1_v4.cells_per_s").value(),
+            0);
+}
+
+TEST(KernelDispatch, BlockParallelUsesSpecializedPathBitExact) {
+  AcceleratorConfig cfg = envelope_config(3, 2, 4);
+  const TapSet taps = envelope_taps(StencilShape::kStar, 3, 2);
+  Grid3D<float> sync_grid(45, 27, 9), par_grid(45, 27, 9);
+  sync_grid.fill_random(5, -1.0f, 1.0f);
+  par_grid = sync_grid;
+
+  StencilAccelerator accel(taps, cfg);
+  (void)accel.run(sync_grid, 3);
+
+  RunOptions opts;
+  opts.workers = 3;
+  (void)run_block_parallel(taps, cfg, par_grid, 3, opts);
+
+  const CompareResult cmp = compare_exact(sync_grid, par_grid);
+  EXPECT_TRUE(cmp.identical()) << cmp.summary();
+}
+
+TEST(KernelDispatch, CancellationAbortsSpecializedBlock) {
+  AcceleratorConfig cfg = envelope_config(3, 2, 8);
+  const TapSet taps = envelope_taps(StencilShape::kStar, 3, 2);
+  Grid3D<float> g(45, 27, 9);
+  g.fill_random(13);
+  const Grid3D<float> before = g;
+
+  const CancellationToken token = CancellationToken::make();
+  token.request_cancel();
+  StencilAccelerator accel(taps, cfg);
+  EXPECT_THROW(accel.run(g, 2, nullptr, &token), CancelledError);
+  // The aborted pass never published: the grid still holds the input.
+  const CompareResult cmp = compare_exact(g, before);
+  EXPECT_TRUE(cmp.identical()) << cmp.summary();
+}
+
+}  // namespace
+}  // namespace fpga_stencil

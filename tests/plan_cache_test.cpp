@@ -4,6 +4,7 @@
 
 #include "common/buffer_pool.hpp"
 #include "engine/plan_cache.hpp"
+#include "kernels/kernel_registry.hpp"
 #include "stencil/box_stencil.hpp"
 #include "stencil/star_stencil.hpp"
 
@@ -115,6 +116,35 @@ TEST(PlanCache, CachedPlanIsResolvedAndFingerprinted) {
                                               64, 32, 1, nullptr);
   EXPECT_EQ(box_plan->config.stage_lag, 2);
   EXPECT_NE(box_plan->kernel_fingerprint, star_plan->kernel_fingerprint);
+}
+
+TEST(PlanCache, ResolvesSpecializedKernelHandle) {
+  PlanCache cache(8);
+  // Canonical star at an envelope parvec: the plan carries the registry
+  // handle stream_block will dispatch to.
+  const auto fast_plan =
+      cache.lookup_or_build(star2d(), cfg2d(1, 4), 64, 32, 1, nullptr);
+  ASSERT_NE(fast_plan->specialized_kernel, nullptr);
+  EXPECT_EQ(fast_plan->specialized_kernel->dims, 2);
+  EXPECT_EQ(fast_plan->specialized_kernel->radius, 1);
+  EXPECT_EQ(fast_plan->specialized_kernel->parvec, 4);
+  EXPECT_EQ(std::string(fast_plan->specialized_kernel->name), "star_2d_r1_v4");
+
+  // parvec 2 is off-envelope: same stencil, interpreter plan.
+  const auto slow_plan =
+      cache.lookup_or_build(star2d(), cfg2d(1, 2), 64, 32, 1, nullptr);
+  EXPECT_EQ(slow_plan->specialized_kernel, nullptr);
+
+  // Opting out of dispatch is part of the key (it changes which code
+  // runs), so it builds a distinct, interpreter-bound plan.
+  AcceleratorConfig generic = cfg2d(1, 4);
+  generic.use_specialized_kernels = false;
+  bool hit = true;
+  const auto opted_out =
+      cache.lookup_or_build(star2d(), generic, 64, 32, 1, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(opted_out->specialized_kernel, nullptr);
+  EXPECT_NE(opted_out.get(), fast_plan.get());
 }
 
 TEST(PlanCache, EvictedPlansSurviveWhileHeld) {

@@ -2,6 +2,7 @@
 // a naive O(n)-shift model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -118,6 +119,32 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{4, 4}, std::pair{6, 2}, std::pair{7, 3},
                       std::pair{33, 8}, std::pair{130, 16},
                       std::pair{515, 4}));
+
+TEST(PlanarShiftRegister, RingMapsStreamIndicesToSlots) {
+  // depth 3, planes of 4 cells over caller storage: plane p lands in slot
+  // p mod depth, so writing plane p evicts plane p - depth and the last
+  // `depth` planes are always resident.
+  std::vector<float> storage(3 * 4, -1.0f);
+  PlanarShiftRegister<float> sr(storage.data(), 3, 4);
+  EXPECT_EQ(sr.depth(), 3);
+  EXPECT_EQ(sr.plane_cells(), 4);
+  for (std::int64_t p = 0; p < 10; ++p) {
+    float* plane = sr.plane(p);
+    EXPECT_EQ(plane, storage.data() + (p % 3) * 4);
+    std::fill(plane, plane + 4, float(p));
+    // The retained window is [p - depth + 1, p].
+    for (std::int64_t back = 0; back < 3 && back <= p; ++back) {
+      EXPECT_EQ(sr.plane(p - back)[0], float(p - back));
+    }
+  }
+}
+
+TEST(PlanarShiftRegister, RejectsDegenerateGeometry) {
+  std::vector<float> storage(4);
+  EXPECT_THROW(PlanarShiftRegister<float>(nullptr, 2, 2), ConfigError);
+  EXPECT_THROW(PlanarShiftRegister<float>(storage.data(), 0, 2), ConfigError);
+  EXPECT_THROW(PlanarShiftRegister<float>(storage.data(), 2, 0), ConfigError);
+}
 
 }  // namespace
 }  // namespace fpga_stencil

@@ -193,6 +193,65 @@ CHAOS_SCHEMA = {
     },
 }
 
+# The kernel-dispatch scorecard (microbench_kernel_dispatch --json):
+# per-envelope-point generic vs specialized throughput with exactness
+# verdicts, the acceptance workload, and a block-parallel rerun on the
+# specialized path. Dispatch: top-level "bench" == "kernel_dispatch"
+# (checked before the jobs/runs keys).
+KERNEL_DISPATCH_SCHEMA = {
+    "schema_version": int,
+    "bench": str,
+    "paper": str,
+    "mode": str,
+    "hardware_concurrency": int,
+    "envelope": ("array", {
+        "name": str,
+        "shape": str,
+        "dims": int,
+        "radius": int,
+        "parvec": int,
+        "nx": int,
+        "ny": int,
+        "nz": int,
+        "iters": int,
+        "generic_mcells_per_s": NUMBER,
+        "specialized_mcells_per_s": NUMBER,
+        "speedup": NUMBER,
+        "exact": bool,
+        "dispatched": bool,
+    }),
+    "acceptance": {
+        "config": str,
+        "nx": int,
+        "ny": int,
+        "nz": int,
+        "iters": int,
+        "generic_mcells_per_s": NUMBER,
+        "specialized_mcells_per_s": NUMBER,
+        "speedup": NUMBER,
+        "exact": bool,
+        "dispatched": bool,
+    },
+    "blockpar": {
+        "baseline_mcells_per_s": NUMBER,
+        "speedup_gate_checked": bool,
+        "best_speedup": NUMBER,
+        "runs": ("array", {
+            "workers": int,
+            "mcells_per_s": NUMBER,
+            "speedup_vs_sync": NUMBER,
+            "exact": bool,
+        }),
+    },
+    "summary": {
+        "points": int,
+        "exact_points": int,
+        "min_speedup": NUMBER,
+        "median_speedup": NUMBER,
+        "max_speedup": NUMBER,
+    },
+}
+
 METRIC_KINDS = {"counter", "gauge", "histogram"}
 BACKENDS = {"automatic", "sync_sim", "concurrent", "block_parallel",
             "resilient", "cluster"}
@@ -338,6 +397,57 @@ def semantic_checks(doc, errors):
                     f"{sorted(METRIC_KINDS)}")
 
 
+def kernel_dispatch_semantic_checks(doc, errors):
+    """Constraints of the dispatch scorecard the type schema can't express.
+
+    Exactness and dispatch are hard requirements everywhere; throughput
+    numbers only need to be positive (absolute speedups vary with the
+    host and are gated by the offline --full run, not by CI)."""
+    shapes = {"star", "box"}
+    for i, pt in enumerate(doc.get("envelope", [])):
+        if not isinstance(pt, dict):
+            continue
+        path = f"$.envelope[{i}]"
+        if pt.get("shape") not in shapes:
+            errors.append(f"{path}.shape: {pt.get('shape')!r} not in "
+                          f"{sorted(shapes)}")
+        if pt.get("dims") not in (2, 3):
+            errors.append(f"{path}.dims: must be 2 or 3")
+        if pt.get("exact") is False:
+            errors.append(f"{path}: specialized result diverged from the "
+                          "interpreter")
+        if pt.get("dispatched") is False:
+            errors.append(f"{path}: envelope point missed the registry")
+        for key in ("generic_mcells_per_s", "specialized_mcells_per_s",
+                    "speedup"):
+            v = pt.get(key)
+            if isinstance(v, NUMBER) and not isinstance(v, bool) and v <= 0:
+                errors.append(f"{path}.{key}: must be positive")
+    acc = doc.get("acceptance", {})
+    if isinstance(acc, dict):
+        if acc.get("exact") is False:
+            errors.append("$.acceptance: not bit-exact")
+        if acc.get("dispatched") is False:
+            errors.append("$.acceptance: specialized kernel not dispatched")
+    bp = doc.get("blockpar", {})
+    if isinstance(bp, dict):
+        for i, run in enumerate(bp.get("runs", [])):
+            if isinstance(run, dict) and run.get("exact") is False:
+                errors.append(f"$.blockpar.runs[{i}]: not bit-exact with the "
+                              "sync specialized run")
+    summary = doc.get("summary", {})
+    if isinstance(summary, dict):
+        points = summary.get("points")
+        envelope = doc.get("envelope")
+        if isinstance(points, int) and isinstance(envelope, list) \
+                and points != len(envelope):
+            errors.append("$.summary.points: does not match len($.envelope)")
+        exact = summary.get("exact_points")
+        if isinstance(points, int) and isinstance(exact, int) \
+                and exact != points:
+            errors.append("$.summary: exact_points != points")
+
+
 def chaos_semantic_checks(doc, errors):
     """Constraints of the chaos campaign the type schema can't express."""
     results = doc.get("results", {})
@@ -397,10 +507,16 @@ def validate_file(name):
         return False
     errors = []
     is_chaos = isinstance(doc, dict) and doc.get("bench") == "chaos_campaign"
-    is_engine = not is_chaos and isinstance(doc, dict) and "jobs" in doc
-    is_block_parallel = (not is_chaos and isinstance(doc, dict)
-                         and "runs" in doc)
-    if is_chaos:
+    is_kernel_dispatch = (isinstance(doc, dict)
+                          and doc.get("bench") == "kernel_dispatch")
+    is_engine = (not is_chaos and not is_kernel_dispatch
+                 and isinstance(doc, dict) and "jobs" in doc)
+    is_block_parallel = (not is_chaos and not is_kernel_dispatch
+                         and isinstance(doc, dict) and "runs" in doc)
+    if is_kernel_dispatch:
+        check(doc, KERNEL_DISPATCH_SCHEMA, "$", errors)
+        kernel_dispatch_semantic_checks(doc, errors)
+    elif is_chaos:
         check(doc, CHAOS_SCHEMA, "$", errors)
         chaos_semantic_checks(doc, errors)
     elif is_engine:
@@ -417,7 +533,12 @@ def validate_file(name):
         for e in errors:
             print(f"  {e}")
         return False
-    if is_chaos:
+    if is_kernel_dispatch:
+        s = doc["summary"]
+        print(f"{name}: OK ({s['points']} envelope points, median speedup "
+              f"{s['median_speedup']:.2f}x, acceptance "
+              f"{doc['acceptance']['speedup']:.2f}x)")
+    elif is_chaos:
         r = doc["results"]
         print(f"{name}: OK ({doc['campaign']['jobs']} jobs: "
               f"{r['done']} done, {r['cancelled']} cancelled, "

@@ -15,7 +15,7 @@
 //       block-parallel / resilient) and verify vs the naive reference
 //   stencilctl blockpar [--nx N --ny N --nz N] [--radius R] [--parvec V]
 //                       [--partime T] [--bsize-x B --bsize-y B] [--iters I]
-//                       [--workers LIST] [--json FILE]
+//                       [--workers LIST] [--generic] [--json FILE]
 //       scale one overlapped-blocking job across host worker counts
 //       through the block-parallel backend; self-check: every run
 //       bit-exact vs the synchronous sweep, and (on hosts with enough
@@ -91,6 +91,7 @@ namespace {
 struct Args {
   std::map<std::string, std::string> kv;
   bool box = false;
+  bool generic = false;  // force the interpreter (no specialized kernels)
 
   [[nodiscard]] std::int64_t get(const std::string& key,
                                  std::int64_t fallback) const {
@@ -117,6 +118,10 @@ Args parse_args(int argc, char** argv, int start) {
     key = key.substr(2);
     if (key == "box") {
       a.box = true;
+      continue;
+    }
+    if (key == "generic") {
+      a.generic = true;
       continue;
     }
     if (i + 1 >= argc) throw ConfigError("missing value for --" + key);
@@ -777,6 +782,7 @@ int cmd_blockpar(const Args& a) {
   cfg.partime = static_cast<int>(a.get("partime", 4));
   cfg.bsize_x = a.get("bsize-x", 136);
   cfg.bsize_y = cfg.dims == 3 ? a.get("bsize-y", 136) : 1;
+  cfg.use_specialized_kernels = !a.generic;
   cfg.validate();
   const std::int64_t nx = a.get("nx", 512);
   const std::int64_t ny = a.get("ny", 512);
@@ -814,7 +820,10 @@ int cmd_blockpar(const Args& a) {
   for (std::size_t i = 0; i < worker_counts.size(); ++i) {
     std::cout << (i ? "," : "") << worker_counts[i];
   }
-  std::cout << "}\n";
+  std::cout << "}, "
+            << (cfg.use_specialized_kernels ? "specialized kernels"
+                                            : "interpreter (--generic)")
+            << "\n";
 
   struct Row {
     int workers = 0;
@@ -1384,6 +1393,7 @@ int usage() {
          "  simulate flags: --backend automatic|sync_sim|concurrent|\n"
          "                  block_parallel|resilient --workers W\n"
          "  blockpar flags: --workers LIST (e.g. 1,2,4,8)\n"
+         "                  --generic (force the interpreter path)\n"
          "                  --json BENCH_PR5.json\n"
          "  faults flags: --plan SPEC (else $FPGASTENCIL_FAULT_PLAN, else a\n"
          "                demo campaign) --boards B\n"
