@@ -10,10 +10,14 @@
 //     small job with caches cleared every iteration vs a warm session.
 //     The grid is deliberately tiny so session overhead is not drowned by
 //     simulation time.
+//   * Cluster submit vs bare engine: what the serving tier's front door
+//     (quota admission + fingerprint routing + terminal-hook wrapping)
+//     adds per job on top of a single engine.
 #include <benchmark/benchmark.h>
 
 #include <utility>
 
+#include "engine/engine_cluster.hpp"
 #include "engine/plan_cache.hpp"
 #include "engine/stencil_engine.hpp"
 #include "stencil/star_stencil.hpp"
@@ -97,6 +101,50 @@ void BM_EngineRunCachedPlan(benchmark::State& state) {
   state.counters["pool_reuses"] = double(engine.stats().pool_reuses);
 }
 BENCHMARK(BM_EngineRunCachedPlan);
+
+// The same warm small job through the cluster front door. The delta to
+// BM_EngineRunCachedPlan is the serving tier's per-job cost: tenant
+// lookup + quota bookkeeping (unlimited quota here, the common case),
+// route_key hashing, ring lookup, and the quota-release terminal hook.
+void BM_ClusterRunCachedPlan(benchmark::State& state) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 7).to_taps();
+  const AcceleratorConfig cfg = small2d();
+  EngineCluster cluster({.shards = 2, .engine = {.workers = 1}});
+  const Grid2D<float> input = small_grid();
+  (void)cluster.run(JobSpec(taps, cfg, input, 3));  // warm owning shard
+  for (auto _ : state) {
+    JobSpec spec(taps, cfg, input, 3);
+    spec.tenant = "bench";
+    JobResult r = cluster.run(std::move(spec));
+    benchmark::DoNotOptimize(r.grid2d().data());
+  }
+  const int owner =
+      cluster.route_shard(JobSpec(taps, cfg, small_grid(), 3));
+  state.counters["owner_hit_rate"] =
+      cluster.shard(owner).stats().cache_hit_rate();
+}
+BENCHMARK(BM_ClusterRunCachedPlan);
+
+// Quota-metered variant: a tight inflight cap plus a token bucket wide
+// enough never to reject, isolating pure admission bookkeeping cost.
+void BM_ClusterRunMeteredTenant(benchmark::State& state) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 7).to_taps();
+  const AcceleratorConfig cfg = small2d();
+  EngineCluster cluster(
+      {.shards = 2,
+       .engine = {.workers = 1},
+       .quotas = {{"metered",
+                   {.max_inflight = 4, .rate_per_s = 1e9, .burst = 1e9}}}});
+  const Grid2D<float> input = small_grid();
+  (void)cluster.run(JobSpec(taps, cfg, input, 3));
+  for (auto _ : state) {
+    JobSpec spec(taps, cfg, input, 3);
+    spec.tenant = "metered";
+    JobResult r = cluster.run(std::move(spec));
+    benchmark::DoNotOptimize(r.grid2d().data());
+  }
+}
+BENCHMARK(BM_ClusterRunMeteredTenant);
 
 }  // namespace
 }  // namespace fpga_stencil

@@ -1,0 +1,108 @@
+// WeightedClassQueue: the QoS scheduling half of the admission queue.
+//
+// Items arrive tagged with a service class (0 = most favored) and an
+// integer priority within that class. pop() serves classes by weighted
+// round-robin -- per refill round, class k may dequeue up to weight[k]
+// items -- so a flood of batch work cannot starve interactive jobs, yet
+// batch still drains at its guaranteed share (no absolute starvation,
+// unlike strict priority). Within one class, higher `priority` first,
+// FIFO among equals, which preserves the engine's submit-order
+// guarantee for same-class same-priority jobs.
+//
+// The container is intentionally NOT internally synchronized: it lives
+// inside StencilEngine behind the engine mutex, exactly like the plain
+// std::deque it replaces. for_each exists so drain/shutdown can sweep
+// cancellation over everything still parked.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace fpga_stencil {
+
+template <typename T>
+class WeightedClassQueue {
+ public:
+  /// One weight per class; weight[k] <= 0 is clamped to 1. Class count is
+  /// fixed at construction (out-of-range pushes clamp to the last class).
+  explicit WeightedClassQueue(std::vector<int> weights = {1})
+      : weights_(std::move(weights)) {
+    if (weights_.empty()) weights_.push_back(1);
+    for (int& w : weights_) {
+      if (w <= 0) w = 1;
+    }
+    classes_.resize(weights_.size());
+    credits_.assign(weights_.size(), 0);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t num_classes() const { return classes_.size(); }
+
+  void push(std::size_t cls, int priority, T item) {
+    if (cls >= classes_.size()) cls = classes_.size() - 1;
+    classes_[cls][priority].push_back(std::move(item));
+    ++size_;
+  }
+
+  /// Dequeues per the weighted round-robin policy. Precondition: !empty().
+  T pop() {
+    // Two sweeps at most: if every non-empty class exhausted its credit,
+    // refill and go again -- the refill makes progress by construction.
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      for (std::size_t k = 0; k < classes_.size(); ++k) {
+        if (classes_[k].empty() || credits_[k] <= 0) continue;
+        --credits_[k];
+        return pop_from_class(k);
+      }
+      for (std::size_t k = 0; k < classes_.size(); ++k) {
+        credits_[k] = weights_[k];
+      }
+    }
+    // Unreachable when !empty(): the post-refill sweep always finds work.
+    return pop_from_class(first_non_empty());
+  }
+
+  /// Visits every queued item (scheduling order within class, classes in
+  /// index order). The sweep drain/shutdown uses to cancel stragglers.
+  void for_each(const std::function<void(T&)>& fn) {
+    for (auto& cls : classes_) {
+      for (auto& [prio, dq] : cls) {
+        for (T& item : dq) fn(item);
+      }
+    }
+  }
+
+  void clear() {
+    for (auto& cls : classes_) cls.clear();
+    size_ = 0;
+  }
+
+ private:
+  T pop_from_class(std::size_t k) {
+    auto it = classes_[k].begin();  // highest priority (descending map)
+    T item = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) classes_[k].erase(it);
+    --size_;
+    return item;
+  }
+
+  [[nodiscard]] std::size_t first_non_empty() const {
+    for (std::size_t k = 0; k < classes_.size(); ++k) {
+      if (!classes_[k].empty()) return k;
+    }
+    return 0;
+  }
+
+  std::vector<int> weights_;
+  std::vector<int> credits_;
+  /// Per class: priority -> FIFO of items, highest priority first.
+  std::vector<std::map<int, std::deque<T>, std::greater<int>>> classes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fpga_stencil

@@ -1,0 +1,98 @@
+// Token bucket: the rate-limit half of per-tenant quotas.
+//
+// A bucket holds at most `burst` tokens and refills continuously at
+// `rate_per_s`. Each admitted job costs one token; when the bucket is
+// empty the caller is over its sustained rate and the bucket reports how
+// long until the next token matures -- the retry-after hint the serving
+// tier hands back to rejected tenants (docs/SERVING.md).
+//
+// Time is passed in explicitly (steady_clock time points) so tests drive
+// the refill deterministically without sleeping; the zero-argument
+// overloads read the clock for production callers. A rate of 0 means
+// unlimited: every acquire succeeds and never consumes anything, so an
+// unconfigured tenant costs one branch.
+//
+// Thread-safe; one mutex per bucket (a bucket guards one tenant's rate,
+// not a hot per-cell path).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace fpga_stencil {
+
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `rate_per_s` tokens mature per second up to `burst` held at once.
+  /// burst <= 0 defaults to max(rate_per_s, 1). rate_per_s <= 0 means
+  /// unlimited. A fresh bucket starts full (a quiet tenant may burst).
+  explicit TokenBucket(double rate_per_s = 0.0, double burst = 0.0)
+      : rate_(rate_per_s),
+        burst_(burst > 0.0 ? burst : std::max(rate_per_s, 1.0)),
+        tokens_(burst_),
+        last_(Clock::now()) {}
+
+  TokenBucket(const TokenBucket&) = delete;
+  TokenBucket& operator=(const TokenBucket&) = delete;
+
+  /// Takes `n` tokens if available at `now`; false leaves the bucket
+  /// untouched (no partial debit, no debt).
+  [[nodiscard]] bool try_acquire_at(Clock::time_point now, double n = 1.0) {
+    if (rate_ <= 0.0) return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    refill(now);
+    if (tokens_ + 1e-9 < n) return false;
+    tokens_ -= n;
+    return true;
+  }
+
+  [[nodiscard]] bool try_acquire(double n = 1.0) {
+    return try_acquire_at(Clock::now(), n);
+  }
+
+  /// How long past `now` until `n` tokens will have matured; zero when
+  /// they already have. This is the retry-after hint: the earliest
+  /// moment a retry *can* succeed (competing tenants permitting).
+  [[nodiscard]] std::chrono::nanoseconds time_until_at(Clock::time_point now,
+                                                       double n = 1.0) const {
+    if (rate_ <= 0.0) return std::chrono::nanoseconds(0);
+    std::lock_guard<std::mutex> lock(mu_);
+    const double have =
+        std::min(burst_, tokens_ + elapsed_seconds(last_, now) * rate_);
+    if (have + 1e-9 >= n) return std::chrono::nanoseconds(0);
+    const double secs = (n - have) / rate_;
+    return std::chrono::nanoseconds(
+        std::chrono::nanoseconds::rep(secs * 1e9) + 1);
+  }
+
+  [[nodiscard]] std::chrono::nanoseconds time_until(double n = 1.0) const {
+    return time_until_at(Clock::now(), n);
+  }
+
+  [[nodiscard]] double rate_per_s() const { return rate_; }
+  [[nodiscard]] double burst() const { return burst_; }
+  /// false = a zero-rate bucket that admits everything.
+  [[nodiscard]] bool limited() const { return rate_ > 0.0; }
+
+ private:
+  static double elapsed_seconds(Clock::time_point from, Clock::time_point to) {
+    if (to <= from) return 0.0;  // callers may pass out-of-order clocks
+    return std::chrono::duration<double>(to - from).count();
+  }
+
+  void refill(Clock::time_point now) {
+    tokens_ = std::min(burst_, tokens_ + elapsed_seconds(last_, now) * rate_);
+    if (now > last_) last_ = now;
+  }
+
+  const double rate_;
+  const double burst_;
+  mutable std::mutex mu_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+}  // namespace fpga_stencil

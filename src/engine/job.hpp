@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -18,6 +19,7 @@
 #include <variant>
 
 #include "cluster/multi_fpga.hpp"
+#include "common/expect.hpp"
 #include "core/run_options.hpp"
 #include "core/stencil_accelerator.hpp"
 #include "fault/resilient_runner.hpp"
@@ -38,6 +40,49 @@ using Backend = ExecutionBackend;
 /// Either grid dimensionality, by value. The engine works on whichever
 /// alternative the spec carries; cfg.dims must agree (validated at submit).
 using GridVariant = std::variant<Grid2D<float>, Grid3D<float>>;
+
+/// QoS service classes for the weighted admission queue (docs/SERVING.md).
+/// Lower value = more favored; the queue serves classes by weighted
+/// round-robin so batch floods cannot starve interactive work while
+/// batch still drains at its guaranteed share.
+enum class QosClass : int {
+  interactive = 0,  ///< latency-sensitive, highest scheduling weight
+  standard = 1,     ///< the default
+  batch = 2,        ///< throughput work, lowest weight (never starved)
+};
+
+inline constexpr int kQosClassCount = 3;
+
+[[nodiscard]] constexpr const char* qos_class_name(QosClass c) {
+  switch (c) {
+    case QosClass::interactive: return "interactive";
+    case QosClass::standard: return "standard";
+    case QosClass::batch: return "batch";
+  }
+  return "?";
+}
+
+/// One contiguous band of a finished grid, streamed to JobSpec::sink:
+/// whole rows for 2D (start/count index y), whole z-planes for 3D
+/// (start/count index z) -- both are contiguous in the row-major layouts.
+/// `data` points into the result grid and is valid only during the
+/// callback; copy out anything you keep.
+struct ResultChunk {
+  int dims = 2;
+  std::int64_t nx = 0, ny = 0, nz = 1;
+  std::int64_t index = 0;  ///< chunk ordinal, 0-based
+  std::int64_t start = 0;  ///< first row (2D) / plane (3D) of the band
+  std::int64_t count = 0;  ///< rows / planes in the band
+  const float* data = nullptr;
+  std::size_t values = 0;  ///< floats at `data` (count * row/plane stride)
+  bool last = false;       ///< no further chunks follow
+};
+
+/// Receives result bands in order on the worker thread, after the job's
+/// computation finished and before the handle turns terminal.
+using ChunkSink = std::function<void(const ResultChunk&)>;
+
+enum class JobStatus;  // defined below (terminal-state vocabulary)
 
 /// One unit of work. Construct with the required fields, then adjust the
 /// public knobs before submitting. The grid moves into the spec and the
@@ -90,10 +135,56 @@ struct JobSpec {
   /// Free-form tag echoed in the result (demo campaigns, debugging).
   std::string label;
 
+  // ---- Serving-tier identity and delivery (docs/SERVING.md). These are
+  // plain JobSpec fields so the single submit() path carries everything:
+  // EngineCluster enforces tenant quotas from them, a bare StencilEngine
+  // uses qos/priority for scheduling and ignores tenancy.
+
+  /// Billing / quota identity. EngineCluster applies this tenant's
+  /// inflight and rate caps at admission; empty means "default".
+  std::string tenant = "default";
+  /// Service class for the weighted admission queue.
+  QosClass qos = QosClass::standard;
+  /// Tie-breaker within the class: higher runs first, FIFO among equals.
+  int priority = 0;
+  /// Chunked result delivery for huge grids: when set, the finished grid
+  /// is streamed through this sink in contiguous bands (ResultChunk)
+  /// before the handle turns terminal.
+  ChunkSink sink;
+  /// With a sink: drop the result grid after delivery (the JobResult
+  /// carries a 1x1 placeholder). The server never holds client-sized
+  /// output longer than the stream takes.
+  bool sink_only = false;
+  /// Target floats per chunk; bands round up to whole rows/planes.
+  std::int64_t chunk_values = 1 << 16;
+  /// Invoked exactly once on the worker thread when the job reaches a
+  /// terminal state -- after the state is recorded, before handle waiters
+  /// are notified. EngineCluster chains its quota release through this;
+  /// user callbacks must not block or throw.
+  std::function<void(JobStatus)> on_terminal;
+
   [[nodiscard]] bool is_3d() const {
     return std::holds_alternative<Grid3D<float>>(grid);
   }
 };
+
+/// The one validated admission path: every submit surface --
+/// StencilEngine::submit and EngineCluster::submit -- funnels specs
+/// through here, so a spec that clears one front door clears them all.
+/// Cheap shape checks only (throwing ConfigError at the call site); full
+/// plan validation still happens in the worker and surfaces through the
+/// handle.
+inline void validate_job_spec(const JobSpec& spec) {
+  FPGASTENCIL_EXPECT(spec.iterations >= 0, "iterations must be non-negative");
+  FPGASTENCIL_EXPECT(spec.boards >= 1, "boards must be >= 1");
+  FPGASTENCIL_EXPECT(spec.config.dims == (spec.is_3d() ? 3 : 2),
+                     "grid dimensionality does not match the configuration");
+  FPGASTENCIL_EXPECT(int(spec.qos) >= 0 && int(spec.qos) < kQosClassCount,
+                     "qos class out of range");
+  FPGASTENCIL_EXPECT(spec.chunk_values > 0, "chunk_values must be positive");
+  FPGASTENCIL_EXPECT(!spec.sink_only || spec.sink,
+                     "sink_only requires a chunk sink");
+}
 
 /// What a finished job hands back.
 struct JobResult {
@@ -109,6 +200,14 @@ struct JobResult {
   std::int64_t queue_ns = 0;  ///< admission to dispatch
   std::int64_t run_ns = 0;    ///< dispatch to completion
   std::string label;
+  std::string tenant;  ///< echoed from the spec
+  QosClass qos = QosClass::standard;
+  /// Engine-wide dispatch order (0-based): the position at which a
+  /// worker picked this job off the admission queue. Scheduling tests
+  /// pin priority/QoS ordering on it.
+  std::int64_t dispatch_seq = -1;
+  /// Chunks streamed through JobSpec::sink (0 when no sink was set).
+  std::int64_t chunks_delivered = 0;
 
   JobResult() : grid(Grid2D<float>(1, 1)) {}
 
@@ -190,6 +289,8 @@ struct JobState {
   /// Created at submit (deadline-armed when spec.deadline > 0); shared
   /// with the executing backend, tripped by JobHandle::cancel().
   CancellationToken token;
+  /// Engine-wide dispatch order, stamped when a worker dequeues the job.
+  std::int64_t dispatch_seq = -1;
 };
 
 }  // namespace detail

@@ -1,0 +1,70 @@
+#include "engine/shard_router.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix. Vnode positions and
+/// key lookups go through the same mixer so neither clusters on the ring.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(int shards, int vnodes_per_shard) : shards_(shards) {
+  FPGASTENCIL_EXPECT(shards >= 1, "router needs at least one shard");
+  FPGASTENCIL_EXPECT(vnodes_per_shard >= 1, "vnodes_per_shard must be >= 1");
+  ring_.reserve(std::size_t(shards) * std::size_t(vnodes_per_shard));
+  for (int s = 0; s < shards; ++s) {
+    for (int v = 0; v < vnodes_per_shard; ++v) {
+      // Two rounds decorrelate (shard, vnode) lattices from one another.
+      const std::uint64_t h =
+          mix64(mix64(std::uint64_t(s) << 32 | std::uint64_t(v)));
+      ring_.push_back({h, s});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash < b.hash || (a.hash == b.hash && a.shard < b.shard);
+  });
+  available_.assign(std::size_t(shards), true);
+}
+
+int ShardRouter::route(std::uint64_t key) const {
+  const std::uint64_t h = mix64(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    if (it == ring_.end()) it = ring_.begin();  // wrap the ring
+    if (available_[std::size_t(it->shard)]) return it->shard;
+    ++it;
+  }
+  throw NoShardAvailableError("no shard available to route to");
+}
+
+void ShardRouter::set_available(int shard, bool available) {
+  FPGASTENCIL_EXPECT(shard >= 0 && shard < shards_, "shard out of range");
+  std::lock_guard<std::mutex> lock(mu_);
+  available_[std::size_t(shard)] = available;
+}
+
+bool ShardRouter::available(int shard) const {
+  FPGASTENCIL_EXPECT(shard >= 0 && shard < shards_, "shard out of range");
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_[std::size_t(shard)];
+}
+
+int ShardRouter::available_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return int(std::count(available_.begin(), available_.end(), true));
+}
+
+}  // namespace fpga_stencil

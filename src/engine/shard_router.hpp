@@ -1,0 +1,71 @@
+// Consistent-hash ring over engine shards, keyed by plan fingerprint.
+//
+// The serving tier wants two properties from its router (docs/SERVING.md):
+//
+//   1. *Affinity*: all jobs sharing a plan land on the same shard, so that
+//      shard's PlanCache holds the plan hot and its BufferPool retains
+//      right-sized scratch. Hashing the plan fingerprint gives this.
+//   2. *Minimal disruption*: draining one shard must remap only the keys
+//      that shard owned -- every other key keeps its shard (and its warm
+//      caches). A consistent-hash ring gives this; a simple `key % N`
+//      would reshuffle nearly everything.
+//
+// Each shard owns `vnodes_per_shard` pseudo-random points on a 64-bit
+// ring; a key routes to the first point clockwise from its hash whose
+// shard is available. The ring itself is immutable after construction --
+// drain/reload only toggles availability -- so lookups are a binary
+// search plus a short clockwise walk.
+//
+// Thread-safe: availability flips under a mutex that lookups also take
+// (routing is a few hundred ns against jobs that run for microseconds+).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace fpga_stencil {
+
+/// Thrown by route() when every shard is unavailable (cluster drained).
+class NoShardAvailableError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ShardRouter {
+ public:
+  /// `shards` >= 1 ring members, all initially available. More vnodes
+  /// smooth the key distribution at the cost of a larger ring.
+  explicit ShardRouter(int shards, int vnodes_per_shard = 64);
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// The shard owning `key`: first available ring point clockwise from
+  /// hash(key). Deterministic for a fixed availability set. Throws
+  /// NoShardAvailableError when no shard is available.
+  [[nodiscard]] int route(std::uint64_t key) const;
+
+  /// Marks a shard (un)available; unavailable shards are skipped by the
+  /// clockwise walk, which is exactly the "remap only the drained
+  /// shard's keys" property.
+  void set_available(int shard, bool available);
+
+  [[nodiscard]] bool available(int shard) const;
+  [[nodiscard]] int available_count() const;
+  [[nodiscard]] int shards() const { return shards_; }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    int shard;
+  };
+
+  const int shards_;
+  std::vector<Point> ring_;  ///< sorted by hash, immutable after build
+  mutable std::mutex mu_;
+  std::vector<bool> available_;
+};
+
+}  // namespace fpga_stencil

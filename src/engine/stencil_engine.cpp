@@ -30,12 +30,15 @@ std::vector<std::int64_t> cancel_latency_bounds_ns() {
 }  // namespace
 
 StencilEngine::StencilEngine(EngineOptions options)
-    : options_(options),
-      telemetry_(options.telemetry ? options.telemetry : &own_telemetry_),
-      plans_(options.plan_cache_capacity),
-      pool_(options.pool_max_retained),
-      breaker_(options.breaker_threshold, options.breaker_cooldown),
-      paused_(options.start_paused) {
+    : options_(std::move(options)),
+      telemetry_(options_.telemetry ? options_.telemetry : &own_telemetry_),
+      plans_(options_.plan_cache_capacity),
+      pool_(options_.pool_max_retained),
+      breaker_(options_.breaker_threshold, options_.breaker_cooldown),
+      queue_(std::vector<int>(options_.class_weights.begin(),
+                              options_.class_weights.end())),
+      paused_(options_.start_paused) {
+  if (options_.metrics_prefix.empty()) options_.metrics_prefix = "engine";
   const int workers = std::max(1, options_.workers);
   workers_.reserve(std::size_t(workers));
   for (int i = 0; i < workers; ++i) {
@@ -59,26 +62,30 @@ StencilEngine::~StencilEngine() {
   }
 }
 
-JobHandle StencilEngine::submit(JobSpec spec) {
+std::string StencilEngine::m(const char* suffix) const {
+  return options_.metrics_prefix + "." + suffix;
+}
+
+std::shared_ptr<detail::JobState> StencilEngine::make_job_state(JobSpec spec) {
   // Cheap shape checks fail fast at the call site; full plan validation
   // happens in the worker and surfaces through the handle.
-  FPGASTENCIL_EXPECT(spec.iterations >= 0, "iterations must be non-negative");
-  FPGASTENCIL_EXPECT(spec.boards >= 1, "boards must be >= 1");
-  FPGASTENCIL_EXPECT(spec.config.dims == (spec.is_3d() ? 3 : 2),
-                     "grid dimensionality does not match the configuration");
-
+  validate_job_spec(spec);
   auto state = std::make_shared<detail::JobState>(std::move(spec));
   // The token is born at submit so a per-job deadline covers queue time:
   // a job that never leaves the queue in time still expires.
   state->token = state->spec.deadline.count() > 0
                      ? CancellationToken::with_timeout(state->spec.deadline)
                      : CancellationToken::make();
+  return state;
+}
+
+JobHandle StencilEngine::admit(std::shared_ptr<detail::JobState> state) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (options_.admission == EngineOptions::Admission::reject) {
       if (queue_.size() >= options_.queue_capacity &&
           state_ == EngineState::running) {
-        telemetry_->metrics().counter("engine.jobs_rejected").add(1);
+        telemetry_->metrics().counter(m("jobs_rejected")).add(1);
         throw EngineOverloadedError(
             "engine admission queue is full (" +
             std::to_string(options_.queue_capacity) + " jobs)");
@@ -90,21 +97,25 @@ JobHandle StencilEngine::submit(JobSpec spec) {
       });
     }
     if (state_ != EngineState::running) {
-      telemetry_->metrics().counter("engine.jobs_rejected").add(1);
+      telemetry_->metrics().counter(m("jobs_rejected")).add(1);
       throw EngineStoppedError(std::string("engine is ") +
                                engine_state_name(state_) +
                                "; submissions are closed");
     }
     state->enqueue_time = std::chrono::steady_clock::now();
-    queue_.push_back(state);
+    queue_.push(std::size_t(state->spec.qos), state->spec.priority, state);
     queue_high_water_ =
         std::max(queue_high_water_, std::int64_t(queue_.size()));
-    telemetry_->metrics().counter("engine.jobs_submitted").add(1);
-    telemetry_->metrics().gauge("engine.queue_depth")
+    telemetry_->metrics().counter(m("jobs_submitted")).add(1);
+    telemetry_->metrics().gauge(m("queue_depth"))
         .set(std::int64_t(queue_.size()));
   }
   dispatch_cv_.notify_one();
   return JobHandle(std::move(state));
+}
+
+JobHandle StencilEngine::submit(JobSpec spec) {
+  return admit(make_job_state(std::move(spec)));
 }
 
 std::vector<JobHandle> StencilEngine::submit_batch(
@@ -168,7 +179,9 @@ bool StencilEngine::shutdown(std::chrono::milliseconds deadline) {
       // Patience exhausted: cancel everything still in flight. Queued
       // jobs finalize as cancelled at dispatch; running jobs unwind
       // cooperatively at block granularity.
-      for (const auto& job : queue_) job->token.request_cancel();
+      queue_.for_each([](std::shared_ptr<detail::JobState>& job) {
+        job->token.request_cancel();
+      });
       for (const auto& job : running_) job->token.request_cancel();
     }
   }
@@ -193,14 +206,14 @@ void StencilEngine::clear_caches() {
 EngineStats StencilEngine::stats() const {
   EngineStats s;
   const MetricsSnapshot snap = telemetry_->metrics().snapshot();
-  s.jobs_submitted = snap.value_or("engine.jobs_submitted", 0);
-  s.jobs_completed = snap.value_or("engine.jobs_completed", 0);
-  s.jobs_failed = snap.value_or("engine.jobs_failed", 0);
-  s.jobs_rejected = snap.value_or("engine.jobs_rejected", 0);
+  s.jobs_submitted = snap.value_or(m("jobs_submitted"), 0);
+  s.jobs_completed = snap.value_or(m("jobs_completed"), 0);
+  s.jobs_failed = snap.value_or(m("jobs_failed"), 0);
+  s.jobs_rejected = snap.value_or(m("jobs_rejected"), 0);
   s.plan_cache_hits = plans_.hits();
   s.plan_cache_misses = plans_.misses();
-  s.jobs_cancelled = snap.value_or("engine.jobs_cancelled", 0);
-  s.deadline_exceeded = snap.value_or("engine.deadline_exceeded", 0);
+  s.jobs_cancelled = snap.value_or(m("jobs_cancelled"), 0);
+  s.deadline_exceeded = snap.value_or(m("deadline_exceeded"), 0);
   s.breaker_trips = breaker_.trips();
   s.breaker_reroutes = breaker_.reroutes();
   s.pool_acquires = pool_.acquires();
@@ -224,11 +237,11 @@ void StencilEngine::worker_loop(int worker_id) {
         if (stopping_) return;
         continue;  // woken by pause()/resume() races; re-wait
       }
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      job = queue_.pop();
+      job->dispatch_seq = dispatch_seq_++;
       ++active_;
       running_.push_back(job);
-      telemetry_->metrics().gauge("engine.queue_depth")
+      telemetry_->metrics().gauge(m("queue_depth"))
           .set(std::int64_t(queue_.size()));
     }
     space_cv_.notify_one();
@@ -262,8 +275,8 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
           std::chrono::steady_clock::now() - job.enqueue_time)
           .count();
   const auto span = telemetry_->tracer().span(
-      "engine.job" + (spec.label.empty() ? "" : ":" + spec.label), worker_id,
-      "engine");
+      m("job") + (spec.label.empty() ? "" : ":" + spec.label), worker_id,
+      options_.metrics_prefix);
   const Stopwatch run_clock;
   Backend backend_used = Backend::automatic;  // set once routing resolves
   try {
@@ -278,7 +291,7 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
     const std::shared_ptr<const CachedPlan> plan =
         plans_.lookup_or_build(spec.taps, spec.config, nx, ny, nz, &hit);
     telemetry_->metrics()
-        .counter(hit ? "engine.plan_cache_hit" : "engine.plan_cache_miss")
+        .counter(hit ? m("plan_cache_hit") : m("plan_cache_miss"))
         .add(1);
 
     // Routing. An automatic job with an injector goes to the resilient
@@ -309,9 +322,9 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
     backend = routed.backend;
     backend_used = backend;
     if (routed.rerouted) {
-      telemetry_->metrics().counter("engine.breaker_rerouted").add(1);
-      telemetry_->tracer().instant("engine.breaker_reroute", worker_id,
-                                   "engine");
+      telemetry_->metrics().counter(m("breaker_rerouted")).add(1);
+      telemetry_->tracer().instant(m("breaker_reroute"), worker_id,
+                                   options_.metrics_prefix);
     }
 
     // The cached config is hook-free; restore this job's telemetry hook.
@@ -324,6 +337,9 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
     result.plan_cache_hit = hit;
     result.kernel_fingerprint = plan->kernel_fingerprint;
     result.label = spec.label;
+    result.tenant = spec.tenant;
+    result.qos = spec.qos;
+    result.dispatch_seq = job.dispatch_seq;
     result.queue_ns = queue_ns;
 
     const std::int64_t cells = grid_cells(spec.grid);
@@ -398,10 +414,11 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
         spec.grid);
 
     result.grid = std::move(spec.grid);
+    if (spec.sink) deliver_chunks(spec, result);
     result.run_ns = run_clock.nanoseconds();
-    record_job_metrics(*telemetry_, "engine", queue_ns, result.run_ns,
-                       result.stats.cells_written);
-    telemetry_->metrics().counter("engine.jobs_completed").add(1);
+    record_job_metrics(*telemetry_, options_.metrics_prefix, queue_ns,
+                       result.run_ns, result.stats.cells_written);
+    telemetry_->metrics().counter(m("jobs_completed")).add(1);
     breaker_.on_success(backend_used);
     export_breaker_gauges();
     finish(job, std::move(result));
@@ -412,15 +429,61 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
   } catch (const ConfigError&) {
     // A bad spec is the caller's fault, not the backend's: fail the job
     // without charging the breaker.
-    telemetry_->metrics().counter("engine.jobs_failed").add(1);
-    telemetry_->tracer().instant("engine.job_failed", worker_id, "engine");
+    telemetry_->metrics().counter(m("jobs_failed")).add(1);
+    telemetry_->tracer().instant(m("job_failed"), worker_id,
+                                 options_.metrics_prefix);
     fail(job, std::current_exception());
   } catch (...) {
-    telemetry_->metrics().counter("engine.jobs_failed").add(1);
-    telemetry_->tracer().instant("engine.job_failed", worker_id, "engine");
+    telemetry_->metrics().counter(m("jobs_failed")).add(1);
+    telemetry_->tracer().instant(m("job_failed"), worker_id,
+                                 options_.metrics_prefix);
     if (backend_used != Backend::automatic) breaker_.on_failure(backend_used);
     export_breaker_gauges();
     fail(job, std::current_exception());
+  }
+}
+
+void StencilEngine::deliver_chunks(const JobSpec& spec, JobResult& result) {
+  // Bands are whole rows (2D) or whole z-planes (3D): contiguous in the
+  // row-major layouts, so each chunk is one pointer + length into the
+  // result grid -- no staging copies on the server side.
+  ResultChunk chunk;
+  std::int64_t stride = 0, total = 0;
+  const float* base = nullptr;
+  if (result.grid.index() == 0) {
+    const Grid2D<float>& g = std::get<Grid2D<float>>(result.grid);
+    chunk.dims = 2;
+    chunk.nx = g.nx();
+    chunk.ny = g.ny();
+    stride = g.nx();
+    total = g.ny();
+    base = g.data();
+  } else {
+    const Grid3D<float>& g = std::get<Grid3D<float>>(result.grid);
+    chunk.dims = 3;
+    chunk.nx = g.nx();
+    chunk.ny = g.ny();
+    chunk.nz = g.nz();
+    stride = g.nx() * g.ny();
+    total = g.nz();
+    base = g.data();
+  }
+  const std::int64_t per_chunk =
+      std::max<std::int64_t>(1, spec.chunk_values / std::max<std::int64_t>(
+                                                        stride, 1));
+  for (std::int64_t start = 0; start < total; start += per_chunk) {
+    chunk.start = start;
+    chunk.count = std::min(per_chunk, total - start);
+    chunk.data = base + start * stride;
+    chunk.values = std::size_t(chunk.count * stride);
+    chunk.last = start + chunk.count >= total;
+    spec.sink(chunk);
+    ++chunk.index;
+  }
+  result.chunks_delivered = chunk.index;
+  if (spec.sink_only) {
+    // The stream was the delivery; free the server-side copy now.
+    result.grid = Grid2D<float>(1, 1);
   }
 }
 
@@ -433,10 +496,10 @@ void StencilEngine::finish_cancelled(detail::JobState& job, bool deadline) {
           std::chrono::steady_clock::now() - job.token.cancelled_at())
           .count();
   telemetry_->metrics()
-      .histogram("engine.cancel_latency_ns", cancel_latency_bounds_ns())
+      .histogram(m("cancel_latency_ns"), cancel_latency_bounds_ns())
       .observe(std::max<std::int64_t>(latency_ns, 0));
   telemetry_->metrics()
-      .counter(deadline ? "engine.deadline_exceeded" : "engine.jobs_cancelled")
+      .counter(deadline ? m("deadline_exceeded") : m("jobs_cancelled"))
       .add(1);
   std::exception_ptr error =
       deadline ? std::make_exception_ptr(
@@ -448,6 +511,7 @@ void StencilEngine::finish_cancelled(detail::JobState& job, bool deadline) {
     job.status =
         deadline ? JobStatus::deadline_exceeded : JobStatus::cancelled;
   }
+  notify_terminal(job);
   job.cv.notify_all();
 }
 
@@ -455,9 +519,22 @@ void StencilEngine::export_breaker_gauges() {
   // 0 = closed, 1 = open, 2 = half_open (docs/OBSERVABILITY.md).
   for (const Backend b : CircuitBreaker::breakable_backends()) {
     telemetry_->metrics()
-        .gauge(std::string("engine.breaker_state.") + backend_name(b))
+        .gauge(m("breaker_state.") + backend_name(b))
         .set(std::int64_t(breaker_.state(b)));
   }
+}
+
+void StencilEngine::notify_terminal(detail::JobState& job) {
+  // Runs after the terminal state is recorded and before waiters are
+  // released (spurious wakeups aside), so "wait() returned" implies the
+  // hook already ran -- EngineCluster's quota release depends on that.
+  if (!job.spec.on_terminal) return;
+  JobStatus status;
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    status = job.status;
+  }
+  job.spec.on_terminal(status);
 }
 
 void StencilEngine::finish(detail::JobState& job, JobResult result) {
@@ -466,6 +543,7 @@ void StencilEngine::finish(detail::JobState& job, JobResult result) {
     job.result = std::move(result);
     job.status = JobStatus::done;
   }
+  notify_terminal(job);
   job.cv.notify_all();
 }
 
@@ -475,6 +553,7 @@ void StencilEngine::fail(detail::JobState& job, std::exception_ptr error) {
     job.error = std::move(error);
     job.status = JobStatus::failed;
   }
+  notify_terminal(job);
   job.cv.notify_all();
 }
 

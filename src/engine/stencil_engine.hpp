@@ -17,11 +17,13 @@
 // job to the synchronous simulator, the concurrent dataflow pipeline,
 // the resilient runner, or the multi-FPGA cluster behind one seam.
 //
-// Observability: the engine tallies engine.jobs_{submitted,completed,
-// failed,rejected}, engine.plan_cache_{hit,miss}, an engine.queue_depth
+// Observability: the engine tallies <prefix>.jobs_{submitted,completed,
+// failed,rejected}, <prefix>.plan_cache_{hit,miss}, a <prefix>.queue_depth
 // gauge (plus high-water), and per-job latency histograms -- into the
 // attached Telemetry when EngineOptions::telemetry is set, else into an
-// engine-local registry that stats() snapshots either way. Per-job fault
+// engine-local registry that stats() snapshots either way. The prefix
+// defaults to "engine"; engines sharing one registry (EngineCluster
+// shards) each get their own so counters never collide. Per-job fault
 // injectors pass straight through to the executors, preserving the
 // fault-injection semantics of the underlying runtimes.
 //
@@ -30,15 +32,17 @@
 // pool keep serving subsequent jobs.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/buffer_pool.hpp"
+#include "common/class_queue.hpp"
 #include "engine/circuit_breaker.hpp"
 #include "engine/job.hpp"
 #include "engine/plan_cache.hpp"
@@ -74,6 +78,14 @@ struct EngineOptions {
   int breaker_threshold = 3;
   /// Open -> half-open cooldown before a probe job is admitted.
   std::chrono::milliseconds breaker_cooldown{250};
+  /// Prefix for every metric/span this engine records ("<prefix>.jobs_
+  /// submitted", ...). Give each engine sharing one MetricsRegistry a
+  /// distinct prefix or their counters collide -- EngineCluster sets
+  /// "engine.shard<k>" per shard; a standalone engine keeps "engine".
+  std::string metrics_prefix = "engine";
+  /// Weighted round-robin shares of the admission queue per QosClass
+  /// (interactive, standard, batch). See common/class_queue.hpp.
+  std::array<int, kQosClassCount> class_weights{8, 4, 1};
 };
 
 /// Engine lifecycle (docs/LIFECYCLE.md). `paused` is orthogonal: a paused
@@ -129,13 +141,17 @@ class StencilEngine {
   StencilEngine(const StencilEngine&) = delete;
   StencilEngine& operator=(const StencilEngine&) = delete;
 
-  /// Queues one job. Cheap spec errors (dims/grid mismatch, negative
-  /// iterations) throw ConfigError here; plan validation errors surface
-  /// through the handle. A full queue blocks or throws
+  /// Queues one job through the shared validated path (validate_job_spec;
+  /// cheap spec errors throw ConfigError here, plan validation errors
+  /// surface through the handle). The job is scheduled by its QosClass
+  /// weight and priority. A full queue blocks or throws
   /// EngineOverloadedError per EngineOptions::admission.
   JobHandle submit(JobSpec spec);
 
   /// submit() for each spec, in order; same admission semantics per job.
+  [[deprecated(
+      "call submit() per spec (or EngineCluster::submit for the serving "
+      "tier); submit_batch will be removed next release")]]
   std::vector<JobHandle> submit_batch(std::vector<JobSpec> specs);
 
   /// Synchronous convenience: submit + wait. Rethrows the job's error.
@@ -180,6 +196,16 @@ class StencilEngine {
   [[nodiscard]] const EngineOptions& options() const { return options_; }
 
  private:
+  friend class EngineCluster;
+
+  /// The admission seam shared with EngineCluster: the spec is already
+  /// materialized (token armed) so a shard that turned out to be stopped
+  /// throws EngineStoppedError *without consuming the state* and the
+  /// cluster re-routes the same job to another shard -- drain loses
+  /// nothing. submit() is make_job_state + admit.
+  static std::shared_ptr<detail::JobState> make_job_state(JobSpec spec);
+  JobHandle admit(std::shared_ptr<detail::JobState> state);
+
   void worker_loop(int worker_id);
   void execute(detail::JobState& job, int worker_id);
   void finish(detail::JobState& job, JobResult result);
@@ -187,8 +213,15 @@ class StencilEngine {
   /// Finalizes a cancelled / deadline-exceeded job: stores the error,
   /// bumps the counters, observes cancel latency (trip -> terminal).
   void finish_cancelled(detail::JobState& job, bool deadline);
+  /// Runs the spec's on_terminal hook (exactly once per job, after the
+  /// terminal state is recorded).
+  void notify_terminal(detail::JobState& job);
+  /// Streams the finished grid through spec.sink in contiguous bands.
+  static void deliver_chunks(const JobSpec& spec, JobResult& result);
   void begin_drain();
   void export_breaker_gauges();
+  /// "<metrics_prefix>.<suffix>".
+  [[nodiscard]] std::string m(const char* suffix) const;
 
   EngineOptions options_;
   Telemetry own_telemetry_;
@@ -202,7 +235,9 @@ class StencilEngine {
   std::condition_variable dispatch_cv_;  ///< workers: work available / stop
   std::condition_variable space_cv_;     ///< submitters: queue has room
   std::condition_variable idle_cv_;      ///< wait_idle: drained
-  std::deque<std::shared_ptr<detail::JobState>> queue_;
+  /// QoS-aware admission queue: weighted round-robin across classes,
+  /// priority-then-FIFO within one (common/class_queue.hpp).
+  WeightedClassQueue<std::shared_ptr<detail::JobState>> queue_;
   /// Jobs currently executing; shutdown() cancels through these.
   std::vector<std::shared_ptr<detail::JobState>> running_;
   int active_ = 0;  ///< jobs currently executing (== running_.size())
@@ -210,6 +245,7 @@ class StencilEngine {
   EngineState state_ = EngineState::running;
   bool stopping_ = false;  ///< destructor: workers exit when queue empty
   std::int64_t queue_high_water_ = 0;
+  std::int64_t dispatch_seq_ = 0;  ///< next JobResult::dispatch_seq
 
   std::vector<std::thread> workers_;
 };

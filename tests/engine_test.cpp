@@ -3,6 +3,8 @@
 // backpressure, routing, and failure isolation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -286,16 +288,15 @@ TEST(Engine, RoutesClusterJobsAndStaysBitExact) {
   EXPECT_TRUE(compare_exact(r.grid2d(), want).identical());
 }
 
-TEST(Engine, SubmitBatchPreservesOrderAndCompletes) {
+TEST(Engine, PerSpecSubmitPreservesOrderAndCompletes) {
   const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
   StencilEngine engine({.workers = 2});
-  std::vector<JobSpec> specs;
+  std::vector<JobHandle> handles;
   for (int i = 0; i < 8; ++i) {
     JobSpec s(taps, cfg2d(), grid2d(), 2);
     s.label = "batch-" + std::to_string(i);
-    specs.push_back(std::move(s));
+    handles.push_back(engine.submit(std::move(s)));
   }
-  std::vector<JobHandle> handles = engine.submit_batch(std::move(specs));
   ASSERT_EQ(handles.size(), 8u);
   for (int i = 0; i < 8; ++i) {
     EXPECT_EQ(handles[std::size_t(i)].wait().label,
@@ -303,6 +304,26 @@ TEST(Engine, SubmitBatchPreservesOrderAndCompletes) {
   }
   engine.wait_idle();
   EXPECT_EQ(engine.stats().jobs_completed, 8);
+}
+
+TEST(Engine, DeprecatedSubmitBatchShimStillWorks) {
+  // The one-release [[deprecated]] shim keeps old callers compiling;
+  // this is its only remaining in-tree use.
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 1});
+  std::vector<JobSpec> specs;
+  specs.push_back(JobSpec(taps, cfg2d(), grid2d(), 2));
+  specs.push_back(JobSpec(taps, cfg2d(), grid2d(), 2));
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  std::vector<JobHandle> handles = engine.submit_batch(std::move(specs));
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  ASSERT_EQ(handles.size(), 2u);
+  for (JobHandle& h : handles) EXPECT_NO_THROW((void)h.wait());
 }
 
 TEST(Engine, SubmitRejectsMismatchedDimsEagerly) {
@@ -528,6 +549,154 @@ TEST(EngineBreaker, ConfigErrorsDoNotCharge) {
   EXPECT_EQ(engine.breaker_state(Backend::block_parallel),
             BreakerState::closed);
   EXPECT_EQ(engine.stats().breaker_trips, 0);
+}
+
+// -------------------------------------------------------------------------
+// Serving-tier JobSpec surface (PR 8): QoS scheduling, metric prefixes,
+// chunked delivery, terminal hooks.
+
+TEST(EngineQos, InteractiveDispatchesBeforeBatchBacklog) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 1, .queue_capacity = 64,
+                        .start_paused = true});
+  std::vector<JobHandle> batch, interactive;
+  for (int i = 0; i < 6; ++i) {
+    JobSpec s(taps, cfg2d(), grid2d(), 2);
+    s.qos = QosClass::batch;
+    batch.push_back(engine.submit(std::move(s)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    JobSpec s(taps, cfg2d(), grid2d(), 2);
+    s.qos = QosClass::interactive;
+    interactive.push_back(engine.submit(std::move(s)));
+  }
+  engine.resume();
+  // Despite submitting last into a 6-deep batch backlog, the interactive
+  // jobs are dispatched first (weights 8/4/1, one worker).
+  std::int64_t max_interactive = -1, min_batch = 1 << 20;
+  for (JobHandle& h : interactive) {
+    max_interactive = std::max(max_interactive, h.wait().dispatch_seq);
+  }
+  for (JobHandle& h : batch) {
+    min_batch = std::min(min_batch, h.wait().dispatch_seq);
+  }
+  EXPECT_LT(max_interactive, min_batch);
+  EXPECT_EQ(max_interactive, 1);  // seqs 0 and 1
+}
+
+TEST(EngineQos, PriorityBreaksTiesWithinOneClass) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 1, .start_paused = true});
+  JobSpec low(taps, cfg2d(), grid2d(), 2);
+  low.priority = 0;
+  JobSpec high(taps, cfg2d(), grid2d(), 2);
+  high.priority = 7;
+  JobHandle hl = engine.submit(std::move(low));
+  JobHandle hh = engine.submit(std::move(high));
+  engine.resume();
+  EXPECT_LT(hh.wait().dispatch_seq, hl.wait().dispatch_seq);
+}
+
+TEST(EngineTelemetry, DistinctPrefixesDoNotCollideInOneRegistry) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Telemetry shared;
+  StencilEngine a({.workers = 1, .telemetry = &shared,
+                   .metrics_prefix = "engine.shard0"});
+  StencilEngine b({.workers = 1, .telemetry = &shared,
+                   .metrics_prefix = "engine.shard1"});
+  (void)a.run(JobSpec(taps, cfg2d(), grid2d(), 2));
+  (void)a.run(JobSpec(taps, cfg2d(), grid2d(), 2));
+  (void)b.run(JobSpec(taps, cfg2d(), grid2d(), 2));
+  // Each engine's stats() reads back only its own counters.
+  EXPECT_EQ(a.stats().jobs_completed, 2);
+  EXPECT_EQ(b.stats().jobs_completed, 1);
+  const MetricsSnapshot snap = shared.metrics().snapshot();
+  EXPECT_EQ(snap.value_or("engine.shard0.jobs_completed", -1), 2);
+  EXPECT_EQ(snap.value_or("engine.shard1.jobs_completed", -1), 1);
+  // Nothing leaked into the legacy shared name.
+  EXPECT_EQ(snap.value_or("engine.jobs_completed", -1), -1);
+}
+
+TEST(EngineChunks, SinkReceivesOrderedBandsThatReassembleExactly) {
+  const TapSet taps = StarStencil::make_benchmark(3, 1, 9).to_taps();
+  Grid3D<float> want = grid3d();
+  reference_run(taps, want, 3);
+
+  StencilEngine engine({.workers = 1});
+  JobSpec spec(taps, cfg3d(), grid3d(), 3);
+  std::vector<float> assembled(std::size_t(20 * 14 * 10), -1.0f);
+  std::int64_t chunks = 0, planes = 0;
+  bool saw_last = false;
+  spec.chunk_values = 20 * 14 * 2;  // two z-planes per chunk
+  spec.sink = [&](const ResultChunk& c) {
+    EXPECT_EQ(c.dims, 3);
+    EXPECT_EQ(c.index, chunks);
+    EXPECT_EQ(c.start, planes);
+    std::copy(c.data, c.data + c.values,
+              assembled.begin() + c.start * c.nx * c.ny);
+    planes += c.count;
+    ++chunks;
+    saw_last = c.last;
+  };
+  JobResult r = engine.run(std::move(spec));
+  EXPECT_EQ(chunks, 5);
+  EXPECT_EQ(planes, 10);
+  EXPECT_TRUE(saw_last);
+  EXPECT_EQ(r.chunks_delivered, chunks);
+  // The stream reassembles to exactly the grid the result carries, which
+  // itself matches the reference.
+  EXPECT_TRUE(compare_exact(r.grid3d(), want).identical());
+  ASSERT_EQ(assembled.size(), r.grid3d().size());
+  EXPECT_TRUE(
+      std::equal(assembled.begin(), assembled.end(), r.grid3d().data()));
+}
+
+TEST(EngineChunks, SinkOnlyDropsTheServerSideGrid) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> want = grid2d();
+  reference_run(taps, want, 4);
+
+  StencilEngine engine({.workers = 1});
+  JobSpec spec(taps, cfg2d(), grid2d(), 4);
+  Grid2D<float> assembled(48, 20);
+  spec.sink = [&](const ResultChunk& c) {
+    std::copy(c.data, c.data + c.values,
+              assembled.data() + c.start * c.nx);
+  };
+  spec.sink_only = true;
+  JobResult r = engine.run(std::move(spec));
+  // The result grid is a placeholder; the stream was the delivery.
+  EXPECT_EQ(r.grid2d().nx(), 1);
+  EXPECT_GE(r.chunks_delivered, 1);
+  EXPECT_TRUE(compare_exact(assembled, want).identical());
+}
+
+TEST(EngineHooks, OnTerminalFiresExactlyOncePerOutcome) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  StencilEngine engine({.workers = 1});
+
+  std::atomic<int> done_calls{0};
+  JobSpec ok(taps, cfg2d(), grid2d(), 2);
+  ok.on_terminal = [&](JobStatus s) {
+    EXPECT_EQ(s, JobStatus::done);
+    ++done_calls;
+  };
+  (void)engine.run(std::move(ok));
+  EXPECT_EQ(done_calls.load(), 1);
+
+  std::atomic<int> cancel_calls{0};
+  StencilEngine paused({.workers = 1, .start_paused = true});
+  JobSpec doomed(taps, cfg2d(), grid2d(), 2);
+  doomed.on_terminal = [&](JobStatus s) {
+    EXPECT_EQ(s, JobStatus::cancelled);
+    ++cancel_calls;
+  };
+  JobHandle h = paused.submit(std::move(doomed));
+  h.cancel();
+  paused.resume();
+  EXPECT_THROW((void)h.wait(), CancelledError);
+  paused.wait_idle();
+  EXPECT_EQ(cancel_calls.load(), 1);
 }
 
 TEST(EngineCancel, CancelLatencyHistogramIsRecorded) {

@@ -193,6 +193,99 @@ CHAOS_SCHEMA = {
     },
 }
 
+# The serving-tier campaign artifact (stencilctl serve --json): QoS-class
+# and tenant latency percentiles, shard balance/hit-rate, quota and
+# isolation verdicts. Dispatch: top-level "bench" == "serving_campaign".
+SERVING_SCHEMA = {
+    "schema_version": int,
+    "bench": str,
+    "paper": str,
+    "cluster": {
+        "shards": int,
+        "workers_per_shard": int,
+        "vnodes_per_shard": int,
+        "queue_capacity": int,
+        "class_weights": ("array", int),
+    },
+    "campaign": {
+        "jobs_attempted": int,
+        "quota_proof_jobs": int,
+        "calibration_jobs": int,
+        "main_jobs": int,
+        "job_kinds": int,
+        "iters": int,
+        "seed": int,
+        "window": int,
+        "wall_seconds": NUMBER,
+    },
+    "results": {
+        "submitted": int,
+        "rejected": int,
+        "done": int,
+        "failed": int,
+        "hung": int,
+        "bit_exact": int,
+        "sink_jobs": int,
+        "sink_exact": int,
+        "chunks_delivered": int,
+        "faults_fired": int,
+    },
+    "classes": ("array", {
+        "name": str,
+        "jobs": int,
+        "p50_ns": int,
+        "p99_ns": int,
+        "p999_ns": int,
+        "jobs_per_s": NUMBER,
+    }),
+    "tenants": ("array", {
+        "name": str,
+        "class": str,
+        "role": str,
+        "submitted": int,
+        "rejected": int,
+        "done": int,
+        "p50_ns": int,
+        "p99_ns": int,
+    }),
+    "shards": ("array", {
+        "shard": int,
+        "jobs_completed": int,
+        "cache_hit_rate": NUMBER,
+    }),
+    "balance": {
+        "max_over_mean": NUMBER,
+        "bound": NUMBER,
+    },
+    "isolation": {
+        "calib_interactive_p99_ns": int,
+        "main_interactive_p99_ns": int,
+        "calib_standard_p99_ns": int,
+        "main_standard_p99_ns": int,
+        "passed": bool,
+    },
+    "router": {
+        "reroutes": int,
+        "shard_drains": int,
+        "shard_reloads": int,
+    },
+    "pool": {
+        "outstanding": int,
+    },
+    "scale_probe": {
+        "probe_jobs": int,
+        "single_wall_seconds": NUMBER,
+        "cluster_wall_seconds": NUMBER,
+        "speedup": NUMBER,
+        "needed_cores": int,
+        "hardware_concurrency": int,
+        "speedup_gate_checked": bool,
+        "speedup_gate_ok": bool,
+    },
+}
+
+QOS_CLASSES = {"interactive", "standard", "batch"}
+
 # The kernel-dispatch scorecard (microbench_kernel_dispatch --json):
 # per-envelope-point generic vs specialized throughput with exactness
 # verdicts, the acceptance workload, and a block-parallel rerun on the
@@ -448,6 +541,114 @@ def kernel_dispatch_semantic_checks(doc, errors):
             errors.append("$.summary: exact_points != points")
 
 
+def serving_semantic_checks(doc, errors):
+    """Constraints of the serving campaign the type schema can't express."""
+    results = doc.get("results", {})
+    if isinstance(results, dict):
+        submitted = results.get("submitted")
+        rejected = results.get("rejected")
+        attempted = doc.get("campaign", {}).get("jobs_attempted") \
+            if isinstance(doc.get("campaign"), dict) else None
+        ints = [submitted, rejected, attempted]
+        if all(isinstance(v, int) and not isinstance(v, bool) for v in ints):
+            if submitted + rejected != attempted:
+                errors.append("$.results: submitted + rejected != "
+                              "$.campaign.jobs_attempted")
+        outcome = [results.get(k) for k in ("done", "failed", "hung")]
+        if all(isinstance(v, int) and not isinstance(v, bool)
+               for v in outcome + [submitted]):
+            if sum(outcome) != submitted:
+                errors.append("$.results: done + failed + hung != submitted "
+                              "(a job was lost or duplicated)")
+        if results.get("failed") != 0:
+            errors.append("$.results.failed: campaign had failed jobs")
+        if results.get("hung") != 0:
+            errors.append("$.results.hung: a job never reached a terminal "
+                          "state")
+        done, exact = results.get("done"), results.get("bit_exact")
+        if isinstance(done, int) and isinstance(exact, int) and done != exact:
+            errors.append("$.results: bit_exact != done")
+        sink, sink_exact = results.get("sink_jobs"), results.get("sink_exact")
+        if isinstance(sink, int) and isinstance(sink_exact, int) \
+                and sink != sink_exact:
+            errors.append("$.results: a chunked delivery did not reassemble "
+                          "bit-exactly")
+        v = results.get("rejected")
+        if isinstance(v, int) and not isinstance(v, bool) and v < 1:
+            errors.append("$.results.rejected: quota admission was never "
+                          "exercised")
+    for i, cls in enumerate(doc.get("classes", [])):
+        if not isinstance(cls, dict):
+            continue
+        path = f"$.classes[{i}]"
+        if cls.get("name") not in QOS_CLASSES:
+            errors.append(f"{path}.name: {cls.get('name')!r} not in "
+                          f"{sorted(QOS_CLASSES)}")
+        p50, p99, p999 = (cls.get(k) for k in ("p50_ns", "p99_ns", "p999_ns"))
+        if all(isinstance(v, int) and not isinstance(v, bool)
+               for v in (p50, p99, p999)):
+            if not p50 <= p99 <= p999:
+                errors.append(f"{path}: percentiles not ordered "
+                              f"(p50 {p50} <= p99 {p99} <= p999 {p999})")
+    for i, t in enumerate(doc.get("tenants", [])):
+        if not isinstance(t, dict):
+            continue
+        path = f"$.tenants[{i}]"
+        if t.get("class") not in QOS_CLASSES:
+            errors.append(f"{path}.class: {t.get('class')!r} not in "
+                          f"{sorted(QOS_CLASSES)}")
+        p50, p99 = t.get("p50_ns"), t.get("p99_ns")
+        if all(isinstance(v, int) and not isinstance(v, bool)
+               for v in (p50, p99)) and p50 > p99:
+            errors.append(f"{path}: p50_ns > p99_ns")
+    shards = doc.get("shards", [])
+    cluster = doc.get("cluster", {})
+    if isinstance(shards, list) and isinstance(cluster, dict):
+        declared = cluster.get("shards")
+        if isinstance(declared, int) and declared != len(shards):
+            errors.append("$.shards: does not match $.cluster.shards")
+        for i, sh in enumerate(shards):
+            if not isinstance(sh, dict):
+                continue
+            rate = sh.get("cache_hit_rate")
+            busy = sh.get("jobs_completed")
+            if isinstance(rate, NUMBER) and not isinstance(rate, bool):
+                if not 0.0 <= rate <= 1.0:
+                    errors.append(f"$.shards[{i}].cache_hit_rate: outside "
+                                  "[0, 1]")
+                elif (isinstance(busy, int) and not isinstance(busy, bool)
+                      and busy > 0 and rate <= 0.9):
+                    errors.append(f"$.shards[{i}].cache_hit_rate: {rate} "
+                                  "<= 0.9 (fingerprint affinity broken)")
+    balance = doc.get("balance", {})
+    if isinstance(balance, dict):
+        ratio, bound = balance.get("max_over_mean"), balance.get("bound")
+        if all(isinstance(v, NUMBER) and not isinstance(v, bool)
+               for v in (ratio, bound)) and ratio > bound:
+            errors.append(f"$.balance: max_over_mean {ratio} exceeds "
+                          f"bound {bound}")
+    if isinstance(doc.get("isolation"), dict) \
+            and doc["isolation"].get("passed") is False:
+        errors.append("$.isolation.passed: faulty tenants degraded clean "
+                      "tenants' p99")
+    router = doc.get("router", {})
+    if isinstance(router, dict) and isinstance(cluster, dict) \
+            and isinstance(cluster.get("shards"), int) \
+            and cluster["shards"] > 1:
+        for key in ("shard_drains", "shard_reloads"):
+            v = router.get(key)
+            if isinstance(v, int) and not isinstance(v, bool) and v < 1:
+                errors.append(f"$.router.{key}: drain/reload never exercised")
+    pool = doc.get("pool", {})
+    if isinstance(pool, dict) and pool.get("outstanding") != 0:
+        errors.append("$.pool.outstanding: leaked buffer-pool leases")
+    probe = doc.get("scale_probe", {})
+    if isinstance(probe, dict) and probe.get("speedup_gate_checked") is True \
+            and probe.get("speedup_gate_ok") is False:
+        errors.append("$.scale_probe: gate checked on a big-enough host "
+                      "but the cluster missed 3/8-linear speedup")
+
+
 def chaos_semantic_checks(doc, errors):
     """Constraints of the chaos campaign the type schema can't express."""
     results = doc.get("results", {})
@@ -507,13 +708,19 @@ def validate_file(name):
         return False
     errors = []
     is_chaos = isinstance(doc, dict) and doc.get("bench") == "chaos_campaign"
+    is_serving = (isinstance(doc, dict)
+                  and doc.get("bench") == "serving_campaign")
     is_kernel_dispatch = (isinstance(doc, dict)
                           and doc.get("bench") == "kernel_dispatch")
-    is_engine = (not is_chaos and not is_kernel_dispatch
+    is_engine = (not is_chaos and not is_serving and not is_kernel_dispatch
                  and isinstance(doc, dict) and "jobs" in doc)
-    is_block_parallel = (not is_chaos and not is_kernel_dispatch
+    is_block_parallel = (not is_chaos and not is_serving
+                         and not is_kernel_dispatch
                          and isinstance(doc, dict) and "runs" in doc)
-    if is_kernel_dispatch:
+    if is_serving:
+        check(doc, SERVING_SCHEMA, "$", errors)
+        serving_semantic_checks(doc, errors)
+    elif is_kernel_dispatch:
         check(doc, KERNEL_DISPATCH_SCHEMA, "$", errors)
         kernel_dispatch_semantic_checks(doc, errors)
     elif is_chaos:
@@ -533,7 +740,12 @@ def validate_file(name):
         for e in errors:
             print(f"  {e}")
         return False
-    if is_kernel_dispatch:
+    if is_serving:
+        r = doc["results"]
+        print(f"{name}: OK ({doc['campaign']['jobs_attempted']} attempted: "
+              f"{r['done']} done, {r['rejected']} quota-rejected, "
+              f"{r['chunks_delivered']} chunks streamed)")
+    elif is_kernel_dispatch:
         s = doc["summary"]
         print(f"{name}: OK ({s['points']} envelope points, median speedup "
               f"{s['median_speedup']:.2f}x, acceptance "

@@ -38,6 +38,23 @@
 //       self-check: every job bit-exact vs the naive reference, at least
 //       one plan-cache hit, no failed jobs; --json exports the per-job
 //       latency scorecard (BENCH_PR3.json)
+//   stencilctl serve [--jobs N] [--shards S] [--workers W] [--seed S]
+//                    [--iters I] [--window W] [--json FILE]
+//       the serving-tier campaign (docs/SERVING.md): N mixed jobs
+//       (star/box x 2D/3D x radius 1-4) from a skewed five-tenant mix
+//       (QoS classes, a rate-capped tenant, a blocking inflight-capped
+//       tenant, a fault-seeded tenant) through an EngineCluster of S
+//       shards; one shard is drained and reloaded mid-campaign.
+//       Self-checks: exact accounting (every submission rejected or
+//       terminal), zero failed/hung jobs, every survivor bit-exact,
+//       chunked deliveries reassemble exactly, >= 1 quota rejection,
+//       per-shard plan-cache hit rate > 0.9, shard balance bounded,
+//       zero leaked pool leases, and the faulty tenant never degrades
+//       clean tenants' p99 (vs a clean calibration phase); the scale
+//       probe's 3/8-linear speedup gate is only checked when the host
+//       has enough cores (recorded as speedup_gate_checked, like
+//       blockpar); --json exports the per-class/per-tenant latency
+//       scorecard (BENCH_PR8.json)
 //   stencilctl chaos [--jobs N] [--workers W] [--seed S] [--json FILE]
 //       the robustness campaign (docs/LIFECYCLE.md): first a
 //       deterministic circuit-breaker proof (fault-injected concurrent
@@ -50,15 +67,18 @@
 //
 // Exit status: 0 on success, 1 on verification/model failure, 2 on usage.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstring>
 #include <deque>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "cluster/multi_fpga.hpp"
 #include "codegen/kernel_generator.hpp"
@@ -70,6 +90,7 @@
 #include "core/block_parallel_accelerator.hpp"
 #include "core/concurrent_accelerator.hpp"
 #include "core/stencil_accelerator.hpp"
+#include "engine/engine_cluster.hpp"
 #include "engine/run.hpp"
 #include "engine/stencil_engine.hpp"
 #include "fault/fault_injector.hpp"
@@ -1382,11 +1403,584 @@ int cmd_chaos(const Args& a) {
   return checks_failed == 0 ? 0 : 1;
 }
 
+// The serving-tier campaign: the end-to-end proof for the sharded
+// multi-tenant tier (docs/SERVING.md). One EngineCluster, a skewed
+// five-tenant mix over sixteen job kinds, a mid-campaign drain+reload of
+// shard 1, and exact accounting of every submission. Three phases:
+//
+//   Scale probe: a fixed mixed batch through a 1-shard/1-worker cluster
+//   and then through the full topology. Like blockpar, the 3/8-linear
+//   speedup gate is only *checked* when the host really has
+//   shards*workers cores; on smaller hosts it is recorded as unchecked
+//   (speedup_gate_checked=false) instead of failing.
+//
+//   Calibration: a clean alpha/beta-only slice, fully collected, whose
+//   per-class p99 becomes the isolation baseline.
+//
+//   Main: the remaining jobs with all five tenants -- gamma is
+//   rate-capped (rejections expected and counted), delta is
+//   inflight-capped with blocking backpressure, mallory carries a
+//   seeded fault injector (kernel hangs survived by the resilient
+//   backend + watchdog). A sliding submission window bounds memory;
+//   shard 1 is drained at 40% and reloaded at 70% of the phase.
+int cmd_serve(const Args& a) {
+  const std::int64_t jobs = a.get("jobs", 100000);
+  const int shards = static_cast<int>(a.get("shards", 3));
+  const int workers = static_cast<int>(a.get("workers", 2));
+  const int iters = static_cast<int>(a.get("iters", 2));
+  const std::uint64_t seed = std::uint64_t(a.get("seed", 8));
+  const std::int64_t window_cap = a.get("window", 256);
+  if (jobs < 100) throw ConfigError("--jobs must be >= 100");
+  if (shards < 1) throw ConfigError("--shards must be >= 1");
+  if (workers < 1) throw ConfigError("--workers must be >= 1");
+  if (window_cap < 8) throw ConfigError("--window must be >= 8");
+
+  // ---- The sixteen job kinds: star/box x 2D/3D x radius 1..4. -------
+  struct Kind {
+    std::string name;
+    TapSet taps;
+    AcceleratorConfig cfg;
+    bool is_3d = false;
+    std::int64_t nx = 0, ny = 0, nz = 1;
+    unsigned gseed = 0;
+    Grid2D<float> want2{1, 1};
+    Grid3D<float> want3{1, 1, 1};
+  };
+  std::vector<Kind> kinds;
+  for (const int dims : {2, 3}) {
+    for (int radius = 1; radius <= 4; ++radius) {
+      for (int box = 0; box < 2; ++box) {
+        const int id = int(kinds.size());
+        AcceleratorConfig cfg;
+        cfg.dims = dims;
+        cfg.radius = radius;
+        cfg.parvec = 4;
+        cfg.partime = radius == 1 ? 2 : 1;
+        cfg.bsize_x = dims == 2 ? 32 : 16;
+        cfg.bsize_y = dims == 3 ? (radius >= 3 ? 16 : 8) : 1;
+        cfg.validate();
+        TapSet taps =
+            box != 0
+                ? make_box_stencil(dims, radius, std::uint64_t(21 + id))
+                : StarStencil::make_benchmark(dims, radius,
+                                              std::uint64_t(5 + id))
+                      .to_taps();
+        Kind k{std::string(box != 0 ? "box" : "star") +
+                   std::to_string(dims) + "d-r" + std::to_string(radius),
+               std::move(taps),
+               cfg,
+               dims == 3,
+               // High-radius 3D boxes have up to 9^3 taps; a smaller grid
+               // keeps their per-job cost in line with the other kinds.
+               dims == 2 ? 48 : (radius >= 3 ? 16 : 20),
+               dims == 2 ? 20 : (radius >= 3 ? 12 : 14),
+               dims == 2 ? 1 : (radius >= 3 ? 8 : 10),
+               unsigned(10 + id),
+               Grid2D<float>(1, 1),
+               Grid3D<float>(1, 1, 1)};
+        if (k.is_3d) {
+          Grid3D<float> g(k.nx, k.ny, k.nz);
+          g.fill_random(k.gseed);
+          k.want3 = std::move(g);
+          reference_run(k.taps, k.want3, iters);
+        } else {
+          Grid2D<float> g(k.nx, k.ny);
+          g.fill_random(k.gseed);
+          k.want2 = std::move(g);
+          reference_run(k.taps, k.want2, iters);
+        }
+        kinds.push_back(std::move(k));
+      }
+    }
+  }
+  const auto spec_for = [&](const Kind& k) -> JobSpec {
+    if (k.is_3d) {
+      Grid3D<float> g(k.nx, k.ny, k.nz);
+      g.fill_random(k.gseed);
+      return {k.taps, k.cfg, std::move(g), iters};
+    }
+    Grid2D<float> g(k.nx, k.ny);
+    g.fill_random(k.gseed);
+    return {k.taps, k.cfg, std::move(g), iters};
+  };
+
+  // ---- The tenant mix (skewed, with one bad actor). -----------------
+  struct TenantDef {
+    const char* name;
+    QosClass qos;
+    const char* role;
+  };
+  enum { kAlpha = 0, kBeta, kGamma, kDelta, kMallory, kTenantCount };
+  const std::array<TenantDef, kTenantCount> tenants = {{
+      {"alpha", QosClass::standard, "clean bulk (50%)"},
+      {"beta", QosClass::interactive, "latency-sensitive (25%)"},
+      {"gamma", QosClass::batch, "rate-capped (15%)"},
+      {"delta", QosClass::standard, "inflight-capped, blocking (5%)"},
+      {"mallory", QosClass::batch, "seeded kernel hangs (5%)"},
+  }};
+
+  ClusterOptions copts;
+  copts.shards = shards;
+  copts.engine.workers = workers;
+  copts.engine.queue_capacity = std::size_t(window_cap) + 64;
+  copts.quotas["gamma"] =
+      TenantQuota{/*max_inflight=*/0, /*rate_per_s=*/200.0, /*burst=*/20.0,
+                  /*block=*/false};
+  copts.quotas["delta"] =
+      TenantQuota{/*max_inflight=*/8, /*rate_per_s=*/0.0, /*burst=*/0.0,
+                  /*block=*/true};
+
+  // Survivable faults for mallory only: the resilient backend's watchdog
+  // recovers each hang, so even mallory's jobs must terminate done.
+  FaultInjector mallory_faults(FaultPlan::parse(
+      "seed=" + std::to_string(seed) + ",kernel_hang:p=0.05:n=12"));
+
+  int checks_failed = 0;
+  const auto check = [&](bool ok, const std::string& what) {
+    std::cout << (ok ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+    if (!ok) ++checks_failed;
+  };
+  const auto pct = [](std::vector<std::int64_t>& v,
+                      double q) -> std::int64_t {
+    if (v.empty()) return 0;
+    const auto idx = std::ptrdiff_t(q * double(v.size() - 1) + 0.5);
+    std::nth_element(v.begin(), v.begin() + idx, v.end());
+    return v[std::size_t(idx)];
+  };
+
+  // ---- Scale probe (own clusters, not part of the accounting). ------
+  const unsigned hc = std::thread::hardware_concurrency();
+  const int needed_cores = shards * workers;
+  const std::int64_t probe_jobs =
+      std::clamp<std::int64_t>(jobs / 250, 64, 400);
+  const auto probe_wall = [&](int pshards, int pworkers) {
+    ClusterOptions po;
+    po.shards = pshards;
+    po.engine.workers = pworkers;
+    po.engine.queue_capacity = std::size_t(probe_jobs) + 16;
+    EngineCluster probe(po);
+    const Stopwatch sw;
+    std::vector<JobHandle> hs;
+    hs.reserve(std::size_t(probe_jobs));
+    for (std::int64_t i = 0; i < probe_jobs; ++i) {
+      hs.push_back(probe.submit(spec_for(kinds[std::size_t(i) %
+                                               kinds.size()])));
+    }
+    for (JobHandle& h : hs) {
+      (void)h.wait_or_cancel(std::chrono::milliseconds(180000));
+    }
+    return sw.seconds();
+  };
+  std::cout << "scale probe: " << probe_jobs << " mixed jobs, 1x1 vs "
+            << shards << "x" << workers << " (host has " << hc
+            << " hardware threads)\n";
+  const double probe_single = probe_wall(1, 1);
+  const double probe_cluster = probe_wall(shards, workers);
+  const double probe_speedup =
+      probe_cluster > 0.0 ? probe_single / probe_cluster : 0.0;
+  const bool gate_checked = hc >= unsigned(needed_cores);
+  const bool gate_ok =
+      !gate_checked || probe_speedup >= 0.375 * double(needed_cores);
+  std::cout << "  speedup " << format_fixed(probe_speedup, 2)
+            << "x; 3/8-linear gate "
+            << (gate_checked ? (gate_ok ? "passed" : "FAILED")
+                             : "skipped (not enough cores)")
+            << "\n";
+
+  // ---- The campaign proper. -----------------------------------------
+  EngineCluster cluster(copts);
+  const Stopwatch campaign_clock;
+  SplitMix64 rng(seed);
+
+  struct Pending {
+    JobHandle handle;
+    int kind;
+    int tenant;
+    bool calib;
+    std::shared_ptr<std::vector<float>> sunk;
+  };
+  std::deque<Pending> window;
+
+  std::int64_t attempted = 0, submitted_ok = 0, rejected = 0;
+  std::int64_t done = 0, failed = 0, hung = 0, bit_exact = 0;
+  std::int64_t sink_jobs = 0, sink_exact = 0, chunks_delivered = 0;
+  std::array<std::int64_t, kTenantCount> t_submitted{}, t_rejected{},
+      t_done{};
+  std::array<std::vector<std::int64_t>, kQosClassCount> lat_main, lat_calib;
+  std::array<std::vector<std::int64_t>, kTenantCount> lat_tenant;
+
+  const auto collect_one = [&] {
+    Pending p = std::move(window.front());
+    window.pop_front();
+    const JobStatus s =
+        p.handle.wait_or_cancel(std::chrono::milliseconds(180000));
+    if (s == JobStatus::failed) {
+      ++failed;
+      return;
+    }
+    if (s != JobStatus::done) {
+      ++hung;
+      return;
+    }
+    ++done;
+    ++t_done[std::size_t(p.tenant)];
+    JobResult& r = p.handle.wait();
+    const Kind& k = kinds[std::size_t(p.kind)];
+    bool ok = false;
+    if (p.sunk) {
+      ++sink_jobs;
+      chunks_delivered += r.chunks_delivered;
+      const float* want = k.is_3d ? k.want3.data() : k.want2.data();
+      const auto n = std::size_t(k.is_3d ? k.want3.size() : k.want2.size());
+      ok = p.sunk->size() == n &&
+           std::equal(p.sunk->begin(), p.sunk->end(), want);
+      sink_exact += ok ? 1 : 0;
+    } else {
+      ok = k.is_3d ? compare_exact(r.grid3d(), k.want3).identical()
+                   : compare_exact(r.grid2d(), k.want2).identical();
+    }
+    bit_exact += ok ? 1 : 0;
+    const std::int64_t lat = r.queue_ns + r.run_ns;
+    auto& per_class = p.calib ? lat_calib : lat_main;
+    per_class[std::size_t(tenants[std::size_t(p.tenant)].qos)].push_back(
+        lat);
+    if (!p.calib) lat_tenant[std::size_t(p.tenant)].push_back(lat);
+  };
+
+  const auto submit_one = [&](int tenant, int kind, bool calib) {
+    ++attempted;
+    JobSpec spec = spec_for(kinds[std::size_t(kind)]);
+    spec.tenant = tenants[std::size_t(tenant)].name;
+    spec.qos = tenants[std::size_t(tenant)].qos;
+    spec.priority = int(rng.next_u64() % 4);
+    std::shared_ptr<std::vector<float>> sunk;
+    if (!calib && attempted % 97 == 0) {
+      // ~1% of main-phase jobs stream their result in bands instead of
+      // returning a grid; the bands must reassemble bit-exactly.
+      sunk = std::make_shared<std::vector<float>>();
+      spec.sink = [sunk](const ResultChunk& c) {
+        sunk->insert(sunk->end(), c.data, c.data + c.values);
+      };
+      spec.sink_only = true;
+      spec.chunk_values = 256;
+    }
+    if (tenant == kMallory) {
+      // The watchdog bounds each hang's head-of-line blocking: one hung
+      // worker recovers well inside the isolation gate's envelope, but
+      // the deadline stays far above any clean job's contended runtime
+      // so healthy work is never falsely tripped.
+      spec.injector = &mallory_faults;
+      spec.watchdog_deadline = std::chrono::milliseconds(250);
+    }
+    try {
+      JobHandle h = cluster.submit(std::move(spec));
+      window.push_back(
+          Pending{std::move(h), kind, tenant, calib, std::move(sunk)});
+      ++submitted_ok;
+      ++t_submitted[std::size_t(tenant)];
+    } catch (const QuotaExceededError&) {
+      ++rejected;
+      ++t_rejected[std::size_t(tenant)];
+    }
+    while (std::int64_t(window.size()) >= window_cap) collect_one();
+  };
+
+  // Phase 1: quota proof. Back-to-back gamma submissions overrun the
+  // 20-token burst deterministically, whatever the host's speed.
+  const std::int64_t proof_jobs = 30;
+  std::cout << "phase 1: quota proof (" << proof_jobs
+            << " back-to-back gamma submissions against burst 20)\n";
+  for (std::int64_t i = 0; i < proof_jobs; ++i) {
+    submit_one(kGamma, int(rng.next_u64() % kinds.size()), false);
+  }
+
+  // Phase 2: clean calibration slice, fully collected before the mixed
+  // phase so its percentiles are an interference-free baseline.
+  // The baseline must run at the same steady-state windowed load as the
+  // main phase (several full windows), or its p99 reflects an empty
+  // queue and the isolation gate compares unlike regimes.
+  const std::int64_t calib_jobs = std::min(
+      std::clamp<std::int64_t>(jobs / 10, 4 * window_cap, 5000),
+      (jobs - proof_jobs) / 2);
+  std::cout << "phase 2: calibration (" << calib_jobs
+            << " clean alpha/beta jobs)\n";
+  for (std::int64_t i = 0; i < calib_jobs; ++i) {
+    submit_one(i % 2 == 0 ? kAlpha : kBeta,
+               int(rng.next_u64() % kinds.size()), true);
+  }
+  while (!window.empty()) collect_one();
+
+  // Phase 3: the mixed campaign with drain/reload of shard 1 mid-way.
+  const std::int64_t main_jobs = jobs - proof_jobs - calib_jobs;
+  const std::int64_t drain_at = main_jobs * 2 / 5;
+  const std::int64_t reload_at = main_jobs * 7 / 10;
+  std::cout << "phase 3: " << main_jobs << " mixed jobs, five tenants"
+            << (shards > 1 ? ", drain shard 1 at 40%, reload at 70%" : "")
+            << "\n";
+  for (std::int64_t m = 0; m < main_jobs; ++m) {
+    if (shards > 1 && m == drain_at) cluster.drain_shard(1);
+    if (shards > 1 && m == reload_at) cluster.reload_shard(1);
+    const std::uint64_t mix = rng.next_u64() % 100;
+    const int tenant = mix < 50   ? kAlpha
+                       : mix < 75 ? kBeta
+                       : mix < 90 ? kGamma
+                       : mix < 95 ? kDelta
+                                  : kMallory;
+    submit_one(tenant, int(rng.next_u64() % kinds.size()), false);
+  }
+  while (!window.empty()) collect_one();
+  const double wall_seconds = campaign_clock.seconds();
+  cluster.drain();
+
+  // ---- Post-campaign accounting. ------------------------------------
+  const MetricsSnapshot snap = cluster.telemetry().metrics().snapshot();
+  std::vector<std::int64_t> shard_completed;
+  std::vector<double> shard_hit_rate;
+  std::int64_t pool_outstanding = 0;
+  double min_hit_rate = 1.0;
+  std::int64_t shard_total = 0, shard_max = 0;
+  for (int k = 0; k < shards; ++k) {
+    // Snapshot totals survive the mid-campaign reload (the fresh engine
+    // keeps the shard's metrics prefix); stats() would not.
+    const std::int64_t completed = snap.value_or(
+        "engine.shard" + std::to_string(k) + ".jobs_completed", 0);
+    shard_completed.push_back(completed);
+    shard_total += completed;
+    shard_max = std::max(shard_max, completed);
+    const EngineStats st = cluster.shard(k).stats();
+    shard_hit_rate.push_back(st.cache_hit_rate());
+    if (completed > 0) min_hit_rate = std::min(min_hit_rate,
+                                               st.cache_hit_rate());
+    pool_outstanding += cluster.shard(k).buffer_pool().outstanding();
+  }
+  const double balance_bound = 3.0;
+  const double balance_ratio =
+      shard_total > 0
+          ? double(shard_max) / (double(shard_total) / double(shards))
+          : 0.0;
+
+  // Isolation: clean classes in the mixed phase vs their calibration
+  // baseline. Self-normalized (6x or +250 ms, whichever is looser) so
+  // the gate measures interference, not absolute host speed.
+  const auto iso_bound = [](std::int64_t calib_p99) {
+    return std::max(calib_p99 * 6, calib_p99 + std::int64_t(250000000));
+  };
+  const std::int64_t calib_p99_inter =
+      pct(lat_calib[std::size_t(QosClass::interactive)], 0.99);
+  const std::int64_t calib_p99_std =
+      pct(lat_calib[std::size_t(QosClass::standard)], 0.99);
+  const std::int64_t main_p99_inter =
+      pct(lat_main[std::size_t(QosClass::interactive)], 0.99);
+  const std::int64_t main_p99_std =
+      pct(lat_main[std::size_t(QosClass::standard)], 0.99);
+  const bool iso_inter = main_p99_inter <= iso_bound(calib_p99_inter);
+  const bool iso_std = main_p99_std <= iso_bound(calib_p99_std);
+
+  std::cout << "campaign wall " << format_fixed(wall_seconds, 2) << " s, "
+            << format_fixed(double(done) / wall_seconds, 0) << " jobs/s\n";
+  TextTable classes_table(
+      {"class", "jobs", "p50 us", "p99 us", "p999 us", "jobs/s"});
+  for (int c = 0; c < kQosClassCount; ++c) {
+    auto& v = lat_main[std::size_t(c)];
+    classes_table.add_row(
+        {qos_class_name(QosClass(c)), std::to_string(v.size()),
+         std::to_string(pct(v, 0.50) / 1000),
+         std::to_string(pct(v, 0.99) / 1000),
+         std::to_string(pct(v, 0.999) / 1000),
+         format_fixed(double(v.size()) / wall_seconds, 1)});
+  }
+  classes_table.render(std::cout);
+  TextTable tenant_table(
+      {"tenant", "role", "submitted", "rejected", "done", "p99 us"});
+  for (int t = 0; t < kTenantCount; ++t) {
+    tenant_table.add_row(
+        {tenants[std::size_t(t)].name, tenants[std::size_t(t)].role,
+         std::to_string(t_submitted[std::size_t(t)]),
+         std::to_string(t_rejected[std::size_t(t)]),
+         std::to_string(t_done[std::size_t(t)]),
+         std::to_string(pct(lat_tenant[std::size_t(t)], 0.99) / 1000)});
+  }
+  tenant_table.render(std::cout);
+  TextTable shard_table({"shard", "completed", "hit rate"});
+  for (int k = 0; k < shards; ++k) {
+    shard_table.add_row(
+        {std::to_string(k),
+         std::to_string(shard_completed[std::size_t(k)]),
+         format_percent(shard_hit_rate[std::size_t(k)])});
+  }
+  shard_table.render(std::cout);
+
+  check(attempted == jobs,
+        "every requested job was attempted (" + std::to_string(attempted) +
+            "/" + std::to_string(jobs) + ")");
+  check(submitted_ok + rejected == attempted,
+        "accounting: submitted + rejected == attempted");
+  check(done + failed + hung == submitted_ok,
+        "accounting: every admitted job reached exactly one outcome");
+  check(failed == 0, "zero failed jobs");
+  check(hung == 0, "zero hung jobs");
+  check(bit_exact == done, "every completed job bit-exact (" +
+                               std::to_string(bit_exact) + "/" +
+                               std::to_string(done) + ")");
+  check(sink_jobs >= 1 && sink_exact == sink_jobs,
+        "chunked deliveries reassembled exactly (" +
+            std::to_string(sink_exact) + "/" + std::to_string(sink_jobs) +
+            " over " + std::to_string(chunks_delivered) + " chunks)");
+  check(rejected >= 1, "quota admission produced at least one rejection");
+  check(mallory_faults.total_fires() >= 1,
+        "seeded faults actually fired (" +
+            std::to_string(mallory_faults.total_fires()) + ")");
+  check(min_hit_rate > 0.9,
+        "per-shard plan-cache hit rate > 0.9 (min " +
+            format_fixed(min_hit_rate * 100.0, 1) + "%)");
+  check(balance_ratio <= balance_bound,
+        "shard balance max/mean " + format_fixed(balance_ratio, 2) +
+            " within " + format_fixed(balance_bound, 1));
+  check(pool_outstanding == 0, "zero leaked buffer-pool leases");
+  check(iso_inter && iso_std,
+        "faulty tenant never degraded clean p99 (interactive " +
+            std::to_string(main_p99_inter / 1000) + " us vs calib " +
+            std::to_string(calib_p99_inter / 1000) + " us)");
+  if (shards > 1) {
+    check(snap.value_or("cluster.shard_drains", 0) >= 1 &&
+              snap.value_or("cluster.shard_reloads", 0) >= 1,
+          "mid-campaign drain + reload exercised");
+  }
+  check(gate_ok, gate_checked
+                     ? "scale probe reached 3/8-linear speedup"
+                     : "scale probe gate skipped (host too small; "
+                       "recorded unchecked)");
+
+  const std::string json_path = a.get_str("json", "");
+  if (!json_path.empty()) {
+    std::ostringstream body;
+    JsonWriter w(body);
+    w.begin_object();
+    w.key("schema_version").value(1);
+    w.key("bench").value("serving_campaign");
+    w.key("paper").value(
+        "High-Performance High-Order Stencil Computation on FPGAs Using "
+        "OpenCL");
+    w.key("cluster").begin_object();
+    w.key("shards").value(shards);
+    w.key("workers_per_shard").value(workers);
+    w.key("vnodes_per_shard").value(copts.vnodes_per_shard);
+    w.key("queue_capacity").value(std::int64_t(copts.engine.queue_capacity));
+    w.key("class_weights").begin_array();
+    for (const int cw : copts.engine.class_weights) w.value(cw);
+    w.end_array();
+    w.end_object();
+    w.key("campaign").begin_object();
+    w.key("jobs_attempted").value(attempted);
+    w.key("quota_proof_jobs").value(proof_jobs);
+    w.key("calibration_jobs").value(calib_jobs);
+    w.key("main_jobs").value(main_jobs);
+    w.key("job_kinds").value(std::int64_t(kinds.size()));
+    w.key("iters").value(iters);
+    w.key("seed").value(std::int64_t(seed));
+    w.key("window").value(window_cap);
+    w.key("wall_seconds").value(wall_seconds);
+    w.end_object();
+    w.key("results").begin_object();
+    w.key("submitted").value(submitted_ok);
+    w.key("rejected").value(rejected);
+    w.key("done").value(done);
+    w.key("failed").value(failed);
+    w.key("hung").value(hung);
+    w.key("bit_exact").value(bit_exact);
+    w.key("sink_jobs").value(sink_jobs);
+    w.key("sink_exact").value(sink_exact);
+    w.key("chunks_delivered").value(chunks_delivered);
+    w.key("faults_fired").value(mallory_faults.total_fires());
+    w.end_object();
+    w.key("classes").begin_array();
+    for (int c = 0; c < kQosClassCount; ++c) {
+      auto& v = lat_main[std::size_t(c)];
+      w.begin_object();
+      w.key("name").value(qos_class_name(QosClass(c)));
+      w.key("jobs").value(std::int64_t(v.size()));
+      w.key("p50_ns").value(pct(v, 0.50));
+      w.key("p99_ns").value(pct(v, 0.99));
+      w.key("p999_ns").value(pct(v, 0.999));
+      w.key("jobs_per_s").value(double(v.size()) / wall_seconds);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("tenants").begin_array();
+    for (int t = 0; t < kTenantCount; ++t) {
+      w.begin_object();
+      w.key("name").value(tenants[std::size_t(t)].name);
+      w.key("class").value(qos_class_name(tenants[std::size_t(t)].qos));
+      w.key("role").value(tenants[std::size_t(t)].role);
+      w.key("submitted").value(t_submitted[std::size_t(t)]);
+      w.key("rejected").value(t_rejected[std::size_t(t)]);
+      w.key("done").value(t_done[std::size_t(t)]);
+      w.key("p50_ns").value(pct(lat_tenant[std::size_t(t)], 0.50));
+      w.key("p99_ns").value(pct(lat_tenant[std::size_t(t)], 0.99));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("shards").begin_array();
+    for (int k = 0; k < shards; ++k) {
+      w.begin_object();
+      w.key("shard").value(k);
+      w.key("jobs_completed").value(shard_completed[std::size_t(k)]);
+      w.key("cache_hit_rate").value(shard_hit_rate[std::size_t(k)]);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("balance").begin_object();
+    w.key("max_over_mean").value(balance_ratio);
+    w.key("bound").value(balance_bound);
+    w.end_object();
+    w.key("isolation").begin_object();
+    w.key("calib_interactive_p99_ns").value(calib_p99_inter);
+    w.key("main_interactive_p99_ns").value(main_p99_inter);
+    w.key("calib_standard_p99_ns").value(calib_p99_std);
+    w.key("main_standard_p99_ns").value(main_p99_std);
+    w.key("passed").value(iso_inter && iso_std);
+    w.end_object();
+    w.key("router").begin_object();
+    w.key("reroutes").value(snap.value_or("cluster.submit_reroutes", 0));
+    w.key("shard_drains").value(snap.value_or("cluster.shard_drains", 0));
+    w.key("shard_reloads").value(snap.value_or("cluster.shard_reloads", 0));
+    w.end_object();
+    w.key("pool").begin_object();
+    w.key("outstanding").value(pool_outstanding);
+    w.end_object();
+    w.key("scale_probe").begin_object();
+    w.key("probe_jobs").value(probe_jobs);
+    w.key("single_wall_seconds").value(probe_single);
+    w.key("cluster_wall_seconds").value(probe_cluster);
+    w.key("speedup").value(probe_speedup);
+    w.key("needed_cores").value(needed_cores);
+    w.key("hardware_concurrency").value(std::int64_t(hc));
+    w.key("speedup_gate_checked").value(gate_checked);
+    w.key("speedup_gate_ok").value(gate_ok);
+    w.end_object();
+    w.end_object();
+    if (!json_is_valid(body.str())) {
+      std::cerr << "stencilctl: internal error: serve JSON failed "
+                   "validation\n";
+      return 1;
+    }
+    std::ofstream file(json_path);
+    if (!file) throw ConfigError("cannot open --json file `" + json_path + "`");
+    file << body.str() << "\n";
+    std::cout << "serving scorecard written to " << json_path << "\n";
+  }
+
+  std::cout << "serving campaign "
+            << (checks_failed == 0 ? "passed" : "FAILED") << " ("
+            << checks_failed << " self-checks failed)\n";
+  return checks_failed == 0 ? 0 : 1;
+}
+
 int usage() {
   std::cerr
       << "usage: stencilctl "
          "<devices|tune|model|codegen|simulate|blockpar|faults|metrics|"
-         "trace|engine|chaos> [flags]\n"
+         "trace|engine|serve|chaos> [flags]\n"
          "  common flags: --dims 2|3 --radius R --bsize-x B --bsize-y B\n"
          "                --parvec V --partime T --device NAME\n"
          "                --nx N --ny N --nz N --iters I --top K --box\n"
@@ -1401,6 +1995,8 @@ int usage() {
          "  trace flags:   --out trace.json --depth D\n"
          "  engine flags:  --jobs N --workers W --iters I --queue Q\n"
          "                 --json BENCH_PR3.json\n"
+         "  serve flags:   --jobs N --shards S --workers W --iters I\n"
+         "                 --seed S --window W --json BENCH_PR8.json\n"
          "  chaos flags:   --jobs N --workers W --seed S\n"
          "                 --json BENCH_PR6.json\n";
   return 2;
@@ -1423,6 +2019,7 @@ int main(int argc, char** argv) {
     if (cmd == "metrics") return cmd_metrics(a);
     if (cmd == "trace") return cmd_trace(a);
     if (cmd == "engine") return cmd_engine(a);
+    if (cmd == "serve") return cmd_serve(a);
     if (cmd == "chaos") return cmd_chaos(a);
     return usage();
   } catch (const std::exception& e) {
