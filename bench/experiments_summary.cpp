@@ -84,8 +84,9 @@ int write_bench_json(const std::string& path, const DeviceSpec& dev) {
   std::ostringstream body;
   JsonWriter w(body);
   w.begin_object();
-  w.key("schema_version").value(1);
+  w.key("schema_version").value(2);
   w.key("bench").value("experiments_summary");
+  bench::write_host_block(w);
   w.key("paper").value(
       "High-Performance High-Order Stencil Computation on FPGAs Using "
       "OpenCL");

@@ -102,6 +102,31 @@ void BM_EngineRunCachedPlan(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineRunCachedPlan);
 
+// Same warm job with empirical autotuning on (PR 9): the one-time plan
+// search happened on the warm-up submit, so the steady-state delta to
+// BM_EngineRunCachedPlan is the autotuner's warm-path cost -- which must
+// be nothing beyond the same LRU lookup (the tuned geometry lives inside
+// the cached plan; no tuner code runs on the job hot path).
+void BM_EngineRunCachedTunedPlan(benchmark::State& state) {
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 7).to_taps();
+  const AcceleratorConfig cfg = small2d();
+  StencilEngine engine({.workers = 1,
+                        .autotune = AutotuneMode::search,
+                        .tuning_cache_path = "",
+                        .autotune_probe_cells = 4 * 1024});
+  const Grid2D<float> input = small_grid();
+  (void)engine.run(JobSpec(taps, cfg, input, 3));  // warm plan (+ search)
+  for (auto _ : state) {
+    JobResult r = engine.run(JobSpec(taps, cfg, input, 3));
+    benchmark::DoNotOptimize(r.grid2d().data());
+  }
+  state.counters["cache_hit_rate"] = engine.stats().cache_hit_rate();
+  state.counters["tuner_searches"] = double(engine.stats().tuner_search_runs);
+  state.counters["tuner_cache_hits"] =
+      double(engine.stats().tuner_cache_hits);
+}
+BENCHMARK(BM_EngineRunCachedTunedPlan);
+
 // The same warm small job through the cluster front door. The delta to
 // BM_EngineRunCachedPlan is the serving tier's per-job cost: tenant
 // lookup + quota bookkeeping (unlimited quota here, the common case),

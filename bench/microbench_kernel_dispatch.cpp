@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/json.hpp"
 #include "common/stopwatch.hpp"
 #include "core/block_parallel_accelerator.hpp"
@@ -326,8 +327,9 @@ int main(int argc, char** argv) {
     std::ostringstream body;
     JsonWriter w(body);
     w.begin_object();
-    w.key("schema_version").value(1);
+    w.key("schema_version").value(2);
     w.key("bench").value("kernel_dispatch");
+    bench::write_host_block(w);
     w.key("paper").value(
         "High-Performance High-Order Stencil Computation on FPGAs Using "
         "OpenCL");

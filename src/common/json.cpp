@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace fpga_stencil {
@@ -284,6 +285,199 @@ bool json_is_valid(std::string_view text) {
   if (!c.value()) return false;
   c.skip_ws();
   return c.eof();
+}
+
+// ---------------------------------------------------------------------
+// JsonValue / json_parse: small DOM over the same grammar
+// ---------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::object) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::as_double(double fallback) const {
+  return type == Type::number ? num_v : fallback;
+}
+
+std::int64_t JsonValue::as_int64(std::int64_t fallback) const {
+  return type == Type::number ? static_cast<std::int64_t>(num_v) : fallback;
+}
+
+std::string JsonValue::as_string(std::string fallback) const {
+  return type == Type::string ? str_v : std::move(fallback);
+}
+
+bool JsonValue::as_bool(bool fallback) const {
+  return type == Type::boolean ? bool_v : fallback;
+}
+
+namespace {
+
+struct JsonParser {
+  std::string_view s;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  [[nodiscard]] bool eof() const { return pos >= s.size(); }
+
+  void skip_ws() {
+    while (!eof() && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                      s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || s[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (!eof()) {
+      const char c = s[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return false;
+      const char e = s[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(s[pos]))) {
+              return false;
+            }
+            const char h = s[pos++];
+            code = code * 16 +
+                   unsigned(h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          // The writer only ever \u-escapes control characters; decode the
+          // ASCII range and substitute '?' for anything wider rather than
+          // growing a UTF-16 transcoder here.
+          out += code < 0x80 ? char(code) : '?';
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number(double& out) {
+    const std::size_t start = pos;
+    JsonChecker shape{s, pos};
+    if (!shape.number()) return false;
+    pos = shape.pos;
+    out = std::strtod(std::string(s.substr(start, pos - start)).c_str(),
+                      nullptr);
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    bool ok = false;
+    switch (s[pos]) {
+      case '{': ok = object(out); break;
+      case '[': ok = array(out); break;
+      case '"':
+        out.type = JsonValue::Type::string;
+        ok = string(out.str_v);
+        break;
+      case 't':
+        out.type = JsonValue::Type::boolean;
+        out.bool_v = true;
+        ok = literal("true");
+        break;
+      case 'f':
+        out.type = JsonValue::Type::boolean;
+        out.bool_v = false;
+        ok = literal("false");
+        break;
+      case 'n':
+        out.type = JsonValue::Type::null;
+        ok = literal("null");
+        break;
+      default:
+        out.type = JsonValue::Type::number;
+        ok = number(out.num_v);
+        break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool object(JsonValue& out) {
+    out.type = JsonValue::Type::object;
+    consume('{');
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      JsonValue member;
+      if (!value(member)) return false;
+      out.members.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.type = JsonValue::Type::array;
+    consume('[');
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue item;
+      if (!value(item)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  JsonParser p{text};
+  JsonValue root;
+  if (!p.value(root)) return std::nullopt;
+  p.skip_ws();
+  if (!p.eof()) return std::nullopt;
+  return root;
 }
 
 }  // namespace fpga_stencil

@@ -1,0 +1,132 @@
+#include "core/plan_candidates.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/math_util.hpp"
+#include "core/host_profile.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+constexpr std::int64_t kCellBytes = sizeof(float);
+
+std::int64_t round_up(std::int64_t v, std::int64_t multiple) {
+  return ceil_div(v, multiple) * multiple;
+}
+
+PlanCandidateOptions with_host_caches(PlanCandidateOptions opts) {
+  const HostProfile& host = host_profile();
+  if (opts.l1_bytes <= 0) opts.l1_bytes = host.l1_bytes;
+  if (opts.l2_bytes <= 0) opts.l2_bytes = host.l2_bytes;
+  if (opts.llc_bytes <= 0) opts.llc_bytes = host.llc_bytes;
+  return opts;
+}
+
+/// Relative per-cell cost of streaming when the PE chain's rolling
+/// windows live at a given cache level. The exact ratios do not matter --
+/// the model only seeds/ranks candidates, measurement decides -- but they
+/// must grow with distance from the core or the model would happily pick
+/// giant blocks.
+double spill_penalty(std::int64_t window_bytes,
+                     const PlanCandidateOptions& opts) {
+  if (window_bytes <= opts.l1_bytes) return 1.0;
+  if (window_bytes <= opts.l2_bytes) return 1.12;
+  if (window_bytes <= opts.llc_bytes) return 1.5;
+  return 2.5;
+}
+
+}  // namespace
+
+double plan_candidate_cost(const AcceleratorConfig& cfg, std::int64_t nx,
+                           std::int64_t ny, std::int64_t nz,
+                           const PlanCandidateOptions& opts) {
+  const PlanCandidateOptions o = with_host_caches(opts);
+  const BlockingPlan plan = make_blocking_plan(cfg, nx, ny, nz);
+  // One pass advances up to `partime` steps; cells_streamed covers one
+  // pass over every block, so this is the streamed traffic per time step
+  // advanced (halo redundancy, drain filler, and partial-block waste all
+  // included).
+  const double streamed_per_step =
+      double(plan.cells_streamed) /
+      (double(plan.valid_cells) * double(cfg.partime));
+  // Each of the `partime` chained PEs keeps its own rolling window
+  // (eq. 7) hot while a block streams.
+  const std::int64_t window_bytes =
+      cfg.shift_register_cells() * kCellBytes * cfg.partime;
+  return streamed_per_step * spill_penalty(window_bytes, o);
+}
+
+std::vector<AcceleratorConfig> enumerate_plan_candidates(
+    const AcceleratorConfig& base, std::int64_t nx, std::int64_t ny,
+    std::int64_t nz, const PlanCandidateOptions& opts) {
+  base.validate();
+  const PlanCandidateOptions o = with_host_caches(opts);
+  const std::int64_t pv = base.parvec;
+
+  std::vector<int> partimes = o.partime_candidates;
+  if (partimes.empty()) partimes = {1, 2, 4, 8};
+  partimes.push_back(base.partime);
+
+  // Geometry ladders around the useful range: wide blocks amortize the
+  // halo, narrow ones keep the rolling windows cache-resident. Values are
+  // rounded up to the vector width below; the grid bounds cap them.
+  std::vector<std::int64_t> xs =
+      base.dims == 2
+          ? std::vector<std::int64_t>{256, 512, 1024, 2048, 4096, 8192, 16384}
+          : std::vector<std::int64_t>{32, 48, 64, 96, 128, 144, 192, 256, 320};
+  xs.push_back(base.bsize_x);
+  std::vector<std::int64_t> ys =
+      base.dims == 3
+          ? std::vector<std::int64_t>{8, 16, 32, 48, 64, 96, 128, 192, 256}
+          : std::vector<std::int64_t>{1};
+  if (base.dims == 3) ys.push_back(base.bsize_y);
+
+  struct Scored {
+    AcceleratorConfig cfg;
+    double cost = 0.0;
+  };
+  std::vector<Scored> scored;
+  std::set<std::tuple<std::int64_t, std::int64_t, int>> seen;
+  seen.insert({base.bsize_x, base.bsize_y, base.partime});
+
+  for (const int pt : partimes) {
+    for (const std::int64_t x : xs) {
+      for (const std::int64_t y : ys) {
+        AcceleratorConfig cfg = base;
+        cfg.partime = pt;
+        const std::int64_t halo = std::int64_t(pt) * cfg.radius;
+        // A block wider than one-block grid coverage only adds halo waste.
+        const std::int64_t max_x = round_up(nx + 2 * halo, pv);
+        cfg.bsize_x = std::min(round_up(x, pv), max_x);
+        cfg.bsize_y = base.dims == 3 ? std::min(y, ny + 2 * halo) : 1;
+        if (!seen.insert({cfg.bsize_x, cfg.bsize_y, cfg.partime}).second) {
+          continue;
+        }
+        try {
+          cfg.validate();
+        } catch (const ConfigError&) {
+          continue;  // e.g. block too small for this halo
+        }
+        const BlockingPlan plan = make_blocking_plan(cfg, nx, ny, nz);
+        if (plan.redundancy() > o.max_redundancy) continue;
+        scored.push_back({cfg, plan_candidate_cost(cfg, nx, ny, nz, o)});
+      }
+    }
+  }
+
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.cost < b.cost; });
+
+  std::vector<AcceleratorConfig> out;
+  out.reserve(std::min(scored.size(), o.max_candidates) + 1);
+  out.push_back(base);  // the request is always candidate [0]: argmax floor
+  for (const Scored& s : scored) {
+    if (out.size() > o.max_candidates) break;
+    out.push_back(s.cfg);
+  }
+  return out;
+}
+
+}  // namespace fpga_stencil

@@ -1,0 +1,62 @@
+// Host-side plan candidate enumeration for the empirical autotuner.
+//
+// The paper tunes (bsize, parvec, partime) against an FPGA resource model
+// (src/tune/tuner.*). On the host the binding constraint is the cache
+// hierarchy instead: each PE's rolling shift-register window
+// (2*rad*row_cells + parvec cells, eq. 7) must stay resident while a
+// block streams, and the overlapped-tiling halo (2*partime*rad per
+// blocked dimension, eq. 2) charges redundant cells for every block. This
+// module enumerates the geometry variants worth probing -- block extents
+// and temporal depth; parvec and the stencil itself are part of the
+// request and never change -- seeded by a cache model and pruned by a
+// redundancy bound. The requested ("paper default") configuration is
+// always candidate [0], so an argmax over measured throughput can never
+// lose to it.
+//
+// Every candidate validates and runs on the same executors, so tuning
+// picks among bit-exact-equivalent plans (pinned by tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stencil/accel_config.hpp"
+
+namespace fpga_stencil {
+
+struct PlanCandidateOptions {
+  /// Cache sizes seeding the model; 0 means "use host_profile()".
+  std::int64_t l1_bytes = 0;
+  std::int64_t l2_bytes = 0;
+  std::int64_t llc_bytes = 0;
+  /// Overlapped-tiling redundancy bound: candidates whose per-pass
+  /// streamed/valid ratio exceeds this are pruned (the paper-default
+  /// request is exempt -- it is kept even when it violates the bound).
+  double max_redundancy = 4.0;
+  /// Probe budget: at most this many candidates, best model score first
+  /// (after the request at [0]).
+  std::size_t max_candidates = 20;
+  /// Temporal depths to consider; empty means {1, 2, 4, 8} plus the
+  /// requested partime.
+  std::vector<int> partime_candidates;
+};
+
+/// Cache-model cost of one candidate geometry on `nx x ny x nz`: streamed
+/// cells per time step advanced (redundancy + drain + partial-block
+/// waste), scaled by a penalty for the cache level the PE chain's rolling
+/// windows spill to. Lower is better. Exposed so benches can report the
+/// model's ranking next to measured throughput.
+double plan_candidate_cost(const AcceleratorConfig& cfg, std::int64_t nx,
+                           std::int64_t ny, std::int64_t nz,
+                           const PlanCandidateOptions& opts = {});
+
+/// Geometry variants of `base` worth probing on this host for a grid of
+/// `nx x ny x nz`: element [0] is `base` itself (validated); the rest
+/// vary bsize_x / bsize_y / partime only, are all valid, and are ordered
+/// by ascending model cost. Throws ConfigError when `base` itself is
+/// invalid.
+std::vector<AcceleratorConfig> enumerate_plan_candidates(
+    const AcceleratorConfig& base, std::int64_t nx, std::int64_t ny,
+    std::int64_t nz = 1, const PlanCandidateOptions& opts = {});
+
+}  // namespace fpga_stencil

@@ -20,7 +20,29 @@ namespace fpga_stencil {
 
 class BufferPool;     // common/buffer_pool.hpp; pointer-only here
 class FaultInjector;  // fault/fault_injector.hpp; pointer-only here
+class HostAutotuner;  // tune/host_autotuner.hpp; pointer-only here
 class Telemetry;      // telemetry/telemetry.hpp; pointer-only here
+
+/// Empirical plan-autotuning policy (docs/TUNING.md). Tuning only swaps
+/// the block geometry / temporal depth among plans the executors already
+/// run bit-exactly; it never changes what is computed.
+enum class AutotuneMode {
+  off,          ///< run the requested geometry as-is (the default)
+  cached_only,  ///< adopt a tuned plan when the TuningCache already has
+                ///< one for this (stencil, extents-class, host); never
+                ///< probe -- a miss keeps the requested geometry
+  search,       ///< probe-search candidates on first use, persist the
+                ///< winner, then behave like cached_only
+};
+
+[[nodiscard]] constexpr const char* autotune_mode_name(AutotuneMode m) {
+  switch (m) {
+    case AutotuneMode::off: return "off";
+    case AutotuneMode::cached_only: return "cached_only";
+    case AutotuneMode::search: return "search";
+  }
+  return "?";
+}
 
 /// Execution paths a stencil job can be routed to. The StencilEngine
 /// aliases this as `Backend` (engine/job.hpp).
@@ -81,6 +103,14 @@ struct RunOptions {
   /// DeadlineExceededError; a default (null) token never cancels. See
   /// docs/LIFECYCLE.md for the exact check points and guarantees.
   CancellationToken cancel{};
+  /// Plan autotuning: when not `off`, the run swaps the requested block
+  /// geometry / partime for the measured-best plan of this host before
+  /// executing (docs/TUNING.md). Results are bit-exact either way.
+  AutotuneMode autotune = AutotuneMode::off;
+  /// Autotuner to resolve tuned plans through; null with autotune != off
+  /// uses a process-wide default (HostAutotuner::process_default()). The
+  /// StencilEngine always passes its own.
+  HostAutotuner* tuner = nullptr;
 };
 
 }  // namespace fpga_stencil

@@ -196,6 +196,9 @@ struct JobResult {
   /// job ran on the sync_sim fallback; `backend` reflects the override).
   bool rerouted = false;
   bool plan_cache_hit = false;
+  /// True when the plan's geometry came from the host autotuner
+  /// (EngineOptions::autotune != off and the tuner resolved a winner).
+  bool plan_tuned = false;
   std::uint64_t kernel_fingerprint = 0;  ///< from the cached plan
   std::int64_t queue_ns = 0;  ///< admission to dispatch
   std::int64_t run_ns = 0;    ///< dispatch to completion
@@ -325,8 +328,10 @@ class JobHandle {
   /// for a done job; rethrows the job's error otherwise (failure,
   /// CancelledError, DeadlineExceededError) -- a job that did not finish
   /// never silently yields a grid. The reference stays valid while any
-  /// handle copy lives.
-  JobResult& wait() {
+  /// handle copy lives -- lvalue-qualified so `submit(...).wait()` cannot
+  /// compile: the temporary handle may be the last owner of the state the
+  /// reference points into.
+  JobResult& wait() & {
     std::unique_lock<std::mutex> lock(state_->mu);
     state_->cv.wait(lock, [&] { return job_status_terminal(state_->status); });
     if (state_->status != JobStatus::done) {

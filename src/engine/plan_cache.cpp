@@ -5,6 +5,7 @@
 #include "codegen/kernel_generator.hpp"
 #include "core/stencil_accelerator.hpp"
 #include "kernels/kernel_registry.hpp"
+#include "tune/host_autotuner.hpp"
 
 namespace fpga_stencil {
 namespace {
@@ -49,7 +50,7 @@ PlanCache::PlanCache(std::size_t capacity)
 PlanCache::Key PlanCache::make_key(const TapSet& taps,
                                    const AcceleratorConfig& cfg,
                                    std::int64_t nx, std::int64_t ny,
-                                   std::int64_t nz) {
+                                   std::int64_t nz, AutotuneMode mode) {
   Key k;
   k.taps_fp = tap_set_fingerprint(taps);
   k.dims = cfg.dims;
@@ -63,13 +64,16 @@ PlanCache::Key PlanCache::make_key(const TapSet& taps,
   k.ny = ny;
   k.nz = nz;
   k.use_specialized_kernels = cfg.use_specialized_kernels;
+  k.autotune_mode = int(mode);
   return k;
 }
 
 std::shared_ptr<const CachedPlan> PlanCache::lookup_or_build(
     const TapSet& taps, const AcceleratorConfig& cfg, std::int64_t nx,
-    std::int64_t ny, std::int64_t nz, bool* hit) {
-  const Key key = make_key(taps, cfg, nx, ny, nz);
+    std::int64_t ny, std::int64_t nz, bool* hit, const PlanAutotune& autotune) {
+  const AutotuneMode mode =
+      autotune.tuner != nullptr ? autotune.mode : AutotuneMode::off;
+  const Key key = make_key(taps, cfg, nx, ny, nz, mode);
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
@@ -90,6 +94,22 @@ std::shared_ptr<const CachedPlan> PlanCache::lookup_or_build(
   // builder carried must not leak into every later job sharing the plan.
   AcceleratorConfig clean = cfg;
   clean.telemetry = nullptr;
+  // Tuning happens here -- once per cached plan, outside the lock, in the
+  // submitting worker's thread with its cancellation token -- exactly like
+  // specialized-kernel resolution below. Jobs that hit the cache never pay
+  // a probe.
+  if (mode != AutotuneMode::off) {
+    if (const std::optional<AutotuneOutcome> tuned = autotune.tuner->resolve(
+            taps, clean, nx, ny, nz, mode, autotune.cancel)) {
+      clean = tuned->config;
+      plan->tuned = true;
+      plan->tuned_from_cache = tuned->from_cache;
+      plan->tuned_mcells = tuned->tuned_mcells;
+      plan->tuned_baseline_mcells = tuned->baseline_mcells;
+      plan->tuner_candidates_probed = tuned->candidates_probed;
+      plan->tuner_search_ns = tuned->search_ns;
+    }
+  }
   plan->config = resolve_stage_lag(taps, clean);
   plan->blocking = make_blocking_plan(plan->config, nx, ny, nz);
   const std::string source =

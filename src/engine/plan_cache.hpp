@@ -23,12 +23,14 @@
 #include <mutex>
 #include <string>
 
+#include "core/run_options.hpp"
 #include "stencil/accel_config.hpp"
 #include "stencil/tap_set.hpp"
 
 namespace fpga_stencil {
 
 struct SpecializedKernel;  // kernels/kernel_registry.hpp; pointer-only here
+class CancellationToken;   // common/cancellation.hpp; pointer-only here
 
 /// FNV-1a over the tap set's value identity: dims, radius, and each tap's
 /// offsets and coefficient bit pattern (accumulation order included --
@@ -48,6 +50,29 @@ struct CachedPlan {
   /// Points into the process-lifetime registry, so sharing the plan
   /// across jobs and threads is safe.
   const SpecializedKernel* specialized_kernel = nullptr;
+
+  /// Autotuning provenance (zeroed when the plan was built with
+  /// AutotuneMode::off or the tuner declined). `tuned` means `config`'s
+  /// geometry came from the HostAutotuner; like specialized_kernel it is
+  /// resolved once per plan, never on the job hot path.
+  bool tuned = false;
+  bool tuned_from_cache = false;  ///< TuningCache hit (no probes ran)
+  double tuned_mcells = 0.0;
+  double tuned_baseline_mcells = 0.0;
+  std::int64_t tuner_candidates_probed = 0;
+  std::int64_t tuner_search_ns = 0;
+};
+
+/// Autotuning request threaded through lookup_or_build. With a null tuner
+/// or mode == off the build keeps the requested geometry. Otherwise the
+/// *build path* (outside the cache lock -- probing under the admission
+/// lock is forbidden) asks the tuner to resolve the plan's geometry, so a
+/// probe search runs at most once per cached plan and runs in the
+/// submitting worker, honoring that job's cancellation/deadline token.
+struct PlanAutotune {
+  AutotuneMode mode = AutotuneMode::off;
+  HostAutotuner* tuner = nullptr;            ///< null -> no tuning
+  const CancellationToken* cancel = nullptr;  ///< honored during probes
 };
 
 class PlanCache {
@@ -61,10 +86,13 @@ class PlanCache {
   /// miss (evicting the least recently used entry at capacity). `hit`,
   /// when non-null, reports whether the entry already existed. Building
   /// throws ConfigError for invalid configurations -- nothing is cached
-  /// for a key that fails validation. Pass nz == 1 for 2D grids.
+  /// for a key that fails validation; a cancelled autotune search
+  /// propagates (CancelledError/DeadlineExceededError) and caches
+  /// nothing. Pass nz == 1 for 2D grids.
   [[nodiscard]] std::shared_ptr<const CachedPlan> lookup_or_build(
       const TapSet& taps, const AcceleratorConfig& cfg, std::int64_t nx,
-      std::int64_t ny, std::int64_t nz = 1, bool* hit = nullptr);
+      std::int64_t ny, std::int64_t nz = 1, bool* hit = nullptr,
+      const PlanAutotune& autotune = {});
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -84,6 +112,9 @@ class PlanCache {
     // Part of the key (unlike telemetry): it changes which code executes
     // the plan's blocks, and the cached specialized_kernel must agree.
     bool use_specialized_kernels = true;
+    // Also part of the key: an untuned plan built under `off` must not be
+    // served to a `search` submission for the same spec (and vice versa).
+    int autotune_mode = 0;
     bool operator==(const Key&) const = default;
   };
   struct Entry {
@@ -92,7 +123,8 @@ class PlanCache {
   };
 
   static Key make_key(const TapSet& taps, const AcceleratorConfig& cfg,
-                      std::int64_t nx, std::int64_t ny, std::int64_t nz);
+                      std::int64_t nx, std::int64_t ny, std::int64_t nz,
+                      AutotuneMode mode);
 
   const std::size_t capacity_;
   mutable std::mutex mu_;

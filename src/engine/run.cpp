@@ -7,6 +7,7 @@
 #include "core/block_parallel_accelerator.hpp"
 #include "core/concurrent_accelerator.hpp"
 #include "fault/resilient_runner.hpp"
+#include "tune/host_autotuner.hpp"
 
 namespace fpga_stencil {
 
@@ -42,22 +43,39 @@ RunStats run_impl(const TapSet& taps, const AcceleratorConfig& cfg,
       return std::int64_t{1};
     }
   }();
+  // Autotune first so backend resolution and every executor below see the
+  // tuned geometry. The free-run path has no plan cache, so cached_only is
+  // the sensible steady-state mode here (a TuningCache hit is a map
+  // lookup); `search` probes on every call unless a cache file absorbs it.
+  AcceleratorConfig tuned_cfg = cfg;
+  if (options.autotune != AutotuneMode::off) {
+    HostAutotuner& tuner = options.tuner != nullptr
+                               ? *options.tuner
+                               : HostAutotuner::process_default();
+    if (const std::optional<AutotuneOutcome> outcome = tuner.resolve(
+            taps, cfg, grid.nx(), grid.ny(), nz, options.autotune,
+            options.cancel.valid() ? &options.cancel : nullptr)) {
+      tuned_cfg = outcome->config;
+      tuned_cfg.telemetry = cfg.telemetry;
+    }
+  }
+  const AcceleratorConfig& rcfg = tuned_cfg;
   const ExecutionBackend backend =
-      resolve_backend(taps, cfg, grid.nx(), grid.ny(), nz, options);
+      resolve_backend(taps, rcfg, grid.nx(), grid.ny(), nz, options);
   switch (backend) {
     case ExecutionBackend::automatic:
       break;  // resolved above; unreachable
     case ExecutionBackend::sync_sim: {
-      AcceleratorConfig scfg = cfg;
+      AcceleratorConfig scfg = rcfg;
       if (options.telemetry) scfg.telemetry = options.telemetry;
       StencilAccelerator accel(taps, scfg);
       return accel.run(grid, iterations, options.scratch,
                        options.cancel.valid() ? &options.cancel : nullptr);
     }
     case ExecutionBackend::concurrent:
-      return run_concurrent(taps, cfg, grid, iterations, options);
+      return run_concurrent(taps, rcfg, grid, iterations, options);
     case ExecutionBackend::block_parallel:
-      return run_block_parallel(taps, cfg, grid, iterations, options);
+      return run_block_parallel(taps, rcfg, grid, iterations, options);
     case ExecutionBackend::resilient: {
       ResilienceOptions ropts;
       ropts.base = options;
@@ -66,7 +84,7 @@ RunStats run_impl(const TapSet& taps, const AcceleratorConfig& cfg,
         // unwind a stalled pass.
         ropts.base.watchdog_deadline = std::chrono::milliseconds(500);
       }
-      return run_resilient(taps, cfg, grid, iterations, ropts);
+      return run_resilient(taps, rcfg, grid, iterations, ropts);
     }
     case ExecutionBackend::cluster:
       throw ConfigError(

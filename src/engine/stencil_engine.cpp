@@ -8,6 +8,7 @@
 #include "common/stopwatch.hpp"
 #include "core/block_parallel_accelerator.hpp"
 #include "core/concurrent_accelerator.hpp"
+#include "tune/host_autotuner.hpp"
 
 namespace fpga_stencil {
 namespace {
@@ -39,6 +40,12 @@ StencilEngine::StencilEngine(EngineOptions options)
                               options_.class_weights.end())),
       paused_(options_.start_paused) {
   if (options_.metrics_prefix.empty()) options_.metrics_prefix = "engine";
+  if (options_.autotune != AutotuneMode::off) {
+    HostAutotunerOptions topts;
+    topts.cache_path = options_.tuning_cache_path;
+    topts.probe_cells = options_.autotune_probe_cells;
+    tuner_ = std::make_unique<HostAutotuner>(std::move(topts));
+  }
   const int workers = std::max(1, options_.workers);
   workers_.reserve(std::size_t(workers));
   for (int i = 0; i < workers; ++i) {
@@ -116,16 +123,6 @@ JobHandle StencilEngine::admit(std::shared_ptr<detail::JobState> state) {
 
 JobHandle StencilEngine::submit(JobSpec spec) {
   return admit(make_job_state(std::move(spec)));
-}
-
-std::vector<JobHandle> StencilEngine::submit_batch(
-    std::vector<JobSpec> specs) {
-  std::vector<JobHandle> handles;
-  handles.reserve(specs.size());
-  for (JobSpec& spec : specs) {
-    handles.push_back(submit(std::move(spec)));
-  }
-  return handles;
 }
 
 JobResult StencilEngine::run(JobSpec spec) {
@@ -219,6 +216,11 @@ EngineStats StencilEngine::stats() const {
   s.pool_acquires = pool_.acquires();
   s.pool_allocations = pool_.allocations();
   s.pool_reuses = pool_.reuses();
+  s.tuner_cache_hits = snap.value_or(m("tuner.cache_hit"), 0);
+  s.tuner_cache_misses = snap.value_or(m("tuner.cache_miss"), 0);
+  s.tuner_search_runs = snap.value_or(m("tuner.search_runs"), 0);
+  s.tuner_search_candidates = snap.value_or(m("tuner.search_candidates"), 0);
+  s.tuner_search_ns = snap.value_or(m("tuner.search_ns"), 0);
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.queue_high_water = queue_high_water_;
@@ -288,11 +290,36 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
         spec.is_3d() ? std::get<Grid3D<float>>(spec.grid).nz() : 1;
 
     bool hit = false;
-    const std::shared_ptr<const CachedPlan> plan =
-        plans_.lookup_or_build(spec.taps, spec.config, nx, ny, nz, &hit);
+    const PlanAutotune autotune{options_.autotune, tuner_.get(), &job.token};
+    const std::shared_ptr<const CachedPlan> plan = plans_.lookup_or_build(
+        spec.taps, spec.config, nx, ny, nz, &hit, autotune);
     telemetry_->metrics()
         .counter(hit ? m("plan_cache_hit") : m("plan_cache_miss"))
         .add(1);
+    if (plan->tuned) {
+      // tuner.cache_hit counts every job served by an already-tuned plan
+      // (plan-cache hit, or a build whose winner came from the
+      // TuningCache); tuner.cache_miss counts the builds that probed.
+      const bool probed = !hit && !plan->tuned_from_cache;
+      telemetry_->metrics()
+          .counter(probed ? m("tuner.cache_miss") : m("tuner.cache_hit"))
+          .add(1);
+      if (probed) {
+        telemetry_->metrics().counter(m("tuner.search_runs")).add(1);
+        telemetry_->metrics()
+            .counter(m("tuner.search_candidates"))
+            .add(plan->tuner_candidates_probed);
+        telemetry_->metrics()
+            .counter(m("tuner.search_ns"))
+            .add(plan->tuner_search_ns);
+      }
+      if (plan->tuned_baseline_mcells > 0.0) {
+        telemetry_->metrics()
+            .gauge(m("tuner.gain_milli"))
+            .set(std::int64_t(plan->tuned_mcells /
+                              plan->tuned_baseline_mcells * 1000.0));
+      }
+    }
 
     // Routing. An automatic job with an injector goes to the resilient
     // runner, never the bare concurrent pipeline: an injected stall
@@ -335,6 +362,7 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
     result.backend = backend;
     result.rerouted = routed.rerouted;
     result.plan_cache_hit = hit;
+    result.plan_tuned = plan->tuned;
     result.kernel_fingerprint = plan->kernel_fingerprint;
     result.label = spec.label;
     result.tenant = spec.tenant;

@@ -86,6 +86,20 @@ struct EngineOptions {
   /// Weighted round-robin shares of the admission queue per QosClass
   /// (interactive, standard, batch). See common/class_queue.hpp.
   std::array<int, kQosClassCount> class_weights{8, 4, 1};
+  /// Empirical autotuning of plan geometry (docs/TUNING.md). `off` keeps
+  /// the requested geometry; `cached_only` adopts a TuningCache winner
+  /// when present but never probes; `search` probes once per cached plan
+  /// (in the submitting worker, outside the admission lock) and persists
+  /// the winner. Resolution happens during plan-cache builds only --
+  /// cache-hit submissions never pay anything.
+  AutotuneMode autotune = AutotuneMode::off;
+  /// TuningCache file for the engine-owned tuner: "auto" resolves
+  /// $FPGASTENCIL_TUNING_CACHE (unset -> in-memory), "" forces in-memory,
+  /// anything else is a literal path. Ignored when autotune == off.
+  std::string tuning_cache_path = "auto";
+  /// Probe-slab budget override for the engine-owned tuner; 0 keeps the
+  /// HostAutotuner default (see HostAutotunerOptions::probe_cells).
+  std::int64_t autotune_probe_cells = 0;
 };
 
 /// Engine lifecycle (docs/LIFECYCLE.md). `paused` is orthogonal: a paused
@@ -122,6 +136,15 @@ struct EngineStats {
   std::int64_t pool_allocations = 0;
   std::int64_t pool_reuses = 0;
   std::int64_t queue_high_water = 0;
+  /// Autotuner activity (all zero when EngineOptions::autotune == off).
+  /// tuner_cache_hits counts jobs served by an already-tuned plan -- from
+  /// the plan cache or the TuningCache -- so after warm-up every job
+  /// lands here; tuner_cache_misses counts plan builds that had to probe.
+  std::int64_t tuner_cache_hits = 0;
+  std::int64_t tuner_cache_misses = 0;
+  std::int64_t tuner_search_runs = 0;
+  std::int64_t tuner_search_candidates = 0;
+  std::int64_t tuner_search_ns = 0;
 
   [[nodiscard]] double cache_hit_rate() const {
     const std::int64_t lookups = plan_cache_hits + plan_cache_misses;
@@ -147,12 +170,6 @@ class StencilEngine {
   /// weight and priority. A full queue blocks or throws
   /// EngineOverloadedError per EngineOptions::admission.
   JobHandle submit(JobSpec spec);
-
-  /// submit() for each spec, in order; same admission semantics per job.
-  [[deprecated(
-      "call submit() per spec (or EngineCluster::submit for the serving "
-      "tier); submit_batch will be removed next release")]]
-  std::vector<JobHandle> submit_batch(std::vector<JobSpec> specs);
 
   /// Synchronous convenience: submit + wait. Rethrows the job's error.
   JobResult run(JobSpec spec);
@@ -191,6 +208,8 @@ class StencilEngine {
   [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] const PlanCache& plan_cache() const { return plans_; }
   [[nodiscard]] const BufferPool& buffer_pool() const { return pool_; }
+  /// The engine-owned autotuner, or null when autotune == off.
+  [[nodiscard]] HostAutotuner* autotuner() { return tuner_.get(); }
   /// The registry/tracer the engine records into (attached or local).
   [[nodiscard]] Telemetry& telemetry() { return *telemetry_; }
   [[nodiscard]] const EngineOptions& options() const { return options_; }
@@ -230,6 +249,10 @@ class StencilEngine {
   PlanCache plans_;
   BufferPool pool_;
   CircuitBreaker breaker_;
+  /// Created in the constructor when options_.autotune != off; shared by
+  /// every worker (HostAutotuner is thread-safe). Never touched on the
+  /// plan-cache-hit path.
+  std::unique_ptr<HostAutotuner> tuner_;
 
   mutable std::mutex mu_;
   std::condition_variable dispatch_cv_;  ///< workers: work available / stop

@@ -1,0 +1,159 @@
+#include "tune/tuning_cache.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/json.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// A sibling temp path unique to this process + write: the final
+/// ::rename() is atomic only within one filesystem, so the temp file must
+/// live next to the target.
+std::string temp_path_for(const std::string& path) {
+  static std::atomic<std::uint64_t> seq{0};
+  long pid = 0;
+#if defined(__unix__) || defined(__APPLE__)
+  pid = long(::getpid());
+#endif
+  return path + ".tmp." + std::to_string(pid) + "." +
+         std::to_string(seq.fetch_add(1));
+}
+
+}  // namespace
+
+TuningCache::TuningCache(std::string path) : path_(std::move(path)) {}
+
+void TuningCache::merge_from_disk_locked(
+    std::map<std::string, TunedPlanEntry>& into) {
+  if (path_.empty()) return;
+  const std::string text = read_file(path_);
+  if (text.empty()) return;
+  const std::optional<JsonValue> doc = json_parse(text);
+  if (!doc || !doc->is_object()) return;  // corrupt: treat as empty
+  const JsonValue* version = doc->find("schema_version");
+  if (!version || version->as_int64(-1) != kSchemaVersion) return;
+  const JsonValue* entries = doc->find("entries");
+  if (!entries || !entries->is_array()) return;
+  for (const JsonValue& e : entries->items) {
+    if (!e.is_object()) continue;
+    const JsonValue* key = e.find("key");
+    if (!key || !key->is_string() || key->str_v.empty()) continue;
+    if (into.count(key->str_v)) continue;  // memory is fresher
+    TunedPlanEntry entry;
+    const JsonValue* bx = e.find("bsize_x");
+    const JsonValue* pt = e.find("partime");
+    if (!bx || !bx->is_number() || !pt || !pt->is_number()) continue;
+    entry.bsize_x = bx->as_int64();
+    entry.bsize_y = e.find("bsize_y") ? e.find("bsize_y")->as_int64(1) : 1;
+    entry.partime = int(pt->as_int64());
+    if (const JsonValue* v = e.find("tuned_mcells")) {
+      entry.tuned_mcells = v->as_double();
+    }
+    if (const JsonValue* v = e.find("baseline_mcells")) {
+      entry.baseline_mcells = v->as_double();
+    }
+    if (const JsonValue* v = e.find("candidates_probed")) {
+      entry.candidates_probed = v->as_int64();
+    }
+    if (entry.bsize_x <= 0 || entry.bsize_y <= 0 || entry.partime <= 0) {
+      continue;  // nonsense geometry: skip the entry, keep the rest
+    }
+    into.emplace(key->str_v, entry);
+  }
+}
+
+void TuningCache::save_locked() {
+  if (path_.empty()) return;
+  std::ostringstream body;
+  JsonWriter w(body);
+  w.begin_object();
+  w.key("schema_version").value(kSchemaVersion);
+  w.key("entries").begin_array();
+  for (const auto& [key, e] : entries_) {
+    w.begin_object();
+    w.key("key").value(key);
+    w.key("bsize_x").value(e.bsize_x);
+    w.key("bsize_y").value(e.bsize_y);
+    w.key("partime").value(e.partime);
+    w.key("tuned_mcells").value(e.tuned_mcells);
+    w.key("baseline_mcells").value(e.baseline_mcells);
+    w.key("candidates_probed").value(e.candidates_probed);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  const std::string tmp = temp_path_for(path_);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // unwritable location: in-memory entries still serve
+    out << body.str() << "\n";
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+  }
+}
+
+std::optional<TunedPlanEntry> TuningCache::find(const TuningKey& key) {
+  const std::string flat = key.flat();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = entries_.find(flat); it != entries_.end()) {
+    return it->second;
+  }
+  // Miss in memory: another process sharing this file may have published
+  // the entry since our last read (or this is the first read).
+  if (!path_.empty()) {
+    merge_from_disk_locked(entries_);
+    if (const auto it = entries_.find(flat); it != entries_.end()) {
+      return it->second;
+    }
+  }
+  return std::nullopt;
+}
+
+void TuningCache::put(const TuningKey& key, const TunedPlanEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key.flat()] = entry;
+  // Merge what is currently on disk (parallel searches of *different*
+  // keys both survive; for the same key our fresh measurement wins), then
+  // publish atomically.
+  std::map<std::string, TunedPlanEntry> merged = entries_;
+  merged.erase(key.flat());
+  merge_from_disk_locked(merged);
+  merged[key.flat()] = entry;
+  entries_ = std::move(merged);
+  save_locked();
+}
+
+std::size_t TuningCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void TuningCache::clear_memory() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace fpga_stencil

@@ -306,26 +306,6 @@ TEST(Engine, PerSpecSubmitPreservesOrderAndCompletes) {
   EXPECT_EQ(engine.stats().jobs_completed, 8);
 }
 
-TEST(Engine, DeprecatedSubmitBatchShimStillWorks) {
-  // The one-release [[deprecated]] shim keeps old callers compiling;
-  // this is its only remaining in-tree use.
-  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
-  StencilEngine engine({.workers = 1});
-  std::vector<JobSpec> specs;
-  specs.push_back(JobSpec(taps, cfg2d(), grid2d(), 2));
-  specs.push_back(JobSpec(taps, cfg2d(), grid2d(), 2));
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  std::vector<JobHandle> handles = engine.submit_batch(std::move(specs));
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-  ASSERT_EQ(handles.size(), 2u);
-  for (JobHandle& h : handles) EXPECT_NO_THROW((void)h.wait());
-}
-
 TEST(Engine, SubmitRejectsMismatchedDimsEagerly) {
   const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
   StencilEngine engine;

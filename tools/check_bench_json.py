@@ -345,6 +345,76 @@ KERNEL_DISPATCH_SCHEMA = {
     },
 }
 
+# The autotune scorecard (microbench_autotune --json / stencilctl tune
+# --json): per-envelope-point paper-default vs cache-model-seeded vs
+# empirically searched throughput with exactness verdicts, plus the
+# acceptance workload. Dispatch: top-level "bench" == "autotune".
+AUTOTUNE_SCHEMA = {
+    "schema_version": int,
+    "bench": str,
+    "paper": str,
+    "mode": str,
+    "probe_cells": int,
+    "envelope": ("array", {
+        "name": str,
+        "shape": str,
+        "dims": int,
+        "radius": int,
+        "parvec": int,
+        "nx": int,
+        "ny": int,
+        "nz": int,
+        "iters": int,
+        "default_config": str,
+        "model_config": str,
+        "tuned_config": str,
+        "default_mcells_per_s": NUMBER,
+        "model_mcells_per_s": NUMBER,
+        "tuned_mcells_per_s": NUMBER,
+        "probe_tuned_mcells_per_s": NUMBER,
+        "probe_baseline_mcells_per_s": NUMBER,
+        "gain": NUMBER,
+        "model_gain": NUMBER,
+        "candidates_probed": int,
+        "search_ns": int,
+        "exact": bool,
+    }),
+    "acceptance": {
+        "config": str,
+        "tuned_config": str,
+        "nx": int,
+        "ny": int,
+        "nz": int,
+        "iters": int,
+        "default_mcells_per_s": NUMBER,
+        "tuned_mcells_per_s": NUMBER,
+        "gain": NUMBER,
+        "candidates_probed": int,
+        "search_ns": int,
+        "exact": bool,
+    },
+    "summary": {
+        "points": int,
+        "exact_points": int,
+        "min_gain": NUMBER,
+        "median_gain": NUMBER,
+        "max_gain": NUMBER,
+    },
+}
+
+# The host fingerprint block every schema_version >= 2 artifact must
+# carry (bench/bench_util.hpp write_host_block): without it, numbers
+# from different machines are indistinguishable in committed artifacts.
+HOST_SCHEMA = {
+    "cores": int,
+    "l1_kib": int,
+    "l2_kib": int,
+    "llc_kib": int,
+    "native_arch": bool,
+    "compiler": str,
+    "fingerprint": str,
+}
+
 METRIC_KINDS = {"counter", "gauge", "histogram"}
 BACKENDS = {"automatic", "sync_sim", "concurrent", "block_parallel",
             "resilient", "cluster"}
@@ -699,6 +769,87 @@ def chaos_semantic_checks(doc, errors):
         errors.append("$.pool.outstanding: leaked buffer-pool leases")
 
 
+def autotune_semantic_checks(doc, errors):
+    """Constraints of the autotune scorecard the type schema can't express.
+
+    Exactness is a hard requirement everywhere (block geometry is a
+    performance-only knob, so a tuned plan that changes bits is a bug).
+    The paper-default geometry is always a search candidate, so gains
+    must be positive and the envelope median must not regress; the 1.15x
+    acceptance-gain gate only applies to the offline --full artifact
+    (CI-small grids don't reproduce acceptance-scale cache pressure)."""
+    shapes = {"star", "box"}
+    for i, pt in enumerate(doc.get("envelope", [])):
+        if not isinstance(pt, dict):
+            continue
+        path = f"$.envelope[{i}]"
+        if pt.get("shape") not in shapes:
+            errors.append(f"{path}.shape: {pt.get('shape')!r} not in "
+                          f"{sorted(shapes)}")
+        if pt.get("dims") not in (2, 3):
+            errors.append(f"{path}.dims: must be 2 or 3")
+        if pt.get("exact") is False:
+            errors.append(f"{path}: tuned result diverged from the "
+                          "paper-default geometry")
+        for key in ("default_mcells_per_s", "tuned_mcells_per_s", "gain"):
+            v = pt.get(key)
+            if isinstance(v, NUMBER) and not isinstance(v, bool) and v <= 0:
+                errors.append(f"{path}.{key}: must be positive")
+        probed = pt.get("candidates_probed")
+        if isinstance(probed, int) and not isinstance(probed, bool) \
+                and probed < 1:
+            errors.append(f"{path}.candidates_probed: the search must probe "
+                          "at least the paper-default candidate")
+    acc = doc.get("acceptance", {})
+    full = doc.get("mode") == "full"
+    if isinstance(acc, dict):
+        if acc.get("exact") is False:
+            errors.append("$.acceptance: tuned result not bit-exact")
+        gain = acc.get("gain")
+        if isinstance(gain, NUMBER) and not isinstance(gain, bool):
+            if gain <= 0:
+                errors.append("$.acceptance.gain: must be positive")
+            elif full and gain < 1.15:
+                errors.append(f"$.acceptance.gain: {gain} < 1.15 on the "
+                              "--full artifact")
+    summary = doc.get("summary", {})
+    if isinstance(summary, dict):
+        points = summary.get("points")
+        envelope = doc.get("envelope")
+        if isinstance(points, int) and isinstance(envelope, list) \
+                and points != len(envelope):
+            errors.append("$.summary.points: does not match len($.envelope)")
+        exact = summary.get("exact_points")
+        if isinstance(points, int) and isinstance(exact, int) \
+                and exact != points:
+            errors.append("$.summary: exact_points != points")
+        med = summary.get("median_gain")
+        if isinstance(med, NUMBER) and not isinstance(med, bool) and med < 1.0:
+            errors.append(f"$.summary.median_gain: {med} < 1.0 (the search "
+                          "regressed the envelope median)")
+
+
+def host_block_checks(doc, errors):
+    """schema_version >= 2 artifacts must carry the host fingerprint."""
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool) \
+            or version < 2:
+        return
+    if "host" not in doc:
+        errors.append("$.host: missing (required for schema_version >= 2)")
+        return
+    check(doc["host"], HOST_SCHEMA, "$.host", errors)
+    host = doc["host"]
+    if isinstance(host, dict):
+        for key in ("cores", "l1_kib", "l2_kib", "llc_kib"):
+            v = host.get(key)
+            if isinstance(v, int) and not isinstance(v, bool) and v < 1:
+                errors.append(f"$.host.{key}: must be >= 1")
+        fp = host.get("fingerprint")
+        if isinstance(fp, str) and not fp:
+            errors.append("$.host.fingerprint: empty")
+
+
 def validate_file(name):
     try:
         with open(name, encoding="utf-8") as fh:
@@ -712,12 +863,19 @@ def validate_file(name):
                   and doc.get("bench") == "serving_campaign")
     is_kernel_dispatch = (isinstance(doc, dict)
                           and doc.get("bench") == "kernel_dispatch")
+    is_autotune = isinstance(doc, dict) and doc.get("bench") == "autotune"
     is_engine = (not is_chaos and not is_serving and not is_kernel_dispatch
+                 and not is_autotune
                  and isinstance(doc, dict) and "jobs" in doc)
     is_block_parallel = (not is_chaos and not is_serving
-                         and not is_kernel_dispatch
+                         and not is_kernel_dispatch and not is_autotune
                          and isinstance(doc, dict) and "runs" in doc)
-    if is_serving:
+    if isinstance(doc, dict):
+        host_block_checks(doc, errors)
+    if is_autotune:
+        check(doc, AUTOTUNE_SCHEMA, "$", errors)
+        autotune_semantic_checks(doc, errors)
+    elif is_serving:
         check(doc, SERVING_SCHEMA, "$", errors)
         serving_semantic_checks(doc, errors)
     elif is_kernel_dispatch:
@@ -740,7 +898,12 @@ def validate_file(name):
         for e in errors:
             print(f"  {e}")
         return False
-    if is_serving:
+    if is_autotune:
+        s = doc["summary"]
+        print(f"{name}: OK ({s['points']} envelope points, median gain "
+              f"{s['median_gain']:.2f}x, acceptance "
+              f"{doc['acceptance']['gain']:.2f}x)")
+    elif is_serving:
         r = doc["results"]
         print(f"{name}: OK ({doc['campaign']['jobs_attempted']} attempted: "
               f"{r['done']} done, {r['rejected']} quota-rejected, "

@@ -2,8 +2,20 @@
 //
 //   stencilctl devices
 //       list the FPGA catalog with Table II characteristics
-//   stencilctl tune   --dims D --radius R [--device NAME] [--nx N --ny N --nz N] [--top K]
-//       Section V.A design-space exploration, ranked configurations
+//   stencilctl explore --dims D --radius R [--device NAME] [--nx N --ny N --nz N] [--top K]
+//       Section V.A design-space exploration (model-based, ranked
+//       against the FPGA resource/bandwidth budget)
+//   stencilctl tune [--dims D] [--radius R] [--full] [--json FILE]
+//                   [--cache FILE] [--probe-cells C] [--serve]
+//       empirical host autotuning (docs/TUNING.md): sweep the
+//       star/box x 2D/3D x radius 1-4 envelope, search block geometry x
+//       temporal depth by measured-throughput probes, and print
+//       paper-default vs tuned Mcell/s per point; tuned runs are
+//       verified bit-exact against the default geometry; --json exports
+//       the gain scorecard (BENCH_PR9.json schema); --serve instead
+//       drives an autotune=search StencilEngine and self-checks the
+//       tuner.* telemetry (one search, every post-warm-up job a
+//       tuner.cache_hit)
 //   stencilctl model  --dims D --radius R --bsize-x B [--bsize-y B] --parvec V --partime T [--device NAME]
 //       resource / fmax / power / performance prediction for one config
 //   stencilctl codegen --dims D --radius R --bsize-x B [--bsize-y B] --parvec V --partime T [--box]
@@ -89,6 +101,8 @@
 #include "common/table.hpp"
 #include "core/block_parallel_accelerator.hpp"
 #include "core/concurrent_accelerator.hpp"
+#include "core/host_profile.hpp"
+#include "core/plan_candidates.hpp"
 #include "core/stencil_accelerator.hpp"
 #include "engine/engine_cluster.hpp"
 #include "engine/run.hpp"
@@ -99,10 +113,12 @@
 #include "fpga/fmax_model.hpp"
 #include "fpga/power_model.hpp"
 #include "grid/grid_compare.hpp"
+#include "kernels/kernel_registry.hpp"
 #include "model/performance_model.hpp"
 #include "ocl/opencl_shim.hpp"
 #include "stencil/box_stencil.hpp"
 #include "stencil/reference.hpp"
+#include "tune/host_autotuner.hpp"
 #include "tune/tuner.hpp"
 
 using namespace fpga_stencil;
@@ -113,6 +129,8 @@ struct Args {
   std::map<std::string, std::string> kv;
   bool box = false;
   bool generic = false;  // force the interpreter (no specialized kernels)
+  bool full = false;     // tune: acceptance sizes instead of CI-small
+  bool serve = false;    // tune: engine telemetry self-check mode
 
   [[nodiscard]] std::int64_t get(const std::string& key,
                                  std::int64_t fallback) const {
@@ -143,6 +161,14 @@ Args parse_args(int argc, char** argv, int start) {
     }
     if (key == "generic") {
       a.generic = true;
+      continue;
+    }
+    if (key == "full") {
+      a.full = true;
+      continue;
+    }
+    if (key == "serve") {
+      a.serve = true;
       continue;
     }
     if (i + 1 >= argc) throw ConfigError("missing value for --" + key);
@@ -188,7 +214,7 @@ int cmd_devices() {
   return 0;
 }
 
-int cmd_tune(const Args& a) {
+int cmd_explore(const Args& a) {
   TunerOptions o;
   o.dims = static_cast<int>(a.get("dims", 2));
   o.radius = static_cast<int>(a.get("radius", 1));
@@ -723,8 +749,9 @@ int cmd_engine(const Args& a) {
     std::ostringstream body;
     JsonWriter w(body);
     w.begin_object();
-    w.key("schema_version").value(1);
+    w.key("schema_version").value(2);
     w.key("bench").value("engine_demo_campaign");
+    write_host_profile(w);
     w.key("paper").value(
         "High-Performance High-Order Stencil Computation on FPGAs Using "
         "OpenCL");
@@ -934,8 +961,9 @@ int cmd_blockpar(const Args& a) {
     std::ostringstream body;
     JsonWriter w(body);
     w.begin_object();
-    w.key("schema_version").value(1);
+    w.key("schema_version").value(2);
     w.key("bench").value("block_parallel_scaling");
+    write_host_profile(w);
     w.key("paper").value(
         "High-Performance High-Order Stencil Computation on FPGAs Using "
         "OpenCL");
@@ -1342,8 +1370,9 @@ int cmd_chaos(const Args& a) {
     std::ostringstream body;
     JsonWriter w(body);
     w.begin_object();
-    w.key("schema_version").value(1);
+    w.key("schema_version").value(2);
     w.key("bench").value("chaos_campaign");
+    write_host_profile(w);
     w.key("paper").value(
         "High-Performance High-Order Stencil Computation on FPGAs Using "
         "OpenCL");
@@ -1856,8 +1885,9 @@ int cmd_serve(const Args& a) {
     std::ostringstream body;
     JsonWriter w(body);
     w.begin_object();
-    w.key("schema_version").value(1);
+    w.key("schema_version").value(2);
     w.key("bench").value("serving_campaign");
+    write_host_profile(w);
     w.key("paper").value(
         "High-Performance High-Order Stencil Computation on FPGAs Using "
         "OpenCL");
@@ -1976,11 +2006,395 @@ int cmd_serve(const Args& a) {
   return checks_failed == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// tune: empirical host autotuning (PR 9; docs/TUNING.md). Sweeps the
+// kernel envelope measuring paper-default vs empirically searched block
+// geometry with real runs (the tuner's short probes only pick the plan),
+// verifies bit-exactness at every point, and with --json exports the
+// BENCH_PR9.json "autotune" scorecard. --serve runs the engine
+// integration self-check instead: one search on the first job, then a
+// tuner.cache_hit for every later job on the same spec.
+
+TapSet tune_taps(StencilShape shape, int dims, int radius) {
+  if (shape == StencilShape::kStar) {
+    return StarStencil::make_benchmark(dims, radius, 99).to_taps();
+  }
+  return make_box_stencil(dims, radius, 99);
+}
+
+/// The geometry the repository's benches run with when the user does not
+/// choose (2D 4096-wide blocks, 3D 256x128, four chained PEs).
+AcceleratorConfig tune_default_config(int dims, int radius) {
+  AcceleratorConfig cfg;
+  cfg.dims = dims;
+  cfg.radius = radius;
+  cfg.parvec = 4;
+  cfg.partime = 4;
+  cfg.bsize_x = dims == 2 ? 4096 : 256;
+  cfg.bsize_y = dims == 3 ? 128 : 1;
+  return cfg;
+}
+
+std::string tune_geometry(const AcceleratorConfig& cfg) {
+  std::ostringstream os;
+  os << "b" << cfg.bsize_x;
+  if (cfg.dims == 3) os << "x" << cfg.bsize_y;
+  os << ",t" << cfg.partime;
+  return os.str();
+}
+
+bool tune_same_geometry(const AcceleratorConfig& a,
+                        const AcceleratorConfig& b) {
+  return a.bsize_x == b.bsize_x && a.bsize_y == b.bsize_y &&
+         a.partime == b.partime;
+}
+
+double tune_mcells(std::int64_t cells, int iters, double seconds) {
+  return seconds > 0.0 ? double(cells) * iters / seconds / 1e6 : 0.0;
+}
+
+template <typename GridT>
+double tune_time_run(const TapSet& taps, const AcceleratorConfig& cfg,
+                     GridT& grid, int iters) {
+  StencilAccelerator accel(taps, cfg);
+  const Stopwatch clock;
+  (void)accel.run(grid, iters);
+  return double(clock.nanoseconds()) / 1e9;
+}
+
+struct TunePoint {
+  std::string name;
+  StencilShape shape = StencilShape::kStar;
+  int dims = 2, radius = 1, parvec = 4;
+  std::int64_t nx = 0, ny = 0, nz = 1;
+  int iters = 0;
+  std::string default_config, model_config, tuned_config;
+  double default_mcells = 0.0;
+  double model_mcells = 0.0;
+  double tuned_mcells = 0.0;
+  double probe_tuned_mcells = 0.0;
+  double probe_baseline_mcells = 0.0;
+  std::int64_t candidates_probed = 0;
+  std::int64_t search_ns = 0;
+  bool exact = true;
+  [[nodiscard]] double gain() const {
+    return default_mcells > 0.0 ? tuned_mcells / default_mcells : 0.0;
+  }
+  [[nodiscard]] double model_gain() const {
+    return default_mcells > 0.0 ? model_mcells / default_mcells : 0.0;
+  }
+};
+
+template <typename GridT>
+TunePoint tune_point(HostAutotuner& tuner, StencilShape shape, int radius,
+                     const GridT& init) {
+  constexpr int dims = std::is_same_v<GridT, Grid3D<float>> ? 3 : 2;
+  const TapSet taps = tune_taps(shape, dims, radius);
+  const AcceleratorConfig base = tune_default_config(dims, radius);
+
+  TunePoint r;
+  r.shape = shape;
+  r.dims = dims;
+  r.radius = radius;
+  r.parvec = base.parvec;
+  r.nx = init.nx();
+  r.ny = init.ny();
+  if constexpr (dims == 3) r.nz = init.nz();
+  r.iters = base.partime;
+  r.name = std::string(stencil_shape_name(shape)) + "_" +
+           std::to_string(dims) + "d_r" + std::to_string(radius);
+  const std::int64_t cells = r.nx * r.ny * r.nz;
+
+  // Search first (its probes never touch the measurement grids), then
+  // measure the winner with a real run on the target grid.
+  const AutotuneOutcome found = tuner.search(taps, base, r.nx, r.ny, r.nz);
+  r.probe_tuned_mcells = found.tuned_mcells;
+  r.probe_baseline_mcells = found.baseline_mcells;
+  r.candidates_probed = found.candidates_probed;
+  r.search_ns = found.search_ns;
+
+  // What a model-only tuner would pick: the lowest-cost non-default
+  // candidate from the cache-model seeding.
+  const std::vector<AcceleratorConfig> candidates =
+      enumerate_plan_candidates(base, r.nx, r.ny, r.nz);
+  const AcceleratorConfig model_cfg =
+      candidates.size() > 1 ? candidates[1] : base;
+
+  r.default_config = tune_geometry(base);
+  r.model_config = tune_geometry(model_cfg);
+  r.tuned_config = tune_geometry(found.config);
+
+  GridT reference = init;
+  r.default_mcells = tune_mcells(
+      cells, r.iters, tune_time_run(taps, base, reference, r.iters));
+
+  const auto measure_vs_reference = [&](const AcceleratorConfig& cfg,
+                                        double& out_mcells) {
+    if (tune_same_geometry(cfg, base)) {
+      out_mcells = r.default_mcells;  // same plan: same bits, same speed
+      return;
+    }
+    GridT alt = init;
+    out_mcells = tune_mcells(cells, r.iters,
+                             tune_time_run(taps, cfg, alt, r.iters));
+    r.exact = r.exact && compare_exact(alt, reference).identical();
+  };
+  measure_vs_reference(model_cfg, r.model_mcells);
+  measure_vs_reference(found.config, r.tuned_mcells);
+  return r;
+}
+
+/// --serve: engine-integration self-check. One engine with
+/// autotune=search serves J identical jobs; the first job's plan build
+/// runs the (only) search, every later job must account as a
+/// tuner.cache_hit, and every result must be bit-exact with the untuned
+/// paper-default geometry.
+int cmd_tune_serve(const Args& a) {
+  const int jobs = static_cast<int>(a.get("jobs", 12));
+  const int iters = 4;
+  if (jobs < 2) throw ConfigError("--jobs must be >= 2");
+
+  EngineOptions eopts;
+  eopts.workers = static_cast<int>(a.get("workers", 2));
+  eopts.autotune = AutotuneMode::search;
+  eopts.tuning_cache_path = a.get_str("cache", "");
+  eopts.autotune_probe_cells = a.get("probe-cells", 16 * 1024);
+
+  const TapSet taps = StarStencil::make_benchmark(2, 2, 7).to_taps();
+  const AcceleratorConfig cfg = tune_default_config(2, 2);
+  Grid2D<float> init(96, 64);
+  init.fill_random(41, -1.0f, 1.0f);
+  Grid2D<float> want = init;
+  StencilAccelerator(taps, cfg).run(want, iters);
+
+  StencilEngine engine(eopts);
+  // Warm-up job: populates the plan cache, so it is the only job whose
+  // build may probe.
+  int exact = 0;
+  int tuned = 0;
+  {
+    JobSpec spec{taps, cfg, Grid2D<float>(init), iters};
+    spec.label = "tune-warmup";
+    // Hold the handle across the result read: wait() hands out a
+    // reference into handle-owned state.
+    JobHandle warm = engine.submit(std::move(spec));
+    JobResult& r = warm.wait();
+    exact += compare_exact(r.grid2d(), want).identical() ? 1 : 0;
+    tuned += r.plan_tuned ? 1 : 0;
+  }
+  std::vector<JobHandle> handles;
+  handles.reserve(std::size_t(jobs - 1));
+  for (int i = 1; i < jobs; ++i) {
+    JobSpec spec{taps, cfg, Grid2D<float>(init), iters};
+    spec.label = "tune-" + std::to_string(i);
+    handles.push_back(engine.submit(std::move(spec)));
+  }
+  for (JobHandle& h : handles) {
+    JobResult& r = h.wait();
+    exact += compare_exact(r.grid2d(), want).identical() ? 1 : 0;
+    tuned += r.plan_tuned ? 1 : 0;
+  }
+  const EngineStats s = engine.stats();
+
+  TextTable t({"counter", "value"});
+  t.add_row({"jobs", std::to_string(jobs)});
+  t.add_row({"jobs bit-exact", std::to_string(exact)});
+  t.add_row({"jobs on tuned plan", std::to_string(tuned)});
+  t.add_row({"tuner.search_runs", std::to_string(s.tuner_search_runs)});
+  t.add_row({"tuner.cache_miss", std::to_string(s.tuner_cache_misses)});
+  t.add_row({"tuner.cache_hit", std::to_string(s.tuner_cache_hits)});
+  t.add_row({"tuner.search_candidates",
+             std::to_string(s.tuner_search_candidates)});
+  t.render(std::cout);
+
+  // Every post-warm-up job must be a tuner cache hit.
+  const bool ok = exact == jobs && tuned == jobs &&
+                  s.tuner_search_runs == 1 && s.tuner_cache_misses == 1 &&
+                  s.tuner_cache_hits == std::int64_t(jobs) - 1;
+  std::cout << "tune --serve self-check " << (ok ? "passed" : "FAILED")
+            << "\n";
+  return ok ? 0 : 1;
+}
+
+int cmd_tune(const Args& a) {
+  if (a.serve) return cmd_tune_serve(a);
+
+  const bool full = a.full;
+  const std::int64_t n2d = a.get("n2d", full ? 4096 : 256);
+  const std::int64_t n3d = a.get("n3d", full ? 160 : 48);
+  const std::int64_t accept_n = a.get("accept-n", full ? 512 : 64);
+  const std::string json_path = a.get_str("json", "");
+
+  HostAutotunerOptions topts;
+  topts.cache_path = a.get_str("cache", "");
+  topts.probe_cells = a.get("probe-cells", full ? 512 * 1024 : 32 * 1024);
+  topts.probe_repeats = full ? 2 : 1;
+  HostAutotuner tuner(topts);
+
+  Grid2D<float> init2(n2d, n2d / 2);
+  init2.fill_random(31, -1.0f, 1.0f);
+  Grid3D<float> init3(n3d, n3d, n3d);
+  init3.fill_random(32, -1.0f, 1.0f);
+
+  bool ok = true;
+  std::vector<TunePoint> envelope;
+  TextTable t({"point", "default Mc/s", "tuned Mc/s", "tuned geom", "gain",
+               "probes", "exact"});
+  for (StencilShape shape : {StencilShape::kStar, StencilShape::kBox}) {
+    for (int dims : {2, 3}) {
+      for (int rad = 1; rad <= 4; ++rad) {
+        const TunePoint r = dims == 2
+                                ? tune_point(tuner, shape, rad, init2)
+                                : tune_point(tuner, shape, rad, init3);
+        ok = ok && r.exact;
+        t.add_row({r.name, format_fixed(r.default_mcells, 1),
+                   format_fixed(r.tuned_mcells, 1), r.tuned_config,
+                   "x" + format_fixed(r.gain(), 2),
+                   std::to_string(r.candidates_probed),
+                   r.exact ? "yes" : "NO"});
+        envelope.push_back(r);
+      }
+    }
+  }
+  t.render(std::cout);
+
+  // Acceptance point: the PR 7 acceptance workload (3D star r4,
+  // parvec 16, partime 4, bsize 144x144) at accept_n^3.
+  AcceleratorConfig acfg;
+  acfg.dims = 3;
+  acfg.radius = 4;
+  acfg.parvec = 16;
+  acfg.partime = 4;
+  acfg.bsize_x = 144;
+  acfg.bsize_y = 144;
+  const TapSet ataps = tune_taps(StencilShape::kStar, 3, 4);
+  Grid3D<float> ainit(accept_n, accept_n, accept_n);
+  ainit.fill_random(33, -1.0f, 1.0f);
+  const int aiters = acfg.partime;
+  const std::int64_t acells = ainit.nx() * ainit.ny() * ainit.nz();
+
+  const AutotuneOutcome afound =
+      tuner.search(ataps, acfg, ainit.nx(), ainit.ny(), ainit.nz());
+  Grid3D<float> areference = ainit;
+  const double a_default = tune_mcells(
+      acells, aiters, tune_time_run(ataps, acfg, areference, aiters));
+  double a_tuned = a_default;
+  bool a_exact = true;
+  if (!tune_same_geometry(afound.config, acfg)) {
+    Grid3D<float> alt = ainit;
+    a_tuned = tune_mcells(
+        acells, aiters, tune_time_run(ataps, afound.config, alt, aiters));
+    a_exact = compare_exact(alt, areference).identical();
+  }
+  ok = ok && a_exact;
+  const double a_gain = a_default > 0.0 ? a_tuned / a_default : 0.0;
+  std::cout << "acceptance " << acfg.describe() << " grid " << accept_n
+            << "^3: default " << format_fixed(a_default, 1)
+            << " Mcell/s, tuned " << format_fixed(a_tuned, 1) << " Mcell/s ("
+            << tune_geometry(afound.config) << "), gain x"
+            << format_fixed(a_gain, 2) << ", exact "
+            << (a_exact ? "yes" : "NO") << "\n";
+
+  std::vector<double> gains;
+  gains.reserve(envelope.size());
+  for (const TunePoint& r : envelope) gains.push_back(r.gain());
+  std::sort(gains.begin(), gains.end());
+  const double min_gain = gains.empty() ? 0.0 : gains.front();
+  const double max_gain = gains.empty() ? 0.0 : gains.back();
+  const double med_gain = gains.empty() ? 0.0 : gains[gains.size() / 2];
+  std::cout << "envelope gains: min x" << format_fixed(min_gain, 2)
+            << ", median x" << format_fixed(med_gain, 2) << ", max x"
+            << format_fixed(max_gain, 2) << "\n";
+
+  if (!json_path.empty()) {
+    std::ostringstream body;
+    JsonWriter w(body);
+    w.begin_object();
+    w.key("schema_version").value(2);
+    w.key("bench").value("autotune");
+    write_host_profile(w);
+    w.key("paper").value(
+        "High-Performance High-Order Stencil Computation on FPGAs Using "
+        "OpenCL");
+    w.key("mode").value(full ? "full" : "reduced");
+    w.key("probe_cells").value(topts.probe_cells);
+    w.key("envelope").begin_array();
+    for (const TunePoint& r : envelope) {
+      w.begin_object();
+      w.key("name").value(r.name);
+      w.key("shape").value(stencil_shape_name(r.shape));
+      w.key("dims").value(r.dims);
+      w.key("radius").value(r.radius);
+      w.key("parvec").value(r.parvec);
+      w.key("nx").value(r.nx);
+      w.key("ny").value(r.ny);
+      w.key("nz").value(r.nz);
+      w.key("iters").value(r.iters);
+      w.key("default_config").value(r.default_config);
+      w.key("model_config").value(r.model_config);
+      w.key("tuned_config").value(r.tuned_config);
+      w.key("default_mcells_per_s").value(r.default_mcells);
+      w.key("model_mcells_per_s").value(r.model_mcells);
+      w.key("tuned_mcells_per_s").value(r.tuned_mcells);
+      w.key("probe_tuned_mcells_per_s").value(r.probe_tuned_mcells);
+      w.key("probe_baseline_mcells_per_s").value(r.probe_baseline_mcells);
+      w.key("gain").value(r.gain());
+      w.key("model_gain").value(r.model_gain());
+      w.key("candidates_probed").value(r.candidates_probed);
+      w.key("search_ns").value(r.search_ns);
+      w.key("exact").value(r.exact);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("acceptance").begin_object();
+    w.key("config").value(acfg.describe());
+    w.key("tuned_config").value(tune_geometry(afound.config));
+    w.key("nx").value(ainit.nx());
+    w.key("ny").value(ainit.ny());
+    w.key("nz").value(ainit.nz());
+    w.key("iters").value(aiters);
+    w.key("default_mcells_per_s").value(a_default);
+    w.key("tuned_mcells_per_s").value(a_tuned);
+    w.key("gain").value(a_gain);
+    w.key("candidates_probed").value(afound.candidates_probed);
+    w.key("search_ns").value(afound.search_ns);
+    w.key("exact").value(a_exact);
+    w.end_object();
+    w.key("summary").begin_object();
+    w.key("points").value(std::int64_t(envelope.size()));
+    w.key("exact_points")
+        .value(std::int64_t(std::count_if(
+            envelope.begin(), envelope.end(),
+            [](const TunePoint& r) { return r.exact; })));
+    w.key("min_gain").value(min_gain);
+    w.key("median_gain").value(med_gain);
+    w.key("max_gain").value(max_gain);
+    w.end_object();
+    w.end_object();
+    if (!json_is_valid(body.str())) {
+      std::cerr << "stencilctl: internal error: tune JSON failed "
+                   "validation\n";
+      return 1;
+    }
+    std::ofstream file(json_path);
+    if (!file) throw ConfigError("cannot open --json file `" + json_path + "`");
+    file << body.str() << "\n";
+    std::cout << "autotune scorecard written to " << json_path << "\n";
+  }
+
+  if (!ok) {
+    std::cerr << "SELF-CHECK FAILED: a tuned geometry diverged from the "
+                 "paper-default result\n";
+    return 1;
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr
       << "usage: stencilctl "
-         "<devices|tune|model|codegen|simulate|blockpar|faults|metrics|"
-         "trace|engine|serve|chaos> [flags]\n"
+         "<devices|explore|tune|model|codegen|simulate|blockpar|faults|"
+         "metrics|trace|engine|serve|chaos> [flags]\n"
          "  common flags: --dims 2|3 --radius R --bsize-x B --bsize-y B\n"
          "                --parvec V --partime T --device NAME\n"
          "                --nx N --ny N --nz N --iters I --top K --box\n"
@@ -1998,7 +2412,11 @@ int usage() {
          "  serve flags:   --jobs N --shards S --workers W --iters I\n"
          "                 --seed S --window W --json BENCH_PR8.json\n"
          "  chaos flags:   --jobs N --workers W --seed S\n"
-         "                 --json BENCH_PR6.json\n";
+         "                 --json BENCH_PR6.json\n"
+         "  explore flags: --dims D --radius R --device NAME --top K\n"
+         "  tune flags:    --full --json BENCH_PR9.json --cache FILE\n"
+         "                 --probe-cells C --n2d N --n3d N --accept-n N\n"
+         "                 --serve (engine telemetry self-check)\n";
   return 2;
 }
 
@@ -2010,6 +2428,7 @@ int main(int argc, char** argv) {
   try {
     const Args a = parse_args(argc, argv, 2);
     if (cmd == "devices") return cmd_devices();
+    if (cmd == "explore") return cmd_explore(a);
     if (cmd == "tune") return cmd_tune(a);
     if (cmd == "model") return cmd_model(a);
     if (cmd == "codegen") return cmd_codegen(a);
