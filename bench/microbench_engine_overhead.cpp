@@ -127,6 +127,13 @@ void BM_EngineRunCachedTunedPlan(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineRunCachedTunedPlan);
 
+// submit + wait through the one front door (EngineCluster::run is a
+// deprecated one-release shim).
+JobResult cluster_run(EngineCluster& cluster, JobSpec spec) {
+  JobHandle h = cluster.submit(std::move(spec));
+  return std::move(h.wait());
+}
+
 // The same warm small job through the cluster front door. The delta to
 // BM_EngineRunCachedPlan is the serving tier's per-job cost: tenant
 // lookup + quota bookkeeping (unlimited quota here, the common case),
@@ -136,11 +143,11 @@ void BM_ClusterRunCachedPlan(benchmark::State& state) {
   const AcceleratorConfig cfg = small2d();
   EngineCluster cluster({.shards = 2, .engine = {.workers = 1}});
   const Grid2D<float> input = small_grid();
-  (void)cluster.run(JobSpec(taps, cfg, input, 3));  // warm owning shard
+  (void)cluster_run(cluster, JobSpec(taps, cfg, input, 3));  // warm owning shard
   for (auto _ : state) {
     JobSpec spec(taps, cfg, input, 3);
     spec.tenant = "bench";
-    JobResult r = cluster.run(std::move(spec));
+    JobResult r = cluster_run(cluster, std::move(spec));
     benchmark::DoNotOptimize(r.grid2d().data());
   }
   const int owner =
@@ -161,11 +168,11 @@ void BM_ClusterRunMeteredTenant(benchmark::State& state) {
        .quotas = {{"metered",
                    {.max_inflight = 4, .rate_per_s = 1e9, .burst = 1e9}}}});
   const Grid2D<float> input = small_grid();
-  (void)cluster.run(JobSpec(taps, cfg, input, 3));
+  (void)cluster_run(cluster, JobSpec(taps, cfg, input, 3));
   for (auto _ : state) {
     JobSpec spec(taps, cfg, input, 3);
     spec.tenant = "metered";
-    JobResult r = cluster.run(std::move(spec));
+    JobResult r = cluster_run(cluster, std::move(spec));
     benchmark::DoNotOptimize(r.grid2d().data());
   }
 }

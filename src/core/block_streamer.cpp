@@ -17,6 +17,12 @@ namespace {
 /// the engine promises for cancel().
 constexpr std::int64_t kCancelCheckMask = 511;
 
+/// Modular wrap into [0, n) for periodic fetches.
+std::int64_t wrap_index(std::int64_t i, std::int64_t n) {
+  const std::int64_t m = i % n;
+  return m < 0 ? m + n : m;
+}
+
 /// Runs the block on a registry kernel if this configuration has one.
 /// Returns false (off-envelope or dispatch disabled) when the caller
 /// must fall back to the interpreter. Telemetry, when attached: hit/miss
@@ -29,6 +35,10 @@ bool try_specialized(std::vector<ProcessingElement>& pes,
   const AcceleratorConfig& cfg = plan.config;
   if (!cfg.use_specialized_kernels || pes.empty()) return false;
   const TapSet& taps = pes.front().taps();
+  // Specialized kernels hard-code the clamp border select-chains
+  // (kernels/run_specialized_impl.hpp); every other boundary condition
+  // takes the generic interpreter below.
+  if (!taps.boundary().is_clamp()) return false;
   const SpecializedKernel* kernel = KernelRegistry::instance().find(taps, cfg);
   if (kernel == nullptr) return false;
   Telemetry* const tel = cfg.telemetry;
@@ -98,8 +108,17 @@ void stream_block_generic(std::vector<ProcessingElement>& pes,
   const std::int64_t halo = cfg.halo();
   const std::int64_t drain = cfg.stream_drain();
   const std::int64_t csize = cfg.csize_x();
+  // Periodic boundaries wrap-extend the stream instead of taking a border
+  // select-chain in the PEs: every fetch wraps modulo the grid, and the
+  // streamed dimension is pre-padded with `drain` ghost rows so row 0's
+  // backward influence cone (up to partime*radius rows) is fed with real
+  // wrapped data before the first retired row emerges. The write index
+  // shifts by the same pre-pad, so retired coordinates are unchanged.
+  const bool periodic = !pes.empty() && pes.front().taps().boundary().kind ==
+                                            BoundaryKind::periodic;
+  const std::int64_t prepad = periodic ? drain : 0;
   const std::int64_t vectors_per_block =
-      plan.cells_streamed_per_pass / cfg.parvec;
+      (plan.cells_streamed_per_pass + prepad * cfg.bsize_x) / cfg.parvec;
 
   BlockContext ctx;
   ctx.block_x0 = blk.x0;
@@ -118,11 +137,19 @@ void stream_block_generic(std::vector<ProcessingElement>& pes,
     const std::int64_t flat_in = q * cfg.parvec;
     const std::int64_t y_in = flat_in / cfg.bsize_x;
     const std::int64_t x_rel_in = flat_in % cfg.bsize_x;
-    for (std::int64_t l = 0; l < cfg.parvec; ++l) {
-      const std::int64_t xg = blk.x0 + x_rel_in + l;
-      va[size_t(l)] = (xg >= 0 && xg < in.nx() && y_in < in.ny())
-                          ? in.at(xg, y_in)
-                          : 0.0f;
+    if (periodic) {
+      const std::int64_t ys = wrap_index(y_in - prepad, in.ny());
+      for (std::int64_t l = 0; l < cfg.parvec; ++l) {
+        const std::int64_t xs = wrap_index(blk.x0 + x_rel_in + l, in.nx());
+        va[size_t(l)] = in.at(xs, ys);
+      }
+    } else {
+      for (std::int64_t l = 0; l < cfg.parvec; ++l) {
+        const std::int64_t xg = blk.x0 + x_rel_in + l;
+        va[size_t(l)] = (xg >= 0 && xg < in.nx() && y_in < in.ny())
+                            ? in.at(xg, y_in)
+                            : 0.0f;
+      }
     }
     stats.cells_streamed += cfg.parvec;
 
@@ -135,7 +162,7 @@ void stream_block_generic(std::vector<ProcessingElement>& pes,
     }
 
     // --- write kernel: retire valid cells ---
-    const std::int64_t yg = y_in - drain;  // total chain lag
+    const std::int64_t yg = y_in - drain - prepad;  // total chain lag
     if (yg < 0 || yg >= in.ny()) continue;
     for (std::int64_t l = 0; l < cfg.parvec; ++l) {
       const std::int64_t x_rel = x_rel_in + l;
@@ -161,8 +188,13 @@ void stream_block_generic(std::vector<ProcessingElement>& pes,
   const std::int64_t csx = cfg.csize_x();
   const std::int64_t csy = cfg.csize_y();
   const std::int64_t plane = cfg.row_cells();
+  // Periodic wrap-extended stream: see the 2D overload. The streamed
+  // dimension here is z, so the pre-pad is `drain` ghost planes.
+  const bool periodic = !pes.empty() && pes.front().taps().boundary().kind ==
+                                            BoundaryKind::periodic;
+  const std::int64_t prepad = periodic ? drain : 0;
   const std::int64_t vectors_per_block =
-      plan.cells_streamed_per_pass / cfg.parvec;
+      (plan.cells_streamed_per_pass + prepad * plane) / cfg.parvec;
 
   BlockContext ctx;
   ctx.block_x0 = blk.x0;
@@ -184,12 +216,21 @@ void stream_block_generic(std::vector<ProcessingElement>& pes,
     const std::int64_t y_rel_in = rem_in / cfg.bsize_x;
     const std::int64_t x_rel_in = rem_in % cfg.bsize_x;
     const std::int64_t yg_in = blk.y0 + y_rel_in;
-    const bool row_in_grid = z_in < in.nz() && yg_in >= 0 && yg_in < in.ny();
-    for (std::int64_t l = 0; l < cfg.parvec; ++l) {
-      const std::int64_t xg = blk.x0 + x_rel_in + l;
-      va[size_t(l)] = (row_in_grid && xg >= 0 && xg < in.nx())
-                          ? in.at(xg, yg_in, z_in)
-                          : 0.0f;
+    if (periodic) {
+      const std::int64_t zs = wrap_index(z_in - prepad, in.nz());
+      const std::int64_t ys = wrap_index(yg_in, in.ny());
+      for (std::int64_t l = 0; l < cfg.parvec; ++l) {
+        const std::int64_t xs = wrap_index(blk.x0 + x_rel_in + l, in.nx());
+        va[size_t(l)] = in.at(xs, ys, zs);
+      }
+    } else {
+      const bool row_in_grid = z_in < in.nz() && yg_in >= 0 && yg_in < in.ny();
+      for (std::int64_t l = 0; l < cfg.parvec; ++l) {
+        const std::int64_t xg = blk.x0 + x_rel_in + l;
+        va[size_t(l)] = (row_in_grid && xg >= 0 && xg < in.nx())
+                            ? in.at(xg, yg_in, z_in)
+                            : 0.0f;
+      }
     }
     stats.cells_streamed += cfg.parvec;
 
@@ -202,7 +243,7 @@ void stream_block_generic(std::vector<ProcessingElement>& pes,
     }
 
     // --- write kernel ---
-    const std::int64_t zg = z_in - drain;
+    const std::int64_t zg = z_in - drain - prepad;
     if (zg < 0 || zg >= in.nz()) continue;
     const std::int64_t y_rel = y_rel_in;
     const std::int64_t yg = blk.y0 + y_rel;

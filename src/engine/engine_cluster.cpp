@@ -47,7 +47,13 @@ std::uint64_t EngineCluster::route_key(const JobSpec& spec) {
   // Same identity vocabulary as the per-shard PlanCache key: a stream of
   // jobs that would share a cached plan shares a route, which is the
   // whole point of fingerprint affinity.
+  //
+  // Program jobs route by the program fingerprint (the DAG of node
+  // fingerprints): repeated submissions of one program land on one shard
+  // and reuse its per-node plans/tuning. The placeholder taps/grid below
+  // mix in constants, keeping the key stable per program.
   std::uint64_t h = kFnvOffset;
+  if (spec.program) fnv_mix(h, spec.program->fingerprint());
   fnv_mix(h, tap_set_fingerprint(spec.taps));
   fnv_mix(h, std::uint64_t(spec.config.dims));
   fnv_mix(h, std::uint64_t(spec.config.radius));

@@ -25,6 +25,7 @@
 #include "fault/resilient_runner.hpp"
 #include "fpga/device_spec.hpp"
 #include "grid/grid.hpp"
+#include "program/program_spec.hpp"
 #include "stencil/accel_config.hpp"
 #include "stencil/tap_set.hpp"
 
@@ -37,9 +38,8 @@ namespace fpga_stencil {
 /// blocks per worker, else the synchronous simulator.
 using Backend = ExecutionBackend;
 
-/// Either grid dimensionality, by value. The engine works on whichever
-/// alternative the spec carries; cfg.dims must agree (validated at submit).
-using GridVariant = std::variant<Grid2D<float>, Grid3D<float>>;
+// GridVariant (either grid dimensionality, by value) lives in
+// program/program_spec.hpp now that jobs and program fields share it.
 
 /// QoS service classes for the weighted admission queue (docs/SERVING.md).
 /// Lower value = more favored; the queue serves classes by weighted
@@ -70,6 +70,11 @@ inline constexpr int kQosClassCount = 3;
 struct ResultChunk {
   int dims = 2;
   std::int64_t nx = 0, ny = 0, nz = 1;
+  /// Field the band belongs to: empty for single-stencil jobs; the field
+  /// name for program jobs, which stream every non-work field in
+  /// declaration order (`index` stays continuous across fields and `last`
+  /// marks the final band of the final field).
+  std::string field;
   std::int64_t index = 0;  ///< chunk ordinal, 0-based
   std::int64_t start = 0;  ///< first row (2D) / plane (3D) of the band
   std::int64_t count = 0;  ///< rows / planes in the band
@@ -100,11 +105,30 @@ struct JobSpec {
         config(config_),
         grid(std::move(grid_)),
         iterations(iterations_) {}
+  /// Program job: submits a whole multi-field stencil program through the
+  /// same front door (docs/PROGRAMS.md). The single-stencil members are
+  /// inert placeholders for these jobs.
+  explicit JobSpec(std::shared_ptr<const ProgramSpec> program_)
+      : taps(2, 1, {Tap{0, 0, 0, 1.0f}}),
+        config(),
+        grid(Grid2D<float>(1, 1)),
+        iterations(0) {
+    program = std::move(program_);
+  }
 
   TapSet taps;
   AcceleratorConfig config;
   GridVariant grid;
   int iterations = 0;
+
+  /// Multi-field stencil program (docs/PROGRAMS.md). When set, the engine
+  /// ignores taps/config/grid/iterations above and instead plans and runs
+  /// every program node via ProgramExecutor; the result carries the final
+  /// state of every field in JobResult::fields, and a sink receives each
+  /// non-work field as its own chunk run (ResultChunk::field). Held by
+  /// shared_ptr so large initial fields are never copied through the
+  /// admission queue.
+  std::shared_ptr<const ProgramSpec> program;
 
   Backend backend = Backend::automatic;
   /// Dataflow knobs (concurrent / resilient backends).
@@ -177,13 +201,37 @@ struct JobSpec {
 inline void validate_job_spec(const JobSpec& spec) {
   FPGASTENCIL_EXPECT(spec.iterations >= 0, "iterations must be non-negative");
   FPGASTENCIL_EXPECT(spec.boards >= 1, "boards must be >= 1");
-  FPGASTENCIL_EXPECT(spec.config.dims == (spec.is_3d() ? 3 : 2),
-                     "grid dimensionality does not match the configuration");
   FPGASTENCIL_EXPECT(int(spec.qos) >= 0 && int(spec.qos) < kQosClassCount,
                      "qos class out of range");
   FPGASTENCIL_EXPECT(spec.chunk_values > 0, "chunk_values must be positive");
   FPGASTENCIL_EXPECT(!spec.sink_only || spec.sink,
                      "sink_only requires a chunk sink");
+  // Non-clamp boundary conditions and programs run on the in-process
+  // single-board backends only: the concurrent pipeline's geometry reader
+  // returns zeros outside the grid (clamp semantics are patched in the
+  // PEs), and the multi-FPGA cluster is a timing model that never touches
+  // cell data -- neither can honor periodic/reflective/dirichlet wraps.
+  const bool single_board_only =
+      spec.program != nullptr || !spec.taps.boundary().is_clamp();
+  if (single_board_only) {
+    FPGASTENCIL_EXPECT(
+        spec.backend == Backend::automatic ||
+            spec.backend == Backend::sync_sim ||
+            spec.backend == Backend::block_parallel,
+        "programs and non-clamp boundaries support only the automatic, "
+        "sync_sim and block_parallel backends");
+    FPGASTENCIL_EXPECT(
+        spec.injector == nullptr,
+        "programs and non-clamp boundaries do not take a fault injector");
+    FPGASTENCIL_EXPECT(spec.boards == 1,
+                       "programs and non-clamp boundaries are single-board");
+  }
+  if (spec.program) {
+    spec.program->validate();  // full DAG/shape validation at the front door
+  } else {
+    FPGASTENCIL_EXPECT(spec.config.dims == (spec.is_3d() ? 3 : 2),
+                       "grid dimensionality does not match the configuration");
+  }
 }
 
 /// What a finished job hands back.
@@ -211,6 +259,23 @@ struct JobResult {
   std::int64_t dispatch_seq = -1;
   /// Chunks streamed through JobSpec::sink (0 when no sink was set).
   std::int64_t chunks_delivered = 0;
+
+  // ---- Program jobs only (JobSpec::program; docs/PROGRAMS.md). `grid`
+  // holds its 1x1 placeholder for these; the data lives in `fields`.
+
+  /// Final state of every program field (work fields included), in
+  /// declaration order. Empty for single-stencil jobs.
+  std::vector<std::pair<std::string, GridVariant>> fields;
+  std::int64_t program_nodes_executed = 0;  ///< node runs = nodes * steps
+  std::int64_t program_steps = 0;           ///< timesteps advanced
+
+  /// Program-field accessors (throws std::out_of_range on a bad name).
+  [[nodiscard]] const GridVariant& field(std::string_view name) const {
+    for (const auto& f : fields) {
+      if (f.first == name) return f.second;
+    }
+    throw std::out_of_range("no such program field: " + std::string(name));
+  }
 
   JobResult() : grid(Grid2D<float>(1, 1)) {}
 

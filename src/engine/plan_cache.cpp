@@ -41,6 +41,16 @@ std::uint64_t tap_set_fingerprint(const TapSet& taps) {
     fnv_mix(h, std::uint64_t(t.dz));
     fnv_mix(h, std::bit_cast<std::uint32_t>(t.coeff));
   }
+  // The boundary condition is part of the stencil's value identity, but
+  // clamp -- the default and the only kind that existed before PR 10 --
+  // is deliberately NOT mixed in: a clamp tap set must fingerprint
+  // exactly as it always has, so warm TuningCache / PlanCache entries
+  // (keyed by this value) survive the upgrade.
+  const BoundaryCondition& bc = taps.boundary();
+  if (!bc.is_clamp()) {
+    fnv_mix(h, std::uint64_t(bc.kind));
+    fnv_mix(h, std::bit_cast<std::uint32_t>(bc.value));
+  }
   return h;
 }
 
@@ -119,7 +129,9 @@ std::shared_ptr<const CachedPlan> PlanCache::lookup_or_build(
   // Resolve the dispatch target once per plan; stream_block re-derives
   // the same answer per block (same registry, same structural match), so
   // the handle is a cached fact about the plan, not a side channel.
-  if (plan->config.use_specialized_kernels) {
+  // Specialized kernels hard-code the clamp border chains; every other
+  // boundary condition runs on the generic interpreter.
+  if (plan->config.use_specialized_kernels && taps.boundary().is_clamp()) {
     plan->specialized_kernel = KernelRegistry::instance().find(taps,
                                                               plan->config);
   }

@@ -8,6 +8,7 @@
 #include "common/stopwatch.hpp"
 #include "core/block_parallel_accelerator.hpp"
 #include "core/concurrent_accelerator.hpp"
+#include "program/program_executor.hpp"
 #include "tune/host_autotuner.hpp"
 
 namespace fpga_stencil {
@@ -26,6 +27,72 @@ std::vector<std::int64_t> cancel_latency_bounds_ns() {
   return {1'000,      10'000,      50'000,      100'000,      500'000,
           1'000'000,  5'000'000,   10'000'000,  50'000'000,   100'000'000,
           500'000'000, 1'000'000'000, 10'000'000'000};
+}
+
+/// Streams one grid through spec.sink in contiguous bands -- whole rows
+/// (2D) or whole z-planes (3D), both contiguous in the row-major layouts,
+/// so each chunk is one pointer + length into the grid with no staging
+/// copies. `chunk` carries the field identity and the running ordinal
+/// across calls; `final_grid` marks the stream's overall last band.
+void stream_grid_bands(const GridVariant& grid, const JobSpec& spec,
+                       ResultChunk& chunk, bool final_grid) {
+  std::int64_t stride = 0, total = 0;
+  const float* base = nullptr;
+  if (grid.index() == 0) {
+    const Grid2D<float>& g = std::get<Grid2D<float>>(grid);
+    chunk.dims = 2;
+    chunk.nx = g.nx();
+    chunk.ny = g.ny();
+    chunk.nz = 1;
+    stride = g.nx();
+    total = g.ny();
+    base = g.data();
+  } else {
+    const Grid3D<float>& g = std::get<Grid3D<float>>(grid);
+    chunk.dims = 3;
+    chunk.nx = g.nx();
+    chunk.ny = g.ny();
+    chunk.nz = g.nz();
+    stride = g.nx() * g.ny();
+    total = g.nz();
+    base = g.data();
+  }
+  const std::int64_t per_chunk =
+      std::max<std::int64_t>(1, spec.chunk_values / std::max<std::int64_t>(
+                                                        stride, 1));
+  for (std::int64_t start = 0; start < total; start += per_chunk) {
+    chunk.start = start;
+    chunk.count = std::min(per_chunk, total - start);
+    chunk.data = base + start * stride;
+    chunk.values = std::size_t(chunk.count * stride);
+    chunk.last = final_grid && start + chunk.count >= total;
+    spec.sink(chunk);
+    ++chunk.index;
+  }
+}
+
+/// Program-job delivery: every non-work field streams in declaration
+/// order as its own chunk run (ResultChunk::field names it); the ordinal
+/// stays continuous across fields and `last` marks the final band of the
+/// final deliverable field.
+void deliver_program_chunks(const JobSpec& spec, JobResult& result) {
+  const ProgramSpec& program = *spec.program;
+  std::size_t last_deliverable = program.fields.size();
+  for (std::size_t i = 0; i < program.fields.size(); ++i) {
+    if (!program.fields[i].work) last_deliverable = i;
+  }
+  ResultChunk chunk;
+  for (std::size_t i = 0; i < result.fields.size(); ++i) {
+    if (program.fields[i].work) continue;
+    chunk.field = result.fields[i].first;
+    stream_grid_bands(result.fields[i].second, spec, chunk,
+                      i == last_deliverable);
+  }
+  result.chunks_delivered = chunk.index;
+  if (spec.sink_only) {
+    // The stream was the delivery; free the server-side field copies now.
+    result.fields.clear();
+  }
 }
 
 }  // namespace
@@ -282,6 +349,50 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
   const Stopwatch run_clock;
   Backend backend_used = Backend::automatic;  // set once routing resolves
   try {
+    // One executor per job: the shared node runner over this engine's
+    // plan cache, pool, tuner and telemetry (src/program). Single-stencil
+    // jobs and program nodes resolve plans (with identical cache/tuner
+    // accounting) and run the single-board backends through this seam, so
+    // a single-stencil job really is the one-node-program special case.
+    ProgramExecutor::Services services;
+    services.plans = &plans_;
+    services.pool = &pool_;
+    services.tuner = tuner_.get();
+    services.autotune = options_.autotune;
+    services.telemetry = telemetry_;
+    services.metrics_prefix = options_.metrics_prefix;
+    services.backend = spec.backend;
+    services.workers = spec.workers;
+    ProgramExecutor exec(std::move(services));
+
+    if (spec.program) {
+      // Program job: the whole DAG advances as one QoS unit on this
+      // worker. The breaker stays out of the loop (per-node routing is
+      // the executor's, and ConfigErrors say nothing about backends).
+      ProgramOutcome outcome = exec.run(*spec.program, &job.token, worker_id);
+      JobResult result;
+      result.backend = spec.backend;  // per-node routing may differ
+      result.plan_cache_hit = outcome.all_plans_cached;
+      result.plan_tuned = outcome.any_plan_tuned;
+      result.kernel_fingerprint = outcome.fingerprint;
+      result.label = spec.label;
+      result.tenant = spec.tenant;
+      result.qos = spec.qos;
+      result.dispatch_seq = job.dispatch_seq;
+      result.queue_ns = queue_ns;
+      result.stats = outcome.stats;
+      result.fields = std::move(outcome.fields);
+      result.program_nodes_executed = outcome.nodes_executed;
+      result.program_steps = outcome.steps_executed;
+      if (spec.sink) deliver_program_chunks(spec, result);
+      result.run_ns = run_clock.nanoseconds();
+      record_job_metrics(*telemetry_, options_.metrics_prefix, queue_ns,
+                         result.run_ns, result.stats.cells_written);
+      telemetry_->metrics().counter(m("jobs_completed")).add(1);
+      finish(job, std::move(result));
+      return;
+    }
+
     const std::int64_t nx =
         std::visit([](const auto& g) { return g.nx(); }, spec.grid);
     const std::int64_t ny =
@@ -290,36 +401,8 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
         spec.is_3d() ? std::get<Grid3D<float>>(spec.grid).nz() : 1;
 
     bool hit = false;
-    const PlanAutotune autotune{options_.autotune, tuner_.get(), &job.token};
-    const std::shared_ptr<const CachedPlan> plan = plans_.lookup_or_build(
-        spec.taps, spec.config, nx, ny, nz, &hit, autotune);
-    telemetry_->metrics()
-        .counter(hit ? m("plan_cache_hit") : m("plan_cache_miss"))
-        .add(1);
-    if (plan->tuned) {
-      // tuner.cache_hit counts every job served by an already-tuned plan
-      // (plan-cache hit, or a build whose winner came from the
-      // TuningCache); tuner.cache_miss counts the builds that probed.
-      const bool probed = !hit && !plan->tuned_from_cache;
-      telemetry_->metrics()
-          .counter(probed ? m("tuner.cache_miss") : m("tuner.cache_hit"))
-          .add(1);
-      if (probed) {
-        telemetry_->metrics().counter(m("tuner.search_runs")).add(1);
-        telemetry_->metrics()
-            .counter(m("tuner.search_candidates"))
-            .add(plan->tuner_candidates_probed);
-        telemetry_->metrics()
-            .counter(m("tuner.search_ns"))
-            .add(plan->tuner_search_ns);
-      }
-      if (plan->tuned_baseline_mcells > 0.0) {
-        telemetry_->metrics()
-            .gauge(m("tuner.gain_milli"))
-            .set(std::int64_t(plan->tuned_mcells /
-                              plan->tuned_baseline_mcells * 1000.0));
-      }
-    }
+    const std::shared_ptr<const CachedPlan> plan = exec.resolve_plan(
+        spec.taps, spec.config, nx, ny, nz, &job.token, &hit);
 
     // Routing. An automatic job with an injector goes to the resilient
     // runner, never the bare concurrent pipeline: an injected stall
@@ -335,10 +418,7 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
       } else if (spec.injector != nullptr) {
         backend = Backend::resilient;
       } else {
-        const std::int64_t p = requested_block_workers(spec.workers);
-        backend = (p >= 2 && plan->blocking.total_blocks() >= 2 * p)
-                      ? Backend::block_parallel
-                      : Backend::sync_sim;
+        backend = exec.route(*plan);
       }
     }
 
@@ -375,11 +455,16 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
         [&](auto& grid) {
           switch (backend) {
             case Backend::automatic:  // resolved above; unreachable
-            case Backend::sync_sim: {
-              BufferPool::Lease lease(pool_, std::size_t(cells));
-              StencilAccelerator accel(spec.taps, cfg);
-              result.stats = accel.run(grid, spec.iterations, &lease.buffer(),
-                                       &job.token);
+            case Backend::sync_sim:
+            case Backend::block_parallel: {
+              // The shared single-board arms (src/program): identical to
+              // what every program node runs through.
+              NodeRunOptions nopts;
+              nopts.injector = spec.injector;
+              nopts.watchdog_deadline = spec.watchdog_deadline;
+              result.stats =
+                  exec.run_planned(spec.taps, cfg, backend, grid,
+                                   spec.iterations, &job.token, nopts);
               break;
             }
             case Backend::concurrent: {
@@ -392,19 +477,6 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
               ropts.cancel = job.token;
               result.stats =
                   run_concurrent(spec.taps, cfg, grid, spec.iterations, ropts);
-              break;
-            }
-            case Backend::block_parallel: {
-              BufferPool::Lease lease(pool_, std::size_t(cells));
-              RunOptions ropts;
-              ropts.workers = spec.workers;
-              ropts.injector = spec.injector;
-              ropts.watchdog_deadline = spec.watchdog_deadline;
-              ropts.scratch = &lease.buffer();
-              ropts.pool = &pool_;  // per-worker lane scratch
-              ropts.cancel = job.token;
-              result.stats = run_block_parallel(spec.taps, cfg, grid,
-                                                spec.iterations, ropts);
               break;
             }
             case Backend::resilient: {
@@ -472,42 +544,8 @@ void StencilEngine::execute(detail::JobState& job, int worker_id) {
 }
 
 void StencilEngine::deliver_chunks(const JobSpec& spec, JobResult& result) {
-  // Bands are whole rows (2D) or whole z-planes (3D): contiguous in the
-  // row-major layouts, so each chunk is one pointer + length into the
-  // result grid -- no staging copies on the server side.
-  ResultChunk chunk;
-  std::int64_t stride = 0, total = 0;
-  const float* base = nullptr;
-  if (result.grid.index() == 0) {
-    const Grid2D<float>& g = std::get<Grid2D<float>>(result.grid);
-    chunk.dims = 2;
-    chunk.nx = g.nx();
-    chunk.ny = g.ny();
-    stride = g.nx();
-    total = g.ny();
-    base = g.data();
-  } else {
-    const Grid3D<float>& g = std::get<Grid3D<float>>(result.grid);
-    chunk.dims = 3;
-    chunk.nx = g.nx();
-    chunk.ny = g.ny();
-    chunk.nz = g.nz();
-    stride = g.nx() * g.ny();
-    total = g.nz();
-    base = g.data();
-  }
-  const std::int64_t per_chunk =
-      std::max<std::int64_t>(1, spec.chunk_values / std::max<std::int64_t>(
-                                                        stride, 1));
-  for (std::int64_t start = 0; start < total; start += per_chunk) {
-    chunk.start = start;
-    chunk.count = std::min(per_chunk, total - start);
-    chunk.data = base + start * stride;
-    chunk.values = std::size_t(chunk.count * stride);
-    chunk.last = start + chunk.count >= total;
-    spec.sink(chunk);
-    ++chunk.index;
-  }
+  ResultChunk chunk;  // field stays empty: single-stencil stream
+  stream_grid_bands(result.grid, spec, chunk, /*final_grid=*/true);
   result.chunks_delivered = chunk.index;
   if (spec.sink_only) {
     // The stream was the delivery; free the server-side copy now.

@@ -4,6 +4,13 @@
 // box_kernels_*.cpp); everything else links against those instantiations
 // through the extern templates.
 //
+// Specialized kernels are the clamp fast path: the border select-chains
+// below hard-code clamp-toward-grid per axis. Tap sets carrying any other
+// BoundaryCondition never dispatch here -- block_streamer::try_specialized
+// and PlanCache's specialized-kernel resolution both gate on
+// taps.boundary().is_clamp(), routing the generic interpreter instead
+// (docs/PROGRAMS.md).
+//
 // ## Algorithm: array-form rolling window
 //
 // The interpreter emulates the FPGA datapath literally: one flat

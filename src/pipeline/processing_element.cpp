@@ -3,20 +3,46 @@
 namespace fpga_stencil {
 namespace {
 
+/// Forward shift-register reach of a tap set under a configuration.
+/// For reflective boundaries a border remap can flip any tap to its
+/// mirror, so the reach is the abs-valued worst case (equal to the
+/// plain max for star/box sets, larger only for asymmetric shapes).
+std::int64_t forward_reach(const TapSet& taps, const AcceleratorConfig& cfg) {
+  const std::int64_t max_flat =
+      taps.max_flat_offset(cfg.bsize_x, cfg.row_cells());
+  if (taps.boundary().kind != BoundaryKind::reflective) return max_flat;
+  return std::max(max_flat,
+                  taps.max_abs_flat_offset(cfg.bsize_x, cfg.row_cells()));
+}
+
+/// Backward reach (non-positive), mirrored for reflective boundaries.
+std::int64_t backward_reach(const TapSet& taps, const AcceleratorConfig& cfg) {
+  const std::int64_t min_flat =
+      taps.min_flat_offset(cfg.bsize_x, cfg.row_cells());
+  if (taps.boundary().kind != BoundaryKind::reflective) return min_flat;
+  return std::min(min_flat,
+                  -taps.max_abs_flat_offset(cfg.bsize_x, cfg.row_cells()));
+}
+
 /// Shift-register size for a tap set under a configuration: the window
 /// from the oldest tap the center needs back to the newest loaded cell.
 std::int64_t sr_size_for(const TapSet& taps, const AcceleratorConfig& cfg) {
   const std::int64_t row_cells = cfg.row_cells();
   const std::int64_t lag_cells =
       std::int64_t(cfg.effective_stage_lag()) * row_cells;
-  const std::int64_t max_flat =
-      taps.max_flat_offset(cfg.bsize_x, row_cells);
+  const std::int64_t max_flat = forward_reach(taps, cfg);
   FPGASTENCIL_EXPECT(
       max_flat <= lag_cells,
       "stage lag too small for the tap set's forward reach; set "
       "AcceleratorConfig::stage_lag = ceil(max_flat / row_cells)");
-  return lag_cells - taps.min_flat_offset(cfg.bsize_x, row_cells) +
-         cfg.parvec;
+  return lag_cells - backward_reach(taps, cfg) + cfg.parvec;
+}
+
+/// Single-bounce mirror about the boundary cell (reflective BC).
+std::int64_t mirror_index(std::int64_t i, std::int64_t n) {
+  if (i < 0) return -i;
+  if (i >= n) return 2 * n - 2 - i;
+  return i;
 }
 
 }  // namespace
@@ -28,7 +54,7 @@ ProcessingElement::ProcessingElement(const TapSet& taps,
       stage_(stage),
       row_cells_(cfg.row_cells()),
       lag_cells_(std::int64_t(cfg.effective_stage_lag()) * cfg.row_cells()),
-      center_base_(-taps.min_flat_offset(cfg.bsize_x, cfg.row_cells())),
+      center_base_(-backward_reach(taps, cfg)),
       sr_(sr_size_for(taps, cfg), cfg.parvec) {
   cfg_.validate();
   FPGASTENCIL_EXPECT(stage >= 0 && stage < cfg.partime,
@@ -93,6 +119,24 @@ float ProcessingElement::compute_lane(std::int64_t lane,
   const int rad = cfg_.radius;
   const int lag = cfg_.effective_stage_lag();
   const std::int64_t sr_center = center_base_ + lane;
+  const BoundaryCondition& bc = taps_.boundary();
+  const std::size_t n = taps_.size();
+  const float* cf = coeffs_.data();
+
+  // Periodic boundaries never take a border select-chain: the read
+  // kernel feeds a wrap-extended stream (block_streamer pre-pads the
+  // streamed dimension and wraps every fetch modulo the grid), so each
+  // lane's neighbors sit at the *plain* tap offsets -- including ghost
+  // rows, whose computed values the later stages consume. Every lane,
+  // ghost or not, runs the interior fast path.
+  if (bc.kind == BoundaryKind::periodic) {
+    const std::int64_t* off = flat_offsets_.data();
+    float acc = cf[0] * sr_.tap(sr_center + off[0]);
+    for (std::size_t t = 1; t < n; ++t) {
+      acc += cf[t] * sr_.tap(sr_center + off[t]);
+    }
+    return acc;
+  }
 
   // Decompose the block-local flat index into coordinates and recover the
   // center's global position (the collapsed-loop index arithmetic of the
@@ -116,10 +160,7 @@ float ProcessingElement::compute_lane(std::int64_t lane,
     }
   }
 
-  const std::size_t n = taps_.size();
-  const float* cf = coeffs_.data();
-
-  // Interior fast path: no clamping possible, use precomputed offsets.
+  // Interior fast path: no border remap possible, use precomputed offsets.
   const bool interior =
       xg >= rad && xg < ctx_.nx - rad && yg >= rad && yg < ctx_.ny - rad &&
       (cfg_.dims == 2 || (zg >= rad && zg < ctx_.nz - rad));
@@ -132,20 +173,47 @@ float ProcessingElement::compute_lane(std::int64_t lane,
     return acc;
   }
 
-  // Border path: clamp each tap per axis and select the clamped
-  // coordinate's shift-register cell (the generated boundary-condition
-  // code of the paper).
+  // Border path: resolve each tap per axis by the boundary condition and
+  // select the remapped coordinate's shift-register cell (the generated
+  // boundary-condition code of the paper, generalized from clamp to the
+  // BC select-chains). Dirichlet taps that leave the grid read the fixed
+  // ghost value instead of the register.
   const auto& taps = taps_.taps();
   float acc = 0.0f;
   for (std::size_t t = 0; t < n; ++t) {
     const Tap& tap = taps[t];
-    std::int64_t delta =
-        clamp_index(xg + tap.dx, 0, ctx_.nx - 1) - xg +
-        (clamp_index(yg + tap.dy, 0, ctx_.ny - 1) - yg) * cfg_.bsize_x;
-    if (cfg_.dims == 3) {
-      delta += (clamp_index(zg + tap.dz, 0, ctx_.nz - 1) - zg) * row_cells_;
+    float v;
+    if (bc.kind == BoundaryKind::dirichlet) {
+      const std::int64_t tx = xg + tap.dx;
+      const std::int64_t ty = yg + tap.dy;
+      const std::int64_t tz = zg + tap.dz;
+      const bool inside =
+          tx >= 0 && tx < ctx_.nx && ty >= 0 && ty < ctx_.ny &&
+          (cfg_.dims == 2 || (tz >= 0 && tz < ctx_.nz));
+      if (inside) {
+        std::int64_t delta = tap.dx + tap.dy * cfg_.bsize_x;
+        if (cfg_.dims == 3) delta += tap.dz * row_cells_;
+        v = sr_.tap(sr_center + delta);
+      } else {
+        v = bc.value;
+      }
+    } else if (bc.kind == BoundaryKind::reflective) {
+      std::int64_t delta =
+          mirror_index(xg + tap.dx, ctx_.nx) - xg +
+          (mirror_index(yg + tap.dy, ctx_.ny) - yg) * cfg_.bsize_x;
+      if (cfg_.dims == 3) {
+        delta += (mirror_index(zg + tap.dz, ctx_.nz) - zg) * row_cells_;
+      }
+      v = sr_.tap(sr_center + delta);
+    } else {
+      std::int64_t delta =
+          clamp_index(xg + tap.dx, 0, ctx_.nx - 1) - xg +
+          (clamp_index(yg + tap.dy, 0, ctx_.ny - 1) - yg) * cfg_.bsize_x;
+      if (cfg_.dims == 3) {
+        delta += (clamp_index(zg + tap.dz, 0, ctx_.nz - 1) - zg) * row_cells_;
+      }
+      v = sr_.tap(sr_center + delta);
     }
-    const float v = sr_.tap(sr_center + delta);
     if (t == 0) {
       acc = cf[0] * v;
     } else {

@@ -1,0 +1,103 @@
+#include "program/program_reference.hpp"
+
+#include <utility>
+
+#include "stencil/reference.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+/// Per-field working state: `front` is the step-start value (immutable
+/// within a step), `back` collects this step's writes.
+struct FieldState {
+  std::vector<float> front;
+  std::vector<float> back;
+  bool written = false;  ///< some writer populated `back` this step
+  std::int64_t nx = 0, ny = 0, nz = 1;
+};
+
+/// Advances a copy of `src` by `iterations` applications of `taps` on the
+/// naive reference executor; returns the advanced storage.
+std::vector<float> reference_node_run(const TapSet& taps, int dims,
+                                      const FieldState& f,
+                                      const std::vector<float>& src,
+                                      int iterations) {
+  std::vector<float> buf(src);
+  if (dims == 2) {
+    Grid2D<float> g(f.nx, f.ny, std::move(buf));
+    reference_run(taps, g, iterations);
+    return g.release_storage();
+  }
+  Grid3D<float> g(f.nx, f.ny, f.nz, std::move(buf));
+  reference_run(taps, g, iterations);
+  return g.release_storage();
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, GridVariant>> reference_run_program(
+    const ProgramSpec& program) {
+  program.validate();
+  const std::vector<std::size_t> order = program.schedule();
+  const std::vector<bool> reads_back = detail::reads_back_flags(program);
+  const int dims = program.dims();
+
+  std::vector<FieldState> states(program.fields.size());
+  for (std::size_t i = 0; i < program.fields.size(); ++i) {
+    const FieldSpec& f = program.fields[i];
+    FieldState& s = states[i];
+    s.nx = grid_variant_nx(f.data);
+    s.ny = grid_variant_ny(f.data);
+    s.nz = grid_variant_nz(f.data);
+    const float* data = grid_variant_data(f.data);
+    s.front.assign(data, data + grid_variant_cells(f.data));
+  }
+
+  std::vector<TapSet> stamped;
+  stamped.reserve(program.nodes.size());
+  for (std::size_t i = 0; i < program.nodes.size(); ++i) {
+    stamped.push_back(program.stamped_taps(i));
+  }
+
+  for (int step = 0; step < program.steps; ++step) {
+    for (const std::size_t idx : order) {
+      const KernelNode& node = program.nodes[idx];
+      FieldState& in = states[std::size_t(program.field_index(node.reads))];
+      FieldState& out =
+          states[std::size_t(program.field_index(node.writes))];
+      const std::vector<float>& src = reads_back[idx] ? in.back : in.front;
+      const std::vector<float> result =
+          reference_node_run(stamped[idx], dims, in, src, node.iterations);
+      if (out.back.size() != out.front.size()) {
+        out.back.resize(out.front.size());
+      }
+      detail::combine_field(node.combine, out.written, out.front.data(),
+                            result.data(), out.back.data(),
+                            std::int64_t(out.front.size()));
+      out.written = true;
+    }
+    for (FieldState& s : states) {
+      if (s.written) {
+        std::swap(s.front, s.back);
+        s.written = false;
+      }
+    }
+  }
+
+  std::vector<std::pair<std::string, GridVariant>> result;
+  result.reserve(program.fields.size());
+  for (std::size_t i = 0; i < program.fields.size(); ++i) {
+    FieldState& s = states[i];
+    if (dims == 2) {
+      result.emplace_back(program.fields[i].name,
+                          Grid2D<float>(s.nx, s.ny, std::move(s.front)));
+    } else {
+      result.emplace_back(
+          program.fields[i].name,
+          Grid3D<float>(s.nx, s.ny, s.nz, std::move(s.front)));
+    }
+  }
+  return result;
+}
+
+}  // namespace fpga_stencil

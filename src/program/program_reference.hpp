@@ -1,0 +1,26 @@
+// Golden model for stencil programs: the multi-field generalization of
+// stencil/reference.hpp.
+//
+// Runs every node of a ProgramSpec on the naive CPU tap-set executors
+// (reference_run over the node's boundary-stamped taps), with the exact
+// front/back-buffer and combine semantics of program_spec.hpp --
+// including the shared detail::combine_field accumulation order -- so a
+// program executed through ProgramExecutor (and hence through the engine
+// on any backend) must match this model bit-for-bit. The program tests
+// and the stencilctl program campaigns both check against it.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "program/program_spec.hpp"
+
+namespace fpga_stencil {
+
+/// Final state of every field after `program.steps` timesteps, in field
+/// declaration order. Validates the program first (throws ConfigError).
+[[nodiscard]] std::vector<std::pair<std::string, GridVariant>>
+reference_run_program(const ProgramSpec& program);
+
+}  // namespace fpga_stencil

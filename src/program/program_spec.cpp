@@ -1,0 +1,385 @@
+#include "program/program_spec.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/expect.hpp"
+#include "engine/plan_cache.hpp"  // tap_set_fingerprint
+
+namespace fpga_stencil {
+
+std::int64_t grid_variant_nx(const GridVariant& g) {
+  return std::visit([](const auto& grid) { return grid.nx(); }, g);
+}
+
+std::int64_t grid_variant_ny(const GridVariant& g) {
+  return std::visit([](const auto& grid) { return grid.ny(); }, g);
+}
+
+std::int64_t grid_variant_nz(const GridVariant& g) {
+  return std::holds_alternative<Grid3D<float>>(g)
+             ? std::get<Grid3D<float>>(g).nz()
+             : 1;
+}
+
+int grid_variant_dims(const GridVariant& g) {
+  return std::holds_alternative<Grid3D<float>>(g) ? 3 : 2;
+}
+
+std::int64_t grid_variant_cells(const GridVariant& g) {
+  return std::visit(
+      [](const auto& grid) { return std::int64_t(grid.size()); }, g);
+}
+
+const float* grid_variant_data(const GridVariant& g) {
+  return std::visit([](const auto& grid) { return grid.data(); }, g);
+}
+
+const FieldSpec* ProgramSpec::find_field(std::string_view name) const {
+  for (const FieldSpec& f : fields) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+int ProgramSpec::field_index(std::string_view name) const {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == name) return int(i);
+  }
+  return -1;
+}
+
+int ProgramSpec::node_index(std::string_view name) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].name == name) return int(i);
+  }
+  return -1;
+}
+
+int ProgramSpec::dims() const {
+  FPGASTENCIL_EXPECT(!fields.empty(), "program has no fields");
+  return grid_variant_dims(fields.front().data);
+}
+
+TapSet ProgramSpec::stamped_taps(std::size_t i) const {
+  const KernelNode& node = nodes.at(i);
+  const FieldSpec* in = find_field(node.reads);
+  FPGASTENCIL_EXPECT(in != nullptr, "node '" + node.name +
+                                        "' reads unknown field '" +
+                                        node.reads + "'");
+  return node.taps.with_boundary(in->boundary);
+}
+
+std::vector<std::vector<bool>> ProgramSpec::dependency_closure() const {
+  const std::size_t n = nodes.size();
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::string& dep : nodes[i].after) {
+      const int j = node_index(dep);
+      FPGASTENCIL_EXPECT(j >= 0, "node '" + nodes[i].name +
+                                     "' depends on unknown node '" + dep +
+                                     "'");
+      adj[i].push_back(std::size_t(j));
+    }
+  }
+  // Iterative DFS from each node; terminates even on (invalid) cyclic
+  // input, so validate() can call this before acyclicity is established.
+  std::vector<std::vector<bool>> closure(n, std::vector<bool>(n, false));
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < n; ++i) {
+    stack.assign(adj[i].begin(), adj[i].end());
+    while (!stack.empty()) {
+      const std::size_t j = stack.back();
+      stack.pop_back();
+      if (closure[i][j]) continue;
+      closure[i][j] = true;
+      stack.insert(stack.end(), adj[j].begin(), adj[j].end());
+    }
+  }
+  return closure;
+}
+
+std::vector<std::size_t> ProgramSpec::schedule() const {
+  const std::size_t n = nodes.size();
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> dependents(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::string& dep : nodes[i].after) {
+      const int j = node_index(dep);
+      FPGASTENCIL_EXPECT(j >= 0, "node '" + nodes[i].name +
+                                     "' depends on unknown node '" + dep +
+                                     "'");
+      ++indegree[i];
+      dependents[std::size_t(j)].push_back(i);
+    }
+  }
+  // Kahn's algorithm with ties broken by declaration index, so the
+  // schedule -- and therefore every floating-point combine order -- is a
+  // pure function of the spec.
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> emitted(n, false);
+  for (std::size_t emitted_count = 0; emitted_count < n;) {
+    std::size_t pick = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!emitted[i] && indegree[i] == 0) {
+        pick = i;
+        break;
+      }
+    }
+    FPGASTENCIL_EXPECT(pick < n,
+                       "program dependency graph has a cycle (every "
+                       "unscheduled node still has unmet `after` edges)");
+    emitted[pick] = true;
+    order.push_back(pick);
+    ++emitted_count;
+    for (const std::size_t d : dependents[pick]) --indegree[d];
+  }
+  return order;
+}
+
+void ProgramSpec::validate() const {
+  FPGASTENCIL_EXPECT(!fields.empty(), "program needs at least one field");
+  FPGASTENCIL_EXPECT(!nodes.empty(), "program needs at least one node");
+  FPGASTENCIL_EXPECT(steps >= 0, "program steps must be non-negative");
+
+  const int d = dims();
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const FieldSpec& f = fields[i];
+    FPGASTENCIL_EXPECT(!f.name.empty(), "field names must be non-empty");
+    FPGASTENCIL_EXPECT(field_index(f.name) == int(i),
+                       "duplicate field name '" + f.name + "'");
+    FPGASTENCIL_EXPECT(grid_variant_dims(f.data) == d,
+                       "field '" + f.name +
+                           "' mixes dimensionalities with the program");
+  }
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const KernelNode& node = nodes[i];
+    FPGASTENCIL_EXPECT(!node.name.empty(), "node names must be non-empty");
+    FPGASTENCIL_EXPECT(node_index(node.name) == int(i),
+                       "duplicate node name '" + node.name + "'");
+    FPGASTENCIL_EXPECT(node.iterations >= 0,
+                       "node '" + node.name +
+                           "' iterations must be non-negative");
+    const FieldSpec* in = find_field(node.reads);
+    const FieldSpec* out = find_field(node.writes);
+    FPGASTENCIL_EXPECT(in != nullptr, "node '" + node.name +
+                                          "' reads unknown field '" +
+                                          node.reads + "'");
+    FPGASTENCIL_EXPECT(out != nullptr, "node '" + node.name +
+                                           "' writes unknown field '" +
+                                           node.writes + "'");
+    FPGASTENCIL_EXPECT(node.config.dims == d && node.taps.dims() == d,
+                       "node '" + node.name +
+                           "' disagrees with the program dimensionality");
+    FPGASTENCIL_EXPECT(node.taps.radius() <= node.config.radius,
+                       "node '" + node.name +
+                           "' tap radius exceeds its configured radius");
+    FPGASTENCIL_EXPECT(
+        grid_variant_nx(in->data) == grid_variant_nx(out->data) &&
+            grid_variant_ny(in->data) == grid_variant_ny(out->data) &&
+            grid_variant_nz(in->data) == grid_variant_nz(out->data),
+        "node '" + node.name + "' maps field '" + node.reads +
+            "' onto differently-shaped field '" + node.writes + "'");
+    if (in->boundary.kind == BoundaryKind::reflective) {
+      const std::int64_t r = node.taps.radius();
+      FPGASTENCIL_EXPECT(
+          grid_variant_nx(in->data) > r && grid_variant_ny(in->data) > r &&
+              (d == 2 || grid_variant_nz(in->data) > r),
+          "reflective field '" + in->name +
+              "' needs every extent > the reading node's radius");
+    }
+    for (const std::string& dep : node.after) {
+      FPGASTENCIL_EXPECT(node_index(dep) >= 0,
+                         "node '" + node.name +
+                             "' depends on unknown node '" + dep + "'");
+      FPGASTENCIL_EXPECT(dep != node.name,
+                         "node '" + node.name + "' depends on itself");
+    }
+  }
+
+  (void)schedule();  // throws on a cycle
+  const std::vector<std::vector<bool>> closure = dependency_closure();
+
+  // Writer rules: every pair of writers of one field must be ordered by
+  // the dependency relation (their combine order is then a pure function
+  // of the DAG); at most one assign writer, preceding every add.
+  for (const FieldSpec& f : fields) {
+    std::vector<std::size_t> writers;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].writes == f.name) writers.push_back(i);
+    }
+    int assign_writer = -1;
+    for (const std::size_t w : writers) {
+      if (nodes[w].combine != CombineOp::assign) continue;
+      FPGASTENCIL_EXPECT(assign_writer < 0,
+                         "field '" + f.name +
+                             "' has multiple assign writers ('" +
+                             nodes[std::size_t(assign_writer)].name +
+                             "', '" + nodes[w].name + "')");
+      assign_writer = int(w);
+    }
+    for (std::size_t a = 0; a < writers.size(); ++a) {
+      for (std::size_t b = a + 1; b < writers.size(); ++b) {
+        const std::size_t wa = writers[a], wb = writers[b];
+        FPGASTENCIL_EXPECT(
+            closure[wa][wb] || closure[wb][wa],
+            "writers '" + nodes[wa].name + "' and '" + nodes[wb].name +
+                "' of field '" + f.name +
+                "' are not ordered by `after` edges");
+      }
+      if (assign_writer >= 0 && writers[a] != std::size_t(assign_writer)) {
+        FPGASTENCIL_EXPECT(
+            closure[writers[a]][std::size_t(assign_writer)],
+            "assign writer '" + nodes[std::size_t(assign_writer)].name +
+                "' of field '" + f.name +
+                "' must precede add writer '" + nodes[writers[a]].name +
+                "'");
+      }
+    }
+  }
+
+  // Reader rules: a node that depends on one writer of its input field
+  // must be ordered against all of them (else the value it reads depends
+  // on tie-breaks); a work field is scratch, so reading it without
+  // depending on a writer reads stale data -- rejected.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const FieldSpec& f = *find_field(nodes[i].reads);
+    bool depends_on_writer = false;
+    for (std::size_t w = 0; w < nodes.size(); ++w) {
+      if (nodes[w].writes == f.name && closure[i][w]) {
+        depends_on_writer = true;
+        break;
+      }
+    }
+    if (depends_on_writer) {
+      for (std::size_t w = 0; w < nodes.size(); ++w) {
+        if (nodes[w].writes != f.name || w == i) continue;
+        FPGASTENCIL_EXPECT(closure[i][w] || closure[w][i],
+                           "node '" + nodes[i].name + "' reads field '" +
+                               f.name +
+                               "' but is not ordered against its writer '" +
+                               nodes[w].name + "'");
+      }
+    }
+    if (f.work) {
+      FPGASTENCIL_EXPECT(depends_on_writer,
+                         "node '" + nodes[i].name + "' reads work field '" +
+                             f.name + "' before it is written");
+    }
+  }
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (value >> (8 * byte)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix_str(std::uint64_t& h, const std::string& s) {
+  fnv_mix(h, std::uint64_t(s.size()));
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t ProgramSpec::fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, std::uint64_t(fields.size()));
+  for (const FieldSpec& f : fields) {
+    fnv_mix_str(h, f.name);
+    fnv_mix(h, std::uint64_t(grid_variant_dims(f.data)));
+    fnv_mix(h, std::uint64_t(grid_variant_nx(f.data)));
+    fnv_mix(h, std::uint64_t(grid_variant_ny(f.data)));
+    fnv_mix(h, std::uint64_t(grid_variant_nz(f.data)));
+    fnv_mix(h, std::uint64_t(f.boundary.kind));
+    fnv_mix(h, std::bit_cast<std::uint32_t>(f.boundary.value));
+    fnv_mix(h, f.work ? 1 : 0);
+  }
+  fnv_mix(h, std::uint64_t(nodes.size()));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const KernelNode& node = nodes[i];
+    fnv_mix_str(h, node.name);
+    fnv_mix(h, tap_set_fingerprint(stamped_taps(i)));
+    fnv_mix(h, std::uint64_t(node.config.dims));
+    fnv_mix(h, std::uint64_t(node.config.radius));
+    fnv_mix(h, std::uint64_t(node.config.parvec));
+    fnv_mix(h, std::uint64_t(node.config.partime));
+    fnv_mix(h, std::uint64_t(node.config.stage_lag));
+    fnv_mix(h, std::uint64_t(node.config.bsize_x));
+    fnv_mix(h, std::uint64_t(node.config.bsize_y));
+    fnv_mix(h, node.config.use_specialized_kernels ? 1 : 0);
+    fnv_mix_str(h, node.reads);
+    fnv_mix_str(h, node.writes);
+    fnv_mix(h, std::uint64_t(node.combine));
+    fnv_mix(h, std::uint64_t(node.iterations));
+    fnv_mix(h, std::uint64_t(node.after.size()));
+    for (const std::string& dep : node.after) {
+      fnv_mix(h, std::uint64_t(node_index(dep)));
+    }
+  }
+  return h;
+}
+
+ProgramSpec single_stencil_program(TapSet taps, AcceleratorConfig config,
+                                   GridVariant grid, int iterations) {
+  ProgramSpec program;
+  FieldSpec field;
+  field.name = "u";
+  field.boundary = taps.boundary();
+  field.data = std::move(grid);
+  program.fields.push_back(std::move(field));
+  KernelNode node{.name = "stencil",
+                  .taps = std::move(taps),
+                  .config = config,
+                  .reads = "u",
+                  .writes = "u",
+                  .combine = CombineOp::assign,
+                  .iterations = iterations,
+                  .after = {}};
+  program.nodes.push_back(std::move(node));
+  program.steps = 1;
+  return program;
+}
+
+namespace detail {
+
+void combine_field(CombineOp op, bool initialized, const float* front,
+                   const float* result, float* back, std::int64_t cells) {
+  if (op == CombineOp::assign) {
+    std::copy(result, result + cells, back);
+  } else if (!initialized) {
+    for (std::int64_t i = 0; i < cells; ++i) back[i] = front[i] + result[i];
+  } else {
+    for (std::int64_t i = 0; i < cells; ++i) back[i] += result[i];
+  }
+}
+
+std::vector<bool> reads_back_flags(const ProgramSpec& program) {
+  const std::vector<std::vector<bool>> closure = program.dependency_closure();
+  std::vector<bool> flags(program.nodes.size(), false);
+  for (std::size_t i = 0; i < program.nodes.size(); ++i) {
+    for (std::size_t w = 0; w < program.nodes.size(); ++w) {
+      if (closure[i][w] &&
+          program.nodes[w].writes == program.nodes[i].reads) {
+        flags[i] = true;
+        break;
+      }
+    }
+  }
+  return flags;
+}
+
+}  // namespace detail
+
+}  // namespace fpga_stencil

@@ -4,6 +4,8 @@
 
 #include <cstdint>
 
+#include "stencil/tap_set.hpp"
+
 namespace fpga_stencil {
 
 /// Value precision of the stencil data. The paper evaluates float32; the
@@ -42,6 +44,13 @@ struct StencilCharacteristics {
   /// multiply count drops but the adds remain, saving exactly one DSP
   /// (Section V.A, shared-coefficient remark).
   std::int64_t dsp_per_cell_shared = 0;
+
+  /// Border handling of the characterized stencil. Clamp (the paper's
+  /// generated code and the default) costs nothing extra; the other kinds
+  /// run on the generic interpreter, not the specialized kernels, which
+  /// is a dispatch fact, not a FLOP-count change -- per-cell arithmetic
+  /// is identical for every kind except dirichlet's constant ghost reads.
+  BoundaryCondition boundary;
 };
 
 /// Closed-form characteristics for a star stencil.

@@ -49,13 +49,61 @@ void reference_run(const StarStencil& stencil, Grid3D<float>& grid,
 
 // --- generic tap-set executors ---
 
+namespace {
+
+/// Modular wrap into [0, n). Offsets are bounded by the radius, so one
+/// extra modulus is enough even for i in [-rad, n-1+rad] with tiny n.
+std::int64_t wrap_index(std::int64_t i, std::int64_t n) {
+  const std::int64_t m = i % n;
+  return m < 0 ? m + n : m;
+}
+
+/// Mirror about the boundary cell: -k -> k, n-1+k -> n-1-k. Single
+/// reflection; callers validate extents > radius so one bounce lands
+/// inside the grid (the same precondition the pipeline's shift-register
+/// border remap needs).
+std::int64_t mirror_index(std::int64_t i, std::int64_t n) {
+  if (i < 0) return -i;
+  if (i >= n) return 2 * n - 2 - i;
+  return i;
+}
+
+bool in_range(std::int64_t i, std::int64_t n) { return i >= 0 && i < n; }
+
+}  // namespace
+
 float apply_taps(const TapSet& taps, const Grid2D<float>& g, std::int64_t x,
                  std::int64_t y) {
   FPGASTENCIL_EXPECT(taps.dims() == 2, "2D apply of a 3D tap set");
+  const BoundaryCondition& bc = taps.boundary();
+  if (bc.kind == BoundaryKind::reflective) {
+    FPGASTENCIL_EXPECT(g.nx() > taps.radius() && g.ny() > taps.radius(),
+                       "reflective boundaries need extents > radius");
+  }
   float acc = 0.0f;
   bool first = true;
   for (const Tap& t : taps.taps()) {
-    const float v = g.at_clamped(x + t.dx, y + t.dy);
+    const std::int64_t tx = x + t.dx;
+    const std::int64_t ty = y + t.dy;
+    float v;
+    switch (bc.kind) {
+      case BoundaryKind::clamp:
+        v = g.at_clamped(tx, ty);
+        break;
+      case BoundaryKind::periodic:
+        v = g.at(wrap_index(tx, g.nx()), wrap_index(ty, g.ny()));
+        break;
+      case BoundaryKind::reflective:
+        v = g.at(mirror_index(tx, g.nx()), mirror_index(ty, g.ny()));
+        break;
+      case BoundaryKind::dirichlet:
+        v = (in_range(tx, g.nx()) && in_range(ty, g.ny())) ? g.at(tx, ty)
+                                                           : bc.value;
+        break;
+      default:
+        v = g.at_clamped(tx, ty);
+        break;
+    }
     if (first) {
       acc = t.coeff * v;
       first = false;
@@ -69,10 +117,41 @@ float apply_taps(const TapSet& taps, const Grid2D<float>& g, std::int64_t x,
 float apply_taps(const TapSet& taps, const Grid3D<float>& g, std::int64_t x,
                  std::int64_t y, std::int64_t z) {
   FPGASTENCIL_EXPECT(taps.dims() == 3, "3D apply of a 2D tap set");
+  const BoundaryCondition& bc = taps.boundary();
+  if (bc.kind == BoundaryKind::reflective) {
+    FPGASTENCIL_EXPECT(g.nx() > taps.radius() && g.ny() > taps.radius() &&
+                           g.nz() > taps.radius(),
+                       "reflective boundaries need extents > radius");
+  }
   float acc = 0.0f;
   bool first = true;
   for (const Tap& t : taps.taps()) {
-    const float v = g.at_clamped(x + t.dx, y + t.dy, z + t.dz);
+    const std::int64_t tx = x + t.dx;
+    const std::int64_t ty = y + t.dy;
+    const std::int64_t tz = z + t.dz;
+    float v;
+    switch (bc.kind) {
+      case BoundaryKind::clamp:
+        v = g.at_clamped(tx, ty, tz);
+        break;
+      case BoundaryKind::periodic:
+        v = g.at(wrap_index(tx, g.nx()), wrap_index(ty, g.ny()),
+                 wrap_index(tz, g.nz()));
+        break;
+      case BoundaryKind::reflective:
+        v = g.at(mirror_index(tx, g.nx()), mirror_index(ty, g.ny()),
+                 mirror_index(tz, g.nz()));
+        break;
+      case BoundaryKind::dirichlet:
+        v = (in_range(tx, g.nx()) && in_range(ty, g.ny()) &&
+             in_range(tz, g.nz()))
+                ? g.at(tx, ty, tz)
+                : bc.value;
+        break;
+      default:
+        v = g.at_clamped(tx, ty, tz);
+        break;
+    }
     if (first) {
       acc = t.coeff * v;
       first = false;

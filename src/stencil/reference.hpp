@@ -29,8 +29,12 @@ void reference_run(const StarStencil& stencil, Grid3D<float>& grid,
                    int iterations);
 
 // --- generic tap-set executors (box stencils, custom shapes) ---
-// Accumulation strictly in tap order, every tap clamped per axis; for
-// StarStencil::to_taps() these are bit-exact with the star overloads.
+// Accumulation strictly in tap order, every out-of-grid tap resolved by
+// the tap set's BoundaryCondition (clamp / periodic / reflective /
+// dirichlet; docs/PROGRAMS.md). With the default clamp these are
+// bit-exact with the star overloads for StarStencil::to_taps(). These are
+// the golden model every boundary kind of the pipeline simulator is
+// validated against (tests/boundary_test.cpp).
 
 float apply_taps(const TapSet& taps, const Grid2D<float>& g, std::int64_t x,
                  std::int64_t y);

@@ -4,11 +4,19 @@
 
 namespace fpga_stencil {
 
-TapSet::TapSet(int dims, int radius, std::vector<Tap> taps)
-    : dims_(dims), radius_(radius), taps_(std::move(taps)) {
+std::string BoundaryCondition::describe() const {
+  if (kind != BoundaryKind::dirichlet) return boundary_kind_name(kind);
+  return std::string("dirichlet(") + std::to_string(value) + ")";
+}
+
+TapSet::TapSet(int dims, int radius, std::vector<Tap> taps,
+               BoundaryCondition boundary)
+    : dims_(dims), radius_(radius), taps_(std::move(taps)),
+      boundary_(boundary) {
   FPGASTENCIL_EXPECT(dims == 2 || dims == 3, "tap set must be 2D or 3D");
   FPGASTENCIL_EXPECT(radius >= 1, "radius must be >= 1");
   FPGASTENCIL_EXPECT(!taps_.empty(), "tap set must not be empty");
+  if (boundary_.kind != BoundaryKind::dirichlet) boundary_.value = 0.0f;
   for (const Tap& t : taps_) {
     FPGASTENCIL_EXPECT(
         std::abs(t.dx) <= radius && std::abs(t.dy) <= radius &&
@@ -40,6 +48,17 @@ std::int64_t TapSet::max_flat_offset(std::int64_t bsize_x,
   std::int64_t m = 0;
   for (const Tap& t : taps_) {
     m = std::max(m, flat_offset(t, bsize_x, row_cells));
+  }
+  return m;
+}
+
+std::int64_t TapSet::max_abs_flat_offset(std::int64_t bsize_x,
+                                         std::int64_t row_cells) const {
+  std::int64_t m = 0;
+  for (const Tap& t : taps_) {
+    const std::int64_t reach = std::abs(t.dx) + std::abs(t.dy) * bsize_x +
+                               std::abs(t.dz) * row_cells;
+    m = std::max(m, reach);
   }
   return m;
 }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/expect.hpp"
@@ -28,18 +29,81 @@ struct Tap {
   float coeff = 0.0f;
 };
 
+/// How a tap that reaches outside the grid resolves (docs/PROGRAMS.md).
+/// The boundary condition is part of the *stencil*, not the executor: it
+/// travels on the TapSet so fingerprints, plan-cache keys, and routing
+/// all see it. `clamp` is the paper's generated-code behavior and the
+/// default everywhere -- a clamp tap set fingerprints exactly as it did
+/// before boundary conditions existed, so warm TuningCache / PlanCache
+/// entries survive the upgrade.
+enum class BoundaryKind : std::uint8_t {
+  clamp = 0,      ///< out-of-grid coordinates clamp per axis (paper default)
+  periodic = 1,   ///< coordinates wrap modulo the grid extents
+  reflective = 2, ///< mirror about the boundary cell: -k -> k, n-1+k -> n-1-k
+  dirichlet = 3,  ///< out-of-grid taps read a fixed value
+};
+
+[[nodiscard]] constexpr const char* boundary_kind_name(BoundaryKind k) {
+  switch (k) {
+    case BoundaryKind::clamp: return "clamp";
+    case BoundaryKind::periodic: return "periodic";
+    case BoundaryKind::reflective: return "reflective";
+    case BoundaryKind::dirichlet: return "dirichlet";
+  }
+  return "?";
+}
+
+/// A boundary condition: the kind plus, for dirichlet, the ghost value
+/// every out-of-grid tap reads. The value is ignored (and kept at 0) for
+/// the other kinds so value-identity comparisons stay trivial.
+struct BoundaryCondition {
+  BoundaryKind kind = BoundaryKind::clamp;
+  float value = 0.0f;  ///< dirichlet ghost value; 0 otherwise
+
+  [[nodiscard]] static BoundaryCondition clamp() { return {}; }
+  [[nodiscard]] static BoundaryCondition periodic() {
+    return {BoundaryKind::periodic, 0.0f};
+  }
+  [[nodiscard]] static BoundaryCondition reflective() {
+    return {BoundaryKind::reflective, 0.0f};
+  }
+  [[nodiscard]] static BoundaryCondition dirichlet(float v) {
+    return {BoundaryKind::dirichlet, v};
+  }
+
+  [[nodiscard]] bool is_clamp() const { return kind == BoundaryKind::clamp; }
+  bool operator==(const BoundaryCondition&) const = default;
+
+  /// "clamp", "periodic", "reflective", or "dirichlet(<value>)" -- the
+  /// describe() vocabulary job labels and docs use.
+  [[nodiscard]] std::string describe() const;
+};
+
 /// Ordered stencil taps. The first tap is conventionally the center, but
 /// any shape is legal as long as offsets are within +-radius per axis.
 class TapSet {
  public:
   /// `radius` bounds |dx|, |dy|, |dz| of every tap and determines the
-  /// blocking halo (per stage) and the shift-register reach.
-  TapSet(int dims, int radius, std::vector<Tap> taps);
+  /// blocking halo (per stage) and the shift-register reach. `boundary`
+  /// defaults to clamp, the paper's generated-code behavior.
+  TapSet(int dims, int radius, std::vector<Tap> taps,
+         BoundaryCondition boundary = {});
 
   [[nodiscard]] int dims() const { return dims_; }
   [[nodiscard]] int radius() const { return radius_; }
   [[nodiscard]] const std::vector<Tap>& taps() const { return taps_; }
   [[nodiscard]] std::size_t size() const { return taps_.size(); }
+  [[nodiscard]] const BoundaryCondition& boundary() const { return boundary_; }
+
+  /// Builder-style copy with a different boundary condition: program
+  /// nodes stamp the read field's BC onto their taps this way, so the
+  /// fingerprint (and hence PlanCache key and cluster route) carries it.
+  [[nodiscard]] TapSet with_boundary(BoundaryCondition bc) const {
+    TapSet t = *this;
+    t.boundary_ = bc;
+    if (t.boundary_.kind != BoundaryKind::dirichlet) t.boundary_.value = 0.0f;
+    return t;
+  }
 
   /// Flat shift-register offset of tap `t` for a given block geometry
   /// (row_cells = bsize_x in 2D, bsize_x*bsize_y in 3D).
@@ -52,6 +116,16 @@ class TapSet {
                                              std::int64_t row_cells) const;
   [[nodiscard]] std::int64_t max_flat_offset(std::int64_t bsize_x,
                                              std::int64_t row_cells) const;
+
+  /// Largest flat reach any tap can attain after a reflective border
+  /// remap: per axis a tap at distance d can mirror to +d, so the
+  /// worst-case reach of one tap is |dx| + |dy|*bsize_x + |dz|*row_cells
+  /// (symmetric backward). Equals max_flat_offset for tap sets that
+  /// contain their all-positive corner tap (star, box); can exceed it
+  /// for asymmetric custom shapes, which is why reflective SR sizing
+  /// uses this instead.
+  [[nodiscard]] std::int64_t max_abs_flat_offset(std::int64_t bsize_x,
+                                                 std::int64_t row_cells) const;
 
   /// Sum of all coefficients (stability diagnostics).
   [[nodiscard]] double coefficient_sum() const;
@@ -73,6 +147,7 @@ class TapSet {
   int dims_;
   int radius_;
   std::vector<Tap> taps_;
+  BoundaryCondition boundary_;
 };
 
 }  // namespace fpga_stencil

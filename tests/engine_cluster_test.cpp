@@ -55,6 +55,13 @@ Grid3D<float> grid3d(unsigned seed = 4) {
   return g;
 }
 
+/// submit + wait through the one front door (EngineCluster::run is a
+/// deprecated one-release shim; see ClusterRunShimStillWorks).
+JobResult cluster_run(EngineCluster& cluster, JobSpec spec) {
+  JobHandle h = cluster.submit(std::move(spec));
+  return std::move(h.wait());
+}
+
 /// The deterministic mixed job set every shard-count variant runs: kind
 /// selects stencil/config/grid, seed varies the input.
 struct JobKind {
@@ -232,8 +239,8 @@ TEST(EngineCluster, RateLimitRejectsWithRetryAfterHint) {
     return s;
   };
   // The burst admits two; the third is over the sustained rate.
-  (void)cluster.run(make());
-  (void)cluster.run(make());
+  (void)cluster_run(cluster, make());
+  (void)cluster_run(cluster, make());
   try {
     (void)cluster.submit(make());
     FAIL() << "third submission should exceed the rate limit";
@@ -320,10 +327,24 @@ TEST(EngineCluster, DrainOneShardUnderLoadLosesNothing) {
   }
 }
 
+TEST(EngineCluster, ClusterRunShimStillWorks) {
+  // run() is [[deprecated]] for one release (submit + JobHandle::wait is
+  // the front door); keep the shim exercised until it is removed.
+  EngineCluster cluster({.shards = 1, .engine = {.workers = 1}});
+  const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
+  Grid2D<float> want = grid2d();
+  reference_run(taps, want, 2);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  JobResult r = cluster.run(JobSpec(taps, cfg2d(), grid2d(), 2));
+#pragma GCC diagnostic pop
+  EXPECT_TRUE(compare_exact(r.grid2d(), want).identical());
+}
+
 TEST(EngineCluster, DrainedClusterRejectsNewSubmissions) {
   EngineCluster cluster({.shards = 2, .engine = {.workers = 1}});
   const TapSet taps = StarStencil::make_benchmark(2, 1, 5).to_taps();
-  (void)cluster.run(JobSpec(taps, cfg2d(), grid2d(), 2));
+  (void)cluster_run(cluster, JobSpec(taps, cfg2d(), grid2d(), 2));
   cluster.drain();
   EXPECT_THROW((void)cluster.submit(JobSpec(taps, cfg2d(), grid2d(), 2)),
                EngineStoppedError);
@@ -336,7 +357,7 @@ TEST(EngineCluster, QosAndTenantRideTheSingleSubmitPath) {
   spec.tenant = "alice";
   spec.qos = QosClass::interactive;
   spec.label = "front-door";
-  JobResult r = cluster.run(std::move(spec));
+  JobResult r = cluster_run(cluster, std::move(spec));
   EXPECT_EQ(r.tenant, "alice");
   EXPECT_EQ(r.qos, QosClass::interactive);
   EXPECT_EQ(r.label, "front-door");

@@ -525,7 +525,8 @@ TEST(ClusterAutotune, OptionsFlowThroughToEveryShard) {
   Grid2D<float> want = input;
   StencilAccelerator(taps, cfg).run(want, iters);
 
-  JobResult r = cluster.run(JobSpec(taps, cfg, Grid2D<float>(input), iters));
+  JobHandle h = cluster.submit(JobSpec(taps, cfg, Grid2D<float>(input), iters));
+  JobResult& r = h.wait();
   EXPECT_TRUE(r.plan_tuned);
   EXPECT_TRUE(compare_exact(r.grid2d(), want).identical());
 }

@@ -1,0 +1,430 @@
+// Program IR tests (docs/PROGRAMS.md): DAG validation rejects every
+// program whose result would depend on scheduling tie-breaks; the
+// executor matches the multi-field golden model bit-for-bit through the
+// engine AND the cluster front door; the single-stencil adapter is
+// equivalent to the classic direct run; program plans hit the tuner
+// cache once per node per run; leases all return to the pool; fields
+// stream through chunk sinks in declaration order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "engine/engine_cluster.hpp"
+#include "engine/stencil_engine.hpp"
+#include "grid/grid_compare.hpp"
+#include "program/program_executor.hpp"
+#include "program/program_reference.hpp"
+#include "program/program_spec.hpp"
+#include "stencil/star_stencil.hpp"
+
+namespace fpga_stencil {
+namespace {
+
+AcceleratorConfig base_config(int dims, int radius) {
+  AcceleratorConfig cfg;
+  cfg.dims = dims;
+  cfg.radius = radius;
+  cfg.parvec = 2;
+  cfg.partime = 1;
+  cfg.bsize_x = 32;
+  cfg.bsize_y = dims == 3 ? 32 : 1;
+  cfg.validate();
+  return cfg;
+}
+
+TapSet taps_2d(std::initializer_list<Tap> taps, int radius = 1) {
+  return TapSet(2, radius, taps);
+}
+
+/// The 2D FDTD-style E/H update from the flagship campaign, shrunk to
+/// test size: three coupled fields, four nodes, explicit `after` edges
+/// ordering the two ez writers and the reads of the freshly-written hy.
+ProgramSpec make_fdtd_program(std::int64_t nx, std::int64_t ny, int steps) {
+  ProgramSpec p;
+  Grid2D<float> ez(nx, ny);
+  ez.fill_random(11, -1.0f, 1.0f);
+  Grid2D<float> hx(nx, ny);
+  hx.fill_random(12, -0.5f, 0.5f);
+  Grid2D<float> hy(nx, ny);
+  hy.fill_random(13, -0.5f, 0.5f);
+  p.fields = {
+      FieldSpec{"ez", std::move(ez), BoundaryCondition::dirichlet(0.0f)},
+      FieldSpec{"hx", std::move(hx), BoundaryCondition::clamp()},
+      FieldSpec{"hy", std::move(hy), BoundaryCondition::clamp()},
+  };
+  const AcceleratorConfig cfg = base_config(2, 1);
+  p.nodes = {
+      KernelNode{"hx_up",
+                 taps_2d({Tap{0, 0, 0, -0.5f}, Tap{0, 1, 0, 0.5f}}), cfg,
+                 "ez", "hx", CombineOp::add, 1, {}},
+      KernelNode{"hy_up",
+                 taps_2d({Tap{0, 0, 0, 0.5f}, Tap{1, 0, 0, -0.5f}}), cfg,
+                 "ez", "hy", CombineOp::add, 1, {}},
+      // ez reads the H fields *written this step*: both curl halves
+      // depend on their writer, and the two ez writers are ordered.
+      KernelNode{"ez_x",
+                 taps_2d({Tap{0, 0, 0, 0.5f}, Tap{-1, 0, 0, -0.5f}}), cfg,
+                 "hy", "ez", CombineOp::add, 1, {"hy_up"}},
+      KernelNode{"ez_y",
+                 taps_2d({Tap{0, 0, 0, -0.5f}, Tap{0, -1, 0, 0.5f}}), cfg,
+                 "hx", "ez", CombineOp::add, 1, {"hx_up", "ez_x"}},
+  };
+  p.steps = steps;
+  return p;
+}
+
+void expect_fields_identical(
+    const std::vector<std::pair<std::string, GridVariant>>& got,
+    const std::vector<std::pair<std::string, GridVariant>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, want[i].first);
+    if (std::holds_alternative<Grid2D<float>>(want[i].second)) {
+      EXPECT_TRUE(compare_exact(std::get<Grid2D<float>>(got[i].second),
+                                std::get<Grid2D<float>>(want[i].second))
+                      .identical())
+          << "field " << want[i].first;
+    } else {
+      EXPECT_TRUE(compare_exact(std::get<Grid3D<float>>(got[i].second),
+                                std::get<Grid3D<float>>(want[i].second))
+                      .identical())
+          << "field " << want[i].first;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+TEST(ProgramValidate, RejectsDependencyCycle) {
+  ProgramSpec p = make_fdtd_program(16, 12, 1);
+  p.nodes[0].after = {"ez_y"};  // hx_up -> ez_y -> hx_up
+  EXPECT_THROW(p.validate(), ConfigError);
+  EXPECT_THROW(p.schedule(), ConfigError);
+}
+
+TEST(ProgramValidate, RejectsUnknownFieldAndNodeReferences) {
+  {
+    ProgramSpec p = make_fdtd_program(16, 12, 1);
+    p.nodes[0].reads = "nope";
+    EXPECT_THROW(p.validate(), ConfigError);
+  }
+  {
+    ProgramSpec p = make_fdtd_program(16, 12, 1);
+    p.nodes[0].writes = "nope";
+    EXPECT_THROW(p.validate(), ConfigError);
+  }
+  {
+    ProgramSpec p = make_fdtd_program(16, 12, 1);
+    p.nodes[0].after = {"no_such_node"};
+    EXPECT_THROW(p.validate(), ConfigError);
+  }
+}
+
+TEST(ProgramValidate, RejectsWorkFieldReadBeforeWrite) {
+  // A work field has no meaningful front state: reading it in a node that
+  // does not depend on this step's writer is a use of stale scratch.
+  ProgramSpec p;
+  p.fields = {
+      FieldSpec{"u", Grid2D<float>(16, 12), BoundaryCondition::clamp()},
+      FieldSpec{"scratch", Grid2D<float>(16, 12), BoundaryCondition::clamp(),
+                /*work=*/true},
+  };
+  const AcceleratorConfig cfg = base_config(2, 1);
+  const TapSet id = taps_2d({Tap{0, 0, 0, 1.0f}});
+  p.nodes = {
+      KernelNode{"fill", id, cfg, "u", "scratch", CombineOp::assign, 1, {}},
+      KernelNode{"use", id, cfg, "scratch", "u", CombineOp::assign, 1, {}},
+  };
+  EXPECT_THROW(p.validate(), ConfigError);
+  p.nodes[1].after = {"fill"};  // ordered after the writer: legal
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ProgramValidate, RejectsTieBreakDependentWriters) {
+  // Two writers of one field with no ordering between them: the result
+  // would depend on which the scheduler happens to run first.
+  ProgramSpec p;
+  p.fields = {FieldSpec{"u", Grid2D<float>(16, 12), BoundaryCondition::clamp()}};
+  const AcceleratorConfig cfg = base_config(2, 1);
+  const TapSet id = taps_2d({Tap{0, 0, 0, 1.0f}});
+  p.nodes = {
+      KernelNode{"a", id, cfg, "u", "u", CombineOp::assign, 1, {}},
+      KernelNode{"b", id, cfg, "u", "u", CombineOp::add, 1, {}},
+  };
+  EXPECT_THROW(p.validate(), ConfigError);
+  p.nodes[1].after = {"a"};  // assign first, add ordered after: legal
+  EXPECT_NO_THROW(p.validate());
+  // assign *after* an add clobbers the earlier writer's contribution.
+  p.nodes[0].combine = CombineOp::add;
+  p.nodes[1].combine = CombineOp::assign;
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(ProgramValidate, ScheduleIsDeterministicTopologicalOrder) {
+  const ProgramSpec p = make_fdtd_program(16, 12, 1);
+  EXPECT_NO_THROW(p.validate());
+  const std::vector<std::size_t> order = p.schedule();
+  // Declaration-index tie-break: hx_up and hy_up are both ready first.
+  const std::vector<std::size_t> want = {0, 1, 2, 3};
+  EXPECT_EQ(order, want);
+}
+
+// ---------------------------------------------------------------------------
+// Identity
+
+TEST(ProgramFingerprint, ExcludesStepsAndValuesIncludesStructure) {
+  const ProgramSpec a = make_fdtd_program(16, 12, 3);
+  ProgramSpec b = make_fdtd_program(16, 12, 7);  // more steps, same DAG
+  std::get<Grid2D<float>>(b.fields[0].data).fill_random(99);  // other values
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  ProgramSpec c = make_fdtd_program(16, 12, 3);
+  c.fields[0].boundary = BoundaryCondition::reflective();
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+
+  ProgramSpec d = make_fdtd_program(16, 12, 3);
+  d.nodes[2].taps = taps_2d({Tap{0, 0, 0, 0.5f}, Tap{-1, 0, 0, -0.25f}});
+  EXPECT_NE(a.fingerprint(), d.fingerprint());
+
+  ProgramSpec e = make_fdtd_program(20, 12, 3);  // other extents
+  EXPECT_NE(a.fingerprint(), e.fingerprint());
+}
+
+TEST(ProgramFingerprint, StampedTapsCarryTheReadFieldBoundary) {
+  ProgramSpec p = make_fdtd_program(16, 12, 1);
+  // Node 0 reads ez, which is dirichlet(0): the planned taps carry it.
+  EXPECT_EQ(p.stamped_taps(0).boundary(), BoundaryCondition::dirichlet(0.0f));
+  // Node 2 reads hy (clamp).
+  EXPECT_TRUE(p.stamped_taps(2).boundary().is_clamp());
+}
+
+// ---------------------------------------------------------------------------
+// Execution through the engine front door
+
+TEST(ProgramExecution, FdtdMatchesGoldenModelBitExact) {
+  auto program = std::make_shared<const ProgramSpec>(make_fdtd_program(33, 21, 4));
+  const auto want = reference_run_program(*program);
+
+  StencilEngine engine({.workers = 2});
+  JobResult r = engine.run(JobSpec(program));
+  EXPECT_EQ(r.program_nodes_executed, 4 * 4);
+  EXPECT_EQ(r.program_steps, 4);
+  expect_fields_identical(r.fields, want);
+  // Named accessor finds fields; unknown names throw.
+  EXPECT_EQ(&r.field("ez"), &r.fields[0].second);
+  EXPECT_THROW(r.field("nope"), std::out_of_range);
+  // Every front/back/work lease went back to the pool.
+  EXPECT_EQ(engine.buffer_pool().outstanding(), 0);
+}
+
+TEST(ProgramExecution, DampedWave3DWithMixedBoundaries) {
+  // The 3D damped-wave shape from the flagship campaign: u_next is a work
+  // field assembled by two ordered writers, then rotated into u/u_prev by
+  // identity copy nodes -- and the two live fields carry different
+  // boundary conditions.
+  const float kC = 0.0625f, kGamma = 0.0625f;
+  ProgramSpec p;
+  Grid3D<float> u(13, 11, 7);
+  u.fill_random(21, -1.0f, 1.0f);
+  Grid3D<float> u_prev = u;
+  p.fields = {
+      FieldSpec{"u_prev", std::move(u_prev), BoundaryCondition::clamp()},
+      FieldSpec{"u", std::move(u), BoundaryCondition::reflective()},
+      FieldSpec{"u_next", Grid3D<float>(13, 11, 7), BoundaryCondition::clamp(),
+                /*work=*/true},
+  };
+  const AcceleratorConfig cfg = base_config(3, 1);
+  const TapSet wave(3, 1,
+                    {Tap{0, 0, 0, 2.0f - kGamma - 6.0f * kC},
+                     Tap{-1, 0, 0, kC}, Tap{1, 0, 0, kC}, Tap{0, -1, 0, kC},
+                     Tap{0, 1, 0, kC}, Tap{0, 0, -1, kC}, Tap{0, 0, 1, kC}});
+  const TapSet center(3, 1, {Tap{0, 0, 0, -(1.0f - kGamma)}});
+  const TapSet id3(3, 1, {Tap{0, 0, 0, 1.0f}});
+  p.nodes = {
+      KernelNode{"laplace", wave, cfg, "u", "u_next", CombineOp::assign, 1, {}},
+      KernelNode{"damp", center, cfg, "u_prev", "u_next", CombineOp::add, 1,
+                 {"laplace"}},
+      KernelNode{"rot_prev", id3, cfg, "u", "u_prev", CombineOp::assign, 1, {}},
+      KernelNode{"rot_u", id3, cfg, "u_next", "u", CombineOp::assign, 1,
+                 {"damp"}},
+  };
+  p.steps = 3;
+  p.validate();
+
+  const auto want = reference_run_program(p);
+  StencilEngine engine({.workers = 1});
+  JobResult r = engine.run(JobSpec(std::make_shared<const ProgramSpec>(p)));
+  expect_fields_identical(r.fields, want);
+  EXPECT_EQ(engine.buffer_pool().outstanding(), 0);
+}
+
+TEST(ProgramExecution, SingleStencilAdapterMatchesDirectRunBitExact) {
+  const TapSet taps = StarStencil::make_benchmark(2, 2, 7).to_taps();
+  const AcceleratorConfig cfg = base_config(2, 2);
+  Grid2D<float> input(48, 30);
+  input.fill_random(31, -1.0f, 1.0f);
+  const int iters = 5;
+
+  StencilEngine engine({.workers = 1});
+  JobResult direct =
+      engine.run(JobSpec(taps, cfg, Grid2D<float>(input), iters));
+
+  auto program = std::make_shared<const ProgramSpec>(
+      single_stencil_program(taps, cfg, Grid2D<float>(input), iters));
+  JobResult via_program = engine.run(JobSpec(program));
+  EXPECT_TRUE(compare_exact(std::get<Grid2D<float>>(via_program.field("u")),
+                            direct.grid2d())
+                  .identical());
+  EXPECT_EQ(engine.buffer_pool().outstanding(), 0);
+}
+
+TEST(ProgramExecution, ProgramThroughClusterBitExactAndZeroLeakedLeases) {
+  auto program =
+      std::make_shared<const ProgramSpec>(make_fdtd_program(25, 17, 3));
+  const auto want = reference_run_program(*program);
+
+  EngineCluster cluster({.shards = 2});
+  // Repeated submissions of one program route to one shard (fingerprint
+  // affinity) and all match the golden model.
+  const int shard0 = cluster.route_shard(JobSpec(program));
+  for (int i = 0; i < 3; ++i) {
+    JobSpec spec(program);
+    spec.tenant = "prog";
+    EXPECT_EQ(cluster.route_shard(spec), shard0);
+    JobHandle h = cluster.submit(std::move(spec));
+    JobResult& r = h.wait();
+    expect_fields_identical(r.fields, want);
+  }
+  cluster.wait_idle();
+  for (int k = 0; k < cluster.shards(); ++k) {
+    EXPECT_EQ(cluster.shard(k).buffer_pool().outstanding(), 0)
+        << "shard " << k << " leaked leases";
+  }
+}
+
+TEST(ProgramExecution, ChunkedDeliveryStreamsFieldsInDeclarationOrder) {
+  auto program =
+      std::make_shared<const ProgramSpec>(make_fdtd_program(19, 9, 2));
+  const auto want = reference_run_program(*program);
+
+  struct Seen {
+    std::string field;
+    std::int64_t start, count, index;
+    bool last;
+  };
+  std::vector<Seen> chunks;
+  JobSpec spec(program);
+  spec.chunk_values = 19 * 3;  // 3 rows per band: several bands per field
+  spec.sink_only = true;
+  spec.sink = [&](const ResultChunk& c) {
+    chunks.push_back({c.field, c.start, c.count, c.index, c.last});
+  };
+  StencilEngine engine({.workers = 1});
+  JobResult r = engine.run(std::move(spec));
+  EXPECT_TRUE(r.fields.empty());  // sink_only drops the payload
+
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(r.chunks_delivered, std::int64_t(chunks.size()));
+  // Fields arrive in declaration order, bands cover each exactly once,
+  // the index is continuous across fields, and only the final band of
+  // the final field is marked last.
+  std::vector<std::string> field_order;
+  std::int64_t next_row = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const Seen& c = chunks[i];
+    EXPECT_EQ(c.index, std::int64_t(i));
+    if (field_order.empty() || field_order.back() != c.field) {
+      field_order.push_back(c.field);
+      next_row = 0;
+    }
+    EXPECT_EQ(c.start, next_row);
+    next_row += c.count;
+    EXPECT_EQ(c.last, i + 1 == chunks.size());
+  }
+  const std::vector<std::string> want_order = {"ez", "hx", "hy"};
+  EXPECT_EQ(field_order, want_order);
+  EXPECT_EQ(next_row, 9);  // the last field was fully covered
+}
+
+// ---------------------------------------------------------------------------
+// Tuner integration (satellite: per-node tuning reuse)
+
+TEST(ProgramTuning, OneTunerCacheHitPerNodeAfterFirstRun) {
+  EngineOptions eo;
+  eo.workers = 1;
+  eo.autotune = AutotuneMode::search;
+  eo.tuning_cache_path = "";  // in-memory only
+  eo.autotune_probe_cells = 4 * 1024;
+  StencilEngine engine(eo);
+
+  // Four nodes with four distinct tap sets: four distinct plans, so the
+  // first run probes each once and every later run hits the tuner cache
+  // exactly once per node -- independent of the step count, because the
+  // executor resolves plans once per run, not once per step.
+  auto program =
+      std::make_shared<const ProgramSpec>(make_fdtd_program(33, 21, 5));
+  const auto want = reference_run_program(*program);
+
+  JobResult first = engine.run(JobSpec(program));
+  expect_fields_identical(first.fields, want);
+  const EngineStats after_first = engine.stats();
+  EXPECT_EQ(after_first.tuner_cache_misses, 4);  // one probe per node
+  EXPECT_EQ(after_first.tuner_search_runs, 4);
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_TRUE(first.plan_tuned);
+
+  JobResult second = engine.run(JobSpec(program));
+  expect_fields_identical(second.fields, want);
+  const EngineStats after_second = engine.stats();
+  EXPECT_EQ(after_second.tuner_cache_misses, 4);  // no new probes
+  EXPECT_EQ(after_second.tuner_cache_hits - after_first.tuner_cache_hits, 4);
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_EQ(engine.buffer_pool().outstanding(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+
+TEST(ProgramMetrics, NodeAndStepCountersTick) {
+  StencilEngine engine({.workers = 1});
+  auto program =
+      std::make_shared<const ProgramSpec>(make_fdtd_program(19, 9, 3));
+  JobResult r = engine.run(JobSpec(program));
+  MetricsRegistry& m = engine.telemetry().metrics();
+  EXPECT_EQ(m.counter("engine.program.nodes_scheduled").value(), 4 * 3);
+  EXPECT_EQ(m.counter("engine.program.steps").value(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Front-door validation of program jobs
+
+TEST(ProgramJobSpec, RejectsUnsupportedKnobs) {
+  auto program =
+      std::make_shared<const ProgramSpec>(make_fdtd_program(16, 12, 1));
+  {
+    JobSpec spec(program);
+    spec.backend = ExecutionBackend::concurrent;
+    EXPECT_THROW(validate_job_spec(spec), ConfigError);
+  }
+  {
+    JobSpec spec(program);
+    spec.boards = 2;
+    EXPECT_THROW(validate_job_spec(spec), ConfigError);
+  }
+  {
+    // Invalid programs are rejected at submission, not at execution.
+    ProgramSpec bad = make_fdtd_program(16, 12, 1);
+    bad.nodes[0].after = {"ez_y"};
+    JobSpec spec(std::make_shared<const ProgramSpec>(std::move(bad)));
+    EXPECT_THROW(validate_job_spec(spec), ConfigError);
+  }
+}
+
+}  // namespace
+}  // namespace fpga_stencil

@@ -402,6 +402,43 @@ AUTOTUNE_SCHEMA = {
     },
 }
 
+# The program campaign artifact (stencilctl program --json): the two
+# flagship multi-field DAG workloads (2D FDTD, 3D damped wave) submitted
+# through EngineCluster::submit, one record per campaign plus summary.
+# Dispatch: top-level "bench" == "program_campaign".
+PROGRAM_SCHEMA = {
+    "schema_version": int,
+    "bench": str,
+    "paper": str,
+    "cluster": {
+        "shards": int,
+        "workers": int,
+    },
+    "campaigns": ("array", {
+        "name": str,
+        "dims": int,
+        "nx": int,
+        "ny": int,
+        "nz": int,
+        "fields": int,
+        "nodes": int,
+        "steps": int,
+        "nodes_scheduled": int,
+        "chunks_delivered": int,
+        "exact": bool,
+        "chunks_exact": bool,
+        "second_run_cache_hit": bool,
+        "route_stable": bool,
+        "wall_seconds": NUMBER,
+        "mcups": NUMBER,
+    }),
+    "summary": {
+        "campaigns": int,
+        "all_exact": bool,
+        "leaked_leases": int,
+    },
+}
+
 # The host fingerprint block every schema_version >= 2 artifact must
 # carry (bench/bench_util.hpp write_host_block): without it, numbers
 # from different machines are indistinguishable in committed artifacts.
@@ -769,6 +806,62 @@ def chaos_semantic_checks(doc, errors):
         errors.append("$.pool.outstanding: leaked buffer-pool leases")
 
 
+def program_semantic_checks(doc, errors):
+    """Constraints of the program campaign the type schema can't express.
+
+    Exactness is a hard requirement everywhere: every campaign's fields
+    must match the multi-field golden model (result and reassembled
+    chunk stream alike), repeated submissions must route to one shard
+    and hit the per-node plan cache, node accounting must close
+    (nodes_scheduled == nodes * steps), and the pool must end clean."""
+    for i, c in enumerate(doc.get("campaigns", [])):
+        if not isinstance(c, dict):
+            continue
+        path = f"$.campaigns[{i}]"
+        if c.get("dims") not in (2, 3):
+            errors.append(f"{path}.dims: must be 2 or 3")
+        if c.get("exact") is not True:
+            errors.append(f"{path}.exact: fields diverged from the golden "
+                          "model")
+        if c.get("chunks_exact") is not True:
+            errors.append(f"{path}.chunks_exact: chunk stream did not "
+                          "reassemble to the golden model")
+        if c.get("second_run_cache_hit") is not True:
+            errors.append(f"{path}.second_run_cache_hit: repeated program "
+                          "missed the plan cache")
+        if c.get("route_stable") is not True:
+            errors.append(f"{path}.route_stable: program fingerprint "
+                          "affinity broke")
+        nodes, steps = c.get("nodes"), c.get("steps")
+        scheduled = c.get("nodes_scheduled")
+        if (isinstance(nodes, int) and isinstance(steps, int)
+                and isinstance(scheduled, int)
+                and not isinstance(scheduled, bool)
+                and scheduled != nodes * steps):
+            errors.append(f"{path}.nodes_scheduled: expected nodes * steps "
+                          f"= {nodes * steps}, got {scheduled}")
+        chunks = c.get("chunks_delivered")
+        if isinstance(chunks, int) and not isinstance(chunks, bool) \
+                and chunks < 1:
+            errors.append(f"{path}.chunks_delivered: nothing streamed")
+        mcups = c.get("mcups")
+        if isinstance(mcups, NUMBER) and not isinstance(mcups, bool) \
+                and mcups <= 0:
+            errors.append(f"{path}.mcups: must be positive")
+    summary = doc.get("summary", {})
+    if isinstance(summary, dict):
+        if summary.get("all_exact") is not True:
+            errors.append("$.summary.all_exact: a campaign self-check failed")
+        if summary.get("leaked_leases") != 0:
+            errors.append("$.summary.leaked_leases: leaked buffer-pool "
+                          "leases")
+        campaigns = summary.get("campaigns")
+        if isinstance(campaigns, int) and not isinstance(campaigns, bool) \
+                and campaigns < 2:
+            errors.append("$.summary.campaigns: both flagship campaigns "
+                          "must run")
+
+
 def autotune_semantic_checks(doc, errors):
     """Constraints of the autotune scorecard the type schema can't express.
 
@@ -864,15 +957,21 @@ def validate_file(name):
     is_kernel_dispatch = (isinstance(doc, dict)
                           and doc.get("bench") == "kernel_dispatch")
     is_autotune = isinstance(doc, dict) and doc.get("bench") == "autotune"
+    is_program = (isinstance(doc, dict)
+                  and doc.get("bench") == "program_campaign")
     is_engine = (not is_chaos and not is_serving and not is_kernel_dispatch
-                 and not is_autotune
+                 and not is_autotune and not is_program
                  and isinstance(doc, dict) and "jobs" in doc)
     is_block_parallel = (not is_chaos and not is_serving
                          and not is_kernel_dispatch and not is_autotune
+                         and not is_program
                          and isinstance(doc, dict) and "runs" in doc)
     if isinstance(doc, dict):
         host_block_checks(doc, errors)
-    if is_autotune:
+    if is_program:
+        check(doc, PROGRAM_SCHEMA, "$", errors)
+        program_semantic_checks(doc, errors)
+    elif is_autotune:
         check(doc, AUTOTUNE_SCHEMA, "$", errors)
         autotune_semantic_checks(doc, errors)
     elif is_serving:
@@ -898,7 +997,12 @@ def validate_file(name):
         for e in errors:
             print(f"  {e}")
         return False
-    if is_autotune:
+    if is_program:
+        s = doc["summary"]
+        names = ", ".join(c["name"] for c in doc["campaigns"])
+        print(f"{name}: OK ({s['campaigns']} program campaigns [{names}], "
+              f"all exact, 0 leaked leases)")
+    elif is_autotune:
         s = doc["summary"]
         print(f"{name}: OK ({s['points']} envelope points, median gain "
               f"{s['median_gain']:.2f}x, acceptance "

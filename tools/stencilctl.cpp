@@ -76,6 +76,17 @@
 //       hangs, zero unexpected failures, zero leaked pool buffers,
 //       every surviving job bit-exact; --json exports cancel-latency
 //       percentiles and breaker counters (BENCH_PR6.json)
+//   stencilctl program [--n2d N] [--n3d N] [--steps S] [--steps3d S]
+//                      [--shards S] [--workers W] [--json FILE]
+//       the multi-field program campaigns (docs/PROGRAMS.md): a 2D FDTD
+//       E/H update (dirichlet walls) and a 3D damped wave equation
+//       (reflective walls, work-field leapfrog), each a ProgramSpec DAG
+//       submitted through EngineCluster::submit. Self-checks: every
+//       field bit-exact vs the multi-field golden model, chunked
+//       per-field delivery reassembles exactly, repeated submissions
+//       route to one shard and hit the per-node plan cache, zero leaked
+//       pool leases; --json exports the campaign scorecard
+//       (BENCH_PR10.json)
 //
 // Exit status: 0 on success, 1 on verification/model failure, 2 on usage.
 #include <algorithm>
@@ -116,6 +127,8 @@
 #include "kernels/kernel_registry.hpp"
 #include "model/performance_model.hpp"
 #include "ocl/opencl_shim.hpp"
+#include "program/program_reference.hpp"
+#include "program/program_spec.hpp"
 #include "stencil/box_stencil.hpp"
 #include "stencil/reference.hpp"
 #include "tune/host_autotuner.hpp"
@@ -2390,11 +2403,315 @@ int cmd_tune(const Args& a) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// stencilctl program: the multi-field program campaigns (docs/PROGRAMS.md).
+// Two coupled workloads through the one EngineCluster::submit front door:
+// a self-checking 2D FDTD E/H update (three fields, four nodes, mixed
+// dirichlet/clamp boundaries) and a 3D damped wave equation (reflective
+// walls, a work field assembled by two ordered writers). Self-checks per
+// campaign: every field bit-exact vs the multi-field golden model
+// (reference_run_program), chunked per-field delivery reassembles exactly,
+// a repeated submission routes to the same shard (program-fingerprint
+// affinity) and hits the per-node plan cache, and no pool lease leaks.
+
+/// The flagship 2D FDTD-style E/H update: ez carries dirichlet(0) walls
+/// (fields vanish at the boundary), the H fields clamp. The two curl
+/// halves of the ez update read the H fields written earlier in the same
+/// step, so the DAG exercises back-buffer reads and ordered writers.
+ProgramSpec make_fdtd2d_program(std::int64_t nx, std::int64_t ny, int steps) {
+  ProgramSpec p;
+  Grid2D<float> ez(nx, ny);
+  ez.fill_random(101, -1.0f, 1.0f);
+  Grid2D<float> hx(nx, ny);
+  hx.fill_random(102, -0.5f, 0.5f);
+  Grid2D<float> hy(nx, ny);
+  hy.fill_random(103, -0.5f, 0.5f);
+  p.fields = {
+      FieldSpec{"ez", std::move(ez), BoundaryCondition::dirichlet(0.0f)},
+      FieldSpec{"hx", std::move(hx), BoundaryCondition::clamp()},
+      FieldSpec{"hy", std::move(hy), BoundaryCondition::clamp()},
+  };
+  AcceleratorConfig cfg;
+  cfg.dims = 2;
+  cfg.radius = 1;
+  cfg.parvec = 4;
+  cfg.partime = 1;
+  cfg.bsize_x = 64;
+  cfg.bsize_y = 1;
+  cfg.validate();
+  p.nodes = {
+      KernelNode{"hx_up", TapSet(2, 1, {Tap{0, 0, 0, -0.5f}, Tap{0, 1, 0, 0.5f}}),
+                 cfg, "ez", "hx", CombineOp::add, 1, {}},
+      KernelNode{"hy_up", TapSet(2, 1, {Tap{0, 0, 0, 0.5f}, Tap{1, 0, 0, -0.5f}}),
+                 cfg, "ez", "hy", CombineOp::add, 1, {}},
+      KernelNode{"ez_x", TapSet(2, 1, {Tap{0, 0, 0, 0.5f}, Tap{-1, 0, 0, -0.5f}}),
+                 cfg, "hy", "ez", CombineOp::add, 1, {"hy_up"}},
+      KernelNode{"ez_y", TapSet(2, 1, {Tap{0, 0, 0, -0.5f}, Tap{0, -1, 0, 0.5f}}),
+                 cfg, "hx", "ez", CombineOp::add, 1, {"hx_up", "ez_x"}},
+  };
+  p.steps = steps;
+  p.validate();
+  return p;
+}
+
+/// The 3D damped wave equation u_next = (2 - gamma)u + c lap(u) -
+/// (1 - gamma)u_prev on reflective walls, leapfrogged through a work
+/// field: two ordered writers assemble u_next, then identity nodes
+/// rotate u -> u_prev and u_next -> u for the next step.
+ProgramSpec make_wave3d_program(std::int64_t nx, std::int64_t ny,
+                                std::int64_t nz, int steps) {
+  const float kC = 0.0625f, kGamma = 0.0625f;
+  ProgramSpec p;
+  Grid3D<float> u(nx, ny, nz);
+  u.fill_random(201, -1.0f, 1.0f);
+  Grid3D<float> u_prev = u;  // starts at rest: u(t=0) == u(t=-1)
+  p.fields = {
+      FieldSpec{"u_prev", std::move(u_prev), BoundaryCondition::clamp()},
+      FieldSpec{"u", std::move(u), BoundaryCondition::reflective()},
+      FieldSpec{"u_next", Grid3D<float>(nx, ny, nz), BoundaryCondition::clamp(),
+                /*work=*/true},
+  };
+  AcceleratorConfig cfg;
+  cfg.dims = 3;
+  cfg.radius = 1;
+  cfg.parvec = 4;
+  cfg.partime = 1;
+  cfg.bsize_x = 32;
+  cfg.bsize_y = 32;
+  cfg.validate();
+  const TapSet wave(3, 1,
+                    {Tap{0, 0, 0, 2.0f - kGamma - 6.0f * kC},
+                     Tap{-1, 0, 0, kC}, Tap{1, 0, 0, kC}, Tap{0, -1, 0, kC},
+                     Tap{0, 1, 0, kC}, Tap{0, 0, -1, kC}, Tap{0, 0, 1, kC}});
+  const TapSet center(3, 1, {Tap{0, 0, 0, -(1.0f - kGamma)}});
+  const TapSet identity(3, 1, {Tap{0, 0, 0, 1.0f}});
+  p.nodes = {
+      KernelNode{"laplace", wave, cfg, "u", "u_next", CombineOp::assign, 1, {}},
+      KernelNode{"damp", center, cfg, "u_prev", "u_next", CombineOp::add, 1,
+                 {"laplace"}},
+      KernelNode{"rot_prev", identity, cfg, "u", "u_prev", CombineOp::assign, 1,
+                 {}},
+      KernelNode{"rot_u", identity, cfg, "u_next", "u", CombineOp::assign, 1,
+                 {"damp"}},
+  };
+  p.steps = steps;
+  p.validate();
+  return p;
+}
+
+struct ProgramCampaignRow {
+  std::string name;
+  int dims = 2;
+  std::int64_t nx = 0, ny = 0, nz = 1;
+  int fields = 0, nodes = 0, steps = 0;
+  std::int64_t nodes_scheduled = 0;
+  std::int64_t chunks_delivered = 0;
+  bool exact = false;         ///< result fields match the golden model
+  bool chunks_exact = false;  ///< reassembled chunk stream matches too
+  bool second_run_cache_hit = false;
+  bool route_stable = false;  ///< both submissions routed to one shard
+  double wall_seconds = 0.0;
+  double mcups = 0.0;  ///< million cell-updates (cells*nodes*steps) per sec
+};
+
+ProgramCampaignRow run_program_campaign(
+    EngineCluster& cluster, const std::string& name,
+    std::shared_ptr<const ProgramSpec> program) {
+  ProgramCampaignRow row;
+  row.name = name;
+  row.dims = program->dims();
+  row.nx = grid_variant_nx(program->fields.front().data);
+  row.ny = grid_variant_ny(program->fields.front().data);
+  row.nz = grid_variant_nz(program->fields.front().data);
+  row.fields = static_cast<int>(program->fields.size());
+  row.nodes = static_cast<int>(program->nodes.size());
+  row.steps = program->steps;
+
+  const auto want = reference_run_program(*program);
+
+  // First submission: chunked per-field delivery into a reassembly map.
+  std::vector<std::pair<std::string, std::vector<float>>> assembled;
+  JobSpec spec(program);
+  spec.tenant = "program";
+  spec.label = name;
+  spec.chunk_values = 1 << 14;
+  spec.sink = [&](const ResultChunk& c) {
+    if (assembled.empty() || assembled.back().first != c.field) {
+      assembled.emplace_back(c.field, std::vector<float>());
+    }
+    assembled.back().second.insert(assembled.back().second.end(), c.data,
+                                   c.data + c.values);
+  };
+  const int shard_first = cluster.route_shard(spec);
+  Stopwatch clock;
+  JobHandle h1 = cluster.submit(std::move(spec));
+  JobResult& r1 = h1.wait();
+  row.wall_seconds = clock.seconds();
+  row.nodes_scheduled = r1.program_nodes_executed;
+  row.chunks_delivered = r1.chunks_delivered;
+  const double updates = double(grid_variant_cells(program->fields[0].data)) *
+                         double(row.nodes) * double(row.steps);
+  row.mcups = updates / 1e6 / std::max(row.wall_seconds, 1e-9);
+
+  // Exactness vs the golden model: the result fields and the reassembled
+  // chunk stream (non-work fields, declaration order) must both match.
+  row.exact = r1.fields.size() == want.size();
+  for (std::size_t i = 0; row.exact && i < want.size(); ++i) {
+    row.exact = r1.fields[i].first == want[i].first &&
+                std::equal(grid_variant_data(r1.fields[i].second),
+                           grid_variant_data(r1.fields[i].second) +
+                               grid_variant_cells(r1.fields[i].second),
+                           grid_variant_data(want[i].second));
+  }
+  row.chunks_exact = true;
+  std::size_t next = 0;
+  for (const auto& w : want) {
+    const FieldSpec* f = program->find_field(w.first);
+    if (f->work) continue;  // work fields are never streamed
+    if (next >= assembled.size() || assembled[next].first != w.first ||
+        std::int64_t(assembled[next].second.size()) !=
+            grid_variant_cells(w.second) ||
+        !std::equal(assembled[next].second.begin(),
+                    assembled[next].second.end(),
+                    grid_variant_data(w.second))) {
+      row.chunks_exact = false;
+      break;
+    }
+    ++next;
+  }
+  row.chunks_exact = row.chunks_exact && next == assembled.size();
+
+  // Second submission: program-fingerprint affinity routes it to the same
+  // shard, where every node's plan is already cached.
+  JobSpec again(program);
+  again.tenant = "program";
+  again.label = name + "#2";
+  row.route_stable = cluster.route_shard(again) == shard_first;
+  JobHandle h2 = cluster.submit(std::move(again));
+  JobResult& r2 = h2.wait();
+  row.second_run_cache_hit = r2.plan_cache_hit;
+  for (std::size_t i = 0; row.exact && i < want.size(); ++i) {
+    row.exact = std::equal(grid_variant_data(r2.fields[i].second),
+                           grid_variant_data(r2.fields[i].second) +
+                               grid_variant_cells(r2.fields[i].second),
+                           grid_variant_data(want[i].second));
+  }
+  return row;
+}
+
+int cmd_program(const Args& a) {
+  const std::int64_t n2d = a.get("n2d", 160);
+  const std::int64_t n3d = a.get("n3d", 40);
+  const int steps = static_cast<int>(a.get("steps", 32));
+  const int steps3d = static_cast<int>(a.get("steps3d", (steps + 1) / 2));
+  ClusterOptions copts;
+  copts.shards = static_cast<int>(a.get("shards", 2));
+  copts.engine.workers = static_cast<int>(a.get("workers", 4));
+  EngineCluster cluster(copts);
+
+  std::vector<ProgramCampaignRow> rows;
+  rows.push_back(run_program_campaign(
+      cluster, "fdtd2d",
+      std::make_shared<const ProgramSpec>(
+          make_fdtd2d_program(n2d, (n2d * 3) / 4, steps))));
+  rows.push_back(run_program_campaign(
+      cluster, "wave3d",
+      std::make_shared<const ProgramSpec>(
+          make_wave3d_program(n3d, n3d, std::max<std::int64_t>(n3d / 2, 8),
+                              steps3d))));
+
+  cluster.wait_idle();
+  std::int64_t leaked = 0;
+  for (int k = 0; k < cluster.shards(); ++k) {
+    leaked += cluster.shard(k).buffer_pool().outstanding();
+  }
+
+  TextTable t({"campaign", "grid", "fields", "nodes", "steps", "chunks",
+               "exact", "affinity", "Mcup/s"});
+  bool ok = leaked == 0;
+  for (const ProgramCampaignRow& r : rows) {
+    const bool row_ok = r.exact && r.chunks_exact && r.second_run_cache_hit &&
+                        r.route_stable &&
+                        r.nodes_scheduled ==
+                            std::int64_t(r.nodes) * std::int64_t(r.steps);
+    ok = ok && row_ok;
+    std::string grid = std::to_string(r.nx) + "x" + std::to_string(r.ny);
+    if (r.dims == 3) grid += "x" + std::to_string(r.nz);
+    t.add_row({r.name, grid, std::to_string(r.fields),
+               std::to_string(r.nodes), std::to_string(r.steps),
+               std::to_string(r.chunks_delivered),
+               r.exact && r.chunks_exact ? "yes" : "NO",
+               r.second_run_cache_hit && r.route_stable ? "yes" : "NO",
+               format_fixed(r.mcups, 1)});
+  }
+  t.render(std::cout);
+  std::cout << (leaked == 0 ? "zero leaked pool leases\n"
+                            : "LEAKED POOL LEASES\n");
+
+  const std::string json_path = a.get_str("json", "");
+  if (!json_path.empty()) {
+    std::ostringstream body;
+    JsonWriter w(body);
+    w.begin_object();
+    w.key("schema_version").value(2);
+    w.key("bench").value("program_campaign");
+    write_host_profile(w);
+    w.key("paper").value(
+        "High-Performance High-Order Stencil Computation on FPGAs Using "
+        "OpenCL");
+    w.key("cluster").begin_object();
+    w.key("shards").value(copts.shards);
+    w.key("workers").value(copts.engine.workers);
+    w.end_object();
+    w.key("campaigns").begin_array();
+    for (const ProgramCampaignRow& r : rows) {
+      w.begin_object();
+      w.key("name").value(r.name);
+      w.key("dims").value(r.dims);
+      w.key("nx").value(r.nx);
+      w.key("ny").value(r.ny);
+      w.key("nz").value(r.nz);
+      w.key("fields").value(r.fields);
+      w.key("nodes").value(r.nodes);
+      w.key("steps").value(r.steps);
+      w.key("nodes_scheduled").value(r.nodes_scheduled);
+      w.key("chunks_delivered").value(r.chunks_delivered);
+      w.key("exact").value(r.exact);
+      w.key("chunks_exact").value(r.chunks_exact);
+      w.key("second_run_cache_hit").value(r.second_run_cache_hit);
+      w.key("route_stable").value(r.route_stable);
+      w.key("wall_seconds").value(r.wall_seconds);
+      w.key("mcups").value(r.mcups);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("summary").begin_object();
+    w.key("campaigns").value(std::int64_t(rows.size()));
+    w.key("all_exact").value(ok);
+    w.key("leaked_leases").value(leaked);
+    w.end_object();
+    w.end_object();
+    if (!json_is_valid(body.str())) {
+      std::cerr << "stencilctl: internal error: program JSON failed "
+                   "validation\n";
+      return 1;
+    }
+    std::ofstream file(json_path);
+    if (!file) throw ConfigError("cannot open --json file `" + json_path + "`");
+    file << body.str() << "\n";
+    std::cout << rows.size() << " campaign records written to " << json_path
+              << "\n";
+  }
+
+  std::cout << "program campaigns " << (ok ? "passed" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}
+
 int usage() {
   std::cerr
       << "usage: stencilctl "
          "<devices|explore|tune|model|codegen|simulate|blockpar|faults|"
-         "metrics|trace|engine|serve|chaos> [flags]\n"
+         "metrics|trace|engine|serve|chaos|program> [flags]\n"
          "  common flags: --dims 2|3 --radius R --bsize-x B --bsize-y B\n"
          "                --parvec V --partime T --device NAME\n"
          "                --nx N --ny N --nz N --iters I --top K --box\n"
@@ -2413,6 +2730,8 @@ int usage() {
          "                 --seed S --window W --json BENCH_PR8.json\n"
          "  chaos flags:   --jobs N --workers W --seed S\n"
          "                 --json BENCH_PR6.json\n"
+         "  program flags: --n2d N --n3d N --steps S --steps3d S\n"
+         "                 --shards S --workers W --json BENCH_PR10.json\n"
          "  explore flags: --dims D --radius R --device NAME --top K\n"
          "  tune flags:    --full --json BENCH_PR9.json --cache FILE\n"
          "                 --probe-cells C --n2d N --n3d N --accept-n N\n"
@@ -2440,6 +2759,7 @@ int main(int argc, char** argv) {
     if (cmd == "engine") return cmd_engine(a);
     if (cmd == "serve") return cmd_serve(a);
     if (cmd == "chaos") return cmd_chaos(a);
+    if (cmd == "program") return cmd_program(a);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "stencilctl: " << e.what() << "\n";
